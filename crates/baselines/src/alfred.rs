@@ -1,0 +1,198 @@
+//! ALFRED (Maioli & Mottola, SenSys 2021): virtual memory for
+//! intermittent computing.
+//!
+//! ALFRED uses VM as working memory as much as possible and reduces the
+//! checkpoint overhead with *deferred restoration* (a variable is
+//! reloaded from NVM on its first read after a reboot) and *anticipated
+//! saving* (a variable is persisted at its last write before a
+//! checkpoint). At a checkpoint, only the CPU registers are saved.
+//!
+//! On our emulator the deferred restore maps directly onto the lazy
+//! VM-fault path (charged to the *restore* category on first access
+//! after a failure), and anticipated saving is modelled by persisting
+//! each checkpoint region's written variables when its checkpoint
+//! commits — the same bytes cross the VM→NVM boundary once per region
+//! either way.
+//!
+//! ALFRED addresses VM and NVM with the same offsets, so it needs a VM
+//! as large as the data segment: like MEMENTOS it cannot run `dijkstra`,
+//! `fft` or `rc4` on a 2 KB-VM platform (Table I). Its checkpoint
+//! placement (loop latches, following the paper's setup) does not adapt
+//! to `EB`, so forward progress can fail for small budgets (Table III).
+
+use crate::common::{check_module, split_back_edges, vm_eligible_vars, Technique};
+use schematic_core::PlacementError;
+use schematic_emu::{
+    AllocationPlan, CheckpointKind, CheckpointSpec, FailurePolicy, InstrumentedModule,
+};
+use schematic_energy::{CostTable, Energy};
+use schematic_ir::{call_effects, CheckpointId, Inst, LoopForest, Module, VarId};
+
+/// The ALFRED technique (all-VM, deferred restore, anticipated save).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Alfred;
+
+impl Technique for Alfred {
+    fn name(&self) -> &'static str {
+        "Alfred"
+    }
+
+    /// Same-offset VM addressing: the data segment must fit the VM
+    /// (Table I).
+    fn supports(&self, module: &Module, svm_bytes: usize) -> bool {
+        module.data_bytes() <= svm_bytes
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        _table: &CostTable,
+        _eb: Energy,
+    ) -> Result<InstrumentedModule, PlacementError> {
+        check_module(module)?;
+        let mut m = module.clone();
+        let effects = call_effects(&m);
+        let mut checkpoints: Vec<CheckpointSpec> = Vec::new();
+
+        // Checkpoints on loop latches; anticipated saving persists the
+        // variables the loop body may have written (their last write
+        // precedes the latch). Restoration is deferred: the restore list
+        // is empty and first reads fault the data back in lazily.
+        split_back_edges(&mut m, |m, fid, nb, edge| {
+            let forest = LoopForest::of(m.func(fid));
+            let written: Vec<VarId> = forest
+                .loops
+                .iter()
+                .find(|l| l.header == edge.to)
+                .map(|l| {
+                    let mut set = schematic_ir::VarSet::new(m.vars.len());
+                    for &b in &l.body {
+                        for inst in &m.func(fid).block(b).insts {
+                            match inst {
+                                Inst::Store { var, .. } => {
+                                    set.insert(*var);
+                                }
+                                Inst::Call { func, .. } => {
+                                    set.union_with(&effects[func.index()].writes);
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    set.iter().filter(|v| !m.var(*v).pinned_nvm).collect()
+                })
+                .unwrap_or_default();
+            let id = CheckpointId::from_usize(checkpoints.len());
+            checkpoints.push(CheckpointSpec {
+                save_vars: written,
+                restore_vars: Vec::new(), // deferred restoration
+                kind: CheckpointKind::Plain,
+            });
+            m.func_mut(fid)
+                .block_mut(nb)
+                .insts
+                .push(Inst::Checkpoint { id });
+        });
+
+        let plan = AllocationPlan::all_vm(&m);
+        let _ = vm_eligible_vars(&m); // (all-VM plan covers them)
+        Ok(InstrumentedModule {
+            technique: "Alfred".into(),
+            module: m,
+            checkpoints,
+            plan,
+            // Variables are restored lazily on first read after the
+            // reboot, so nothing is staged at boot.
+            boot_restore: Vec::new(),
+            policy: FailurePolicy::Rollback,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::default_table;
+    use schematic_emu::{run, RunConfig};
+    use schematic_ir::{CmpOp, FunctionBuilder, ModuleBuilder, Variable};
+
+    fn looped_module(trips: i32) -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let ro = mb.var(Variable::array("table", 8).with_init((0..8).collect()));
+        let mut f = FunctionBuilder::new("main", 0);
+        let h = f.new_block("h");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.copy(0);
+        f.br(h);
+        f.switch_to(h);
+        f.set_max_iters(h, trips as u64 + 1);
+        let c = f.cmp(CmpOp::SGe, i, trips);
+        f.cond_br(c, exit, body);
+        f.switch_to(body);
+        let m7 = f.bin(schematic_ir::BinOp::And, i, 7);
+        let t = f.load_idx(ro, m7);
+        let v = f.load_scalar(x);
+        let v2 = f.bin(schematic_ir::BinOp::Add, v, t);
+        f.store_scalar(x, v2);
+        let i2 = f.bin(schematic_ir::BinOp::Add, i, 1);
+        f.copy_to(i, i2);
+        f.br(h);
+        f.switch_to(exit);
+        let r = f.load_scalar(x);
+        f.ret(Some(r.into()));
+        let main = mb.func(f.finish());
+        mb.finish(main)
+    }
+
+    #[test]
+    fn saves_only_written_variables() {
+        let m = looped_module(8);
+        let im = Alfred
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        assert_eq!(im.checkpoints.len(), 1);
+        let x = m.var_by_name("x").unwrap();
+        let table = m.var_by_name("table").unwrap();
+        assert_eq!(im.checkpoints[0].save_vars, vec![x]);
+        assert!(!im.checkpoints[0].save_vars.contains(&table));
+        assert!(im.checkpoints[0].restore_vars.is_empty());
+        assert!(im.boot_restore.is_empty());
+    }
+
+    #[test]
+    fn vm_fit_check_matches_mementos_rule() {
+        let m = looped_module(4);
+        assert!(Alfred.supports(&m, 2048));
+        assert!(!Alfred.supports(&m, 16));
+    }
+
+    #[test]
+    fn correct_under_intermittent_power_with_deferred_restores() {
+        let m = looped_module(120);
+        let im = Alfred
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        let out = run(&im, RunConfig::periodic(4_000)).unwrap();
+        assert!(out.completed(), "{:?}", out.status);
+        // 0+1+2+...: 15 full rounds of 0..7 over 120 iterations.
+        let expected: i32 = (0..120).map(|i| i & 7).sum();
+        assert_eq!(out.result, Some(expected));
+        assert!(out.metrics.power_failures > 0);
+        // Deferred restoration shows up as lazy faults, not checkpoint
+        // restores.
+        assert!(out.metrics.implicit_restores > 0);
+    }
+
+    #[test]
+    fn all_accesses_hit_vm_under_continuous_power() {
+        let m = looped_module(16);
+        let im = Alfred
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert_eq!(out.metrics.nvm_reads + out.metrics.nvm_writes, 0);
+        assert!(out.metrics.vm_reads > 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The common interface of intermittency techniques, plus shared
+//! instrumentation helpers.
+
+use schematic_core::PlacementError;
+use schematic_emu::InstrumentedModule;
+use schematic_energy::{CostTable, Energy};
+use schematic_ir::{BlockId, Edge, FuncId, Inst, Module, VarId};
+
+/// An intermittency-management technique: a static VM-fit check
+/// (Table I) and a compiler.
+pub trait Technique {
+    /// Display name, matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether the technique can run `module` on a platform with
+    /// `svm_bytes` bytes of volatile memory (Table I's criterion).
+    fn supports(&self, module: &Module, svm_bytes: usize) -> bool;
+
+    /// Instruments `module` for intermittent execution with capacitor
+    /// budget `eb`.
+    ///
+    /// # Errors
+    ///
+    /// Techniques that adapt to the platform (ROCKCLIMB) fail when no
+    /// sound placement exists; the others are placement-oblivious and
+    /// only fail on invalid modules.
+    fn compile(
+        &self,
+        module: &Module,
+        table: &CostTable,
+        eb: Energy,
+    ) -> Result<InstrumentedModule, PlacementError>;
+}
+
+/// All non-pinned variables of a module (the all-VM working set).
+pub fn vm_eligible_vars(module: &Module) -> Vec<VarId> {
+    module
+        .iter_vars()
+        .filter(|(_, v)| !v.pinned_nvm)
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Splits every latch→header back-edge of every natural loop and runs
+/// `f` on each new block (to insert the checkpoint instruction),
+/// returning the new blocks.
+pub fn split_back_edges(
+    module: &mut Module,
+    mut f: impl FnMut(&mut Module, FuncId, BlockId, Edge),
+) {
+    for fi in 0..module.funcs.len() {
+        let fid = FuncId::from_usize(fi);
+        let forest = schematic_ir::LoopForest::of(module.func(fid));
+        let mut edges: Vec<Edge> = Vec::new();
+        for l in &forest.loops {
+            for &latch in &l.latches {
+                edges.push(Edge::new(latch, l.header));
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        for e in edges {
+            let nb = module.func_mut(fid).split_edge(e.from, e.to);
+            f(module, fid, nb, e);
+        }
+    }
+}
+
+/// Inserts `make_inst()` at the start of every natural-loop header.
+pub fn checkpoint_loop_headers(module: &mut Module, mut make_inst: impl FnMut() -> Inst) {
+    for fi in 0..module.funcs.len() {
+        let fid = FuncId::from_usize(fi);
+        let forest = schematic_ir::LoopForest::of(module.func(fid));
+        let headers: Vec<BlockId> = forest.loops.iter().map(|l| l.header).collect();
+        for h in headers {
+            let inst = make_inst();
+            module.func_mut(fid).block_mut(h).insts.insert(0, inst);
+        }
+    }
+}
+
+/// Inserts `make_inst()` before every call instruction.
+pub fn checkpoint_before_calls(module: &mut Module, mut make_inst: impl FnMut() -> Inst) {
+    for func in &mut module.funcs {
+        for block in &mut func.blocks {
+            let mut i = 0;
+            while i < block.insts.len() {
+                if matches!(block.insts[i], Inst::Call { .. }) {
+                    block.insts.insert(i, make_inst());
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Rejects invalid modules with a uniform error.
+pub fn check_module(module: &Module) -> Result<(), PlacementError> {
+    match schematic_ir::verify_module(module).into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(PlacementError::InvalidModule {
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Helper: the default cost table (used by tests).
+pub fn default_table() -> CostTable {
+    CostTable::msp430fr5969()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_ir::{CmpOp, FunctionBuilder, ModuleBuilder, Variable};
+
+    fn looped_module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let _p = mb.var(Variable::array("tab", 4).pinned());
+        let mut leaf = FunctionBuilder::new("leaf", 0);
+        leaf.ret(None);
+        let leaf = mb.func(leaf.finish());
+        let mut f = FunctionBuilder::new("main", 0);
+        let h = f.new_block("h");
+        let b = f.new_block("b");
+        let exit = f.new_block("exit");
+        let i = f.copy(0);
+        f.br(h);
+        f.switch_to(h);
+        f.set_max_iters(h, 4);
+        let c = f.cmp(CmpOp::SGe, i, 3);
+        f.cond_br(c, exit, b);
+        f.switch_to(b);
+        let v = f.load_scalar(x);
+        f.store_scalar(x, v);
+        f.call_void(leaf, vec![]);
+        let i2 = f.bin(schematic_ir::BinOp::Add, i, 1);
+        f.copy_to(i, i2);
+        f.br(h);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        mb.finish(main)
+    }
+
+    #[test]
+    fn vm_eligible_skips_pinned() {
+        let m = looped_module();
+        let vars = vm_eligible_vars(&m);
+        assert_eq!(vars.len(), 1);
+    }
+
+    #[test]
+    fn split_back_edges_adds_blocks() {
+        let mut m = looped_module();
+        let before = m.funcs[1].blocks.len();
+        let mut seen = 0;
+        split_back_edges(&mut m, |_, _, _, _| seen += 1);
+        assert_eq!(seen, 1);
+        assert_eq!(m.funcs[1].blocks.len(), before + 1);
+        assert!(schematic_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn header_and_call_insertion() {
+        let mut m = looped_module();
+        checkpoint_loop_headers(&mut m, || Inst::Checkpoint {
+            id: schematic_ir::CheckpointId(0),
+        });
+        let h = m.funcs[1].block_by_name("h").unwrap();
+        assert!(matches!(
+            m.funcs[1].block(h).insts[0],
+            Inst::Checkpoint { .. }
+        ));
+        checkpoint_before_calls(&mut m, || Inst::Checkpoint {
+            id: schematic_ir::CheckpointId(1),
+        });
+        let b = m.funcs[1].block_by_name("b").unwrap();
+        let insts = &m.funcs[1].block(b).insts;
+        let call_pos = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Call { .. }))
+            .unwrap();
+        assert!(matches!(insts[call_pos - 1], Inst::Checkpoint { .. }));
+    }
+}

@@ -1,0 +1,63 @@
+//! # schematic-baselines
+//!
+//! The four baseline intermittent-computing techniques the SCHEMATIC
+//! paper compares against (§IV-A.b), re-implemented on the same IR,
+//! emulator and energy model — exactly as the paper re-implemented them
+//! inside SCEPTIC for a fair comparison:
+//!
+//! * [`Ratchet`] — all-NVM working memory; compile-time checkpoints
+//!   break write-after-read (WAR) dependencies so rollback re-execution
+//!   is idempotent. Registers are the only volatile data saved.
+//! * [`Mementos`] — all-VM working memory; potential checkpoints at loop
+//!   latches commit only when a runtime voltage measurement shows the
+//!   capacitor below a threshold.
+//! * [`Rockclimb`] — all-NVM; checkpoints at loop headers and before
+//!   calls, plus a second pass adding checkpoints wherever the energy
+//!   between checkpoints could exceed `EB`; wait-until-recharged at
+//!   every checkpoint (same runtime discipline as SCHEMATIC). The loop
+//!   unrolling optimization (factor ≤ 10) is modelled as conditional
+//!   header checkpointing with the equivalent period.
+//! * [`Alfred`] — all-VM working memory with deferred restoration (on
+//!   first read, via the emulator's lazy-restore path) and anticipated
+//!   saving (dirty variables written back at region checkpoints);
+//!   checkpoints at loop latches save registers only.
+//!
+//! Every technique implements [`Technique`]: a VM-fit check (Table I)
+//! and a compiler producing an
+//! [`schematic_emu::InstrumentedModule`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod alfred;
+pub mod common;
+pub mod mementos;
+pub mod ratchet;
+pub mod rockclimb;
+
+pub use alfred::Alfred;
+pub use common::Technique;
+pub use mementos::Mementos;
+pub use ratchet::Ratchet;
+pub use rockclimb::Rockclimb;
+
+/// All four baselines, in the paper's order.
+pub fn all() -> Vec<Box<dyn Technique>> {
+    vec![
+        Box::new(Ratchet),
+        Box::new(Mementos::default()),
+        Box::new(Rockclimb),
+        Box::new(Alfred),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_baselines_in_paper_order() {
+        let names: Vec<_> = all().iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["Ratchet", "Mementos", "Rockclimb", "Alfred"]);
+    }
+}

@@ -1,0 +1,191 @@
+//! MEMENTOS (Ransford, Sorber & Fu, ASPLOS 2011): system support for
+//! long-running computation on RFID-scale devices.
+//!
+//! MEMENTOS keeps all working data in VM and inserts *potential*
+//! checkpoints at compile time; at run time each one measures the
+//! capacitor voltage and commits only when the charge has fallen below a
+//! threshold. The paper's evaluation uses the loop-latch placement mode
+//! (§IV-A.b), which we follow. A committed checkpoint copies **all**
+//! volatile data (every variable plus the registers) to NVM; a power
+//! failure rolls back to the last committed checkpoint.
+//!
+//! Because the working set must fit the VM, MEMENTOS cannot run
+//! `dijkstra`, `fft` or `rc4` on a 2 KB-VM platform (Table I), and its
+//! fixed placement cannot guarantee forward progress for small energy
+//! budgets (Table III).
+
+use crate::common::{check_module, split_back_edges, vm_eligible_vars, Technique};
+use schematic_core::PlacementError;
+use schematic_emu::{
+    AllocationPlan, CheckpointKind, CheckpointSpec, FailurePolicy, InstrumentedModule,
+};
+use schematic_energy::{CostTable, Energy};
+use schematic_ir::{CheckpointId, Inst, Module};
+
+/// The MEMENTOS technique (all-VM, voltage-guarded latch checkpoints).
+#[derive(Debug, Clone, Copy)]
+pub struct Mementos {
+    /// Commit when the measured state of charge falls below this
+    /// fraction (the `V_check` threshold).
+    pub threshold: f64,
+}
+
+impl Default for Mementos {
+    fn default() -> Self {
+        Mementos { threshold: 0.5 }
+    }
+}
+
+impl Technique for Mementos {
+    fn name(&self) -> &'static str {
+        "Mementos"
+    }
+
+    /// All-VM: the cumulative variable size must fit the VM (Table I).
+    fn supports(&self, module: &Module, svm_bytes: usize) -> bool {
+        module.data_bytes() <= svm_bytes
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        _table: &CostTable,
+        _eb: Energy,
+    ) -> Result<InstrumentedModule, PlacementError> {
+        check_module(module)?;
+        let mut m = module.clone();
+        let all_vars = vm_eligible_vars(&m);
+        let mut checkpoints: Vec<CheckpointSpec> = Vec::new();
+        let threshold = self.threshold;
+
+        split_back_edges(&mut m, |m, fid, nb, _edge| {
+            let id = CheckpointId::from_usize(checkpoints.len());
+            checkpoints.push(CheckpointSpec {
+                save_vars: all_vars.clone(),
+                restore_vars: all_vars.clone(),
+                kind: CheckpointKind::Guarded { threshold },
+            });
+            m.func_mut(fid)
+                .block_mut(nb)
+                .insts
+                .push(Inst::Checkpoint { id });
+        });
+
+        let plan = AllocationPlan::all_vm(&m);
+        Ok(InstrumentedModule {
+            technique: "Mementos".into(),
+            module: m,
+            checkpoints,
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: all_vars,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::default_table;
+    use schematic_emu::{run, RunConfig, RunStatus};
+    use schematic_ir::{CmpOp, FunctionBuilder, ModuleBuilder, Variable};
+
+    fn looped_module(trips: i32) -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let h = f.new_block("h");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.copy(0);
+        f.br(h);
+        f.switch_to(h);
+        f.set_max_iters(h, trips as u64 + 1);
+        let c = f.cmp(CmpOp::SGe, i, trips);
+        f.cond_br(c, exit, body);
+        f.switch_to(body);
+        let v = f.load_scalar(x);
+        let v2 = f.bin(schematic_ir::BinOp::Add, v, 1);
+        f.store_scalar(x, v2);
+        let i2 = f.bin(schematic_ir::BinOp::Add, i, 1);
+        f.copy_to(i, i2);
+        f.br(h);
+        f.switch_to(exit);
+        let r = f.load_scalar(x);
+        f.ret(Some(r.into()));
+        let main = mb.func(f.finish());
+        mb.finish(main)
+    }
+
+    #[test]
+    fn places_guarded_checkpoints_on_latches() {
+        let m = looped_module(8);
+        let im = Mementos::default()
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        assert_eq!(im.checkpoints.len(), 1);
+        assert!(matches!(
+            im.checkpoints[0].kind,
+            CheckpointKind::Guarded { .. }
+        ));
+        assert_eq!(im.policy, FailurePolicy::Rollback);
+    }
+
+    #[test]
+    fn vm_fit_check() {
+        let m = looped_module(4);
+        let mementos = Mementos::default();
+        assert!(mementos.supports(&m, 2048));
+        assert!(!mementos.supports(&m, 0));
+    }
+
+    #[test]
+    fn skips_checkpoints_when_charged() {
+        let m = looped_module(8);
+        let im = Mementos::default()
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert!(out.completed());
+        assert_eq!(out.result, Some(8));
+        // Continuous power: voltage always reads full, never commits.
+        assert_eq!(out.metrics.checkpoints_committed, 0);
+        assert_eq!(out.metrics.checkpoints_skipped, 8);
+    }
+
+    #[test]
+    fn commits_when_low_and_survives_failures() {
+        let m = looped_module(200);
+        let im = Mementos::default()
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        let out = run(&im, RunConfig::periodic(5_000)).unwrap();
+        assert!(out.completed(), "{:?}", out.status);
+        assert_eq!(out.result, Some(200));
+        assert!(out.metrics.checkpoints_committed > 0);
+        assert!(out.metrics.power_failures > 0);
+        assert!(out.metrics.reexecution > Energy::ZERO);
+    }
+
+    #[test]
+    fn livelocks_when_budget_too_small() {
+        // A latch-to-latch stretch longer than the period: the voltage
+        // check cannot help because the checkpoint location is fixed.
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        // One huge straight-line block: no latch, no checkpoint.
+        for _ in 0..400 {
+            let v = f.load_scalar(x);
+            f.store_scalar(x, v);
+        }
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let im = Mementos::default()
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        let out = run(&im, RunConfig::periodic(500)).unwrap();
+        assert_eq!(out.status, RunStatus::Livelock);
+    }
+}

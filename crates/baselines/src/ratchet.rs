@@ -1,0 +1,287 @@
+//! RATCHET (Van Der Woude & Hicks, OSDI 2016): intermittent computation
+//! without hardware support or programmer intervention.
+//!
+//! RATCHET keeps *all* data in NVM, so nothing needs checkpointing except
+//! CPU registers — but rollback re-execution then re-applies NVM writes.
+//! To keep re-execution idempotent, RATCHET inserts compile-time
+//! checkpoints that break **write-after-read (WAR) dependencies**: a
+//! store to a location that may already have been read since the last
+//! checkpoint gets a checkpoint right before it, so the re-executed read
+//! can never observe the new value.
+//!
+//! RATCHET does not adapt to the capacitor size, so forward progress is
+//! not guaranteed for small energy budgets (Table III).
+
+use crate::common::{check_module, Technique};
+use schematic_core::PlacementError;
+use schematic_emu::{
+    AllocationPlan, CheckpointSpec, FailurePolicy, InstrumentedModule,
+};
+use schematic_energy::{CostTable, Energy};
+use schematic_ir::{
+    call_effects, BlockId, Cfg, CheckpointId, FuncId, Inst, Module, VarSet,
+};
+
+/// The RATCHET technique (all-NVM, WAR-breaking static checkpoints).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ratchet;
+
+impl Technique for Ratchet {
+    fn name(&self) -> &'static str {
+        "Ratchet"
+    }
+
+    /// All-NVM: runs on any VM size (Table I: all ✓).
+    fn supports(&self, _module: &Module, _svm_bytes: usize) -> bool {
+        true
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        _table: &CostTable,
+        _eb: Energy,
+    ) -> Result<InstrumentedModule, PlacementError> {
+        check_module(module)?;
+        let mut m = module.clone();
+        let effects = call_effects(&m);
+
+        let mut checkpoints: Vec<CheckpointSpec> = Vec::new();
+        for fi in 0..m.funcs.len() {
+            let fid = FuncId::from_usize(fi);
+            // May-read-since-last-checkpoint at block entry, as a
+            // fixpoint over the CFG. Within a block, a checkpoint clears
+            // the set; stores to read vars demand a checkpoint.
+            let cfg = Cfg::new(m.func(fid));
+            let n = m.func(fid).blocks.len();
+            let mut in_read: Vec<VarSet> = vec![VarSet::new(m.vars.len()); n];
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for bi in 0..n {
+                    let b = BlockId::from_usize(bi);
+                    let mut set = VarSet::new(m.vars.len());
+                    for &p in cfg.preds(b) {
+                        set.union_with(&block_out_reads(
+                            &m,
+                            fid,
+                            p,
+                            &in_read[p.index()],
+                            &effects,
+                        ));
+                    }
+                    if set != in_read[bi] {
+                        in_read[bi] = set;
+                        changed = true;
+                    }
+                }
+            }
+
+            // Insert checkpoints before WAR stores.
+            #[allow(clippy::needless_range_loop)]
+            for bi in 0..n {
+                let mut set = in_read[bi].clone();
+                let mut i = 0;
+                while i < m.funcs[fid.index()].blocks[bi].insts.len() {
+                    let needs_cp = {
+                        let inst = &m.funcs[fid.index()].blocks[bi].insts[i];
+                        war_hazard(inst, &set, &effects)
+                    };
+                    if needs_cp {
+                        let id = CheckpointId::from_usize(checkpoints.len());
+                        checkpoints.push(CheckpointSpec::registers_only());
+                        m.funcs[fid.index()].blocks[bi]
+                            .insts
+                            .insert(i, Inst::Checkpoint { id });
+                        set = VarSet::new(m.vars.len());
+                        i += 1; // skip the inserted checkpoint
+                    }
+                    track_reads(
+                        &m.funcs[fid.index()].blocks[bi].insts[i],
+                        &mut set,
+                        &effects,
+                    );
+                    i += 1;
+                }
+            }
+        }
+
+        let plan = AllocationPlan::all_nvm(&m);
+        Ok(InstrumentedModule {
+            technique: "Ratchet".into(),
+            module: m,
+            checkpoints,
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: Vec::new(),
+        })
+    }
+}
+
+/// Reads accumulated by executing a whole block starting from `entry`.
+fn block_out_reads(
+    m: &Module,
+    fid: FuncId,
+    b: BlockId,
+    entry: &VarSet,
+    effects: &[schematic_ir::CallEffect],
+) -> VarSet {
+    let mut set = entry.clone();
+    for inst in &m.func(fid).block(b).insts {
+        if inst.is_checkpoint() {
+            set = VarSet::new(m.vars.len());
+        }
+        track_reads(inst, &mut set, effects);
+    }
+    set
+}
+
+/// Whether executing `inst` with `read_set` pending is a WAR hazard.
+fn war_hazard(inst: &Inst, read_set: &VarSet, effects: &[schematic_ir::CallEffect]) -> bool {
+    match inst {
+        Inst::Store { var, .. } => read_set.contains(*var),
+        Inst::Call { func, .. } => {
+            // Callee writes clashing with pending caller reads.
+            effects[func.index()]
+                .writes
+                .iter()
+                .any(|v| read_set.contains(v))
+        }
+        _ => false,
+    }
+}
+
+fn track_reads(inst: &Inst, set: &mut VarSet, effects: &[schematic_ir::CallEffect]) {
+    match inst {
+        Inst::Load { var, .. } => {
+            set.insert(*var);
+        }
+        Inst::Call { func, .. } => {
+            // Conservative: everything the callee touches counts as read
+            // (its own internal WARs are protected by its own
+            // instrumentation; the boundary effects are what matter
+            // here).
+            set.union_with(&effects[func.index()].reads);
+            set.union_with(&effects[func.index()].writes);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::default_table;
+    use schematic_emu::{run, RunConfig};
+    use schematic_ir::{FunctionBuilder, ModuleBuilder, Variable};
+
+    /// `x = x + 1` — the canonical WAR hazard of the paper's §V.
+    fn increment_module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        for _ in 0..10 {
+            let v = f.load_scalar(x);
+            let v2 = f.bin(schematic_ir::BinOp::Add, v, 1);
+            f.store_scalar(x, v2);
+        }
+        let r = f.load_scalar(x);
+        f.ret(Some(r.into()));
+        let main = mb.func(f.finish());
+        mb.finish(main)
+    }
+
+    #[test]
+    fn breaks_war_dependencies() {
+        let m = increment_module();
+        let im = Ratchet
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        // One checkpoint before each of the 10 increments' stores.
+        assert_eq!(im.checkpoints.len(), 10);
+        assert_eq!(im.policy, FailurePolicy::Rollback);
+    }
+
+    #[test]
+    fn correct_under_intermittent_power() {
+        let m = increment_module();
+        let im = Ratchet
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        // Very frequent failures: without WAR breaking the result would
+        // over-count; with RATCHET it is exact. (Below ~500 cycles the
+        // fixed placement livelocks — RATCHET does not adapt to EB,
+        // which is exactly Table III's point.)
+        for tbpf in [600u64, 1_000] {
+            let out = run(&im, RunConfig::periodic(tbpf)).unwrap();
+            assert!(out.completed(), "tbpf={tbpf}: {:?}", out.status);
+            assert_eq!(out.result, Some(10), "tbpf={tbpf}");
+        }
+    }
+
+    #[test]
+    fn supports_any_vm_size() {
+        let m = increment_module();
+        assert!(Ratchet.supports(&m, 0));
+    }
+
+    #[test]
+    fn loop_carried_war_checkpointed() {
+        // The motivating example: `sum += array[i]` in a loop. The load
+        // of `sum` before its store spans the back edge, so the read set
+        // at the store must include the loop-carried read.
+        let mut mb = ModuleBuilder::new("m");
+        let arr = mb.var(Variable::array("a", 8).with_init((1..=8).collect()));
+        let sum = mb.var(Variable::scalar("sum"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let h = f.new_block("h");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.copy(0);
+        f.br(h);
+        f.switch_to(h);
+        f.set_max_iters(h, 9);
+        let c = f.cmp(schematic_ir::CmpOp::SGe, i, 8);
+        f.cond_br(c, exit, body);
+        f.switch_to(body);
+        let v = f.load_idx(arr, i);
+        let s = f.load_scalar(sum);
+        let s2 = f.bin(schematic_ir::BinOp::Add, s, v);
+        f.store_scalar(sum, s2);
+        let i2 = f.bin(schematic_ir::BinOp::Add, i, 1);
+        f.copy_to(i, i2);
+        f.br(h);
+        f.switch_to(exit);
+        let r = f.load_scalar(sum);
+        f.ret(Some(r.into()));
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let im = Ratchet
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        assert!(!im.checkpoints.is_empty());
+        for tbpf in [400u64, 700] {
+            let out = run(&im, RunConfig::periodic(tbpf)).unwrap();
+            assert!(out.completed());
+            assert_eq!(out.result, Some(36), "tbpf={tbpf}");
+        }
+    }
+
+    #[test]
+    fn no_spurious_checkpoints_without_war() {
+        // Write-only then read-only: no WAR, no checkpoints.
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let y = mb.var(Variable::scalar("y"));
+        let mut f = FunctionBuilder::new("main", 0);
+        f.store_scalar(x, 1); // write before any read: no hazard
+        let v = f.load_scalar(y);
+        f.ret(Some(v.into()));
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let im = Ratchet
+            .compile(&m, &default_table(), Energy::from_uj(4))
+            .unwrap();
+        assert!(im.checkpoints.is_empty());
+    }
+}

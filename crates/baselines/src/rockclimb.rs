@@ -1,0 +1,187 @@
+//! ROCKCLIMB (Choi, Kittinger, Liu & Jung, RTAS 2022): compiler-directed
+//! high-performance intermittent computation with power-failure immunity.
+//!
+//! ROCKCLIMB keeps all data in NVM and, like SCHEMATIC, *waits for the
+//! capacitor to recharge* at every checkpoint, so no code is ever
+//! re-executed and no memory anomaly can occur. Placement is two-pass
+//! (§IV-A.b):
+//!
+//! 1. checkpoints at every loop header and before every call;
+//! 2. a CFG traversal adding checkpoints wherever the worst-case energy
+//!    between checkpoints could still exceed `EB` (we drive this pass
+//!    with the same independent energy verifier SCHEMATIC's backstop
+//!    uses).
+//!
+//! The paper's loop-unrolling optimization (factor ≤ 10) exists to avoid
+//! checkpointing on every iteration; we model it as *conditional* header
+//! checkpointing with the equivalent period `min(10, ⌊EB′/E_iter⌋)`,
+//! which has the same checkpoint frequency without duplicating code.
+
+use crate::common::{check_module, checkpoint_before_calls, Technique};
+use schematic_core::pverify::patch_placement;
+use schematic_core::PlacementError;
+use schematic_emu::{
+    AllocationPlan, CheckpointSpec, FailurePolicy, InstrumentedModule,
+};
+use schematic_energy::{CostTable, Energy, MemClass};
+use schematic_ir::{CheckpointId, FuncId, Inst, LoopForest, Module};
+
+/// Maximum modelled unrolling factor (the paper limits unrolling to 10).
+pub const MAX_UNROLL: u64 = 10;
+
+/// The ROCKCLIMB technique (all-NVM, wait-until-recharged, adaptive
+/// placement).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rockclimb;
+
+impl Technique for Rockclimb {
+    fn name(&self) -> &'static str {
+        "Rockclimb"
+    }
+
+    /// All-NVM: runs on any VM size (Table I: all ✓).
+    fn supports(&self, _module: &Module, _svm_bytes: usize) -> bool {
+        true
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        table: &CostTable,
+        eb: Energy,
+    ) -> Result<InstrumentedModule, PlacementError> {
+        check_module(module)?;
+        let mut m = module.clone();
+        // Give the energy verifier room to insert checkpoints inside
+        // oversized straight-line stretches and between adjacent calls.
+        schematic_core::transform::split_large_blocks(&mut m, table, eb)?;
+
+        let mut checkpoints: Vec<CheckpointSpec> = Vec::new();
+
+        // Pass 1a: conditional checkpoints at loop headers, with the
+        // unrolling-equivalent period.
+        let overhead =
+            table.checkpoint_commit_cost(0).energy + table.checkpoint_resume_cost(0).energy;
+        for fi in 0..m.funcs.len() {
+            let fid = FuncId::from_usize(fi);
+            let forest = LoopForest::of(m.func(fid));
+            let headers: Vec<(schematic_ir::BlockId, Energy)> = forest
+                .loops
+                .iter()
+                .map(|l| {
+                    // Upper bound of one iteration: the sum of all body
+                    // blocks, all-NVM.
+                    let iter: Energy = l
+                        .body
+                        .iter()
+                        .map(|&b| {
+                            schematic_energy::block_cost(
+                                table,
+                                m.func(fid),
+                                b,
+                                &|_| MemClass::Nvm,
+                                &|_| schematic_energy::Cost::ZERO,
+                            )
+                            .energy
+                        })
+                        .sum();
+                    (l.header, iter)
+                })
+                .collect();
+            for (header, iter) in headers {
+                let budget = eb.saturating_sub(overhead);
+                let period = budget
+                    .div_floor(iter)
+                    .unwrap_or(MAX_UNROLL)
+                    .clamp(1, MAX_UNROLL) as u32;
+                let id = CheckpointId::from_usize(checkpoints.len());
+                checkpoints.push(CheckpointSpec::registers_only());
+                let inst = if period > 1 {
+                    Inst::CondCheckpoint { id, period }
+                } else {
+                    Inst::Checkpoint { id }
+                };
+                m.func_mut(fid).block_mut(header).insts.insert(0, inst);
+            }
+        }
+
+        // Pass 1b: checkpoints before calls.
+        checkpoint_before_calls(&mut m, || {
+            let id = CheckpointId::from_usize(checkpoints.len());
+            checkpoints.push(CheckpointSpec::registers_only());
+            Inst::Checkpoint { id }
+        });
+
+        let plan = AllocationPlan::all_nvm(&m);
+        let mut im = InstrumentedModule {
+            technique: "Rockclimb".into(),
+            module: m,
+            checkpoints,
+            plan,
+            policy: FailurePolicy::WaitRecharge,
+            boot_restore: Vec::new(),
+        };
+
+        // Pass 2: add checkpoints wherever a stretch could exceed EB.
+        patch_placement(&mut im, table, eb, 1024)?;
+        Ok(im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::default_table;
+    use schematic_core::verify_placement;
+    use schematic_emu::{run, Machine, RunConfig};
+
+    #[test]
+    fn supports_everything() {
+        let m = schematic_benchsuite::crc::build(1);
+        assert!(Rockclimb.supports(&m, 0));
+    }
+
+    #[test]
+    fn placement_is_sound_and_completes_intermittently() {
+        let table = default_table();
+        let tbpf = 10_000u64;
+        let eb = Energy::from_pj(table.cpu_pj_per_cycle) * tbpf;
+        for name in ["crc", "randmath", "bitcount"] {
+            let b = schematic_benchsuite::by_name(name).unwrap();
+            let m = (b.build)(5);
+            let im = Rockclimb.compile(&m, &table, eb).unwrap();
+            let report = verify_placement(&im, &table, eb);
+            assert!(report.is_sound(), "{name}: {:?}", report.violations);
+            let out = Machine::new(&im, &table, RunConfig::periodic(tbpf))
+                .run()
+                .unwrap();
+            assert!(out.completed(), "{name}: {:?}", out.status);
+            assert_eq!(out.result, Some((b.oracle)(5)), "{name}");
+            assert_eq!(out.metrics.unexpected_failures, 0, "{name}");
+            assert_eq!(out.metrics.reexecution, Energy::ZERO, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_nvm_no_vm_traffic() {
+        let table = default_table();
+        let m = schematic_benchsuite::crc::build(1);
+        let im = Rockclimb
+            .compile(&m, &table, Energy::from_uj(3))
+            .unwrap();
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert_eq!(out.metrics.vm_reads + out.metrics.vm_writes, 0);
+    }
+
+    #[test]
+    fn checkpoints_at_headers_and_calls() {
+        let table = default_table();
+        let m = schematic_benchsuite::bitcount::build(1);
+        let im = Rockclimb
+            .compile(&m, &table, Energy::from_uj(3))
+            .unwrap();
+        // bitcount: 3 helper loops + main's 2 loops + 3 calls/element,
+        // at least.
+        assert!(im.checkpoints.len() >= 8, "{}", im.checkpoints.len());
+    }
+}

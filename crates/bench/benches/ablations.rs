@@ -1,0 +1,40 @@
+//! Criterion bench: compile-time cost of the design-choice ablations
+//! (DESIGN.md §6). The *energy* effect of the same ablations is reported
+//! by the `ablations` binary; this bench tracks their analysis-time
+//! impact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schematic_bench::{eb_for_tbpf, ENERGY_TBPF, SEED};
+use schematic_core::{compile, SchematicConfig};
+use schematic_energy::CostTable;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let table = CostTable::msp430fr5969();
+    let eb = eb_for_tbpf(&table, ENERGY_TBPF);
+    let module = (schematic_benchsuite::by_name("crc").unwrap().build)(SEED);
+    let mut group = c.benchmark_group("ablations_compile/crc");
+    group.sample_size(10);
+    for (label, liveness, ratio) in [
+        ("full", true, true),
+        ("no-liveness", false, true),
+        ("no-ratio", true, false),
+        ("all-nvm", true, true),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut config = SchematicConfig::new(eb);
+                config.liveness_opt = liveness;
+                config.ratio_ordering = ratio;
+                if label == "all-nvm" {
+                    config = config.all_nvm();
+                }
+                black_box(compile(black_box(&module), &table, &config).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: SCHEMATIC compilation (analysis) time per kernel.
+//!
+//! §III-C reports ~71 s average on the authors' setup (LLVM-IR scale,
+//! SCEPTIC tooling); this reproduction analyzes the same kernels in
+//! milliseconds, confirming the polynomial complexity claim
+//! `O(V·(V² + E²))` rather than the constant factor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schematic_bench::{eb_for_tbpf, ENERGY_TBPF, SEED};
+use schematic_core::{compile, SchematicConfig};
+use schematic_energy::CostTable;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let table = CostTable::msp430fr5969();
+    let eb = eb_for_tbpf(&table, ENERGY_TBPF);
+    let mut group = c.benchmark_group("analysis_time");
+    group.sample_size(10);
+    for bench in schematic_benchsuite::all() {
+        let module = (bench.build)(SEED);
+        group.bench_function(bench.name, |b| {
+            b.iter(|| {
+                let config = SchematicConfig::new(eb);
+                black_box(compile(black_box(&module), &table, &config).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: emulator throughput — cycles simulated per second on
+//! continuous and intermittent power (the substrate the whole evaluation
+//! stands on; cf. the SCEPTIC emulator the paper uses, §IV-A.c).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use schematic_bench::{eb_for_tbpf, ENERGY_TBPF, SEED};
+use schematic_core::{compile, SchematicConfig};
+use schematic_emu::{run, InstrumentedModule, Machine, RunConfig};
+use schematic_energy::CostTable;
+use std::hint::black_box;
+
+fn bench_emulator(c: &mut Criterion) {
+    let table = CostTable::msp430fr5969();
+    let mut group = c.benchmark_group("emulator");
+    group.sample_size(10);
+
+    for name in ["crc", "fft"] {
+        let bench = schematic_benchsuite::by_name(name).unwrap();
+        let im = InstrumentedModule::bare((bench.build)(SEED));
+        let cycles = run(&im, RunConfig::default()).unwrap().metrics.active_cycles;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(format!("continuous/{name}"), |b| {
+            b.iter(|| black_box(run(&im, RunConfig::default()).unwrap()))
+        });
+    }
+
+    // Intermittent execution of a SCHEMATIC binary (checkpoint runtime
+    // exercised on every period).
+    let bench = schematic_benchsuite::by_name("crc").unwrap();
+    let module = (bench.build)(SEED);
+    let eb = eb_for_tbpf(&table, ENERGY_TBPF);
+    let compiled = compile(&module, &table, &SchematicConfig::new(eb)).unwrap();
+    group.bench_function("intermittent/crc", |b| {
+        b.iter(|| {
+            black_box(
+                Machine::new(
+                    &compiled.instrumented,
+                    &table,
+                    RunConfig::periodic(ENERGY_TBPF),
+                )
+                .run()
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

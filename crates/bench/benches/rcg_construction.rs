@@ -1,0 +1,63 @@
+//! Criterion bench: placement scalability on synthetic CFGs.
+//!
+//! §III-C derives `O(V·(V² + E²))` for the analysis. This bench grows a
+//! chain of diamond-shaped regions (so both the block count and the
+//! per-path RCG size grow) and measures how compilation time scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schematic_core::{compile, SchematicConfig};
+use schematic_energy::{CostTable, Energy};
+use schematic_ir::{BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Variable};
+use std::hint::black_box;
+
+/// A chain of `n` diamonds, each touching one of four scalars.
+fn diamond_chain(n: usize) -> Module {
+    let mut mb = ModuleBuilder::new("chain");
+    let vars: Vec<_> = (0..4)
+        .map(|i| mb.var(Variable::scalar(format!("v{i}"))))
+        .collect();
+    let mut f = FunctionBuilder::new("main", 0);
+    for k in 0..n {
+        let t = f.new_block("t");
+        let e = f.new_block("e");
+        let j = f.new_block("j");
+        let v = vars[k % 4];
+        let x = f.load_scalar(v);
+        let c = f.cmp(CmpOp::SGt, x, 0);
+        f.cond_br(c, t, e);
+        f.switch_to(t);
+        let a = f.load_scalar(v);
+        let a2 = f.bin(BinOp::Add, a, 1);
+        f.store_scalar(v, a2);
+        f.br(j);
+        f.switch_to(e);
+        let b = f.load_scalar(v);
+        let b2 = f.bin(BinOp::Sub, b, 1);
+        f.store_scalar(v, b2);
+        f.br(j);
+        f.switch_to(j);
+    }
+    let r = f.load_scalar(vars[0]);
+    f.ret(Some(r.into()));
+    let main = mb.func(f.finish());
+    mb.finish(main)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let table = CostTable::msp430fr5969();
+    let mut group = c.benchmark_group("rcg_scaling");
+    group.sample_size(10);
+    for n in [4usize, 16, 64, 128] {
+        let module = diamond_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &module, |b, m| {
+            b.iter(|| {
+                let config = SchematicConfig::new(Energy::from_pj(300) * 10_000u64);
+                black_box(compile(black_box(m), &table, &config).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

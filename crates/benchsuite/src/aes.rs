@@ -1,0 +1,506 @@
+//! `aes` — AES-128 ECB encryption of a 512-byte message (MiBench2
+//! `aes`). The longest-running kernel of the suite (Table II: ≈ 1 M
+//! cycles on the paper's setup).
+//!
+//! The state and round keys are packed four bytes per word (column-major,
+//! row 0 in the low byte), so the data footprint is S-box (1 KB) +
+//! round keys (176 B) + message (512 B) ≈ 1.75 KB — it fits the 2 KB VM,
+//! matching Table I. The IR performs the full key expansion and all ten
+//! rounds; the native oracle implements the identical packed-word
+//! algorithm and is itself validated against the FIPS-197 test vector.
+
+use crate::inputs::SplitMix64;
+use schematic_ir::{
+    BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Operand, Reg, Variable,
+};
+
+/// Number of 16-byte blocks encrypted.
+pub const N_BLOCKS: usize = 32;
+/// ECB passes over the buffer (ciphertext is re-encrypted in place),
+/// sizing the kernel to the paper's ≈ 1 M-cycle run without growing the
+/// data footprint past the 2 KB VM.
+pub const PASSES: usize = 6;
+
+// ---------------------------------------------------------------------------
+// Native reference implementation (packed words, little-endian bytes).
+// ---------------------------------------------------------------------------
+
+/// Computes the AES S-box algebraically (no typed-in table to mistype).
+pub fn sbox() -> [u8; 256] {
+    let mut sb = [0u8; 256];
+    sb[0] = 0x63;
+    let (mut p, mut q) = (1u8, 1u8);
+    loop {
+        // p := p * 3 in GF(2^8)
+        p = p ^ (p << 1) ^ if p & 0x80 != 0 { 0x1B } else { 0 };
+        // q := q / 3 (multiply by 0xf6, the inverse of 3)
+        q ^= q << 1;
+        q ^= q << 2;
+        q ^= q << 4;
+        if q & 0x80 != 0 {
+            q ^= 0x09;
+        }
+        let x = q ^ q.rotate_left(1) ^ q.rotate_left(2) ^ q.rotate_left(3) ^ q.rotate_left(4);
+        sb[p as usize] = x ^ 0x63;
+        if p == 1 {
+            break;
+        }
+    }
+    sb
+}
+
+fn sub_word(w: u32, sb: &[u8; 256]) -> u32 {
+    let mut out = 0u32;
+    for k in 0..4 {
+        let b = (w >> (8 * k)) & 0xFF;
+        out |= u32::from(sb[b as usize]) << (8 * k);
+    }
+    out
+}
+
+fn rot_word(w: u32) -> u32 {
+    w.rotate_right(8)
+}
+
+fn xtime(b: u32) -> u32 {
+    ((b << 1) ^ (((b >> 7) & 1) * 0x1B)) & 0xFF
+}
+
+/// Expands a 128-bit key (4 packed words) into 44 round-key words.
+pub fn expand_key(key: [u32; 4], sb: &[u8; 256]) -> [u32; 44] {
+    let mut rk = [0u32; 44];
+    rk[..4].copy_from_slice(&key);
+    let mut rcon: u32 = 1;
+    for i in 4..44 {
+        let mut temp = rk[i - 1];
+        if i % 4 == 0 {
+            temp = sub_word(rot_word(temp), sb) ^ rcon;
+            rcon = xtime(rcon);
+        }
+        rk[i] = rk[i - 4] ^ temp;
+    }
+    rk
+}
+
+fn unpack(s: [u32; 4]) -> [[u32; 4]; 4] {
+    // b[row][col]
+    let mut b = [[0u32; 4]; 4];
+    for (col, w) in s.iter().enumerate() {
+        for (row, slot) in b.iter_mut().enumerate() {
+            slot[col] = (w >> (8 * row)) & 0xFF;
+        }
+    }
+    b
+}
+
+fn pack(b: [[u32; 4]; 4]) -> [u32; 4] {
+    let mut s = [0u32; 4];
+    for (col, w) in s.iter_mut().enumerate() {
+        for (row, slot) in b.iter().enumerate() {
+            *w |= slot[col] << (8 * row);
+        }
+    }
+    s
+}
+
+/// Encrypts one block with pre-expanded round keys.
+pub fn encrypt_block(mut s: [u32; 4], rk: &[u32; 44], sb: &[u8; 256]) -> [u32; 4] {
+    for c in 0..4 {
+        s[c] ^= rk[c];
+    }
+    for round in 1..=10 {
+        let mut b = unpack(s);
+        // SubBytes
+        for row in &mut b {
+            for v in row.iter_mut() {
+                *v = u32::from(sb[*v as usize]);
+            }
+        }
+        // ShiftRows
+        let mut sh = b;
+        for (row, out) in sh.iter_mut().enumerate() {
+            for (col, v) in out.iter_mut().enumerate() {
+                *v = b[row][(col + row) % 4];
+            }
+        }
+        let mut b = sh;
+        // MixColumns (not in the final round)
+        if round < 10 {
+            #[allow(clippy::needless_range_loop)]
+            for col in 0..4 {
+                let (a, e, c2, d) = (b[0][col], b[1][col], b[2][col], b[3][col]);
+                let t = a ^ e ^ c2 ^ d;
+                b[0][col] = a ^ t ^ xtime(a ^ e);
+                b[1][col] = e ^ t ^ xtime(e ^ c2);
+                b[2][col] = c2 ^ t ^ xtime(c2 ^ d);
+                b[3][col] = d ^ t ^ xtime(d ^ a);
+            }
+        }
+        s = pack(b);
+        for c in 0..4 {
+            s[c] ^= rk[4 * round + c];
+        }
+    }
+    s
+}
+
+fn key_words(seed: u64) -> [u32; 4] {
+    let mut g = SplitMix64::new(seed ^ 0xA55A);
+    [0; 4].map(|_| g.next_u64() as u32)
+}
+
+fn message_words(seed: u64) -> Vec<i32> {
+    SplitMix64::new(seed).words(N_BLOCKS * 4)
+}
+
+/// Native reference result: XOR of all ciphertext words.
+pub fn oracle(seed: u64) -> i32 {
+    let sb = sbox();
+    let rk = expand_key(key_words(seed), &sb);
+    let msg = message_words(seed);
+    let mut msg = msg;
+    let mut checksum = 0u32;
+    for _ in 0..PASSES {
+        for blk in 0..N_BLOCKS {
+            let s = [
+                msg[4 * blk] as u32,
+                msg[4 * blk + 1] as u32,
+                msg[4 * blk + 2] as u32,
+                msg[4 * blk + 3] as u32,
+            ];
+            let c = encrypt_block(s, &rk, &sb);
+            for (k, w) in c.iter().enumerate() {
+                msg[4 * blk + k] = *w as i32;
+                checksum ^= *w;
+            }
+        }
+    }
+    checksum as i32
+}
+
+// ---------------------------------------------------------------------------
+// IR construction
+// ---------------------------------------------------------------------------
+
+/// Builds the IR module.
+pub fn build(seed: u64) -> Module {
+    let sb_host = sbox();
+    let mut mb = ModuleBuilder::new("aes");
+    let sbox_v = mb.var(
+        Variable::array("sbox", 256).with_init(sb_host.iter().map(|&b| i32::from(b)).collect()),
+    );
+    let rk_v = mb.var(Variable::array("round_keys", 44).with_init(
+        key_words(seed).iter().map(|&w| w as i32).collect(),
+    ));
+    let msg_v = mb.var(Variable::array("message", N_BLOCKS * 4).with_init(message_words(seed)));
+    let sum_v = mb.var(Variable::scalar("checksum"));
+
+    // ---- xtime(b) -----------------------------------------------------------
+    let mut fx = FunctionBuilder::new("xtime", 1);
+    let b = fx.params()[0];
+    let dbl = fx.bin(BinOp::Shl, b, 1);
+    let hi = fx.bin(BinOp::LShr, b, 7);
+    let hibit = fx.bin(BinOp::And, hi, 1);
+    let red = fx.bin(BinOp::Mul, hibit, 0x1B);
+    let x = fx.bin(BinOp::Xor, dbl, red);
+    let out = fx.bin(BinOp::And, x, 0xFF);
+    fx.ret(Some(out.into()));
+    let xtime_f = mb.func(fx.finish());
+
+    // ---- sub_word(w): 4 S-box lookups on a packed word ---------------------
+    let mut fw = FunctionBuilder::new("sub_word", 1);
+    let w = fw.params()[0];
+    let mut acc: Option<Reg> = None;
+    for k in 0..4 {
+        let sh = fw.bin(BinOp::LShr, w, 8 * k);
+        let byte = fw.bin(BinOp::And, sh, 0xFF);
+        let sub = fw.load_idx(sbox_v, byte);
+        let put = fw.bin(BinOp::Shl, sub, 8 * k);
+        acc = Some(match acc {
+            None => put,
+            Some(a) => fw.bin(BinOp::Or, a, put),
+        });
+    }
+    fw.ret(Some(acc.expect("four bytes").into()));
+    let sub_word_f = mb.func(fw.finish());
+
+    // ---- expand_key(): fills round_keys[4..44] ------------------------------
+    let mut fe = FunctionBuilder::new("expand_key", 0);
+    let loop_bb = fe.new_block("loop");
+    let body = fe.new_block("body");
+    let rotsub = fe.new_block("rotsub");
+    let plain = fe.new_block("plain");
+    let store_bb = fe.new_block("store");
+    let done = fe.new_block("done");
+    let i = fe.copy(4);
+    let rcon = fe.copy(1);
+    let temp = fe.copy(0);
+    fe.br(loop_bb);
+    fe.switch_to(loop_bb);
+    fe.set_max_iters(loop_bb, 41);
+    let fin = fe.cmp(CmpOp::SGe, i, 44);
+    fe.cond_br(fin, done, body);
+    fe.switch_to(body);
+    let im1 = fe.bin(BinOp::Sub, i, 1);
+    let prev = fe.load_idx(rk_v, im1);
+    fe.copy_to(temp, prev);
+    let mod4 = fe.bin(BinOp::And, i, 3);
+    let is0 = fe.cmp(CmpOp::Eq, mod4, 0);
+    fe.cond_br(is0, rotsub, plain);
+    fe.switch_to(rotsub);
+    let lo = fe.bin(BinOp::LShr, temp, 8);
+    let hi = fe.bin(BinOp::Shl, temp, 24);
+    let rot = fe.bin(BinOp::Or, lo, hi);
+    let sub = fe.call(sub_word_f, vec![Operand::Reg(rot)]);
+    let tx = fe.bin(BinOp::Xor, sub, rcon);
+    fe.copy_to(temp, tx);
+    let rc2 = fe.call(xtime_f, vec![Operand::Reg(rcon)]);
+    fe.copy_to(rcon, rc2);
+    fe.br(store_bb);
+    fe.switch_to(plain);
+    fe.br(store_bb);
+    fe.switch_to(store_bb);
+    let im4 = fe.bin(BinOp::Sub, i, 4);
+    let old = fe.load_idx(rk_v, im4);
+    let neww = fe.bin(BinOp::Xor, old, temp);
+    fe.store_idx(rk_v, i, neww);
+    let i2 = fe.bin(BinOp::Add, i, 1);
+    fe.copy_to(i, i2);
+    fe.br(loop_bb);
+    fe.switch_to(done);
+    fe.ret(None);
+    let expand_f = mb.func(fe.finish());
+
+    // ---- encrypt_block(blk) -> xor of ciphertext words ---------------------
+    let mut fb = FunctionBuilder::new("encrypt_block", 1);
+    let round_bb = fb.new_block("round");
+    let work = fb.new_block("work");
+    let mixcols = fb.new_block("mixcols");
+    let skipmix = fb.new_block("skipmix");
+    let addkey = fb.new_block("addkey");
+    let final_bb = fb.new_block("final");
+    let blk = fb.params()[0];
+    let base = fb.bin(BinOp::Mul, blk, 4);
+
+    // Load the block and add round key 0; state lives in 4 pinned regs.
+    let mut s: Vec<Reg> = Vec::new();
+    for c in 0..4 {
+        let idx = fb.bin(BinOp::Add, base, c);
+        let m = fb.load_idx(msg_v, idx);
+        let k = fb.load_idx(rk_v, c);
+        let x = fb.bin(BinOp::Xor, m, k);
+        let pinned = fb.copy(x);
+        s.push(pinned);
+    }
+    let round = fb.copy(1);
+    // Byte matrix registers b[row][col], pinned so they survive blocks.
+    let bmat: Vec<Vec<Reg>> = (0..4).map(|_| (0..4).map(|_| fb.copy(0)).collect()).collect();
+    fb.br(round_bb);
+
+    fb.switch_to(round_bb);
+    fb.set_max_iters(round_bb, 11);
+    let fin = fb.cmp(CmpOp::SGt, round, 10);
+    fb.cond_br(fin, final_bb, work);
+
+    fb.switch_to(work);
+    // Unpack + SubBytes + ShiftRows in one go:
+    // after ShiftRows, b[row][col] = sbox(byte(s[(col+row)%4], row)).
+    for row in 0..4usize {
+        for col in 0..4usize {
+            let src = s[(col + row) % 4];
+            let sh = fb.bin(BinOp::LShr, src, (8 * row) as i32);
+            let byte = fb.bin(BinOp::And, sh, 0xFF);
+            let sub = fb.load_idx(sbox_v, byte);
+            fb.copy_to(bmat[row][col], sub);
+        }
+    }
+    let is_final_round = fb.cmp(CmpOp::Eq, round, 10);
+    fb.cond_br(is_final_round, skipmix, mixcols);
+
+    fb.switch_to(mixcols);
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..4usize {
+        let (a, e, c2, d) = (bmat[0][col], bmat[1][col], bmat[2][col], bmat[3][col]);
+        let t0 = fb.bin(BinOp::Xor, a, e);
+        let t1 = fb.bin(BinOp::Xor, c2, d);
+        let t = fb.bin(BinOp::Xor, t0, t1);
+        let ab = fb.bin(BinOp::Xor, a, e);
+        let bc = fb.bin(BinOp::Xor, e, c2);
+        let cd = fb.bin(BinOp::Xor, c2, d);
+        let da = fb.bin(BinOp::Xor, d, a);
+        let xab = fb.call(xtime_f, vec![Operand::Reg(ab)]);
+        let xbc = fb.call(xtime_f, vec![Operand::Reg(bc)]);
+        let xcd = fb.call(xtime_f, vec![Operand::Reg(cd)]);
+        let xda = fb.call(xtime_f, vec![Operand::Reg(da)]);
+        let a1 = fb.bin(BinOp::Xor, a, t);
+        let a2 = fb.bin(BinOp::Xor, a1, xab);
+        let e1 = fb.bin(BinOp::Xor, e, t);
+        let e2 = fb.bin(BinOp::Xor, e1, xbc);
+        let c1 = fb.bin(BinOp::Xor, c2, t);
+        let c3 = fb.bin(BinOp::Xor, c1, xcd);
+        let d1 = fb.bin(BinOp::Xor, d, t);
+        let d2 = fb.bin(BinOp::Xor, d1, xda);
+        fb.copy_to(bmat[0][col], a2);
+        fb.copy_to(bmat[1][col], e2);
+        fb.copy_to(bmat[2][col], c3);
+        fb.copy_to(bmat[3][col], d2);
+    }
+    fb.br(addkey);
+
+    fb.switch_to(skipmix);
+    fb.br(addkey);
+
+    fb.switch_to(addkey);
+    // Pack + AddRoundKey.
+    let rbase = fb.bin(BinOp::Mul, round, 4);
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..4usize {
+        let b0 = bmat[0][col];
+        let b1 = fb.bin(BinOp::Shl, bmat[1][col], 8);
+        let b2 = fb.bin(BinOp::Shl, bmat[2][col], 16);
+        let b3 = fb.bin(BinOp::Shl, bmat[3][col], 24);
+        let p0 = fb.bin(BinOp::Or, b0, b1);
+        let p1 = fb.bin(BinOp::Or, p0, b2);
+        let packed = fb.bin(BinOp::Or, p1, b3);
+        let kidx = fb.bin(BinOp::Add, rbase, col as i32);
+        let k = fb.load_idx(rk_v, kidx);
+        let x = fb.bin(BinOp::Xor, packed, k);
+        fb.copy_to(s[col], x);
+    }
+    let r2 = fb.bin(BinOp::Add, round, 1);
+    fb.copy_to(round, r2);
+    fb.br(round_bb);
+
+    fb.switch_to(final_bb);
+    // Write ciphertext back and return the XOR of its words.
+    let mut chk: Option<Reg> = None;
+    #[allow(clippy::needless_range_loop)]
+    for c in 0..4usize {
+        let idx = fb.bin(BinOp::Add, base, c as i32);
+        fb.store_idx(msg_v, idx, s[c]);
+        chk = Some(match chk {
+            None => s[c],
+            Some(acc) => fb.bin(BinOp::Xor, acc, s[c]),
+        });
+    }
+    fb.ret(Some(chk.expect("four columns").into()));
+    let encrypt_f = mb.func(fb.finish());
+
+    // ---- main ----------------------------------------------------------------
+    let mut f = FunctionBuilder::new("main", 0);
+    let pass_loop = f.new_block("pass_loop");
+    let blk_init = f.new_block("blk_init");
+    let loop_bb = f.new_block("loop");
+    let body = f.new_block("body");
+    let pass_next = f.new_block("pass_next");
+    let exit = f.new_block("exit");
+    f.call_void(expand_f, vec![]);
+    f.store_scalar(sum_v, 0);
+    let pass = f.copy(0);
+    let blk = f.copy(0);
+    f.br(pass_loop);
+    f.switch_to(pass_loop);
+    f.set_max_iters(pass_loop, PASSES as u64 + 1);
+    let pfin = f.cmp(CmpOp::SGe, pass, PASSES as i32);
+    f.cond_br(pfin, exit, blk_init);
+    f.switch_to(blk_init);
+    f.copy_to(blk, 0);
+    f.br(loop_bb);
+    f.switch_to(loop_bb);
+    f.set_max_iters(loop_bb, N_BLOCKS as u64 + 1);
+    let fin = f.cmp(CmpOp::SGe, blk, N_BLOCKS as i32);
+    f.cond_br(fin, pass_next, body);
+    f.switch_to(body);
+    let c = f.call(encrypt_f, vec![Operand::Reg(blk)]);
+    let s0 = f.load_scalar(sum_v);
+    let s1 = f.bin(BinOp::Xor, s0, c);
+    f.store_scalar(sum_v, s1);
+    let b2 = f.bin(BinOp::Add, blk, 1);
+    f.copy_to(blk, b2);
+    f.br(loop_bb);
+    f.switch_to(pass_next);
+    let p2 = f.bin(BinOp::Add, pass, 1);
+    f.copy_to(pass, p2);
+    f.br(pass_loop);
+    f.switch_to(exit);
+    let out = f.load_scalar(sum_v);
+    f.ret(Some(out.into()));
+    let main = mb.func(f.finish());
+    mb.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_emu::{run, InstrumentedModule, RunConfig};
+
+    #[test]
+    fn sbox_matches_fips197_spot_values() {
+        let sb = sbox();
+        assert_eq!(sb[0x00], 0x63);
+        assert_eq!(sb[0x01], 0x7C);
+        assert_eq!(sb[0x53], 0xED);
+        assert_eq!(sb[0xFF], 0x16);
+    }
+
+    #[test]
+    fn encrypt_matches_fips197_vector() {
+        // FIPS-197 appendix B: key 2b7e1516...; plaintext 3243f6a8...
+        let key_bytes: [u8; 16] = [
+            0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
+            0x4F, 0x3C,
+        ];
+        let pt_bytes: [u8; 16] = [
+            0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37,
+            0x07, 0x34,
+        ];
+        let ct_bytes: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC, 0x09, 0xFB, 0xDC, 0x11, 0x85, 0x97, 0x19, 0x6A,
+            0x0B, 0x32,
+        ];
+        let pack = |b: &[u8; 16]| {
+            let mut w = [0u32; 4];
+            for col in 0..4 {
+                for row in 0..4 {
+                    w[col] |= u32::from(b[4 * col + row]) << (8 * row);
+                }
+            }
+            w
+        };
+        let sb = sbox();
+        let rk = expand_key(pack(&key_bytes), &sb);
+        assert_eq!(encrypt_block(pack(&pt_bytes), &rk, &sb), pack(&ct_bytes));
+    }
+
+    #[test]
+    fn emulated_matches_oracle() {
+        for seed in [0, 11] {
+            let im = InstrumentedModule::bare(build(seed));
+            let out = run(&im, RunConfig::default()).unwrap();
+            assert!(out.completed());
+            assert_eq!(out.result, Some(oracle(seed)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn is_a_long_kernel() {
+        let im = InstrumentedModule::bare(build(1));
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert!(
+            out.metrics.active_cycles > 800_000,
+            "cycles = {}",
+            out.metrics.active_cycles
+        );
+    }
+
+    #[test]
+    fn fits_2kb_vm() {
+        let bytes = build(1).data_bytes();
+        assert!(bytes <= 2048, "aes data = {bytes}");
+    }
+
+    #[test]
+    fn module_verifies() {
+        assert!(schematic_ir::verify_module(&build(3)).is_empty());
+    }
+}

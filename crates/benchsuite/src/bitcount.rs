@@ -1,0 +1,208 @@
+//! `bitcount` — population count by three methods (MiBench2 `bitcnts`).
+//!
+//! Counts the set bits of each input word with (a) a 32-step shift-and-
+//! mask loop, (b) Kernighan's `n &= n - 1` loop, and (c) a 16-entry
+//! nibble lookup table, summing all three counts. Small data footprint
+//! (< 1 KB): input array of 96 words + the nibble table.
+
+use crate::inputs::SplitMix64;
+use schematic_ir::{BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Operand, Variable};
+
+/// Number of input words counted.
+pub const N_INPUTS: usize = 96;
+/// Counting passes over the array (MiBench `bitcnts` iterates too),
+/// sizing the kernel toward the paper's ≈ 0.8 M cycles.
+pub const PASSES: i32 = 8;
+
+fn nibble_table() -> Vec<i32> {
+    (0..16).map(|n: i32| n.count_ones() as i32).collect()
+}
+
+fn inputs(seed: u64) -> Vec<i32> {
+    SplitMix64::new(seed).words(N_INPUTS)
+}
+
+/// Native reference result.
+pub fn oracle(seed: u64) -> i32 {
+    let mut total: i32 = 0;
+    for _ in 0..PASSES {
+        for v in inputs(seed) {
+            // Three methods all count the same bits; the kernel sums
+            // them to exercise distinct access patterns.
+            total = total.wrapping_add(3 * v.count_ones() as i32);
+        }
+    }
+    total
+}
+
+/// Builds the IR module.
+pub fn build(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("bitcount");
+    let data = mb.var(Variable::array("data", N_INPUTS).with_init(inputs(seed)));
+    let table = mb.var(Variable::array("nibble_table", 16).with_init(nibble_table()));
+    let total_v = mb.var(Variable::scalar("total"));
+
+    // --- method (a): shift loop ------------------------------------------
+    let mut fa = FunctionBuilder::new("count_shift", 1);
+    let loop_bb = fa.new_block("loop");
+    let body = fa.new_block("body");
+    let done_bb = fa.new_block("done");
+    let n = fa.params()[0];
+    let cnt = fa.copy(0);
+    let k = fa.copy(0);
+    fa.br(loop_bb);
+    fa.switch_to(loop_bb);
+    fa.set_max_iters(loop_bb, 33);
+    let fin = fa.cmp(CmpOp::SGe, k, 32);
+    fa.cond_br(fin, done_bb, body);
+    fa.switch_to(body);
+    let sh = fa.bin(BinOp::LShr, n, k);
+    let bit = fa.bin(BinOp::And, sh, 1);
+    let c2 = fa.bin(BinOp::Add, cnt, bit);
+    fa.copy_to(cnt, c2);
+    let k2 = fa.bin(BinOp::Add, k, 1);
+    fa.copy_to(k, k2);
+    fa.br(loop_bb);
+    fa.switch_to(done_bb);
+    fa.ret(Some(cnt.into()));
+    let count_shift = mb.func(fa.finish());
+
+    // --- method (b): Kernighan -------------------------------------------
+    let mut fb = FunctionBuilder::new("count_kernighan", 1);
+    let loop_bb = fb.new_block("loop");
+    let body = fb.new_block("body");
+    let done_bb = fb.new_block("done");
+    let n = fb.params()[0];
+    let cnt = fb.copy(0);
+    fb.br(loop_bb);
+    fb.switch_to(loop_bb);
+    fb.set_max_iters(loop_bb, 33);
+    let z = fb.cmp(CmpOp::Eq, n, 0);
+    fb.cond_br(z, done_bb, body);
+    fb.switch_to(body);
+    let m1 = fb.bin(BinOp::Sub, n, 1);
+    let n2 = fb.bin(BinOp::And, n, m1);
+    fb.copy_to(n, n2);
+    let c2 = fb.bin(BinOp::Add, cnt, 1);
+    fb.copy_to(cnt, c2);
+    fb.br(loop_bb);
+    fb.switch_to(done_bb);
+    fb.ret(Some(cnt.into()));
+    let count_kernighan = mb.func(fb.finish());
+
+    // --- method (c): nibble table ------------------------------------------
+    let mut fc = FunctionBuilder::new("count_nibbles", 1);
+    let loop_bb = fc.new_block("loop");
+    let body = fc.new_block("body");
+    let done_bb = fc.new_block("done");
+    let n = fc.params()[0];
+    let cnt = fc.copy(0);
+    let k = fc.copy(0);
+    fc.br(loop_bb);
+    fc.switch_to(loop_bb);
+    fc.set_max_iters(loop_bb, 9);
+    let fin = fc.cmp(CmpOp::SGe, k, 8);
+    fc.cond_br(fin, done_bb, body);
+    fc.switch_to(body);
+    let sh_amount = fc.bin(BinOp::Mul, k, 4);
+    let sh = fc.bin(BinOp::LShr, n, sh_amount);
+    let nib = fc.bin(BinOp::And, sh, 0xF);
+    let t = fc.load_idx(table, nib);
+    let c2 = fc.bin(BinOp::Add, cnt, t);
+    fc.copy_to(cnt, c2);
+    let k2 = fc.bin(BinOp::Add, k, 1);
+    fc.copy_to(k, k2);
+    fc.br(loop_bb);
+    fc.switch_to(done_bb);
+    fc.ret(Some(cnt.into()));
+    let count_nibbles = mb.func(fc.finish());
+
+    // --- main ---------------------------------------------------------------
+    let mut f = FunctionBuilder::new("main", 0);
+    let pass_loop = f.new_block("pass_loop");
+    let pass_body = f.new_block("pass_body");
+    let loop_bb = f.new_block("loop");
+    let body = f.new_block("body");
+    let pass_next = f.new_block("pass_next");
+    let exit = f.new_block("exit");
+    let pass = f.copy(0);
+    let i = f.copy(0);
+    f.store_scalar(total_v, 0);
+    f.br(pass_loop);
+    f.switch_to(pass_loop);
+    f.set_max_iters(pass_loop, PASSES as u64 + 1);
+    let pfin = f.cmp(CmpOp::SGe, pass, PASSES);
+    f.cond_br(pfin, exit, pass_body);
+    f.switch_to(pass_body);
+    f.copy_to(i, 0);
+    f.br(loop_bb);
+    f.switch_to(loop_bb);
+    f.set_max_iters(loop_bb, N_INPUTS as u64 + 1);
+    let fin = f.cmp(CmpOp::SGe, i, N_INPUTS as i32);
+    f.cond_br(fin, pass_next, body);
+    f.switch_to(body);
+    let v = f.load_idx(data, i);
+    let a = f.call(count_shift, vec![Operand::Reg(v)]);
+    let b = f.call(count_kernighan, vec![Operand::Reg(v)]);
+    let c = f.call(count_nibbles, vec![Operand::Reg(v)]);
+    let t0 = f.load_scalar(total_v);
+    let t1 = f.bin(BinOp::Add, t0, a);
+    let t2 = f.bin(BinOp::Add, t1, b);
+    let t3 = f.bin(BinOp::Add, t2, c);
+    f.store_scalar(total_v, t3);
+    let i2 = f.bin(BinOp::Add, i, 1);
+    f.copy_to(i, i2);
+    f.br(loop_bb);
+    f.switch_to(pass_next);
+    let p2 = f.bin(BinOp::Add, pass, 1);
+    f.copy_to(pass, p2);
+    f.br(pass_loop);
+    f.switch_to(exit);
+    let r = f.load_scalar(total_v);
+    f.ret(Some(r.into()));
+    let main = mb.func(f.finish());
+    mb.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_emu::{run, InstrumentedModule, RunConfig};
+
+    #[test]
+    fn emulated_matches_oracle() {
+        for seed in [0, 9, 1234] {
+            let im = InstrumentedModule::bare(build(seed));
+            let out = run(&im, RunConfig::default()).unwrap();
+            assert!(out.completed());
+            assert_eq!(out.result, Some(oracle(seed)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn oracle_counts_bits() {
+        // For any input set, the result is 3 × total popcount.
+        let total: i32 = inputs(3)
+            .iter()
+            .map(|v| v.count_ones() as i32)
+            .sum();
+        assert_eq!(oracle(3), 3 * PASSES * total);
+    }
+
+    #[test]
+    fn module_has_three_helper_functions() {
+        let m = build(1);
+        assert_eq!(m.funcs.len(), 4);
+        assert!(m.func_by_name("count_kernighan").is_some());
+    }
+
+    #[test]
+    fn fits_2kb_vm() {
+        assert!(build(1).data_bytes() <= 2048);
+    }
+
+    #[test]
+    fn module_verifies() {
+        assert!(schematic_ir::verify_module(&build(3)).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! `crc` — table-driven CRC-32 over a random message (MiBench2 `crc`).
+//!
+//! Data footprint: 256-word lookup table (1 KB) + 128-word message
+//! (512 B) + scalars ≈ 1.6 KB — fits the MSP430FR5969's 2 KB VM, which is
+//! why the paper selects `crc` for the capacitor-size study (Fig. 8).
+
+use crate::inputs::SplitMix64;
+use schematic_ir::{BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Variable};
+
+/// Message length in 32-bit words (processed byte-wise: 512 bytes).
+pub const MSG_WORDS: usize = 128;
+/// Passes over the message; the CRC state carries across passes. Sizes
+/// the kernel toward the paper's ≈ 41 k cycles.
+pub const PASSES: usize = 2;
+
+const POLY: u32 = 0xEDB8_8320;
+
+/// The standard CRC-32 (reflected) table.
+pub fn crc_table() -> Vec<i32> {
+    (0u32..256)
+        .map(|n| {
+            let mut c = n;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            c as i32
+        })
+        .collect()
+}
+
+fn message(seed: u64) -> Vec<i32> {
+    SplitMix64::new(seed).words(MSG_WORDS)
+}
+
+/// Native reference result.
+pub fn oracle(seed: u64) -> i32 {
+    let table = crc_table();
+    let msg = message(seed);
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for _ in 0..PASSES {
+        for &word in &msg {
+            for byte in 0..4 {
+                let b = ((word as u32) >> (8 * byte)) & 0xFF;
+                let idx = (crc ^ b) & 0xFF;
+                crc = (crc >> 8) ^ (table[idx as usize] as u32);
+            }
+        }
+    }
+    !crc as i32
+}
+
+/// Builds the IR module.
+pub fn build(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("crc");
+    let table = mb.var(Variable::array("crc_table", 256).with_init(crc_table()));
+    let msg = mb.var(Variable::array("message", MSG_WORDS).with_init(message(seed)));
+    let crc_v = mb.var(Variable::scalar("crc"));
+
+    let mut f = FunctionBuilder::new("main", 0);
+    let pass_loop = f.new_block("pass_loop");
+    let pass_body = f.new_block("pass_body");
+    let word_loop = f.new_block("word_loop");
+    let byte_loop = f.new_block("byte_loop");
+    let byte_body = f.new_block("byte_body");
+    let word_next = f.new_block("word_next");
+    let pass_next = f.new_block("pass_next");
+    let exit = f.new_block("exit");
+
+    // entry
+    let pass = f.copy(0);
+    let i = f.copy(0); // word index
+    f.store_scalar(crc_v, -1); // 0xFFFFFFFF
+    f.br(pass_loop);
+
+    f.switch_to(pass_loop);
+    f.set_max_iters(pass_loop, PASSES as u64 + 1);
+    let pdone = f.cmp(CmpOp::SGe, pass, PASSES as i32);
+    f.cond_br(pdone, exit, pass_body);
+    f.switch_to(pass_body);
+    f.copy_to(i, 0);
+    f.br(word_loop);
+
+    // word_loop: i < MSG_WORDS ?
+    f.switch_to(word_loop);
+    f.set_max_iters(word_loop, MSG_WORDS as u64 + 1);
+    let done = f.cmp(CmpOp::SGe, i, MSG_WORDS as i32);
+    f.cond_br(done, pass_next, byte_loop);
+
+    // byte_loop header: j = 0..4 over bytes of msg[i]
+    f.switch_to(byte_loop);
+    let j = f.copy(0);
+    f.br(byte_body);
+
+    f.switch_to(byte_body);
+    f.set_max_iters(byte_body, 5);
+    let w = f.load_idx(msg, i);
+    let shift = f.bin(BinOp::Mul, j, 8);
+    let b0 = f.bin(BinOp::LShr, w, shift);
+    let b = f.bin(BinOp::And, b0, 0xFF);
+    let c = f.load_scalar(crc_v);
+    let x = f.bin(BinOp::Xor, c, b);
+    let idx = f.bin(BinOp::And, x, 0xFF);
+    let t = f.load_idx(table, idx);
+    let c8 = f.bin(BinOp::LShr, c, 8);
+    let nc = f.bin(BinOp::Xor, c8, t);
+    f.store_scalar(crc_v, nc);
+    let j2 = f.bin(BinOp::Add, j, 1);
+    f.copy_to(j, j2);
+    let more = f.cmp(CmpOp::SLt, j, 4);
+    f.cond_br(more, byte_body, word_next);
+
+    f.switch_to(word_next);
+    let i2 = f.bin(BinOp::Add, i, 1);
+    f.copy_to(i, i2);
+    f.br(word_loop);
+
+    f.switch_to(pass_next);
+    let p2 = f.bin(BinOp::Add, pass, 1);
+    f.copy_to(pass, p2);
+    f.br(pass_loop);
+
+    f.switch_to(exit);
+    let c = f.load_scalar(crc_v);
+    let result = f.un(schematic_ir::UnOp::Not, c);
+    f.store_scalar(crc_v, result);
+    f.ret(Some(result.into()));
+
+    let main = mb.func(f.finish());
+    mb.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_emu::{run, InstrumentedModule, RunConfig};
+
+    #[test]
+    fn table_matches_known_values() {
+        let t = crc_table();
+        assert_eq!(t[0], 0);
+        assert_eq!(t[1] as u32, 0x7707_3096);
+        assert_eq!(t[255] as u32, 0x2D02_EF8D);
+    }
+
+    #[test]
+    fn oracle_matches_reference_crc32() {
+        // Cross-check the oracle against a direct bit-by-bit CRC-32.
+        let msg = message(5);
+        let mut crc: u32 = 0xFFFF_FFFF;
+        for _ in 0..PASSES {
+            for word in &msg {
+                for byte in 0..4 {
+                    let mut b = ((*word as u32) >> (8 * byte)) & 0xFF;
+                    for _ in 0..8 {
+                        let mix = (crc ^ b) & 1;
+                        crc >>= 1;
+                        if mix != 0 {
+                            crc ^= POLY;
+                        }
+                        b >>= 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(oracle(5), !crc as i32);
+    }
+
+    #[test]
+    fn emulated_matches_oracle() {
+        for seed in [0, 1, 42] {
+            let im = InstrumentedModule::bare(build(seed));
+            let out = run(&im, RunConfig::default()).unwrap();
+            assert!(out.completed());
+            assert_eq!(out.result, Some(oracle(seed)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fits_2kb_vm() {
+        assert!(build(1).data_bytes() <= 2048);
+    }
+
+    #[test]
+    fn module_verifies() {
+        assert!(schematic_ir::verify_module(&build(3)).is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(oracle(1), oracle(2));
+    }
+}

@@ -1,0 +1,329 @@
+//! `fft` — 1024-point fixed-point radix-2 FFT (MiBench2 `fft`).
+//!
+//! Q15 twiddle factors with per-stage scaling (the classic embedded
+//! fixed-point formulation), computed **in place** like MiBench's `fft`
+//! (the bit-reversal permutation swaps elements, so write-after-read
+//! hazards appear from the very first loop — which is what lets
+//! RATCHET-style WAR checkpointing make progress on this kernel).
+//! Data footprint: real and imaginary working arrays (8 KB) + twiddle
+//! tables (4 KB) ≈ 12.3 KB — the paper reports 16.7 KB; both exceed the
+//! 2 KB VM (Table I).
+
+use crate::inputs::SplitMix64;
+use schematic_ir::{BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Variable};
+
+/// FFT size (power of two).
+pub const N: usize = 1024;
+const LOG2N: usize = 10;
+
+fn twiddles() -> (Vec<i32>, Vec<i32>) {
+    let half = N / 2;
+    let mut cos_t = Vec::with_capacity(half);
+    let mut sin_t = Vec::with_capacity(half);
+    for k in 0..half {
+        let ang = 2.0 * std::f64::consts::PI * k as f64 / N as f64;
+        cos_t.push((32767.0 * ang.cos()).round() as i32);
+        sin_t.push((32767.0 * ang.sin()).round() as i32);
+    }
+    (cos_t, sin_t)
+}
+
+fn input(seed: u64) -> Vec<i32> {
+    let mut g = SplitMix64::new(seed);
+    (0..N).map(|_| (g.next_i32() & 0xFFF) - 2048).collect()
+}
+
+/// Native reference result (bit-exact mirror of the IR arithmetic).
+pub fn oracle(seed: u64) -> i32 {
+    let (cos_t, sin_t) = twiddles();
+    let mut re = input(seed);
+    let mut im = vec![0i32; N];
+    // In-place bit-reversal permutation.
+    for idx in 0..N {
+        let mut x = idx;
+        let mut rev = 0usize;
+        for _ in 0..LOG2N {
+            rev = (rev << 1) | (x & 1);
+            x >>= 1;
+        }
+        if idx < rev {
+            re.swap(idx, rev);
+        }
+    }
+    // Stages with per-stage scaling by 2.
+    let mut len = 2usize;
+    while len <= N {
+        let half = len / 2;
+        let step = N / len;
+        let mut i = 0usize;
+        while i < N {
+            for k in 0..half {
+                let wr = cos_t[k * step];
+                let wi = -sin_t[k * step];
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (xr, xi) = (re[i + k + half], im[i + k + half]);
+                let vr = (xr.wrapping_mul(wr).wrapping_sub(xi.wrapping_mul(wi))) >> 15;
+                let vi = (xr.wrapping_mul(wi).wrapping_add(xi.wrapping_mul(wr))) >> 15;
+                re[i + k] = ur.wrapping_add(vr) >> 1;
+                im[i + k] = ui.wrapping_add(vi) >> 1;
+                re[i + k + half] = ur.wrapping_sub(vr) >> 1;
+                im[i + k + half] = ui.wrapping_sub(vi) >> 1;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    let mut acc: i32 = 0;
+    for idx in 0..N {
+        acc = acc.wrapping_add(re[idx]) ^ im[idx];
+    }
+    acc
+}
+
+/// Builds the IR module.
+#[allow(clippy::too_many_lines)]
+pub fn build(seed: u64) -> Module {
+    let (cos_t, sin_t) = twiddles();
+    let mut mb = ModuleBuilder::new("fft");
+    let re_v = mb.var(Variable::array("re", N).with_init(input(seed)));
+    let im_v = mb.var(Variable::array("im", N));
+    let cos_v = mb.var(Variable::array("cos_tab", N / 2).with_init(cos_t));
+    let sin_v = mb.var(Variable::array("sin_tab", N / 2).with_init(sin_t));
+    let acc_v = mb.var(Variable::scalar("acc"));
+
+    let mut f = FunctionBuilder::new("main", 0);
+    let br_loop = f.new_block("br_loop");
+    let br_body = f.new_block("br_body");
+    let rev_loop = f.new_block("rev_loop");
+    let rev_body = f.new_block("rev_body");
+    let rev_done = f.new_block("rev_done");
+    let stage_loop = f.new_block("stage_loop");
+    let group_init = f.new_block("group_init");
+    let group_loop = f.new_block("group_loop");
+    let bf_init = f.new_block("bf_init");
+    let bf_loop = f.new_block("bf_loop");
+    let bf_body = f.new_block("bf_body");
+    let group_next = f.new_block("group_next");
+    let stage_next = f.new_block("stage_next");
+    let sum_loop = f.new_block("sum_loop");
+    let sum_body = f.new_block("sum_body");
+    let exit = f.new_block("exit");
+
+    // --- in-place bit-reversal permutation (swap when idx < rev) -----------
+    let swap_bb = f.new_block("swap");
+    let no_swap = f.new_block("no_swap");
+    let idx = f.copy(0);
+    f.store_scalar(acc_v, 0);
+    f.br(br_loop);
+
+    f.switch_to(br_loop);
+    f.set_max_iters(br_loop, N as u64 + 1);
+    let fin = f.cmp(CmpOp::SGe, idx, N as i32);
+    f.cond_br(fin, stage_loop, br_body);
+
+    f.switch_to(br_body);
+    let x = f.copy(idx);
+    let rev = f.copy(0);
+    let bit = f.copy(0);
+    f.br(rev_loop);
+    f.switch_to(rev_loop);
+    f.set_max_iters(rev_loop, LOG2N as u64 + 1);
+    let rfin = f.cmp(CmpOp::SGe, bit, LOG2N as i32);
+    f.cond_br(rfin, rev_done, rev_body);
+    f.switch_to(rev_body);
+    let r1 = f.bin(BinOp::Shl, rev, 1);
+    let lo = f.bin(BinOp::And, x, 1);
+    let r2 = f.bin(BinOp::Or, r1, lo);
+    f.copy_to(rev, r2);
+    let x2 = f.bin(BinOp::LShr, x, 1);
+    f.copy_to(x, x2);
+    let b2 = f.bin(BinOp::Add, bit, 1);
+    f.copy_to(bit, b2);
+    f.br(rev_loop);
+    f.switch_to(rev_done);
+    let lt = f.cmp(CmpOp::SLt, idx, rev);
+    f.cond_br(lt, swap_bb, no_swap);
+    f.switch_to(swap_bb);
+    let a = f.load_idx(re_v, idx);
+    let bb = f.load_idx(re_v, rev);
+    f.store_idx(re_v, idx, bb);
+    f.store_idx(re_v, rev, a);
+    f.br(no_swap);
+    f.switch_to(no_swap);
+    let i2 = f.bin(BinOp::Add, idx, 1);
+    f.copy_to(idx, i2);
+    f.br(br_loop);
+
+    // --- stages -------------------------------------------------------------
+    f.switch_to(stage_loop);
+    let len = f.copy(2);
+    f.br(group_init);
+
+    f.switch_to(group_init);
+    f.set_max_iters(group_init, LOG2N as u64 + 1);
+    let sfin = f.cmp(CmpOp::SGt, len, N as i32);
+    let half = f.bin(BinOp::AShr, len, 1);
+    let step = f.bin(BinOp::DivS, N as i32, len);
+    let gi = f.copy(0);
+    f.cond_br(sfin, sum_loop, group_loop);
+
+    f.switch_to(group_loop);
+    f.set_max_iters(group_loop, N as u64 / 2 + 1);
+    let gfin = f.cmp(CmpOp::SGe, gi, N as i32);
+    f.cond_br(gfin, stage_next, bf_init);
+
+    f.switch_to(bf_init);
+    let k = f.copy(0);
+    f.br(bf_loop);
+
+    f.switch_to(bf_loop);
+    f.set_max_iters(bf_loop, N as u64 / 2 + 1);
+    let kfin = f.cmp(CmpOp::SGe, k, half);
+    f.cond_br(kfin, group_next, bf_body);
+
+    f.switch_to(bf_body);
+    let tw = f.bin(BinOp::Mul, k, step);
+    let wr = f.load_idx(cos_v, tw);
+    let wi0 = f.load_idx(sin_v, tw);
+    let wi = f.un(schematic_ir::UnOp::Neg, wi0);
+    let a_idx = f.bin(BinOp::Add, gi, k);
+    let b_idx = f.bin(BinOp::Add, a_idx, half);
+    let ur = f.load_idx(re_v, a_idx);
+    let ui = f.load_idx(im_v, a_idx);
+    let xr = f.load_idx(re_v, b_idx);
+    let xi = f.load_idx(im_v, b_idx);
+    let m1 = f.bin(BinOp::Mul, xr, wr);
+    let m2 = f.bin(BinOp::Mul, xi, wi);
+    let d1 = f.bin(BinOp::Sub, m1, m2);
+    let vr = f.bin(BinOp::AShr, d1, 15);
+    let m3 = f.bin(BinOp::Mul, xr, wi);
+    let m4 = f.bin(BinOp::Mul, xi, wr);
+    let d2 = f.bin(BinOp::Add, m3, m4);
+    let vi = f.bin(BinOp::AShr, d2, 15);
+    let s1 = f.bin(BinOp::Add, ur, vr);
+    let s1s = f.bin(BinOp::AShr, s1, 1);
+    f.store_idx(re_v, a_idx, s1s);
+    let s2 = f.bin(BinOp::Add, ui, vi);
+    let s2s = f.bin(BinOp::AShr, s2, 1);
+    f.store_idx(im_v, a_idx, s2s);
+    let s3 = f.bin(BinOp::Sub, ur, vr);
+    let s3s = f.bin(BinOp::AShr, s3, 1);
+    f.store_idx(re_v, b_idx, s3s);
+    let s4 = f.bin(BinOp::Sub, ui, vi);
+    let s4s = f.bin(BinOp::AShr, s4, 1);
+    f.store_idx(im_v, b_idx, s4s);
+    let k2 = f.bin(BinOp::Add, k, 1);
+    f.copy_to(k, k2);
+    f.br(bf_loop);
+
+    f.switch_to(group_next);
+    let gi2 = f.bin(BinOp::Add, gi, len);
+    f.copy_to(gi, gi2);
+    f.br(group_loop);
+
+    f.switch_to(stage_next);
+    let len2 = f.bin(BinOp::Shl, len, 1);
+    f.copy_to(len, len2);
+    f.br(group_init);
+
+    // --- checksum -------------------------------------------------------------
+    f.switch_to(sum_loop);
+    f.copy_to(idx, 0);
+    let sum_head = f.new_block("sum_head");
+    f.br(sum_head);
+    f.switch_to(sum_head);
+    f.set_max_iters(sum_head, N as u64 + 1);
+    let fin = f.cmp(CmpOp::SGe, idx, N as i32);
+    f.cond_br(fin, exit, sum_body);
+    f.switch_to(sum_body);
+    let r = f.load_idx(re_v, idx);
+    let i_val = f.load_idx(im_v, idx);
+    let a0 = f.load_scalar(acc_v);
+    let a1 = f.bin(BinOp::Add, a0, r);
+    let a2 = f.bin(BinOp::Xor, a1, i_val);
+    f.store_scalar(acc_v, a2);
+    let i2 = f.bin(BinOp::Add, idx, 1);
+    f.copy_to(idx, i2);
+    f.br(sum_head);
+
+    f.switch_to(exit);
+    let out = f.load_scalar(acc_v);
+    f.ret(Some(out.into()));
+
+    let main = mb.func(f.finish());
+    mb.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_emu::{run, InstrumentedModule, RunConfig};
+
+    #[test]
+    fn twiddle_endpoints() {
+        let (c, s) = twiddles();
+        assert_eq!(c[0], 32767);
+        assert_eq!(s[0], 0);
+        // cos(pi/2) = 0, sin(pi/2) = 1 at k = N/4.
+        assert_eq!(c[N / 4], 0);
+        assert_eq!(s[N / 4], 32767);
+    }
+
+    #[test]
+    fn dc_input_concentrates_in_bin_zero() {
+        // A constant signal has all energy in bin 0: after the forward
+        // FFT with per-stage scaling the other bins are ~0 and bin 0 is
+        // the mean value.
+        let (cos_t, sin_t) = twiddles();
+        let mut re = vec![1000i32; N]; // constant input: bit-reversal is a no-op
+        let mut im = vec![0i32; N];
+        let mut len = 2usize;
+        while len <= N {
+            let half = len / 2;
+            let step = N / len;
+            let mut i = 0usize;
+            while i < N {
+                for k in 0..half {
+                    let wr = cos_t[k * step];
+                    let wi = -sin_t[k * step];
+                    let (ur, ui) = (re[i + k], im[i + k]);
+                    let (xr, xi) = (re[i + k + half], im[i + k + half]);
+                    let vr = (xr.wrapping_mul(wr).wrapping_sub(xi.wrapping_mul(wi))) >> 15;
+                    let vi = (xr.wrapping_mul(wi).wrapping_add(xi.wrapping_mul(wr))) >> 15;
+                    re[i + k] = ur.wrapping_add(vr) >> 1;
+                    im[i + k] = ui.wrapping_add(vi) >> 1;
+                    re[i + k + half] = ur.wrapping_sub(vr) >> 1;
+                    im[i + k + half] = ui.wrapping_sub(vi) >> 1;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+        assert!((re[0] - 1000).abs() <= 16, "bin0 = {}", re[0]);
+        for (i, &v) in re.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 2, "bin {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn emulated_matches_oracle() {
+        let im = InstrumentedModule::bare(build(4));
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert!(out.completed());
+        assert_eq!(out.result, Some(oracle(4)));
+    }
+
+    #[test]
+    fn exceeds_2kb_vm_with_paper_footprint() {
+        // In-place formulation: 12.3 KB (the paper's build reports
+        // 16.7 KB; both far exceed the 2 KB VM, which is the property
+        // Table I depends on).
+        let bytes = build(1).data_bytes();
+        assert!((12_000..20_000).contains(&bytes), "fft data = {bytes}");
+    }
+
+    #[test]
+    fn module_verifies() {
+        assert!(schematic_ir::verify_module(&build(3)).is_empty());
+    }
+}

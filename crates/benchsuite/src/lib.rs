@@ -1,0 +1,170 @@
+//! # schematic-benchsuite
+//!
+//! The eight MiBench2-like benchmark kernels the SCHEMATIC paper
+//! evaluates on (§IV-A.d): `aes`, `basicmath`, `bitcount`, `crc`,
+//! `dijkstra`, `fft`, `randmath`, `rc4` — hand-written in the
+//! [`schematic_ir`] IR with working-set sizes matching the paper's
+//! VM-fit analysis (Table I):
+//!
+//! | kernel    | data footprint | fits 2 KB VM? |
+//! |-----------|---------------:|:--------------|
+//! | aes       | ≈ 1.5 KB       | yes |
+//! | basicmath | < 1 KB         | yes |
+//! | bitcount  | < 1 KB         | yes |
+//! | crc       | ≈ 1.6 KB       | yes |
+//! | dijkstra  | ≈ 30 KB        | no  |
+//! | fft       | ≈ 16.7 KB      | no  |
+//! | randmath  | < 1 KB         | yes |
+//! | rc4       | ≈ 6.5 KB       | no  |
+//!
+//! Each kernel is a pure function of a seed: the same seed produces the
+//! same baked-in input data for the IR module and for the native Rust
+//! **oracle**, so the emulated result can be checked bit-exactly.
+//!
+//! ```
+//! use schematic_benchsuite as bs;
+//! use schematic_emu::{run, InstrumentedModule, RunConfig};
+//!
+//! let bench = bs::by_name("crc").unwrap();
+//! let module = (bench.build)(42);
+//! let im = InstrumentedModule::bare(module);
+//! let out = run(&im, RunConfig::default())?;
+//! assert_eq!(out.result, Some((bench.oracle)(42)));
+//! # Ok::<(), schematic_emu::EmuError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aes;
+pub mod basicmath;
+pub mod bitcount;
+pub mod crc;
+pub mod dijkstra;
+pub mod fft;
+pub mod inputs;
+pub mod randmath;
+pub mod rc4;
+
+use schematic_ir::Module;
+
+/// A benchmark kernel: IR builder plus native oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Kernel name (matches the paper's benchmark names).
+    pub name: &'static str,
+    /// Builds the IR module with inputs derived from `seed`.
+    pub build: fn(seed: u64) -> Module,
+    /// Computes the expected result natively for the same `seed`.
+    pub oracle: fn(seed: u64) -> i32,
+}
+
+/// All eight kernels, in the paper's order.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "aes",
+            build: aes::build,
+            oracle: aes::oracle,
+        },
+        Benchmark {
+            name: "basicmath",
+            build: basicmath::build,
+            oracle: basicmath::oracle,
+        },
+        Benchmark {
+            name: "bitcount",
+            build: bitcount::build,
+            oracle: bitcount::oracle,
+        },
+        Benchmark {
+            name: "crc",
+            build: crc::build,
+            oracle: crc::oracle,
+        },
+        Benchmark {
+            name: "dijkstra",
+            build: dijkstra::build,
+            oracle: dijkstra::oracle,
+        },
+        Benchmark {
+            name: "fft",
+            build: fft::build,
+            oracle: fft::oracle,
+        },
+        Benchmark {
+            name: "randmath",
+            build: randmath::build,
+            oracle: randmath::oracle,
+        },
+        Benchmark {
+            name: "rc4",
+            build: rc4::build,
+            oracle: rc4::oracle,
+        },
+    ]
+}
+
+/// Looks up a kernel by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_eight_kernels() {
+        let names: Vec<_> = all().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "aes",
+                "basicmath",
+                "bitcount",
+                "crc",
+                "dijkstra",
+                "fft",
+                "randmath",
+                "rc4"
+            ]
+        );
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("fft").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_modules_verify() {
+        for b in all() {
+            let m = (b.build)(7);
+            let errs = schematic_ir::verify_module(&m);
+            assert!(errs.is_empty(), "{}: {:?}", b.name, errs);
+        }
+    }
+
+    #[test]
+    fn table1_data_footprints() {
+        // The shape that drives Table I: which kernels fit a 2 KB VM.
+        let svm = 2048;
+        let fits = |name: &str| by_name(name).map(|b| (b.build)(1).data_bytes() <= svm);
+        for name in ["aes", "basicmath", "bitcount", "crc", "randmath"] {
+            assert_eq!(fits(name), Some(true), "{name} should fit 2 KB");
+        }
+        for name in ["dijkstra", "fft", "rc4"] {
+            assert_eq!(fits(name), Some(false), "{name} should exceed 2 KB");
+        }
+        // Order-of-magnitude match with the paper's reported sizes.
+        let bytes = |name: &str| (by_name(name).unwrap().build)(1).data_bytes();
+        let dij = bytes("dijkstra");
+        assert!((25_000..40_000).contains(&dij), "dijkstra = {dij}");
+        let fft = bytes("fft");
+        assert!((12_000..20_000).contains(&fft), "fft = {fft}");
+        let rc4 = bytes("rc4");
+        assert!((5_000..8_000).contains(&rc4), "rc4 = {rc4}");
+    }
+}

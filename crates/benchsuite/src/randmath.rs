@@ -1,0 +1,113 @@
+//! `randmath` — LCG random numbers pushed through mixed integer
+//! arithmetic (MiBench2 `rand`-style). The shortest kernel of the suite
+//! (Table II: ≈ 15 k cycles), with a tiny data footprint.
+
+use crate::inputs::SplitMix64;
+use schematic_ir::{BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Variable};
+
+/// LCG iterations.
+pub const ITERS: i32 = 160;
+
+const MUL: i32 = 1_103_515_245;
+const INC: i32 = 12_345;
+
+fn start_state(seed: u64) -> i32 {
+    SplitMix64::new(seed).next_i32()
+}
+
+/// Native reference result.
+pub fn oracle(seed: u64) -> i32 {
+    let mut x = start_state(seed);
+    let mut acc: i32 = 0;
+    for _ in 0..ITERS {
+        x = x.wrapping_mul(MUL).wrapping_add(INC);
+        let r = (((x as u32) >> 16) & 0x7FFF) as i32;
+        let d = (r & 0xFF) + 1;
+        acc = acc.wrapping_add(r).wrapping_add(r / d).wrapping_sub(r % d);
+        acc ^= r.wrapping_mul(3);
+    }
+    acc
+}
+
+/// Builds the IR module.
+pub fn build(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("randmath");
+    let state = mb.var(Variable::scalar("state").with_init(vec![start_state(seed)]));
+    let acc_v = mb.var(Variable::scalar("acc"));
+
+    let mut f = FunctionBuilder::new("main", 0);
+    let loop_bb = f.new_block("loop");
+    let body = f.new_block("body");
+    let exit = f.new_block("exit");
+
+    let i = f.copy(0);
+    f.store_scalar(acc_v, 0);
+    f.br(loop_bb);
+
+    f.switch_to(loop_bb);
+    f.set_max_iters(loop_bb, ITERS as u64 + 1);
+    let fin = f.cmp(CmpOp::SGe, i, ITERS);
+    f.cond_br(fin, exit, body);
+
+    f.switch_to(body);
+    let x0 = f.load_scalar(state);
+    let xm = f.bin(BinOp::Mul, x0, MUL);
+    let x = f.bin(BinOp::Add, xm, INC);
+    f.store_scalar(state, x);
+    let sh = f.bin(BinOp::LShr, x, 16);
+    let r = f.bin(BinOp::And, sh, 0x7FFF);
+    let dm = f.bin(BinOp::And, r, 0xFF);
+    let d = f.bin(BinOp::Add, dm, 1);
+    let q = f.bin(BinOp::DivS, r, d);
+    let m = f.bin(BinOp::RemS, r, d);
+    let a0 = f.load_scalar(acc_v);
+    let a1 = f.bin(BinOp::Add, a0, r);
+    let a2 = f.bin(BinOp::Add, a1, q);
+    let a3 = f.bin(BinOp::Sub, a2, m);
+    let r3 = f.bin(BinOp::Mul, r, 3);
+    let a4 = f.bin(BinOp::Xor, a3, r3);
+    f.store_scalar(acc_v, a4);
+    let i2 = f.bin(BinOp::Add, i, 1);
+    f.copy_to(i, i2);
+    f.br(loop_bb);
+
+    f.switch_to(exit);
+    let out = f.load_scalar(acc_v);
+    f.ret(Some(out.into()));
+
+    let main = mb.func(f.finish());
+    mb.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_emu::{run, InstrumentedModule, RunConfig};
+
+    #[test]
+    fn emulated_matches_oracle() {
+        for seed in [0, 1, 77] {
+            let im = InstrumentedModule::bare(build(seed));
+            let out = run(&im, RunConfig::default()).unwrap();
+            assert!(out.completed());
+            assert_eq!(out.result, Some(oracle(seed)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn is_the_shortest_kernel() {
+        let im = InstrumentedModule::bare(build(1));
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert!(out.metrics.active_cycles < 60_000);
+    }
+
+    #[test]
+    fn fits_2kb_vm() {
+        assert!(build(1).data_bytes() <= 2048);
+    }
+
+    #[test]
+    fn module_verifies() {
+        assert!(schematic_ir::verify_module(&build(3)).is_empty());
+    }
+}

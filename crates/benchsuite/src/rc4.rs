@@ -1,0 +1,212 @@
+//! `rc4` — RC4 key scheduling and keystream generation (MiBench2 `rc4`).
+//!
+//! The 256-entry state array plus a 1280-word output buffer put the data
+//! footprint at ≈ 6.5 KB — larger than the MSP430FR5969's 2 KB VM, which
+//! is why all-VM techniques cannot run this kernel (Table I).
+
+use crate::inputs::SplitMix64;
+use schematic_ir::{BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Variable};
+
+/// Keystream words produced per pass.
+pub const OUT_WORDS: usize = 1280;
+/// PRGA passes (the keystream continues across passes), sizing the
+/// kernel toward the paper's ≈ 0.44 M cycles without growing the data.
+pub const PASSES: usize = 5;
+/// Key length in bytes.
+pub const KEY_LEN: usize = 16;
+
+fn key(seed: u64) -> Vec<i32> {
+    SplitMix64::new(seed).bytes(KEY_LEN)
+}
+
+/// Native reference result.
+pub fn oracle(seed: u64) -> i32 {
+    let key = key(seed);
+    let mut s: Vec<i32> = (0..256).collect();
+    let mut j: i32 = 0;
+    for i in 0..256 {
+        j = (j + s[i as usize] + key[(i % KEY_LEN as i32) as usize]) & 255;
+        s.swap(i as usize, j as usize);
+    }
+    let (mut i, mut j) = (0i32, 0i32);
+    let mut acc: i32 = 0;
+    for _ in 0..PASSES {
+        for n in 0..OUT_WORDS as i32 {
+            i = (i + 1) & 255;
+            j = (j + s[i as usize]) & 255;
+            s.swap(i as usize, j as usize);
+            let k = s[((s[i as usize] + s[j as usize]) & 255) as usize];
+            let word = k ^ n;
+            acc = acc.wrapping_add(word);
+        }
+    }
+    acc
+}
+
+/// Builds the IR module.
+pub fn build(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("rc4");
+    let s_v = mb.var(Variable::array("state", 256));
+    let key_v = mb.var(Variable::array("key", KEY_LEN).with_init(key(seed)));
+    let out_v = mb.var(Variable::array("output", OUT_WORDS));
+    let acc_v = mb.var(Variable::scalar("acc"));
+
+    let mut f = FunctionBuilder::new("main", 0);
+    let init_loop = f.new_block("init_loop");
+    let init_body = f.new_block("init_body");
+    let ksa_loop = f.new_block("ksa_loop");
+    let ksa_body = f.new_block("ksa_body");
+    let prga_loop = f.new_block("prga_loop");
+    let prga_body = f.new_block("prga_body");
+    let exit = f.new_block("exit");
+
+    // entry: i = 0
+    let i = f.copy(0);
+    let j = f.copy(0);
+    f.store_scalar(acc_v, 0);
+    f.br(init_loop);
+
+    // init: state[i] = i
+    f.switch_to(init_loop);
+    f.set_max_iters(init_loop, 257);
+    let fin = f.cmp(CmpOp::SGe, i, 256);
+    f.cond_br(fin, ksa_loop, init_body);
+    f.switch_to(init_body);
+    f.store_idx(s_v, i, i);
+    let i2 = f.bin(BinOp::Add, i, 1);
+    f.copy_to(i, i2);
+    f.br(init_loop);
+
+    // KSA
+    f.switch_to(ksa_loop);
+    f.copy_to(i, 0);
+    f.copy_to(j, 0);
+    let ksa_head = f.new_block("ksa_head");
+    f.br(ksa_head);
+    f.switch_to(ksa_head);
+    f.set_max_iters(ksa_head, 257);
+    let fin = f.cmp(CmpOp::SGe, i, 256);
+    f.cond_br(fin, prga_loop, ksa_body);
+    f.switch_to(ksa_body);
+    let si = f.load_idx(s_v, i);
+    let imod = f.bin(BinOp::RemU, i, KEY_LEN as i32);
+    let kb = f.load_idx(key_v, imod);
+    let j1 = f.bin(BinOp::Add, j, si);
+    let j2 = f.bin(BinOp::Add, j1, kb);
+    let j3 = f.bin(BinOp::And, j2, 255);
+    f.copy_to(j, j3);
+    let sj = f.load_idx(s_v, j);
+    f.store_idx(s_v, i, sj);
+    f.store_idx(s_v, j, si);
+    let i2 = f.bin(BinOp::Add, i, 1);
+    f.copy_to(i, i2);
+    f.br(ksa_head);
+
+    // PRGA: PASSES passes, keystream state carries across passes.
+    f.switch_to(prga_loop);
+    f.copy_to(i, 0);
+    f.copy_to(j, 0);
+    let pass = f.copy(0);
+    let n = f.copy(0);
+    let pass_head = f.new_block("pass_head");
+    let pass_body_bb = f.new_block("pass_body");
+    let pass_next = f.new_block("pass_next");
+    let prga_head = f.new_block("prga_head");
+    f.br(pass_head);
+    f.switch_to(pass_head);
+    f.set_max_iters(pass_head, PASSES as u64 + 1);
+    let pfin = f.cmp(CmpOp::SGe, pass, PASSES as i32);
+    f.cond_br(pfin, exit, pass_body_bb);
+    f.switch_to(pass_body_bb);
+    f.copy_to(n, 0);
+    f.br(prga_head);
+    f.switch_to(prga_head);
+    f.set_max_iters(prga_head, OUT_WORDS as u64 + 1);
+    let fin = f.cmp(CmpOp::SGe, n, OUT_WORDS as i32);
+    f.cond_br(fin, pass_next, prga_body);
+    f.switch_to(prga_body);
+    let i1 = f.bin(BinOp::Add, i, 1);
+    let i2 = f.bin(BinOp::And, i1, 255);
+    f.copy_to(i, i2);
+    let si = f.load_idx(s_v, i);
+    let j1 = f.bin(BinOp::Add, j, si);
+    let j2 = f.bin(BinOp::And, j1, 255);
+    f.copy_to(j, j2);
+    let sj = f.load_idx(s_v, j);
+    f.store_idx(s_v, i, sj);
+    f.store_idx(s_v, j, si);
+    // after swap: s[i] = sj, s[j] = si
+    let sum = f.bin(BinOp::Add, sj, si);
+    let kidx = f.bin(BinOp::And, sum, 255);
+    let k = f.load_idx(s_v, kidx);
+    let word = f.bin(BinOp::Xor, k, n);
+    f.store_idx(out_v, n, word);
+    let a0 = f.load_scalar(acc_v);
+    let a1 = f.bin(BinOp::Add, a0, word);
+    f.store_scalar(acc_v, a1);
+    let n2 = f.bin(BinOp::Add, n, 1);
+    f.copy_to(n, n2);
+    f.br(prga_head);
+
+    f.switch_to(pass_next);
+    let p2 = f.bin(BinOp::Add, pass, 1);
+    f.copy_to(pass, p2);
+    f.br(pass_head);
+
+    f.switch_to(exit);
+    let out = f.load_scalar(acc_v);
+    f.ret(Some(out.into()));
+
+    let main = mb.func(f.finish());
+    mb.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_emu::{run, InstrumentedModule, RunConfig};
+
+    #[test]
+    fn emulated_matches_oracle() {
+        for seed in [0, 21] {
+            let im = InstrumentedModule::bare(build(seed));
+            let out = run(&im, RunConfig::default()).unwrap();
+            assert!(out.completed());
+            assert_eq!(out.result, Some(oracle(seed)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exceeds_2kb_vm() {
+        let bytes = build(1).data_bytes();
+        assert!(bytes > 2048, "rc4 data = {bytes}");
+        assert!((5_000..8_000).contains(&bytes));
+    }
+
+    #[test]
+    fn rc4_keystream_known_answer() {
+        // RC4 with key "Key" produces keystream EB 9F 77 81 B7 34 ...
+        // Validate the oracle's core against the classic test vector.
+        let key = b"Key";
+        let mut s: Vec<i32> = (0..256).collect();
+        let mut j: i32 = 0;
+        for i in 0..256i32 {
+            j = (j + s[i as usize] + i32::from(key[(i % 3) as usize])) & 255;
+            s.swap(i as usize, j as usize);
+        }
+        let (mut i, mut j) = (0i32, 0i32);
+        let expected: [i32; 6] = [0xEB, 0x9F, 0x77, 0x81, 0xB7, 0x34];
+        for &e in &expected {
+            i = (i + 1) & 255;
+            j = (j + s[i as usize]) & 255;
+            s.swap(i as usize, j as usize);
+            let k = s[((s[i as usize] + s[j as usize]) & 255) as usize];
+            assert_eq!(k, e);
+        }
+    }
+
+    #[test]
+    fn module_verifies() {
+        assert!(schematic_ir::verify_module(&build(3)).is_empty());
+    }
+}

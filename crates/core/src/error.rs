@@ -1,0 +1,136 @@
+//! Errors of the SCHEMATIC compilation pipeline.
+
+use schematic_energy::Energy;
+use schematic_ir::{BlockId, Edge, FuncId};
+use std::fmt;
+
+/// A failure during checkpoint placement or memory allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// The program is recursive (unsupported, §III-B.1).
+    Recursive {
+        /// A function on the cycle.
+        func: FuncId,
+    },
+    /// The module failed IR verification before the analysis ran.
+    InvalidModule {
+        /// First verifier message.
+        message: String,
+    },
+    /// A single instruction sequence cannot fit the budget even after
+    /// block splitting (e.g. one instruction's cost exceeds `EB`).
+    BudgetTooSmall {
+        /// The function affected.
+        func: FuncId,
+        /// The block whose minimal cost exceeds the budget.
+        block: BlockId,
+        /// The offending cost.
+        cost: Energy,
+        /// The budget.
+        eb: Energy,
+    },
+    /// No feasible checkpoint placement exists along a path given the
+    /// decisions inherited from earlier paths.
+    NoFeasiblePlacement {
+        /// The function affected.
+        func: FuncId,
+        /// First block of the infeasible path.
+        at: BlockId,
+    },
+    /// A callee's boundary energies cannot be bridged inside a single
+    /// caller block (two checkpointed calls too close together).
+    CallBarrierTooTight {
+        /// The caller.
+        func: FuncId,
+        /// The block containing the calls.
+        block: BlockId,
+    },
+    /// The final instrumented program failed the independent energy
+    /// verifier — an internal error worth a bug report.
+    Unsound {
+        /// Human-readable description of the violated interval.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::Recursive { func } => {
+                write!(f, "recursive call cycle through {func}")
+            }
+            PlacementError::InvalidModule { message } => {
+                write!(f, "invalid module: {message}")
+            }
+            PlacementError::BudgetTooSmall {
+                func,
+                block,
+                cost,
+                eb,
+            } => write!(
+                f,
+                "energy budget too small: {func}:{block} needs {cost} but EB = {eb}"
+            ),
+            PlacementError::NoFeasiblePlacement { func, at } => {
+                write!(f, "no feasible checkpoint placement in {func} near {at}")
+            }
+            PlacementError::CallBarrierTooTight { func, block } => write!(
+                f,
+                "checkpointed callees too close together in {func}:{block}"
+            ),
+            PlacementError::Unsound { detail } => {
+                write!(f, "placement verifier rejected the result: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Checkpoint decision for a CFG edge during the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeDecision {
+    /// Not yet considered by any analyzed path.
+    Undecided,
+    /// A checkpoint will be inserted here.
+    Enabled,
+    /// Definitively no checkpoint here (decisions are final, §III-A.3).
+    Disabled,
+}
+
+/// A decided conditional checkpoint on a loop back-edge (Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackEdgeCheckpoint {
+    /// The back-edge carrying the conditional checkpoint.
+    pub edge: Edge,
+    /// Fire every `period` iterations (1 = every iteration).
+    pub period: u32,
+}
+
+impl fmt::Display for EdgeDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeDecision::Undecided => write!(f, "?"),
+            EdgeDecision::Enabled => write!(f, "enabled"),
+            EdgeDecision::Disabled => write!(f, "disabled"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = PlacementError::BudgetTooSmall {
+            func: FuncId(0),
+            block: BlockId(1),
+            cost: Energy::from_pj(100),
+            eb: Energy::from_pj(50),
+        };
+        assert!(e.to_string().contains("budget too small"));
+        assert_eq!(EdgeDecision::Undecided.to_string(), "?");
+        assert_eq!(EdgeDecision::Enabled.to_string(), "enabled");
+    }
+}

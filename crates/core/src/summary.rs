@@ -1,0 +1,85 @@
+//! Function and loop summaries.
+//!
+//! SCHEMATIC analyzes callees before callers (§III-B.1) and inner loops
+//! before outer ones (§III-B.2). Once analyzed, a callee or loop is
+//! *final* and is represented to its surroundings by a summary:
+//!
+//! * with **no checkpoint** inside, it behaves like one opaque basic
+//!   block: a fixed worst-case energy, a fixed variable allocation, and
+//!   aggregate access counts that fold into the caller's gain function;
+//! * with **checkpoints** inside, it is a *barrier*: the surrounding
+//!   interval must deliver it with at least `entry_energy` of budget
+//!   left, and execution resumes after it having already consumed
+//!   `exit_energy` of the fresh budget.
+
+use schematic_energy::Energy;
+use schematic_ir::{AccessCount, VarId, VarSet};
+use std::collections::HashMap;
+
+/// Summary of an analyzed function, seen from its callers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FuncSummary {
+    /// Whether any checkpoint (plain or conditional) exists inside the
+    /// function or its transitive callees.
+    pub has_checkpoint: bool,
+    /// Worst-case energy from entry to the first checkpoint (whole body
+    /// if checkpoint-free).
+    pub entry_energy: Energy,
+    /// Worst-case energy from the last checkpoint to any exit (whole
+    /// body if checkpoint-free).
+    pub exit_energy: Energy,
+    /// Variables the function's own allocation keeps in VM (union over
+    /// its blocks). Imposed on callers.
+    pub vm_vars: VarSet,
+    /// Peak VM bytes the function needs while running (its own blocks
+    /// and transitive callees).
+    pub vm_bytes: usize,
+    /// Aggregate access counts with loop trip scaling, for folding into
+    /// caller gain computations (checkpoint-free callees only).
+    pub access: HashMap<VarId, AccessCount>,
+}
+
+/// Summary of an analyzed loop, seen from the enclosing region.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoopSummary {
+    /// Whether any checkpoint exists inside the loop (including its
+    /// conditional back-edge checkpoint and checkpointed callees).
+    pub has_checkpoint: bool,
+    /// Worst-case energy from the loop header to the first checkpoint
+    /// encountered (bounded by the conditional-checkpoint period).
+    pub entry_energy: Energy,
+    /// Worst-case energy from the last checkpoint inside the loop to
+    /// leaving the loop.
+    pub exit_energy: Energy,
+    /// Full worst-case energy of the loop (all trips); meaningful when
+    /// checkpoint-free.
+    pub total: Energy,
+    /// The single body allocation (checkpoint-free loops; loops with
+    /// internal checkpoints keep per-block allocations instead).
+    pub alloc: VarSet,
+    /// Peak VM bytes while the loop runs.
+    pub vm_bytes: usize,
+    /// Access counts of one pass over the whole loop (trip-scaled).
+    pub access: HashMap<VarId, AccessCount>,
+    /// Annotated maximum trip count.
+    pub max_iters: u64,
+    /// Conditional back-edge checkpoint period, if one was placed
+    /// (Algorithm 1).
+    pub backedge_period: Option<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_empty() {
+        let f = FuncSummary::default();
+        assert!(!f.has_checkpoint);
+        assert_eq!(f.entry_energy, Energy::ZERO);
+        assert!(f.vm_vars.is_empty());
+        let l = LoopSummary::default();
+        assert_eq!(l.backedge_period, None);
+        assert_eq!(l.max_iters, 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Program rewriting: block splitting and checkpoint instrumentation.
+//!
+//! The final SCHEMATIC passes (§IV-A.c) set the memory targeted by each
+//! load/store — here realized as the per-block
+//! [`schematic_emu::AllocationPlan`] — and insert save/restore
+//! operations at the selected checkpoint locations by splitting the
+//! chosen CFG edges.
+
+use crate::error::PlacementError;
+use schematic_emu::{
+    AllocationPlan, CheckpointKind, CheckpointSpec, FailurePolicy, InstrumentedModule,
+};
+use schematic_energy::{CostTable, Energy, MemClass};
+use schematic_ir::{BlockId, Edge, FuncId, Inst, Module, Terminator, VarId, VarSet};
+
+/// A planned checkpoint: edge, save/restore sets and the allocation on
+/// the checkpoint's far side.
+pub(crate) type PlannedCp = (Edge, Vec<VarId>, Vec<VarId>, VarSet);
+/// A planned conditional back-edge checkpoint (with firing period).
+pub(crate) type PlannedCondCp = (Edge, u32, Vec<VarId>, Vec<VarId>, VarSet);
+
+/// The committed decisions for one function, extracted from the analysis
+/// context before it is dropped.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FuncDecisions {
+    /// VM set per block.
+    pub alloc: Vec<VarSet>,
+    /// Plain checkpoints.
+    pub enabled: Vec<PlannedCp>,
+    /// Conditional back-edge checkpoints.
+    pub backedge: Vec<PlannedCondCp>,
+}
+
+/// Splits any block whose worst-case (all-NVM) cost exceeds half of
+/// `eb`, so that every potential checkpoint interval leaves room for the
+/// checkpoint overheads (paper footnote 2: blocks needing more than `EB`
+/// are split to fit).
+///
+/// Returns the number of splits performed.
+///
+/// # Errors
+///
+/// [`PlacementError::BudgetTooSmall`] if a single instruction exceeds
+/// the chunk budget.
+pub fn split_large_blocks(
+    module: &mut Module,
+    table: &CostTable,
+    eb: Energy,
+) -> Result<usize, PlacementError> {
+    // Leave room for the register-file checkpoint overheads around
+    // every interval; split the rest in half so two chunks always fit.
+    let overhead = table.checkpoint_commit_cost(0).energy + table.checkpoint_resume_cost(0).energy;
+    let usable = eb.saturating_sub(overhead);
+    let chunk_budget = Energy::from_pj(usable.as_pj() / 2);
+    let mut splits = 0;
+    // First, split after every call that is not already last in its
+    // block: calls are opaque cost units (their body cannot be divided
+    // by the caller), so checkpoint locations must exist between them.
+    for fid in 0..module.funcs.len() {
+        let fid = FuncId::from_usize(fid);
+        loop {
+            let mut split_at: Option<(BlockId, usize)> = None;
+            'scan: for (bid, block) in module.func(fid).iter_blocks() {
+                for (i, inst) in block.insts.iter().enumerate() {
+                    if matches!(inst, schematic_ir::Inst::Call { .. }) && i + 1 < block.insts.len()
+                    {
+                        split_at = Some((bid, i + 1));
+                        break 'scan;
+                    }
+                }
+            }
+            let Some((bid, at)) = split_at else { break };
+            let func = module.func_mut(fid);
+            let rest = func.blocks[bid.index()].insts.split_off(at);
+            let old_term = func.blocks[bid.index()].term.clone();
+            let cont = func.add_block(schematic_ir::Block {
+                name: None,
+                insts: rest,
+                term: old_term,
+            });
+            func.blocks[bid.index()].term = Terminator::Br(cont);
+            splits += 1;
+        }
+    }
+    for fid in 0..module.funcs.len() {
+        let fid = FuncId::from_usize(fid);
+        loop {
+            let mut split_at: Option<(BlockId, usize)> = None;
+            'scan: for (bid, block) in module.func(fid).iter_blocks() {
+                let mut acc = Energy::ZERO;
+                for (i, inst) in block.insts.iter().enumerate() {
+                    // Calls are barriers handled by summaries; their body
+                    // cost is not chargeable to this block's split.
+                    let cost = table.inst_cost(inst, |_| MemClass::Nvm).energy;
+                    if cost > chunk_budget {
+                        return Err(PlacementError::BudgetTooSmall {
+                            func: fid,
+                            block: bid,
+                            cost,
+                            eb,
+                        });
+                    }
+                    if acc + cost > chunk_budget {
+                        debug_assert!(i > 0);
+                        split_at = Some((bid, i));
+                        break 'scan;
+                    }
+                    acc += cost;
+                }
+            }
+            let Some((bid, at)) = split_at else { break };
+            let func = module.func_mut(fid);
+            let rest = func.blocks[bid.index()].insts.split_off(at);
+            let old_term = func.blocks[bid.index()].term.clone();
+            let cont = func.add_block(schematic_ir::Block {
+                name: None,
+                insts: rest,
+                term: old_term,
+            });
+            func.blocks[bid.index()].term = Terminator::Br(cont);
+            splits += 1;
+        }
+    }
+    Ok(splits)
+}
+
+/// Applies the decisions to (a clone of) the module, producing the
+/// instrumented program the emulator executes.
+pub(crate) fn instrument(
+    module: &Module,
+    decisions: &[FuncDecisions],
+    technique: &str,
+) -> InstrumentedModule {
+    let mut out = module.clone();
+    let mut plan = AllocationPlan::all_nvm(module);
+    let mut checkpoints: Vec<CheckpointSpec> = Vec::new();
+
+    for (fi, dec) in decisions.iter().enumerate() {
+        let fid = FuncId::from_usize(fi);
+        for (bi, set) in dec.alloc.iter().enumerate() {
+            plan.set(fid, BlockId::from_usize(bi), set.clone());
+        }
+        for (edge, save, restore, alloc_after) in &dec.enabled {
+            let id = schematic_ir::CheckpointId::from_usize(checkpoints.len());
+            checkpoints.push(CheckpointSpec {
+                save_vars: save.clone(),
+                restore_vars: restore.clone(),
+                kind: CheckpointKind::Plain,
+            });
+            let nb = out.func_mut(fid).split_edge(edge.from, edge.to);
+            out.func_mut(fid)
+                .block_mut(nb)
+                .insts
+                .push(Inst::Checkpoint { id });
+            plan.set(fid, nb, alloc_after.clone());
+        }
+        for (edge, period, save, restore, alloc_after) in &dec.backedge {
+            let id = schematic_ir::CheckpointId::from_usize(checkpoints.len());
+            checkpoints.push(CheckpointSpec {
+                save_vars: save.clone(),
+                restore_vars: restore.clone(),
+                kind: CheckpointKind::Plain,
+            });
+            let nb = out.func_mut(fid).split_edge(edge.from, edge.to);
+            out.func_mut(fid)
+                .block_mut(nb)
+                .insts
+                .push(Inst::CondCheckpoint {
+                    id,
+                    period: *period,
+                });
+            plan.set(fid, nb, alloc_after.clone());
+        }
+    }
+
+    let boot_restore: Vec<VarId> = {
+        let entry = module.entry_func();
+        let entry_block = module.func(entry).entry;
+        decisions[entry.index()]
+            .alloc
+            .get(entry_block.index())
+            .map(|set| set.iter().collect())
+            .unwrap_or_default()
+    };
+
+    InstrumentedModule {
+        technique: technique.to_string(),
+        module: out,
+        checkpoints,
+        plan,
+        policy: FailurePolicy::WaitRecharge,
+        boot_restore,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_ir::{FunctionBuilder, ModuleBuilder, Variable};
+
+    fn fat_block_module(n: usize) -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        for _ in 0..n {
+            let v = f.load_scalar(x);
+            f.store_scalar(x, v);
+        }
+        f.ret(None);
+        let main = mb.func(f.finish());
+        mb.finish(main)
+    }
+
+    #[test]
+    fn splits_fat_blocks() {
+        let mut m = fat_block_module(200);
+        let table = CostTable::msp430fr5969();
+        // One load/store pair in NVM ≈ 2.9 kpJ; 200 pairs ≈ 580 kpJ.
+        // With eb = 200 kpJ the chunk budget is 100 kpJ, so the block
+        // splits into ~6 chunks.
+        let splits = split_large_blocks(&mut m, &table, Energy::from_pj(200_000)).unwrap();
+        assert!(splits >= 4, "splits = {splits}");
+        assert!(schematic_ir::verify_module(&m).is_empty());
+        // Semantics preserved.
+        let im = schematic_emu::InstrumentedModule::bare(m);
+        let out = schematic_emu::run(&im, schematic_emu::RunConfig::default()).unwrap();
+        assert!(out.completed());
+    }
+
+    #[test]
+    fn small_blocks_untouched() {
+        let mut m = fat_block_module(3);
+        let before = m.funcs[0].blocks.len();
+        let splits =
+            split_large_blocks(&mut m, &CostTable::msp430fr5969(), Energy::from_uj(100)).unwrap();
+        assert_eq!(splits, 0);
+        assert_eq!(m.funcs[0].blocks.len(), before);
+    }
+
+    #[test]
+    fn impossible_single_instruction_errors() {
+        let mut m = fat_block_module(1);
+        let err = split_large_blocks(&mut m, &CostTable::msp430fr5969(), Energy::from_pj(10))
+            .unwrap_err();
+        assert!(matches!(err, PlacementError::BudgetTooSmall { .. }));
+    }
+
+    #[test]
+    fn instrument_inserts_checkpoints_and_plan() {
+        let m = fat_block_module(3);
+        let x = m.var_by_name("x").unwrap();
+        let mut set = VarSet::empty();
+        set.insert(x);
+        // Fake decisions: x in VM in block 0; no checkpoints.
+        let dec = vec![FuncDecisions {
+            alloc: vec![set.clone()],
+            enabled: vec![],
+            backedge: vec![],
+        }];
+        let im = instrument(&m, &dec, "Schematic");
+        assert_eq!(im.policy, FailurePolicy::WaitRecharge);
+        assert_eq!(im.boot_restore, vec![x]);
+        assert!(im.checkpoints.is_empty());
+        assert!(im.plan.get(FuncId(0), BlockId(0)).contains(x));
+        let out = schematic_emu::run(&im, schematic_emu::RunConfig::default()).unwrap();
+        assert!(out.completed());
+    }
+
+    #[test]
+    fn instrument_splits_edges_for_checkpoints() {
+        // Two blocks A -> B with a checkpoint on the edge.
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let b1 = f.new_block("b1");
+        f.store_scalar(x, 7);
+        f.br(b1);
+        f.switch_to(b1);
+        let v = f.load_scalar(x);
+        f.ret(Some(v.into()));
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+
+        let mut set = VarSet::empty();
+        set.insert(x);
+        let dec = vec![FuncDecisions {
+            alloc: vec![set.clone(), set.clone()],
+            enabled: vec![(
+                Edge::new(BlockId(0), BlockId(1)),
+                vec![x],
+                vec![x],
+                set.clone(),
+            )],
+            backedge: vec![],
+        }];
+        let im = instrument(&m, &dec, "Schematic");
+        assert_eq!(im.checkpoints.len(), 1);
+        assert_eq!(im.module.funcs[0].blocks.len(), 3);
+        let out = schematic_emu::run(&im, schematic_emu::RunConfig::default()).unwrap();
+        assert!(out.completed());
+        assert_eq!(out.result, Some(7));
+        assert_eq!(out.metrics.checkpoints_committed, 1);
+        assert_eq!(out.metrics.sleep_events, 1); // wait-mode
+    }
+}

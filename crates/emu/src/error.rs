@@ -1,0 +1,112 @@
+//! Emulator error types.
+
+use schematic_ir::{BlockId, FuncId, VarId};
+use std::fmt;
+
+/// A runtime trap: the program itself misbehaved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrapKind {
+    /// Integer division or remainder by zero (or `i32::MIN / -1`).
+    DivisionByZero,
+    /// Array index outside the variable's bounds.
+    IndexOutOfBounds {
+        /// Variable accessed.
+        var: VarId,
+        /// Offending index value.
+        index: i64,
+        /// The variable's size in words.
+        words: usize,
+    },
+    /// Call stack exceeded the configured depth limit.
+    StackOverflow {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The entry function returned no value where one was required.
+    MissingCheckpointSpec {
+        /// The unknown checkpoint id.
+        id: u32,
+    },
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapKind::DivisionByZero => write!(f, "integer division by zero"),
+            TrapKind::IndexOutOfBounds { var, index, words } => {
+                write!(f, "index {index} out of bounds for {var} ({words} words)")
+            }
+            TrapKind::StackOverflow { limit } => {
+                write!(f, "call stack exceeded {limit} frames")
+            }
+            TrapKind::MissingCheckpointSpec { id } => {
+                write!(f, "checkpoint instruction references unknown spec cp{id}")
+            }
+        }
+    }
+}
+
+/// Error aborting an emulator run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// A runtime trap, with its program location.
+    Trap {
+        /// The trap.
+        kind: TrapKind,
+        /// Function where the trap occurred.
+        func: FuncId,
+        /// Block where the trap occurred.
+        block: BlockId,
+    },
+    /// The volatile-memory footprint exceeded the configured `SVM`.
+    VmOverflow {
+        /// Bytes that would be resident.
+        needed: usize,
+        /// The configured VM capacity in bytes.
+        svm: usize,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Trap { kind, func, block } => {
+                write!(f, "trap in {func} at {block}: {kind}")
+            }
+            EmuError::VmOverflow { needed, svm } => {
+                write!(f, "VM overflow: {needed} bytes needed, SVM = {svm} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let t = TrapKind::IndexOutOfBounds {
+            var: VarId(3),
+            index: -1,
+            words: 8,
+        };
+        assert!(t.to_string().contains("out of bounds"));
+        let e = EmuError::Trap {
+            kind: t,
+            func: FuncId(0),
+            block: BlockId(2),
+        };
+        assert!(e.to_string().contains("fn0"));
+        let v = EmuError::VmOverflow {
+            needed: 4096,
+            svm: 2048,
+        };
+        assert!(v.to_string().contains("2048"));
+        assert!(TrapKind::DivisionByZero.to_string().contains("zero"));
+        assert!(TrapKind::StackOverflow { limit: 64 }.to_string().contains("64"));
+        assert!(TrapKind::MissingCheckpointSpec { id: 7 }.to_string().contains("cp7"));
+    }
+}

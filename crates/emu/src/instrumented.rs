@@ -1,0 +1,285 @@
+//! Instrumented programs: a module plus everything the intermittent
+//! runtime needs — checkpoint specs, per-block memory allocation, and the
+//! failure-handling policy.
+//!
+//! Every technique (SCHEMATIC and the four baselines) compiles a plain
+//! [`Module`] into an [`InstrumentedModule`]; the emulator executes the
+//! latter.
+
+use schematic_ir::{BlockId, CheckpointId, FuncId, Module, VarId, VarSet, WORD_BYTES};
+
+/// What happens when power fails between checkpoints (§IV-A.b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// SCHEMATIC / ROCKCLIMB: checkpoints also *sleep until the capacitor
+    /// is full*, so placement guarantees no failure mid-interval; if one
+    /// nevertheless occurs the runtime restores the last checkpoint.
+    WaitRecharge,
+    /// RATCHET / MEMENTOS / ALFRED: execution continues past checkpoints;
+    /// a power failure rolls back to the most recent committed checkpoint
+    /// and re-executes (re-execution energy is tracked separately).
+    Rollback,
+}
+
+/// When a checkpoint instruction actually commits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointKind {
+    /// Always commits.
+    Plain,
+    /// MEMENTOS-style: measures the capacitor and commits only when the
+    /// remaining charge fraction is below `threshold` (0.0–1.0).
+    Guarded {
+        /// State-of-charge fraction below which the checkpoint commits.
+        threshold: f64,
+    },
+}
+
+/// Compile-time description of one checkpoint location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointSpec {
+    /// VM-resident variables flushed to NVM when the checkpoint commits
+    /// (the registers/stack are always saved in addition).
+    pub save_vars: Vec<VarId>,
+    /// Variables loaded into VM when execution resumes from this
+    /// checkpoint (after the sleep, or after a power failure).
+    pub restore_vars: Vec<VarId>,
+    /// Commit behaviour.
+    pub kind: CheckpointKind,
+}
+
+impl CheckpointSpec {
+    /// A checkpoint saving and restoring nothing beyond registers.
+    pub fn registers_only() -> Self {
+        CheckpointSpec {
+            save_vars: Vec::new(),
+            restore_vars: Vec::new(),
+            kind: CheckpointKind::Plain,
+        }
+    }
+
+    /// Total data words saved (excluding the register file).
+    pub fn save_words(&self, module: &Module) -> usize {
+        self.save_vars.iter().map(|v| module.var(*v).words).sum()
+    }
+
+    /// Total data words restored (excluding the register file).
+    pub fn restore_words(&self, module: &Module) -> usize {
+        self.restore_vars.iter().map(|v| module.var(*v).words).sum()
+    }
+}
+
+/// Per-block VM/NVM placement of every variable.
+///
+/// `get(f, b)` is the set of variables resident in VM while block `b` of
+/// function `f` executes; everything else is accessed in NVM. SCHEMATIC
+/// computes a different set per inter-checkpoint region; the baselines
+/// use the two trivial plans [`AllocationPlan::all_nvm`] and
+/// [`AllocationPlan::all_vm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationPlan {
+    per_func: Vec<Vec<VarSet>>,
+}
+
+impl AllocationPlan {
+    /// Every variable in NVM everywhere.
+    pub fn all_nvm(module: &Module) -> Self {
+        AllocationPlan {
+            per_func: module
+                .funcs
+                .iter()
+                .map(|f| vec![VarSet::new(module.vars.len()); f.blocks.len()])
+                .collect(),
+        }
+    }
+
+    /// Every non-pinned variable in VM everywhere (MEMENTOS/ALFRED).
+    pub fn all_vm(module: &Module) -> Self {
+        let mut set = VarSet::new(module.vars.len());
+        for (v, var) in module.iter_vars() {
+            if !var.pinned_nvm {
+                set.insert(v);
+            }
+        }
+        AllocationPlan {
+            per_func: module
+                .funcs
+                .iter()
+                .map(|f| vec![set.clone(); f.blocks.len()])
+                .collect(),
+        }
+    }
+
+    /// The VM set for block `b` of function `f`.
+    ///
+    /// Blocks added after the plan was built (by instrumentation edge
+    /// splits) fall back to an empty set unless recorded via
+    /// [`AllocationPlan::set`].
+    pub fn get(&self, f: FuncId, b: BlockId) -> VarSet {
+        self.per_func
+            .get(f.index())
+            .and_then(|blocks| blocks.get(b.index()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Records the VM set for block `b` of function `f`, growing the
+    /// table as needed.
+    pub fn set(&mut self, f: FuncId, b: BlockId, vars: VarSet) {
+        if self.per_func.len() <= f.index() {
+            self.per_func.resize(f.index() + 1, Vec::new());
+        }
+        let blocks = &mut self.per_func[f.index()];
+        if blocks.len() <= b.index() {
+            blocks.resize(b.index() + 1, VarSet::empty());
+        }
+        blocks[b.index()] = vars;
+    }
+
+    /// Largest VM footprint (bytes) over all blocks — must not exceed
+    /// `SVM` for the plan to be executable (Table I's criterion).
+    pub fn peak_bytes(&self, module: &Module) -> usize {
+        let mut peak = 0;
+        for blocks in &self.per_func {
+            for set in blocks {
+                let bytes: usize = set.iter().map(|v| module.var(v).words * WORD_BYTES).sum();
+                peak = peak.max(bytes);
+            }
+        }
+        peak
+    }
+}
+
+/// A module plus its intermittency instrumentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrumentedModule {
+    /// Technique name, for reports ("Schematic", "Ratchet", ...).
+    pub technique: String,
+    /// The instrumented program (checkpoint intrinsics inserted).
+    pub module: Module,
+    /// Checkpoint table, indexed by [`CheckpointId`].
+    pub checkpoints: Vec<CheckpointSpec>,
+    /// Per-block VM/NVM placement.
+    pub plan: AllocationPlan,
+    /// Failure handling.
+    pub policy: FailurePolicy,
+    /// Variables loaded into VM at first boot (before the entry block
+    /// runs). Checked against the entry block's plan by the runtime.
+    pub boot_restore: Vec<VarId>,
+}
+
+impl InstrumentedModule {
+    /// Wraps a plain module with no checkpoints, an all-NVM plan and
+    /// rollback policy — the "bare" execution used for timing runs and
+    /// profiling (Table II).
+    pub fn bare(module: Module) -> Self {
+        let plan = AllocationPlan::all_nvm(&module);
+        InstrumentedModule {
+            technique: "bare".into(),
+            module,
+            checkpoints: Vec::new(),
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: Vec::new(),
+        }
+    }
+
+    /// Like [`InstrumentedModule::bare`] but with every non-pinned
+    /// variable in VM — the configuration the paper uses to measure
+    /// baseline execution time "with all data in VM" (Table II).
+    pub fn bare_all_vm(module: Module) -> Self {
+        let plan = AllocationPlan::all_vm(&module);
+        let boot: Vec<VarId> = plan.get(module.entry_func(), module.func(module.entry_func()).entry)
+            .iter()
+            .collect();
+        InstrumentedModule {
+            technique: "bare-vm".into(),
+            module,
+            checkpoints: Vec::new(),
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: boot,
+        }
+    }
+
+    /// Looks up a checkpoint spec.
+    pub fn spec(&self, id: CheckpointId) -> Option<&CheckpointSpec> {
+        self.checkpoints.get(id.index())
+    }
+
+    /// Registers a new checkpoint spec, returning its id.
+    pub fn add_spec(&mut self, spec: CheckpointSpec) -> CheckpointId {
+        let id = CheckpointId::from_usize(self.checkpoints.len());
+        self.checkpoints.push(spec);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_ir::{FunctionBuilder, ModuleBuilder, Variable};
+
+    fn module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.var(Variable::scalar("x"));
+        mb.var(Variable::array("a", 16).pinned());
+        let mut f = FunctionBuilder::new("main", 0);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        mb.finish(main)
+    }
+
+    #[test]
+    fn all_nvm_plan_is_empty() {
+        let m = module();
+        let plan = AllocationPlan::all_nvm(&m);
+        assert!(plan.get(FuncId(0), BlockId(0)).is_empty());
+        assert_eq!(plan.peak_bytes(&m), 0);
+    }
+
+    #[test]
+    fn all_vm_plan_skips_pinned() {
+        let m = module();
+        let plan = AllocationPlan::all_vm(&m);
+        let set = plan.get(FuncId(0), BlockId(0));
+        assert!(set.contains(VarId(0)));
+        assert!(!set.contains(VarId(1))); // pinned
+        assert_eq!(plan.peak_bytes(&m), WORD_BYTES);
+    }
+
+    #[test]
+    fn plan_set_grows_table() {
+        let m = module();
+        let mut plan = AllocationPlan::all_nvm(&m);
+        let mut set = VarSet::new(2);
+        set.insert(VarId(0));
+        plan.set(FuncId(0), BlockId(5), set.clone());
+        assert_eq!(plan.get(FuncId(0), BlockId(5)), set);
+        // Unknown locations fall back to empty.
+        assert!(plan.get(FuncId(3), BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn spec_word_counts() {
+        let m = module();
+        let spec = CheckpointSpec {
+            save_vars: vec![VarId(0), VarId(1)],
+            restore_vars: vec![VarId(1)],
+            kind: CheckpointKind::Plain,
+        };
+        assert_eq!(spec.save_words(&m), 17);
+        assert_eq!(spec.restore_words(&m), 16);
+        let r = CheckpointSpec::registers_only();
+        assert_eq!(r.save_words(&m), 0);
+    }
+
+    #[test]
+    fn bare_wrappers() {
+        let m = module();
+        let bare = InstrumentedModule::bare(m.clone());
+        assert!(bare.checkpoints.is_empty());
+        assert_eq!(bare.policy, FailurePolicy::Rollback);
+        let vm = InstrumentedModule::bare_all_vm(m);
+        assert_eq!(vm.boot_restore, vec![VarId(0)]);
+    }
+}

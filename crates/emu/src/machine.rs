@@ -1,0 +1,1296 @@
+//! The intermittent-computing interpreter.
+//!
+//! [`Machine`] executes an [`InstrumentedModule`] under a [`PowerModel`],
+//! charging every instruction's cycle and energy cost from a
+//! [`CostTable`], handling checkpoint intrinsics according to the
+//! program's [`FailurePolicy`], and rolling power failures/restores into
+//! the [`Metrics`] taxonomy of the paper's Figure 6.
+//!
+//! This is the reproduction's substitute for the SCEPTIC emulator the
+//! paper uses (§IV-A.c): execution is at IR level, power failures are
+//! periodic (TBPF), and metrics map to MSP430FR5969-like energy.
+
+use crate::error::{EmuError, TrapKind};
+use crate::instrumented::{CheckpointKind, CheckpointSpec, FailurePolicy, InstrumentedModule};
+use crate::memory::Memory;
+use crate::metrics::Metrics;
+use crate::power::{PowerModel, PowerState};
+use schematic_energy::{Cost, CostTable, MemClass};
+use schematic_ir::{
+    AccessKind, BinOp, BlockId, CheckpointId, FuncId, Inst, Operand, Reg, Terminator, UnOp, VarId,
+};
+
+/// Limits and options for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Power supply model.
+    pub power: PowerModel,
+    /// Volatile memory capacity in bytes (`SVM`); the MSP430FR5969 has
+    /// 2 KB.
+    pub svm_bytes: usize,
+    /// Abort after this many active cycles (guards non-termination).
+    pub max_active_cycles: u64,
+    /// Abort after this many power failures.
+    pub max_failures: u64,
+    /// Declare livelock after this many consecutive power failures with
+    /// no new checkpoint committed — the forward-progress test of
+    /// Table III.
+    pub livelock_threshold: u32,
+    /// Maximum call-stack depth.
+    pub max_stack: usize,
+    /// Model a retentive low-power sleep mode (e.g. MSP430 LPM3 with
+    /// SRAM retention): wait-mode checkpoints still *save* (a real
+    /// outage may strike during standby) but volatile state survives
+    /// the sleep, so nothing is restored on wake-up. This implements the
+    /// paper's §VII future-work direction and quantifies its benefit.
+    pub retentive_sleep: bool,
+    /// Record the sequence of executed blocks (for path profiling).
+    pub record_trace: bool,
+    /// Cap on recorded trace entries.
+    pub max_trace: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            power: PowerModel::Continuous,
+            svm_bytes: 2048,
+            max_active_cycles: 2_000_000_000,
+            max_failures: 1_000_000,
+            livelock_threshold: 8,
+            max_stack: 64,
+            retentive_sleep: false,
+            record_trace: false,
+            max_trace: 4_000_000,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Continuous power with tracing enabled (profiling runs).
+    pub fn profiling() -> Self {
+        RunConfig {
+            record_trace: true,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Periodic power failures every `tbpf` cycles.
+    pub fn periodic(tbpf: u64) -> Self {
+        RunConfig {
+            power: PowerModel::Periodic { tbpf },
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The program ran to completion.
+    Completed,
+    /// Forward progress was lost: repeated failures with no new
+    /// checkpoint (✗ in Table III).
+    Livelock,
+    /// The active-cycle budget was exhausted.
+    CycleLimit,
+    /// The failure budget was exhausted.
+    FailureLimit,
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Why the run ended.
+    pub status: RunStatus,
+    /// The entry function's return value, when completed.
+    pub result: Option<i32>,
+    /// Measurements.
+    pub metrics: Metrics,
+    /// Executed-block trace (empty unless requested).
+    pub trace: Vec<(FuncId, BlockId)>,
+}
+
+impl RunOutcome {
+    /// Whether the program completed (✓ in Table III).
+    pub fn completed(&self) -> bool {
+        self.status == RunStatus::Completed
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    ip: usize,
+    regs: Vec<i32>,
+    ret_dst: Option<Reg>,
+}
+
+#[derive(Debug, Clone)]
+struct Image {
+    frames: Vec<Frame>,
+    restore_vars: Vec<VarId>,
+    restore_words: usize,
+}
+
+enum Step {
+    Continue,
+    Finished(Option<i32>),
+    Failure,
+}
+
+enum ChargeCat {
+    Exec,
+    Save,
+    Restore,
+}
+
+/// The emulator.
+pub struct Machine<'a> {
+    im: &'a InstrumentedModule,
+    table: &'a CostTable,
+    config: RunConfig,
+    mem: Memory,
+    frames: Vec<Frame>,
+    power: PowerState,
+    metrics: Metrics,
+    cond_counters: Vec<u64>,
+    image: Option<Image>,
+    /// Instructions retired since the last checkpoint commit/restore.
+    epoch_insts: u64,
+    /// Furthest `epoch_insts` reached in the current epoch before a
+    /// failure — instructions below this mark are re-executions.
+    furthest: u64,
+    committed_since_failure: bool,
+    consecutive_no_progress: u32,
+    pending_failure: bool,
+    trace: Vec<(FuncId, BlockId)>,
+}
+
+impl<'a> Machine<'a> {
+    /// Prepares a machine for one run of `im`.
+    pub fn new(im: &'a InstrumentedModule, table: &'a CostTable, config: RunConfig) -> Self {
+        let mem = Memory::new(&im.module, config.svm_bytes);
+        let power = PowerState::new(config.power);
+        Machine {
+            im,
+            table,
+            config,
+            mem,
+            frames: Vec::new(),
+            power,
+            metrics: Metrics::default(),
+            cond_counters: vec![0; im.checkpoints.len()],
+            image: None,
+            epoch_insts: 0,
+            furthest: 0,
+            committed_since_failure: false,
+            consecutive_no_progress: 0,
+            pending_failure: false,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Runs the program to an outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on a runtime trap (division by zero, index
+    /// out of bounds, stack overflow) or if the VM capacity is exceeded —
+    /// both indicate an invalid program or instrumentation, not an
+    /// intermittency effect.
+    pub fn run(mut self) -> Result<RunOutcome, EmuError> {
+        self.boot()?;
+        loop {
+            if self.metrics.active_cycles > self.config.max_active_cycles {
+                return Ok(self.finish(RunStatus::CycleLimit, None));
+            }
+            if self.metrics.power_failures > self.config.max_failures {
+                return Ok(self.finish(RunStatus::FailureLimit, None));
+            }
+            match self.step()? {
+                Step::Continue => {}
+                Step::Finished(v) => return Ok(self.finish(RunStatus::Completed, v)),
+                Step::Failure => {
+                    if !self.handle_failure()? {
+                        return Ok(self.finish(RunStatus::Livelock, None));
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self, status: RunStatus, result: Option<i32>) -> RunOutcome {
+        RunOutcome {
+            status,
+            result,
+            metrics: self.metrics,
+            trace: self.trace,
+        }
+    }
+
+    // ----- power & energy accounting ------------------------------------
+
+    fn charge(&mut self, cost: Cost, cat: ChargeCat) {
+        self.metrics.active_cycles += cost.cycles;
+        match cat {
+            ChargeCat::Exec => {
+                if self.epoch_insts < self.furthest {
+                    self.metrics.reexecution += cost.energy;
+                } else {
+                    self.metrics.computation += cost.energy;
+                }
+            }
+            ChargeCat::Save => self.metrics.save += cost.energy,
+            ChargeCat::Restore => self.metrics.restore += cost.energy,
+        }
+        if self.power.advance(cost.cycles) {
+            self.pending_failure = true;
+        }
+    }
+
+    fn charge_exec_cpu(&mut self, cost: Cost) {
+        self.metrics.cpu_energy += cost.energy;
+        self.charge(cost, ChargeCat::Exec);
+    }
+
+    fn charge_exec_access(&mut self, cost: Cost, class: MemClass) {
+        match class {
+            MemClass::Vm => self.metrics.vm_access_energy += cost.energy,
+            MemClass::Nvm => self.metrics.nvm_access_energy += cost.energy,
+        }
+        self.charge(cost, ChargeCat::Exec);
+    }
+
+    // ----- boot & failure handling ---------------------------------------
+
+    fn boot(&mut self) -> Result<(), EmuError> {
+        let entry = self.im.module.entry_func();
+        let func = self.im.module.func(entry);
+        self.frames = vec![Frame {
+            func: entry,
+            block: func.entry,
+            ip: 0,
+            regs: vec![0; func.n_regs.max(1)],
+            ret_dst: None,
+        }];
+        self.record_block(entry, func.entry);
+        // Load the boot set into VM (charged as restore: it is the data
+        // staging the platform performs before the program runs).
+        let mut words = 0;
+        for &v in &self.im.boot_restore {
+            words += self.load_with_evict(v)?;
+        }
+        if words > 0 {
+            let cost = self.table.restore_words_cost(words);
+            self.charge(cost, ChargeCat::Restore);
+        }
+        self.update_peak_vm();
+        // Rollback techniques have an implicit pre-deployment checkpoint
+        // at program start so a failure before the first checkpoint
+        // restarts the program rather than wedging.
+        if self.im.policy == FailurePolicy::Rollback {
+            self.image = Some(Image {
+                frames: self.frames.clone(),
+                restore_vars: self.im.boot_restore.clone(),
+                restore_words: self
+                    .im
+                    .boot_restore
+                    .iter()
+                    .map(|v| self.im.module.var(*v).words)
+                    .sum(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Handles a power failure; returns `false` on livelock.
+    fn handle_failure(&mut self) -> Result<bool, EmuError> {
+        self.pending_failure = false;
+        self.metrics.power_failures += 1;
+        if self.im.policy == FailurePolicy::WaitRecharge {
+            // Wait-mode placement guarantees failures only strike during
+            // standby; one here means EB/WCEC was violated.
+            self.metrics.unexpected_failures += 1;
+        }
+        if self.committed_since_failure {
+            self.consecutive_no_progress = 0;
+        } else {
+            self.consecutive_no_progress += 1;
+        }
+        self.committed_since_failure = false;
+        if self.consecutive_no_progress >= self.config.livelock_threshold {
+            return Ok(false);
+        }
+
+        self.mem.lose_volatile();
+        self.power.reboot();
+        self.furthest = self.furthest.max(self.epoch_insts);
+        self.epoch_insts = 0;
+
+        // Wait-mode programs have no implicit start image: a failure
+        // before the first checkpoint restarts the program from scratch
+        // (the NVM state is still pristine because wait-mode code never
+        // writes NVM before its first checkpoint interval completes...
+        // conservatively, we restart and count on placement soundness).
+        let image = match self.image.clone() {
+            Some(img) => img,
+            None => {
+                let entry = self.im.module.entry_func();
+                let func = self.im.module.func(entry);
+                Image {
+                    frames: vec![Frame {
+                        func: entry,
+                        block: func.entry,
+                        ip: 0,
+                        regs: vec![0; func.n_regs.max(1)],
+                        ret_dst: None,
+                    }],
+                    restore_vars: self.im.boot_restore.clone(),
+                    restore_words: self
+                        .im
+                        .boot_restore
+                        .iter()
+                        .map(|v| self.im.module.var(*v).words)
+                        .sum(),
+                }
+            }
+        };
+        self.frames = image.frames;
+        let cost = self.table.checkpoint_resume_cost(image.restore_words);
+        self.charge(cost, ChargeCat::Restore);
+        self.metrics.restores += 1;
+        for &v in &image.restore_vars {
+            self.load_with_evict(v)?;
+        }
+        self.update_peak_vm();
+        if let Some(top) = self.frames.last() {
+            let (f, b) = (top.func, top.block);
+            self.record_block(f, b);
+        }
+        Ok(true)
+    }
+
+    fn update_peak_vm(&mut self) {
+        self.metrics.peak_vm_bytes = self.metrics.peak_vm_bytes.max(self.mem.resident_bytes());
+    }
+
+    /// Reconciles VM residency with the current block's allocation plan:
+    /// a *dirty* variable no longer planned for VM is written back, so
+    /// later NVM accesses can never observe stale data. Clean copies
+    /// stay resident (they agree with NVM) and are evicted lazily only
+    /// under capacity pressure — dropping them eagerly would thrash on
+    /// caller/callee plan differences. The write-back energy is charged
+    /// to the *save* category and counted in `implicit_saves`.
+    fn reconcile_residency(&mut self) {
+        let Some(top) = self.frames.last() else {
+            return;
+        };
+        let plan = self.im.plan.get(top.func, top.block);
+        for vi in 0..self.im.module.vars.len() {
+            let v = VarId::from_usize(vi);
+            if !self.mem.is_vm_valid(v) || plan.contains(v) {
+                continue;
+            }
+            if self.mem.is_dirty(v) {
+                let words = self.mem.flush_to_nvm(v);
+                let cost = self.table.save_words_cost(words);
+                self.charge(cost, ChargeCat::Save);
+                self.metrics.implicit_saves += 1;
+            }
+        }
+    }
+
+    /// Loads `var` into VM, evicting clean copies of variables outside
+    /// the current block's plan when the capacity would overflow.
+    fn load_with_evict(&mut self, var: VarId) -> Result<usize, EmuError> {
+        match self.mem.load_to_vm(var) {
+            Err(EmuError::VmOverflow { .. }) => {
+                self.evict_clean_outside_plan(var);
+                self.mem.load_to_vm(var)
+            }
+            other => other,
+        }
+    }
+
+    fn evict_clean_outside_plan(&mut self, keep: VarId) {
+        let plan = self
+            .frames
+            .last()
+            .map(|top| self.im.plan.get(top.func, top.block))
+            .unwrap_or_default();
+        for vi in 0..self.im.module.vars.len() {
+            let v = VarId::from_usize(vi);
+            if v == keep || !self.mem.is_vm_valid(v) || plan.contains(v) {
+                continue;
+            }
+            if !self.mem.is_dirty(v) {
+                self.mem.drop_vm(v);
+            }
+        }
+    }
+
+    fn record_block(&mut self, func: FuncId, block: BlockId) {
+        if self.config.record_trace && self.trace.len() < self.config.max_trace {
+            self.trace.push((func, block));
+        }
+    }
+
+    // ----- checkpoint runtime ---------------------------------------------
+
+    fn do_checkpoint(&mut self, id: CheckpointId) -> Result<(), EmuError> {
+        let spec: &CheckpointSpec = match self.im.spec(id) {
+            Some(s) => s,
+            None => {
+                return Err(self.trap(TrapKind::MissingCheckpointSpec { id: id.0 }));
+            }
+        };
+        let spec = spec.clone();
+
+        if let CheckpointKind::Guarded { threshold } = spec.kind {
+            // Voltage measurement (MEMENTOS).
+            self.charge(self.table.cond_check, ChargeCat::Exec);
+            if self.power.remaining_fraction() >= threshold {
+                self.metrics.checkpoints_skipped += 1;
+                return Ok(());
+            }
+        }
+
+        // Commit: flush data, then snapshot volatile state. If the window
+        // expires during the commit, the checkpoint is torn and does not
+        // take effect (handled by the caller seeing `pending_failure`).
+        let save_words = spec.save_words(&self.im.module);
+        let cost = self.table.checkpoint_commit_cost(save_words);
+        self.charge(cost, ChargeCat::Save);
+        if self.pending_failure {
+            return Ok(()); // torn commit: old image stays authoritative
+        }
+        for &v in &spec.save_vars {
+            self.mem.flush_to_nvm(v);
+        }
+        self.image = Some(Image {
+            frames: self.frames.clone(),
+            restore_vars: spec.restore_vars.clone(),
+            restore_words: spec.restore_words(&self.im.module),
+        });
+        self.metrics.checkpoints_committed += 1;
+        self.committed_since_failure = true;
+        self.furthest = 0;
+        self.epoch_insts = 0;
+
+        match self.im.policy {
+            FailurePolicy::WaitRecharge => {
+                self.metrics.sleep_events += 1;
+                self.power.replenish();
+                self.pending_failure = false;
+                if self.config.retentive_sleep {
+                    // §VII future work: a retentive sleep mode (LPM with
+                    // SRAM retention) keeps volatile state alive through
+                    // the standby, so nothing is restored on wake-up.
+                } else {
+                    // Fig. 3: deep sleep loses VM, so everything needed
+                    // is restored on wake-up.
+                    self.mem.lose_volatile();
+                    let cost = self.table.checkpoint_resume_cost(
+                        self.image.as_ref().expect("just set").restore_words,
+                    );
+                    self.charge(cost, ChargeCat::Restore);
+                    self.metrics.restores += 1;
+                    for &v in &spec.restore_vars {
+                        self.load_with_evict(v)?;
+                    }
+                }
+            }
+            FailurePolicy::Rollback => {
+                // Execution continues; the checkpoint is also where the
+                // allocation may change: drop what leaves VM, load what
+                // enters.
+                for &v in &spec.save_vars {
+                    if !spec.restore_vars.contains(&v) {
+                        self.mem.drop_vm(v);
+                    }
+                }
+                let mut migrate_words = 0;
+                for &v in &spec.restore_vars {
+                    migrate_words += self.load_with_evict(v)?;
+                }
+                if migrate_words > 0 {
+                    let cost = self.table.restore_words_cost(migrate_words);
+                    self.charge(cost, ChargeCat::Restore);
+                }
+            }
+        }
+        self.update_peak_vm();
+        Ok(())
+    }
+
+    // ----- instruction execution -------------------------------------------
+
+    fn trap(&self, kind: TrapKind) -> EmuError {
+        let top = self.frames.last().expect("active frame");
+        EmuError::Trap {
+            kind,
+            func: top.func,
+            block: top.block,
+        }
+    }
+
+    fn eval(&self, op: Operand) -> i32 {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => self.frames.last().expect("active frame").regs[r.index()],
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: i32) {
+        self.frames.last_mut().expect("active frame").regs[r.index()] = v;
+    }
+
+    fn var_class(&self, func: FuncId, block: BlockId, var: VarId) -> MemClass {
+        if self.im.module.var(var).pinned_nvm {
+            return MemClass::Nvm;
+        }
+        if self.im.plan.get(func, block).contains(var) {
+            MemClass::Vm
+        } else {
+            MemClass::Nvm
+        }
+    }
+
+    fn ensure_vm_for_read(&mut self, var: VarId) -> Result<(), EmuError> {
+        if !self.mem.is_vm_valid(var) {
+            let words = self.load_with_evict(var)?;
+            let cost = self.table.restore_words_cost(words);
+            self.charge(cost, ChargeCat::Restore);
+            self.metrics.implicit_restores += 1;
+            self.update_peak_vm();
+        }
+        Ok(())
+    }
+
+    fn exec_load(&mut self, dst: Reg, var: VarId, idx: Option<Operand>) -> Result<(), EmuError> {
+        let top = self.frames.last().expect("active frame");
+        let (func, block) = (top.func, top.block);
+        let index = idx.map(|o| self.eval(o) as i64).unwrap_or(0);
+        let class = self.var_class(func, block, var);
+        self.charge_exec_cpu(Cost::new(
+            self.table.load_cycles,
+            schematic_energy::Energy::from_pj(self.table.cpu_pj_per_cycle) * self.table.load_cycles,
+        ));
+        let value = match class {
+            MemClass::Vm => {
+                self.ensure_vm_for_read(var)?;
+                self.metrics.vm_reads += 1;
+                self.charge_exec_access(
+                    self.table.access_cost(MemClass::Vm, AccessKind::Read),
+                    MemClass::Vm,
+                );
+                self.mem.vm_read(var, index).map_err(|k| self.trap(k))?
+            }
+            MemClass::Nvm => {
+                self.metrics.nvm_reads += 1;
+                self.charge_exec_access(
+                    self.table.access_cost(MemClass::Nvm, AccessKind::Read),
+                    MemClass::Nvm,
+                );
+                self.mem.nvm_read(var, index).map_err(|k| self.trap(k))?
+            }
+        };
+        self.set_reg(dst, value);
+        Ok(())
+    }
+
+    fn exec_store(&mut self, var: VarId, idx: Option<Operand>, src: Operand) -> Result<(), EmuError> {
+        let top = self.frames.last().expect("active frame");
+        let (func, block) = (top.func, top.block);
+        let index = idx.map(|o| self.eval(o) as i64).unwrap_or(0);
+        let value = self.eval(src);
+        let class = self.var_class(func, block, var);
+        self.charge_exec_cpu(Cost::new(
+            self.table.store_cycles,
+            schematic_energy::Energy::from_pj(self.table.cpu_pj_per_cycle) * self.table.store_cycles,
+        ));
+        match class {
+            MemClass::Vm => {
+                if !self.mem.is_vm_valid(var) {
+                    if idx.is_none() {
+                        // Full scalar overwrite: no restore needed.
+                        if let Err(EmuError::VmOverflow { .. }) = self.mem.alloc_vm_uninit(var) {
+                            self.evict_clean_outside_plan(var);
+                            self.mem.alloc_vm_uninit(var)?;
+                        }
+                        self.update_peak_vm();
+                    } else {
+                        self.ensure_vm_for_read(var)?;
+                    }
+                }
+                self.metrics.vm_writes += 1;
+                self.charge_exec_access(
+                    self.table.access_cost(MemClass::Vm, AccessKind::Write),
+                    MemClass::Vm,
+                );
+                self.mem.vm_write(var, index, value).map_err(|k| self.trap(k))?;
+            }
+            MemClass::Nvm => {
+                if self.mem.nvm_write_would_clobber(var) {
+                    self.metrics.coherence_violations += 1;
+                }
+                self.metrics.nvm_writes += 1;
+                self.charge_exec_access(
+                    self.table.access_cost(MemClass::Nvm, AccessKind::Write),
+                    MemClass::Nvm,
+                );
+                self.mem.nvm_write(var, index, value).map_err(|k| self.trap(k))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_bin(&self, op: BinOp, lhs: i32, rhs: i32) -> Result<i32, TrapKind> {
+        Ok(match op {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::DivS => {
+                if rhs == 0 || (lhs == i32::MIN && rhs == -1) {
+                    return Err(TrapKind::DivisionByZero);
+                }
+                lhs / rhs
+            }
+            BinOp::DivU => {
+                if rhs == 0 {
+                    return Err(TrapKind::DivisionByZero);
+                }
+                ((lhs as u32) / (rhs as u32)) as i32
+            }
+            BinOp::RemS => {
+                if rhs == 0 || (lhs == i32::MIN && rhs == -1) {
+                    return Err(TrapKind::DivisionByZero);
+                }
+                lhs % rhs
+            }
+            BinOp::RemU => {
+                if rhs == 0 {
+                    return Err(TrapKind::DivisionByZero);
+                }
+                ((lhs as u32) % (rhs as u32)) as i32
+            }
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => lhs.wrapping_shl(rhs as u32),
+            BinOp::LShr => ((lhs as u32).wrapping_shr(rhs as u32)) as i32,
+            BinOp::AShr => lhs.wrapping_shr(rhs as u32),
+        })
+    }
+
+    fn step(&mut self) -> Result<Step, EmuError> {
+        let top = self.frames.last().expect("active frame");
+        let func = self.im.module.func(top.func);
+        let block = func.block(top.block);
+        let ip = top.ip;
+
+        if ip < block.insts.len() {
+            let inst = block.insts[ip].clone();
+            self.frames.last_mut().expect("active frame").ip += 1;
+            self.exec_inst(&inst)?;
+            self.metrics.insts_retired += 1;
+            self.epoch_insts += 1;
+        } else {
+            let term = block.term.clone();
+            let cost = self.table.term_cost(&term);
+            self.charge_exec_cpu(cost);
+            match term {
+                Terminator::Br(t) => self.jump(t),
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let t = if self.eval(cond) != 0 { then_bb } else { else_bb };
+                    self.jump(t);
+                }
+                Terminator::Ret(v) => {
+                    let value = v.map(|o| self.eval(o));
+                    let finished = self.frames.len() == 1;
+                    if finished {
+                        self.frames.last_mut().expect("frame").ip = usize::MAX; // defensive
+                        return Ok(Step::Finished(value));
+                    }
+                    let done = self.frames.pop().expect("frame");
+                    if let (Some(dst), Some(val)) = (done.ret_dst, value) {
+                        self.set_reg(dst, val);
+                    }
+                    self.reconcile_residency();
+                }
+            }
+        }
+
+        if self.pending_failure {
+            self.pending_failure = false;
+            return Ok(Step::Failure);
+        }
+        Ok(Step::Continue)
+    }
+
+    fn jump(&mut self, target: BlockId) {
+        let top = self.frames.last_mut().expect("active frame");
+        top.block = target;
+        top.ip = 0;
+        let (f, b) = (top.func, top.block);
+        self.record_block(f, b);
+        self.reconcile_residency();
+    }
+
+    fn exec_inst(&mut self, inst: &Inst) -> Result<(), EmuError> {
+        match inst {
+            Inst::Bin { dst, op, lhs, rhs } => {
+                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
+                self.charge_exec_cpu(cost);
+                let l = self.eval(*lhs);
+                let r = self.eval(*rhs);
+                let v = self.eval_bin(*op, l, r).map_err(|k| self.trap(k))?;
+                self.set_reg(*dst, v);
+            }
+            Inst::Cmp { dst, op, lhs, rhs } => {
+                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
+                self.charge_exec_cpu(cost);
+                let v = op.eval(self.eval(*lhs), self.eval(*rhs));
+                self.set_reg(*dst, i32::from(v));
+            }
+            Inst::Un { dst, op, src } => {
+                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
+                self.charge_exec_cpu(cost);
+                let s = self.eval(*src);
+                let v = match op {
+                    UnOp::Neg => s.wrapping_neg(),
+                    UnOp::Not => !s,
+                };
+                self.set_reg(*dst, v);
+            }
+            Inst::Copy { dst, src } => {
+                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
+                self.charge_exec_cpu(cost);
+                let v = self.eval(*src);
+                self.set_reg(*dst, v);
+            }
+            Inst::Select {
+                dst,
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
+                self.charge_exec_cpu(cost);
+                let v = if self.eval(*cond) != 0 {
+                    self.eval(*then_val)
+                } else {
+                    self.eval(*else_val)
+                };
+                self.set_reg(*dst, v);
+            }
+            Inst::Load { dst, var, idx } => self.exec_load(*dst, *var, *idx)?,
+            Inst::Store { var, idx, src } => self.exec_store(*var, *idx, *src)?,
+            Inst::Call { dst, func, args } => {
+                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
+                self.charge_exec_cpu(cost);
+                if self.frames.len() >= self.config.max_stack {
+                    return Err(self.trap(TrapKind::StackOverflow {
+                        limit: self.config.max_stack,
+                    }));
+                }
+                let callee = self.im.module.func(*func);
+                let mut regs = vec![0; callee.n_regs.max(1)];
+                for (i, a) in args.iter().enumerate() {
+                    regs[i] = self.eval(*a);
+                }
+                self.frames.push(Frame {
+                    func: *func,
+                    block: callee.entry,
+                    ip: 0,
+                    regs,
+                    ret_dst: *dst,
+                });
+                self.record_block(*func, callee.entry);
+                self.reconcile_residency();
+            }
+            Inst::Checkpoint { id } => self.do_checkpoint(*id)?,
+            Inst::CondCheckpoint { id, period } => {
+                // NVM iteration counter: increments survive failures.
+                let ctr = &mut self.cond_counters[id.index()];
+                *ctr += 1;
+                let fire = (*ctr).is_multiple_of(*period as u64);
+                self.charge(self.table.cond_check, ChargeCat::Exec);
+                if fire {
+                    self.do_checkpoint(*id)?;
+                }
+            }
+            Inst::SaveVar { var } => {
+                if self.mem.is_vm_valid(*var) && self.mem.is_dirty(*var) {
+                    let words = self.mem.flush_to_nvm(*var);
+                    let cost = self.table.save_words_cost(words);
+                    self.charge(cost, ChargeCat::Save);
+                }
+            }
+            Inst::RestoreVar { var } => {
+                if self.mem.is_vm_valid(*var) {
+                    // Validity guard only.
+                    self.charge(self.table.cond_check, ChargeCat::Exec);
+                } else {
+                    let var = *var;
+                    let words = self.load_with_evict(var)?;
+                    let cost = self.table.restore_words_cost(words);
+                    self.charge(cost, ChargeCat::Restore);
+                    self.metrics.restores += 1;
+                    self.update_peak_vm();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: runs `im` once under `config` with the default cost
+/// table.
+///
+/// # Errors
+///
+/// Propagates any [`EmuError`] from the run.
+pub fn run(im: &InstrumentedModule, config: RunConfig) -> Result<RunOutcome, EmuError> {
+    Machine::new(im, &CostTable::msp430fr5969(), config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrumented::AllocationPlan;
+    use schematic_ir::{CmpOp, FunctionBuilder, ModuleBuilder, Variable};
+
+    fn sum_module() -> schematic_ir::Module {
+        let mut mb = ModuleBuilder::new("sum");
+        let arr = mb.var(Variable::array("array", 8).with_init((1..=8).collect()));
+        let sum = mb.var(Variable::scalar("sum"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let loop_bb = f.new_block("loop");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.copy(0);
+        f.store_scalar(sum, 0);
+        f.br(loop_bb);
+        f.switch_to(loop_bb);
+        let done = f.cmp(CmpOp::SGe, i, 8);
+        f.cond_br(done, exit, body);
+        f.set_max_iters(loop_bb, 9);
+        f.switch_to(body);
+        let x = f.load_idx(arr, i);
+        let acc = f.load_scalar(sum);
+        let acc2 = f.bin(BinOp::Add, acc, x);
+        f.store_scalar(sum, acc2);
+        let i2 = f.bin(BinOp::Add, i, 1);
+        f.copy_to(i, i2);
+        f.br(loop_bb);
+        f.switch_to(exit);
+        let r = f.load_scalar(sum);
+        f.ret(Some(r.into()));
+        let main = mb.func(f.finish());
+        mb.finish(main)
+    }
+
+    #[test]
+    fn computes_sum_continuously() {
+        let im = InstrumentedModule::bare(sum_module());
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert!(out.completed());
+        assert_eq!(out.result, Some(36));
+        assert!(out.metrics.total_energy() > schematic_energy::Energy::ZERO);
+        assert_eq!(out.metrics.power_failures, 0);
+        assert!(out.metrics.nvm_reads > 0);
+        assert_eq!(out.metrics.vm_reads, 0); // all-NVM plan
+    }
+
+    #[test]
+    fn all_vm_plan_uses_vm() {
+        let im = InstrumentedModule::bare_all_vm(sum_module());
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert_eq!(out.result, Some(36));
+        assert_eq!(out.metrics.nvm_reads, 0);
+        assert!(out.metrics.vm_reads > 0);
+        assert!(out.metrics.peak_vm_bytes >= 9 * 4);
+    }
+
+    #[test]
+    fn vm_is_cheaper_than_nvm() {
+        let nvm = run(&InstrumentedModule::bare(sum_module()), RunConfig::default()).unwrap();
+        let vm = run(
+            &InstrumentedModule::bare_all_vm(sum_module()),
+            RunConfig::default(),
+        )
+        .unwrap();
+        assert!(vm.metrics.computation < nvm.metrics.computation);
+    }
+
+    #[test]
+    fn trace_records_blocks() {
+        let im = InstrumentedModule::bare(sum_module());
+        let out = run(&im, RunConfig::profiling()).unwrap();
+        assert!(!out.trace.is_empty());
+        // 1 entry + 9 loop headers + 8 bodies + 1 exit = 19 visits.
+        assert_eq!(out.trace.len(), 19);
+        assert_eq!(out.trace[0], (FuncId(0), BlockId(0)));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 0);
+        let z = f.copy(0);
+        let _ = f.bin(BinOp::DivS, 1, z);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let im = InstrumentedModule::bare(mb.finish(main));
+        let err = run(&im, RunConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            EmuError::Trap {
+                kind: TrapKind::DivisionByZero,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.var(Variable::array("a", 2));
+        let mut f = FunctionBuilder::new("main", 0);
+        let i = f.copy(5);
+        let _ = f.load_idx(a, i);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let im = InstrumentedModule::bare(mb.finish(main));
+        let err = run(&im, RunConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            EmuError::Trap {
+                kind: TrapKind::IndexOutOfBounds { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut add = FunctionBuilder::new("add", 2);
+        let s = add.bin(BinOp::Add, Reg(0), Reg(1));
+        add.ret(Some(s.into()));
+        let add = mb.func(add.finish());
+        let mut f = FunctionBuilder::new("main", 0);
+        let r = f.call(add, vec![Operand::Imm(30), Operand::Imm(12)]);
+        f.ret(Some(r.into()));
+        let main = mb.func(f.finish());
+        let im = InstrumentedModule::bare(mb.finish(main));
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert_eq!(out.result, Some(42));
+    }
+
+    #[test]
+    fn stack_overflow_traps() {
+        // main -> f1 -> f2 -> ... deep chain via config limit 2.
+        let mut mb = ModuleBuilder::new("m");
+        let mut leaf = FunctionBuilder::new("leaf", 0);
+        leaf.ret(None);
+        let leaf = mb.func(leaf.finish());
+        let mut mid = FunctionBuilder::new("mid", 0);
+        mid.call_void(leaf, vec![]);
+        mid.ret(None);
+        let mid = mb.func(mid.finish());
+        let mut f = FunctionBuilder::new("main", 0);
+        f.call_void(mid, vec![]);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let im = InstrumentedModule::bare(mb.finish(main));
+        let cfg = RunConfig {
+            max_stack: 2,
+            ..RunConfig::default()
+        };
+        let err = run(&im, cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            EmuError::Trap {
+                kind: TrapKind::StackOverflow { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn periodic_failures_without_checkpoints_livelock() {
+        // The sum program takes far more than 50 cycles; with rollback to
+        // the implicit start checkpoint it can never finish.
+        let im = InstrumentedModule::bare(sum_module());
+        let out = run(&im, RunConfig::periodic(50)).unwrap();
+        assert_eq!(out.status, RunStatus::Livelock);
+        assert!(out.metrics.power_failures >= 8);
+        assert!(out.metrics.reexecution > schematic_energy::Energy::ZERO);
+    }
+
+    #[test]
+    fn periodic_failures_with_large_tbpf_complete() {
+        let im = InstrumentedModule::bare(sum_module());
+        let out = run(&im, RunConfig::periodic(10_000_000)).unwrap();
+        assert!(out.completed());
+        assert_eq!(out.result, Some(36));
+        assert_eq!(out.metrics.power_failures, 0);
+    }
+
+    #[test]
+    fn checkpoints_enable_progress_under_failures() {
+        // Insert a plain checkpoint between the loads of `sum` and the
+        // store back to it (breaking the WAR dependency, as RATCHET
+        // would); every iteration commits, so even a tiny TBPF makes
+        // progress and re-execution is idempotent.
+        let mut m = sum_module();
+        let body = BlockId(2);
+        m.funcs[0].blocks[body.index()].insts.insert(
+            3,
+            Inst::Checkpoint {
+                id: CheckpointId(0),
+            },
+        );
+        let plan = AllocationPlan::all_nvm(&m);
+        let im = InstrumentedModule {
+            technique: "test".into(),
+            module: m,
+            checkpoints: vec![CheckpointSpec::registers_only()],
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: vec![],
+        };
+        let out = run(&im, RunConfig::periodic(400)).unwrap();
+        assert!(out.completed(), "status = {:?}", out.status);
+        assert_eq!(out.result, Some(36));
+        assert!(out.metrics.power_failures > 0);
+        assert!(out.metrics.checkpoints_committed >= 8);
+    }
+
+    #[test]
+    fn war_unsafe_checkpoint_reproduces_memory_anomaly() {
+        // The emulator faithfully reproduces the NVM memory-anomaly
+        // problem (§V, "nonvolatile memory is a broken time machine"):
+        // a checkpoint placed *before* the read of `sum` makes the
+        // read-modify-write non-idempotent, so rollback re-execution
+        // can double-add. This is exactly what RATCHET's WAR-breaking
+        // placement exists to prevent.
+        let mut m = sum_module();
+        let body = BlockId(2);
+        m.funcs[0].blocks[body.index()].insts.insert(
+            0,
+            Inst::Checkpoint {
+                id: CheckpointId(0),
+            },
+        );
+        let plan = AllocationPlan::all_nvm(&m);
+        let im = InstrumentedModule {
+            technique: "test".into(),
+            module: m,
+            checkpoints: vec![CheckpointSpec::registers_only()],
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: vec![],
+        };
+        // Scan TBPF values: at least one failure point must land between
+        // the NVM read-modify-write and the next checkpoint commit,
+        // re-applying an addition.
+        let overcounted = (200..2_000).step_by(37).any(|tbpf| {
+            let out = run(&im, RunConfig::periodic(tbpf)).unwrap();
+            out.completed() && out.result.unwrap() > 36
+        });
+        assert!(overcounted, "no TBPF reproduced the WAR anomaly");
+    }
+
+    #[test]
+    fn wait_recharge_sleeps_and_restores() {
+        let mut m = sum_module();
+        let body = BlockId(2);
+        m.funcs[0].blocks[body.index()].insts.insert(
+            0,
+            Inst::Checkpoint {
+                id: CheckpointId(0),
+            },
+        );
+        let plan = AllocationPlan::all_nvm(&m);
+        let im = InstrumentedModule {
+            technique: "test".into(),
+            module: m,
+            checkpoints: vec![CheckpointSpec::registers_only()],
+            plan,
+            policy: FailurePolicy::WaitRecharge,
+            boot_restore: vec![],
+        };
+        let out = run(&im, RunConfig::periodic(5_000)).unwrap();
+        assert!(out.completed());
+        assert_eq!(out.result, Some(36));
+        // Wait-mode: every checkpoint sleeps; no failures should strike
+        // mid-interval because each inter-checkpoint stretch is short.
+        assert_eq!(out.metrics.power_failures, 0);
+        assert_eq!(out.metrics.unexpected_failures, 0);
+        assert_eq!(out.metrics.sleep_events, 8);
+        assert_eq!(out.metrics.reexecution, schematic_energy::Energy::ZERO);
+        assert!(out.metrics.restore > schematic_energy::Energy::ZERO);
+    }
+
+    #[test]
+    fn retentive_sleep_skips_restores() {
+        let mut m = sum_module();
+        let body = BlockId(2);
+        m.funcs[0].blocks[body.index()].insts.insert(
+            0,
+            Inst::Checkpoint {
+                id: CheckpointId(0),
+            },
+        );
+        let plan = AllocationPlan::all_nvm(&m);
+        let im = InstrumentedModule {
+            technique: "test".into(),
+            module: m,
+            checkpoints: vec![CheckpointSpec::registers_only()],
+            plan,
+            policy: FailurePolicy::WaitRecharge,
+            boot_restore: vec![],
+        };
+        let deep = run(&im, RunConfig::periodic(5_000)).unwrap();
+        let cfg = RunConfig {
+            retentive_sleep: true,
+            ..RunConfig::periodic(5_000)
+        };
+        let retentive = Machine::new(&im, &CostTable::msp430fr5969(), cfg)
+            .run()
+            .unwrap();
+        assert_eq!(retentive.result, deep.result);
+        assert_eq!(retentive.metrics.restores, 0);
+        assert!(retentive.metrics.restore < deep.metrics.restore);
+        assert_eq!(retentive.metrics.save, deep.metrics.save);
+    }
+
+    #[test]
+    fn guarded_checkpoint_skips_when_charged() {
+        let mut m = sum_module();
+        let body = BlockId(2);
+        m.funcs[0].blocks[body.index()].insts.insert(
+            0,
+            Inst::Checkpoint {
+                id: CheckpointId(0),
+            },
+        );
+        let plan = AllocationPlan::all_nvm(&m);
+        let im = InstrumentedModule {
+            technique: "test".into(),
+            module: m,
+            checkpoints: vec![CheckpointSpec {
+                save_vars: vec![],
+                restore_vars: vec![],
+                kind: CheckpointKind::Guarded { threshold: 0.5 },
+            }],
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: vec![],
+        };
+        // Continuous power: fraction is always 1.0 >= 0.5, so every
+        // checkpoint is skipped.
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert!(out.completed());
+        assert_eq!(out.metrics.checkpoints_committed, 0);
+        assert_eq!(out.metrics.checkpoints_skipped, 8);
+    }
+
+    #[test]
+    fn cond_checkpoint_fires_periodically() {
+        let mut m = sum_module();
+        let body = BlockId(2);
+        m.funcs[0].blocks[body.index()].insts.insert(
+            0,
+            Inst::CondCheckpoint {
+                id: CheckpointId(0),
+                period: 3,
+            },
+        );
+        let plan = AllocationPlan::all_nvm(&m);
+        let im = InstrumentedModule {
+            technique: "test".into(),
+            module: m,
+            checkpoints: vec![CheckpointSpec::registers_only()],
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: vec![],
+        };
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert!(out.completed());
+        // 8 executions, fires at 3 and 6.
+        assert_eq!(out.metrics.checkpoints_committed, 2);
+    }
+
+    #[test]
+    fn cycle_limit_halts_runaway() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 0);
+        let l = f.new_block("l");
+        f.br(l);
+        f.switch_to(l);
+        f.set_max_iters(l, u64::MAX);
+        f.br(l); // infinite loop
+        let main = mb.func(f.finish());
+        let im = InstrumentedModule::bare(mb.finish(main));
+        let cfg = RunConfig {
+            max_active_cycles: 10_000,
+            ..RunConfig::default()
+        };
+        let out = run(&im, cfg).unwrap();
+        assert_eq!(out.status, RunStatus::CycleLimit);
+    }
+
+    #[test]
+    fn savevar_restorevar_roundtrip() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x").with_init(vec![5]));
+        let mut f = FunctionBuilder::new("main", 0);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let mut m = mb.finish(main);
+        m.funcs[0].blocks[0].insts = vec![
+            Inst::RestoreVar { var: x },
+            Inst::Load {
+                dst: Reg(0),
+                var: x,
+                idx: None,
+            },
+            Inst::Store {
+                var: x,
+                idx: None,
+                src: Operand::Imm(9),
+            },
+            Inst::SaveVar { var: x },
+        ];
+        m.funcs[0].blocks[0].term = Terminator::Ret(Some(Operand::Reg(Reg(0))));
+        m.funcs[0].n_regs = 1;
+        let mut plan = AllocationPlan::all_nvm(&m);
+        let mut set = schematic_ir::VarSet::new(1);
+        set.insert(x);
+        plan.set(FuncId(0), BlockId(0), set);
+        let im = InstrumentedModule {
+            technique: "test".into(),
+            module: m,
+            checkpoints: vec![],
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: vec![],
+        };
+        let out = run(&im, RunConfig::default()).unwrap();
+        assert_eq!(out.result, Some(5));
+        assert!(out.metrics.save > schematic_energy::Energy::ZERO);
+        assert!(out.metrics.restore > schematic_energy::Energy::ZERO);
+        assert_eq!(out.metrics.restores, 1);
+        assert_eq!(out.metrics.coherence_violations, 0);
+    }
+}

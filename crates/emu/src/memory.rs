@@ -1,0 +1,327 @@
+//! Hybrid VM/NVM memory state.
+//!
+//! Every variable has a *home* array in NVM. A variable may additionally
+//! have a VM copy; the copy carries a `valid` bit (cleared whenever power
+//! is lost or the variable leaves VM) and a `dirty` bit (set by VM
+//! writes, cleared when the copy is flushed to NVM). The emulator decides
+//! per access — from the allocation plan — whether to touch the VM copy
+//! or the NVM home.
+
+use crate::error::{EmuError, TrapKind};
+use schematic_ir::{Module, VarId, WORD_BYTES};
+
+/// The memory subsystem of the emulated platform.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    /// NVM home of each variable.
+    nvm: Vec<Vec<i32>>,
+    /// VM copies (allocated lazily; `None` until first VM residence).
+    vm: Vec<Option<Vec<i32>>>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    /// Bytes of VM currently holding valid copies.
+    resident_bytes: usize,
+    /// Configured VM capacity in bytes (`SVM`).
+    svm_bytes: usize,
+    /// Variable sizes, cached.
+    words: Vec<usize>,
+}
+
+impl Memory {
+    /// Initializes NVM from the module's variable initializers.
+    pub fn new(module: &Module, svm_bytes: usize) -> Self {
+        let mut nvm = Vec::with_capacity(module.vars.len());
+        for var in &module.vars {
+            let mut data = vec![0i32; var.words];
+            for (slot, &v) in data.iter_mut().zip(var.init.iter()) {
+                *slot = v;
+            }
+            nvm.push(data);
+        }
+        let n = module.vars.len();
+        Memory {
+            nvm,
+            vm: vec![None; n],
+            valid: vec![false; n],
+            dirty: vec![false; n],
+            resident_bytes: 0,
+            svm_bytes,
+            words: module.vars.iter().map(|v| v.words).collect(),
+        }
+    }
+
+    /// The configured VM capacity in bytes.
+    pub fn svm_bytes(&self) -> usize {
+        self.svm_bytes
+    }
+
+    /// Bytes of VM currently occupied by valid copies.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Whether `var` currently has a valid VM copy.
+    pub fn is_vm_valid(&self, var: VarId) -> bool {
+        self.valid[var.index()]
+    }
+
+    /// Whether `var`'s VM copy is dirty (newer than its NVM home).
+    pub fn is_dirty(&self, var: VarId) -> bool {
+        self.dirty[var.index()]
+    }
+
+    fn bounds_check(&self, var: VarId, idx: i64) -> Result<usize, TrapKind> {
+        let words = self.words[var.index()];
+        if idx < 0 || idx as usize >= words {
+            Err(TrapKind::IndexOutOfBounds {
+                var,
+                index: idx,
+                words,
+            })
+        } else {
+            Ok(idx as usize)
+        }
+    }
+
+    /// Reads a word from the NVM home.
+    pub fn nvm_read(&self, var: VarId, idx: i64) -> Result<i32, TrapKind> {
+        let i = self.bounds_check(var, idx)?;
+        Ok(self.nvm[var.index()][i])
+    }
+
+    /// Writes a word to the NVM home. A valid VM copy becomes stale and
+    /// is invalidated (its dirty data is discarded — passes must never
+    /// mix a dirty VM copy with NVM writes; see
+    /// [`Memory::nvm_write_would_clobber`]).
+    pub fn nvm_write(&mut self, var: VarId, idx: i64, value: i32) -> Result<(), TrapKind> {
+        let i = self.bounds_check(var, idx)?;
+        self.nvm[var.index()][i] = value;
+        if self.valid[var.index()] {
+            self.drop_vm(var);
+        }
+        Ok(())
+    }
+
+    /// Whether an NVM write to `var` would discard dirty VM data — a
+    /// coherence violation in the instrumentation.
+    pub fn nvm_write_would_clobber(&self, var: VarId) -> bool {
+        self.valid[var.index()] && self.dirty[var.index()]
+    }
+
+    /// Reads a word from the VM copy.
+    ///
+    /// # Errors
+    ///
+    /// The copy must be valid — the emulator fault-loads first.
+    pub fn vm_read(&self, var: VarId, idx: i64) -> Result<i32, TrapKind> {
+        let i = self.bounds_check(var, idx)?;
+        debug_assert!(self.valid[var.index()], "vm_read of invalid copy");
+        Ok(self.vm[var.index()].as_ref().expect("valid copy")[i])
+    }
+
+    /// Writes a word to the VM copy, marking it dirty.
+    pub fn vm_write(&mut self, var: VarId, idx: i64, value: i32) -> Result<(), TrapKind> {
+        let i = self.bounds_check(var, idx)?;
+        debug_assert!(self.valid[var.index()], "vm_write of invalid copy");
+        self.vm[var.index()].as_mut().expect("valid copy")[i] = value;
+        self.dirty[var.index()] = true;
+        Ok(())
+    }
+
+    /// Loads `var` into VM from its NVM home (restore data path).
+    ///
+    /// Returns the number of words copied. Errors if the VM capacity
+    /// would be exceeded.
+    pub fn load_to_vm(&mut self, var: VarId) -> Result<usize, EmuError> {
+        if self.valid[var.index()] {
+            return Ok(0); // already resident and valid
+        }
+        let words = self.words[var.index()];
+        let needed = self.resident_bytes + words * WORD_BYTES;
+        if needed > self.svm_bytes {
+            return Err(EmuError::VmOverflow {
+                needed,
+                svm: self.svm_bytes,
+            });
+        }
+        let data = self.nvm[var.index()].clone();
+        self.vm[var.index()] = Some(data);
+        self.valid[var.index()] = true;
+        self.dirty[var.index()] = false;
+        self.resident_bytes = needed;
+        Ok(words)
+    }
+
+    /// Materializes an *uninitialized* VM copy for `var` without reading
+    /// NVM — used when the first access after a checkpoint is a full
+    /// (scalar) overwrite, so no restore energy is due.
+    pub fn alloc_vm_uninit(&mut self, var: VarId) -> Result<(), EmuError> {
+        if self.valid[var.index()] {
+            return Ok(());
+        }
+        let words = self.words[var.index()];
+        let needed = self.resident_bytes + words * WORD_BYTES;
+        if needed > self.svm_bytes {
+            return Err(EmuError::VmOverflow {
+                needed,
+                svm: self.svm_bytes,
+            });
+        }
+        self.vm[var.index()] = Some(vec![0; words]);
+        self.valid[var.index()] = true;
+        self.dirty[var.index()] = true; // will be written immediately
+        self.resident_bytes = needed;
+        Ok(())
+    }
+
+    /// Flushes `var`'s VM copy to its NVM home (checkpoint save data
+    /// path). Returns the number of words written (0 if not resident).
+    /// The copy stays valid and becomes clean.
+    pub fn flush_to_nvm(&mut self, var: VarId) -> usize {
+        if !self.valid[var.index()] {
+            return 0;
+        }
+        let data = self.vm[var.index()].as_ref().expect("valid copy").clone();
+        let words = data.len();
+        self.nvm[var.index()] = data;
+        self.dirty[var.index()] = false;
+        words
+    }
+
+    /// Drops `var` from VM (allocation change), discarding the copy.
+    pub fn drop_vm(&mut self, var: VarId) {
+        if self.valid[var.index()] {
+            self.valid[var.index()] = false;
+            self.dirty[var.index()] = false;
+            self.vm[var.index()] = None;
+            self.resident_bytes -= self.words[var.index()] * WORD_BYTES;
+        }
+    }
+
+    /// Power failure: every VM copy is lost.
+    pub fn lose_volatile(&mut self) {
+        for i in 0..self.valid.len() {
+            self.valid[i] = false;
+            self.dirty[i] = false;
+            self.vm[i] = None;
+        }
+        self.resident_bytes = 0;
+    }
+
+    /// Direct read of the NVM home array (for result checking in tests).
+    pub fn nvm_slice(&self, var: VarId) -> &[i32] {
+        &self.nvm[var.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_ir::{ModuleBuilder, Variable};
+
+    fn memory(svm: usize) -> Memory {
+        let mut mb = ModuleBuilder::new("m");
+        mb.var(Variable::scalar("x").with_init(vec![7]));
+        mb.var(Variable::array("a", 4).with_init(vec![1, 2, 3]));
+        let mut f = schematic_ir::FunctionBuilder::new("main", 0);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        Memory::new(&mb.finish(main), svm)
+    }
+
+    const X: VarId = VarId(0);
+    const A: VarId = VarId(1);
+
+    #[test]
+    fn nvm_initialized_from_module() {
+        let m = memory(1024);
+        assert_eq!(m.nvm_read(X, 0).unwrap(), 7);
+        assert_eq!(m.nvm_read(A, 2).unwrap(), 3);
+        assert_eq!(m.nvm_read(A, 3).unwrap(), 0); // zero-extended
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = memory(1024);
+        assert!(m.nvm_read(A, 4).is_err());
+        assert!(m.nvm_read(A, -1).is_err());
+        assert!(m.nvm_write(X, 1, 0).is_err());
+    }
+
+    #[test]
+    fn vm_roundtrip_with_flush() {
+        let mut m = memory(1024);
+        assert_eq!(m.load_to_vm(A).unwrap(), 4);
+        assert!(m.is_vm_valid(A));
+        assert_eq!(m.resident_bytes(), 16);
+        assert_eq!(m.vm_read(A, 1).unwrap(), 2);
+        m.vm_write(A, 1, 42).unwrap();
+        assert!(m.is_dirty(A));
+        // NVM home unchanged until flush.
+        assert_eq!(m.nvm_read(A, 1).unwrap(), 2);
+        assert_eq!(m.flush_to_nvm(A), 4);
+        assert_eq!(m.nvm_read(A, 1).unwrap(), 42);
+        assert!(!m.is_dirty(A));
+        assert!(m.is_vm_valid(A)); // stays resident
+    }
+
+    #[test]
+    fn load_twice_is_free() {
+        let mut m = memory(1024);
+        assert_eq!(m.load_to_vm(X).unwrap(), 1);
+        assert_eq!(m.load_to_vm(X).unwrap(), 0);
+        assert_eq!(m.resident_bytes(), 4);
+    }
+
+    #[test]
+    fn svm_capacity_enforced() {
+        let mut m = memory(16);
+        m.load_to_vm(A).unwrap(); // 16 bytes, fills VM
+        let err = m.load_to_vm(X).unwrap_err();
+        assert!(matches!(err, EmuError::VmOverflow { .. }));
+        m.drop_vm(A);
+        assert_eq!(m.resident_bytes(), 0);
+        m.load_to_vm(X).unwrap();
+    }
+
+    #[test]
+    fn power_failure_loses_vm() {
+        let mut m = memory(1024);
+        m.load_to_vm(A).unwrap();
+        m.vm_write(A, 0, 9).unwrap();
+        m.lose_volatile();
+        assert!(!m.is_vm_valid(A));
+        assert_eq!(m.resident_bytes(), 0);
+        // NVM keeps the last flushed value.
+        assert_eq!(m.nvm_read(A, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn nvm_write_invalidates_vm_copy() {
+        let mut m = memory(1024);
+        m.load_to_vm(X).unwrap();
+        assert!(!m.nvm_write_would_clobber(X));
+        m.vm_write(X, 0, 5).unwrap();
+        assert!(m.nvm_write_would_clobber(X));
+        m.nvm_write(X, 0, 8).unwrap();
+        assert!(!m.is_vm_valid(X));
+        assert_eq!(m.nvm_read(X, 0).unwrap(), 8);
+    }
+
+    #[test]
+    fn alloc_uninit_skips_restore() {
+        let mut m = memory(1024);
+        m.alloc_vm_uninit(X).unwrap();
+        assert!(m.is_vm_valid(X));
+        assert!(m.is_dirty(X));
+        m.vm_write(X, 0, 3).unwrap();
+        assert_eq!(m.flush_to_nvm(X), 1);
+        assert_eq!(m.nvm_read(X, 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn flush_nonresident_is_noop() {
+        let mut m = memory(1024);
+        assert_eq!(m.flush_to_nvm(A), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Execution metrics: the emulator's observable output.
+//!
+//! The energy breakdown mirrors the four categories of the paper's
+//! Figure 6 (computation / save / restore / re-execution) and the finer
+//! computation split of Figure 7 (CPU vs VM accesses vs NVM accesses).
+
+use schematic_energy::{Cycles, Energy};
+
+/// Everything measured during one emulator run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    /// Energy of first-time program execution, including memory accesses
+    /// (Fig. 6 "Computation").
+    pub computation: Energy,
+    /// Energy spent committing checkpoints (Fig. 6 "Save").
+    pub save: Energy,
+    /// Energy spent restoring volatile state (Fig. 6 "Restore"),
+    /// including implicit lazy restores.
+    pub restore: Energy,
+    /// Energy spent re-executing code after rollbacks (Fig. 6
+    /// "Re-execution").
+    pub reexecution: Energy,
+
+    /// CPU-cycle baseline energy within `computation` + `reexecution`,
+    /// excluding memory-access energy (Fig. 7 "No memory accesses").
+    pub cpu_energy: Energy,
+    /// VM access energy within `computation` + `reexecution` (Fig. 7).
+    pub vm_access_energy: Energy,
+    /// NVM access energy within `computation` + `reexecution` (Fig. 7).
+    pub nvm_access_energy: Energy,
+
+    /// Active CPU cycles (excludes sleep periods).
+    pub active_cycles: Cycles,
+    /// Power failures experienced.
+    pub power_failures: u64,
+    /// Checkpoints committed (saves performed).
+    pub checkpoints_committed: u64,
+    /// Guarded checkpoints evaluated but skipped (MEMENTOS).
+    pub checkpoints_skipped: u64,
+    /// Wait-mode sleep/replenish events.
+    pub sleep_events: u64,
+    /// State restorations (after failures or wake-ups).
+    pub restores: u64,
+    /// Lazy restores triggered by a VM access to an invalid copy.
+    pub implicit_restores: u64,
+    /// Dirty VM copies written back to NVM because the variable left the
+    /// allocation plan without a checkpoint (residency reconciliation).
+    pub implicit_saves: u64,
+    /// Power failures that hit a wait-mode program mid-interval — a
+    /// violated placement guarantee (should be 0 for SCHEMATIC and
+    /// ROCKCLIMB under a sound `EB`).
+    pub unexpected_failures: u64,
+
+    /// VM word reads.
+    pub vm_reads: u64,
+    /// VM word writes.
+    pub vm_writes: u64,
+    /// NVM word reads (program accesses; checkpoint traffic excluded).
+    pub nvm_reads: u64,
+    /// NVM word writes (program accesses; checkpoint traffic excluded).
+    pub nvm_writes: u64,
+
+    /// NVM writes that discarded a dirty VM copy — a coherence bug in
+    /// the instrumentation (asserted zero by the test suite).
+    pub coherence_violations: u64,
+    /// Largest VM residency observed, in bytes.
+    pub peak_vm_bytes: usize,
+    /// Instructions retired (first executions and re-executions).
+    pub insts_retired: u64,
+}
+
+impl Metrics {
+    /// Total energy across all four categories — the bar height of
+    /// Fig. 6.
+    pub fn total_energy(&self) -> Energy {
+        self.computation + self.save + self.restore + self.reexecution
+    }
+
+    /// Fraction of program memory accesses that hit VM (§IV-E reports
+    /// 69 % on average for SCHEMATIC).
+    pub fn vm_access_fraction(&self) -> f64 {
+        let vm = self.vm_reads + self.vm_writes;
+        let total = vm + self.nvm_reads + self.nvm_writes;
+        if total == 0 {
+            0.0
+        } else {
+            vm as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_categories() {
+        let m = Metrics {
+            computation: Energy::from_pj(10),
+            save: Energy::from_pj(5),
+            restore: Energy::from_pj(3),
+            reexecution: Energy::from_pj(2),
+            ..Metrics::default()
+        };
+        assert_eq!(m.total_energy(), Energy::from_pj(20));
+    }
+
+    #[test]
+    fn vm_fraction() {
+        let m = Metrics {
+            vm_reads: 6,
+            vm_writes: 1,
+            nvm_reads: 2,
+            nvm_writes: 1,
+            ..Metrics::default()
+        };
+        assert!((m.vm_access_fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(Metrics::default().vm_access_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Power supply models.
+//!
+//! The paper's evaluation (§IV-A.c) triggers power failures periodically:
+//! the *time between power failures* (TBPF) is a fixed number of active
+//! cycles. Wait-mode techniques that sleep at a checkpoint resume at the
+//! start of the next period with a full capacitor, so sleeping simply
+//! resets the window.
+
+/// How the platform is powered during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerModel {
+    /// Stable power: no failures ever (used for timing runs and
+    /// profiling).
+    Continuous,
+    /// A power failure every `tbpf` active cycles.
+    Periodic {
+        /// Time between power failures, in cycles (> 0).
+        tbpf: u64,
+    },
+}
+
+/// Tracks the position within the current power period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerState {
+    model: PowerModel,
+    cycles_in_window: u64,
+}
+
+impl PowerState {
+    /// Creates a fully charged supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a periodic model has `tbpf == 0`.
+    pub fn new(model: PowerModel) -> Self {
+        if let PowerModel::Periodic { tbpf } = model {
+            assert!(tbpf > 0, "TBPF must be positive");
+        }
+        PowerState {
+            model,
+            cycles_in_window: 0,
+        }
+    }
+
+    /// The model.
+    pub fn model(&self) -> PowerModel {
+        self.model
+    }
+
+    /// Advances by `cycles` of active execution; returns `true` if a
+    /// power failure occurs at (or before) the end of those cycles.
+    pub fn advance(&mut self, cycles: u64) -> bool {
+        match self.model {
+            PowerModel::Continuous => false,
+            PowerModel::Periodic { tbpf } => {
+                self.cycles_in_window += cycles;
+                self.cycles_in_window >= tbpf
+            }
+        }
+    }
+
+    /// Remaining charge fraction in `[0, 1]` — what a MEMENTOS voltage
+    /// measurement observes. Continuous power always reads full.
+    pub fn remaining_fraction(&self) -> f64 {
+        match self.model {
+            PowerModel::Continuous => 1.0,
+            PowerModel::Periodic { tbpf } => {
+                1.0 - (self.cycles_in_window.min(tbpf) as f64 / tbpf as f64)
+            }
+        }
+    }
+
+    /// Restart after a power failure: the capacitor recharged while the
+    /// platform was off.
+    pub fn reboot(&mut self) {
+        self.cycles_in_window = 0;
+    }
+
+    /// Wait-mode sleep until fully recharged (Fig. 3 step 2).
+    pub fn replenish(&mut self) {
+        self.cycles_in_window = 0;
+    }
+
+    /// Cycles executed in the current window.
+    pub fn window_cycles(&self) -> u64 {
+        self.cycles_in_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_never_fails() {
+        let mut p = PowerState::new(PowerModel::Continuous);
+        assert!(!p.advance(1_000_000_000));
+        assert_eq!(p.remaining_fraction(), 1.0);
+    }
+
+    #[test]
+    fn periodic_fails_at_tbpf() {
+        let mut p = PowerState::new(PowerModel::Periodic { tbpf: 100 });
+        assert!(!p.advance(99));
+        assert!((p.remaining_fraction() - 0.01).abs() < 1e-9);
+        assert!(p.advance(1));
+        p.reboot();
+        assert_eq!(p.window_cycles(), 0);
+        assert_eq!(p.remaining_fraction(), 1.0);
+    }
+
+    #[test]
+    fn replenish_resets_window() {
+        let mut p = PowerState::new(PowerModel::Periodic { tbpf: 100 });
+        p.advance(60);
+        p.replenish();
+        assert!(!p.advance(99));
+        assert!(p.advance(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "TBPF must be positive")]
+    fn zero_tbpf_rejected() {
+        let _ = PowerState::new(PowerModel::Periodic { tbpf: 0 });
+    }
+}

@@ -1,0 +1,119 @@
+//! Capacitor (energy buffer) model.
+//!
+//! The platform stores harvested energy in a capacitor with usable
+//! capacity `EB` (§II-B). SCHEMATIC never reasons about the harvesting
+//! rate — only about `EB` — so the model here is deliberately simple: a
+//! level that drains as the program executes and refills to full during
+//! off/sleep periods.
+
+use crate::units::Energy;
+
+/// An energy buffer with fixed usable capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capacitor {
+    capacity: Energy,
+    level: Energy,
+}
+
+impl Capacitor {
+    /// Creates a fully charged capacitor with usable capacity `eb`.
+    pub fn new(eb: Energy) -> Self {
+        Capacitor {
+            capacity: eb,
+            level: eb,
+        }
+    }
+
+    /// Usable capacity `EB`.
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// Current stored energy.
+    pub fn level(&self) -> Energy {
+        self.level
+    }
+
+    /// Remaining charge as a fraction in `[0, 1]` — what MEMENTOS's
+    /// voltage measurement observes (voltage maps monotonically to state
+    /// of charge).
+    pub fn fraction(&self) -> f64 {
+        if self.capacity.as_pj() == 0 {
+            0.0
+        } else {
+            self.level.as_pj() as f64 / self.capacity.as_pj() as f64
+        }
+    }
+
+    /// Attempts to draw `amount`; returns `false` (leaving the level at
+    /// zero) if the stored energy is insufficient — a power failure.
+    pub fn draw(&mut self, amount: Energy) -> bool {
+        match self.level.checked_sub(amount) {
+            Some(rest) => {
+                self.level = rest;
+                true
+            }
+            None => {
+                self.level = Energy::ZERO;
+                false
+            }
+        }
+    }
+
+    /// Whether at least `amount` is available.
+    pub fn can_supply(&self, amount: Energy) -> bool {
+        self.level >= amount
+    }
+
+    /// Recharges to full (the wait-until-replenished step of Fig. 3).
+    pub fn replenish(&mut self) {
+        self.level = self.capacity;
+    }
+
+    /// Whether the capacitor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.level == Energy::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full() {
+        let c = Capacitor::new(Energy::from_uj(10));
+        assert_eq!(c.level(), c.capacity());
+        assert!((c.fraction() - 1.0).abs() < 1e-12);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn draw_until_failure() {
+        let mut c = Capacitor::new(Energy::from_pj(100));
+        assert!(c.draw(Energy::from_pj(60)));
+        assert_eq!(c.level(), Energy::from_pj(40));
+        assert!(c.can_supply(Energy::from_pj(40)));
+        assert!(!c.can_supply(Energy::from_pj(41)));
+        assert!(!c.draw(Energy::from_pj(41))); // fails, level clamps to 0
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn replenish_restores_capacity() {
+        let mut c = Capacitor::new(Energy::from_pj(100));
+        c.draw(Energy::from_pj(100));
+        assert!(c.is_empty());
+        c.replenish();
+        assert_eq!(c.level(), Energy::from_pj(100));
+    }
+
+    #[test]
+    fn fraction_tracks_level() {
+        let mut c = Capacitor::new(Energy::from_pj(200));
+        c.draw(Energy::from_pj(50));
+        assert!((c.fraction() - 0.75).abs() < 1e-12);
+        let z = Capacitor::new(Energy::ZERO);
+        assert_eq!(z.fraction(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # schematic-energy
+//!
+//! Energy units, platform cost model, capacitor model and worst-case
+//! energy consumption (WCEC) analysis for the SCHEMATIC reproduction.
+//!
+//! The paper evaluates on the TI MSP430FR5969 (64 KB FRAM NVM, 2 KB SRAM
+//! VM, 16 MHz) using the energy model of ALFRED: per-instruction cost as
+//! a function of execution cycles and memory class. Absolute joule values
+//! are not expected to match the authors' testbed; the *structure* is
+//! preserved and every constant is centralized in
+//! [`CostTable::msp430fr5969`].
+//!
+//! ```
+//! use schematic_energy::{CostTable, Energy, MemClass};
+//! use schematic_ir::AccessKind;
+//!
+//! let t = CostTable::msp430fr5969();
+//! let vm = t.access_cost(MemClass::Vm, AccessKind::Read).energy;
+//! let nvm = t.access_cost(MemClass::Nvm, AccessKind::Read).energy;
+//! assert!(nvm > vm); // NVM accesses cost more — the premise of Eq. 1
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod capacitor;
+pub mod model;
+pub mod units;
+pub mod wcec;
+
+pub use capacitor::Capacitor;
+pub use model::{Cost, CostTable, MemClass};
+pub use units::{Cycles, Energy};
+pub use wcec::{block_cost, function_wcec, path_cost, WcecError};

@@ -1,0 +1,411 @@
+//! Worst-case energy/cycle cost model.
+//!
+//! The model follows the structure of the one SCHEMATIC borrows from
+//! ALFRED (§IV-A.a): the cost of an instruction is a function of its
+//! execution cycles plus, for loads and stores, the kind of memory
+//! accessed (VM or NVM). All constants live in a [`CostTable`] so tests
+//! and ablations can synthesize alternative platforms; the calibrated
+//! MSP430FR5969-like instance is [`CostTable::msp430fr5969`].
+
+use crate::units::{Cycles, Energy};
+use schematic_ir::{AccessKind, Inst, Terminator};
+
+/// Which memory class an access targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemClass {
+    /// Volatile memory (SRAM): fast and cheap, lost on power failure.
+    Vm,
+    /// Non-volatile memory (FRAM): persistent, slower and more expensive
+    /// (the paper cites up to 2.47× the VM access energy).
+    Nvm,
+}
+
+/// A joint cycle/energy cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// CPU cycles consumed.
+    pub cycles: Cycles,
+    /// Energy consumed.
+    pub energy: Energy,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost {
+        cycles: 0,
+        energy: Energy::ZERO,
+    };
+
+    /// Creates a cost.
+    pub const fn new(cycles: Cycles, energy: Energy) -> Self {
+        Cost { cycles, energy }
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            cycles: self.cycles + rhs.cycles,
+            energy: self.energy + rhs.energy,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Mul<u64> for Cost {
+    type Output = Cost;
+    fn mul(self, rhs: u64) -> Cost {
+        Cost {
+            cycles: self.cycles * rhs,
+            energy: self.energy * rhs,
+        }
+    }
+}
+
+/// Platform cost table.
+///
+/// Energies are picojoules; the table is deliberately a plain struct with
+/// public fields so experiments can perturb individual constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostTable {
+    /// Baseline CPU energy per cycle (pJ), charged for every cycle of
+    /// every instruction.
+    pub cpu_pj_per_cycle: u64,
+    /// Cycles of simple ALU operations (add/sub/logic/shift).
+    pub alu_cycles: Cycles,
+    /// Cycles of a hardware multiply.
+    pub mul_cycles: Cycles,
+    /// Cycles of a software divide/remainder.
+    pub div_cycles: Cycles,
+    /// Cycles of a compare.
+    pub cmp_cycles: Cycles,
+    /// Cycles of a register copy / immediate move.
+    pub copy_cycles: Cycles,
+    /// Cycles of a select.
+    pub select_cycles: Cycles,
+    /// Base cycles of a load (excluding memory-class effects).
+    pub load_cycles: Cycles,
+    /// Base cycles of a store (excluding memory-class effects).
+    pub store_cycles: Cycles,
+    /// Cycles of call setup (argument copy is included per argument via
+    /// `copy_cycles` by the emulator).
+    pub call_cycles: Cycles,
+    /// Cycles of a return.
+    pub ret_cycles: Cycles,
+    /// Cycles of a branch (conditional or not).
+    pub branch_cycles: Cycles,
+    /// Extra wait cycles per NVM access (FRAM wait states).
+    pub nvm_extra_cycles: Cycles,
+    /// Energy of a VM word read (pJ), beyond the cycle baseline.
+    pub vm_read_pj: u64,
+    /// Energy of a VM word write (pJ).
+    pub vm_write_pj: u64,
+    /// Energy of an NVM word read (pJ).
+    pub nvm_read_pj: u64,
+    /// Energy of an NVM word write (pJ).
+    pub nvm_write_pj: u64,
+    /// Fixed cost of committing a checkpoint (sleep-mode entry, wake-up,
+    /// voltage measurement), excluding the per-word data transfer.
+    pub checkpoint_fixed: Cost,
+    /// Fixed cost of restoring state after a reboot or wake-up.
+    pub restore_fixed: Cost,
+    /// Words of volatile register/stack state saved at every checkpoint
+    /// regardless of variable allocation (the MSP430 register file).
+    pub reg_file_words: usize,
+    /// Cycles per word copied VM→NVM when saving a checkpoint.
+    pub word_save_cycles: Cycles,
+    /// Cycles per word copied NVM→VM when restoring.
+    pub word_restore_cycles: Cycles,
+    /// Cost of one execution of a conditional checkpoint's counter
+    /// increment + compare when it does *not* fire.
+    pub cond_check: Cost,
+}
+
+impl CostTable {
+    /// The MSP430FR5969-like model used by all experiments: 16 MHz, FRAM
+    /// NVM ≈ 2.47× SRAM access energy, 300 pJ/cycle CPU baseline
+    /// (≈ 100 µA/MHz at 3 V).
+    pub fn msp430fr5969() -> Self {
+        let pj = Energy::from_pj;
+        CostTable {
+            cpu_pj_per_cycle: 300,
+            alu_cycles: 1,
+            mul_cycles: 4,
+            div_cycles: 20,
+            cmp_cycles: 1,
+            copy_cycles: 1,
+            select_cycles: 2,
+            load_cycles: 3,
+            store_cycles: 3,
+            call_cycles: 5,
+            ret_cycles: 4,
+            branch_cycles: 2,
+            nvm_extra_cycles: 1,
+            vm_read_pj: 100,
+            vm_write_pj: 110,
+            nvm_read_pj: 1_270,
+            nvm_write_pj: 1_295,
+            checkpoint_fixed: Cost::new(100, pj(32_000)),
+            restore_fixed: Cost::new(50, pj(16_000)),
+            reg_file_words: 16,
+            word_save_cycles: 4,
+            word_restore_cycles: 4,
+            cond_check: Cost::new(3, pj(900)),
+        }
+    }
+
+    fn cycles_cost(&self, cycles: Cycles) -> Cost {
+        Cost::new(cycles, Energy::from_pj(self.cpu_pj_per_cycle) * cycles)
+    }
+
+    fn with_extra(&self, cycles: Cycles, extra_pj: u64) -> Cost {
+        let mut c = self.cycles_cost(cycles);
+        c.energy += Energy::from_pj(extra_pj);
+        c
+    }
+
+    /// Cost of one word access to memory of class `class`.
+    pub fn access_cost(&self, class: MemClass, kind: AccessKind) -> Cost {
+        match (class, kind) {
+            (MemClass::Vm, AccessKind::Read) => self.with_extra(0, self.vm_read_pj),
+            (MemClass::Vm, AccessKind::Write) => self.with_extra(0, self.vm_write_pj),
+            (MemClass::Nvm, AccessKind::Read) => {
+                self.with_extra(self.nvm_extra_cycles, self.nvm_read_pj)
+            }
+            (MemClass::Nvm, AccessKind::Write) => {
+                self.with_extra(self.nvm_extra_cycles, self.nvm_write_pj)
+            }
+        }
+    }
+
+    /// Energy gained by one read hitting VM instead of NVM (the paper's
+    /// `ΔER` in Eq. 1).
+    pub fn read_gain(&self) -> Energy {
+        self.access_cost(MemClass::Nvm, AccessKind::Read).energy
+            - self.access_cost(MemClass::Vm, AccessKind::Read).energy
+    }
+
+    /// Energy gained by one write hitting VM instead of NVM (`ΔEW`).
+    pub fn write_gain(&self) -> Energy {
+        self.access_cost(MemClass::Nvm, AccessKind::Write).energy
+            - self.access_cost(MemClass::Vm, AccessKind::Write).energy
+    }
+
+    /// Cost of executing `inst`, **excluding** any callee body (calls are
+    /// charged as they execute) and **excluding** checkpoint runtime
+    /// effects (charged by the emulator from the checkpoint spec).
+    ///
+    /// `mem_of` reports the memory class a variable occupies at this
+    /// program point.
+    pub fn inst_cost(&self, inst: &Inst, mem_of: impl Fn(schematic_ir::VarId) -> MemClass) -> Cost {
+        use schematic_ir::BinOp;
+        match inst {
+            Inst::Bin { op, .. } => match op {
+                BinOp::Mul => self.cycles_cost(self.mul_cycles),
+                BinOp::DivS | BinOp::DivU | BinOp::RemS | BinOp::RemU => {
+                    self.cycles_cost(self.div_cycles)
+                }
+                _ => self.cycles_cost(self.alu_cycles),
+            },
+            Inst::Cmp { .. } => self.cycles_cost(self.cmp_cycles),
+            Inst::Un { .. } => self.cycles_cost(self.alu_cycles),
+            Inst::Copy { .. } => self.cycles_cost(self.copy_cycles),
+            Inst::Select { .. } => self.cycles_cost(self.select_cycles),
+            Inst::Load { var, .. } => {
+                self.cycles_cost(self.load_cycles) + self.access_cost(mem_of(*var), AccessKind::Read)
+            }
+            Inst::Store { var, .. } => {
+                self.cycles_cost(self.store_cycles)
+                    + self.access_cost(mem_of(*var), AccessKind::Write)
+            }
+            Inst::Call { args, .. } => {
+                self.cycles_cost(self.call_cycles + self.copy_cycles * args.len() as u64)
+            }
+            // Runtime intrinsics: the emulator charges their real effects
+            // from the checkpoint spec; the static per-execution cost here
+            // is only the always-paid part.
+            Inst::Checkpoint { .. } => Cost::ZERO,
+            Inst::CondCheckpoint { .. } => self.cond_check,
+            Inst::SaveVar { .. } | Inst::RestoreVar { .. } => Cost::ZERO,
+        }
+    }
+
+    /// Cost of executing a terminator.
+    pub fn term_cost(&self, term: &Terminator) -> Cost {
+        match term {
+            Terminator::Br(_) | Terminator::CondBr { .. } => self.cycles_cost(self.branch_cycles),
+            Terminator::Ret(_) => self.cycles_cost(self.ret_cycles),
+        }
+    }
+
+    /// Cost of copying `words` words VM→NVM (checkpoint save data path).
+    pub fn save_words_cost(&self, words: usize) -> Cost {
+        let per_word = self.cycles_cost(self.word_save_cycles)
+            + self.access_cost(MemClass::Vm, AccessKind::Read)
+            + self.access_cost(MemClass::Nvm, AccessKind::Write);
+        per_word * words as u64
+    }
+
+    /// Cost of copying `words` words NVM→VM (restore data path).
+    pub fn restore_words_cost(&self, words: usize) -> Cost {
+        let per_word = self.cycles_cost(self.word_restore_cycles)
+            + self.access_cost(MemClass::Nvm, AccessKind::Read)
+            + self.access_cost(MemClass::Vm, AccessKind::Write);
+        per_word * words as u64
+    }
+
+    /// Full cost of committing a checkpoint that saves `data_words` words
+    /// of variable data in addition to the register file.
+    pub fn checkpoint_commit_cost(&self, data_words: usize) -> Cost {
+        self.checkpoint_fixed + self.save_words_cost(self.reg_file_words + data_words)
+    }
+
+    /// Full cost of resuming from a checkpoint that restores
+    /// `data_words` words of variable data in addition to the register
+    /// file.
+    pub fn checkpoint_resume_cost(&self, data_words: usize) -> Cost {
+        self.restore_fixed + self.restore_words_cost(self.reg_file_words + data_words)
+    }
+}
+
+impl Default for CostTable {
+    fn default() -> Self {
+        CostTable::msp430fr5969()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_ir::{BinOp, Operand, Reg, VarId};
+
+    fn table() -> CostTable {
+        CostTable::msp430fr5969()
+    }
+
+    #[test]
+    fn nvm_access_costs_more_than_vm() {
+        let t = table();
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let vm = t.access_cost(MemClass::Vm, kind);
+            let nvm = t.access_cost(MemClass::Nvm, kind);
+            assert!(nvm.energy > vm.energy);
+            assert!(nvm.cycles >= vm.cycles);
+        }
+        // The headline ratio from the paper: a whole NVM load costs
+        // ~2.47x a VM load (§I cites FRAM at up to 2.47x SRAM energy).
+        let vm_total = (t.cpu_pj_per_cycle * t.load_cycles
+            + t.access_cost(MemClass::Vm, AccessKind::Read).energy.as_pj()) as f64;
+        let nvm_total = (t.cpu_pj_per_cycle * t.load_cycles) as f64
+            + t.access_cost(MemClass::Nvm, AccessKind::Read).energy.as_pj() as f64;
+        let ratio = nvm_total / vm_total;
+        assert!((2.2..2.8).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn gains_are_positive() {
+        let t = table();
+        assert!(t.read_gain() > Energy::ZERO);
+        assert!(t.write_gain() > Energy::ZERO);
+    }
+
+    #[test]
+    fn load_cost_depends_on_allocation() {
+        let t = table();
+        let load = Inst::Load {
+            dst: Reg(0),
+            var: VarId(0),
+            idx: None,
+        };
+        let in_vm = t.inst_cost(&load, |_| MemClass::Vm);
+        let in_nvm = t.inst_cost(&load, |_| MemClass::Nvm);
+        assert!(in_nvm.energy > in_vm.energy);
+    }
+
+    #[test]
+    fn div_costs_more_than_add() {
+        let t = table();
+        let add = Inst::Bin {
+            dst: Reg(0),
+            op: BinOp::Add,
+            lhs: Operand::Imm(1),
+            rhs: Operand::Imm(2),
+        };
+        let div = Inst::Bin {
+            dst: Reg(0),
+            op: BinOp::DivS,
+            lhs: Operand::Imm(1),
+            rhs: Operand::Imm(2),
+        };
+        assert!(t.inst_cost(&div, |_| MemClass::Vm).energy > t.inst_cost(&add, |_| MemClass::Vm).energy);
+    }
+
+    #[test]
+    fn checkpoint_cost_scales_with_words() {
+        let t = table();
+        let small = t.checkpoint_commit_cost(0);
+        let large = t.checkpoint_commit_cost(256);
+        assert!(large.energy > small.energy);
+        assert_eq!(
+            (large.energy - small.energy),
+            t.save_words_cost(256).energy
+        );
+        // Registers are always saved.
+        assert!(small.energy > t.checkpoint_fixed.energy);
+    }
+
+    #[test]
+    fn resume_cost_scales_with_words() {
+        let t = table();
+        assert!(t.checkpoint_resume_cost(16).energy > t.checkpoint_resume_cost(0).energy);
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let a = Cost::new(2, Energy::from_pj(10));
+        let b = Cost::new(3, Energy::from_pj(5));
+        let c = a + b;
+        assert_eq!(c.cycles, 5);
+        assert_eq!(c.energy, Energy::from_pj(15));
+        let d = a * 3;
+        assert_eq!(d.cycles, 6);
+        assert_eq!(d.energy, Energy::from_pj(30));
+        let mut e = Cost::ZERO;
+        e += a;
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn intrinsics_have_expected_static_costs() {
+        let t = table();
+        let cp = Inst::Checkpoint {
+            id: schematic_ir::CheckpointId(0),
+        };
+        assert_eq!(t.inst_cost(&cp, |_| MemClass::Vm), Cost::ZERO);
+        let ccp = Inst::CondCheckpoint {
+            id: schematic_ir::CheckpointId(0),
+            period: 4,
+        };
+        assert_eq!(t.inst_cost(&ccp, |_| MemClass::Vm), t.cond_check);
+    }
+
+    #[test]
+    fn term_costs() {
+        let t = table();
+        assert!(t.term_cost(&Terminator::Ret(None)).cycles > 0);
+        assert!(
+            t.term_cost(&Terminator::Br(schematic_ir::BlockId(0))).cycles > 0
+        );
+    }
+
+    #[test]
+    fn default_is_msp430() {
+        assert_eq!(CostTable::default(), CostTable::msp430fr5969());
+    }
+}

@@ -1,0 +1,248 @@
+//! Energy and time units.
+//!
+//! All energy bookkeeping uses integer **picojoules** so that emulation,
+//! WCEC analysis and checkpoint placement are exactly deterministic and
+//! reproducible across platforms; totals are displayed in µJ like the
+//! paper's figures.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// CPU clock cycles.
+pub type Cycles = u64;
+
+/// An amount of energy in picojoules.
+///
+/// Arithmetic is overflow-checked in debug builds (it would take ~5 GJ to
+/// overflow `u64` picojoules, far beyond any simulated run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Energy(pub u64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0);
+
+    /// Creates an energy value from picojoules.
+    #[inline]
+    pub const fn from_pj(pj: u64) -> Self {
+        Energy(pj)
+    }
+
+    /// Creates an energy value from nanojoules.
+    #[inline]
+    pub const fn from_nj(nj: u64) -> Self {
+        Energy(nj * 1_000)
+    }
+
+    /// Creates an energy value from microjoules.
+    #[inline]
+    pub const fn from_uj(uj: u64) -> Self {
+        Energy(uj * 1_000_000)
+    }
+
+    /// The raw picojoule count.
+    #[inline]
+    pub const fn as_pj(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microjoules, as a float (for reports and plots).
+    #[inline]
+    pub fn as_uj(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction (used by capacitor drain).
+    #[inline]
+    pub fn saturating_sub(self, rhs: Energy) -> Energy {
+        Energy(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, rhs: Energy) -> Option<Energy> {
+        self.0.checked_sub(rhs.0).map(Energy)
+    }
+
+    /// `self / rhs`, rounded down; `None` if `rhs` is zero. Used by the
+    /// loop analysis to compute `numit = floor(EB / Eloop)` (Algorithm 1,
+    /// line 6).
+    #[inline]
+    pub fn div_floor(self, rhs: Energy) -> Option<u64> {
+        self.0.checked_div(rhs.0)
+    }
+
+    /// Saturating multiplication — for worst-case bounds scaled by huge
+    /// trip counts, where "astronomically over any budget" is the right
+    /// semantics rather than a panic.
+    #[inline]
+    pub fn saturating_mul(self, rhs: u64) -> Energy {
+        Energy(self.0.saturating_mul(rhs))
+    }
+
+    /// Saturating addition — companion to [`Energy::saturating_mul`] for
+    /// sums that may already sit at the saturation ceiling.
+    #[inline]
+    pub fn saturating_add(self, rhs: Energy) -> Energy {
+        Energy(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    #[inline]
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0.checked_add(rhs.0).expect("energy overflow"))
+    }
+}
+
+impl AddAssign for Energy {
+    #[inline]
+    fn add_assign(&mut self, rhs: Energy) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    #[inline]
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0.checked_sub(rhs.0).expect("energy underflow"))
+    }
+}
+
+impl SubAssign for Energy {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Energy) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Energy {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: u64) -> Energy {
+        Energy(self.0.checked_mul(rhs).expect("energy overflow"))
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} uJ", self.as_uj())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} nJ", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} pJ", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Energy::from_nj(2).as_pj(), 2_000);
+        assert_eq!(Energy::from_uj(3).as_pj(), 3_000_000);
+        assert!((Energy::from_uj(5).as_uj() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_pj(100);
+        let b = Energy::from_pj(40);
+        assert_eq!(a + b, Energy::from_pj(140));
+        assert_eq!(a - b, Energy::from_pj(60));
+        assert_eq!(a * 3, Energy::from_pj(300));
+        let mut c = a;
+        c += b;
+        c -= Energy::from_pj(10);
+        assert_eq!(c, Energy::from_pj(130));
+        let total: Energy = [a, b].into_iter().sum();
+        assert_eq!(total, Energy::from_pj(140));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let _ = Energy::from_pj(1) - Energy::from_pj(2);
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        assert_eq!(
+            Energy::from_pj(1).saturating_sub(Energy::from_pj(5)),
+            Energy::ZERO
+        );
+        assert_eq!(Energy::from_pj(1).checked_sub(Energy::from_pj(5)), None);
+        assert_eq!(
+            Energy::from_pj(7).checked_sub(Energy::from_pj(5)),
+            Some(Energy::from_pj(2))
+        );
+    }
+
+    #[test]
+    fn div_floor_matches_algorithm1() {
+        let eb = Energy::from_pj(20);
+        let eloop = Energy::from_pj(6);
+        assert_eq!(eb.div_floor(eloop), Some(3));
+        assert_eq!(eb.div_floor(Energy::ZERO), None);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Energy::from_pj(5).to_string(), "5 pJ");
+        assert_eq!(Energy::from_pj(1_500).to_string(), "1.500 nJ");
+        assert_eq!(Energy::from_uj(2).to_string(), "2.000 uJ");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Energy::from_pj(1) < Energy::from_pj(2));
+        assert_eq!(Energy::default(), Energy::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Addition is commutative and associative on realistic ranges.
+        #[test]
+        fn add_laws(a in 0u64..1_u64 << 40, b in 0u64..1_u64 << 40, c in 0u64..1_u64 << 40) {
+            let (a, b, c) = (Energy::from_pj(a), Energy::from_pj(b), Energy::from_pj(c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        /// `div_floor` matches Algorithm 1's floor semantics.
+        #[test]
+        fn div_floor_is_floor(eb in 1u64..1_u64 << 40, e in 1u64..1_u64 << 30) {
+            let n = Energy::from_pj(eb).div_floor(Energy::from_pj(e)).unwrap();
+            prop_assert!(Energy::from_pj(e) * n <= Energy::from_pj(eb));
+            prop_assert!(Energy::from_pj(e) * (n + 1) > Energy::from_pj(eb));
+        }
+
+        /// Saturating subtraction never panics and bounds correctly.
+        #[test]
+        fn saturating_sub_bounds(a in 0u64..1_u64 << 40, b in 0u64..1_u64 << 40) {
+            let r = Energy::from_pj(a).saturating_sub(Energy::from_pj(b));
+            if a >= b {
+                prop_assert_eq!(r, Energy::from_pj(a - b));
+            } else {
+                prop_assert_eq!(r, Energy::ZERO);
+            }
+        }
+    }
+}

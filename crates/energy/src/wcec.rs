@@ -1,0 +1,495 @@
+//! Worst-case energy consumption (WCEC) analysis.
+//!
+//! SCHEMATIC assumes "a safe yet precise worst-case energy consumption
+//! model is provided as an input" (§II-B). This module provides the
+//! static side of that model on top of [`CostTable`]: the WCEC of a basic
+//! block, of a path interval, and of a whole (checkpoint-free) function
+//! with loops bounded by their `max_iters` annotations.
+//!
+//! The whole-function bound collapses each loop of the nesting forest
+//! into a supernode costing `(max_iters + 1) × worst-iteration` (the
+//! `+ 1` covers the final header evaluation that exits the loop) and then
+//! takes the longest path through the resulting DAG. This is the bound
+//! used for callee summaries and for the baselines' placement passes.
+
+use crate::model::{Cost, CostTable, MemClass};
+use crate::units::Energy;
+use schematic_ir::{BlockId, Cfg, Dominators, FuncId, Function, LoopForest, Module, VarId};
+
+/// Errors from the WCEC analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WcecError {
+    /// A loop lacks the `max_iters` annotation required to bound it.
+    MissingLoopBound {
+        /// The function containing the loop.
+        func: FuncId,
+        /// The loop header.
+        header: BlockId,
+    },
+    /// The CFG is irreducible (a cycle remains after collapsing natural
+    /// loops), so no loop bound applies.
+    Irreducible {
+        /// The function containing the cycle.
+        func: FuncId,
+    },
+}
+
+impl std::fmt::Display for WcecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WcecError::MissingLoopBound { func, header } => {
+                write!(f, "loop at {func}:{header} lacks a max_iters annotation")
+            }
+            WcecError::Irreducible { func } => {
+                write!(f, "irreducible control flow in {func}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WcecError {}
+
+/// Computes the execution cost of every instruction of `block` plus its
+/// terminator, under the variable placement `mem_of`, adding
+/// `callee_cost` for each call.
+pub fn block_cost(
+    table: &CostTable,
+    func: &Function,
+    block: BlockId,
+    mem_of: &dyn Fn(VarId) -> MemClass,
+    callee_cost: &dyn Fn(FuncId) -> Cost,
+) -> Cost {
+    let b = func.block(block);
+    let mut total = Cost::ZERO;
+    for inst in &b.insts {
+        total += table.inst_cost(inst, mem_of);
+        if let schematic_ir::Inst::Call { func: callee, .. } = inst {
+            total += callee_cost(*callee);
+        }
+    }
+    total += table.term_cost(&b.term);
+    total
+}
+
+/// Sums [`block_cost`] over a sequence of blocks (a path interval).
+pub fn path_cost(
+    table: &CostTable,
+    func: &Function,
+    blocks: &[BlockId],
+    mem_of: &dyn Fn(VarId) -> MemClass,
+    callee_cost: &dyn Fn(FuncId) -> Cost,
+) -> Cost {
+    blocks
+        .iter()
+        .fold(Cost::ZERO, |acc, &b| acc + block_cost(table, func, b, mem_of, callee_cost))
+}
+
+/// Whole-function WCEC with loops bounded by `max_iters`.
+///
+/// The result over-approximates the cost of any single invocation of the
+/// function, assuming the function contains no checkpoints (callee
+/// summaries for checkpoint-free callees, §III-B.1).
+///
+/// # Errors
+///
+/// Returns an error if a loop lacks its bound annotation or the CFG is
+/// irreducible.
+pub fn function_wcec(
+    table: &CostTable,
+    module: &Module,
+    fid: FuncId,
+    mem_of: &dyn Fn(VarId) -> MemClass,
+    callee_cost: &dyn Fn(FuncId) -> Cost,
+) -> Result<Cost, WcecError> {
+    let func = module.func(fid);
+    let cfg = Cfg::new(func);
+    let dom = Dominators::new(&cfg);
+    let forest = LoopForest::new(func, &cfg, &dom);
+
+    // Cost of one worst-case *full execution* of loop `li` (all trips),
+    // computed innermost-first.
+    let mut loop_total: Vec<Option<Cost>> = vec![None; forest.loops.len()];
+    for li in forest.bottom_up() {
+        let l = &forest.loops[li];
+        let bound = l.max_iters.ok_or(WcecError::MissingLoopBound {
+            func: fid,
+            header: l.header,
+        })?;
+        // Worst single iteration: longest path inside the loop starting at
+        // the header, inner loops collapsed, back-edges to this header
+        // excluded.
+        let iter_cost = longest_path(
+            table,
+            func,
+            &cfg,
+            &forest,
+            &loop_total,
+            l.header,
+            Some(li),
+            mem_of,
+            callee_cost,
+        )
+        .ok_or(WcecError::Irreducible { func: fid })?;
+        loop_total[li] = Some(Cost {
+            cycles: iter_cost.cycles.saturating_mul(bound.saturating_add(1)),
+            energy: iter_cost.energy.saturating_mul(bound.saturating_add(1)),
+        });
+    }
+
+    longest_path(
+        table,
+        func,
+        &cfg,
+        &forest,
+        &loop_total,
+        func.entry,
+        None,
+        mem_of,
+        callee_cost,
+    )
+    .ok_or(WcecError::Irreducible { func: fid })
+}
+
+/// Longest-cost path in the loop-collapsed graph starting at `start`.
+///
+/// `scope` restricts traversal to the body of that loop (with its inner
+/// loops collapsed and its back-edges removed); `None` means the whole
+/// function with all top-level loops collapsed. Returns `None` on a
+/// residual cycle (irreducible CFG).
+#[allow(clippy::too_many_arguments)]
+fn longest_path(
+    table: &CostTable,
+    func: &Function,
+    cfg: &Cfg,
+    forest: &LoopForest,
+    loop_total: &[Option<Cost>],
+    start: BlockId,
+    scope: Option<usize>,
+    mem_of: &dyn Fn(VarId) -> MemClass,
+    callee_cost: &dyn Fn(FuncId) -> Cost,
+) -> Option<Cost> {
+    // Representative of a block inside the current scope: either itself,
+    // or the outermost loop (strictly inside `scope`) containing it.
+    let rep_of = |b: BlockId| -> Node {
+        let mut li = forest.innermost_of(b);
+        let mut chosen: Option<usize> = None;
+        while let Some(i) = li {
+            if Some(i) == scope {
+                break;
+            }
+            chosen = Some(i);
+            li = forest.loops[i].parent;
+        }
+        // `chosen` may still be a loop whose parent chain never met
+        // `scope` (block outside scope) — callers filter that case.
+        match chosen {
+            Some(i) => Node::Loop(i),
+            None => Node::Block(b),
+        }
+    };
+    let in_scope = |b: BlockId| -> bool {
+        match scope {
+            None => true,
+            Some(s) => forest.loops[s].contains(b),
+        }
+    };
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Node {
+        Block(BlockId),
+        Loop(usize),
+    }
+
+    let node_cost = |n: Node| -> Cost {
+        match n {
+            Node::Block(b) => block_cost(table, func, b, mem_of, callee_cost),
+            Node::Loop(i) => loop_total[i].expect("inner loop computed first"),
+        }
+    };
+    // Successor nodes of a node: for a block, its CFG successors; for a
+    // loop supernode, the successors of every block in the loop that
+    // leave the loop.
+    let node_succs = |n: Node| -> Vec<Node> {
+        let mut out = Vec::new();
+        let mut push = |from: BlockId, to: BlockId| {
+            if !in_scope(to) {
+                return; // leaving the analysis scope terminates the path
+            }
+            if let Some(s) = scope {
+                // Back-edge of the scope loop: excluded (single iteration).
+                if to == forest.loops[s].header {
+                    return;
+                }
+            }
+            let _ = from;
+            out.push(rep_of(to));
+        };
+        match n {
+            Node::Block(b) => {
+                for &s in cfg.succs(b) {
+                    push(b, s);
+                }
+            }
+            Node::Loop(i) => {
+                for &b in &forest.loops[i].body {
+                    for &s in cfg.succs(b) {
+                        if !forest.loops[i].contains(s) {
+                            push(b, s);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|n| match n {
+            Node::Block(b) => (0usize, b.index()),
+            Node::Loop(i) => (1usize, *i),
+        });
+        out.dedup();
+        out
+    };
+
+    // Memoized DFS with on-stack cycle detection.
+    use std::collections::HashMap;
+    let mut memo: HashMap<Node, Energy> = HashMap::new();
+    let mut memo_cycles: HashMap<Node, u64> = HashMap::new();
+    let mut on_stack: std::collections::HashSet<Node> = std::collections::HashSet::new();
+
+    // Recursive helper implemented with an explicit stack would be
+    // verbose; depth is bounded by the number of collapsed nodes, which
+    // is small for realistic functions, so plain recursion is fine.
+    fn go(
+        n: Node,
+        node_cost: &dyn Fn(Node) -> Cost,
+        node_succs: &dyn Fn(Node) -> Vec<Node>,
+        memo: &mut HashMap<Node, Energy>,
+        memo_cycles: &mut HashMap<Node, u64>,
+        on_stack: &mut std::collections::HashSet<Node>,
+    ) -> Option<Cost> {
+        if let (Some(&e), Some(&c)) = (memo.get(&n), memo_cycles.get(&n)) {
+            return Some(Cost::new(c, e));
+        }
+        if !on_stack.insert(n) {
+            return None; // residual cycle
+        }
+        let mut best = Cost::ZERO;
+        for s in node_succs(n) {
+            let c = go(s, node_cost, node_succs, memo, memo_cycles, on_stack)?;
+            if c.energy > best.energy {
+                best = c;
+            }
+        }
+        on_stack.remove(&n);
+        let total = node_cost(n) + best;
+        memo.insert(n, total.energy);
+        memo_cycles.insert(n, total.cycles);
+        Some(total)
+    }
+
+    let start_node = rep_of(start);
+    go(
+        start_node,
+        &node_cost,
+        &node_succs,
+        &mut memo,
+        &mut memo_cycles,
+        &mut on_stack,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_ir::{BinOp, CmpOp, FunctionBuilder, ModuleBuilder, Variable};
+
+    fn table() -> CostTable {
+        CostTable::msp430fr5969()
+    }
+
+    fn nvm(_: VarId) -> MemClass {
+        MemClass::Nvm
+    }
+
+    fn no_calls(_: FuncId) -> Cost {
+        panic!("no calls expected")
+    }
+
+    #[test]
+    fn straight_line_block_cost() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let v = f.load_scalar(x);
+        let w = f.bin(BinOp::Add, v, 1);
+        f.store_scalar(x, w);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let func = m.func(main);
+        let t = table();
+        let c = block_cost(&t, func, BlockId(0), &nvm, &no_calls);
+        // load + add + store + ret; exact recomputation:
+        let expected = t.inst_cost(&func.block(BlockId(0)).insts[0], nvm)
+            + t.inst_cost(&func.block(BlockId(0)).insts[1], nvm)
+            + t.inst_cost(&func.block(BlockId(0)).insts[2], nvm)
+            + t.term_cost(&func.block(BlockId(0)).term);
+        assert_eq!(c, expected);
+        assert!(c.energy > Energy::ZERO);
+    }
+
+    #[test]
+    fn vm_allocation_lowers_wcec() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        for _ in 0..10 {
+            let v = f.load_scalar(x);
+            f.store_scalar(x, v);
+        }
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let t = table();
+        let in_nvm = function_wcec(&t, &m, main, &nvm, &no_calls).unwrap();
+        let in_vm = function_wcec(&t, &m, main, &|_| MemClass::Vm, &no_calls).unwrap();
+        assert!(in_vm.energy < in_nvm.energy);
+    }
+
+    #[test]
+    fn branch_takes_worst_side() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let cheap = f.new_block("cheap");
+        let pricey = f.new_block("pricey");
+        let join = f.new_block("join");
+        let c = f.cmp(CmpOp::SGt, 1, 0);
+        f.cond_br(c, cheap, pricey);
+        f.switch_to(cheap);
+        f.br(join);
+        f.switch_to(pricey);
+        for _ in 0..20 {
+            let v = f.load_scalar(x);
+            f.store_scalar(x, v);
+        }
+        f.br(join);
+        f.switch_to(join);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let t = table();
+        let whole = function_wcec(&t, &m, main, &nvm, &no_calls).unwrap();
+        let pricey_blocks = [BlockId(0), pricey, join];
+        let via_pricey = path_cost(&t, m.func(main), &pricey_blocks, &nvm, &no_calls);
+        assert_eq!(whole, via_pricey);
+    }
+
+    #[test]
+    fn loop_bound_multiplies_iteration_cost() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut fb = FunctionBuilder::new("main", 0);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let c = fb.cmp(CmpOp::SLt, 0, 1);
+        fb.cond_br(c, body, exit);
+        fb.set_max_iters(header, 10);
+        fb.switch_to(body);
+        let v = fb.load_scalar(x);
+        fb.store_scalar(x, v);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let main = mb.func(fb.finish());
+        let m = mb.finish(main);
+        let t = table();
+
+        let whole = function_wcec(&t, &m, main, &nvm, &no_calls).unwrap();
+        // Lower bound: 10 iterations of (header + body) must be included.
+        let one_iter = path_cost(&t, m.func(main), &[header, body], &nvm, &no_calls);
+        assert!(whole.energy >= one_iter.energy * 10);
+        // Upper bound sanity: not absurdly larger than 12 iterations plus
+        // entry and exit.
+        let slack = path_cost(&t, m.func(main), &[BlockId(0), exit], &nvm, &no_calls);
+        assert!(whole.energy <= one_iter.energy * 12 + slack.energy * 2);
+    }
+
+    #[test]
+    fn missing_loop_bound_is_error() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = FunctionBuilder::new("main", 0);
+        let l = fb.new_block("l");
+        let exit = fb.new_block("exit");
+        fb.br(l);
+        fb.switch_to(l);
+        let c = fb.copy(1);
+        fb.cond_br(c, l, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let main = mb.func(fb.finish());
+        let m = mb.finish(main);
+        let err = function_wcec(&table(), &m, main, &nvm, &no_calls).unwrap_err();
+        assert!(matches!(err, WcecError::MissingLoopBound { .. }));
+        assert!(err.to_string().contains("max_iters"));
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut fb = FunctionBuilder::new("main", 0);
+        let oh = fb.new_block("oh");
+        let ih = fb.new_block("ih");
+        let ib = fb.new_block("ib");
+        let ol = fb.new_block("ol");
+        let exit = fb.new_block("exit");
+        fb.br(oh);
+        fb.switch_to(oh);
+        let c1 = fb.copy(1);
+        fb.cond_br(c1, ih, exit);
+        fb.set_max_iters(oh, 4);
+        fb.switch_to(ih);
+        let c2 = fb.copy(1);
+        fb.cond_br(c2, ib, ol);
+        fb.set_max_iters(ih, 5);
+        fb.switch_to(ib);
+        let v = fb.load_scalar(x);
+        fb.store_scalar(x, v);
+        fb.br(ih);
+        fb.switch_to(ol);
+        fb.br(oh);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let main = mb.func(fb.finish());
+        let m = mb.finish(main);
+        let t = table();
+        let whole = function_wcec(&t, &m, main, &nvm, &no_calls).unwrap();
+        let inner_body = path_cost(&t, m.func(main), &[ib], &nvm, &no_calls);
+        // The inner body runs at least 4 * 5 = 20 times in the worst case.
+        assert!(whole.energy >= inner_body.energy * 20);
+    }
+
+    #[test]
+    fn calls_add_callee_cost() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut leaf = FunctionBuilder::new("leaf", 0);
+        leaf.ret(None);
+        let leaf = mb.func(leaf.finish());
+        let mut fb = FunctionBuilder::new("main", 0);
+        fb.call_void(leaf, vec![]);
+        fb.ret(None);
+        let main = mb.func(fb.finish());
+        let m = mb.finish(main);
+        let t = table();
+        let callee_cost = |f: FuncId| -> Cost {
+            assert_eq!(f, leaf);
+            Cost::new(100, Energy::from_pj(12345))
+        };
+        let with_leaf = function_wcec(&t, &m, main, &nvm, &callee_cost).unwrap();
+        let without = function_wcec(&t, &m, main, &nvm, &|_| Cost::ZERO).unwrap();
+        assert_eq!(with_leaf.energy - without.energy, Energy::from_pj(12345));
+        assert_eq!(with_leaf.cycles - without.cycles, 100);
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-block variable access counting.
+//!
+//! The gain function of SCHEMATIC (Eq. 1) needs, for every inter-checkpoint
+//! interval, the number of read (`nR`) and write (`nW`) accesses to each
+//! variable. This module computes those counts per basic block; interval
+//! counts are sums over the blocks of the interval.
+
+use crate::ids::{BlockId, VarId};
+use crate::inst::{AccessKind, Inst};
+use crate::module::Function;
+use std::collections::HashMap;
+use std::ops::{Add, AddAssign};
+
+/// Read/write access counts for one variable in one program region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCount {
+    /// Number of read (load) accesses.
+    pub reads: u64,
+    /// Number of write (store) accesses.
+    pub writes: u64,
+}
+
+impl AccessCount {
+    /// Total accesses.
+    pub fn total(self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl Add for AccessCount {
+    type Output = AccessCount;
+    fn add(self, rhs: AccessCount) -> AccessCount {
+        AccessCount {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+impl AddAssign for AccessCount {
+    fn add_assign(&mut self, rhs: AccessCount) {
+        *self = *self + rhs;
+    }
+}
+
+/// Access counts of every variable in every block of one function.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessMap {
+    per_block: Vec<HashMap<VarId, AccessCount>>,
+}
+
+impl AccessMap {
+    /// Counts the accesses in each block of `func`.
+    ///
+    /// `SaveVar`/`RestoreVar` intrinsics are *not* counted: their cost is
+    /// accounted by the checkpoint cost model, not the access model.
+    pub fn new(func: &Function) -> Self {
+        let mut per_block = Vec::with_capacity(func.blocks.len());
+        for block in &func.blocks {
+            let mut counts: HashMap<VarId, AccessCount> = HashMap::new();
+            for inst in &block.insts {
+                match inst {
+                    Inst::Load { var, .. } => counts.entry(*var).or_default().reads += 1,
+                    Inst::Store { var, .. } => counts.entry(*var).or_default().writes += 1,
+                    _ => {}
+                }
+            }
+            per_block.push(counts);
+        }
+        AccessMap { per_block }
+    }
+
+    /// Accesses to `var` in `block`.
+    pub fn of(&self, block: BlockId, var: VarId) -> AccessCount {
+        self.per_block[block.index()]
+            .get(&var)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All variables accessed in `block`, with counts.
+    pub fn block(&self, block: BlockId) -> &HashMap<VarId, AccessCount> {
+        &self.per_block[block.index()]
+    }
+
+    /// Sums access counts over a sequence of blocks (an interval of a
+    /// path). Blocks may repeat; each occurrence counts.
+    pub fn sum_over<'a>(
+        &self,
+        blocks: impl IntoIterator<Item = &'a BlockId>,
+    ) -> HashMap<VarId, AccessCount> {
+        let mut total: HashMap<VarId, AccessCount> = HashMap::new();
+        for &b in blocks {
+            for (&v, &c) in self.block(b) {
+                *total.entry(v).or_default() += c;
+            }
+        }
+        total
+    }
+
+    /// Aggregate counts over the entire function.
+    pub fn whole_function(&self) -> HashMap<VarId, AccessCount> {
+        let mut total: HashMap<VarId, AccessCount> = HashMap::new();
+        for counts in &self.per_block {
+            for (&v, &c) in counts {
+                *total.entry(v).or_default() += c;
+            }
+        }
+        total
+    }
+
+    /// Variables accessed anywhere in the function.
+    pub fn touched_vars(&self) -> crate::varset::VarSet {
+        let mut s = crate::varset::VarSet::empty();
+        for counts in &self.per_block {
+            s.extend(counts.keys().copied());
+        }
+        s
+    }
+}
+
+/// Variables written (by a store or a `SaveVar`) anywhere in the module.
+///
+/// A variable outside this set is read-only: its VM copy can never be
+/// dirty, so checkpoints never need to persist it — only (re)load it.
+pub fn written_vars(module: &Function) -> crate::varset::VarSet {
+    let mut s = crate::varset::VarSet::empty();
+    for block in &module.blocks {
+        for inst in &block.insts {
+            if let Some((v, AccessKind::Write)) = inst.var_access() {
+                s.insert(v);
+            }
+        }
+    }
+    s
+}
+
+/// Module-wide [`written_vars`].
+pub fn module_written_vars(module: &crate::module::Module) -> crate::varset::VarSet {
+    let mut s = crate::varset::VarSet::new(module.vars.len());
+    for func in &module.funcs {
+        s.union_with(&written_vars(func));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+    use crate::module::Variable;
+
+    #[test]
+    fn counts_loads_and_stores() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let y = mb.var(Variable::array("y", 4));
+        let mut f = FunctionBuilder::new("f", 0);
+        let a = f.load_scalar(x);
+        let b = f.load_scalar(x);
+        let s = f.bin(crate::inst::BinOp::Add, a, b);
+        f.store_idx(y, 0, s);
+        f.store_scalar(x, s);
+        f.ret(None);
+        let func = f.finish();
+        let am = AccessMap::new(&func);
+        let entry = BlockId(0);
+        assert_eq!(
+            am.of(entry, x),
+            AccessCount {
+                reads: 2,
+                writes: 1
+            }
+        );
+        assert_eq!(
+            am.of(entry, y),
+            AccessCount {
+                reads: 0,
+                writes: 1
+            }
+        );
+        assert_eq!(am.of(entry, x).total(), 3);
+        assert_eq!(am.block(entry).len(), 2);
+        assert!(am.touched_vars().contains(x));
+    }
+
+    #[test]
+    fn absent_variable_counts_zero() {
+        let mut f = FunctionBuilder::new("f", 0);
+        f.ret(None);
+        let am = AccessMap::new(&f.finish());
+        assert_eq!(am.of(BlockId(0), VarId(9)), AccessCount::default());
+    }
+
+    #[test]
+    fn sum_over_counts_repeats() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("f", 0);
+        let exit = f.new_block("exit");
+        let _ = f.load_scalar(x);
+        f.br(exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let func = f.finish();
+        let am = AccessMap::new(&func);
+        let entry = BlockId(0);
+        let sum = am.sum_over(&[entry, entry, exit]);
+        assert_eq!(sum[&x].reads, 2); // entry counted twice
+    }
+
+    #[test]
+    fn whole_function_aggregates_blocks() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("f", 0);
+        let b2 = f.new_block("b2");
+        f.store_scalar(x, 1);
+        f.br(b2);
+        f.switch_to(b2);
+        let _ = f.load_scalar(x);
+        f.ret(None);
+        let am = AccessMap::new(&f.finish());
+        let total = am.whole_function();
+        assert_eq!(
+            total[&x],
+            AccessCount {
+                reads: 1,
+                writes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn access_count_arithmetic() {
+        let mut a = AccessCount {
+            reads: 1,
+            writes: 2,
+        };
+        a += AccessCount {
+            reads: 3,
+            writes: 4,
+        };
+        assert_eq!(
+            a,
+            AccessCount {
+                reads: 4,
+                writes: 6
+            }
+        );
+        assert_eq!(a.total(), 10);
+    }
+}

@@ -1,0 +1,503 @@
+//! Ergonomic construction of IR modules and functions.
+//!
+//! [`FunctionBuilder`] keeps a *current block* cursor; instruction-emitting
+//! methods append to it and return the destination register. Blocks are
+//! created up front with [`FunctionBuilder::new_block`] so that forward
+//! branches can be emitted naturally.
+//!
+//! ```
+//! use schematic_ir::builder::{FunctionBuilder, ModuleBuilder};
+//! use schematic_ir::{BinOp, CmpOp, Operand, Variable};
+//!
+//! let mut mb = ModuleBuilder::new("sum");
+//! let arr = mb.var(Variable::array("array", 8).with_init((1..=8).collect()));
+//! let sum = mb.var(Variable::scalar("sum"));
+//!
+//! let mut f = FunctionBuilder::new("main", 0);
+//! let entry = f.entry_block();
+//! let loop_bb = f.new_block("loop");
+//! let body = f.new_block("body");
+//! let exit = f.new_block("exit");
+//!
+//! f.switch_to(entry);
+//! let i = f.copy(0);
+//! let acc = f.copy(0);
+//! f.store_scalar(sum, acc);
+//! f.br(loop_bb);
+//!
+//! f.switch_to(loop_bb);
+//! let done = f.cmp(CmpOp::SGe, i, 8);
+//! f.cond_br(done, exit, body);
+//! f.set_max_iters(loop_bb, 9);
+//!
+//! f.switch_to(body);
+//! let x = f.load_idx(arr, i);
+//! let acc2 = f.load_scalar(sum);
+//! let acc3 = f.bin(BinOp::Add, acc2, x);
+//! f.store_scalar(sum, acc3);
+//! let i2 = f.bin(BinOp::Add, i, 1);
+//! f.copy_to(i, i2);
+//! f.br(loop_bb);
+//!
+//! f.switch_to(exit);
+//! let result = f.load_scalar(sum);
+//! f.ret(Some(result.into()));
+//!
+//! let main = mb.func(f.finish());
+//! let module = mb.finish(main);
+//! assert_eq!(module.funcs.len(), 1);
+//! ```
+
+use crate::ids::{BlockId, FuncId, Reg, VarId};
+use crate::inst::{BinOp, CmpOp, Inst, Operand, Terminator, UnOp};
+use crate::module::{Block, Function, Module, Variable};
+use std::collections::HashMap;
+
+/// Builder for a [`Module`].
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for an empty module named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Adds a variable, returning its id.
+    pub fn var(&mut self, var: Variable) -> VarId {
+        self.module.add_var(var)
+    }
+
+    /// Adds a finished function, returning its id.
+    pub fn func(&mut self, func: Function) -> FuncId {
+        self.module.add_func(func)
+    }
+
+    /// Finalizes the module with `entry` as its entry function.
+    pub fn finish(mut self, entry: FuncId) -> Module {
+        self.module.entry = Some(entry);
+        self.module
+    }
+
+    /// Finalizes a module with no designated entry (library of functions).
+    pub fn finish_without_entry(self) -> Module {
+        self.module
+    }
+}
+
+/// A value usable as an instruction operand in the builder API: a register,
+/// an `i32` immediate, or an [`Operand`].
+pub trait IntoOperand {
+    /// Converts into an [`Operand`].
+    fn into_operand(self) -> Operand;
+}
+
+impl IntoOperand for Operand {
+    fn into_operand(self) -> Operand {
+        self
+    }
+}
+
+impl IntoOperand for Reg {
+    fn into_operand(self) -> Operand {
+        Operand::Reg(self)
+    }
+}
+
+impl IntoOperand for i32 {
+    fn into_operand(self) -> Operand {
+        Operand::Imm(self)
+    }
+}
+
+/// Builder for a [`Function`].
+///
+/// # Panics
+///
+/// All emitting methods panic if the current block was already terminated,
+/// and [`FunctionBuilder::finish`] panics if any block lacks a terminator —
+/// both indicate construction bugs that would otherwise surface later as
+/// confusing verifier errors.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    n_params: usize,
+    n_regs: usize,
+    blocks: Vec<Block>,
+    terminated: Vec<bool>,
+    current: BlockId,
+    max_iters: HashMap<BlockId, u64>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `n_params` parameters (bound to registers
+    /// `r0..r(n_params-1)`), positioned at a fresh entry block.
+    pub fn new(name: impl Into<String>, n_params: usize) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            n_params,
+            n_regs: n_params,
+            blocks: vec![Block {
+                name: Some("entry".into()),
+                insts: Vec::new(),
+                term: Terminator::Ret(None), // placeholder until terminated
+            }],
+            terminated: vec![false],
+            current: BlockId(0),
+            max_iters: HashMap::new(),
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The parameter registers `r0..r(n_params-1)`.
+    pub fn params(&self) -> Vec<Reg> {
+        (0..self.n_params).map(Reg::from_usize).collect()
+    }
+
+    /// Creates a new labelled block (does not switch to it).
+    pub fn new_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId::from_usize(self.blocks.len());
+        self.blocks.push(Block {
+            name: Some(name.into()),
+            insts: Vec::new(),
+            term: Terminator::Ret(None),
+        });
+        self.terminated.push(false);
+        id
+    }
+
+    /// Makes `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            !self.terminated[block.index()],
+            "block {block} is already terminated"
+        );
+        self.current = block;
+    }
+
+    /// Records the maximum trip count of the loop headed by `header`.
+    pub fn set_max_iters(&mut self, header: BlockId, max: u64) {
+        self.max_iters.insert(header, max);
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg::from_usize(self.n_regs);
+        self.n_regs += 1;
+        r
+    }
+
+    fn push(&mut self, inst: Inst) {
+        let cur = self.current.index();
+        assert!(
+            !self.terminated[cur],
+            "cannot append to terminated block {}",
+            self.current
+        );
+        self.blocks[cur].insts.push(inst);
+    }
+
+    /// Emits `dst = op lhs, rhs` into a fresh register.
+    pub fn bin(&mut self, op: BinOp, lhs: impl IntoOperand, rhs: impl IntoOperand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Bin {
+            dst,
+            op,
+            lhs: lhs.into_operand(),
+            rhs: rhs.into_operand(),
+        });
+        dst
+    }
+
+    /// Emits `dst = cmp.op lhs, rhs` into a fresh register.
+    pub fn cmp(&mut self, op: CmpOp, lhs: impl IntoOperand, rhs: impl IntoOperand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Cmp {
+            dst,
+            op,
+            lhs: lhs.into_operand(),
+            rhs: rhs.into_operand(),
+        });
+        dst
+    }
+
+    /// Emits `dst = op src` into a fresh register.
+    pub fn un(&mut self, op: UnOp, src: impl IntoOperand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Un {
+            dst,
+            op,
+            src: src.into_operand(),
+        });
+        dst
+    }
+
+    /// Emits a copy of `src` into a fresh register.
+    pub fn copy(&mut self, src: impl IntoOperand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Copy {
+            dst,
+            src: src.into_operand(),
+        });
+        dst
+    }
+
+    /// Emits a copy of `src` into the existing register `dst` (for loop
+    /// counters and accumulators that must live in a stable register).
+    pub fn copy_to(&mut self, dst: Reg, src: impl IntoOperand) {
+        self.push(Inst::Copy {
+            dst,
+            src: src.into_operand(),
+        });
+    }
+
+    /// Emits `dst = select cond, a, b` into a fresh register.
+    pub fn select(
+        &mut self,
+        cond: impl IntoOperand,
+        then_val: impl IntoOperand,
+        else_val: impl IntoOperand,
+    ) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Select {
+            dst,
+            cond: cond.into_operand(),
+            then_val: then_val.into_operand(),
+            else_val: else_val.into_operand(),
+        });
+        dst
+    }
+
+    /// Emits a scalar load of `var` into a fresh register.
+    pub fn load_scalar(&mut self, var: VarId) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Load {
+            dst,
+            var,
+            idx: None,
+        });
+        dst
+    }
+
+    /// Emits an indexed load `var[idx]` into a fresh register.
+    pub fn load_idx(&mut self, var: VarId, idx: impl IntoOperand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Load {
+            dst,
+            var,
+            idx: Some(idx.into_operand()),
+        });
+        dst
+    }
+
+    /// Emits a scalar store `var = src`.
+    pub fn store_scalar(&mut self, var: VarId, src: impl IntoOperand) {
+        self.push(Inst::Store {
+            var,
+            idx: None,
+            src: src.into_operand(),
+        });
+    }
+
+    /// Emits an indexed store `var[idx] = src`.
+    pub fn store_idx(&mut self, var: VarId, idx: impl IntoOperand, src: impl IntoOperand) {
+        self.push(Inst::Store {
+            var,
+            idx: Some(idx.into_operand()),
+            src: src.into_operand(),
+        });
+    }
+
+    /// Emits a call whose result is discarded.
+    pub fn call_void(&mut self, func: FuncId, args: Vec<Operand>) {
+        self.push(Inst::Call {
+            dst: None,
+            func,
+            args,
+        });
+    }
+
+    /// Emits a call and captures the return value in a fresh register.
+    pub fn call(&mut self, func: FuncId, args: Vec<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Call {
+            dst: Some(dst),
+            func,
+            args,
+        });
+        dst
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let cur = self.current.index();
+        assert!(
+            !self.terminated[cur],
+            "block {} terminated twice",
+            self.current
+        );
+        self.blocks[cur].term = term;
+        self.terminated[cur] = true;
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Terminator::Br(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: impl IntoOperand, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::CondBr {
+            cond: cond.into_operand(),
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Terminator::Ret(value));
+    }
+
+    /// Finalizes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block was never terminated.
+    pub fn finish(self) -> Function {
+        for (i, done) in self.terminated.iter().enumerate() {
+            assert!(
+                done,
+                "block {} ({:?}) in function '{}' was never terminated",
+                BlockId::from_usize(i),
+                self.blocks[i].name,
+                self.name
+            );
+        }
+        Function {
+            name: self.name,
+            n_params: self.n_params,
+            n_regs: self.n_regs,
+            blocks: self.blocks,
+            entry: BlockId(0),
+            max_iters: self.max_iters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_function() {
+        let mut f = FunctionBuilder::new("f", 2);
+        let p = f.params();
+        assert_eq!(p.len(), 2);
+        let s = f.bin(BinOp::Add, p[0], p[1]);
+        f.ret(Some(s.into()));
+        let func = f.finish();
+        assert_eq!(func.n_params, 2);
+        assert_eq!(func.n_regs, 3);
+        assert_eq!(func.blocks.len(), 1);
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let mut f = FunctionBuilder::new("f", 1);
+        let t = f.new_block("t");
+        let e = f.new_block("e");
+        let join = f.new_block("join");
+        let c = f.cmp(CmpOp::SGt, Reg(0), 0);
+        f.cond_br(c, t, e);
+        f.switch_to(t);
+        f.br(join);
+        f.switch_to(e);
+        f.br(join);
+        f.switch_to(join);
+        f.ret(None);
+        let func = f.finish();
+        assert_eq!(func.blocks.len(), 4);
+        assert_eq!(func.block_by_name("join"), Some(join));
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn unterminated_block_panics() {
+        let mut f = FunctionBuilder::new("f", 0);
+        let _dangling = f.new_block("dangling");
+        f.ret(None);
+        let _ = f.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut f = FunctionBuilder::new("f", 0);
+        f.ret(None);
+        f.ret(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append")]
+    fn append_after_terminate_panics() {
+        let mut f = FunctionBuilder::new("f", 0);
+        f.ret(None);
+        let _ = f.copy(1);
+    }
+
+    #[test]
+    fn module_builder_assembles() {
+        let mut mb = ModuleBuilder::new("m");
+        let v = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        f.store_scalar(v, 42);
+        let r = f.load_scalar(v);
+        f.ret(Some(r.into()));
+        let fid = mb.func(f.finish());
+        let m = mb.finish(fid);
+        assert_eq!(m.entry, Some(fid));
+        assert_eq!(m.vars.len(), 1);
+        assert_eq!(m.funcs[0].inst_count(), 2);
+    }
+
+    #[test]
+    fn doc_example_compiles() {
+        // Mirrors the module-level doc example to keep it honest.
+        let mut mb = ModuleBuilder::new("sum");
+        let arr = mb.var(Variable::array("array", 8).with_init((1..=8).collect()));
+        let sum = mb.var(Variable::scalar("sum"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let loop_bb = f.new_block("loop");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.copy(0);
+        f.store_scalar(sum, 0);
+        f.br(loop_bb);
+        f.switch_to(loop_bb);
+        let done = f.cmp(CmpOp::SGe, i, 8);
+        f.cond_br(done, exit, body);
+        f.set_max_iters(loop_bb, 9);
+        f.switch_to(body);
+        let x = f.load_idx(arr, i);
+        let acc = f.load_scalar(sum);
+        let acc2 = f.bin(BinOp::Add, acc, x);
+        f.store_scalar(sum, acc2);
+        let i2 = f.bin(BinOp::Add, i, 1);
+        f.copy_to(i, i2);
+        f.br(loop_bb);
+        f.switch_to(exit);
+        let r = f.load_scalar(sum);
+        f.ret(Some(r.into()));
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        assert_eq!(m.funcs[0].max_iters.get(&loop_bb), Some(&9));
+    }
+}

@@ -1,0 +1,242 @@
+//! Call-graph construction, recursion detection, and the bottom-up
+//! (reverse-topological) function order used by SCHEMATIC (§III-B.1):
+//! every callee is analyzed before its callers, so a callee's checkpoint
+//! and allocation decisions can be imposed on all calling contexts.
+
+use crate::ids::FuncId;
+use crate::inst::Inst;
+use crate::module::Module;
+
+/// The static call graph of a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallGraph {
+    /// `callees[f]` lists distinct callees of `f`, in first-call order.
+    pub callees: Vec<Vec<FuncId>>,
+    /// `callers[f]` lists distinct callers of `f`.
+    pub callers: Vec<Vec<FuncId>>,
+}
+
+/// Error returned when the program contains (mutual) recursion, which the
+/// paper does not support (§III-B.1, footnote 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecursionError {
+    /// A function participating in a call cycle.
+    pub func: FuncId,
+    /// Its name, for diagnostics.
+    pub name: String,
+}
+
+impl std::fmt::Display for RecursionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recursive call cycle through function '{}' ({})",
+            self.name, self.func
+        )
+    }
+}
+
+impl std::error::Error for RecursionError {}
+
+impl CallGraph {
+    /// Builds the call graph of `module`.
+    pub fn new(module: &Module) -> Self {
+        let n = module.funcs.len();
+        let mut callees = vec![Vec::new(); n];
+        let mut callers = vec![Vec::new(); n];
+        for (fid, func) in module.iter_funcs() {
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    if let Inst::Call { func: callee, .. } = inst {
+                        if !callees[fid.index()].contains(callee) {
+                            callees[fid.index()].push(*callee);
+                            callers[callee.index()].push(fid);
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Distinct callees of `f`.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// Distinct callers of `f`.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.index()]
+    }
+
+    /// Whether `f` calls no other function.
+    pub fn is_leaf(&self, f: FuncId) -> bool {
+        self.callees[f.index()].is_empty()
+    }
+
+    /// Returns the functions in bottom-up order (callees before callers),
+    /// or a [`RecursionError`] if the call graph has a cycle.
+    ///
+    /// Functions never called and not calling anything appear as well, so
+    /// the order is a permutation of all functions.
+    pub fn bottom_up_order(&self, module: &Module) -> Result<Vec<FuncId>, RecursionError> {
+        let n = self.callees.len();
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Gray,
+            Black,
+        }
+        let mut mark = vec![Mark::White; n];
+        let mut order = Vec::with_capacity(n);
+
+        // Iterative DFS emitting postorder (callees first).
+        for start in 0..n {
+            if mark[start] != Mark::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            mark[start] = Mark::Gray;
+            while let Some(&mut (f, ref mut next)) = stack.last_mut() {
+                let cs = &self.callees[f];
+                if *next < cs.len() {
+                    let c = cs[*next].index();
+                    *next += 1;
+                    match mark[c] {
+                        Mark::White => {
+                            mark[c] = Mark::Gray;
+                            stack.push((c, 0));
+                        }
+                        Mark::Gray => {
+                            let fid = FuncId::from_usize(c);
+                            return Err(RecursionError {
+                                func: fid,
+                                name: module.func(fid).name.clone(),
+                            });
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    mark[f] = Mark::Black;
+                    order.push(FuncId::from_usize(f));
+                    stack.pop();
+                }
+            }
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+
+    fn leaf(name: &str) -> crate::module::Function {
+        let mut f = FunctionBuilder::new(name, 0);
+        f.ret(Some(crate::inst::Operand::Imm(0)));
+        f.finish()
+    }
+
+    #[test]
+    fn chain_order_is_bottom_up() {
+        let mut mb = ModuleBuilder::new("m");
+        let c = mb.func(leaf("c"));
+        let mut fb = FunctionBuilder::new("b", 0);
+        let r = fb.call(c, vec![]);
+        fb.ret(Some(r.into()));
+        let b = mb.func(fb.finish());
+        let mut fa = FunctionBuilder::new("a", 0);
+        let r = fa.call(b, vec![]);
+        fa.ret(Some(r.into()));
+        let a = mb.func(fa.finish());
+        let m = mb.finish(a);
+
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.callees(a), &[b]);
+        assert_eq!(cg.callers(c), &[b]);
+        assert!(cg.is_leaf(c));
+        assert!(!cg.is_leaf(a));
+
+        let order = cg.bottom_up_order(&m).unwrap();
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(c) < pos(b));
+        assert!(pos(b) < pos(a));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn direct_recursion_detected() {
+        let mut mb = ModuleBuilder::new("m");
+        // Build "f" that calls itself: need its id before building, so
+        // construct manually with a forward id.
+        let fid = FuncId(0);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let r = fb.call(fid, vec![]);
+        fb.ret(Some(r.into()));
+        let actual = mb.func(fb.finish());
+        assert_eq!(actual, fid);
+        let m = mb.finish(fid);
+        let cg = CallGraph::new(&m);
+        let err = cg.bottom_up_order(&m).unwrap_err();
+        assert_eq!(err.func, fid);
+        assert!(err.to_string().contains("recursive"));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let mut mb = ModuleBuilder::new("m");
+        let fid_a = FuncId(0);
+        let fid_b = FuncId(1);
+        let mut fa = FunctionBuilder::new("a", 0);
+        let r = fa.call(fid_b, vec![]);
+        fa.ret(Some(r.into()));
+        mb.func(fa.finish());
+        let mut fb = FunctionBuilder::new("b", 0);
+        let r = fb.call(fid_a, vec![]);
+        fb.ret(Some(r.into()));
+        mb.func(fb.finish());
+        let m = mb.finish(fid_a);
+        let cg = CallGraph::new(&m);
+        assert!(cg.bottom_up_order(&m).is_err());
+    }
+
+    #[test]
+    fn diamond_call_graph_dedupes_edges() {
+        // a calls b twice and c once; b and c call d.
+        let mut mb = ModuleBuilder::new("m");
+        let d = mb.func(leaf("d"));
+        let mut fb = FunctionBuilder::new("b", 0);
+        fb.call_void(d, vec![]);
+        fb.ret(None);
+        let b = mb.func(fb.finish());
+        let mut fc = FunctionBuilder::new("c", 0);
+        fc.call_void(d, vec![]);
+        fc.ret(None);
+        let c = mb.func(fc.finish());
+        let mut fa = FunctionBuilder::new("a", 0);
+        fa.call_void(b, vec![]);
+        fa.call_void(b, vec![]);
+        fa.call_void(c, vec![]);
+        fa.ret(None);
+        let a = mb.func(fa.finish());
+        let m = mb.finish(a);
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.callees(a), &[b, c]); // deduped
+        let order = cg.bottom_up_order(&m).unwrap();
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(d) < pos(b));
+        assert!(pos(d) < pos(c));
+        assert!(pos(b) < pos(a));
+    }
+
+    #[test]
+    fn uncalled_function_still_ordered() {
+        let mut mb = ModuleBuilder::new("m");
+        let main = mb.func(leaf("main"));
+        let _orphan = mb.func(leaf("orphan"));
+        let m = mb.finish(main);
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.bottom_up_order(&m).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! Control-flow graph construction and traversals.
+
+use crate::ids::BlockId;
+use crate::module::{Edge, Function};
+
+/// Successor/predecessor adjacency for a function's CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Successors of each block, in terminator order.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors of each block, in discovery order.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Blocks whose terminator is `ret`.
+    pub exits: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut exits = Vec::new();
+        for (id, block) in func.iter_blocks() {
+            for s in block.term.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+            if block.term.is_ret() {
+                exits.push(id);
+            }
+        }
+        Cfg {
+            succs,
+            preds,
+            entry: func.entry,
+            exits,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Returns `true` when the function has no blocks (impossible for
+    /// verified functions, provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// All CFG edges, in block order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for (i, ss) in self.succs.iter().enumerate() {
+            for &s in ss {
+                edges.push(Edge::new(BlockId::from_usize(i), s));
+            }
+        }
+        edges
+    }
+
+    /// Whether `from -> to` is a CFG edge.
+    pub fn has_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.succs(from).contains(&to)
+    }
+
+    /// Blocks reachable from the entry, in depth-first preorder.
+    pub fn reachable(&self) -> Vec<BlockId> {
+        let mut seen = vec![false; self.len()];
+        let mut order = Vec::new();
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b.index()], true) {
+                continue;
+            }
+            order.push(b);
+            // Push in reverse so the first successor is visited first.
+            for &s in self.succs(b).iter().rev() {
+                if !seen[s.index()] {
+                    stack.push(s);
+                }
+            }
+        }
+        order
+    }
+
+    /// Reverse postorder of the blocks reachable from the entry.
+    ///
+    /// Forward dataflow problems converge fastest in this order.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut po = self.postorder();
+        po.reverse();
+        po
+    }
+
+    /// Postorder of the blocks reachable from the entry.
+    pub fn postorder(&self) -> Vec<BlockId> {
+        // Iterative DFS with an explicit "visit successors then emit" state.
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut order = Vec::new();
+        // (block, next successor index)
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        seen[self.entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = self.succs(b);
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+    use crate::Reg;
+
+    /// entry -> {t, e} -> join -> ret
+    fn diamond() -> Function {
+        let mut f = FunctionBuilder::new("f", 1);
+        let t = f.new_block("t");
+        let e = f.new_block("e");
+        let join = f.new_block("join");
+        let c = f.cmp(CmpOp::SGt, Reg(0), 0);
+        f.cond_br(c, t, e);
+        f.switch_to(t);
+        f.br(join);
+        f.switch_to(e);
+        f.br(join);
+        f.switch_to(join);
+        f.ret(None);
+        f.finish()
+    }
+
+    #[test]
+    fn adjacency_matches_terminators() {
+        let func = diamond();
+        let cfg = Cfg::new(&func);
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.exits, vec![BlockId(3)]);
+        assert!(cfg.has_edge(BlockId(0), BlockId(1)));
+        assert!(!cfg.has_edge(BlockId(1), BlockId(0)));
+        assert!(!cfg.is_empty());
+    }
+
+    #[test]
+    fn edges_enumeration() {
+        let cfg = Cfg::new(&diamond());
+        let edges = cfg.edges();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&Edge::new(BlockId(0), BlockId(2))));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let cfg = Cfg::new(&diamond());
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+        assert_eq!(rpo.len(), 4);
+        // Every block appears before its dominated successors in a diamond.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(0)) < pos(BlockId(1)));
+        assert!(pos(BlockId(0)) < pos(BlockId(2)));
+        assert!(pos(BlockId(1)) < pos(BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded_from_orders() {
+        let mut func = diamond();
+        // Add a block nothing jumps to.
+        func.add_block(crate::module::Block {
+            name: Some("dead".into()),
+            insts: vec![],
+            term: crate::inst::Terminator::Ret(None),
+        });
+        let cfg = Cfg::new(&func);
+        assert_eq!(cfg.reachable().len(), 4);
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+        assert_eq!(cfg.postorder().len(), 4);
+    }
+
+    #[test]
+    fn reachable_preorder_visits_first_successor_first() {
+        let cfg = Cfg::new(&diamond());
+        let pre = cfg.reachable();
+        assert_eq!(pre[0], BlockId(0));
+        assert_eq!(pre[1], BlockId(1)); // then-branch explored first
+    }
+
+    #[test]
+    fn self_loop_block() {
+        let mut f = FunctionBuilder::new("f", 0);
+        let l = f.new_block("l");
+        let exit = f.new_block("x");
+        f.br(l);
+        f.switch_to(l);
+        let c = f.copy(0);
+        f.cond_br(c, l, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let func = f.finish();
+        let cfg = Cfg::new(&func);
+        assert!(cfg.has_edge(l, l));
+        assert!(cfg.preds(l).contains(&l));
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo.len(), 3);
+    }
+}

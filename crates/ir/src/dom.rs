@@ -1,0 +1,213 @@
+//! Dominator-tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! Dominance is used by the loop analysis to identify back-edges: an edge
+//! `l -> h` is a back-edge of a natural loop iff `h` dominates `l`.
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+
+/// Immediate-dominator tree for the blocks reachable from the entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; the entry is its own
+    /// idom; unreachable blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse postorder used during computation (cached for clients).
+    rpo: Vec<BlockId>,
+}
+
+impl Dominators {
+    /// Computes dominators over `cfg`.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[cfg.entry.index()] = Some(cfg.entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        Dominators { idom, rpo }
+    }
+
+    /// The immediate dominator of `b` (the entry's idom is itself);
+    /// `None` for blocks unreachable from the entry.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    ///
+    /// Returns `false` if either block is unreachable.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() || self.idom[a.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let up = self.idom[cur.index()].expect("reachable block");
+            if up == cur {
+                return false; // reached entry
+            }
+            cur = up;
+        }
+    }
+
+    /// The reverse postorder computed during construction.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+    use crate::Reg;
+
+    fn doms(f: &crate::module::Function) -> (Cfg, Dominators) {
+        let cfg = Cfg::new(f);
+        let d = Dominators::new(&cfg);
+        (cfg, d)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let mut f = FunctionBuilder::new("f", 1);
+        let t = f.new_block("t");
+        let e = f.new_block("e");
+        let join = f.new_block("join");
+        let c = f.cmp(CmpOp::SGt, Reg(0), 0);
+        f.cond_br(c, t, e);
+        f.switch_to(t);
+        f.br(join);
+        f.switch_to(e);
+        f.br(join);
+        f.switch_to(join);
+        f.ret(None);
+        let func = f.finish();
+        let (_, d) = doms(&func);
+
+        let entry = BlockId(0);
+        assert_eq!(d.idom(entry), Some(entry));
+        assert_eq!(d.idom(t), Some(entry));
+        assert_eq!(d.idom(e), Some(entry));
+        assert_eq!(d.idom(join), Some(entry)); // not t or e
+        assert!(d.dominates(entry, join));
+        assert!(!d.dominates(t, join));
+        assert!(d.dominates(t, t));
+    }
+
+    #[test]
+    fn loop_header_dominates_latch() {
+        let mut f = FunctionBuilder::new("f", 0);
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        f.br(header);
+        f.switch_to(header);
+        let c = f.copy(1);
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(None);
+        let func = f.finish();
+        let (_, d) = doms(&func);
+        assert!(d.dominates(header, body));
+        assert!(d.dominates(header, exit));
+        assert!(!d.dominates(body, header));
+    }
+
+    #[test]
+    fn unreachable_block_has_no_idom() {
+        let mut f = FunctionBuilder::new("f", 0);
+        f.ret(None);
+        let mut func = f.finish();
+        let dead = func.add_block(crate::module::Block {
+            name: None,
+            insts: vec![],
+            term: crate::inst::Terminator::Ret(None),
+        });
+        let (_, d) = doms(&func);
+        assert_eq!(d.idom(dead), None);
+        assert!(!d.is_reachable(dead));
+        assert!(!d.dominates(BlockId(0), dead));
+        assert!(!d.dominates(dead, BlockId(0)));
+    }
+
+    #[test]
+    fn nested_loop_dominance_chain() {
+        // entry -> outer -> inner -> inner_body -> inner (back)
+        //                 inner -> outer_latch -> outer (back); outer -> exit
+        let mut f = FunctionBuilder::new("f", 0);
+        let outer = f.new_block("outer");
+        let inner = f.new_block("inner");
+        let inner_body = f.new_block("inner_body");
+        let outer_latch = f.new_block("outer_latch");
+        let exit = f.new_block("exit");
+        f.br(outer);
+        f.switch_to(outer);
+        let c1 = f.copy(1);
+        f.cond_br(c1, inner, exit);
+        f.switch_to(inner);
+        let c2 = f.copy(1);
+        f.cond_br(c2, inner_body, outer_latch);
+        f.switch_to(inner_body);
+        f.br(inner);
+        f.switch_to(outer_latch);
+        f.br(outer);
+        f.switch_to(exit);
+        f.ret(None);
+        let func = f.finish();
+        let (_, d) = doms(&func);
+        assert_eq!(d.idom(inner), Some(outer));
+        assert_eq!(d.idom(inner_body), Some(inner));
+        assert_eq!(d.idom(outer_latch), Some(inner));
+        assert!(d.dominates(outer, outer_latch));
+    }
+}

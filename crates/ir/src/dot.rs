@@ -1,0 +1,197 @@
+//! Graphviz (DOT) export of control-flow graphs.
+//!
+//! Handy when debugging placements: render a function's CFG with its
+//! loop structure, or an entire module, and inspect where checkpoint
+//! blocks landed.
+//!
+//! ```
+//! use schematic_ir::{parse_module, dot::function_to_dot};
+//!
+//! let m = parse_module("func @main(0) {\nentry:\n  ret\n}").unwrap();
+//! let dot = function_to_dot(&m, schematic_ir::FuncId(0));
+//! assert!(dot.starts_with("digraph"));
+//! ```
+
+use crate::cfg::Cfg;
+use crate::ids::FuncId;
+use crate::inst::{Inst, Terminator};
+use crate::module::Module;
+use std::fmt::Write;
+
+/// Renders one function's CFG as a DOT digraph.
+///
+/// Blocks containing checkpoint intrinsics are highlighted; loop
+/// headers get a double border; edge labels show branch polarity.
+pub fn function_to_dot(module: &Module, fid: FuncId) -> String {
+    let func = module.func(fid);
+    let cfg = Cfg::new(func);
+    let forest = crate::loops::LoopForest::of(func);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&func.name));
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    let _ = writeln!(out, "  label=\"{}\";", func.name);
+
+    for (bid, block) in func.iter_blocks() {
+        let name = block
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("bb{}", bid.0));
+        let mut attrs = Vec::new();
+        let has_cp = block.insts.iter().any(Inst::is_checkpoint);
+        if has_cp {
+            attrs.push("style=filled".to_string());
+            attrs.push("fillcolor=lightblue".to_string());
+        }
+        if forest.loops.iter().any(|l| l.header == bid) {
+            attrs.push("peripheries=2".to_string());
+        }
+        let summary = block_summary(module, block);
+        attrs.push(format!(
+            "label=\"{name}\\n{} inst{}{summary}\"",
+            block.insts.len(),
+            if block.insts.len() == 1 { "" } else { "s" },
+        ));
+        let _ = writeln!(out, "  {bid} [{}];", attrs.join(", "));
+    }
+    for (bid, block) in func.iter_blocks() {
+        match &block.term {
+            Terminator::Br(t) => {
+                let _ = writeln!(out, "  {bid} -> {t};");
+            }
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                let _ = writeln!(out, "  {bid} -> {then_bb} [label=\"T\"];");
+                let _ = writeln!(out, "  {bid} -> {else_bb} [label=\"F\"];");
+            }
+            Terminator::Ret(_) => {}
+        }
+        let _ = &cfg; // cfg retained for future edge classification
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders every function of a module as one DOT file with clustered
+/// subgraphs.
+pub fn module_to_dot(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&module.name));
+    for (fid, func) in module.iter_funcs() {
+        let inner = function_to_dot(module, fid);
+        // Re-wrap as a cluster: strip the digraph header/footer and
+        // prefix node ids with the function id to keep them unique.
+        let body: String = inner
+            .lines()
+            .skip(2)
+            .take_while(|l| *l != "}")
+            .map(|l| l.replace("bb", &format!("f{}_bb", fid.0)))
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str("  ");
+                acc.push_str(&l);
+                acc.push('\n');
+                acc
+            });
+        let _ = writeln!(out, "  subgraph cluster_{} {{", fid.0);
+        let _ = writeln!(out, "    label=\"@{}\";", func.name);
+        out.push_str(&body);
+        let _ = writeln!(out, "  }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn block_summary(module: &Module, block: &crate::module::Block) -> String {
+    let mut cps = Vec::new();
+    for inst in &block.insts {
+        match inst {
+            Inst::Checkpoint { id } => cps.push(format!("\\n[checkpoint {}]", id.0)),
+            Inst::CondCheckpoint { id, period } => {
+                cps.push(format!("\\n[condcheckpoint {} /{}]", id.0, period))
+            }
+            _ => {}
+        }
+    }
+    let _ = module;
+    cps.concat()
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) || cleaned.is_empty() {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+    use crate::inst::CmpOp;
+
+    fn looped_module() -> Module {
+        let mut mb = ModuleBuilder::new("dot test");
+        let mut f = FunctionBuilder::new("main", 0);
+        let h = f.new_block("h");
+        let b = f.new_block("b");
+        let exit = f.new_block("exit");
+        let i = f.copy(0);
+        f.br(h);
+        f.switch_to(h);
+        f.set_max_iters(h, 4);
+        let c = f.cmp(CmpOp::SGe, i, 3);
+        f.cond_br(c, exit, b);
+        f.switch_to(b);
+        f.br(h);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        mb.finish(main)
+    }
+
+    #[test]
+    fn function_dot_structure() {
+        let m = looped_module();
+        let dot = function_to_dot(&m, FuncId(0));
+        assert!(dot.starts_with("digraph main {"));
+        assert!(dot.contains("bb0 ["));
+        assert!(dot.contains("bb1 -> bb3 [label=\"T\"]"));
+        assert!(dot.contains("bb1 -> bb2 [label=\"F\"]"));
+        // Loop header double border.
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn checkpoint_blocks_highlighted() {
+        let mut m = looped_module();
+        m.funcs[0].blocks[2].insts.push(Inst::Checkpoint {
+            id: crate::ids::CheckpointId(0),
+        });
+        let dot = function_to_dot(&m, FuncId(0));
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("[checkpoint 0]"));
+    }
+
+    #[test]
+    fn module_dot_clusters_functions() {
+        let m = looped_module();
+        let dot = module_to_dot(&m);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"@main\""));
+        assert!(dot.contains("f0_bb1"));
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("ok_name1"), "ok_name1");
+        assert_eq!(sanitize("dot test"), "dot_test");
+        assert_eq!(sanitize("1abc"), "g_1abc");
+        assert_eq!(sanitize(""), "g_");
+    }
+}

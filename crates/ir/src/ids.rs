@@ -1,0 +1,113 @@
+//! Strongly-typed identifiers for IR entities.
+//!
+//! All IR containers ([`Module`](crate::Module), [`Function`](crate::Function))
+//! store their entities in dense vectors; these newtypes are the indices into
+//! those vectors. Using distinct types prevents mixing, say, a block index
+//! with a register index (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_usize(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// Returns the raw index, for use with slice indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a basic block within a single [`Function`](crate::Function).
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Identifier of a virtual register within a single
+    /// [`Function`](crate::Function). Registers are function-local volatile
+    /// storage: they are lost on a power failure and saved/restored by the
+    /// checkpoint runtime.
+    Reg,
+    "r"
+);
+id_type!(
+    /// Identifier of a module-level variable (scalar or array).
+    ///
+    /// Variables are the unit of the paper's memory-allocation decisions:
+    /// each variable lives either in volatile memory (VM) or non-volatile
+    /// memory (NVM) in every inter-checkpoint region.
+    VarId,
+    "@v"
+);
+id_type!(
+    /// Identifier of a function within a [`Module`](crate::Module).
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// Identifier of a checkpoint location enabled by an instrumentation
+    /// pass. Indexes the checkpoint table of an instrumented program.
+    CheckpointId,
+    "cp"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let b = BlockId::from_usize(7);
+        assert_eq!(b.index(), 7);
+        assert_eq!(usize::from(b), 7);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(BlockId(3).to_string(), "bb3");
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(VarId(12).to_string(), "@v12");
+        assert_eq!(FuncId(1).to_string(), "fn1");
+        assert_eq!(CheckpointId(9).to_string(), "cp9");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(BlockId(1) < BlockId(2));
+        assert_eq!(Reg(5), Reg(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_usize_overflow_panics() {
+        let _ = BlockId::from_usize(usize::MAX);
+    }
+}

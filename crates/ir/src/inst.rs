@@ -1,0 +1,627 @@
+//! Instruction set of the IR.
+//!
+//! The IR is a three-address register machine: arithmetic operates on
+//! function-local virtual registers ([`Reg`]), while named program variables
+//! ([`VarId`]) are accessed exclusively through [`Inst::Load`] and
+//! [`Inst::Store`]. This mirrors how SCHEMATIC reasons about programs: the
+//! memory-allocation decision (VM vs NVM) applies to variables, and every
+//! variable access is visible as a load or store in the instruction stream.
+//!
+//! Checkpoint intrinsics ([`Inst::Checkpoint`], [`Inst::CondCheckpoint`],
+//! [`Inst::SaveVar`], [`Inst::RestoreVar`]) never appear in source programs;
+//! they are inserted by instrumentation passes (SCHEMATIC or a baseline).
+
+use crate::ids::{CheckpointId, FuncId, Reg, VarId};
+use std::fmt;
+
+/// An instruction operand: either a virtual register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The current value of a virtual register.
+    Reg(Reg),
+    /// A 32-bit immediate constant.
+    Imm(i32),
+}
+
+impl Operand {
+    /// Returns the register if this operand reads one.
+    #[inline]
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Two-operand arithmetic and bitwise operations.
+///
+/// All arithmetic is 32-bit wrapping, matching the fixed-width integer
+/// semantics of the MiBench2 kernels. Division and remainder by zero are
+/// runtime errors surfaced by the emulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (traps on zero divisor or `i32::MIN / -1`).
+    DivS,
+    /// Unsigned division (traps on zero divisor).
+    DivU,
+    /// Signed remainder (traps on zero divisor).
+    RemS,
+    /// Unsigned remainder (traps on zero divisor).
+    RemU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 32).
+    Shl,
+    /// Logical (zero-filling) shift right (shift amount modulo 32).
+    LShr,
+    /// Arithmetic (sign-extending) shift right (shift amount modulo 32).
+    AShr,
+}
+
+impl BinOp {
+    /// All binary operators, for exhaustive testing.
+    pub const ALL: [BinOp; 13] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::DivS,
+        BinOp::DivU,
+        BinOp::RemS,
+        BinOp::RemU,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::LShr,
+        BinOp::AShr,
+    ];
+
+    /// The mnemonic used by the textual IR format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::DivS => "sdiv",
+            BinOp::DivU => "udiv",
+            BinOp::RemS => "srem",
+            BinOp::RemU => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`BinOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Integer comparison predicates; the result is `1` (true) or `0` (false).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    SLt,
+    /// Signed less-or-equal.
+    SLe,
+    /// Signed greater-than.
+    SGt,
+    /// Signed greater-or-equal.
+    SGe,
+    /// Unsigned less-than.
+    ULt,
+    /// Unsigned less-or-equal.
+    ULe,
+    /// Unsigned greater-than.
+    UGt,
+    /// Unsigned greater-or-equal.
+    UGe,
+}
+
+impl CmpOp {
+    /// All comparison predicates, for exhaustive testing.
+    pub const ALL: [CmpOp; 10] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::SLt,
+        CmpOp::SLe,
+        CmpOp::SGt,
+        CmpOp::SGe,
+        CmpOp::ULt,
+        CmpOp::ULe,
+        CmpOp::UGt,
+        CmpOp::UGe,
+    ];
+
+    /// The mnemonic used by the textual IR format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::SLt => "slt",
+            CmpOp::SLe => "sle",
+            CmpOp::SGt => "sgt",
+            CmpOp::SGe => "sge",
+            CmpOp::ULt => "ult",
+            CmpOp::ULe => "ule",
+            CmpOp::UGt => "ugt",
+            CmpOp::UGe => "uge",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`CmpOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|op| op.mnemonic() == s)
+    }
+
+    /// Evaluates the predicate on two 32-bit values.
+    pub fn eval(self, lhs: i32, rhs: i32) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::SLt => lhs < rhs,
+            CmpOp::SLe => lhs <= rhs,
+            CmpOp::SGt => lhs > rhs,
+            CmpOp::SGe => lhs >= rhs,
+            CmpOp::ULt => (lhs as u32) < (rhs as u32),
+            CmpOp::ULe => (lhs as u32) <= (rhs as u32),
+            CmpOp::UGt => (lhs as u32) > (rhs as u32),
+            CmpOp::UGe => (lhs as u32) >= (rhs as u32),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One-operand operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Two's-complement negation (wrapping).
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+impl UnOp {
+    /// The mnemonic used by the textual IR format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`UnOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        [UnOp::Neg, UnOp::Not]
+            .into_iter()
+            .find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `dst = op lhs, rhs`
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = cmp.pred lhs, rhs` — writes `1` or `0`.
+    Cmp {
+        /// Destination register.
+        dst: Reg,
+        /// Predicate.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = op src`
+    Un {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        src: Operand,
+    },
+    /// `dst = src` — register copy or immediate materialization.
+    Copy {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = select cond, a, b` — `a` if `cond != 0` else `b`.
+    Select {
+        /// Destination register.
+        dst: Reg,
+        /// Condition operand.
+        cond: Operand,
+        /// Value when the condition is non-zero.
+        then_val: Operand,
+        /// Value when the condition is zero.
+        else_val: Operand,
+    },
+    /// `dst = load var[idx]` — reads a word of variable `var`.
+    ///
+    /// `idx` is `None` for scalars (equivalent to index 0). The energy cost
+    /// of the access depends on whether `var` currently resides in VM or
+    /// NVM.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Variable read.
+        var: VarId,
+        /// Word index for arrays; `None` for scalars.
+        idx: Option<Operand>,
+    },
+    /// `store var[idx], src` — writes a word of variable `var`.
+    Store {
+        /// Variable written.
+        var: VarId,
+        /// Word index for arrays; `None` for scalars.
+        idx: Option<Operand>,
+        /// Value stored.
+        src: Operand,
+    },
+    /// `dst = call f(args...)` — direct call. Recursion is rejected by the
+    /// verifier (the paper handles non-recursive programs only, §III-B.1).
+    Call {
+        /// Destination register for the return value, if used.
+        dst: Option<Reg>,
+        /// Callee.
+        func: FuncId,
+        /// Argument operands, bound to the callee's first `n` registers.
+        args: Vec<Operand>,
+    },
+    /// Checkpoint intrinsic inserted by an instrumentation pass.
+    ///
+    /// Runtime semantics depend on the instrumented program's failure
+    /// policy (wait-for-recharge or rollback) and the checkpoint's spec
+    /// (what to save/restore, voltage guard, ...).
+    Checkpoint {
+        /// Index into the instrumented program's checkpoint table.
+        id: CheckpointId,
+    },
+    /// Conditional checkpoint on a loop back-edge: fires once every
+    /// `period` executions (paper §III-B.2, Algorithm 1 line 10).
+    CondCheckpoint {
+        /// Index into the instrumented program's checkpoint table.
+        id: CheckpointId,
+        /// Fire once every this many traversals (≥ 1).
+        period: u32,
+    },
+    /// ALFRED-style anticipated save: persist `var` from VM to NVM now
+    /// (charged to the *save* energy category).
+    SaveVar {
+        /// Variable persisted.
+        var: VarId,
+    },
+    /// ALFRED-style deferred restore: if `var`'s VM copy is invalid (lost
+    /// in a power failure), reload it from NVM (charged to the *restore*
+    /// energy category); otherwise nearly free.
+    RestoreVar {
+        /// Variable restored.
+        var: VarId,
+    },
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Inst::Bin { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Load { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. }
+            | Inst::Checkpoint { .. }
+            | Inst::CondCheckpoint { .. }
+            | Inst::SaveVar { .. }
+            | Inst::RestoreVar { .. } => None,
+        }
+    }
+
+    /// Invokes `f` for every operand read by this instruction.
+    pub fn for_each_use(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Inst::Un { src, .. } | Inst::Copy { src, .. } => f(*src),
+            Inst::Select {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
+                f(*cond);
+                f(*then_val);
+                f(*else_val);
+            }
+            Inst::Load { idx, .. } => {
+                if let Some(i) = idx {
+                    f(*i);
+                }
+            }
+            Inst::Store { idx, src, .. } => {
+                if let Some(i) = idx {
+                    f(*i);
+                }
+                f(*src);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            Inst::Checkpoint { .. }
+            | Inst::CondCheckpoint { .. }
+            | Inst::SaveVar { .. }
+            | Inst::RestoreVar { .. } => {}
+        }
+    }
+
+    /// The variable accessed by this instruction (load/store/save/restore),
+    /// together with whether the access is a write.
+    pub fn var_access(&self) -> Option<(VarId, AccessKind)> {
+        match self {
+            Inst::Load { var, .. } => Some((*var, AccessKind::Read)),
+            Inst::Store { var, .. } => Some((*var, AccessKind::Write)),
+            Inst::SaveVar { var } => Some((*var, AccessKind::Read)),
+            Inst::RestoreVar { var } => Some((*var, AccessKind::Write)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for checkpoint intrinsics (unconditional or
+    /// conditional).
+    pub fn is_checkpoint(&self) -> bool {
+        matches!(
+            self,
+            Inst::Checkpoint { .. } | Inst::CondCheckpoint { .. }
+        )
+    }
+}
+
+/// Whether a variable access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The access reads the variable.
+    Read,
+    /// The access writes the variable.
+    Write,
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(crate::ids::BlockId),
+    /// Two-way conditional branch: `then_bb` if `cond != 0`, else `else_bb`.
+    CondBr {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        then_bb: crate::ids::BlockId,
+        /// Target when the condition is zero.
+        else_bb: crate::ids::BlockId,
+    },
+    /// Function return with optional value.
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator, in branch order.
+    pub fn successors(&self) -> impl Iterator<Item = crate::ids::BlockId> + '_ {
+        let (a, b) = match self {
+            Terminator::Br(t) => (Some(*t), None),
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => (Some(*then_bb), Some(*else_bb)),
+            Terminator::Ret(_) => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// Returns `true` if this terminator exits the function.
+    pub fn is_ret(&self) -> bool {
+        matches!(self, Terminator::Ret(_))
+    }
+
+    /// Invokes `f` for every operand read by the terminator.
+    pub fn for_each_use(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Terminator::CondBr { cond, .. } => f(*cond),
+            Terminator::Ret(Some(v)) => f(*v),
+            _ => {}
+        }
+    }
+
+    /// Rewrites each successor block id through `f` (used by edge
+    /// splitting and unrolling transforms).
+    pub fn map_successors(&mut self, mut f: impl FnMut(crate::ids::BlockId) -> crate::ids::BlockId) {
+        match self {
+            Terminator::Br(t) => *t = f(*t),
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = f(*then_bb);
+                *else_bb = f(*else_bb);
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::BlockId;
+
+    #[test]
+    fn binop_mnemonic_roundtrip() {
+        for op in BinOp::ALL {
+            assert_eq!(BinOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(BinOp::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn cmpop_mnemonic_roundtrip() {
+        for op in CmpOp::ALL {
+            assert_eq!(CmpOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn unop_mnemonic_roundtrip() {
+        for op in [UnOp::Neg, UnOp::Not] {
+            assert_eq!(UnOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn cmp_eval_signed_vs_unsigned() {
+        assert!(CmpOp::SLt.eval(-1, 0));
+        assert!(!CmpOp::ULt.eval(-1, 0)); // -1 is u32::MAX
+        assert!(CmpOp::UGt.eval(-1, 0));
+        assert!(CmpOp::Eq.eval(7, 7));
+        assert!(CmpOp::Ne.eval(7, 8));
+        assert!(CmpOp::SGe.eval(3, 3));
+        assert!(CmpOp::ULe.eval(3, 3));
+    }
+
+    #[test]
+    fn inst_def_and_uses() {
+        let i = Inst::Bin {
+            dst: Reg(2),
+            op: BinOp::Add,
+            lhs: Operand::Reg(Reg(0)),
+            rhs: Operand::Imm(4),
+        };
+        assert_eq!(i.def(), Some(Reg(2)));
+        let mut uses = Vec::new();
+        i.for_each_use(|o| uses.push(o));
+        assert_eq!(uses, vec![Operand::Reg(Reg(0)), Operand::Imm(4)]);
+    }
+
+    #[test]
+    fn store_has_no_def() {
+        let i = Inst::Store {
+            var: VarId(0),
+            idx: Some(Operand::Reg(Reg(1))),
+            src: Operand::Reg(Reg(2)),
+        };
+        assert_eq!(i.def(), None);
+        assert_eq!(i.var_access(), Some((VarId(0), AccessKind::Write)));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr {
+            cond: Operand::Imm(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        let s: Vec<_> = t.successors().collect();
+        assert_eq!(s, vec![BlockId(1), BlockId(2)]);
+        assert!(Terminator::Ret(None).successors().next().is_none());
+        assert!(Terminator::Ret(None).is_ret());
+    }
+
+    #[test]
+    fn map_successors_rewrites_all() {
+        let mut t = Terminator::CondBr {
+            cond: Operand::Imm(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        t.map_successors(|b| BlockId(b.0 + 10));
+        let s: Vec<_> = t.successors().collect();
+        assert_eq!(s, vec![BlockId(11), BlockId(12)]);
+    }
+
+    #[test]
+    fn checkpoint_is_checkpoint() {
+        assert!(Inst::Checkpoint {
+            id: CheckpointId(0)
+        }
+        .is_checkpoint());
+        assert!(Inst::CondCheckpoint {
+            id: CheckpointId(0),
+            period: 4
+        }
+        .is_checkpoint());
+        assert!(!Inst::SaveVar { var: VarId(0) }.is_checkpoint());
+    }
+}

@@ -1,0 +1,77 @@
+//! # schematic-ir
+//!
+//! Intermediate representation and program analyses for the SCHEMATIC
+//! reproduction (CGO 2024: *Compile-Time Checkpoint Placement and Memory
+//! Allocation for Intermittent Systems*).
+//!
+//! The paper operates on LLVM IR; this crate provides a self-contained
+//! equivalent with exactly the properties the technique consumes:
+//!
+//! * a register-machine IR in which **every access to a program variable
+//!   is an explicit load or store** ([`inst`]) — the unit of the VM/NVM
+//!   allocation decision;
+//! * control-flow graphs ([`mod@cfg`]), dominators ([`dom`]), natural loops
+//!   with `max_iters` annotations ([`loops`]), and the call graph with
+//!   bottom-up ordering ([`callgraph`]);
+//! * per-block variable access counts ([`access`]) feeding the gain
+//!   function, and variable liveness ([`liveness`]) feeding the
+//!   save/restore optimization (paper Eq. 2);
+//! * execution-path utilities ([`path`]) used by the path-by-path
+//!   analysis of §III-A;
+//! * a builder API ([`builder`]), a textual format with parser and
+//!   printer ([`parser`], [`printer`]), and a verifier ([`verify`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use schematic_ir::parse_module;
+//!
+//! let m = parse_module(r#"
+//! var @x : 1
+//! func @main(0) {
+//! entry:
+//!   r0 = mov 41
+//!   r1 = add r0, 1
+//!   store @x, r1
+//!   ret r1
+//! }
+//! "#)?;
+//! assert!(schematic_ir::verify_module(&m).is_empty());
+//! # Ok::<(), schematic_ir::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod access;
+pub mod builder;
+pub mod callgraph;
+pub mod cfg;
+pub mod dom;
+pub mod dot;
+pub mod ids;
+pub mod inst;
+pub mod liveness;
+pub mod loops;
+pub mod module;
+pub mod parser;
+pub mod path;
+pub mod printer;
+pub mod varset;
+pub mod verify;
+
+pub use access::{module_written_vars, AccessCount, AccessMap};
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use callgraph::{CallGraph, RecursionError};
+pub use cfg::Cfg;
+pub use dom::Dominators;
+pub use ids::{BlockId, CheckpointId, FuncId, Reg, VarId};
+pub use inst::{AccessKind, BinOp, CmpOp, Inst, Operand, Terminator, UnOp};
+pub use liveness::{call_effects, CallEffect, VarLiveness};
+pub use loops::{Loop, LoopForest};
+pub use module::{Block, Edge, Function, Module, Variable, WORD_BYTES};
+pub use parser::{parse_module, ParseError};
+pub use path::{enumerate_paths, paths_from_trace, Path};
+pub use printer::print_module;
+pub use varset::VarSet;
+pub use verify::{verify_module, verify_module_ok, VerifyError};

@@ -1,0 +1,374 @@
+//! Variable liveness analysis.
+//!
+//! SCHEMATIC uses liveness to shrink checkpoints (Eq. 2, §III-A.2): a
+//! VM-resident variable is *saved* at a checkpoint only if it may still be
+//! read afterwards, and *restored* after a checkpoint only if its first
+//! subsequent access may be a read.
+//!
+//! The analysis is a classic backward may-dataflow at **variable**
+//! granularity:
+//!
+//! * a `load` of `v` *generates* liveness (unless a full definition of `v`
+//!   appears earlier in the block);
+//! * a `store` to a **scalar** `v` is a full definition and *kills*
+//!   liveness; an indexed store into an array is a partial write and kills
+//!   nothing (the untouched elements may still be read);
+//! * a `call` generates liveness for every variable the callee may read
+//!   (transitively) and kills nothing.
+//!
+//! With these `gen`/`kill` sets, `live_in(b)` is exactly "some path from
+//! the start of `b` reads `v` before fully overwriting it" — which is the
+//! condition for both the save (at the edge's target) and restore
+//! decisions.
+
+use crate::callgraph::CallGraph;
+use crate::cfg::Cfg;
+use crate::ids::{BlockId, FuncId};
+use crate::inst::Inst;
+use crate::module::{Function, Module};
+use crate::varset::VarSet;
+
+/// The variables a function may read or write, transitively through calls.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CallEffect {
+    /// Variables possibly read.
+    pub reads: VarSet,
+    /// Variables possibly written (fully or partially).
+    pub writes: VarSet,
+}
+
+/// Computes the transitive read/write variable sets of every function.
+///
+/// # Panics
+///
+/// Panics if the call graph is recursive (callers must reject recursion
+/// first via [`CallGraph::bottom_up_order`]).
+pub fn call_effects(module: &Module) -> Vec<CallEffect> {
+    let cg = CallGraph::new(module);
+    let order = cg
+        .bottom_up_order(module)
+        .expect("call_effects requires a non-recursive module");
+    let mut effects = vec![CallEffect::default(); module.funcs.len()];
+    for fid in order {
+        let mut eff = CallEffect::default();
+        for block in &module.func(fid).blocks {
+            for inst in &block.insts {
+                match inst {
+                    Inst::Load { var, .. } | Inst::RestoreVar { var } => {
+                        // RestoreVar reads NVM; at variable granularity it
+                        // counts as a write to the VM copy, but for
+                        // liveness purposes it touches `var` as a read of
+                        // persistent state.
+                        eff.reads.insert(*var);
+                        if matches!(inst, Inst::RestoreVar { .. }) {
+                            eff.writes.insert(*var);
+                        }
+                    }
+                    Inst::Store { var, .. } | Inst::SaveVar { var } => {
+                        eff.writes.insert(*var);
+                    }
+                    Inst::Call { func, .. } => {
+                        let callee = effects[func.index()].clone();
+                        eff.reads.union_with(&callee.reads);
+                        eff.writes.union_with(&callee.writes);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        effects[fid.index()] = eff;
+    }
+    effects
+}
+
+/// Result of the per-function variable liveness analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarLiveness {
+    live_in: Vec<VarSet>,
+    live_out: Vec<VarSet>,
+    gen: Vec<VarSet>,
+    kill: Vec<VarSet>,
+}
+
+impl VarLiveness {
+    /// Runs the analysis on `func`.
+    ///
+    /// * `effects` — transitive call effects from [`call_effects`]
+    ///   (indexed by [`FuncId`]); pass an empty slice for call-free
+    ///   functions.
+    /// * `exit_live` — variables assumed live when the function returns.
+    ///   For an entry function this is typically empty; for callees a
+    ///   conservative choice is every variable the rest of the program may
+    ///   read.
+    pub fn new(func: &Function, cfg: &Cfg, effects: &[CallEffect], exit_live: &VarSet) -> Self {
+        let n = func.blocks.len();
+        let mut gen = vec![VarSet::empty(); n];
+        let mut kill = vec![VarSet::empty(); n];
+
+        for (id, block) in func.iter_blocks() {
+            let g = &mut gen[id.index()];
+            let k = &mut kill[id.index()];
+            for inst in &block.insts {
+                match inst {
+                    Inst::Load { var, idx: _, .. }
+                        if !k.contains(*var) => {
+                            g.insert(*var);
+                        }
+                    Inst::Store { var, idx, .. }
+                        // Full kill only for scalar stores.
+                        if idx.is_none() && !g.contains(*var) => {
+                            k.insert(*var);
+                        }
+                    Inst::Call { func: callee, .. } => {
+                        if let Some(eff) = effects.get(callee.index()) {
+                            // Callee reads gen liveness for anything not
+                            // already fully defined here.
+                            for v in eff.reads.iter() {
+                                if !k.contains(v) {
+                                    g.insert(v);
+                                }
+                            }
+                            // Callee writes are conservative (may be
+                            // partial): they kill nothing.
+                        }
+                    }
+                    Inst::SaveVar { var }
+                        // Reads the VM copy.
+                        if !k.contains(*var) => {
+                            g.insert(*var);
+                        }
+                    Inst::RestoreVar { var } => {
+                        // Overwrites the whole VM copy from NVM, but the
+                        // NVM value equals the variable's last persisted
+                        // value: treat as neither gen nor kill at this
+                        // granularity.
+                        let _ = var;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut live_in = vec![VarSet::empty(); n];
+        let mut live_out = vec![VarSet::empty(); n];
+
+        // Backward fixpoint in postorder (fast for reducible CFGs).
+        let order = cfg.postorder();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out = VarSet::empty();
+                if func.block(b).term.is_ret() {
+                    out.union_with(exit_live);
+                }
+                for &s in cfg.succs(b) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut inp = out.clone();
+                inp.subtract(&kill[b.index()]);
+                inp.union_with(&gen[b.index()]);
+                if inp != live_in[b.index()] {
+                    live_in[b.index()] = inp;
+                    changed = true;
+                }
+                live_out[b.index()] = out;
+            }
+        }
+
+        VarLiveness {
+            live_in,
+            live_out,
+            gen,
+            kill,
+        }
+    }
+
+    /// Convenience constructor for a whole module: analyzes `fid` with
+    /// conservative exit liveness (every variable) unless it is the entry
+    /// function (nothing live after `main` returns).
+    pub fn of_module_func(module: &Module, fid: FuncId, effects: &[CallEffect]) -> Self {
+        let func = module.func(fid);
+        let cfg = Cfg::new(func);
+        let exit_live = if module.entry == Some(fid) {
+            VarSet::empty()
+        } else {
+            VarSet::full(module.vars.len())
+        };
+        Self::new(func, &cfg, effects, &exit_live)
+    }
+
+    /// Variables live at entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &VarSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Variables live at exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &VarSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Variables live on the CFG edge `from -> to`.
+    ///
+    /// A checkpoint placed on this edge must save exactly the VM-resident
+    /// variables in this set (they may be read later) and restore the
+    /// subset whose first later access may be a read — which is the same
+    /// set at variable granularity.
+    pub fn live_on_edge(&self, _from: BlockId, to: BlockId) -> &VarSet {
+        // Edge liveness equals live_in of the target for a may-analysis.
+        &self.live_in[to.index()]
+    }
+
+    /// The gen set of a block (first access is a read).
+    pub fn gen(&self, b: BlockId) -> &VarSet {
+        &self.gen[b.index()]
+    }
+
+    /// The kill set of a block (fully defined before any read).
+    pub fn kill(&self, b: BlockId) -> &VarSet {
+        &self.kill[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+    use crate::module::Variable;
+
+    fn analyze(module: &Module) -> VarLiveness {
+        let effects = call_effects(module);
+        VarLiveness::of_module_func(module, module.entry_func(), &effects)
+    }
+
+    #[test]
+    fn read_then_write_is_live_in() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let a = f.load_scalar(x);
+        f.store_scalar(x, a);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let lv = analyze(&m);
+        assert!(lv.live_in(BlockId(0)).contains(x));
+        assert!(lv.gen(BlockId(0)).contains(x));
+        assert!(!lv.kill(BlockId(0)).contains(x));
+    }
+
+    #[test]
+    fn write_then_read_kills() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        f.store_scalar(x, 1);
+        let _ = f.load_scalar(x);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let lv = analyze(&m);
+        assert!(!lv.live_in(BlockId(0)).contains(x));
+        assert!(lv.kill(BlockId(0)).contains(x));
+    }
+
+    #[test]
+    fn array_store_does_not_kill() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.var(Variable::array("a", 8));
+        let mut f = FunctionBuilder::new("main", 0);
+        let b2 = f.new_block("b2");
+        f.store_idx(a, 0, 5);
+        f.br(b2);
+        f.switch_to(b2);
+        let _ = f.load_idx(a, 3);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let lv = analyze(&m);
+        // The indexed store in entry does not kill `a`, so the later read
+        // makes `a` live at function entry.
+        assert!(lv.live_in(BlockId(0)).contains(a));
+    }
+
+    #[test]
+    fn liveness_propagates_through_loop() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        f.br(header);
+        f.switch_to(header);
+        let c = f.copy(1);
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        let v = f.load_scalar(x); // read inside the loop
+        f.store_scalar(x, v);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let lv = analyze(&m);
+        assert!(lv.live_in(header).contains(x));
+        assert!(lv.live_on_edge(BlockId(0), header).contains(x));
+        assert!(!lv.live_in(exit).contains(x));
+    }
+
+    #[test]
+    fn call_effects_are_transitive() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let y = mb.var(Variable::scalar("y"));
+        // leaf reads x, writes y
+        let mut leaf = FunctionBuilder::new("leaf", 0);
+        let v = leaf.load_scalar(x);
+        leaf.store_scalar(y, v);
+        leaf.ret(None);
+        let leaf = mb.func(leaf.finish());
+        // mid calls leaf
+        let mut mid = FunctionBuilder::new("mid", 0);
+        mid.call_void(leaf, vec![]);
+        mid.ret(None);
+        let mid = mb.func(mid.finish());
+        // main calls mid
+        let mut f = FunctionBuilder::new("main", 0);
+        f.call_void(mid, vec![]);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let eff = call_effects(&m);
+        assert!(eff[mid.index()].reads.contains(x));
+        assert!(eff[mid.index()].writes.contains(y));
+        assert!(eff[main.index()].reads.contains(x));
+
+        // x is live at main entry because the call chain may read it.
+        let lv = analyze(&m);
+        assert!(lv.live_in(BlockId(0)).contains(x));
+        assert!(!lv.live_in(BlockId(0)).contains(y));
+    }
+
+    #[test]
+    fn exit_liveness_respected_for_callees() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut g = FunctionBuilder::new("g", 0);
+        g.store_scalar(x, 1);
+        g.ret(None);
+        let g = mb.func(g.finish());
+        let mut f = FunctionBuilder::new("main", 0);
+        f.call_void(g, vec![]);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let effects = call_effects(&m);
+        // Non-entry function: conservative exit liveness keeps x live at
+        // exit; since g writes x fully, x is dead at entry (killed) but
+        // live at exit.
+        let lvg = VarLiveness::of_module_func(&m, g, &effects);
+        assert!(lvg.live_out(BlockId(0)).contains(x));
+        assert!(!lvg.live_in(BlockId(0)).contains(x));
+    }
+}

@@ -1,0 +1,316 @@
+//! Natural-loop detection and the loop-nesting forest.
+//!
+//! SCHEMATIC analyzes loops bottom-up over the loop-nesting tree
+//! (§III-B.2): inner loops first, each summarized before its enclosing
+//! loop or function body is analyzed. A natural loop is identified by a
+//! back-edge `latch -> header` where `header` dominates `latch`; the loop
+//! body is every block that can reach the latch without passing through
+//! the header.
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use crate::ids::BlockId;
+use crate::module::Function;
+use std::collections::BTreeSet;
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The single entry block of the loop.
+    pub header: BlockId,
+    /// Sources of back-edges to the header. The paper assumes a single
+    /// back-edge per loop without loss of generality; we support several
+    /// (they are treated uniformly).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header and latches.
+    pub body: BTreeSet<BlockId>,
+    /// Index of the parent loop in the forest, if nested.
+    pub parent: Option<usize>,
+    /// Indices of directly nested loops.
+    pub children: Vec<usize>,
+    /// Nesting depth (outermost = 0).
+    pub depth: usize,
+    /// Annotated maximum trip count ([`Function::max_iters`]), if present.
+    pub max_iters: Option<u64>,
+}
+
+impl Loop {
+    /// Whether `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// The loop-nesting forest of a function.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoopForest {
+    /// All loops; children always have larger indices than their parents.
+    pub loops: Vec<Loop>,
+    /// For each block, the index of the innermost loop containing it.
+    innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Detects all natural loops of `func`.
+    ///
+    /// Loops sharing a header are merged into one loop with several
+    /// latches (the usual LLVM-style normalization).
+    pub fn new(func: &Function, cfg: &Cfg, dom: &Dominators) -> Self {
+        // 1. Find back-edges, grouped by header.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for (i, ss) in cfg.succs.iter().enumerate() {
+            let from = BlockId::from_usize(i);
+            if !dom.is_reachable(from) {
+                continue;
+            }
+            for &to in ss {
+                if dom.dominates(to, from) {
+                    match by_header.iter_mut().find(|(h, _)| *h == to) {
+                        Some((_, latches)) => latches.push(from),
+                        None => by_header.push((to, vec![from])),
+                    }
+                }
+            }
+        }
+
+        // 2. Compute each loop's body: blocks that reach a latch without
+        //    passing through the header (classic worklist over preds).
+        let mut loops: Vec<Loop> = Vec::new();
+        for (header, latches) in by_header {
+            let mut body: BTreeSet<BlockId> = BTreeSet::new();
+            body.insert(header);
+            let mut work: Vec<BlockId> = latches.clone();
+            while let Some(b) = work.pop() {
+                if body.insert(b) {
+                    for &p in cfg.preds(b) {
+                        if dom.is_reachable(p) {
+                            work.push(p);
+                        }
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                latches,
+                body,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+                max_iters: func.max_iters.get(&header).copied(),
+            });
+        }
+
+        // 3. Nesting: sort outermost-first (larger bodies first), then the
+        //    parent of L is the smallest loop strictly containing L's header
+        //    other than L itself.
+        loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+        let n = loops.len();
+        for i in 0..n {
+            // Parent = the latest (smallest) earlier loop containing body[i].
+            let mut parent = None;
+            for j in 0..i {
+                if loops[j].body.contains(&loops[i].header) && loops[j].header != loops[i].header {
+                    parent = Some(j);
+                }
+            }
+            loops[i].parent = parent;
+            if let Some(p) = parent {
+                loops[p].children.push(i);
+                loops[i].depth = loops[p].depth + 1;
+            }
+        }
+
+        // 4. Innermost-loop map.
+        let mut innermost = vec![None; func.blocks.len()];
+        // Process outermost-first so inner loops overwrite.
+        for (idx, l) in loops.iter().enumerate() {
+            for &b in &l.body {
+                innermost[b.index()] = Some(idx);
+            }
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    /// Convenience constructor running CFG + dominators internally.
+    pub fn of(func: &Function) -> Self {
+        let cfg = Cfg::new(func);
+        let dom = Dominators::new(&cfg);
+        Self::new(func, &cfg, &dom)
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_of(&self, b: BlockId) -> Option<usize> {
+        self.innermost.get(b.index()).copied().flatten()
+    }
+
+    /// Loop indices ordered innermost-first (children before parents),
+    /// the order in which SCHEMATIC analyzes loops.
+    pub fn bottom_up(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.loops.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.loops[b]
+                .depth
+                .cmp(&self.loops[a].depth)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Whether the edge `from -> to` is a back-edge of some loop.
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.loops
+            .iter()
+            .any(|l| l.header == to && l.latches.contains(&from))
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the function is loop-free.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn simple_loop() -> (Function, BlockId, BlockId) {
+        let mut f = FunctionBuilder::new("f", 0);
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        f.br(header);
+        f.switch_to(header);
+        let c = f.copy(1);
+        f.cond_br(c, body, exit);
+        f.set_max_iters(header, 10);
+        f.switch_to(body);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(None);
+        (f.finish(), header, body)
+    }
+
+    #[test]
+    fn detects_simple_loop() {
+        let (func, header, body) = simple_loop();
+        let forest = LoopForest::of(&func);
+        assert_eq!(forest.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, header);
+        assert_eq!(l.latches, vec![body]);
+        assert!(l.contains(header));
+        assert!(l.contains(body));
+        assert!(!l.contains(BlockId(0)));
+        assert_eq!(l.max_iters, Some(10));
+        assert_eq!(l.depth, 0);
+        assert!(forest.is_back_edge(body, header));
+        assert!(!forest.is_back_edge(header, body));
+    }
+
+    #[test]
+    fn loop_free_function() {
+        let mut f = FunctionBuilder::new("f", 0);
+        f.ret(None);
+        let forest = LoopForest::of(&f.finish());
+        assert!(forest.is_empty());
+        assert_eq!(forest.bottom_up(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn nested_loops_form_tree() {
+        let mut f = FunctionBuilder::new("f", 0);
+        let outer = f.new_block("outer");
+        let inner = f.new_block("inner");
+        let inner_body = f.new_block("inner_body");
+        let outer_latch = f.new_block("outer_latch");
+        let exit = f.new_block("exit");
+        f.br(outer);
+        f.switch_to(outer);
+        let c1 = f.copy(1);
+        f.cond_br(c1, inner, exit);
+        f.set_max_iters(outer, 5);
+        f.switch_to(inner);
+        let c2 = f.copy(1);
+        f.cond_br(c2, inner_body, outer_latch);
+        f.set_max_iters(inner, 7);
+        f.switch_to(inner_body);
+        f.br(inner);
+        f.switch_to(outer_latch);
+        f.br(outer);
+        f.switch_to(exit);
+        f.ret(None);
+        let func = f.finish();
+        let forest = LoopForest::of(&func);
+        assert_eq!(forest.len(), 2);
+
+        // Outermost loop is stored first (body is larger).
+        let outer_l = &forest.loops[0];
+        let inner_l = &forest.loops[1];
+        assert_eq!(outer_l.header, outer);
+        assert_eq!(inner_l.header, inner);
+        assert_eq!(inner_l.parent, Some(0));
+        assert_eq!(outer_l.children, vec![1]);
+        assert_eq!(inner_l.depth, 1);
+        assert!(outer_l.body.contains(&inner));
+        assert!(!inner_l.body.contains(&outer_latch));
+
+        // Bottom-up order: inner first.
+        assert_eq!(forest.bottom_up(), vec![1, 0]);
+
+        // Innermost map.
+        assert_eq!(forest.innermost_of(inner_body), Some(1));
+        assert_eq!(forest.innermost_of(outer_latch), Some(0));
+        assert_eq!(forest.innermost_of(exit), None);
+    }
+
+    #[test]
+    fn self_loop_is_detected() {
+        let mut f = FunctionBuilder::new("f", 0);
+        let l = f.new_block("l");
+        let exit = f.new_block("exit");
+        f.br(l);
+        f.switch_to(l);
+        let c = f.copy(1);
+        f.cond_br(c, l, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let forest = LoopForest::of(&f.finish());
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest.loops[0].header, l);
+        assert_eq!(forest.loops[0].latches, vec![l]);
+        assert_eq!(forest.loops[0].body.len(), 1);
+    }
+
+    #[test]
+    fn shared_header_merges_latches() {
+        // Two back-edges to the same header.
+        let mut f = FunctionBuilder::new("f", 0);
+        let h = f.new_block("h");
+        let a = f.new_block("a");
+        let b = f.new_block("b");
+        let exit = f.new_block("exit");
+        f.br(h);
+        f.switch_to(h);
+        let c = f.copy(1);
+        f.cond_br(c, a, exit);
+        f.switch_to(a);
+        let c2 = f.copy(1);
+        f.cond_br(c2, h, b);
+        f.switch_to(b);
+        f.br(h);
+        f.switch_to(exit);
+        f.ret(None);
+        let forest = LoopForest::of(&f.finish());
+        assert_eq!(forest.len(), 1);
+        let mut latches = forest.loops[0].latches.clone();
+        latches.sort();
+        assert_eq!(latches, vec![a, b]);
+    }
+}

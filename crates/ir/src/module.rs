@@ -1,0 +1,465 @@
+//! Top-level IR containers: [`Module`], [`Function`], [`Block`],
+//! [`Variable`].
+
+use crate::ids::{BlockId, FuncId, Reg, VarId};
+use crate::inst::{Inst, Operand, Terminator};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Size of a memory word in bytes. All variables are arrays of words; the
+/// VM capacity `SVM` is expressed in bytes.
+pub const WORD_BYTES: usize = 4;
+
+/// A module-level program variable (scalar or array).
+///
+/// Variables are the granularity of SCHEMATIC's memory allocation (§III-A):
+/// a variable as a whole is placed in VM or NVM in every inter-checkpoint
+/// region. Each variable has a fixed home address in NVM; when VM-resident
+/// it additionally occupies `words * WORD_BYTES` bytes of VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variable {
+    /// Source-level name (unique within the module, without the `@` sigil).
+    pub name: String,
+    /// Size in words (≥ 1). A scalar has exactly one word.
+    pub words: usize,
+    /// Initial contents; shorter than `words` means the tail is
+    /// zero-initialized.
+    pub init: Vec<i32>,
+    /// If `true`, the variable may be accessed through pointers and is
+    /// pinned to NVM: no allocation pass may move it to VM (the paper's
+    /// implementation does the same, §IV-A.c).
+    pub pinned_nvm: bool,
+}
+
+impl Variable {
+    /// Creates a zero-initialized scalar variable.
+    pub fn scalar(name: impl Into<String>) -> Self {
+        Variable {
+            name: name.into(),
+            words: 1,
+            init: Vec::new(),
+            pinned_nvm: false,
+        }
+    }
+
+    /// Creates a zero-initialized array variable of `words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn array(name: impl Into<String>, words: usize) -> Self {
+        assert!(words > 0, "variable must occupy at least one word");
+        Variable {
+            name: name.into(),
+            words,
+            init: Vec::new(),
+            pinned_nvm: false,
+        }
+    }
+
+    /// Sets the initial contents (truncated/zero-extended to `words` at
+    /// emulator reset).
+    pub fn with_init(mut self, init: Vec<i32>) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Pins the variable to NVM (see [`Variable::pinned_nvm`]).
+    pub fn pinned(mut self) -> Self {
+        self.pinned_nvm = true;
+        self
+    }
+
+    /// Size of the variable in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words * WORD_BYTES
+    }
+}
+
+/// A basic block: a straight-line instruction sequence ending in a
+/// terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Optional label (unique within the function when present).
+    pub name: Option<String>,
+    /// Instruction sequence.
+    pub insts: Vec<Inst>,
+    /// Terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates an empty block that falls through to `target`.
+    pub fn jumping_to(target: BlockId) -> Self {
+        Block {
+            name: None,
+            insts: Vec::new(),
+            term: Terminator::Br(target),
+        }
+    }
+}
+
+/// A function: a CFG of basic blocks over a private virtual register file.
+///
+/// Calling convention: the caller's argument operands are copied into the
+/// callee's registers `r0..r(n-1)`; the return value, if any, is the operand
+/// of the executed `ret`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (unique within the module, without the `@` sigil).
+    pub name: String,
+    /// Number of parameters; bound to registers `r0..r(n_params-1)`.
+    pub n_params: usize,
+    /// Total number of virtual registers used (registers are
+    /// `r0..r(n_regs-1)`).
+    pub n_regs: usize,
+    /// Basic blocks; `blocks[entry.index()]` is the entry block.
+    pub blocks: Vec<Block>,
+    /// Entry block id.
+    pub entry: BlockId,
+    /// Loop-bound annotations: for each natural-loop header block, the
+    /// maximum trip count. Required by the WCEC analysis for every loop
+    /// (the paper relies on user annotations, §III-B.2).
+    pub max_iters: HashMap<BlockId, u64>,
+}
+
+impl Function {
+    /// Iterates over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from_usize(i), b))
+    }
+
+    /// Returns the block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to the block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_reg(&mut self) -> Reg {
+        let r = Reg::from_usize(self.n_regs);
+        self.n_regs += 1;
+        r
+    }
+
+    /// Appends a new block and returns its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId::from_usize(self.blocks.len());
+        self.blocks.push(block);
+        id
+    }
+
+    /// Splits the CFG edge `from -> to` by inserting a fresh empty block
+    /// between them, returning the new block's id. Both the terminator of
+    /// `from` and any other bookkeeping referencing the edge must be
+    /// updated by the caller if the edge occurs multiple times (it cannot:
+    /// each `(from, to)` pair occurs at most once per terminator arm; when
+    /// both arms of a `condbr` target `to`, both are redirected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` has no successor edge to `to`.
+    pub fn split_edge(&mut self, from: BlockId, to: BlockId) -> BlockId {
+        let mid = self.add_block(Block {
+            name: None,
+            insts: Vec::new(),
+            term: Terminator::Br(to),
+        });
+        let term = &mut self.blocks[from.index()].term;
+        let mut found = false;
+        term.map_successors(|s| {
+            if s == to {
+                found = true;
+                mid
+            } else {
+                s
+            }
+        });
+        assert!(found, "no edge {from} -> {to} to split");
+        mid
+    }
+
+    /// Finds a block by label.
+    pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.name.as_deref() == Some(name))
+            .map(BlockId::from_usize)
+    }
+
+    /// Total number of instructions (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A whole program: variables plus functions, with a designated entry
+/// function.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// Module name, for diagnostics.
+    pub name: String,
+    /// Program variables, indexed by [`VarId`].
+    pub vars: Vec<Variable>,
+    /// Functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// Entry function (`main`), if designated.
+    pub entry: Option<FuncId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            ..Module::default()
+        }
+    }
+
+    /// Adds a variable, returning its id.
+    pub fn add_var(&mut self, var: Variable) -> VarId {
+        let id = VarId::from_usize(self.vars.len());
+        self.vars.push(var);
+        id
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_func(&mut self, func: Function) -> FuncId {
+        let id = FuncId::from_usize(self.funcs.len());
+        self.funcs.push(func);
+        id
+    }
+
+    /// Returns the variable with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn var(&self, id: VarId) -> &Variable {
+        &self.vars[id.index()]
+    }
+
+    /// Returns the function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to the function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Finds a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(VarId::from_usize)
+    }
+
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::from_usize)
+    }
+
+    /// The entry function id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry function was designated.
+    pub fn entry_func(&self) -> FuncId {
+        self.entry.expect("module has no entry function")
+    }
+
+    /// Total data footprint in bytes (sum of all variable sizes). Used by
+    /// Table I's VM-fit check for all-VM techniques.
+    pub fn data_bytes(&self) -> usize {
+        self.vars.iter().map(Variable::bytes).sum()
+    }
+
+    /// Iterates over `(VarId, &Variable)` pairs.
+    pub fn iter_vars(&self) -> impl Iterator<Item = (VarId, &Variable)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId::from_usize(i), v))
+    }
+
+    /// Iterates over `(FuncId, &Function)` pairs.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId::from_usize(i), f))
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::printer::print_module(self))
+    }
+}
+
+/// A CFG edge, the unit of potential checkpoint locations (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source block.
+    pub from: BlockId,
+    /// Destination block.
+    pub to: BlockId,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(from: BlockId, to: BlockId) -> Self {
+        Edge { from, to }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// Convenience constructor for an immediate operand.
+pub fn imm(v: i32) -> Operand {
+    Operand::Imm(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Operand};
+
+    fn tiny_func() -> Function {
+        Function {
+            name: "f".into(),
+            n_params: 0,
+            n_regs: 1,
+            blocks: vec![
+                Block {
+                    name: Some("entry".into()),
+                    insts: vec![Inst::Copy {
+                        dst: Reg(0),
+                        src: Operand::Imm(1),
+                    }],
+                    term: Terminator::Br(BlockId(1)),
+                },
+                Block {
+                    name: Some("exit".into()),
+                    insts: vec![],
+                    term: Terminator::Ret(Some(Operand::Reg(Reg(0)))),
+                },
+            ],
+            entry: BlockId(0),
+            max_iters: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn variable_constructors() {
+        let s = Variable::scalar("x");
+        assert_eq!(s.words, 1);
+        assert_eq!(s.bytes(), WORD_BYTES);
+        let a = Variable::array("buf", 16).with_init(vec![1, 2]).pinned();
+        assert_eq!(a.words, 16);
+        assert!(a.pinned_nvm);
+        assert_eq!(a.init, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_sized_variable_rejected() {
+        let _ = Variable::array("z", 0);
+    }
+
+    #[test]
+    fn module_lookup_by_name() {
+        let mut m = Module::new("t");
+        let v = m.add_var(Variable::scalar("sum"));
+        let f = m.add_func(tiny_func());
+        m.entry = Some(f);
+        assert_eq!(m.var_by_name("sum"), Some(v));
+        assert_eq!(m.var_by_name("nope"), None);
+        assert_eq!(m.func_by_name("f"), Some(f));
+        assert_eq!(m.entry_func(), f);
+        assert_eq!(m.data_bytes(), WORD_BYTES);
+    }
+
+    #[test]
+    fn split_edge_inserts_block() {
+        let mut f = tiny_func();
+        let mid = f.split_edge(BlockId(0), BlockId(1));
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.block(BlockId(0)).term, Terminator::Br(mid));
+        assert_eq!(f.block(mid).term, Terminator::Br(BlockId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn split_missing_edge_panics() {
+        let mut f = tiny_func();
+        f.split_edge(BlockId(1), BlockId(0));
+    }
+
+    #[test]
+    fn new_reg_increments() {
+        let mut f = tiny_func();
+        let r1 = f.new_reg();
+        let r2 = f.new_reg();
+        assert_eq!(r1, Reg(1));
+        assert_eq!(r2, Reg(2));
+        assert_eq!(f.n_regs, 3);
+    }
+
+    #[test]
+    fn inst_count_sums_blocks() {
+        let f = tiny_func();
+        assert_eq!(f.inst_count(), 1);
+    }
+
+    #[test]
+    fn block_by_name_finds_label() {
+        let f = tiny_func();
+        assert_eq!(f.block_by_name("exit"), Some(BlockId(1)));
+        assert_eq!(f.block_by_name("nope"), None);
+    }
+
+    #[test]
+    fn edge_display() {
+        assert_eq!(Edge::new(BlockId(0), BlockId(3)).to_string(), "bb0->bb3");
+    }
+
+    #[test]
+    fn op_helpers() {
+        assert_eq!(imm(5), Operand::Imm(5));
+        let _ = BinOp::Add; // silence unused import in some cfgs
+    }
+}

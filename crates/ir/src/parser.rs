@@ -1,0 +1,934 @@
+//! Parser for the textual IR format produced by [`crate::printer`].
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! module "<name>"
+//! var @<name> : <words> [pinned] [= [<int>, ...]]
+//! func @<name>(<n_params>) {
+//! <label>: [\[max_iters=<n>\]]
+//!   <inst>
+//!   ...
+//!   <terminator>
+//! }
+//! ```
+//!
+//! A function named `main` becomes the module entry point. Comments start
+//! with `//` or `;` and run to end of line.
+
+use crate::ids::{BlockId, CheckpointId, FuncId, Reg, VarId};
+use crate::inst::{BinOp, CmpOp, Inst, Operand, Terminator, UnOp};
+use crate::module::{Block, Function, Module, Variable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced when parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    AtIdent(String),
+    Int(i64),
+    Str(String),
+    Punct(char),
+    Eol,
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>, // (line, token)
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Lexer> {
+    let mut toks = Vec::new();
+    for (ln0, raw_line) in src.lines().enumerate() {
+        let line = ln0 + 1;
+        let code = match (raw_line.find("//"), raw_line.find(';')) {
+            (Some(a), Some(b)) => &raw_line[..a.min(b)],
+            (Some(a), None) => &raw_line[..a],
+            (None, Some(b)) => &raw_line[..b],
+            (None, None) => raw_line,
+        };
+        let bytes = code.as_bytes();
+        let mut i = 0;
+        let mut emitted = false;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            emitted = true;
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((line, Tok::Ident(code[start..i].to_string())));
+            } else if c == '@' {
+                i += 1;
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(ParseError {
+                        line,
+                        message: "expected identifier after '@'".into(),
+                    });
+                }
+                toks.push((line, Tok::AtIdent(code[start..i].to_string())));
+            } else if c.is_ascii_digit() || (c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &code[start..i];
+                let value = text.parse::<i64>().map_err(|_| ParseError {
+                    line,
+                    message: format!("invalid integer literal '{text}'"),
+                })?;
+                toks.push((line, Tok::Int(value)));
+            } else if c == '"' {
+                let start = i + 1;
+                let rest = &code[start..];
+                let end = rest.find('"').ok_or_else(|| ParseError {
+                    line,
+                    message: "unterminated string literal".into(),
+                })?;
+                toks.push((line, Tok::Str(rest[..end].to_string())));
+                i = start + end + 1;
+            } else if "{}[]():,=.".contains(c) {
+                toks.push((line, Tok::Punct(c)));
+                i += 1;
+            } else {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character '{c}'"),
+                });
+            }
+        }
+        if emitted {
+            toks.push((line, Tok::Eol));
+        }
+    }
+    Ok(Lexer { toks, pos: 0 })
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(l, _)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<()> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected '{c}', found {other:?}"))
+            }
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_eol(&mut self) {
+        while self.peek() == Some(&Tok::Eol) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn expect_at_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::AtIdent(s)) => Ok(s),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected '@name', found {other:?}"))
+            }
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(v),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected integer, found {other:?}"))
+            }
+        }
+    }
+}
+
+fn parse_reg(l: &Lexer, s: &str) -> Result<Reg> {
+    if let Some(num) = s.strip_prefix('r') {
+        if let Ok(v) = num.parse::<u32>() {
+            return Ok(Reg(v));
+        }
+    }
+    l.err(format!("expected register 'rN', found '{s}'"))
+}
+
+struct PendingCall {
+    func_idx: usize,
+    block: usize,
+    inst: usize,
+    callee: String,
+    line: usize,
+}
+
+struct FuncCtx<'a> {
+    vars: &'a HashMap<String, VarId>,
+}
+
+impl FuncCtx<'_> {
+    fn var(&self, l: &Lexer, name: &str) -> Result<VarId> {
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseError {
+                line: l.line(),
+                message: format!("unknown variable '@{name}'"),
+            })
+    }
+}
+
+fn parse_operand(l: &mut Lexer) -> Result<Operand> {
+    match l.next() {
+        Some(Tok::Ident(s)) => Ok(Operand::Reg(parse_reg(l, &s)?)),
+        Some(Tok::Int(v)) => {
+            let v32 = i32::try_from(v).map_err(|_| ParseError {
+                line: l.line(),
+                message: format!("immediate {v} out of i32 range"),
+            })?;
+            Ok(Operand::Imm(v32))
+        }
+        other => {
+            l.pos = l.pos.saturating_sub(1);
+            l.err(format!("expected operand, found {other:?}"))
+        }
+    }
+}
+
+/// Parses a textual module.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pinpointing the first offending line on any
+/// syntax or reference error (unknown variable/function/label, duplicate
+/// names, malformed instruction).
+pub fn parse_module(src: &str) -> Result<Module> {
+    let mut l = lex(src)?;
+    let mut module = Module::new("unnamed");
+    let mut var_ids: HashMap<String, VarId> = HashMap::new();
+    let mut pending_calls: Vec<PendingCall> = Vec::new();
+
+    l.eat_eol();
+    // Optional module header.
+    if l.peek() == Some(&Tok::Ident("module".into())) {
+        l.next();
+        match l.next() {
+            Some(Tok::Str(s)) => module.name = s,
+            _ => return l.err("expected string after 'module'"),
+        }
+        l.eat_eol();
+    }
+
+    loop {
+        l.eat_eol();
+        match l.peek() {
+            None => break,
+            Some(Tok::Ident(k)) if k == "var" => {
+                l.next();
+                let name = l.expect_at_ident()?;
+                if var_ids.contains_key(&name) {
+                    return l.err(format!("duplicate variable '@{name}'"));
+                }
+                l.expect_punct(':')?;
+                let words = l.expect_int()?;
+                if words <= 0 {
+                    return l.err("variable size must be positive");
+                }
+                let mut var = Variable::array(name.clone(), words as usize);
+                if l.peek() == Some(&Tok::Ident("pinned".into())) {
+                    l.next();
+                    var = var.pinned();
+                }
+                if l.eat_punct('=') {
+                    l.expect_punct('[')?;
+                    let mut init = Vec::new();
+                    if !l.eat_punct(']') {
+                        loop {
+                            let v = l.expect_int()?;
+                            init.push(v as i32);
+                            if l.eat_punct(']') {
+                                break;
+                            }
+                            l.expect_punct(',')?;
+                        }
+                    }
+                    var = var.with_init(init);
+                }
+                let id = module.add_var(var);
+                var_ids.insert(name, id);
+            }
+            Some(Tok::Ident(k)) if k == "func" => {
+                let func = parse_function(&mut l, &module, &var_ids, &mut pending_calls)?;
+                if module.func_by_name(&func.name).is_some() {
+                    return l.err(format!("duplicate function '@{}'", func.name));
+                }
+                module.add_func(func);
+            }
+            other => return l.err(format!("expected 'var' or 'func', found {other:?}")),
+        }
+        l.eat_eol();
+    }
+
+    // Resolve call targets.
+    for pc in pending_calls {
+        let callee = module.func_by_name(&pc.callee).ok_or(ParseError {
+            line: pc.line,
+            message: format!("unknown function '@{}'", pc.callee),
+        })?;
+        if let Inst::Call { func, .. } =
+            &mut module.funcs[pc.func_idx].blocks[pc.block].insts[pc.inst]
+        {
+            *func = callee;
+        }
+    }
+
+    module.entry = module.func_by_name("main");
+    Ok(module)
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_function(
+    l: &mut Lexer,
+    module: &Module,
+    var_ids: &HashMap<String, VarId>,
+    pending_calls: &mut Vec<PendingCall>,
+) -> Result<Function> {
+    let func_idx = module.funcs.len();
+    l.next(); // 'func'
+    let name = l.expect_at_ident()?;
+    l.expect_punct('(')?;
+    let n_params = l.expect_int()? as usize;
+    l.expect_punct(')')?;
+    l.expect_punct('{')?;
+    l.eat_eol();
+
+    let ctx = FuncCtx { vars: var_ids };
+
+    // Pass 1: split into labelled blocks of raw instructions.
+    struct RawBlock {
+        name: String,
+        max_iters: Option<u64>,
+        insts: Vec<Inst>,
+        term: Option<RawTerm>,
+        line: usize,
+    }
+    enum RawTerm {
+        Br(String),
+        CondBr(Operand, String, String),
+        Ret(Option<Operand>),
+    }
+
+    let mut raw_blocks: Vec<RawBlock> = Vec::new();
+    let mut max_reg: u32 = n_params.max(1) as u32 - 1;
+    let track = |op: Operand, max_reg: &mut u32| {
+        if let Operand::Reg(r) = op {
+            *max_reg = (*max_reg).max(r.0);
+        }
+    };
+
+    loop {
+        l.eat_eol();
+        if l.eat_punct('}') {
+            break;
+        }
+        // A block label: ident ':'
+        let label = l.expect_ident()?;
+        let label_line = l.line();
+        l.expect_punct(':')?;
+        let mut max_iters = None;
+        if l.eat_punct('[') {
+            let key = l.expect_ident()?;
+            if key != "max_iters" {
+                return l.err(format!("unknown block attribute '{key}'"));
+            }
+            l.expect_punct('=')?;
+            let v = l.expect_int()?;
+            if v < 0 {
+                return l.err("max_iters must be non-negative");
+            }
+            max_iters = Some(v as u64);
+            l.expect_punct(']')?;
+        }
+        l.eat_eol();
+
+        let mut insts = Vec::new();
+        let mut term: Option<RawTerm> = None;
+        // Parse statements until the next label or '}'.
+        loop {
+            l.eat_eol();
+            // Lookahead: '}' ends the function; `ident :` starts a new block.
+            if l.peek() == Some(&Tok::Punct('}')) {
+                break;
+            }
+            if let (Some(Tok::Ident(_)), Some(Tok::Punct(':'))) = (
+                l.toks.get(l.pos).map(|(_, t)| t),
+                l.toks.get(l.pos + 1).map(|(_, t)| t),
+            ) {
+                break;
+            }
+            if term.is_some() {
+                return l.err("instruction after terminator");
+            }
+            match l.next() {
+                Some(Tok::Ident(w)) => match w.as_str() {
+                    "br" => {
+                        let target = l.expect_ident()?;
+                        term = Some(RawTerm::Br(target));
+                    }
+                    "condbr" => {
+                        let cond = parse_operand(l)?;
+                        track(cond, &mut max_reg);
+                        l.expect_punct(',')?;
+                        let t = l.expect_ident()?;
+                        l.expect_punct(',')?;
+                        let e = l.expect_ident()?;
+                        term = Some(RawTerm::CondBr(cond, t, e));
+                    }
+                    "ret" => {
+                        let v = if l.peek() == Some(&Tok::Eol) || l.peek().is_none() {
+                            None
+                        } else {
+                            let op = parse_operand(l)?;
+                            track(op, &mut max_reg);
+                            Some(op)
+                        };
+                        term = Some(RawTerm::Ret(v));
+                    }
+                    "store" => {
+                        let var = l.expect_at_ident()?;
+                        let var = ctx.var(l, &var)?;
+                        let idx = if l.eat_punct('[') {
+                            let i = parse_operand(l)?;
+                            track(i, &mut max_reg);
+                            l.expect_punct(']')?;
+                            Some(i)
+                        } else {
+                            None
+                        };
+                        l.expect_punct(',')?;
+                        let src = parse_operand(l)?;
+                        track(src, &mut max_reg);
+                        insts.push(Inst::Store { var, idx, src });
+                    }
+                    "call" => {
+                        let (inst, callee, line) = parse_call(l, None, &mut max_reg)?;
+                        pending_calls.push(PendingCall {
+                            func_idx,
+                            block: raw_blocks.len(),
+                            inst: insts.len(),
+                            callee,
+                            line,
+                        });
+                        insts.push(inst);
+                    }
+                    "checkpoint" => {
+                        let id = l.expect_int()?;
+                        insts.push(Inst::Checkpoint {
+                            id: CheckpointId(id as u32),
+                        });
+                    }
+                    "condcheckpoint" => {
+                        let id = l.expect_int()?;
+                        l.expect_punct(',')?;
+                        let period = l.expect_int()?;
+                        if period <= 0 {
+                            return l.err("condcheckpoint period must be >= 1");
+                        }
+                        insts.push(Inst::CondCheckpoint {
+                            id: CheckpointId(id as u32),
+                            period: period as u32,
+                        });
+                    }
+                    "savevar" => {
+                        let v = l.expect_at_ident()?;
+                        insts.push(Inst::SaveVar {
+                            var: ctx.var(l, &v)?,
+                        });
+                    }
+                    "restorevar" => {
+                        let v = l.expect_at_ident()?;
+                        insts.push(Inst::RestoreVar {
+                            var: ctx.var(l, &v)?,
+                        });
+                    }
+                    reg_text => {
+                        // `rN = <rhs>` forms.
+                        let dst = parse_reg(l, reg_text)?;
+                        max_reg = max_reg.max(dst.0);
+                        l.expect_punct('=')?;
+                        let inst = parse_assign_rhs(l, dst, &ctx, &mut max_reg, |callee, line, inst_idx| {
+                            pending_calls.push(PendingCall {
+                                func_idx,
+                                block: raw_blocks.len(),
+                                inst: inst_idx,
+                                callee,
+                                line,
+                            });
+                        }, insts.len())?;
+                        insts.push(inst);
+                    }
+                },
+                other => return l.err(format!("expected instruction, found {other:?}")),
+            }
+            l.eat_eol();
+            if term.is_some() {
+                break;
+            }
+        }
+
+        let term = match term {
+            Some(t) => t,
+            None => {
+                return Err(ParseError {
+                    line: label_line,
+                    message: format!("block '{label}' has no terminator"),
+                })
+            }
+        };
+        raw_blocks.push(RawBlock {
+            name: label,
+            max_iters,
+            insts,
+            term: Some(term),
+            line: label_line,
+        });
+    }
+
+    if raw_blocks.is_empty() {
+        return l.err(format!("function '@{name}' has no blocks"));
+    }
+
+    // Pass 2: resolve labels.
+    let mut labels: HashMap<String, BlockId> = HashMap::new();
+    for (i, rb) in raw_blocks.iter().enumerate() {
+        if labels.insert(rb.name.clone(), BlockId::from_usize(i)).is_some() {
+            return Err(ParseError {
+                line: rb.line,
+                message: format!("duplicate block label '{}'", rb.name),
+            });
+        }
+    }
+    let resolve = |label: &str, line: usize| -> Result<BlockId> {
+        labels.get(label).copied().ok_or(ParseError {
+            line,
+            message: format!("unknown block label '{label}'"),
+        })
+    };
+
+    let mut blocks = Vec::with_capacity(raw_blocks.len());
+    let mut max_iters = HashMap::new();
+    for (i, rb) in raw_blocks.into_iter().enumerate() {
+        if let Some(m) = rb.max_iters {
+            max_iters.insert(BlockId::from_usize(i), m);
+        }
+        let term = match rb.term.expect("checked above") {
+            RawTerm::Br(t) => Terminator::Br(resolve(&t, rb.line)?),
+            RawTerm::CondBr(c, t, e) => Terminator::CondBr {
+                cond: c,
+                then_bb: resolve(&t, rb.line)?,
+                else_bb: resolve(&e, rb.line)?,
+            },
+            RawTerm::Ret(v) => Terminator::Ret(v),
+        };
+        blocks.push(Block {
+            name: Some(rb.name),
+            insts: rb.insts,
+            term,
+        });
+    }
+
+    Ok(Function {
+        name,
+        n_params,
+        n_regs: (max_reg as usize + 1).max(n_params),
+        blocks,
+        entry: BlockId(0),
+        max_iters,
+    })
+}
+
+fn parse_call(
+    l: &mut Lexer,
+    dst: Option<Reg>,
+    max_reg: &mut u32,
+) -> Result<(Inst, String, usize)> {
+    let callee = l.expect_at_ident()?;
+    let line = l.line();
+    l.expect_punct('(')?;
+    let mut args = Vec::new();
+    if !l.eat_punct(')') {
+        loop {
+            let a = parse_operand(l)?;
+            if let Operand::Reg(r) = a {
+                *max_reg = (*max_reg).max(r.0);
+            }
+            args.push(a);
+            if l.eat_punct(')') {
+                break;
+            }
+            l.expect_punct(',')?;
+        }
+    }
+    Ok((
+        Inst::Call {
+            dst,
+            func: FuncId(u32::MAX), // fixed up by the caller
+            args,
+        },
+        callee,
+        line,
+    ))
+}
+
+fn parse_assign_rhs(
+    l: &mut Lexer,
+    dst: Reg,
+    ctx: &FuncCtx<'_>,
+    max_reg: &mut u32,
+    mut on_call: impl FnMut(String, usize, usize),
+    inst_idx: usize,
+) -> Result<Inst> {
+    let track = |op: Operand, max_reg: &mut u32| {
+        if let Operand::Reg(r) = op {
+            *max_reg = (*max_reg).max(r.0);
+        }
+    };
+    let word = l.expect_ident()?;
+    match word.as_str() {
+        "mov" => {
+            let src = parse_operand(l)?;
+            track(src, max_reg);
+            Ok(Inst::Copy { dst, src })
+        }
+        "load" => {
+            let v = l.expect_at_ident()?;
+            let var = ctx.var(l, &v)?;
+            let idx = if l.eat_punct('[') {
+                let i = parse_operand(l)?;
+                track(i, max_reg);
+                l.expect_punct(']')?;
+                Some(i)
+            } else {
+                None
+            };
+            Ok(Inst::Load { dst, var, idx })
+        }
+        "select" => {
+            let cond = parse_operand(l)?;
+            track(cond, max_reg);
+            l.expect_punct(',')?;
+            let a = parse_operand(l)?;
+            track(a, max_reg);
+            l.expect_punct(',')?;
+            let b = parse_operand(l)?;
+            track(b, max_reg);
+            Ok(Inst::Select {
+                dst,
+                cond,
+                then_val: a,
+                else_val: b,
+            })
+        }
+        "call" => {
+            let (inst, callee, line) = parse_call(l, Some(dst), max_reg)?;
+            on_call(callee, line, inst_idx);
+            Ok(inst)
+        }
+        "cmp" => {
+            l.expect_punct('.')?;
+            let pred = l.expect_ident()?;
+            let op = CmpOp::from_mnemonic(&pred)
+                .ok_or_else(|| ParseError {
+                    line: l.line(),
+                    message: format!("unknown comparison predicate '{pred}'"),
+                })?;
+            let lhs = parse_operand(l)?;
+            track(lhs, max_reg);
+            l.expect_punct(',')?;
+            let rhs = parse_operand(l)?;
+            track(rhs, max_reg);
+            Ok(Inst::Cmp { dst, op, lhs, rhs })
+        }
+        other => {
+            if let Some(op) = UnOp::from_mnemonic(other) {
+                let src = parse_operand(l)?;
+                track(src, max_reg);
+                return Ok(Inst::Un { dst, op, src });
+            }
+            if let Some(op) = BinOp::from_mnemonic(other) {
+                let lhs = parse_operand(l)?;
+                track(lhs, max_reg);
+                l.expect_punct(',')?;
+                let rhs = parse_operand(l)?;
+                track(rhs, max_reg);
+                return Ok(Inst::Bin { dst, op, lhs, rhs });
+            }
+            l.err(format!("unknown instruction '{other}'"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const SUM: &str = r#"
+module "sum"
+
+var @array : 8 = [1, 2, 3, 4, 5, 6, 7, 8]
+var @sum : 1
+
+func @main(0) {
+entry:
+  r0 = mov 0
+  store @sum, 0
+  br loop
+loop: [max_iters=9]
+  r1 = cmp.sge r0, 8
+  condbr r1, exit, body
+body:
+  r2 = load @array[r0]
+  r3 = load @sum
+  r4 = add r3, r2
+  store @sum, r4
+  r0 = add r0, 1
+  br loop
+exit:
+  r5 = load @sum
+  ret r5
+}
+"#;
+
+    #[test]
+    fn parses_sum_module() {
+        let m = parse_module(SUM).unwrap();
+        assert_eq!(m.name, "sum");
+        assert_eq!(m.vars.len(), 2);
+        assert_eq!(m.var(VarId(0)).init.len(), 8);
+        assert_eq!(m.funcs.len(), 1);
+        let f = &m.funcs[0];
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.n_regs, 6);
+        assert_eq!(f.max_iters[&BlockId(1)], 9);
+        assert_eq!(m.entry, Some(FuncId(0)));
+    }
+
+    #[test]
+    fn roundtrips_through_printer() {
+        let m = parse_module(SUM).unwrap();
+        let text = print_module(&m);
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn parses_calls_with_forward_reference() {
+        let src = r#"
+func @main(0) {
+entry:
+  r0 = call @helper(3, r0)
+  call @helper(1, 2)
+  ret r0
+}
+
+func @helper(2) {
+entry:
+  r2 = add r0, r1
+  ret r2
+}
+"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.funcs.len(), 2);
+        let main = &m.funcs[0];
+        match &main.blocks[0].insts[0] {
+            Inst::Call { func, args, dst } => {
+                assert_eq!(*func, FuncId(1));
+                assert_eq!(args.len(), 2);
+                assert!(dst.is_some());
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+        let m2 = parse_module(&print_module(&m)).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn parses_intrinsics() {
+        let src = r#"
+var @v : 2
+func @main(0) {
+entry:
+  checkpoint 0
+  condcheckpoint 1, 8
+  savevar @v
+  restorevar @v
+  ret
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let insts = &m.funcs[0].blocks[0].insts;
+        assert!(matches!(insts[0], Inst::Checkpoint { .. }));
+        assert!(matches!(insts[1], Inst::CondCheckpoint { period: 8, .. }));
+        assert!(matches!(insts[2], Inst::SaveVar { .. }));
+        assert!(matches!(insts[3], Inst::RestoreVar { .. }));
+        let m2 = parse_module(&print_module(&m)).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn error_unknown_variable() {
+        let err = parse_module("func @main(0) {\nentry:\n  r0 = load @nope\n  ret\n}").unwrap_err();
+        assert!(err.message.contains("unknown variable"), "{err}");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn error_unknown_label() {
+        let err = parse_module("func @main(0) {\nentry:\n  br nowhere\n}").unwrap_err();
+        assert!(err.message.contains("unknown block label"), "{err}");
+    }
+
+    #[test]
+    fn error_unknown_function() {
+        let err = parse_module("func @main(0) {\nentry:\n  call @ghost()\n  ret\n}").unwrap_err();
+        assert!(err.message.contains("unknown function"), "{err}");
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let err =
+            parse_module("func @main(0) {\na:\n  ret\na:\n  ret\n}").unwrap_err();
+        assert!(err.message.contains("duplicate block label"), "{err}");
+    }
+
+    #[test]
+    fn error_missing_terminator() {
+        let err = parse_module("func @main(0) {\nentry:\n  r0 = mov 1\n}").unwrap_err();
+        assert!(err.message.contains("no terminator"), "{err}");
+    }
+
+    #[test]
+    fn error_instruction_after_terminator_unreachable() {
+        // `ret` closes the statement list; a stray instruction becomes a
+        // parse error because it is not a label.
+        let err = parse_module("func @main(0) {\nentry:\n  ret\n  r0 = mov 1\n}").unwrap_err();
+        assert!(!err.message.is_empty());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "// header\nvar @x : 1 ; trailing\nfunc @main(0) {\nentry: // blocks\n  ret // done\n}";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.vars.len(), 1);
+    }
+
+    #[test]
+    fn negative_immediates() {
+        let m = parse_module("func @main(0) {\nentry:\n  r0 = mov -5\n  ret r0\n}").unwrap();
+        match m.funcs[0].blocks[0].insts[0] {
+            Inst::Copy {
+                src: Operand::Imm(-5),
+                ..
+            } => {}
+            ref other => panic!("expected mov -5, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinned_variable_parses() {
+        let m = parse_module("var @t : 4 pinned = [1]\nfunc @main(0) {\nentry:\n  ret\n}").unwrap();
+        assert!(m.var(VarId(0)).pinned_nvm);
+    }
+
+    #[test]
+    fn all_binops_parse() {
+        for op in BinOp::ALL {
+            let src = format!(
+                "func @main(0) {{\nentry:\n  r0 = {} 1, 2\n  ret r0\n}}",
+                op.mnemonic()
+            );
+            let m = parse_module(&src).unwrap();
+            match m.funcs[0].blocks[0].insts[0] {
+                Inst::Bin { op: got, .. } => assert_eq!(got, op),
+                ref other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Execution paths over a CFG.
+//!
+//! SCHEMATIC analyzes one path at a time (§III-A): an ordered sequence of
+//! basic blocks from a region entry to a region exit. Profiled paths come
+//! from emulator traces; never-executed code is covered by paths
+//! enumerated structurally from the CFG (§III-A.3).
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+use crate::module::Edge;
+
+/// An ordered, non-empty sequence of basic blocks connected by CFG edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    blocks: Vec<BlockId>,
+}
+
+impl Path {
+    /// Creates a path from blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn new(blocks: Vec<BlockId>) -> Self {
+        assert!(!blocks.is_empty(), "a path has at least one block");
+        Path { blocks }
+    }
+
+    /// The blocks of the path, in execution order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `false` always (paths are non-empty); provided for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First block.
+    pub fn first(&self) -> BlockId {
+        self.blocks[0]
+    }
+
+    /// Last block.
+    pub fn last(&self) -> BlockId {
+        *self.blocks.last().expect("non-empty")
+    }
+
+    /// The consecutive edges of the path — SCHEMATIC's potential
+    /// checkpoint locations along this path.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.blocks
+            .windows(2)
+            .map(|w| Edge::new(w[0], w[1]))
+    }
+
+    /// Checks that every consecutive pair is a CFG edge.
+    pub fn is_valid(&self, cfg: &Cfg) -> bool {
+        self.edges().all(|e| cfg.has_edge(e.from, e.to))
+    }
+
+    /// The sub-slice of blocks strictly between edge positions `i` and
+    /// `j` of this path, where position `i` refers to the edge after
+    /// `blocks[i]`. Used to collect the blocks of an RCG interval.
+    pub fn interval(&self, from_edge: usize, to_edge: usize) -> &[BlockId] {
+        &self.blocks[from_edge + 1..=to_edge]
+    }
+}
+
+impl FromIterator<BlockId> for Path {
+    fn from_iter<T: IntoIterator<Item = BlockId>>(iter: T) -> Self {
+        Path::new(iter.into_iter().collect())
+    }
+}
+
+/// Enumerates up to `limit` acyclic paths from `start` to any block
+/// satisfying `is_exit`, restricted to blocks for which `in_region`
+/// returns `true`.
+///
+/// Cycles are avoided by never revisiting a block already on the current
+/// path, so in a region whose back-edges are excluded (how SCHEMATIC
+/// analyzes loop bodies) this enumerates genuine execution paths.
+pub fn enumerate_paths(
+    cfg: &Cfg,
+    start: BlockId,
+    is_exit: impl Fn(BlockId) -> bool,
+    in_region: impl Fn(BlockId) -> bool,
+    allow_edge: impl Fn(BlockId, BlockId) -> bool,
+    limit: usize,
+) -> Vec<Path> {
+    let mut result = Vec::new();
+    if !in_region(start) || limit == 0 {
+        return result;
+    }
+    let mut on_path = vec![false; cfg.len()];
+    let mut current = vec![start];
+    on_path[start.index()] = true;
+    // Iterative DFS over (block, next successor index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(start, 0)];
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        if *next == 0 && is_exit(b) {
+            result.push(Path::new(current.clone()));
+            if result.len() >= limit {
+                return result;
+            }
+        }
+        let succs = cfg.succs(b);
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if in_region(s) && !on_path[s.index()] && allow_edge(b, s) {
+                on_path[s.index()] = true;
+                current.push(s);
+                stack.push((s, 0));
+            }
+        } else {
+            stack.pop();
+            current.pop();
+            on_path[b.index()] = false;
+        }
+    }
+    result
+}
+
+/// Extracts maximal per-function paths from a flat block trace.
+///
+/// A trace is the sequence of blocks executed by one emulator run of a
+/// single function. The trace is cut at back-edges (`allow_edge`
+/// returning `false`) so each resulting path is acyclic, matching the
+/// path shape SCHEMATIC analyzes.
+pub fn paths_from_trace(
+    trace: &[BlockId],
+    allow_edge: impl Fn(BlockId, BlockId) -> bool,
+) -> Vec<Path> {
+    let mut paths = Vec::new();
+    let mut cur: Vec<BlockId> = Vec::new();
+    for &b in trace {
+        if let Some(&prev) = cur.last() {
+            if !allow_edge(prev, b) || cur.contains(&b) {
+                paths.push(Path::new(std::mem::take(&mut cur)));
+            }
+        }
+        cur.push(b);
+    }
+    if !cur.is_empty() {
+        paths.push(Path::new(cur));
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+    use crate::Reg;
+
+    fn diamond_cfg() -> Cfg {
+        let mut f = FunctionBuilder::new("f", 1);
+        let t = f.new_block("t");
+        let e = f.new_block("e");
+        let join = f.new_block("join");
+        let c = f.cmp(CmpOp::SGt, Reg(0), 0);
+        f.cond_br(c, t, e);
+        f.switch_to(t);
+        f.br(join);
+        f.switch_to(e);
+        f.br(join);
+        f.switch_to(join);
+        f.ret(None);
+        Cfg::new(&f.finish())
+    }
+
+    #[test]
+    fn path_edges_and_validity() {
+        let cfg = diamond_cfg();
+        let p = Path::new(vec![BlockId(0), BlockId(1), BlockId(3)]);
+        assert!(p.is_valid(&cfg));
+        let edges: Vec<_> = p.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                Edge::new(BlockId(0), BlockId(1)),
+                Edge::new(BlockId(1), BlockId(3))
+            ]
+        );
+        assert_eq!(p.first(), BlockId(0));
+        assert_eq!(p.last(), BlockId(3));
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+
+        let bad = Path::new(vec![BlockId(1), BlockId(2)]);
+        assert!(!bad.is_valid(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_path_panics() {
+        let _ = Path::new(vec![]);
+    }
+
+    #[test]
+    fn interval_selects_blocks_between_edges() {
+        let p = Path::new(vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)]);
+        // Edge 0 is 0->1, edge 2 is 2->3; the interval covers blocks 1, 2.
+        assert_eq!(p.interval(0, 2), &[BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn enumerate_diamond_paths() {
+        let cfg = diamond_cfg();
+        let paths = enumerate_paths(
+            &cfg,
+            BlockId(0),
+            |b| b == BlockId(3),
+            |_| true,
+            |_, _| true,
+            10,
+        );
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&Path::new(vec![BlockId(0), BlockId(1), BlockId(3)])));
+        assert!(paths.contains(&Path::new(vec![BlockId(0), BlockId(2), BlockId(3)])));
+    }
+
+    #[test]
+    fn enumerate_respects_limit_and_region() {
+        let cfg = diamond_cfg();
+        let paths = enumerate_paths(
+            &cfg,
+            BlockId(0),
+            |b| b == BlockId(3),
+            |_| true,
+            |_, _| true,
+            1,
+        );
+        assert_eq!(paths.len(), 1);
+        // Restrict the region to exclude block 1: only the e-branch path.
+        let paths = enumerate_paths(
+            &cfg,
+            BlockId(0),
+            |b| b == BlockId(3),
+            |b| b != BlockId(1),
+            |_, _| true,
+            10,
+        );
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].blocks()[1], BlockId(2));
+    }
+
+    #[test]
+    fn enumerate_skips_forbidden_edges() {
+        let cfg = diamond_cfg();
+        let paths = enumerate_paths(
+            &cfg,
+            BlockId(0),
+            |b| b == BlockId(3),
+            |_| true,
+            |f, t| !(f == BlockId(0) && t == BlockId(2)),
+            10,
+        );
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn trace_cut_at_back_edges() {
+        // Simulated trace: entry, header, body, header, body, header, exit
+        let h = BlockId(1);
+        let b = BlockId(2);
+        let trace = vec![BlockId(0), h, b, h, b, h, BlockId(3)];
+        let paths = paths_from_trace(&trace, |from, to| !(from == b && to == h));
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].blocks(), &[BlockId(0), h, b]);
+        assert_eq!(paths[1].blocks(), &[h, b]);
+        assert_eq!(paths[2].blocks(), &[h, BlockId(3)]);
+    }
+
+    #[test]
+    fn trace_cut_on_repeat_even_without_back_edge_marking() {
+        let trace = vec![BlockId(0), BlockId(1), BlockId(0), BlockId(2)];
+        let paths = paths_from_trace(&trace, |_, _| true);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].blocks(), &[BlockId(0), BlockId(1)]);
+        assert_eq!(paths[1].blocks(), &[BlockId(0), BlockId(2)]);
+    }
+}

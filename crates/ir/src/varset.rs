@@ -1,0 +1,292 @@
+//! Compact bitsets over [`VarId`]s.
+//!
+//! Allocation maps, liveness sets and gain computations all manipulate
+//! sets of variables; a `u64`-chunked bitset keeps those operations cheap
+//! even for modules with hundreds of variables.
+
+use crate::ids::VarId;
+use std::fmt;
+
+/// A set of variables, backed by a bit vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VarSet {
+    bits: Vec<u64>,
+}
+
+impl VarSet {
+    /// Creates an empty set sized for `n_vars` variables.
+    pub fn new(n_vars: usize) -> Self {
+        VarSet {
+            bits: vec![0; n_vars.div_ceil(64)],
+        }
+    }
+
+    /// Creates a set containing every one of the `n_vars` variables.
+    pub fn full(n_vars: usize) -> Self {
+        let mut s = Self::new(n_vars);
+        for i in 0..n_vars {
+            s.insert(VarId::from_usize(i));
+        }
+        s
+    }
+
+    /// Creates an empty set with no capacity (grows on insert).
+    pub fn empty() -> Self {
+        VarSet::default()
+    }
+
+    fn grow_for(&mut self, v: VarId) {
+        let chunk = v.index() / 64;
+        if chunk >= self.bits.len() {
+            self.bits.resize(chunk + 1, 0);
+        }
+    }
+
+    /// Inserts `v`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, v: VarId) -> bool {
+        self.grow_for(v);
+        let (c, b) = (v.index() / 64, v.index() % 64);
+        let was = self.bits[c] & (1 << b) != 0;
+        self.bits[c] |= 1 << b;
+        !was
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    pub fn remove(&mut self, v: VarId) -> bool {
+        let (c, b) = (v.index() / 64, v.index() % 64);
+        if c >= self.bits.len() {
+            return false;
+        }
+        let was = self.bits[c] & (1 << b) != 0;
+        self.bits[c] &= !(1 << b);
+        was
+    }
+
+    /// Whether `v` is in the set.
+    pub fn contains(&self, v: VarId) -> bool {
+        let (c, b) = (v.index() / 64, v.index() % 64);
+        c < self.bits.len() && self.bits[c] & (1 << b) != 0
+    }
+
+    /// Number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|c| c.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&c| c == 0)
+    }
+
+    /// In-place union; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &VarSet) -> bool {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        let mut changed = false;
+        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// In-place difference (`self -= other`).
+    pub fn subtract(&mut self, other: &VarSet) {
+        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &VarSet) {
+        for (i, a) in self.bits.iter_mut().enumerate() {
+            *a &= other.bits.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Returns the union of two sets.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns the intersection of two sets.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(c, &chunk)| {
+            (0..64)
+                .filter(move |b| chunk & (1u64 << b) != 0)
+                .map(move |b| VarId::from_usize(c * 64 + b))
+        })
+    }
+}
+
+impl FromIterator<VarId> for VarSet {
+    fn from_iter<T: IntoIterator<Item = VarId>>(iter: T) -> Self {
+        let mut s = VarSet::empty();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<VarId> for VarSet {
+    fn extend<T: IntoIterator<Item = VarId>>(&mut self, iter: T) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = VarSet::new(4);
+        assert!(s.is_empty());
+        assert!(s.insert(VarId(2)));
+        assert!(!s.insert(VarId(2)));
+        assert!(s.contains(VarId(2)));
+        assert!(!s.contains(VarId(1)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(VarId(2)));
+        assert!(!s.remove(VarId(2)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut s = VarSet::new(1);
+        assert!(s.insert(VarId(200)));
+        assert!(s.contains(VarId(200)));
+        assert!(!s.contains(VarId(199)));
+        assert!(!s.remove(VarId(100_000))); // out of allocated range
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: VarSet = [VarId(0), VarId(1), VarId(64)].into_iter().collect();
+        let b: VarSet = [VarId(1), VarId(2)].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 4);
+        let i = a.intersection(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![VarId(1)]);
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![VarId(0), VarId(64)]);
+    }
+
+    #[test]
+    fn union_with_reports_change() {
+        let mut a: VarSet = [VarId(0)].into_iter().collect();
+        let b: VarSet = [VarId(1)].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b)); // no change the second time
+    }
+
+    #[test]
+    fn full_contains_all() {
+        let s = VarSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(VarId(69)));
+        assert!(!s.contains(VarId(70)));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s: VarSet = [VarId(65), VarId(3), VarId(64)].into_iter().collect();
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![VarId(3), VarId(64), VarId(65)]);
+    }
+
+    #[test]
+    fn debug_shows_members() {
+        let s: VarSet = [VarId(1)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{@v1}");
+    }
+
+    #[test]
+    fn extend_adds_members() {
+        let mut s = VarSet::empty();
+        s.extend([VarId(5), VarId(6)]);
+        assert_eq!(s.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn arb_ids() -> impl Strategy<Value = Vec<u32>> {
+        prop::collection::vec(0u32..200, 0..40)
+    }
+
+    proptest! {
+        /// VarSet agrees with a BTreeSet model under inserts/removes.
+        #[test]
+        fn matches_btreeset_model(inserts in arb_ids(), removes in arb_ids()) {
+            let mut set = VarSet::empty();
+            let mut model = BTreeSet::new();
+            for &i in &inserts {
+                prop_assert_eq!(set.insert(VarId(i)), model.insert(i));
+            }
+            for &i in &removes {
+                prop_assert_eq!(set.remove(VarId(i)), model.remove(&i));
+            }
+            prop_assert_eq!(set.len(), model.len());
+            let got: Vec<u32> = set.iter().map(|v| v.0).collect();
+            let want: Vec<u32> = model.iter().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Set algebra agrees with the model.
+        #[test]
+        fn algebra_matches_model(a in arb_ids(), b in arb_ids()) {
+            let sa: VarSet = a.iter().map(|&i| VarId(i)).collect();
+            let sb: VarSet = b.iter().map(|&i| VarId(i)).collect();
+            let ma: BTreeSet<u32> = a.iter().copied().collect();
+            let mb: BTreeSet<u32> = b.iter().copied().collect();
+
+            let union: Vec<u32> = sa.union(&sb).iter().map(|v| v.0).collect();
+            let munion: Vec<u32> = ma.union(&mb).copied().collect();
+            prop_assert_eq!(union, munion);
+
+            let inter: Vec<u32> = sa.intersection(&sb).iter().map(|v| v.0).collect();
+            let minter: Vec<u32> = ma.intersection(&mb).copied().collect();
+            prop_assert_eq!(inter, minter);
+
+            let mut diff = sa.clone();
+            diff.subtract(&sb);
+            let got: Vec<u32> = diff.iter().map(|v| v.0).collect();
+            let want: Vec<u32> = ma.difference(&mb).copied().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

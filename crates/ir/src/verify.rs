@@ -1,0 +1,541 @@
+//! Module verifier.
+//!
+//! Checks the structural invariants every pass and the emulator rely on:
+//!
+//! * block/terminator targets are in range;
+//! * every register operand is below the function's register count and
+//!   defined on every path before use (approximated by a forward
+//!   dataflow of definitely-assigned registers);
+//! * variable and function references are in range, call arity matches;
+//! * constant array indices are within the variable's bounds;
+//! * the module entry (if set) takes no parameters;
+//! * the program is non-recursive (paper §III-B.1);
+//! * every natural-loop header carries a `max_iters` annotation (needed
+//!   by the WCEC analysis, §III-B.2).
+
+use crate::callgraph::CallGraph;
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use crate::ids::{BlockId, FuncId, Reg};
+use crate::inst::{Inst, Operand};
+use crate::loops::LoopForest;
+use crate::module::Module;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the error occurred, if function-scoped.
+    pub func: Option<FuncId>,
+    /// Block in which the error occurred, if block-scoped.
+    pub block: Option<BlockId>,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.func, self.block) {
+            (Some(fun), Some(b)) => write!(f, "[{fun} {b}] {}", self.message),
+            (Some(fun), None) => write!(f, "[{fun}] {}", self.message),
+            _ => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies `module`, returning all violations found (empty = valid).
+pub fn verify_module(module: &Module) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+
+    if let Some(entry) = module.entry {
+        if entry.index() >= module.funcs.len() {
+            errors.push(VerifyError {
+                func: None,
+                block: None,
+                message: format!("entry {entry} out of range"),
+            });
+            return errors;
+        }
+        if module.func(entry).n_params != 0 {
+            errors.push(VerifyError {
+                func: Some(entry),
+                block: None,
+                message: "entry function must take no parameters".into(),
+            });
+        }
+    }
+
+    // Duplicate names.
+    for (i, v) in module.vars.iter().enumerate() {
+        if module.vars[..i].iter().any(|w| w.name == v.name) {
+            errors.push(VerifyError {
+                func: None,
+                block: None,
+                message: format!("duplicate variable name '{}'", v.name),
+            });
+        }
+    }
+    for (i, f) in module.funcs.iter().enumerate() {
+        if module.funcs[..i].iter().any(|g| g.name == f.name) {
+            errors.push(VerifyError {
+                func: None,
+                block: None,
+                message: format!("duplicate function name '{}'", f.name),
+            });
+        }
+    }
+
+    for (fid, _) in module.iter_funcs() {
+        verify_function(module, fid, &mut errors);
+    }
+
+    // Recursion check (only meaningful if references are valid).
+    if errors.is_empty() {
+        let cg = CallGraph::new(module);
+        if let Err(e) = cg.bottom_up_order(module) {
+            errors.push(VerifyError {
+                func: Some(e.func),
+                block: None,
+                message: e.to_string(),
+            });
+        }
+    }
+
+    errors
+}
+
+fn verify_function(module: &Module, fid: FuncId, errors: &mut Vec<VerifyError>) {
+    let func = module.func(fid);
+    let n_blocks = func.blocks.len();
+    let err = |block: Option<BlockId>, message: String| VerifyError {
+        func: Some(fid),
+        block,
+        message,
+    };
+
+    if n_blocks == 0 {
+        errors.push(err(None, "function has no blocks".into()));
+        return;
+    }
+    if func.entry.index() >= n_blocks {
+        errors.push(err(None, format!("entry {} out of range", func.entry)));
+        return;
+    }
+
+    let before = errors.len();
+
+    for (bid, block) in func.iter_blocks() {
+        // Terminator targets.
+        for t in block.term.successors() {
+            if t.index() >= n_blocks {
+                errors.push(err(Some(bid), format!("branch target {t} out of range")));
+            }
+        }
+        // Instruction well-formedness.
+        for inst in &block.insts {
+            let mut check_op = |op: Operand| {
+                if let Operand::Reg(r) = op {
+                    if r.index() >= func.n_regs {
+                        errors.push(err(
+                            Some(bid),
+                            format!("register {r} out of range (n_regs={})", func.n_regs),
+                        ));
+                    }
+                }
+            };
+            inst.for_each_use(&mut check_op);
+            if let Some(d) = inst.def() {
+                if d.index() >= func.n_regs {
+                    errors.push(err(
+                        Some(bid),
+                        format!("defined register {d} out of range (n_regs={})", func.n_regs),
+                    ));
+                }
+            }
+            match inst {
+                Inst::Load { var, idx, .. } | Inst::Store { var, idx, .. } => {
+                    if var.index() >= module.vars.len() {
+                        errors.push(err(Some(bid), format!("variable {var} out of range")));
+                    } else if let Some(Operand::Imm(i)) = idx {
+                        let words = module.var(*var).words;
+                        if *i < 0 || *i as usize >= words {
+                            errors.push(err(
+                                Some(bid),
+                                format!(
+                                    "constant index {i} out of bounds for '{}' ({} words)",
+                                    module.var(*var).name,
+                                    words
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Inst::SaveVar { var } | Inst::RestoreVar { var }
+                    if var.index() >= module.vars.len() => {
+                        errors.push(err(Some(bid), format!("variable {var} out of range")));
+                    }
+                Inst::Call { func: callee, args, .. } => {
+                    if callee.index() >= module.funcs.len() {
+                        errors.push(err(Some(bid), format!("callee {callee} out of range")));
+                    } else {
+                        let expected = module.func(*callee).n_params;
+                        if args.len() != expected {
+                            errors.push(err(
+                                Some(bid),
+                                format!(
+                                    "call to '{}' passes {} args, expected {}",
+                                    module.func(*callee).name,
+                                    args.len(),
+                                    expected
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Inst::CondCheckpoint { period, .. }
+                    if *period == 0 => {
+                        errors.push(err(Some(bid), "condcheckpoint period must be >= 1".into()));
+                    }
+                _ => {}
+            }
+        }
+        block.term.for_each_use(|op| {
+            if let Operand::Reg(r) = op {
+                if r.index() >= func.n_regs {
+                    errors.push(err(
+                        Some(bid),
+                        format!("register {r} out of range (n_regs={})", func.n_regs),
+                    ));
+                }
+            }
+        });
+    }
+
+    if errors.len() > before {
+        return; // skip dataflow checks on structurally broken functions
+    }
+
+    // Definite-assignment dataflow: a register must be assigned on every
+    // path before it is read. Parameters start assigned.
+    let cfg = Cfg::new(func);
+    let rpo = cfg.reverse_postorder();
+    let n_regs = func.n_regs;
+    let full = || vec![true; n_regs];
+    let mut in_assigned: Vec<Option<Vec<bool>>> = vec![None; n_blocks];
+    let mut entry_set = vec![false; n_regs];
+    for slot in entry_set.iter_mut().take(func.n_params) {
+        *slot = true;
+    }
+    in_assigned[func.entry.index()] = Some(entry_set);
+
+    let transfer = |bid: BlockId, input: &[bool], report: &mut Vec<VerifyError>| -> Vec<bool> {
+        let mut cur = input.to_vec();
+        let block = func.block(bid);
+        for inst in &block.insts {
+            inst.for_each_use(|op| {
+                if let Operand::Reg(r) = op {
+                    if !cur[r.index()] {
+                        report.push(err(
+                            Some(bid),
+                            format!("register {r} may be read before assignment"),
+                        ));
+                    }
+                }
+            });
+            if let Some(d) = inst.def() {
+                cur[d.index()] = true;
+            }
+        }
+        block.term.for_each_use(|op| {
+            if let Operand::Reg(r) = op {
+                if !cur[r.index()] {
+                    report.push(err(
+                        Some(bid),
+                        format!("register {r} may be read before assignment"),
+                    ));
+                }
+            }
+        });
+        cur
+    };
+
+    // Fixpoint of intersection over predecessors.
+    let mut changed = true;
+    let mut sink = Vec::new(); // suppress duplicate reports during iteration
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            let mut input = if b == func.entry {
+                in_assigned[b.index()].clone().expect("entry seeded")
+            } else {
+                let mut acc: Option<Vec<bool>> = None;
+                for &p in cfg.preds(b) {
+                    if let Some(out_p) = &out_of(&in_assigned, p, func, &transfer, &mut sink) {
+                        acc = Some(match acc {
+                            None => out_p.clone(),
+                            Some(mut a) => {
+                                for (x, y) in a.iter_mut().zip(out_p) {
+                                    *x &= *y;
+                                }
+                                a
+                            }
+                        });
+                    }
+                }
+                match acc {
+                    Some(a) => a,
+                    None => full(), // unreachable block: vacuously assigned
+                }
+            };
+            if b == func.entry {
+                for slot in input.iter_mut().take(func.n_params) {
+                    *slot = true;
+                }
+            }
+            if in_assigned[b.index()].as_ref() != Some(&input) {
+                in_assigned[b.index()] = Some(input);
+                changed = true;
+            }
+        }
+        sink.clear();
+    }
+    // Final pass with real error reporting.
+    for &b in &rpo {
+        if let Some(input) = &in_assigned[b.index()] {
+            let _ = transfer(b, input, errors);
+        }
+    }
+
+    // Loop annotations.
+    let dom = Dominators::new(&cfg);
+    let forest = LoopForest::new(func, &cfg, &dom);
+    for l in &forest.loops {
+        if l.max_iters.is_none() {
+            errors.push(err(
+                Some(l.header),
+                format!(
+                    "loop headed at {} lacks a max_iters annotation",
+                    l.header
+                ),
+            ));
+        }
+    }
+}
+
+fn out_of(
+    in_assigned: &[Option<Vec<bool>>],
+    b: BlockId,
+    func: &crate::module::Function,
+    transfer: &impl Fn(BlockId, &[bool], &mut Vec<VerifyError>) -> Vec<bool>,
+    sink: &mut Vec<VerifyError>,
+) -> Option<Vec<bool>> {
+    let _ = func;
+    in_assigned[b.index()]
+        .as_ref()
+        .map(|input| transfer(b, input, sink))
+}
+
+/// Convenience wrapper returning `Err` with the first violation.
+pub fn verify_module_ok(module: &Module) -> Result<(), VerifyError> {
+    match verify_module(module).into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Asserts that a register is a valid parameter index (test helper used
+/// by downstream crates).
+pub fn is_param(func: &crate::module::Function, r: Reg) -> bool {
+    r.index() < func.n_params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+    use crate::inst::{BinOp, CmpOp};
+    use crate::module::Variable;
+
+    fn check(m: &Module) -> Vec<String> {
+        verify_module(m).into_iter().map(|e| e.to_string()).collect()
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let l = f.new_block("l");
+        let exit = f.new_block("exit");
+        f.store_scalar(x, 0);
+        f.br(l);
+        f.switch_to(l);
+        f.set_max_iters(l, 4);
+        let v = f.load_scalar(x);
+        let c = f.cmp(CmpOp::SLt, v, 4);
+        f.cond_br(c, l, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        assert!(check(&m).is_empty(), "{:?}", check(&m));
+        assert!(verify_module_ok(&m).is_ok());
+    }
+
+    #[test]
+    fn missing_loop_annotation_flagged() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 0);
+        let l = f.new_block("l");
+        let exit = f.new_block("exit");
+        f.br(l);
+        f.switch_to(l);
+        let c = f.copy(1);
+        f.cond_br(c, l, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let errs = check(&m);
+        assert!(errs.iter().any(|e| e.contains("max_iters")), "{errs:?}");
+    }
+
+    #[test]
+    fn read_before_assignment_flagged() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 0);
+        // r5 used without ever being defined.
+        let r5 = Reg(5);
+        let c = f.copy(1);
+        let _sum = f.bin(BinOp::Add, c, r5);
+        f.ret(None);
+        let mut func = f.finish();
+        func.n_regs = 6;
+        let main = mb.func(func);
+        let m = mb.finish(main);
+        let errs = check(&m);
+        assert!(
+            errs.iter().any(|e| e.contains("before assignment")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn assignment_on_one_branch_only_is_flagged() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 0);
+        let t = f.new_block("t");
+        let join = f.new_block("join");
+        let c = f.copy(1);
+        f.cond_br(c, t, join);
+        f.switch_to(t);
+        let _defined_only_here = f.copy(7); // r1
+        f.br(join);
+        f.switch_to(join);
+        f.ret(Some(Operand::Reg(Reg(1))));
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let errs = check(&m);
+        assert!(
+            errs.iter().any(|e| e.contains("before assignment")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn params_start_assigned() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("f", 2);
+        let s = f.bin(BinOp::Add, Reg(0), Reg(1));
+        f.ret(Some(s.into()));
+        let _f = mb.func(f.finish());
+        let mut fm = FunctionBuilder::new("main", 0);
+        let r = fm.call(_f, vec![Operand::Imm(1), Operand::Imm(2)]);
+        fm.ret(Some(r.into()));
+        let main = mb.func(fm.finish());
+        let m = mb.finish(main);
+        assert!(check(&m).is_empty(), "{:?}", check(&m));
+    }
+
+    #[test]
+    fn call_arity_mismatch_flagged() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut leaf = FunctionBuilder::new("leaf", 2);
+        leaf.ret(None);
+        let leaf = mb.func(leaf.finish());
+        let mut f = FunctionBuilder::new("main", 0);
+        f.call_void(leaf, vec![Operand::Imm(1)]); // expects 2
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let errs = check(&m);
+        assert!(errs.iter().any(|e| e.contains("passes 1 args")), "{errs:?}");
+    }
+
+    #[test]
+    fn constant_index_bounds_flagged() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.var(Variable::array("a", 4));
+        let mut f = FunctionBuilder::new("main", 0);
+        let _ = f.load_idx(a, 4); // out of bounds
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let errs = check(&m);
+        assert!(errs.iter().any(|e| e.contains("out of bounds")), "{errs:?}");
+    }
+
+    #[test]
+    fn entry_with_params_flagged() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 1);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let errs = check(&m);
+        assert!(
+            errs.iter().any(|e| e.contains("no parameters")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn recursion_flagged() {
+        let mut mb = ModuleBuilder::new("m");
+        let fid = FuncId(0);
+        let mut f = FunctionBuilder::new("main", 0);
+        f.call_void(fid, vec![]);
+        f.ret(None);
+        mb.func(f.finish());
+        let m = mb.finish(fid);
+        let errs = check(&m);
+        assert!(errs.iter().any(|e| e.contains("recursive")), "{errs:?}");
+    }
+
+    #[test]
+    fn duplicate_names_flagged() {
+        let mut m = Module::new("m");
+        m.add_var(Variable::scalar("x"));
+        m.add_var(Variable::scalar("x"));
+        let errs = check(&m);
+        assert!(errs.iter().any(|e| e.contains("duplicate variable")));
+    }
+
+    #[test]
+    fn zero_period_condcheckpoint_flagged() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut f = FunctionBuilder::new("main", 0);
+        f.ret(None);
+        let mut func = f.finish();
+        func.blocks[0].insts.push(Inst::CondCheckpoint {
+            id: crate::ids::CheckpointId(0),
+            period: 0,
+        });
+        let main = mb.func(func);
+        let m = mb.finish(main);
+        let errs = check(&m);
+        assert!(errs.iter().any(|e| e.contains("period")), "{errs:?}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Compare all five intermittency-management techniques on one kernel:
+//! the mini version of the paper's Figure 6 experiment, showing who wins
+//! and where the energy goes.
+//!
+//! ```text
+//! cargo run --release --example technique_comparison [kernel] [tbpf]
+//! ```
+
+use schematic_repro::benchsuite;
+use schematic_repro::emu::{Machine, RunConfig};
+use schematic_repro::energy::{CostTable, Energy};
+use schematic_repro::schematic::{compile, SchematicConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let kernel = args.next().unwrap_or_else(|| "crc".into());
+    let tbpf: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(10_000);
+
+    let bench = benchsuite::by_name(&kernel)
+        .unwrap_or_else(|| panic!("unknown kernel '{kernel}' (try: crc, aes, fft, ...)"));
+    let module = (bench.build)(1);
+    let expected = (bench.oracle)(1);
+    let table = CostTable::msp430fr5969();
+    let eb = Energy::from_pj(table.cpu_pj_per_cycle) * tbpf;
+    let svm = 2048;
+
+    println!("kernel `{kernel}`, TBPF = {tbpf} cycles, EB = {eb}, SVM = {svm} B\n");
+    println!(
+        "{:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "technique", "computation", "save", "restore", "re-exec", "total", "verdict"
+    );
+
+    // The four baselines.
+    for tech in schematic_repro::baselines::all() {
+        if !tech.supports(&module, svm) {
+            println!("{:>10} {:>12}", tech.name(), "data does not fit the VM");
+            continue;
+        }
+        match tech.compile(&module, &table, eb) {
+            Err(e) => println!("{:>10} compile error: {e}", tech.name()),
+            Ok(im) => report(tech.name(), &im, &table, tbpf, expected)?,
+        }
+    }
+    // SCHEMATIC.
+    let compiled = compile(&module, &table, &SchematicConfig::new(eb))?;
+    report("Schematic", &compiled.instrumented, &table, tbpf, expected)?;
+    Ok(())
+}
+
+fn report(
+    name: &str,
+    im: &schematic_repro::emu::InstrumentedModule,
+    table: &CostTable,
+    tbpf: u64,
+    expected: i32,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let out = Machine::new(im, table, RunConfig::periodic(tbpf)).run()?;
+    let verdict = if out.completed() && out.result == Some(expected) {
+        "ok"
+    } else {
+        "failed"
+    };
+    let m = &out.metrics;
+    println!(
+        "{:>10} {:>12.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10}",
+        name,
+        m.computation.as_uj(),
+        m.save.as_uj(),
+        m.restore.as_uj(),
+        m.reexecution.as_uj(),
+        m.total_energy().as_uj(),
+        verdict,
+    );
+    Ok(())
+}

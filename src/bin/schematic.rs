@@ -1,0 +1,202 @@
+//! `schematic` — command-line front end: compile a textual-IR program
+//! for intermittent execution and (optionally) simulate it.
+//!
+//! ```text
+//! schematic <file.ir> [--tbpf N] [--svm BYTES] [--all-nvm] [--emit] [--run]
+//!
+//!   --tbpf N     time between power failures in cycles (default 10000);
+//!                EB is derived as N x 300 pJ
+//!   --svm BYTES  volatile memory capacity (default 2048)
+//!   --all-nvm    disable VM allocation (the Fig. 7 ablation)
+//!   --emit       print the instrumented IR
+//!   --dot        print the instrumented CFGs as a Graphviz digraph
+//!   --run        simulate under periodic power failures and report the
+//!                Figure-6-style energy breakdown
+//! ```
+
+use schematic_repro::emu::{Machine, RunConfig};
+use schematic_repro::energy::{CostTable, Energy};
+use schematic_repro::ir::{parse_module, print_module};
+use schematic_repro::schematic::{compile, SchematicConfig};
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    tbpf: u64,
+    svm: usize,
+    all_nvm: bool,
+    emit: bool,
+    dot: bool,
+    run: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        file: String::new(),
+        tbpf: 10_000,
+        svm: 2048,
+        all_nvm: false,
+        emit: false,
+        dot: false,
+        run: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tbpf" => {
+                args.tbpf = it
+                    .next()
+                    .ok_or("--tbpf needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--tbpf: {e}"))?;
+            }
+            "--svm" => {
+                args.svm = it
+                    .next()
+                    .ok_or("--svm needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--svm: {e}"))?;
+            }
+            "--all-nvm" => args.all_nvm = true,
+            "--emit" => args.emit = true,
+            "--dot" => args.dot = true,
+            "--run" => args.run = true,
+            "--help" | "-h" => return Err("help".into()),
+            f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.file.is_empty() {
+        return Err("missing input file".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: schematic <file.ir> [--tbpf N] [--svm BYTES] [--all-nvm] [--emit] [--dot] [--run]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match parse_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let table = CostTable::msp430fr5969();
+    let eb = Energy::from_pj(table.cpu_pj_per_cycle) * args.tbpf;
+    let mut config = SchematicConfig::new(eb);
+    config.svm_bytes = if args.all_nvm { 0 } else { args.svm };
+
+    let compiled = match compile(&module, &table, &config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("placement failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // With --emit/--dot, stdout carries the machine-readable artifact
+    // (so `schematic x.ir --dot | dot -Tsvg` works); status goes to
+    // stderr in that case.
+    let status_to_stderr = args.emit || args.dot;
+    let status = |line: String| {
+        if status_to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    status(format!("module `{}`", module.name));
+    status(format!(
+        "  EB = {eb} (TBPF {} cycles), SVM = {} B",
+        args.tbpf, config.svm_bytes
+    ));
+    status(format!(
+        "  checkpoints: {} ({} added by the repair pass)",
+        compiled.instrumented.checkpoints.len(),
+        compiled.repairs
+    ));
+    status(format!(
+        "  worst inter-checkpoint interval: {} (budget {eb})",
+        compiled.report.max_interval
+    ));
+    status(format!(
+        "  peak planned VM: {} B",
+        compiled
+            .instrumented
+            .plan
+            .peak_bytes(&compiled.instrumented.module)
+    ));
+
+    if args.emit {
+        print!("{}", print_module(&compiled.instrumented.module));
+        for (i, cp) in compiled.instrumented.checkpoints.iter().enumerate() {
+            println!(
+                "; cp{i}: save {:?} restore {:?}",
+                cp.save_vars, cp.restore_vars
+            );
+        }
+    }
+
+    if args.dot {
+        print!(
+            "{}",
+            schematic_repro::ir::dot::module_to_dot(&compiled.instrumented.module)
+        );
+    }
+
+    if args.run {
+        let out = match Machine::new(
+            &compiled.instrumented,
+            &table,
+            RunConfig::periodic(args.tbpf),
+        )
+        .run()
+        {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("runtime error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("\n--- intermittent run (failure every {} cycles) ---", args.tbpf);
+        println!("  status: {:?}, result: {:?}", out.status, out.result);
+        let m = &out.metrics;
+        println!(
+            "  power failures: {}, checkpoints committed: {}, sleeps: {}",
+            m.power_failures, m.checkpoints_committed, m.sleep_events
+        );
+        println!(
+            "  energy: computation {} | save {} | restore {} | re-execution {} | total {}",
+            m.computation,
+            m.save,
+            m.restore,
+            m.reexecution,
+            m.total_energy()
+        );
+        println!(
+            "  VM accesses: {:.0} % of all variable accesses",
+            100.0 * m.vm_access_fraction()
+        );
+    }
+    ExitCode::SUCCESS
+}

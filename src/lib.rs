@@ -1,0 +1,23 @@
+//! # schematic-repro
+//!
+//! Facade crate for the SCHEMATIC reproduction (CGO 2024). Re-exports the
+//! workspace crates under stable names so examples and integration tests
+//! can depend on a single package:
+//!
+//! * [`ir`] — intermediate representation and analyses;
+//! * [`energy`] — energy units, MSP430-like cost model, WCEC;
+//! * [`emu`] — intermittent-computing emulator (SCEPTIC substitute);
+//! * [`schematic`] — the paper's technique (joint checkpoint placement
+//!   and memory allocation);
+//! * [`baselines`] — RATCHET, MEMENTOS, ROCKCLIMB, ALFRED;
+//! * [`benchsuite`] — the eight MiBench2-like benchmark kernels.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use schematic_baselines as baselines;
+pub use schematic_benchsuite as benchsuite;
+pub use schematic_core as schematic;
+pub use schematic_emu as emu;
+pub use schematic_energy as energy;
+pub use schematic_ir as ir;

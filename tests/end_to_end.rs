@@ -1,0 +1,169 @@
+//! End-to-end integration tests spanning all crates: every benchmark
+//! kernel, compiled by every technique that supports it, must terminate
+//! with the oracle's result under intermittent power — and SCHEMATIC
+//! must additionally uphold its forward-progress guarantees.
+
+use schematic_repro::baselines::Technique;
+use schematic_repro::benchsuite;
+use schematic_repro::emu::{Machine, PowerModel, RunConfig};
+use schematic_repro::energy::{CostTable, Energy};
+use schematic_repro::schematic::{compile, verify_placement, SchematicConfig};
+
+const TBPF: u64 = 10_000;
+const SVM: usize = 2048;
+
+fn eb(table: &CostTable) -> Energy {
+    Energy::from_pj(table.cpu_pj_per_cycle) * TBPF
+}
+
+fn run_cfg() -> RunConfig {
+    RunConfig {
+        power: PowerModel::Periodic { tbpf: TBPF },
+        svm_bytes: usize::MAX / 2,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn schematic_all_kernels_complete_intermittently() {
+    let table = CostTable::msp430fr5969();
+    for bench in benchsuite::all() {
+        let module = (bench.build)(3);
+        let compiled = compile(&module, &table, &SchematicConfig::new(eb(&table)))
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let out = Machine::new(&compiled.instrumented, &table, run_cfg())
+            .run()
+            .unwrap();
+        assert!(out.completed(), "{}: {:?}", bench.name, out.status);
+        assert_eq!(out.result, Some((bench.oracle)(3)), "{}", bench.name);
+        // The paper's guarantees (§II-B).
+        assert_eq!(out.metrics.unexpected_failures, 0, "{}", bench.name);
+        assert_eq!(out.metrics.reexecution, Energy::ZERO, "{}", bench.name);
+        assert_eq!(out.metrics.coherence_violations, 0, "{}", bench.name);
+        assert!(
+            out.metrics.peak_vm_bytes <= SVM,
+            "{}: peak VM {} B",
+            bench.name,
+            out.metrics.peak_vm_bytes
+        );
+    }
+}
+
+#[test]
+fn schematic_placements_pass_the_independent_verifier() {
+    let table = CostTable::msp430fr5969();
+    for bench in benchsuite::all() {
+        let module = (bench.build)(9);
+        let compiled = compile(&module, &table, &SchematicConfig::new(eb(&table)))
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let report = verify_placement(&compiled.instrumented, &table, eb(&table));
+        assert!(
+            report.is_sound(),
+            "{}: {:?}",
+            bench.name,
+            report.violations
+        );
+        assert!(report.max_interval <= eb(&table));
+    }
+}
+
+#[test]
+fn baselines_run_supported_kernels_correctly() {
+    let table = CostTable::msp430fr5969();
+    // Keep the matrix small but meaningful: one small, one with calls,
+    // one with heavy loops.
+    for name in ["randmath", "bitcount", "crc"] {
+        let bench = benchsuite::by_name(name).unwrap();
+        let module = (bench.build)(5);
+        for tech in schematic_repro::baselines::all() {
+            if !tech.supports(&module, SVM) {
+                continue;
+            }
+            let im = tech
+                .compile(&module, &table, eb(&table))
+                .unwrap_or_else(|e| panic!("{} on {name}: {e}", tech.name()));
+            let out = Machine::new(&im, &table, run_cfg()).run().unwrap();
+            assert!(
+                out.completed(),
+                "{} on {name}: {:?}",
+                tech.name(),
+                out.status
+            );
+            assert_eq!(
+                out.result,
+                Some((bench.oracle)(5)),
+                "{} on {name}",
+                tech.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn wait_mode_techniques_never_reexecute() {
+    let table = CostTable::msp430fr5969();
+    let bench = benchsuite::by_name("crc").unwrap();
+    let module = (bench.build)(11);
+    let rockclimb = schematic_repro::baselines::Rockclimb;
+    let im = rockclimb.compile(&module, &table, eb(&table)).unwrap();
+    let out = Machine::new(&im, &table, run_cfg()).run().unwrap();
+    assert!(out.completed());
+    assert_eq!(out.metrics.reexecution, Energy::ZERO);
+    assert_eq!(out.metrics.unexpected_failures, 0);
+}
+
+#[test]
+fn table1_shape_reproduced() {
+    // The exact ✓/✗ pattern of the paper's Table I.
+    let fits: Vec<(&str, bool)> = benchsuite::all()
+        .iter()
+        .map(|b| {
+            let m = (b.build)(1);
+            (b.name, m.data_bytes() <= SVM)
+        })
+        .collect();
+    let expected = [
+        ("aes", true),
+        ("basicmath", true),
+        ("bitcount", true),
+        ("crc", true),
+        ("dijkstra", false),
+        ("fft", false),
+        ("randmath", true),
+        ("rc4", false),
+    ];
+    assert_eq!(fits, expected);
+}
+
+#[test]
+fn schematic_beats_baseline_average_on_shared_kernels() {
+    // Directional check of §IV-D: SCHEMATIC's total energy is below the
+    // average of the baselines that complete (coarse, fast subset).
+    let table = CostTable::msp430fr5969();
+    for name in ["randmath", "basicmath"] {
+        let bench = benchsuite::by_name(name).unwrap();
+        let module = (bench.build)(2);
+        let compiled = compile(&module, &table, &SchematicConfig::new(eb(&table)))
+            .unwrap();
+        let ours = Machine::new(&compiled.instrumented, &table, run_cfg())
+            .run()
+            .unwrap()
+            .metrics
+            .total_energy();
+        let mut baseline_sum = Energy::ZERO;
+        let mut n = 0u64;
+        for tech in schematic_repro::baselines::all() {
+            if !tech.supports(&module, SVM) {
+                continue;
+            }
+            let im = tech.compile(&module, &table, eb(&table)).unwrap();
+            let out = Machine::new(&im, &table, run_cfg()).run().unwrap();
+            if out.completed() {
+                baseline_sum += out.metrics.total_energy();
+                n += 1;
+            }
+        }
+        let avg = Energy::from_pj(baseline_sum.as_pj() / n.max(1));
+        assert!(ours < avg, "{name}: ours {ours} vs baseline avg {avg}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Error-path integration tests: the pipeline must fail *informatively*
+//! (never panic) on impossible inputs, and the emulator must surface
+//! program bugs as typed traps.
+
+use schematic_repro::emu::{run, InstrumentedModule, RunConfig, TrapKind};
+use schematic_repro::energy::{CostTable, Energy};
+use schematic_repro::ir::{parse_module, FunctionBuilder, ModuleBuilder, Variable};
+use schematic_repro::schematic::{compile, PlacementError, SchematicConfig};
+
+#[test]
+fn absurdly_small_budget_is_a_clean_error() {
+    let m = parse_module(
+        "var @x : 1\nfunc @main(0) {\nentry:\n  r0 = load @x\n  store @x, r0\n  ret\n}",
+    )
+    .unwrap();
+    let table = CostTable::msp430fr5969();
+    // Smaller than a single instruction: block splitting cannot help.
+    let err = compile(&m, &table, &SchematicConfig::new(Energy::from_pj(50))).unwrap_err();
+    assert!(
+        matches!(err, PlacementError::BudgetTooSmall { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("budget too small"));
+}
+
+#[test]
+fn budget_below_checkpoint_overheads_fails_not_panics() {
+    // Enough for individual instructions but not for any checkpoint
+    // overhead: the repair pass must give up with a typed error rather
+    // than loop or panic.
+    let mut mb = ModuleBuilder::new("m");
+    let x = mb.var(Variable::scalar("x"));
+    let mut f = FunctionBuilder::new("main", 0);
+    for _ in 0..200 {
+        let v = f.load_scalar(x);
+        f.store_scalar(x, v);
+    }
+    f.ret(None);
+    let main = mb.func(f.finish());
+    let m = mb.finish(main);
+    let table = CostTable::msp430fr5969();
+    let result = compile(&m, &table, &SchematicConfig::new(Energy::from_pj(60_000)));
+    assert!(result.is_err(), "60 kpJ cannot host commit+resume overheads");
+}
+
+#[test]
+fn recursion_is_rejected() {
+    // Build a self-recursive function directly (the parser/builder allow
+    // it structurally; the verifier rejects it).
+    let mut mb = ModuleBuilder::new("m");
+    let fid = schematic_repro::ir::FuncId(0);
+    let mut f = FunctionBuilder::new("main", 0);
+    f.call_void(fid, vec![]);
+    f.ret(None);
+    mb.func(f.finish());
+    let m = mb.finish(fid);
+    let table = CostTable::msp430fr5969();
+    let err = compile(&m, &table, &SchematicConfig::new(Energy::from_uj(3))).unwrap_err();
+    assert!(matches!(err, PlacementError::InvalidModule { .. }), "{err}");
+    assert!(err.to_string().contains("recursive"));
+}
+
+#[test]
+fn missing_loop_bound_is_rejected() {
+    let mut mb = ModuleBuilder::new("m");
+    let mut f = FunctionBuilder::new("main", 0);
+    let l = f.new_block("l");
+    let exit = f.new_block("exit");
+    f.br(l);
+    f.switch_to(l);
+    let c = f.copy(1);
+    f.cond_br(c, l, exit);
+    // no set_max_iters: WCEC cannot bound the loop
+    f.switch_to(exit);
+    f.ret(None);
+    let main = mb.func(f.finish());
+    let m = mb.finish(main);
+    let table = CostTable::msp430fr5969();
+    let err = compile(&m, &table, &SchematicConfig::new(Energy::from_uj(3))).unwrap_err();
+    assert!(err.to_string().contains("max_iters"), "{err}");
+}
+
+#[test]
+fn division_by_zero_is_a_typed_trap() {
+    let m = parse_module(
+        "var @x : 1\nfunc @main(0) {\nentry:\n  r0 = load @x\n  r1 = sdiv 1, r0\n  ret r1\n}",
+    )
+    .unwrap();
+    let err = run(&InstrumentedModule::bare(m), RunConfig::default()).unwrap_err();
+    let s = err.to_string();
+    assert!(s.contains("division by zero"), "{s}");
+    match err {
+        schematic_repro::emu::EmuError::Trap { kind, .. } => {
+            assert_eq!(kind, TrapKind::DivisionByZero)
+        }
+        other => panic!("expected trap, got {other}"),
+    }
+}
+
+#[test]
+fn out_of_bounds_index_reports_location() {
+    let m = parse_module(
+        "var @a : 4\nfunc @main(0) {\nentry:\n  r0 = mov 9\n  r1 = load @a[r0]\n  ret r1\n}",
+    )
+    .unwrap();
+    let err = run(&InstrumentedModule::bare(m), RunConfig::default()).unwrap_err();
+    let s = err.to_string();
+    assert!(s.contains("out of bounds"), "{s}");
+    assert!(s.contains("fn0"), "{s}");
+}
+
+#[test]
+fn parse_error_messages_are_actionable() {
+    for (src, needle) in [
+        ("func @main(0) {\nentry:\n  r0 = bogus 1, 2\n  ret\n}", "unknown instruction"),
+        ("func @main(0) {\nentry:\n  br nowhere\n}", "unknown block label"),
+        ("var @x : 0\nfunc @main(0) {\nentry:\n  ret\n}", "positive"),
+        ("func @main(0) {\nentry:\n  r0 = cmp.zz 1, 2\n  ret\n}", "unknown comparison"),
+    ] {
+        let err = parse_module(src).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "source {src:?} produced {err}"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Textual IR round-trip tests over the real benchmark modules: the
+//! printer's output must re-parse into a behaviourally identical
+//! program, and the checked-in sample program must keep working.
+
+use schematic_repro::emu::{run, InstrumentedModule, RunConfig};
+use schematic_repro::ir::{parse_module, print_module, verify_module};
+
+#[test]
+fn all_benchmarks_roundtrip_through_text() {
+    for bench in schematic_repro::benchsuite::all() {
+        let module = (bench.build)(5);
+        let text = print_module(&module);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: printer output must parse: {e}", bench.name));
+        assert!(
+            verify_module(&reparsed).is_empty(),
+            "{}: reparsed module verifies",
+            bench.name
+        );
+        // Textual fixpoint.
+        assert_eq!(
+            text,
+            print_module(&reparsed),
+            "{}: print∘parse∘print is stable",
+            bench.name
+        );
+        // Behavioural identity (skip the big/slow kernels for speed).
+        if matches!(bench.name, "crc" | "randmath" | "basicmath" | "bitcount") {
+            let a = run(&InstrumentedModule::bare(module), RunConfig::default()).unwrap();
+            let b = run(&InstrumentedModule::bare(reparsed), RunConfig::default()).unwrap();
+            assert_eq!(a.result, b.result, "{}", bench.name);
+            assert_eq!(a.result, Some((bench.oracle)(5)), "{}", bench.name);
+        }
+    }
+}
+
+#[test]
+fn sample_program_parses_and_runs() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/programs/motivating.ir"
+    ))
+    .expect("sample program exists");
+    let module = parse_module(&text).expect("sample parses");
+    assert!(verify_module(&module).is_empty());
+    let out = run(&InstrumentedModule::bare(module), RunConfig::default()).unwrap();
+    assert!(out.completed());
+    // sum of the 16 initializers = 80; f(80) = (80 >> 4) & 7 = 5.
+    assert_eq!(out.result, Some(5));
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let bad = "var @x : 1\nfunc @main(0) {\nentry:\n  r0 = load @nope\n  ret\n}";
+    let err = parse_module(bad).unwrap_err();
+    assert_eq!(err.line, 4);
+    assert!(err.to_string().contains("line 4"));
+}
