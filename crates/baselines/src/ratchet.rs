@@ -14,13 +14,9 @@
 
 use crate::common::{check_module, Technique};
 use schematic_core::PlacementError;
-use schematic_emu::{
-    AllocationPlan, CheckpointSpec, FailurePolicy, InstrumentedModule,
-};
+use schematic_emu::{AllocationPlan, CheckpointSpec, FailurePolicy, InstrumentedModule};
 use schematic_energy::{CostTable, Energy};
-use schematic_ir::{
-    call_effects, BlockId, Cfg, CheckpointId, FuncId, Inst, Module, VarSet,
-};
+use schematic_ir::{call_effects, BlockId, Cfg, CheckpointId, FuncId, Inst, Module, VarSet};
 
 /// The RATCHET technique (all-NVM, WAR-breaking static checkpoints).
 #[derive(Debug, Clone, Copy, Default)]
@@ -62,13 +58,7 @@ impl Technique for Ratchet {
                     let b = BlockId::from_usize(bi);
                     let mut set = VarSet::new(m.vars.len());
                     for &p in cfg.preds(b) {
-                        set.union_with(&block_out_reads(
-                            &m,
-                            fid,
-                            p,
-                            &in_read[p.index()],
-                            &effects,
-                        ));
+                        set.union_with(&block_out_reads(&m, fid, p, &in_read[p.index()], &effects));
                     }
                     if set != in_read[bi] {
                         in_read[bi] = set;

@@ -20,9 +20,7 @@
 use crate::common::{check_module, checkpoint_before_calls, Technique};
 use schematic_core::pverify::patch_placement;
 use schematic_core::PlacementError;
-use schematic_emu::{
-    AllocationPlan, CheckpointSpec, FailurePolicy, InstrumentedModule,
-};
+use schematic_emu::{AllocationPlan, CheckpointSpec, FailurePolicy, InstrumentedModule};
 use schematic_energy::{CostTable, Energy, MemClass};
 use schematic_ir::{CheckpointId, FuncId, Inst, LoopForest, Module};
 
@@ -166,9 +164,7 @@ mod tests {
     fn all_nvm_no_vm_traffic() {
         let table = default_table();
         let m = schematic_benchsuite::crc::build(1);
-        let im = Rockclimb
-            .compile(&m, &table, Energy::from_uj(3))
-            .unwrap();
+        let im = Rockclimb.compile(&m, &table, Energy::from_uj(3)).unwrap();
         let out = run(&im, RunConfig::default()).unwrap();
         assert_eq!(out.metrics.vm_reads + out.metrics.vm_writes, 0);
     }
@@ -177,9 +173,7 @@ mod tests {
     fn checkpoints_at_headers_and_calls() {
         let table = default_table();
         let m = schematic_benchsuite::bitcount::build(1);
-        let im = Rockclimb
-            .compile(&m, &table, Energy::from_uj(3))
-            .unwrap();
+        let im = Rockclimb.compile(&m, &table, Energy::from_uj(3)).unwrap();
         // bitcount: 3 helper loops + main's 2 loops + 3 calls/element,
         // at least.
         assert!(im.checkpoints.len() >= 8, "{}", im.checkpoints.len());

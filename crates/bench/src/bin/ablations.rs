@@ -6,112 +6,6 @@
 //! * **conditional back-edge checkpointing** is exercised implicitly by
 //!   every kernel (Algorithm 1); its effect shows in the save column.
 
-use schematic_bench::{eb_for_tbpf, render_table, uj, ENERGY_TBPF, SEED, SVM_BYTES};
-use schematic_core::{compile, SchematicConfig};
-use schematic_emu::{Machine, PowerModel, RunConfig};
-use schematic_energy::CostTable;
-
 fn main() {
-    println!("Ablations of SCHEMATIC design choices (TBPF = {ENERGY_TBPF}, uJ)\n");
-    let table = CostTable::msp430fr5969();
-    let eb = eb_for_tbpf(&table, ENERGY_TBPF);
-    let variants: [(&str, bool, bool); 3] = [
-        ("full", true, true),
-        ("no-liveness", false, true),
-        ("no-ratio", true, false),
-    ];
-    let headers: Vec<String> = [
-        "benchmark",
-        "variant",
-        "computation",
-        "save",
-        "restore",
-        "total",
-        "peak VM",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
-
-    let mut rows = Vec::new();
-    for b in schematic_benchsuite::all() {
-        let m = (b.build)(SEED);
-        for (label, liveness, ratio) in variants {
-            let mut config = SchematicConfig::new(eb);
-            config.svm_bytes = SVM_BYTES;
-            config.liveness_opt = liveness;
-            config.ratio_ordering = ratio;
-            let compiled = match compile(&m, &table, &config) {
-                Ok(c) => c,
-                Err(e) => {
-                    rows.push(vec![
-                        b.name.to_string(),
-                        label.to_string(),
-                        format!("error: {e}"),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                    ]);
-                    continue;
-                }
-            };
-            let cfg = RunConfig {
-                power: PowerModel::Periodic { tbpf: ENERGY_TBPF },
-                ..RunConfig::default()
-            };
-            let out = Machine::new(&compiled.instrumented, &table, cfg)
-                .run()
-                .expect("no traps");
-            assert!(out.completed(), "{} {label}", b.name);
-            assert_eq!(out.result, Some((b.oracle)(SEED)), "{} {label}", b.name);
-            let mt = &out.metrics;
-            rows.push(vec![
-                b.name.to_string(),
-                label.to_string(),
-                uj(mt.computation),
-                uj(mt.save),
-                uj(mt.restore),
-                uj(mt.total_energy()),
-                format!("{} B", mt.peak_vm_bytes),
-            ]);
-        }
-    }
-    println!("{}", render_table(&headers, &rows));
-    println!(
-        "expected shapes: no-liveness saves/restores more bytes per\n\
-         checkpoint (higher save+restore); no-ratio wastes VM capacity on\n\
-         fewer, larger variables when space is contested."
-    );
-
-    // §VII future work, implemented: a retentive sleep mode (SRAM kept
-    // alive during the standby) removes the wake-up restores entirely.
-    println!("\nRetentive-sleep extension (paper §VII future work), total uJ:");
-    for b in schematic_benchsuite::all() {
-        let m = (b.build)(SEED);
-        let mut config = SchematicConfig::new(eb);
-        config.svm_bytes = SVM_BYTES;
-        let compiled = compile(&m, &table, &config).expect("compiles");
-        let mut total = [0.0f64; 2];
-        for (i, retentive) in [false, true].into_iter().enumerate() {
-            let cfg = RunConfig {
-                power: PowerModel::Periodic { tbpf: ENERGY_TBPF },
-                retentive_sleep: retentive,
-                ..RunConfig::default()
-            };
-            let out = Machine::new(&compiled.instrumented, &table, cfg)
-                .run()
-                .expect("no traps");
-            assert!(out.completed());
-            assert_eq!(out.result, Some((b.oracle)(SEED)));
-            total[i] = out.metrics.total_energy().as_uj();
-        }
-        println!(
-            "  {:>10}: deep-sleep {:>10.3}  retentive {:>10.3}  ({:.0} % saved)",
-            b.name,
-            total[0],
-            total[1],
-            100.0 * (1.0 - total[1] / total[0])
-        );
-    }
+    print!("{}", schematic_bench::experiments::ablations_report());
 }

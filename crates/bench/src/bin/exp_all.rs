@@ -1,23 +1,15 @@
-//! Runs every experiment binary's logic in sequence (Tables I–III,
-//! Figures 6–8, ablations). Convenient for regenerating all numbers in
+//! Runs every experiment in sequence (Tables I–III, Figures 6–8,
+//! ablations). Convenient for regenerating all numbers in
 //! `EXPERIMENTS.md` in one go:
 //!
 //! ```text
 //! cargo run --release -p schematic-bench --bin exp_all
 //! ```
-
-use std::process::Command;
+//!
+//! The reports are generated in-process (no per-binary `cargo run`
+//! spawns), and the independent experiment cells inside each report fan
+//! out over worker threads — set `SCHEMATIC_JOBS` to pin the count.
 
 fn main() {
-    // Run through cargo so every sibling binary is rebuilt from the
-    // current sources (running target/ binaries directly can execute
-    // stale builds).
-    for bin in ["table1", "table2", "table3", "fig6", "fig7", "fig8", "ablations"] {
-        println!("\n================ {bin} ================\n");
-        let status = Command::new(env!("CARGO"))
-            .args(["run", "--quiet", "--release", "-p", "schematic-bench", "--bin", bin])
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
-    }
+    print!("{}", schematic_bench::experiments::exp_all_report());
 }

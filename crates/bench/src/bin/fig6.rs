@@ -2,105 +2,6 @@
 //! save / restore / re-execution, for every benchmark and technique at
 //! TBPF = 10k cycles (§IV-D).
 
-use schematic_bench::{render_table, run_cell, technique_names, uj, ENERGY_TBPF};
-use schematic_energy::{CostTable, Energy};
-
 fn main() {
-    println!("Figure 6: energy breakdown at TBPF = {ENERGY_TBPF} cycles (uJ)\n");
-    let table = CostTable::msp430fr5969();
-    let headers: Vec<String> = [
-        "benchmark",
-        "technique",
-        "computation",
-        "save",
-        "restore",
-        "re-execution",
-        "total",
-        "status",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
-
-    let mut schematic_totals: Vec<f64> = Vec::new();
-    let mut baseline_totals: Vec<f64> = Vec::new();
-    let mut schematic_cycles: Vec<f64> = Vec::new();
-    let mut baseline_cycles: Vec<f64> = Vec::new();
-
-    let mut rows = Vec::new();
-    for b in schematic_benchsuite::all() {
-        let mut schematic_total: Option<Energy> = None;
-        let mut bench_baselines: Vec<Energy> = Vec::new();
-        for tech in technique_names() {
-            let cell = run_cell(tech, &b, &table, ENERGY_TBPF);
-            let row = match &cell.outcome {
-                None => vec![
-                    b.name.to_string(),
-                    tech.to_string(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "X (cannot run)".into(),
-                ],
-                Some((status, correct, m)) => {
-                    let total = m.total_energy();
-                    if cell.ok() {
-                        if tech == "Schematic" {
-                            schematic_total = Some(total);
-                            schematic_cycles.push(m.active_cycles as f64);
-                        } else {
-                            bench_baselines.push(total);
-                            baseline_cycles.push(m.active_cycles as f64);
-                        }
-                    }
-                    vec![
-                        b.name.to_string(),
-                        tech.to_string(),
-                        uj(m.computation),
-                        uj(m.save),
-                        uj(m.restore),
-                        uj(m.reexecution),
-                        uj(total),
-                        if cell.ok() {
-                            "ok".into()
-                        } else {
-                            format!("X {status:?} correct={correct}")
-                        },
-                    ]
-                }
-            };
-            rows.push(row);
-        }
-        if let Some(s) = schematic_total {
-            for base in bench_baselines {
-                schematic_totals.push(s.as_uj());
-                baseline_totals.push(base.as_uj());
-            }
-        }
-    }
-    println!("{}", render_table(&headers, &rows));
-
-    // Headline: average reduction vs completed baselines (§IV-D: 51 %).
-    if !schematic_totals.is_empty() {
-        let ratios: Vec<f64> = schematic_totals
-            .iter()
-            .zip(&baseline_totals)
-            .map(|(s, b)| 1.0 - s / b)
-            .collect();
-        let avg = 100.0 * ratios.iter().sum::<f64>() / ratios.len() as f64;
-        println!(
-            "\nSCHEMATIC vs completed baselines: average energy reduction = {avg:.1} % \
-             (paper: 51 %)"
-        );
-        // §IV-D also reports a 54 % average *execution time* reduction
-        // (active cycles; standby time excluded on both sides).
-        let ours: f64 = schematic_cycles.iter().sum::<f64>() / schematic_cycles.len() as f64;
-        let theirs: f64 = baseline_cycles.iter().sum::<f64>() / baseline_cycles.len() as f64;
-        println!(
-            "average active-cycle reduction = {:.1} % (paper: 54 % execution time)",
-            100.0 * (1.0 - ours / theirs)
-        );
-    }
+    print!("{}", schematic_bench::experiments::fig6_report());
 }

@@ -3,77 +3,6 @@
 //! computation energy split into CPU (no memory accesses), VM accesses
 //! and NVM accesses, plus the save/restore overheads.
 
-use schematic_bench::{eb_for_tbpf, render_table, uj, ENERGY_TBPF, SEED, SVM_BYTES};
-use schematic_core::{compile, SchematicConfig};
-use schematic_emu::{Machine, PowerModel, RunConfig};
-use schematic_energy::CostTable;
-
 fn main() {
-    println!(
-        "Figure 7: Schematic vs All-NVM computation split at TBPF = {ENERGY_TBPF} (uJ)\n"
-    );
-    let table = CostTable::msp430fr5969();
-    let eb = eb_for_tbpf(&table, ENERGY_TBPF);
-    let headers: Vec<String> = [
-        "benchmark",
-        "variant",
-        "no-mem CPU",
-        "VM acc",
-        "NVM acc",
-        "save",
-        "restore",
-        "total",
-        "VM acc share",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
-
-    let mut rows = Vec::new();
-    let mut hybrid_sum = 0.0;
-    let mut nvm_sum = 0.0;
-    let mut vm_fracs = Vec::new();
-    for b in schematic_benchsuite::all() {
-        let m = (b.build)(SEED);
-        for (label, all_nvm) in [("Schematic", false), ("All-NVM", true)] {
-            let mut config = SchematicConfig::new(eb);
-            config.svm_bytes = if all_nvm { 0 } else { SVM_BYTES };
-            let compiled = compile(&m, &table, &config).expect("compiles");
-            let cfg = RunConfig {
-                power: PowerModel::Periodic { tbpf: ENERGY_TBPF },
-                ..RunConfig::default()
-            };
-            let out = Machine::new(&compiled.instrumented, &table, cfg)
-                .run()
-                .expect("no traps");
-            assert!(out.completed(), "{} {label}", b.name);
-            assert_eq!(out.result, Some((b.oracle)(SEED)));
-            let mt = &out.metrics;
-            let exec_total = mt.computation + mt.save + mt.restore;
-            if all_nvm {
-                nvm_sum += mt.computation.as_uj();
-            } else {
-                hybrid_sum += mt.computation.as_uj();
-                vm_fracs.push(mt.vm_access_fraction());
-            }
-            rows.push(vec![
-                b.name.to_string(),
-                label.to_string(),
-                uj(mt.cpu_energy),
-                uj(mt.vm_access_energy),
-                uj(mt.nvm_access_energy),
-                uj(mt.save),
-                uj(mt.restore),
-                uj(exec_total),
-                format!("{:.0} %", 100.0 * mt.vm_access_fraction()),
-            ]);
-        }
-    }
-    println!("{}", render_table(&headers, &rows));
-    let reduction = 100.0 * (1.0 - hybrid_sum / nvm_sum);
-    let avg_vm = 100.0 * vm_fracs.iter().sum::<f64>() / vm_fracs.len() as f64;
-    println!(
-        "\ncomputation-energy reduction vs All-NVM: {reduction:.1} % (paper: 25 %)\n\
-         average share of accesses hitting VM:    {avg_vm:.0} % (paper: 69 %)"
-    );
+    print!("{}", schematic_bench::experiments::fig7_report());
 }

@@ -6,61 +6,6 @@
 //! restore + re-execution) should shrink as the budget grows — fastest
 //! for the techniques that adapt their placement (SCHEMATIC, ROCKCLIMB).
 
-use schematic_bench::{render_table, run_cell, technique_names, uj, TBPFS};
-use schematic_energy::CostTable;
-
 fn main() {
-    println!("Figure 8: impact of capacitor size, benchmark crc (uJ)\n");
-    let table = CostTable::msp430fr5969();
-    let bench = schematic_benchsuite::by_name("crc").expect("crc exists");
-    let headers: Vec<String> = [
-        "technique",
-        "TBPF",
-        "computation",
-        "save",
-        "restore",
-        "re-execution",
-        "total",
-        "status",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
-
-    let mut rows = Vec::new();
-    for tech in technique_names() {
-        for &tbpf in &TBPFS {
-            let cell = run_cell(tech, &bench, &table, tbpf);
-            let row = match &cell.outcome {
-                None => vec![
-                    tech.to_string(),
-                    tbpf.to_string(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "X".into(),
-                ],
-                Some((_, _, m)) => vec![
-                    tech.to_string(),
-                    tbpf.to_string(),
-                    uj(m.computation),
-                    uj(m.save),
-                    uj(m.restore),
-                    uj(m.reexecution),
-                    uj(m.total_energy()),
-                    if cell.ok() { "ok" } else { "X" }.into(),
-                ],
-            };
-            rows.push(row);
-        }
-    }
-    println!("{}", render_table(&headers, &rows));
-    println!(
-        "paper's shape: management overhead decreases with EB for everyone,\n\
-         but fastest for Schematic (fewer checkpoints are placed) while\n\
-         Ratchet/Alfred placements are EB-oblivious and Rockclimb keeps\n\
-         checkpointing every loop header."
-    );
+    print!("{}", schematic_bench::experiments::fig8_report());
 }

@@ -1,0 +1,100 @@
+//! Performance smoke test: measures the hot paths this repo optimizes
+//! and records before/after numbers in `BENCH_perf.json` at the repo
+//! root.
+//!
+//! The "before" constants were measured on the pre-optimization tree
+//! (per-step instruction clones in the emulator, 16 redundant profiling
+//! runs per compile, one `cargo run` subprocess per experiment binary);
+//! "after" is measured live by this binary. Criterion was dropped with
+//! the offline build, so this is the lightweight replacement:
+//!
+//! ```text
+//! cargo run --release -p schematic-bench --bin perfsmoke
+//! ```
+
+use schematic_bench::{eb_for_tbpf, ENERGY_TBPF, SEED, SVM_BYTES};
+use schematic_core::SchematicConfig;
+use schematic_emu::{InstrumentedModule, Machine, RunConfig};
+use schematic_energy::CostTable;
+use std::time::Instant;
+
+/// Pre-optimization measurements (same host, release build).
+const BEFORE_CRC_IPS: f64 = 41_273_455.0;
+const BEFORE_FFT_IPS: f64 = 44_176_564.0;
+const BEFORE_ANALYSIS_S: f64 = 0.969;
+const BEFORE_EXP_ALL_S: f64 = 10.836;
+
+/// Emulated instructions per second for one benchmark under continuous
+/// power, all data in VM (pure stepping, no checkpoint machinery).
+fn emulator_ips(name: &str, table: &CostTable) -> f64 {
+    let b = schematic_benchsuite::by_name(name).expect("benchmark exists");
+    let im = InstrumentedModule::bare_all_vm((b.build)(SEED));
+    let cfg = RunConfig {
+        svm_bytes: usize::MAX / 2,
+        ..RunConfig::default()
+    };
+    let _ = Machine::new(&im, table, cfg.clone()).run().expect("warmup");
+    let mut insts = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < 1.0 {
+        let out = Machine::new(&im, table, cfg.clone())
+            .run()
+            .expect("no traps");
+        insts += out.metrics.insts_retired;
+    }
+    insts as f64 / start.elapsed().as_secs_f64()
+}
+
+/// One SCHEMATIC compile (profile + RCG analysis + allocation +
+/// instrumentation + verification) of all eight benchmarks.
+fn analysis_seconds(table: &CostTable) -> f64 {
+    let eb = eb_for_tbpf(table, ENERGY_TBPF);
+    let start = Instant::now();
+    for b in schematic_benchsuite::all() {
+        let m = (b.build)(SEED);
+        let mut config = SchematicConfig::new(eb);
+        config.svm_bytes = SVM_BYTES;
+        let compiled = schematic_core::compile(&m, table, &config).expect("compiles");
+        std::hint::black_box(&compiled);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let table = CostTable::msp430fr5969();
+
+    let crc_ips = emulator_ips("crc", &table);
+    let fft_ips = emulator_ips("fft", &table);
+
+    // Best of three: compile times are short enough to jitter.
+    let analysis_s = (0..3)
+        .map(|_| analysis_seconds(&table))
+        .fold(f64::INFINITY, f64::min);
+
+    let start = Instant::now();
+    let report = schematic_bench::experiments::exp_all_report();
+    let exp_all_s = start.elapsed().as_secs_f64();
+    assert!(report.contains("Table I"), "exp_all produced a real report");
+
+    let json = format!(
+        r#"{{
+  "description": "SCHEMATIC repro hot-path performance: pre- vs post-optimization (release build, same host). Regenerate with `cargo run --release -p schematic-bench --bin perfsmoke`.",
+  "emulator_insts_per_sec": {{
+    "crc": {{"before": {BEFORE_CRC_IPS:.0}, "after": {crc_ips:.0}, "speedup": {:.2}}},
+    "fft": {{"before": {BEFORE_FFT_IPS:.0}, "after": {fft_ips:.0}, "speedup": {:.2}}}
+  }},
+  "analysis_seconds_8_benchmarks": {{"before": {BEFORE_ANALYSIS_S}, "after": {analysis_s:.3}, "speedup": {:.1}}},
+  "exp_all_wall_seconds": {{"before": {BEFORE_EXP_ALL_S}, "after": {exp_all_s:.3}, "speedup": {:.1}}}
+}}
+"#,
+        crc_ips / BEFORE_CRC_IPS,
+        fft_ips / BEFORE_FFT_IPS,
+        BEFORE_ANALYSIS_S / analysis_s,
+        BEFORE_EXP_ALL_S / exp_all_s,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    std::fs::write(path, &json).expect("write BENCH_perf.json");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

@@ -5,31 +5,6 @@
 //! whole data segment in VM; all-NVM techniques (RATCHET, ROCKCLIMB)
 //! need none; SCHEMATIC sizes its allocation to the VM by construction.
 
-use schematic_bench::{render_table, technique_names, technique_supports, SVM_BYTES};
-
 fn main() {
-    println!("Table I: ability to support limited VM space (SVM = {SVM_BYTES} B)\n");
-    let benches = schematic_benchsuite::all();
-    let mut headers = vec!["technique".to_string()];
-    headers.extend(benches.iter().map(|b| b.name.to_string()));
-
-    let mut rows = Vec::new();
-    for tech in technique_names() {
-        let mut row = vec![tech.to_string()];
-        for b in &benches {
-            let m = (b.build)(schematic_bench::SEED);
-            row.push(if technique_supports(tech, &m) { "ok" } else { "X" }.into());
-        }
-        rows.push(row);
-    }
-    println!("{}", render_table(&headers, &rows));
-    println!("data footprints:");
-    for b in &benches {
-        let m = (b.build)(schematic_bench::SEED);
-        println!("  {:>10}: {:>6} B", b.name, m.data_bytes());
-    }
-    println!(
-        "\npaper: Ratchet/Rockclimb/Schematic support all eight; Mementos and\n\
-         Alfred fail dijkstra, fft and rc4 (data larger than the 2 KB VM)."
-    );
+    print!("{}", schematic_bench::experiments::table1_report());
 }

@@ -5,34 +5,6 @@
 //! with all data in VM, exactly as the paper does; the minimal number of
 //! power failures for a TBPF is then `floor(cycles / TBPF)`.
 
-use schematic_bench::{render_table, SEED, TBPFS};
-use schematic_emu::{InstrumentedModule, Machine, RunConfig};
-use schematic_energy::CostTable;
-
 fn main() {
-    println!("Table II: execution time and minimal power failures\n");
-    let table = CostTable::msp430fr5969();
-    let mut headers = vec!["benchmark".to_string(), "cycles".to_string()];
-    headers.extend(TBPFS.iter().map(|t| format!("TBPF={t}")));
-
-    let mut rows = Vec::new();
-    for b in schematic_benchsuite::all() {
-        let im = InstrumentedModule::bare_all_vm((b.build)(SEED));
-        let cfg = RunConfig {
-            svm_bytes: usize::MAX / 2, // Table II ignores the VM limit
-            ..RunConfig::default()
-        };
-        let out = Machine::new(&im, &table, cfg).run().expect("no traps");
-        assert!(out.completed());
-        assert_eq!(out.result, Some((b.oracle)(SEED)), "{}", b.name);
-        let cycles = out.metrics.active_cycles;
-        let mut row = vec![b.name.to_string(), cycles.to_string()];
-        row.extend(TBPFS.iter().map(|t| (cycles / t).to_string()));
-        rows.push(row);
-    }
-    println!("{}", render_table(&headers, &rows));
-    println!(
-        "paper (cycles): aes 1079k, basicmath 170k, bitcount 819k, crc 41k,\n\
-         dijkstra 1382k, fft 378k, randmath 15k, rc4 437k."
-    );
+    print!("{}", schematic_bench::experiments::table2_report());
 }

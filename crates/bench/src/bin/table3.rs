@@ -5,32 +5,6 @@
 //! correct result; ✗ = it could not complete (livelock, or the program
 //! cannot run at all on the platform).
 
-use schematic_bench::{render_table, run_cell, technique_names, TBPFS};
-use schematic_energy::CostTable;
-
 fn main() {
-    println!("Table III: ability to enforce forward progress\n");
-    let table = CostTable::msp430fr5969();
-    let benches = schematic_benchsuite::all();
-
-    for &tbpf in &TBPFS {
-        println!("TBPF = {tbpf} cycles");
-        let mut headers = vec!["technique".to_string()];
-        headers.extend(benches.iter().map(|b| b.name.to_string()));
-        let mut rows = Vec::new();
-        for tech in technique_names() {
-            let mut row = vec![tech.to_string()];
-            for b in &benches {
-                let cell = run_cell(tech, b, &table, tbpf);
-                row.push(if cell.ok() { "ok" } else { "X" }.into());
-            }
-            rows.push(row);
-        }
-        println!("{}", render_table(&headers, &rows));
-    }
-    println!(
-        "paper: Rockclimb and Schematic complete everything at every TBPF;\n\
-         Ratchet fails aes at 1k; Mementos fails most at 1k/10k and the\n\
-         VM-oversized kernels everywhere; Alfred fails several at 1k/10k."
-    );
+    print!("{}", schematic_bench::experiments::table3_report());
 }

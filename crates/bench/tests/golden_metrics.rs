@@ -1,0 +1,130 @@
+//! Golden-metrics regression tests for the emulator.
+//!
+//! The values below were captured from the emulator *before* the
+//! hot-path optimizations (indexed dispatch, per-opcode cost table,
+//! cached plan lookups) landed. The optimizations are required to be
+//! observationally invisible: every retired-instruction count, energy
+//! category, and residency statistic must match these numbers exactly,
+//! not just the final program result.
+
+use schematic_bench::{compile_technique, eb_for_tbpf};
+use schematic_emu::{InstrumentedModule, Machine, Metrics, PowerModel, RunConfig};
+use schematic_energy::{CostTable, Energy};
+
+fn crc_module() -> schematic_ir::Module {
+    let b = schematic_benchsuite::by_name("crc").expect("crc benchmark exists");
+    (b.build)(1)
+}
+
+fn run_config(power: PowerModel) -> RunConfig {
+    RunConfig {
+        power,
+        svm_bytes: usize::MAX / 2,
+        max_active_cycles: 4_000_000_000,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn crc_bare_all_vm_continuous_matches_golden() {
+    let table = CostTable::msp430fr5969();
+    let im = InstrumentedModule::bare_all_vm(crc_module());
+    let cfg = RunConfig {
+        max_active_cycles: 4_000_000_000,
+        ..RunConfig::default()
+    };
+    let out = Machine::new(&im, &table, cfg).run().unwrap();
+    assert_eq!(out.result, Some(-37_900_058));
+    let golden = Metrics {
+        computation: Energy::from_pj(9_496_660),
+        save: Energy::ZERO,
+        restore: Energy::from_pj(1_108_800),
+        reexecution: Energy::ZERO,
+        cpu_energy: Energy::from_pj(9_076_500),
+        vm_access_energy: Energy::from_pj(420_160),
+        nvm_access_energy: Energy::ZERO,
+        active_cycles: 32_180,
+        vm_reads: 3_073,
+        vm_writes: 1_026,
+        peak_vm_bytes: 1_540,
+        insts_retired: 15_377,
+        ..Metrics::default()
+    };
+    assert_eq!(out.metrics, golden);
+}
+
+#[test]
+fn crc_schematic_periodic_matches_golden() {
+    let table = CostTable::msp430fr5969();
+    let module = crc_module();
+    let eb = eb_for_tbpf(&table, 10_000);
+    let im = compile_technique("Schematic", &module, &table, eb).unwrap();
+    let out = Machine::new(
+        &im,
+        &table,
+        run_config(PowerModel::Periodic { tbpf: 10_000 }),
+    )
+    .run()
+    .unwrap();
+    assert_eq!(out.result, Some(-37_900_058));
+    let golden = Metrics {
+        computation: Energy::from_pj(12_891_220),
+        save: Energy::from_pj(495_975),
+        restore: Energy::from_pj(392_640),
+        reexecution: Energy::ZERO,
+        cpu_energy: Energy::from_pj(9_230_100),
+        vm_access_energy: Energy::from_pj(215_360),
+        nvm_access_energy: Energy::from_pj(3_215_360),
+        active_cycles: 35_523,
+        checkpoints_committed: 6,
+        sleep_events: 6,
+        restores: 6,
+        implicit_saves: 3,
+        vm_reads: 1_025,
+        vm_writes: 1_026,
+        nvm_reads: 2_048,
+        peak_vm_bytes: 4,
+        insts_retired: 15_633,
+        ..Metrics::default()
+    };
+    assert_eq!(out.metrics, golden);
+}
+
+/// MEMENTOS exercises the rollback path (power failures, guarded
+/// checkpoints, re-execution energy) that the other two goldens never
+/// reach.
+#[test]
+fn crc_mementos_periodic_matches_golden() {
+    let table = CostTable::msp430fr5969();
+    let module = crc_module();
+    let eb = eb_for_tbpf(&table, 10_000);
+    let im = compile_technique("Mementos", &module, &table, eb).unwrap();
+    let out = Machine::new(
+        &im,
+        &table,
+        run_config(PowerModel::Periodic { tbpf: 10_000 }),
+    )
+    .run()
+    .unwrap();
+    assert_eq!(out.result, Some(-37_900_058));
+    let golden = Metrics {
+        computation: Energy::from_pj(11_020_160),
+        save: Energy::from_pj(39_365_535),
+        restore: Energy::from_pj(13_988_480),
+        reexecution: Energy::from_pj(134_610),
+        cpu_energy: Energy::from_pj(9_796_800),
+        vm_access_energy: Energy::from_pj(424_670),
+        nvm_access_energy: Energy::ZERO,
+        active_cycles: 129_762,
+        power_failures: 11,
+        checkpoints_committed: 22,
+        checkpoints_skipped: 1_004,
+        restores: 11,
+        vm_reads: 3_106,
+        vm_writes: 1_037,
+        peak_vm_bytes: 1_540,
+        insts_retired: 16_580,
+        ..Metrics::default()
+    };
+    assert_eq!(out.metrics, golden);
+}

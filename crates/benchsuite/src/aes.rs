@@ -10,9 +10,7 @@
 //! algorithm and is itself validated against the FIPS-197 test vector.
 
 use crate::inputs::SplitMix64;
-use schematic_ir::{
-    BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Operand, Reg, Variable,
-};
+use schematic_ir::{BinOp, CmpOp, FunctionBuilder, Module, ModuleBuilder, Operand, Reg, Variable};
 
 /// Number of 16-byte blocks encrypted.
 pub const N_BLOCKS: usize = 32;
@@ -189,9 +187,10 @@ pub fn build(seed: u64) -> Module {
     let sbox_v = mb.var(
         Variable::array("sbox", 256).with_init(sb_host.iter().map(|&b| i32::from(b)).collect()),
     );
-    let rk_v = mb.var(Variable::array("round_keys", 44).with_init(
-        key_words(seed).iter().map(|&w| w as i32).collect(),
-    ));
+    let rk_v = mb.var(
+        Variable::array("round_keys", 44)
+            .with_init(key_words(seed).iter().map(|&w| w as i32).collect()),
+    );
     let msg_v = mb.var(Variable::array("message", N_BLOCKS * 4).with_init(message_words(seed)));
     let sum_v = mb.var(Variable::scalar("checksum"));
 
@@ -294,7 +293,9 @@ pub fn build(seed: u64) -> Module {
     }
     let round = fb.copy(1);
     // Byte matrix registers b[row][col], pinned so they survive blocks.
-    let bmat: Vec<Vec<Reg>> = (0..4).map(|_| (0..4).map(|_| fb.copy(0)).collect()).collect();
+    let bmat: Vec<Vec<Reg>> = (0..4)
+        .map(|_| (0..4).map(|_| fb.copy(0)).collect())
+        .collect();
     fb.br(round_bb);
 
     fb.switch_to(round_bb);

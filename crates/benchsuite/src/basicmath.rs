@@ -231,7 +231,20 @@ mod tests {
 
     #[test]
     fn isqrt_reference_is_correct() {
-        for v in [0u32, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1 << 30, u32::MAX >> 2] {
+        for v in [
+            0u32,
+            1,
+            2,
+            3,
+            4,
+            15,
+            16,
+            17,
+            99,
+            100,
+            1 << 30,
+            u32::MAX >> 2,
+        ] {
             let r = isqrt(v);
             assert!(r * r <= v, "isqrt({v}) = {r}");
             assert!((r + 1).checked_mul(r + 1).map(|sq| sq > v).unwrap_or(true));

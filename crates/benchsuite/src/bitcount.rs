@@ -182,10 +182,7 @@ mod tests {
     #[test]
     fn oracle_counts_bits() {
         // For any input set, the result is 3 × total popcount.
-        let total: i32 = inputs(3)
-            .iter()
-            .map(|v| v.count_ones() as i32)
-            .sum();
+        let total: i32 = inputs(3).iter().map(|v| v.count_ones() as i32).sum();
         assert_eq!(oracle(3), 3 * PASSES * total);
     }
 

@@ -22,11 +22,7 @@ fn adjacency(seed: u64) -> Vec<i32> {
     let mut adj = vec![0i32; V * V];
     for r in 0..V {
         for c in 0..V {
-            adj[r * V + c] = if r == c {
-                0
-            } else {
-                1 + g.below(20) as i32
-            };
+            adj[r * V + c] = if r == c { 0 } else { 1 + g.below(20) as i32 };
         }
     }
     adj

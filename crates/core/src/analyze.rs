@@ -116,14 +116,11 @@ impl<'a> FuncCtx<'a> {
             Item::Loop(l) => self.forest.loops[l].body.iter().copied().collect(),
         };
         match kind {
-            RegionKind::TopLevel => blocks
-                .iter()
-                .any(|&b| self.func().block(b).term.is_ret()),
+            RegionKind::TopLevel => blocks.iter().any(|&b| self.func().block(b).term.is_ret()),
             RegionKind::LoopBody(l) => {
                 let lp = &self.forest.loops[l];
                 blocks.iter().any(|&b| {
-                    lp.latches.contains(&b)
-                        || self.cfg.succs(b).iter().any(|s| !lp.contains(*s))
+                    lp.latches.contains(&b) || self.cfg.succs(b).iter().any(|s| !lp.contains(*s))
                 })
             }
         }
@@ -292,8 +289,7 @@ pub(crate) fn analyze_region(
                 let mut scale: u64 = 1;
                 let mut cur = Some(l);
                 while let Some(i) = cur {
-                    scale = scale
-                        .saturating_mul(ctx.forest.loops[i].max_iters.unwrap_or(1).max(1));
+                    scale = scale.saturating_mul(ctx.forest.loops[i].max_iters.unwrap_or(1).max(1));
                     cur = ctx.forest.loops[i].parent;
                 }
                 scale.clamp(1, 1 << 20)
@@ -333,9 +329,7 @@ pub(crate) fn analyze_region(
         if ctx.alloc[b.index()].is_some() {
             continue;
         }
-        let covered = all_paths
-            .iter()
-            .any(|p| p.items.contains(&Item::Block(b)));
+        let covered = all_paths.iter().any(|p| p.items.contains(&Item::Block(b)));
         if covered || budget == 0 {
             continue;
         }
@@ -651,9 +645,7 @@ pub(crate) fn region_head_tail(ctx: &FuncCtx<'_>, kind: RegionKind) -> (Energy, 
                 any_reset = true;
                 if let Some(a) = out_a {
                     let from_alloc = match item {
-                        Item::Block(bb) => {
-                            ctx.alloc[bb.index()].clone().unwrap_or_default()
-                        }
+                        Item::Block(bb) => ctx.alloc[bb.index()].clone().unwrap_or_default(),
                         Item::Loop(l) => ctx.loop_sums[l]
                             .as_ref()
                             .map(|s| s.alloc.clone())
@@ -709,11 +701,8 @@ pub(crate) fn analyze_function(
 
 /// Builds the function summary from the committed decisions.
 pub(crate) fn summarize_function(ctx: &FuncCtx<'_>) -> FuncSummary {
-    let has_own_cp = ctx
-        .edges
-        .values()
-        .any(|d| *d == EdgeDecision::Enabled)
-        || !ctx.backedge_cps.is_empty();
+    let has_own_cp =
+        ctx.edges.values().any(|d| *d == EdgeDecision::Enabled) || !ctx.backedge_cps.is_empty();
     let has_callee_cp = ctx.func().blocks.iter().flat_map(|b| &b.insts).any(|i| {
         matches!(i, schematic_ir::Inst::Call { func, .. }
             if ctx.summaries[func.index()].has_checkpoint)
@@ -737,9 +726,7 @@ pub(crate) fn summarize_function(ctx: &FuncCtx<'_>) -> FuncSummary {
                 succs.iter().find(|(s, _)| *s == item).map(|(_, e)| {
                     let (acc, clean) = memo_fwd.get(&p).copied().unwrap_or((Energy::ZERO, true));
                     let after = acc + item_flow_cost(ctx, p);
-                    if ctx.edge_decision(*e) == EdgeDecision::Enabled
-                        || item_resets(ctx, p)
-                    {
+                    if ctx.edge_decision(*e) == EdgeDecision::Enabled || item_resets(ctx, p) {
                         (Energy::ZERO, false)
                     } else {
                         (after, clean)
@@ -751,7 +738,11 @@ pub(crate) fn summarize_function(ctx: &FuncCtx<'_>) -> FuncSummary {
             (Energy::ZERO, true)
         } else {
             (
-                incoming.iter().map(|(e, _)| *e).max().unwrap_or(Energy::ZERO),
+                incoming
+                    .iter()
+                    .map(|(e, _)| *e)
+                    .max()
+                    .unwrap_or(Energy::ZERO),
                 incoming.iter().any(|(_, c)| *c),
             )
         };
@@ -799,8 +790,7 @@ pub(crate) fn summarize_function(ctx: &FuncCtx<'_>) -> FuncSummary {
         if let Some(set) = a {
             vm_vars.union_with(set);
             let b = BlockId::from_usize(i);
-            vm_bytes = vm_bytes
-                .max(ctx.set_bytes(set) + ctx.item_reserved_bytes(Item::Block(b)));
+            vm_bytes = vm_bytes.max(ctx.set_bytes(set) + ctx.item_reserved_bytes(Item::Block(b)));
         }
     }
     for s in ctx.loop_sums.iter().flatten() {

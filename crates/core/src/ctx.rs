@@ -10,7 +10,7 @@
 use crate::config::SchematicConfig;
 use crate::error::{BackEdgeCheckpoint, EdgeDecision};
 use crate::summary::{FuncSummary, LoopSummary};
-use schematic_energy::{CostTable, Cost, Energy, MemClass};
+use schematic_energy::{Cost, CostTable, Energy, MemClass};
 use schematic_ir::{
     AccessCount, AccessMap, BlockId, Cfg, Edge, FuncId, Inst, LoopForest, Module, VarId,
     VarLiveness, VarSet, WORD_BYTES,
@@ -128,7 +128,10 @@ impl<'a> FuncCtx<'a> {
 
     /// Decision recorded for an edge.
     pub fn edge_decision(&self, e: Edge) -> EdgeDecision {
-        self.edges.get(&e).copied().unwrap_or(EdgeDecision::Undecided)
+        self.edges
+            .get(&e)
+            .copied()
+            .unwrap_or(EdgeDecision::Undecided)
     }
 
     /// Whether `var` may be placed in VM at all.
@@ -202,10 +205,7 @@ impl<'a> FuncCtx<'a> {
     fn call_barrier_bounds(&self, b: BlockId) -> BarrierBounds {
         let func = self.func();
         let block = func.block(b);
-        let alloc = self
-            .alloc[b.index()]
-            .clone()
-            .unwrap_or_else(VarSet::empty);
+        let alloc = self.alloc[b.index()].clone().unwrap_or_else(VarSet::empty);
         let mem_of = |v: VarId| {
             if alloc.contains(v) {
                 MemClass::Vm

@@ -10,7 +10,6 @@
 
 use crate::ctx::FuncCtx;
 use schematic_ir::{AccessCount, BlockId, Edge, VarId, VarSet, WORD_BYTES};
-use std::collections::HashMap;
 
 /// Outcome of selecting an interval's allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,14 +79,15 @@ pub(crate) fn gain_of(
 /// Selects the VM set for an interval.
 ///
 /// * `counts` — aggregated access counts of the interval's undecided
-///   items (already trip-scaled where applicable);
+///   items (already trip-scaled where applicable), ascending by
+///   `VarId` so candidate ranking is deterministic;
 /// * `mandatory` — variables imposed by checkpoint-free callees inside
 ///   the interval (always included, not gain-ranked);
 /// * `capacity_bytes` — VM bytes available to this interval after any
 ///   barrier reservations.
 pub(crate) fn select_allocation(
     ctx: &FuncCtx<'_>,
-    counts: &HashMap<VarId, AccessCount>,
+    counts: &[(VarId, AccessCount)],
     mandatory: &VarSet,
     bounds: IntervalBounds,
     capacity_bytes: usize,
@@ -104,8 +104,8 @@ pub(crate) fn select_allocation(
     // Rank optional candidates.
     let mut candidates: Vec<(VarId, i128, usize)> = counts
         .iter()
-        .filter(|(v, _)| ctx.vm_eligible(**v) && !vm.contains(**v))
-        .map(|(&v, &c)| {
+        .filter(|(v, _)| ctx.vm_eligible(*v) && !vm.contains(*v))
+        .map(|&(v, c)| {
             let g = gain_of(ctx, v, c, bounds);
             (v, g, ctx.module.var(v).bytes())
         })
@@ -143,6 +143,15 @@ mod tests {
     use crate::summary::FuncSummary;
     use schematic_energy::{CostTable, Energy};
     use schematic_ir::{call_effects, FunctionBuilder, Module, ModuleBuilder, Variable};
+    use std::collections::HashMap;
+
+    /// Flattens an access map into the sorted-slice form the selector
+    /// takes.
+    fn sorted_counts(map: &HashMap<VarId, AccessCount>) -> Vec<(VarId, AccessCount)> {
+        let mut v: Vec<_> = map.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by_key(|e| e.0);
+        v
+    }
 
     fn hot_cold_module() -> Module {
         let mut mb = ModuleBuilder::new("m");
@@ -187,79 +196,98 @@ mod tests {
     #[test]
     fn frequently_accessed_scalar_wins() {
         let m = hot_cold_module();
-        with_ctx(&m, |_| {}, |ctx| {
-            let counts = ctx.access.block(BlockId(0)).clone();
-            let bounds = IntervalBounds {
-                resume_into: Some(BlockId(0)),
-                save_edge: None,
-            };
-            let sel = select_allocation(ctx, &counts, &VarSet::empty(), bounds, 2048);
-            let hot = m.var_by_name("hot").unwrap();
-            let cold = m.var_by_name("cold").unwrap();
-            let pinned = m.var_by_name("pinned").unwrap();
-            assert!(sel.vm.contains(hot));
-            assert!(!sel.vm.contains(cold), "one access cannot repay a 256 B copy");
-            assert!(!sel.vm.contains(pinned));
-            assert!(sel.total_gain_pj > 0);
-        });
+        with_ctx(
+            &m,
+            |_| {},
+            |ctx| {
+                let counts = sorted_counts(ctx.access.block(BlockId(0)));
+                let bounds = IntervalBounds {
+                    resume_into: Some(BlockId(0)),
+                    save_edge: None,
+                };
+                let sel = select_allocation(ctx, &counts, &VarSet::empty(), bounds, 2048);
+                let hot = m.var_by_name("hot").unwrap();
+                let cold = m.var_by_name("cold").unwrap();
+                let pinned = m.var_by_name("pinned").unwrap();
+                assert!(sel.vm.contains(hot));
+                assert!(
+                    !sel.vm.contains(cold),
+                    "one access cannot repay a 256 B copy"
+                );
+                assert!(!sel.vm.contains(pinned));
+                assert!(sel.total_gain_pj > 0);
+            },
+        );
     }
 
     #[test]
     fn capacity_limits_selection() {
         let m = hot_cold_module();
-        with_ctx(&m, |_| {}, |ctx| {
-            let counts = ctx.access.block(BlockId(0)).clone();
-            let bounds = IntervalBounds {
-                resume_into: None,
-                save_edge: None,
-            };
-            let sel = select_allocation(ctx, &counts, &VarSet::empty(), bounds, 0);
-            assert!(sel.vm.is_empty());
-        });
+        with_ctx(
+            &m,
+            |_| {},
+            |ctx| {
+                let counts = sorted_counts(ctx.access.block(BlockId(0)));
+                let bounds = IntervalBounds {
+                    resume_into: None,
+                    save_edge: None,
+                };
+                let sel = select_allocation(ctx, &counts, &VarSet::empty(), bounds, 0);
+                assert!(sel.vm.is_empty());
+            },
+        );
     }
 
     #[test]
     fn mandatory_vars_always_included() {
         let m = hot_cold_module();
-        with_ctx(&m, |_| {}, |ctx| {
-            let cold = m.var_by_name("cold").unwrap();
-            let mut mandatory = VarSet::empty();
-            mandatory.insert(cold);
-            let sel = select_allocation(
-                ctx,
-                &HashMap::new(),
-                &mandatory,
-                IntervalBounds {
-                    resume_into: None,
-                    save_edge: None,
-                },
-                2048,
-            );
-            assert!(sel.vm.contains(cold));
-        });
+        with_ctx(
+            &m,
+            |_| {},
+            |ctx| {
+                let cold = m.var_by_name("cold").unwrap();
+                let mut mandatory = VarSet::empty();
+                mandatory.insert(cold);
+                let sel = select_allocation(
+                    ctx,
+                    &[],
+                    &mandatory,
+                    IntervalBounds {
+                        resume_into: None,
+                        save_edge: None,
+                    },
+                    2048,
+                );
+                assert!(sel.vm.contains(cold));
+            },
+        );
     }
 
     #[test]
     fn boundary_liveness_reduces_gain() {
         let m = hot_cold_module();
-        with_ctx(&m, |_| {}, |ctx| {
-            let hot = m.var_by_name("hot").unwrap();
-            let counts = AccessCount {
-                reads: 2,
-                writes: 0,
-            };
-            let open = IntervalBounds {
-                resume_into: None,
-                save_edge: None,
-            };
-            let closed = IntervalBounds {
-                resume_into: Some(BlockId(0)),
-                save_edge: None,
-            };
-            let g_open = gain_of(ctx, hot, counts, open);
-            let g_closed = gain_of(ctx, hot, counts, closed);
-            assert!(g_closed < g_open, "restore cost must reduce the gain");
-        });
+        with_ctx(
+            &m,
+            |_| {},
+            |ctx| {
+                let hot = m.var_by_name("hot").unwrap();
+                let counts = AccessCount {
+                    reads: 2,
+                    writes: 0,
+                };
+                let open = IntervalBounds {
+                    resume_into: None,
+                    save_edge: None,
+                };
+                let closed = IntervalBounds {
+                    resume_into: Some(BlockId(0)),
+                    save_edge: None,
+                };
+                let g_open = gain_of(ctx, hot, counts, open);
+                let g_closed = gain_of(ctx, hot, counts, closed);
+                assert!(g_closed < g_open, "restore cost must reduce the gain");
+            },
+        );
     }
 
     #[test]
@@ -275,30 +303,35 @@ mod tests {
         f.ret(Some(a.into()));
         let main = mb.func(f.finish());
         let m = mb.finish(main);
-        with_ctx(&m, |_| {}, |ctx| {
-            let mut counts = HashMap::new();
-            counts.insert(
-                small,
-                AccessCount {
-                    reads: 10,
-                    writes: 0,
-                },
-            );
-            counts.insert(
-                big,
-                AccessCount {
-                    reads: 10,
-                    writes: 0,
-                },
-            );
-            let bounds = IntervalBounds {
-                resume_into: None,
-                save_edge: None,
-            };
-            // Capacity fits only the scalar.
-            let sel = select_allocation(ctx, &counts, &VarSet::empty(), bounds, 4);
-            assert!(sel.vm.contains(small));
-            assert!(!sel.vm.contains(big));
-        });
+        with_ctx(
+            &m,
+            |_| {},
+            |ctx| {
+                let counts = vec![
+                    (
+                        small,
+                        AccessCount {
+                            reads: 10,
+                            writes: 0,
+                        },
+                    ),
+                    (
+                        big,
+                        AccessCount {
+                            reads: 10,
+                            writes: 0,
+                        },
+                    ),
+                ];
+                let bounds = IntervalBounds {
+                    resume_into: None,
+                    save_edge: None,
+                };
+                // Capacity fits only the scalar.
+                let sel = select_allocation(ctx, &counts, &VarSet::empty(), bounds, 4);
+                assert!(sel.vm.contains(small));
+                assert!(!sel.vm.contains(big));
+            },
+        );
     }
 }

@@ -103,8 +103,8 @@ pub fn compile_with_profile(
             config.clone()
         } else {
             let mut c = config.clone();
-            let headroom = table.checkpoint_resume_cost(0).energy
-                + table.checkpoint_commit_cost(0).energy;
+            let headroom =
+                table.checkpoint_resume_cost(0).energy + table.checkpoint_commit_cost(0).energy;
             c.eb = schematic_energy::Energy::from_pj(
                 config.eb.saturating_sub(headroom).as_pj() * 9 / 10,
             );
@@ -128,8 +128,8 @@ pub fn compile_with_profile(
                     enabled: Vec::new(),
                     backedge: Vec::new(),
                 };
-                let overhead = table.checkpoint_commit_cost(0).energy
-                    + table.checkpoint_resume_cost(0).energy;
+                let overhead =
+                    table.checkpoint_commit_cost(0).energy + table.checkpoint_resume_cost(0).energy;
                 summaries[fid.index()] = FuncSummary {
                     has_checkpoint: true,
                     entry_energy: overhead * 2,
@@ -233,13 +233,9 @@ mod tests {
         let table = CostTable::msp430fr5969();
         let config = SchematicConfig::new(eb_for_tbpf(&table, tbpf));
         let compiled = compile(&m, &table, &config).unwrap();
-        let out = Machine::new(
-            &compiled.instrumented,
-            &table,
-            RunConfig::periodic(tbpf),
-        )
-        .run()
-        .unwrap();
+        let out = Machine::new(&compiled.instrumented, &table, RunConfig::periodic(tbpf))
+            .run()
+            .unwrap();
         assert!(out.completed(), "status = {:?}", out.status);
         assert_eq!(out.result, Some(schematic_benchsuite::crc::oracle(2)));
         // The headline guarantees: no mid-interval failures, no rollback
@@ -282,8 +278,7 @@ mod tests {
         let tbpf = 10_000;
         let m = schematic_benchsuite::crc::build(1);
         let table = CostTable::msp430fr5969();
-        let hybrid = compile(&m, &table, &SchematicConfig::new(eb_for_tbpf(&table, tbpf)))
-            .unwrap();
+        let hybrid = compile(&m, &table, &SchematicConfig::new(eb_for_tbpf(&table, tbpf))).unwrap();
         let nvm = compile(
             &m,
             &table,
@@ -323,18 +318,11 @@ mod tests {
         let table = CostTable::msp430fr5969();
         let config = SchematicConfig::new(eb_for_tbpf(&table, tbpf));
         let compiled = compile(&m, &table, &config).unwrap();
-        let out = Machine::new(
-            &compiled.instrumented,
-            &table,
-            RunConfig::periodic(tbpf),
-        )
-        .run()
-        .unwrap();
+        let out = Machine::new(&compiled.instrumented, &table, RunConfig::periodic(tbpf))
+            .run()
+            .unwrap();
         assert!(out.completed(), "status = {:?}", out.status);
-        assert_eq!(
-            out.result,
-            Some(schematic_benchsuite::bitcount::oracle(4))
-        );
+        assert_eq!(out.result, Some(schematic_benchsuite::bitcount::oracle(4)));
         assert_eq!(out.metrics.unexpected_failures, 0);
         assert_eq!(out.metrics.reexecution, Energy::ZERO);
     }

@@ -71,18 +71,27 @@ impl Profile {
     pub fn collect(module: &Module, table: &CostTable, runs: usize) -> Self {
         let im = InstrumentedModule::bare(module.clone());
         let mut profile = Profile::default();
-        for _ in 0..runs.max(1) {
-            // Bound each profiling run: path frequencies stabilize long
-            // before the default 2-billion-cycle emulator budget, and an
-            // unbounded (or very long) program must not hang compilation.
-            let cfg = RunConfig {
-                max_active_cycles: 20_000_000,
-                ..RunConfig::profiling()
-            };
-            let out = Machine::new(&im, table, cfg)
-                .run()
-                .expect("profiling run must not trap");
-            profile.add_trace(module, &out.trace);
+        // Bound the profiling run: path frequencies stabilize long
+        // before the default 2-billion-cycle emulator budget, and an
+        // unbounded (or very long) program must not hang compilation.
+        let cfg = RunConfig {
+            max_active_cycles: 20_000_000,
+            ..RunConfig::profiling()
+        };
+        let out = Machine::new(&im, table, cfg)
+            .run()
+            .expect("profiling run must not trap");
+        profile.add_trace(module, &out.trace);
+        // Continuous-power runs of a fixed module are deterministic, so
+        // the remaining `runs − 1` traces would be identical — scale the
+        // counts instead of re-emulating.
+        let reps = runs.max(1) as u64;
+        if reps > 1 {
+            for paths in profile.per_func.values_mut() {
+                for (_, n) in paths.iter_mut() {
+                    *n *= reps;
+                }
+            }
         }
         profile
     }

@@ -121,28 +121,35 @@ fn block_shape(
                     Inst::CondCheckpoint { period, .. } => Some(*period),
                     _ => None,
                 };
-                let spec = im.spec(*id).cloned().unwrap_or_else(|| {
-                    CheckpointSpec::registers_only()
-                });
+                let spec = im
+                    .spec(*id)
+                    .cloned()
+                    .unwrap_or_else(CheckpointSpec::registers_only);
                 let commit = table
                     .checkpoint_commit_cost(spec_words(module, &spec, &spec.save_vars))
                     .energy;
                 let resume = table
                     .checkpoint_resume_cost(spec_words(module, &spec, &spec.restore_vars))
                     .energy;
-                push_boundary(&mut shape, Boundary::Checkpoint {
-                    commit,
-                    resume,
-                    period,
-                });
+                push_boundary(
+                    &mut shape,
+                    Boundary::Checkpoint {
+                        commit,
+                        resume,
+                        period,
+                    },
+                );
             }
             Inst::Call { func: callee, .. } => {
                 let f = flows[callee.index()];
                 if f.resets {
-                    push_boundary(&mut shape, Boundary::CallBarrier {
-                        entry: f.entry,
-                        exit: f.exit,
-                    });
+                    push_boundary(
+                        &mut shape,
+                        Boundary::CallBarrier {
+                            entry: f.entry,
+                            exit: f.exit,
+                        },
+                    );
                 } else {
                     *shape.segs.last_mut().expect("non-empty") += f.entry;
                 }
@@ -266,7 +273,11 @@ impl<'a> ScopeAnalyzer<'a> {
                 }
                 Boundary::CallBarrier { entry, exit } => {
                     if record {
-                        self.note_interval(b, cur + *entry, "interval entering checkpointed callee");
+                        self.note_interval(
+                            b,
+                            cur + *entry,
+                            "interval entering checkpointed callee",
+                        );
                     }
                     if first_closing.is_none() {
                         first_closing = Some(cur + *entry);
@@ -410,8 +421,7 @@ impl<'a> ScopeAnalyzer<'a> {
                     // modelled as NOT firing (the k-iteration stretch is
                     // charged at the loop level); at top level they fire.
                     let cond_fires = scope.is_none();
-                    let (nb, reset, first) =
-                        self.through_block(node, in_b, cond_fires, true);
+                    let (nb, reset, first) = self.through_block(node, in_b, cond_fires, true);
                     if reset {
                         any_reset = true;
                         if let (Some(a), Some(first)) = (in_a, first) {
@@ -420,7 +430,11 @@ impl<'a> ScopeAnalyzer<'a> {
                             head = head.max(a + (first - in_b));
                         }
                     }
-                    let na = if reset { None } else { in_a.map(|a| nb - in_b + a) };
+                    let na = if reset {
+                        None
+                    } else {
+                        in_a.map(|a| nb - in_b + a)
+                    };
                     (nb, na, reset)
                 }
             };
@@ -436,21 +450,19 @@ impl<'a> ScopeAnalyzer<'a> {
 
             // Exits of the scope.
             let is_exit = match scope {
-                None => self.im.module.func(self.fid).block(node).term.is_ret()
-                    || self.top_loop_of(node, scope).is_some_and(|l| {
-                        self.forest.loops[l]
-                            .body
-                            .iter()
-                            .any(|&x| self.im.module.func(self.fid).block(x).term.is_ret())
-                    }),
+                None => {
+                    self.im.module.func(self.fid).block(node).term.is_ret()
+                        || self.top_loop_of(node, scope).is_some_and(|l| {
+                            self.forest.loops[l]
+                                .body
+                                .iter()
+                                .any(|&x| self.im.module.func(self.fid).block(x).term.is_ret())
+                        })
+                }
                 Some(l) => {
                     let lp = &self.forest.loops[l];
                     lp.latches.contains(&node)
-                        || self
-                            .cfg
-                            .succs(node)
-                            .iter()
-                            .any(|s| !lp.contains(*s))
+                        || self.cfg.succs(node).iter().any(|s| !lp.contains(*s))
                 }
             };
             if is_exit {
@@ -730,18 +742,28 @@ pub fn patch_placement(
             continue;
         }
         if std::env::var_os("SCHEMATIC_DEBUG_PATCH").is_some() {
-            eprintln!("[patch] round: {} violations, first: fn{} {} {}", report.violations.len(), v.func.index(), v.block, v.detail);
+            eprintln!(
+                "[patch] round: {} violations, first: fn{} {} {}",
+                report.violations.len(),
+                v.func.index(),
+                v.block,
+                v.detail
+            );
         }
         // A stretch entering a checkpointed callee can only be shortened
         // inside the callee: tighten its conditional periods, else give
         // it an entry checkpoint.
         if v.detail.contains("entering checkpointed callee") {
-            let callee = im.module.func(v.func).block(v.block).insts.iter().find_map(|i| {
-                match i {
+            let callee = im
+                .module
+                .func(v.func)
+                .block(v.block)
+                .insts
+                .iter()
+                .find_map(|i| match i {
                     Inst::Call { func, .. } => Some(*func),
                     _ => None,
-                }
-            });
+                });
             if let Some(callee) = callee {
                 let mut acted = false;
                 let n_blocks = im.module.func(callee).blocks.len();
@@ -830,9 +852,7 @@ pub fn patch_placement(
                 .iter()
                 .find(|l| l.header == v.block)
                 .map(|l| l.body.iter().copied().collect())
-                .unwrap_or_else(|| {
-                    (0..func.blocks.len()).map(BlockId::from_usize).collect()
-                });
+                .unwrap_or_else(|| (0..func.blocks.len()).map(BlockId::from_usize).collect());
             let scale = |period: u32| -> u32 {
                 let p = u128::from(period) * u128::from(eb.as_pj())
                     / u128::from(v.energy.as_pj().max(1));
@@ -999,8 +1019,8 @@ mod tests {
         let mut im = bare(m);
         im.checkpoints.push(CheckpointSpec::registers_only());
         let table = CostTable::msp430fr5969();
-        let full = verify_placement(&bare(straight_module(300)), &table, Energy::from_uj(1))
-            .max_interval;
+        let full =
+            verify_placement(&bare(straight_module(300)), &table, Energy::from_uj(1)).max_interval;
         let halved = verify_placement(&im, &table, Energy::from_uj(1)).max_interval;
         assert!(halved < full);
         let r = verify_placement(&im, &table, Energy::from_uj(1));
@@ -1057,10 +1077,13 @@ mod tests {
         im.checkpoints.push(CheckpointSpec::registers_only());
         let r = verify_placement(&im, &CostTable::msp430fr5969(), Energy::from_pj(200_000));
         assert!(!r.is_sound());
-        assert!(r
-            .violations
-            .iter()
-            .any(|v| v.detail.contains("final interval")), "{:?}", r.violations);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.detail.contains("final interval")),
+            "{:?}",
+            r.violations
+        );
     }
 
     #[test]

@@ -88,9 +88,14 @@ pub(crate) struct PlacedPath {
 enum Anchor {
     Start,
     /// Potential (or forced) checkpoint at `links[idx]`.
-    Link { idx: usize, forced: bool },
+    Link {
+        idx: usize,
+        forced: bool,
+    },
     /// Mandatory waypoint: barrier item.
-    Barrier { item: usize },
+    Barrier {
+        item: usize,
+    },
     End,
 }
 
@@ -119,6 +124,191 @@ struct EdgeEval {
     items: Vec<usize>,
     consumed_after: Vec<(usize, Energy)>,
     needed_from: Vec<(usize, Energy)>,
+}
+
+/// Cost of one path item as a function of the interval allocation.
+enum ItemCost {
+    /// Allocation-independent: loops (whole-body summaries) and blocks
+    /// whose allocation an earlier path already committed.
+    Const(Energy),
+    /// Undecided block: `inst_cost` is linear in which accessed
+    /// variables sit in VM, so the cost under `alloc` is the all-NVM
+    /// cost minus the per-variable savings of the VM-resident ones.
+    Linear {
+        all_nvm: Energy,
+        /// Energy saved when the variable is VM-resident
+        /// (`reads·ΔER + writes·ΔEW`; VM-eligible variables only).
+        saved: Vec<(VarId, Energy)>,
+    },
+}
+
+/// Per-path memoization shared by every RCG edge evaluation.
+///
+/// `eval_interval` runs for O(anchors²) pairs per path, but everything it
+/// derives from *single* items — access counts, committed allocations,
+/// mandatory VM sets, item costs — only depends on the path, so it is
+/// computed once here. Because an interval's items form a contiguous
+/// index range, aggregated access counts become a prefix-sum difference
+/// instead of a fresh `HashMap` fold per pair.
+struct PathMemo {
+    /// Committed allocation per item (`ctx.fixed_alloc`).
+    fixed: Vec<Option<VarSet>>,
+    /// Mandatory-VM set per item (`ctx.item_mandatory_vm`).
+    mandatory: Vec<VarSet>,
+    /// Item cost per item (`ctx.item_cost` in closed form).
+    cost: Vec<ItemCost>,
+    /// Every variable accessed by some non-fixed item, ascending.
+    vars: Vec<VarId>,
+    /// `pfx[i+1][k] − pfx[i][k]` is item `i`'s access count of
+    /// `vars[k]`; fixed and barrier items contribute zero (their
+    /// accesses never feed gain selection).
+    pfx: Vec<Vec<AccessCount>>,
+}
+
+impl PathMemo {
+    fn new(ctx: &FuncCtx<'_>, path: &ItemPath) -> Self {
+        let n = path.items.len();
+        let read_gain = ctx.table.read_gain().as_pj();
+        let write_gain = ctx.table.write_gain().as_pj();
+        let mut fixed: Vec<Option<VarSet>> = Vec::with_capacity(n);
+        let mut mandatory: Vec<VarSet> = Vec::with_capacity(n);
+        let mut cost: Vec<ItemCost> = Vec::with_capacity(n);
+        let mut accesses: Vec<Option<HashMap<VarId, AccessCount>>> = Vec::with_capacity(n);
+        for &item in &path.items {
+            // Barrier items are anchors, never interval members: their
+            // per-item data is unused (and loop barriers may not even
+            // have summaries to query).
+            if ctx.is_barrier(item) {
+                fixed.push(None);
+                mandatory.push(VarSet::empty());
+                cost.push(ItemCost::Const(Energy::ZERO));
+                accesses.push(None);
+                continue;
+            }
+            let f = ctx.fixed_alloc(item);
+            cost.push(match (&item, &f) {
+                (Item::Loop(_), _) => ItemCost::Const(ctx.item_cost(item, &VarSet::empty())),
+                (Item::Block(_), Some(f)) => ItemCost::Const(ctx.item_cost(item, f)),
+                (Item::Block(b), None) => {
+                    // `block_cost` only classifies the block's *own*
+                    // loads/stores (callees contribute their constant
+                    // entry energy), so the linear form uses the raw
+                    // per-block access map, not `item_access`.
+                    let mut saved: Vec<(VarId, Energy)> = ctx
+                        .access
+                        .block(*b)
+                        .iter()
+                        .filter(|(v, _)| ctx.vm_eligible(**v))
+                        .map(|(&v, &c)| {
+                            let pj = c.reads * read_gain + c.writes * write_gain;
+                            (v, Energy::from_pj(pj))
+                        })
+                        .collect();
+                    saved.sort_unstable_by_key(|e| e.0);
+                    ItemCost::Linear {
+                        all_nvm: ctx.item_cost(item, &VarSet::empty()),
+                        saved,
+                    }
+                }
+            });
+            accesses.push(if f.is_some() {
+                None
+            } else {
+                Some(ctx.item_access(item))
+            });
+            fixed.push(f);
+            mandatory.push(ctx.item_mandatory_vm(item));
+        }
+        let mut vars: Vec<VarId> = accesses
+            .iter()
+            .flatten()
+            .flat_map(|m| m.keys().copied())
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        let mut pfx = Vec::with_capacity(n + 1);
+        pfx.push(vec![AccessCount::default(); vars.len()]);
+        for m in &accesses {
+            let mut row = pfx.last().expect("seeded").clone();
+            if let Some(m) = m {
+                for (k, v) in vars.iter().enumerate() {
+                    if let Some(&c) = m.get(v) {
+                        row[k] += c;
+                    }
+                }
+            }
+            pfx.push(row);
+        }
+        PathMemo {
+            fixed,
+            mandatory,
+            cost,
+            vars,
+            pfx,
+        }
+    }
+
+    /// Cost of item `i` when the interval allocation is `alloc`
+    /// (identical to `ctx.item_cost` with the item's committed set
+    /// taking precedence).
+    fn item_cost(&self, i: usize, alloc: &VarSet) -> Energy {
+        match &self.cost[i] {
+            ItemCost::Const(c) => *c,
+            ItemCost::Linear { all_nvm, saved } => {
+                let pj: u64 = saved
+                    .iter()
+                    .filter(|(v, _)| alloc.contains(*v))
+                    .map(|(_, d)| d.as_pj())
+                    .sum();
+                Energy::from_pj(all_nvm.as_pj() - pj)
+            }
+        }
+    }
+
+    /// Aggregated access counts of items `first..end`, ascending by
+    /// variable, written into `out`.
+    fn range_counts(&self, first: usize, end: usize, out: &mut Vec<(VarId, AccessCount)>) {
+        out.clear();
+        let (a, b) = (&self.pfx[first], &self.pfx[end]);
+        for (k, &v) in self.vars.iter().enumerate() {
+            let c = AccessCount {
+                reads: b[k].reads - a[k].reads,
+                writes: b[k].writes - a[k].writes,
+            };
+            if c.reads != 0 || c.writes != 0 {
+                out.push((v, c));
+            }
+        }
+    }
+}
+
+/// Reusable buffers for `eval_interval`, allocated once per path.
+#[derive(Default)]
+struct EvalScratch {
+    counts: Vec<(VarId, AccessCount)>,
+    scaled: Vec<(VarId, AccessCount)>,
+}
+
+/// Returns `base` scaled by `scale`, reusing `buf` when a copy is needed.
+fn scaled<'a>(
+    base: &'a [(VarId, AccessCount)],
+    scale: u64,
+    buf: &'a mut Vec<(VarId, AccessCount)>,
+) -> &'a [(VarId, AccessCount)] {
+    if scale == 1 {
+        return base;
+    }
+    buf.clear();
+    buf.extend(base.iter().map(|&(v, c)| {
+        (
+            v,
+            AccessCount {
+                reads: c.reads.saturating_mul(scale),
+                writes: c.writes.saturating_mul(scale),
+            },
+        )
+    }));
+    buf
 }
 
 /// Places checkpoints and allocations on `path`. Returns `None` when no
@@ -157,6 +347,9 @@ pub(crate) fn place_on_path(
     }
     anchors.push(Anchor::End);
 
+    let memo = PathMemo::new(ctx, path);
+    let mut scratch = EvalScratch::default();
+
     // ---- Dijkstra over anchors -------------------------------------------
     let m = anchors.len();
     let mut dist: Vec<Option<Energy>> = vec![None; m];
@@ -188,7 +381,9 @@ pub(crate) fn place_on_path(
             if anchors[u + 1..v].iter().any(|a| a.blocks_skipping()) {
                 continue;
             }
-            if let Some(eval) = eval_interval(ctx, path, env, anchors[u], anchors[v]) {
+            if let Some(eval) =
+                eval_interval(ctx, path, env, &memo, &mut scratch, anchors[u], anchors[v])
+            {
                 let nd = du + eval.cost;
                 if dist[v].map(|d| nd < d).unwrap_or(true) {
                     dist[v] = Some(nd);
@@ -245,8 +440,8 @@ pub(crate) fn place_on_path(
 #[allow(clippy::too_many_arguments)]
 fn recost(
     ctx: &FuncCtx<'_>,
-    path: &ItemPath,
     env: PathEnv,
+    memo: &PathMemo,
     a: Anchor,
     _b: Anchor,
     items: &[usize],
@@ -272,11 +467,7 @@ fn recost(
     let mut exec = Energy::ZERO;
     let mut per_item = Vec::with_capacity(items.len());
     for &i in items {
-        let item = path.items[i];
-        let cost = match ctx.fixed_alloc(item) {
-            Some(f) => ctx.item_cost(item, &f),
-            None => ctx.item_cost(item, alloc),
-        };
+        let cost = memo.item_cost(i, alloc);
         exec += cost;
         per_item.push((i, cost));
     }
@@ -289,38 +480,41 @@ fn eval_interval(
     ctx: &FuncCtx<'_>,
     path: &ItemPath,
     env: PathEnv,
+    memo: &PathMemo,
+    scratch: &mut EvalScratch,
     a: Anchor,
     b: Anchor,
 ) -> Option<EdgeEval> {
     let n = path.items.len();
     let (lo, hi) = (a.key(n), b.key(n));
     debug_assert!(lo < hi);
-    let items: Vec<usize> = (0..n)
-        .filter(|&i| {
-            let k = 2 * i as i64;
-            k > lo && k < hi
-        })
-        .collect();
+    // Item keys are even, so `lo < 2i < hi` is the contiguous range below.
+    let first = ((lo + 2) >> 1) as usize;
+    let end = ((hi + 1) >> 1) as usize;
+    debug_assert!(first <= end && end <= n);
+    let items: Vec<usize> = (first..end).collect();
+    debug_assert!(items
+        .iter()
+        .all(|&i| lo < 2 * i as i64 && 2 * (i as i64) < hi));
 
     // ---- allocation -----------------------------------------------------
-    let mut fixed: Option<VarSet> = None;
+    let mut fixed: Option<&VarSet> = None;
     let mut mandatory = VarSet::empty();
-    let mut counts: HashMap<VarId, AccessCount> = HashMap::new();
     for &i in &items {
-        let item = path.items[i];
-        if let Some(f) = ctx.fixed_alloc(item) {
-            match &fixed {
+        if let Some(f) = memo.fixed[i].as_ref() {
+            match fixed {
                 None => fixed = Some(f),
-                Some(prev) if *prev == f => {}
+                Some(prev) if prev == f => {}
                 Some(_) => return None, // conflicting committed allocations
             }
-        } else {
-            for (v, c) in ctx.item_access(item) {
-                *counts.entry(v).or_default() += c;
-            }
         }
-        mandatory.union_with(&ctx.item_mandatory_vm(item));
+        mandatory.union_with(&memo.mandatory[i]);
     }
+    let EvalScratch {
+        counts: counts_buf,
+        scaled: scaled_buf,
+    } = scratch;
+    memo.range_counts(first, end, counts_buf);
 
     // Capacity shrinks by whatever an adjacent barrier needs resident.
     let mut capacity = ctx.config.svm_bytes;
@@ -357,85 +551,69 @@ fn eval_interval(
     // shrink the capacity until the interval fits the budget (a large
     // allocation may be profitable per access yet unaffordable to
     // save/restore at the interval's boundaries).
-    let scaled_counts = |scale: u64| -> HashMap<VarId, AccessCount> {
-        counts
-            .iter()
-            .map(|(&v, &c)| {
-                (
-                    v,
-                    AccessCount {
-                        reads: c.reads.saturating_mul(scale),
-                        writes: c.writes.saturating_mul(scale),
-                    },
-                )
-            })
-            .collect()
-    };
     let mut capacity_try = capacity;
-    let mut alloc = match &fixed {
-        Some(f) => {
-            let mut set = f.clone();
-            set.union_with(&mandatory);
-            if ctx.set_bytes(&set) > capacity {
-                return None;
+    let mut alloc =
+        match fixed {
+            Some(f) => {
+                let mut set = f.clone();
+                set.union_with(&mandatory);
+                if ctx.set_bytes(&set) > capacity {
+                    return None;
+                }
+                set
             }
-            set
-        }
-        None => {
-            let mut scale = env.access_scale;
-            let mut vm =
-                select_allocation(ctx, &scaled_counts(scale), &mandatory, bounds, capacity_try).vm;
-            if env.loop_boundary.is_some() {
-                // The boundary save/restore is paid once per conditional-
-                // checkpoint period, while accesses accrue every
-                // iteration. Iterate so the access scale used by the gain
-                // matches the period the chosen allocation can afford
-                // (Algorithm 1's `numit`).
-                for _ in 0..4 {
-                    let save_words = ctx.set_words(&vm.intersection(&ctx.written));
-                    let restore_words = ctx.set_words(&vm);
-                    let overhead = ctx.table.checkpoint_commit_cost(save_words).energy
-                        + ctx.table.checkpoint_resume_cost(restore_words).energy;
-                    let exec: Energy = items
-                        .iter()
-                        .map(|&i| {
-                            let item = path.items[i];
-                            match ctx.fixed_alloc(item) {
-                                Some(f) => ctx.item_cost(item, &f),
-                                None => ctx.item_cost(item, &vm),
-                            }
-                        })
-                        .sum();
-                    let budget = ctx.config.eb.saturating_sub(overhead);
-                    let period = budget.div_floor(exec).unwrap_or(u64::MAX).max(1);
-                    // Clean VM copies persist across checkpoint regions
-                    // (and across calls), so the amortization horizon is
-                    // the conditional-checkpoint period, not this loop's
-                    // trip count.
-                    let new_scale = period.min(1 << 20);
-                    if std::env::var_os("SCHEMATIC_DEBUG_GAIN").is_some() {
-                        eprintln!(
+            None => {
+                let mut scale = env.access_scale;
+                let mut vm = select_allocation(
+                    ctx,
+                    scaled(counts_buf, scale, scaled_buf),
+                    &mandatory,
+                    bounds,
+                    capacity_try,
+                )
+                .vm;
+                if env.loop_boundary.is_some() {
+                    // The boundary save/restore is paid once per conditional-
+                    // checkpoint period, while accesses accrue every
+                    // iteration. Iterate so the access scale used by the gain
+                    // matches the period the chosen allocation can afford
+                    // (Algorithm 1's `numit`).
+                    for _ in 0..4 {
+                        let save_words = ctx.set_words(&vm.intersection(&ctx.written));
+                        let restore_words = ctx.set_words(&vm);
+                        let overhead = ctx.table.checkpoint_commit_cost(save_words).energy
+                            + ctx.table.checkpoint_resume_cost(restore_words).energy;
+                        let exec: Energy = items.iter().map(|&i| memo.item_cost(i, &vm)).sum();
+                        let budget = ctx.config.eb.saturating_sub(overhead);
+                        let period = budget.div_floor(exec).unwrap_or(u64::MAX).max(1);
+                        // Clean VM copies persist across checkpoint regions
+                        // (and across calls), so the amortization horizon is
+                        // the conditional-checkpoint period, not this loop's
+                        // trip count.
+                        let new_scale = period.min(1 << 20);
+                        if std::env::var_os("SCHEMATIC_DEBUG_GAIN").is_some() {
+                            eprintln!(
                             "[gain] fn{} items={:?} scale {} -> {} alloc={:?} overhead={} exec={}",
                             ctx.fid.index(), items, scale, new_scale, vm, overhead, exec
                         );
+                        }
+                        if new_scale == scale {
+                            break;
+                        }
+                        scale = new_scale;
+                        vm = select_allocation(
+                            ctx,
+                            scaled(counts_buf, scale, scaled_buf),
+                            &mandatory,
+                            bounds,
+                            capacity_try,
+                        )
+                        .vm;
                     }
-                    if new_scale == scale {
-                        break;
-                    }
-                    scale = new_scale;
-                    vm = select_allocation(
-                        ctx,
-                        &scaled_counts(scale),
-                        &mandatory,
-                        bounds,
-                        capacity_try,
-                    )
-                    .vm;
                 }
+                vm
             }
-            vm
-        }
-    };
+        };
 
     // ---- costs ------------------------------------------------------------
     let eb = ctx.config.eb;
@@ -463,7 +641,7 @@ fn eval_interval(
     };
 
     // Execution, tracking running consumption for Eleft/Eto_leave.
-    let (_, mut exec, mut per_item) = recost(ctx, path, env, a, b, &items, &alloc, None);
+    let (_, mut exec, mut per_item) = recost(ctx, env, memo, a, b, &items, &alloc, None);
 
     let (mut closing_feas, mut closing_cost) = match b {
         Anchor::Link { idx, .. } => {
@@ -499,16 +677,19 @@ fn eval_interval(
         }
         // Shrink and retry: halve the capacity offered to the gain
         // selection (mandatory variables always stay).
-        capacity_try = ctx.set_bytes(&alloc).saturating_sub(1).min(capacity_try / 2);
+        capacity_try = ctx
+            .set_bytes(&alloc)
+            .saturating_sub(1)
+            .min(capacity_try / 2);
         alloc = select_allocation(
             ctx,
-            &scaled_counts(env.access_scale),
+            scaled(counts_buf, env.access_scale, scaled_buf),
             &mandatory,
             bounds,
             capacity_try,
         )
         .vm;
-        let (r2, e2, c2) = recost(ctx, path, env, a, b, &items, &alloc, resume_into);
+        let (r2, e2, c2) = recost(ctx, env, memo, a, b, &items, &alloc, resume_into);
         restore = r2;
         exec = e2;
         per_item = c2;
@@ -593,7 +774,10 @@ fn eval_interval(
         let overhead = ctx.table.checkpoint_commit_cost(save_words).energy
             + ctx.table.checkpoint_resume_cost(restore_words).energy;
         let budget = ctx.config.eb.saturating_sub(overhead);
-        let period = budget.div_floor(exec.max(Energy::from_pj(1))).unwrap_or(1).max(1);
+        let period = budget
+            .div_floor(exec.max(Energy::from_pj(1)))
+            .unwrap_or(1)
+            .max(1);
         if a == Anchor::Start {
             ranked_restore = Energy::from_pj(restore.as_pj() / period);
         }
@@ -604,7 +788,11 @@ fn eval_interval(
     if std::env::var_os("SCHEMATIC_DEBUG_EDGE").is_some() && items.len() > 10 {
         eprintln!(
             "[edge] fn{} {:?}->{:?} n={} alloc={:?} restore={restore} exec={exec} ranked={}",
-            ctx.fid.index(), a, b, items.len(), alloc,
+            ctx.fid.index(),
+            a,
+            b,
+            items.len(),
+            alloc,
             ranked_restore + exec + ranked_closing
         );
     }
@@ -709,10 +897,7 @@ mod tests {
             !placed.enabled_links.is_empty(),
             "expected at least one checkpoint, got {placed:?}"
         );
-        assert_eq!(
-            placed.enabled_links.len() + 1,
-            placed.intervals.len()
-        );
+        assert_eq!(placed.enabled_links.len() + 1, placed.intervals.len());
     }
 
     #[test]

@@ -106,7 +106,11 @@ mod tests {
         };
         assert!(v.to_string().contains("2048"));
         assert!(TrapKind::DivisionByZero.to_string().contains("zero"));
-        assert!(TrapKind::StackOverflow { limit: 64 }.to_string().contains("64"));
-        assert!(TrapKind::MissingCheckpointSpec { id: 7 }.to_string().contains("cp7"));
+        assert!(TrapKind::StackOverflow { limit: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(TrapKind::MissingCheckpointSpec { id: 7 }
+            .to_string()
+            .contains("cp7"));
     }
 }

@@ -115,11 +115,16 @@ impl AllocationPlan {
     /// splits) fall back to an empty set unless recorded via
     /// [`AllocationPlan::set`].
     pub fn get(&self, f: FuncId, b: BlockId) -> VarSet {
+        self.get_ref(f, b).cloned().unwrap_or_default()
+    }
+
+    /// Borrowing variant of [`AllocationPlan::get`]: `None` stands for
+    /// the empty fallback set. The emulator's per-access plan lookups go
+    /// through this to avoid cloning a `VarSet` on every memory op.
+    pub fn get_ref(&self, f: FuncId, b: BlockId) -> Option<&VarSet> {
         self.per_func
             .get(f.index())
             .and_then(|blocks| blocks.get(b.index()))
-            .cloned()
-            .unwrap_or_default()
     }
 
     /// Records the VM set for block `b` of function `f`, growing the
@@ -188,7 +193,8 @@ impl InstrumentedModule {
     /// baseline execution time "with all data in VM" (Table II).
     pub fn bare_all_vm(module: Module) -> Self {
         let plan = AllocationPlan::all_vm(&module);
-        let boot: Vec<VarId> = plan.get(module.entry_func(), module.func(module.entry_func()).entry)
+        let boot: Vec<VarId> = plan
+            .get(module.entry_func(), module.func(module.entry_func()).entry)
             .iter()
             .collect();
         InstrumentedModule {

@@ -17,7 +17,8 @@ use crate::metrics::Metrics;
 use crate::power::{PowerModel, PowerState};
 use schematic_energy::{Cost, CostTable, MemClass};
 use schematic_ir::{
-    AccessKind, BinOp, BlockId, CheckpointId, FuncId, Inst, Operand, Reg, Terminator, UnOp, VarId,
+    AccessKind, BinOp, Block, BlockId, CheckpointId, FuncId, Inst, Operand, Reg, Terminator, UnOp,
+    VarId, VarSet,
 };
 
 /// Limits and options for one run.
@@ -127,6 +128,16 @@ struct Frame {
     ret_dst: Option<Reg>,
 }
 
+impl Frame {
+    #[inline]
+    fn eval(&self, op: Operand) -> i32 {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => self.regs[r.index()],
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Image {
     frames: Vec<Frame>,
@@ -146,10 +157,60 @@ enum ChargeCat {
     Restore,
 }
 
+/// Per-opcode costs precomputed once per [`Machine`] so the hot
+/// interpreter loop never rebuilds a `Cost` from the table's raw
+/// cycle/energy fields.
+struct CostCache {
+    alu: Cost,
+    mul: Cost,
+    div: Cost,
+    cmp: Cost,
+    copy: Cost,
+    select: Cost,
+    branch: Cost,
+    ret: Cost,
+    load_cpu: Cost,
+    store_cpu: Cost,
+    vm_read: Cost,
+    vm_write: Cost,
+    nvm_read: Cost,
+    nvm_write: Cost,
+}
+
+impl CostCache {
+    fn new(table: &CostTable) -> Self {
+        CostCache {
+            alu: table.cycles_cost(table.alu_cycles),
+            mul: table.cycles_cost(table.mul_cycles),
+            div: table.cycles_cost(table.div_cycles),
+            cmp: table.cycles_cost(table.cmp_cycles),
+            copy: table.cycles_cost(table.copy_cycles),
+            select: table.cycles_cost(table.select_cycles),
+            branch: table.cycles_cost(table.branch_cycles),
+            ret: table.cycles_cost(table.ret_cycles),
+            load_cpu: table.cycles_cost(table.load_cycles),
+            store_cpu: table.cycles_cost(table.store_cycles),
+            vm_read: table.access_cost(MemClass::Vm, AccessKind::Read),
+            vm_write: table.access_cost(MemClass::Vm, AccessKind::Write),
+            nvm_read: table.access_cost(MemClass::Nvm, AccessKind::Read),
+            nvm_write: table.access_cost(MemClass::Nvm, AccessKind::Write),
+        }
+    }
+
+    fn bin(&self, op: BinOp) -> Cost {
+        match op {
+            BinOp::Mul => self.mul,
+            BinOp::DivS | BinOp::DivU | BinOp::RemS | BinOp::RemU => self.div,
+            _ => self.alu,
+        }
+    }
+}
+
 /// The emulator.
 pub struct Machine<'a> {
     im: &'a InstrumentedModule,
     table: &'a CostTable,
+    costs: CostCache,
     config: RunConfig,
     mem: Memory,
     frames: Vec<Frame>,
@@ -157,6 +218,21 @@ pub struct Machine<'a> {
     metrics: Metrics,
     cond_counters: Vec<u64>,
     image: Option<Image>,
+    /// Memoized allocation-plan lookup for the most recent
+    /// `(func, block)` — memory ops hit the same block's plan many
+    /// times in a row, and resolving it through `AllocationPlan::get`
+    /// would clone a `VarSet` per access. `None` means the empty set.
+    plan_key: Option<(FuncId, BlockId)>,
+    plan_set: Option<&'a VarSet>,
+    /// The block the top frame is executing, kept in sync with the
+    /// frame stack so `step` doesn't re-resolve `func(..).block(..)`
+    /// for every retired instruction.
+    cur_block: Option<&'a Block>,
+    /// Retired register files recycled across calls.
+    reg_pool: Vec<Vec<i32>>,
+    /// Scratch list of variables to flush, reused by residency
+    /// reconciliation.
+    flush_scratch: Vec<VarId>,
     /// Instructions retired since the last checkpoint commit/restore.
     epoch_insts: u64,
     /// Furthest `epoch_insts` reached in the current epoch before a
@@ -176,6 +252,7 @@ impl<'a> Machine<'a> {
         Machine {
             im,
             table,
+            costs: CostCache::new(table),
             config,
             mem,
             frames: Vec::new(),
@@ -183,6 +260,11 @@ impl<'a> Machine<'a> {
             metrics: Metrics::default(),
             cond_counters: vec![0; im.checkpoints.len()],
             image: None,
+            plan_key: None,
+            plan_set: None,
+            cur_block: None,
+            reg_pool: Vec::new(),
+            flush_scratch: Vec::new(),
             epoch_insts: 0,
             furthest: 0,
             committed_since_failure: false,
@@ -275,6 +357,7 @@ impl<'a> Machine<'a> {
             regs: vec![0; func.n_regs.max(1)],
             ret_dst: None,
         }];
+        self.sync_block();
         self.record_block(entry, func.entry);
         // Load the boot set into VM (charged as restore: it is the data
         // staging the platform performs before the program runs).
@@ -334,7 +417,9 @@ impl<'a> Machine<'a> {
         // (the NVM state is still pristine because wait-mode code never
         // writes NVM before its first checkpoint interval completes...
         // conservatively, we restart and count on placement soundness).
-        let image = match self.image.clone() {
+        // Take the image out instead of cloning it whole; only the
+        // frames need a working copy.
+        let image = match self.image.take() {
             Some(img) => img,
             None => {
                 let entry = self.im.module.entry_func();
@@ -357,13 +442,15 @@ impl<'a> Machine<'a> {
                 }
             }
         };
-        self.frames = image.frames;
+        self.frames.clone_from(&image.frames);
+        self.sync_block();
         let cost = self.table.checkpoint_resume_cost(image.restore_words);
         self.charge(cost, ChargeCat::Restore);
         self.metrics.restores += 1;
         for &v in &image.restore_vars {
             self.load_with_evict(v)?;
         }
+        self.image = Some(image);
         self.update_peak_vm();
         if let Some(top) = self.frames.last() {
             let (f, b) = (top.func, top.block);
@@ -387,19 +474,27 @@ impl<'a> Machine<'a> {
         let Some(top) = self.frames.last() else {
             return;
         };
-        let plan = self.im.plan.get(top.func, top.block);
-        for vi in 0..self.im.module.vars.len() {
-            let v = VarId::from_usize(vi);
-            if !self.mem.is_vm_valid(v) || plan.contains(v) {
-                continue;
-            }
-            if self.mem.is_dirty(v) {
-                let words = self.mem.flush_to_nvm(v);
-                let cost = self.table.save_words_cost(words);
-                self.charge(cost, ChargeCat::Save);
-                self.metrics.implicit_saves += 1;
-            }
+        let (func, block) = (top.func, top.block);
+        if self.mem.dirty_vars().is_empty() {
+            return;
         }
+        let plan = self.plan_for(func, block);
+        let mut scratch = std::mem::take(&mut self.flush_scratch);
+        scratch.clear();
+        scratch.extend(
+            self.mem
+                .dirty_vars()
+                .iter()
+                .copied()
+                .filter(|&v| !plan.is_some_and(|p| p.contains(v))),
+        );
+        for &v in &scratch {
+            let words = self.mem.flush_to_nvm(v);
+            let cost = self.table.save_words_cost(words);
+            self.charge(cost, ChargeCat::Save);
+            self.metrics.implicit_saves += 1;
+        }
+        self.flush_scratch = scratch;
     }
 
     /// Loads `var` into VM, evicting clean copies of variables outside
@@ -415,20 +510,32 @@ impl<'a> Machine<'a> {
     }
 
     fn evict_clean_outside_plan(&mut self, keep: VarId) {
-        let plan = self
-            .frames
-            .last()
-            .map(|top| self.im.plan.get(top.func, top.block))
-            .unwrap_or_default();
+        let plan = match self.frames.last() {
+            Some(top) => {
+                let (func, block) = (top.func, top.block);
+                self.plan_for(func, block)
+            }
+            None => None,
+        };
         for vi in 0..self.im.module.vars.len() {
             let v = VarId::from_usize(vi);
-            if v == keep || !self.mem.is_vm_valid(v) || plan.contains(v) {
+            if v == keep || !self.mem.is_vm_valid(v) || plan.is_some_and(|p| p.contains(v)) {
                 continue;
             }
             if !self.mem.is_dirty(v) {
                 self.mem.drop_vm(v);
             }
         }
+    }
+
+    /// Re-derives the cached top-frame block. Must be called whenever
+    /// the top frame's `(func, block)` changes (jump, call, return,
+    /// boot, failure restore).
+    fn sync_block(&mut self) {
+        self.cur_block = self
+            .frames
+            .last()
+            .map(|top| self.im.module.func(top.func).block(top.block));
     }
 
     fn record_block(&mut self, func: FuncId, block: BlockId) {
@@ -440,13 +547,13 @@ impl<'a> Machine<'a> {
     // ----- checkpoint runtime ---------------------------------------------
 
     fn do_checkpoint(&mut self, id: CheckpointId) -> Result<(), EmuError> {
-        let spec: &CheckpointSpec = match self.im.spec(id) {
+        let im = self.im;
+        let spec: &'a CheckpointSpec = match im.spec(id) {
             Some(s) => s,
             None => {
                 return Err(self.trap(TrapKind::MissingCheckpointSpec { id: id.0 }));
             }
         };
-        let spec = spec.clone();
 
         if let CheckpointKind::Guarded { threshold } = spec.kind {
             // Voltage measurement (MEMENTOS).
@@ -547,11 +654,22 @@ impl<'a> Machine<'a> {
         self.frames.last_mut().expect("active frame").regs[r.index()] = v;
     }
 
-    fn var_class(&self, func: FuncId, block: BlockId, var: VarId) -> MemClass {
+    /// Plan set for `(func, block)`, memoized on the last block asked
+    /// for. The plan is immutable for the whole run, so the cached
+    /// reference stays correct until the key changes.
+    fn plan_for(&mut self, func: FuncId, block: BlockId) -> Option<&'a VarSet> {
+        if self.plan_key != Some((func, block)) {
+            self.plan_key = Some((func, block));
+            self.plan_set = self.im.plan.get_ref(func, block);
+        }
+        self.plan_set
+    }
+
+    fn var_class(&mut self, func: FuncId, block: BlockId, var: VarId) -> MemClass {
         if self.im.module.var(var).pinned_nvm {
             return MemClass::Nvm;
         }
-        if self.im.plan.get(func, block).contains(var) {
+        if self.plan_for(func, block).is_some_and(|p| p.contains(var)) {
             MemClass::Vm
         } else {
             MemClass::Nvm
@@ -572,28 +690,19 @@ impl<'a> Machine<'a> {
     fn exec_load(&mut self, dst: Reg, var: VarId, idx: Option<Operand>) -> Result<(), EmuError> {
         let top = self.frames.last().expect("active frame");
         let (func, block) = (top.func, top.block);
-        let index = idx.map(|o| self.eval(o) as i64).unwrap_or(0);
+        let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
         let class = self.var_class(func, block, var);
-        self.charge_exec_cpu(Cost::new(
-            self.table.load_cycles,
-            schematic_energy::Energy::from_pj(self.table.cpu_pj_per_cycle) * self.table.load_cycles,
-        ));
+        self.charge_exec_cpu(self.costs.load_cpu);
         let value = match class {
             MemClass::Vm => {
                 self.ensure_vm_for_read(var)?;
                 self.metrics.vm_reads += 1;
-                self.charge_exec_access(
-                    self.table.access_cost(MemClass::Vm, AccessKind::Read),
-                    MemClass::Vm,
-                );
+                self.charge_exec_access(self.costs.vm_read, MemClass::Vm);
                 self.mem.vm_read(var, index).map_err(|k| self.trap(k))?
             }
             MemClass::Nvm => {
                 self.metrics.nvm_reads += 1;
-                self.charge_exec_access(
-                    self.table.access_cost(MemClass::Nvm, AccessKind::Read),
-                    MemClass::Nvm,
-                );
+                self.charge_exec_access(self.costs.nvm_read, MemClass::Nvm);
                 self.mem.nvm_read(var, index).map_err(|k| self.trap(k))?
             }
         };
@@ -601,16 +710,18 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
-    fn exec_store(&mut self, var: VarId, idx: Option<Operand>, src: Operand) -> Result<(), EmuError> {
+    fn exec_store(
+        &mut self,
+        var: VarId,
+        idx: Option<Operand>,
+        src: Operand,
+    ) -> Result<(), EmuError> {
         let top = self.frames.last().expect("active frame");
         let (func, block) = (top.func, top.block);
-        let index = idx.map(|o| self.eval(o) as i64).unwrap_or(0);
-        let value = self.eval(src);
+        let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
+        let value = top.eval(src);
         let class = self.var_class(func, block, var);
-        self.charge_exec_cpu(Cost::new(
-            self.table.store_cycles,
-            schematic_energy::Energy::from_pj(self.table.cpu_pj_per_cycle) * self.table.store_cycles,
-        ));
+        self.charge_exec_cpu(self.costs.store_cpu);
         match class {
             MemClass::Vm => {
                 if !self.mem.is_vm_valid(var) {
@@ -626,89 +737,98 @@ impl<'a> Machine<'a> {
                     }
                 }
                 self.metrics.vm_writes += 1;
-                self.charge_exec_access(
-                    self.table.access_cost(MemClass::Vm, AccessKind::Write),
-                    MemClass::Vm,
-                );
-                self.mem.vm_write(var, index, value).map_err(|k| self.trap(k))?;
+                self.charge_exec_access(self.costs.vm_write, MemClass::Vm);
+                self.mem
+                    .vm_write(var, index, value)
+                    .map_err(|k| self.trap(k))?;
             }
             MemClass::Nvm => {
                 if self.mem.nvm_write_would_clobber(var) {
                     self.metrics.coherence_violations += 1;
                 }
                 self.metrics.nvm_writes += 1;
-                self.charge_exec_access(
-                    self.table.access_cost(MemClass::Nvm, AccessKind::Write),
-                    MemClass::Nvm,
-                );
-                self.mem.nvm_write(var, index, value).map_err(|k| self.trap(k))?;
+                self.charge_exec_access(self.costs.nvm_write, MemClass::Nvm);
+                self.mem
+                    .nvm_write(var, index, value)
+                    .map_err(|k| self.trap(k))?;
             }
         }
         Ok(())
     }
+}
 
-    fn eval_bin(&self, op: BinOp, lhs: i32, rhs: i32) -> Result<i32, TrapKind> {
-        Ok(match op {
-            BinOp::Add => lhs.wrapping_add(rhs),
-            BinOp::Sub => lhs.wrapping_sub(rhs),
-            BinOp::Mul => lhs.wrapping_mul(rhs),
-            BinOp::DivS => {
-                if rhs == 0 || (lhs == i32::MIN && rhs == -1) {
-                    return Err(TrapKind::DivisionByZero);
-                }
-                lhs / rhs
+#[inline]
+fn eval_bin(op: BinOp, lhs: i32, rhs: i32) -> Result<i32, TrapKind> {
+    Ok(match op {
+        BinOp::Add => lhs.wrapping_add(rhs),
+        BinOp::Sub => lhs.wrapping_sub(rhs),
+        BinOp::Mul => lhs.wrapping_mul(rhs),
+        BinOp::DivS => {
+            if rhs == 0 || (lhs == i32::MIN && rhs == -1) {
+                return Err(TrapKind::DivisionByZero);
             }
-            BinOp::DivU => {
-                if rhs == 0 {
-                    return Err(TrapKind::DivisionByZero);
-                }
-                ((lhs as u32) / (rhs as u32)) as i32
+            lhs / rhs
+        }
+        BinOp::DivU => {
+            if rhs == 0 {
+                return Err(TrapKind::DivisionByZero);
             }
-            BinOp::RemS => {
-                if rhs == 0 || (lhs == i32::MIN && rhs == -1) {
-                    return Err(TrapKind::DivisionByZero);
-                }
-                lhs % rhs
+            ((lhs as u32) / (rhs as u32)) as i32
+        }
+        BinOp::RemS => {
+            if rhs == 0 || (lhs == i32::MIN && rhs == -1) {
+                return Err(TrapKind::DivisionByZero);
             }
-            BinOp::RemU => {
-                if rhs == 0 {
-                    return Err(TrapKind::DivisionByZero);
-                }
-                ((lhs as u32) % (rhs as u32)) as i32
+            lhs % rhs
+        }
+        BinOp::RemU => {
+            if rhs == 0 {
+                return Err(TrapKind::DivisionByZero);
             }
-            BinOp::And => lhs & rhs,
-            BinOp::Or => lhs | rhs,
-            BinOp::Xor => lhs ^ rhs,
-            BinOp::Shl => lhs.wrapping_shl(rhs as u32),
-            BinOp::LShr => ((lhs as u32).wrapping_shr(rhs as u32)) as i32,
-            BinOp::AShr => lhs.wrapping_shr(rhs as u32),
-        })
-    }
+            ((lhs as u32) % (rhs as u32)) as i32
+        }
+        BinOp::And => lhs & rhs,
+        BinOp::Or => lhs | rhs,
+        BinOp::Xor => lhs ^ rhs,
+        BinOp::Shl => lhs.wrapping_shl(rhs as u32),
+        BinOp::LShr => ((lhs as u32).wrapping_shr(rhs as u32)) as i32,
+        BinOp::AShr => lhs.wrapping_shr(rhs as u32),
+    })
+}
 
+impl<'a> Machine<'a> {
     fn step(&mut self) -> Result<Step, EmuError> {
-        let top = self.frames.last().expect("active frame");
-        let func = self.im.module.func(top.func);
-        let block = func.block(top.block);
-        let ip = top.ip;
+        // The cached block reference borrows the module (`'a`), not
+        // `self`, so the interpreter executes straight from the module
+        // without cloning the instruction (or terminator) on every
+        // step.
+        let block = self.cur_block.expect("active block");
+        let ip = self.frames.last().expect("active frame").ip;
 
-        if ip < block.insts.len() {
-            let inst = block.insts[ip].clone();
+        if let Some(inst) = block.insts.get(ip) {
             self.frames.last_mut().expect("active frame").ip += 1;
-            self.exec_inst(&inst)?;
+            self.exec_inst(inst)?;
             self.metrics.insts_retired += 1;
             self.epoch_insts += 1;
         } else {
-            let term = block.term.clone();
-            let cost = self.table.term_cost(&term);
+            let term = &block.term;
+            let cost = match term {
+                Terminator::Br(_) | Terminator::CondBr { .. } => self.costs.branch,
+                Terminator::Ret(_) => self.costs.ret,
+            };
             self.charge_exec_cpu(cost);
             match term {
-                Terminator::Br(t) => self.jump(t),
+                Terminator::Br(t) => self.jump(*t),
                 Terminator::CondBr {
                     cond,
                     then_bb,
                     else_bb,
                 } => {
-                    let t = if self.eval(cond) != 0 { then_bb } else { else_bb };
+                    let t = if self.eval(*cond) != 0 {
+                        *then_bb
+                    } else {
+                        *else_bb
+                    };
                     self.jump(t);
                 }
                 Terminator::Ret(v) => {
@@ -722,6 +842,8 @@ impl<'a> Machine<'a> {
                     if let (Some(dst), Some(val)) = (done.ret_dst, value) {
                         self.set_reg(dst, val);
                     }
+                    self.reg_pool.push(done.regs);
+                    self.sync_block();
                     self.reconcile_residency();
                 }
             }
@@ -739,6 +861,7 @@ impl<'a> Machine<'a> {
         top.block = target;
         top.ip = 0;
         let (f, b) = (top.func, top.block);
+        self.sync_block();
         self.record_block(f, b);
         self.reconcile_residency();
     }
@@ -746,34 +869,33 @@ impl<'a> Machine<'a> {
     fn exec_inst(&mut self, inst: &Inst) -> Result<(), EmuError> {
         match inst {
             Inst::Bin { dst, op, lhs, rhs } => {
-                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
-                self.charge_exec_cpu(cost);
-                let l = self.eval(*lhs);
-                let r = self.eval(*rhs);
-                let v = self.eval_bin(*op, l, r).map_err(|k| self.trap(k))?;
+                self.charge_exec_cpu(self.costs.bin(*op));
+                let top = self.frames.last().expect("active frame");
+                let (l, r) = (top.eval(*lhs), top.eval(*rhs));
+                let v = eval_bin(*op, l, r).map_err(|k| self.trap(k))?;
                 self.set_reg(*dst, v);
             }
             Inst::Cmp { dst, op, lhs, rhs } => {
-                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
-                self.charge_exec_cpu(cost);
-                let v = op.eval(self.eval(*lhs), self.eval(*rhs));
-                self.set_reg(*dst, i32::from(v));
+                self.charge_exec_cpu(self.costs.cmp);
+                let top = self.frames.last_mut().expect("active frame");
+                let v = op.eval(top.eval(*lhs), top.eval(*rhs));
+                top.regs[dst.index()] = i32::from(v);
             }
             Inst::Un { dst, op, src } => {
-                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
-                self.charge_exec_cpu(cost);
-                let s = self.eval(*src);
+                self.charge_exec_cpu(self.costs.alu);
+                let top = self.frames.last_mut().expect("active frame");
+                let s = top.eval(*src);
                 let v = match op {
                     UnOp::Neg => s.wrapping_neg(),
                     UnOp::Not => !s,
                 };
-                self.set_reg(*dst, v);
+                top.regs[dst.index()] = v;
             }
             Inst::Copy { dst, src } => {
-                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
-                self.charge_exec_cpu(cost);
-                let v = self.eval(*src);
-                self.set_reg(*dst, v);
+                self.charge_exec_cpu(self.costs.copy);
+                let top = self.frames.last_mut().expect("active frame");
+                let v = top.eval(*src);
+                top.regs[dst.index()] = v;
             }
             Inst::Select {
                 dst,
@@ -781,14 +903,14 @@ impl<'a> Machine<'a> {
                 then_val,
                 else_val,
             } => {
-                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
-                self.charge_exec_cpu(cost);
-                let v = if self.eval(*cond) != 0 {
-                    self.eval(*then_val)
+                self.charge_exec_cpu(self.costs.select);
+                let top = self.frames.last_mut().expect("active frame");
+                let v = if top.eval(*cond) != 0 {
+                    top.eval(*then_val)
                 } else {
-                    self.eval(*else_val)
+                    top.eval(*else_val)
                 };
-                self.set_reg(*dst, v);
+                top.regs[dst.index()] = v;
             }
             Inst::Load { dst, var, idx } => self.exec_load(*dst, *var, *idx)?,
             Inst::Store { var, idx, src } => self.exec_store(*var, *idx, *src)?,
@@ -801,7 +923,9 @@ impl<'a> Machine<'a> {
                     }));
                 }
                 let callee = self.im.module.func(*func);
-                let mut regs = vec![0; callee.n_regs.max(1)];
+                let mut regs = self.reg_pool.pop().unwrap_or_default();
+                regs.clear();
+                regs.resize(callee.n_regs.max(1), 0);
                 for (i, a) in args.iter().enumerate() {
                     regs[i] = self.eval(*a);
                 }
@@ -812,6 +936,7 @@ impl<'a> Machine<'a> {
                     regs,
                     ret_dst: *dst,
                 });
+                self.sync_block();
                 self.record_block(*func, callee.entry);
                 self.reconcile_residency();
             }
@@ -921,7 +1046,11 @@ mod tests {
 
     #[test]
     fn vm_is_cheaper_than_nvm() {
-        let nvm = run(&InstrumentedModule::bare(sum_module()), RunConfig::default()).unwrap();
+        let nvm = run(
+            &InstrumentedModule::bare(sum_module()),
+            RunConfig::default(),
+        )
+        .unwrap();
         let vm = run(
             &InstrumentedModule::bare_all_vm(sum_module()),
             RunConfig::default(),

@@ -19,6 +19,11 @@ pub struct Memory {
     vm: Vec<Option<Vec<i32>>>,
     valid: Vec<bool>,
     dirty: Vec<bool>,
+    /// Currently-dirty variables, kept sorted by id. Residency
+    /// reconciliation runs on every block transition and only cares
+    /// about dirty copies, so it iterates this (usually tiny) list
+    /// instead of scanning every variable.
+    dirty_list: Vec<VarId>,
     /// Bytes of VM currently holding valid copies.
     resident_bytes: usize,
     /// Configured VM capacity in bytes (`SVM`).
@@ -44,6 +49,7 @@ impl Memory {
             vm: vec![None; n],
             valid: vec![false; n],
             dirty: vec![false; n],
+            dirty_list: Vec::new(),
             resident_bytes: 0,
             svm_bytes,
             words: module.vars.iter().map(|v| v.words).collect(),
@@ -68,6 +74,28 @@ impl Memory {
     /// Whether `var`'s VM copy is dirty (newer than its NVM home).
     pub fn is_dirty(&self, var: VarId) -> bool {
         self.dirty[var.index()]
+    }
+
+    /// The currently-dirty variables, in increasing id order.
+    pub fn dirty_vars(&self) -> &[VarId] {
+        &self.dirty_list
+    }
+
+    fn mark_dirty(&mut self, var: VarId) {
+        if !self.dirty[var.index()] {
+            self.dirty[var.index()] = true;
+            let pos = self.dirty_list.partition_point(|&v| v < var);
+            self.dirty_list.insert(pos, var);
+        }
+    }
+
+    fn clear_dirty(&mut self, var: VarId) {
+        if self.dirty[var.index()] {
+            self.dirty[var.index()] = false;
+            if let Ok(pos) = self.dirty_list.binary_search(&var) {
+                self.dirty_list.remove(pos);
+            }
+        }
     }
 
     fn bounds_check(&self, var: VarId, idx: i64) -> Result<usize, TrapKind> {
@@ -124,7 +152,7 @@ impl Memory {
         let i = self.bounds_check(var, idx)?;
         debug_assert!(self.valid[var.index()], "vm_write of invalid copy");
         self.vm[var.index()].as_mut().expect("valid copy")[i] = value;
-        self.dirty[var.index()] = true;
+        self.mark_dirty(var);
         Ok(())
     }
 
@@ -147,7 +175,7 @@ impl Memory {
         let data = self.nvm[var.index()].clone();
         self.vm[var.index()] = Some(data);
         self.valid[var.index()] = true;
-        self.dirty[var.index()] = false;
+        self.clear_dirty(var);
         self.resident_bytes = needed;
         Ok(words)
     }
@@ -169,7 +197,7 @@ impl Memory {
         }
         self.vm[var.index()] = Some(vec![0; words]);
         self.valid[var.index()] = true;
-        self.dirty[var.index()] = true; // will be written immediately
+        self.mark_dirty(var); // will be written immediately
         self.resident_bytes = needed;
         Ok(())
     }
@@ -181,10 +209,10 @@ impl Memory {
         if !self.valid[var.index()] {
             return 0;
         }
-        let data = self.vm[var.index()].as_ref().expect("valid copy").clone();
-        let words = data.len();
-        self.nvm[var.index()] = data;
-        self.dirty[var.index()] = false;
+        let src = self.vm[var.index()].as_ref().expect("valid copy");
+        let words = src.len();
+        self.nvm[var.index()].copy_from_slice(src);
+        self.clear_dirty(var);
         words
     }
 
@@ -192,7 +220,7 @@ impl Memory {
     pub fn drop_vm(&mut self, var: VarId) {
         if self.valid[var.index()] {
             self.valid[var.index()] = false;
-            self.dirty[var.index()] = false;
+            self.clear_dirty(var);
             self.vm[var.index()] = None;
             self.resident_bytes -= self.words[var.index()] * WORD_BYTES;
         }
@@ -205,6 +233,7 @@ impl Memory {
             self.dirty[i] = false;
             self.vm[i] = None;
         }
+        self.dirty_list.clear();
         self.resident_bytes = 0;
     }
 

@@ -160,7 +160,8 @@ impl CostTable {
         }
     }
 
-    fn cycles_cost(&self, cycles: Cycles) -> Cost {
+    /// Cost of `cycles` pure CPU cycles (no memory access energy).
+    pub fn cycles_cost(&self, cycles: Cycles) -> Cost {
         Cost::new(cycles, Energy::from_pj(self.cpu_pj_per_cycle) * cycles)
     }
 
@@ -218,7 +219,8 @@ impl CostTable {
             Inst::Copy { .. } => self.cycles_cost(self.copy_cycles),
             Inst::Select { .. } => self.cycles_cost(self.select_cycles),
             Inst::Load { var, .. } => {
-                self.cycles_cost(self.load_cycles) + self.access_cost(mem_of(*var), AccessKind::Read)
+                self.cycles_cost(self.load_cycles)
+                    + self.access_cost(mem_of(*var), AccessKind::Read)
             }
             Inst::Store { var, .. } => {
                 self.cycles_cost(self.store_cycles)
@@ -301,9 +303,12 @@ mod tests {
         // The headline ratio from the paper: a whole NVM load costs
         // ~2.47x a VM load (§I cites FRAM at up to 2.47x SRAM energy).
         let vm_total = (t.cpu_pj_per_cycle * t.load_cycles
-            + t.access_cost(MemClass::Vm, AccessKind::Read).energy.as_pj()) as f64;
+            + t.access_cost(MemClass::Vm, AccessKind::Read).energy.as_pj())
+            as f64;
         let nvm_total = (t.cpu_pj_per_cycle * t.load_cycles) as f64
-            + t.access_cost(MemClass::Nvm, AccessKind::Read).energy.as_pj() as f64;
+            + t.access_cost(MemClass::Nvm, AccessKind::Read)
+                .energy
+                .as_pj() as f64;
         let ratio = nvm_total / vm_total;
         assert!((2.2..2.8).contains(&ratio), "ratio = {ratio}");
     }
@@ -343,7 +348,9 @@ mod tests {
             lhs: Operand::Imm(1),
             rhs: Operand::Imm(2),
         };
-        assert!(t.inst_cost(&div, |_| MemClass::Vm).energy > t.inst_cost(&add, |_| MemClass::Vm).energy);
+        assert!(
+            t.inst_cost(&div, |_| MemClass::Vm).energy > t.inst_cost(&add, |_| MemClass::Vm).energy
+        );
     }
 
     #[test]
@@ -352,10 +359,7 @@ mod tests {
         let small = t.checkpoint_commit_cost(0);
         let large = t.checkpoint_commit_cost(256);
         assert!(large.energy > small.energy);
-        assert_eq!(
-            (large.energy - small.energy),
-            t.save_words_cost(256).energy
-        );
+        assert_eq!((large.energy - small.energy), t.save_words_cost(256).energy);
         // Registers are always saved.
         assert!(small.energy > t.checkpoint_fixed.energy);
     }
@@ -400,7 +404,9 @@ mod tests {
         let t = table();
         assert!(t.term_cost(&Terminator::Ret(None)).cycles > 0);
         assert!(
-            t.term_cost(&Terminator::Br(schematic_ir::BlockId(0))).cycles > 0
+            t.term_cost(&Terminator::Br(schematic_ir::BlockId(0)))
+                .cycles
+                > 0
         );
     }
 

@@ -214,34 +214,66 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Property-style tests driven by a tiny in-tree PRNG (`proptest`
+    //! cannot be fetched in the offline build environment).
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Addition is commutative and associative on realistic ranges.
-        #[test]
-        fn add_laws(a in 0u64..1_u64 << 40, b in 0u64..1_u64 << 40, c in 0u64..1_u64 << 40) {
-            let (a, b, c) = (Energy::from_pj(a), Energy::from_pj(b), Energy::from_pj(c));
-            prop_assert_eq!(a + b, b + a);
-            prop_assert_eq!((a + b) + c, a + (b + c));
+    /// SplitMix64, local to the tests to avoid a dependency cycle on
+    /// `schematic-benchsuite`.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
+        fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.next() % (hi - lo)
+        }
+    }
 
-        /// `div_floor` matches Algorithm 1's floor semantics.
-        #[test]
-        fn div_floor_is_floor(eb in 1u64..1_u64 << 40, e in 1u64..1_u64 << 30) {
+    /// Addition is commutative and associative on realistic ranges.
+    #[test]
+    fn add_laws() {
+        let mut rng = Rng(1);
+        for _ in 0..256 {
+            let (a, b, c) = (
+                Energy::from_pj(rng.range(0, 1 << 40)),
+                Energy::from_pj(rng.range(0, 1 << 40)),
+                Energy::from_pj(rng.range(0, 1 << 40)),
+            );
+            assert_eq!(a + b, b + a);
+            assert_eq!((a + b) + c, a + (b + c));
+        }
+    }
+
+    /// `div_floor` matches Algorithm 1's floor semantics.
+    #[test]
+    fn div_floor_is_floor() {
+        let mut rng = Rng(2);
+        for _ in 0..256 {
+            let eb = rng.range(1, 1 << 40);
+            let e = rng.range(1, 1 << 30);
             let n = Energy::from_pj(eb).div_floor(Energy::from_pj(e)).unwrap();
-            prop_assert!(Energy::from_pj(e) * n <= Energy::from_pj(eb));
-            prop_assert!(Energy::from_pj(e) * (n + 1) > Energy::from_pj(eb));
+            assert!(Energy::from_pj(e) * n <= Energy::from_pj(eb));
+            assert!(Energy::from_pj(e) * (n + 1) > Energy::from_pj(eb));
         }
+    }
 
-        /// Saturating subtraction never panics and bounds correctly.
-        #[test]
-        fn saturating_sub_bounds(a in 0u64..1_u64 << 40, b in 0u64..1_u64 << 40) {
+    /// Saturating subtraction never panics and bounds correctly.
+    #[test]
+    fn saturating_sub_bounds() {
+        let mut rng = Rng(3);
+        for _ in 0..256 {
+            let a = rng.range(0, 1 << 40);
+            let b = rng.range(0, 1 << 40);
             let r = Energy::from_pj(a).saturating_sub(Energy::from_pj(b));
             if a >= b {
-                prop_assert_eq!(r, Energy::from_pj(a - b));
+                assert_eq!(r, Energy::from_pj(a - b));
             } else {
-                prop_assert_eq!(r, Energy::ZERO);
+                assert_eq!(r, Energy::ZERO);
             }
         }
     }

@@ -79,9 +79,9 @@ pub fn path_cost(
     mem_of: &dyn Fn(VarId) -> MemClass,
     callee_cost: &dyn Fn(FuncId) -> Cost,
 ) -> Cost {
-    blocks
-        .iter()
-        .fold(Cost::ZERO, |acc, &b| acc + block_cost(table, func, b, mem_of, callee_cost))
+    blocks.iter().fold(Cost::ZERO, |acc, &b| {
+        acc + block_cost(table, func, b, mem_of, callee_cost)
+    })
 }
 
 /// Whole-function WCEC with loops bounded by `max_iters`.

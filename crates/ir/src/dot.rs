@@ -32,10 +32,7 @@ pub fn function_to_dot(module: &Module, fid: FuncId) -> String {
     let _ = writeln!(out, "  label=\"{}\";", func.name);
 
     for (bid, block) in func.iter_blocks() {
-        let name = block
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("bb{}", bid.0));
+        let name = block.name.clone().unwrap_or_else(|| format!("bb{}", bid.0));
         let mut attrs = Vec::new();
         let has_cp = block.insts.iter().any(Inst::is_checkpoint);
         if has_cp {

@@ -446,10 +446,7 @@ impl Inst {
     /// Returns `true` for checkpoint intrinsics (unconditional or
     /// conditional).
     pub fn is_checkpoint(&self) -> bool {
-        matches!(
-            self,
-            Inst::Checkpoint { .. } | Inst::CondCheckpoint { .. }
-        )
+        matches!(self, Inst::Checkpoint { .. } | Inst::CondCheckpoint { .. })
     }
 }
 
@@ -509,7 +506,10 @@ impl Terminator {
 
     /// Rewrites each successor block id through `f` (used by edge
     /// splitting and unrolling transforms).
-    pub fn map_successors(&mut self, mut f: impl FnMut(crate::ids::BlockId) -> crate::ids::BlockId) {
+    pub fn map_successors(
+        &mut self,
+        mut f: impl FnMut(crate::ids::BlockId) -> crate::ids::BlockId,
+    ) {
         match self {
             Terminator::Br(t) => *t = f(*t),
             Terminator::CondBr {

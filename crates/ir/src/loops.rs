@@ -103,7 +103,12 @@ impl LoopForest {
         // 3. Nesting: sort outermost-first (larger bodies first), then the
         //    parent of L is the smallest loop strictly containing L's header
         //    other than L itself.
-        loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+        loops.sort_by(|a, b| {
+            b.body
+                .len()
+                .cmp(&a.body.len())
+                .then(a.header.cmp(&b.header))
+        });
         let n = loops.len();
         for i in 0..n {
             // Parent = the latest (smallest) earlier loop containing body[i].

@@ -99,7 +99,9 @@ fn lex(src: &str) -> Result<Lexer> {
                     });
                 }
                 toks.push((line, Tok::AtIdent(code[start..i].to_string())));
-            } else if c.is_ascii_digit() || (c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+            } else if c.is_ascii_digit()
+                || (c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+            {
                 let start = i;
                 i += 1;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -244,13 +246,10 @@ struct FuncCtx<'a> {
 
 impl FuncCtx<'_> {
     fn var(&self, l: &Lexer, name: &str) -> Result<VarId> {
-        self.vars
-            .get(name)
-            .copied()
-            .ok_or_else(|| ParseError {
-                line: l.line(),
-                message: format!("unknown variable '@{name}'"),
-            })
+        self.vars.get(name).copied().ok_or_else(|| ParseError {
+            line: l.line(),
+            message: format!("unknown variable '@{name}'"),
+        })
     }
 }
 
@@ -532,15 +531,22 @@ fn parse_function(
                         let dst = parse_reg(l, reg_text)?;
                         max_reg = max_reg.max(dst.0);
                         l.expect_punct('=')?;
-                        let inst = parse_assign_rhs(l, dst, &ctx, &mut max_reg, |callee, line, inst_idx| {
-                            pending_calls.push(PendingCall {
-                                func_idx,
-                                block: raw_blocks.len(),
-                                inst: inst_idx,
-                                callee,
-                                line,
-                            });
-                        }, insts.len())?;
+                        let inst = parse_assign_rhs(
+                            l,
+                            dst,
+                            &ctx,
+                            &mut max_reg,
+                            |callee, line, inst_idx| {
+                                pending_calls.push(PendingCall {
+                                    func_idx,
+                                    block: raw_blocks.len(),
+                                    inst: inst_idx,
+                                    callee,
+                                    line,
+                                });
+                            },
+                            insts.len(),
+                        )?;
                         insts.push(inst);
                     }
                 },
@@ -577,7 +583,10 @@ fn parse_function(
     // Pass 2: resolve labels.
     let mut labels: HashMap<String, BlockId> = HashMap::new();
     for (i, rb) in raw_blocks.iter().enumerate() {
-        if labels.insert(rb.name.clone(), BlockId::from_usize(i)).is_some() {
+        if labels
+            .insert(rb.name.clone(), BlockId::from_usize(i))
+            .is_some()
+        {
             return Err(ParseError {
                 line: rb.line,
                 message: format!("duplicate block label '{}'", rb.name),
@@ -623,11 +632,7 @@ fn parse_function(
     })
 }
 
-fn parse_call(
-    l: &mut Lexer,
-    dst: Option<Reg>,
-    max_reg: &mut u32,
-) -> Result<(Inst, String, usize)> {
+fn parse_call(l: &mut Lexer, dst: Option<Reg>, max_reg: &mut u32) -> Result<(Inst, String, usize)> {
     let callee = l.expect_at_ident()?;
     let line = l.line();
     l.expect_punct('(')?;
@@ -713,11 +718,10 @@ fn parse_assign_rhs(
         "cmp" => {
             l.expect_punct('.')?;
             let pred = l.expect_ident()?;
-            let op = CmpOp::from_mnemonic(&pred)
-                .ok_or_else(|| ParseError {
-                    line: l.line(),
-                    message: format!("unknown comparison predicate '{pred}'"),
-                })?;
+            let op = CmpOp::from_mnemonic(&pred).ok_or_else(|| ParseError {
+                line: l.line(),
+                message: format!("unknown comparison predicate '{pred}'"),
+            })?;
             let lhs = parse_operand(l)?;
             track(lhs, max_reg);
             l.expect_punct(',')?;
@@ -873,8 +877,7 @@ entry:
 
     #[test]
     fn error_duplicate_label() {
-        let err =
-            parse_module("func @main(0) {\na:\n  ret\na:\n  ret\n}").unwrap_err();
+        let err = parse_module("func @main(0) {\na:\n  ret\na:\n  ret\n}").unwrap_err();
         assert!(err.message.contains("duplicate block label"), "{err}");
     }
 
@@ -894,7 +897,8 @@ entry:
 
     #[test]
     fn comments_are_ignored() {
-        let src = "// header\nvar @x : 1 ; trailing\nfunc @main(0) {\nentry: // blocks\n  ret // done\n}";
+        let src =
+            "// header\nvar @x : 1 ; trailing\nfunc @main(0) {\nentry: // blocks\n  ret // done\n}";
         let m = parse_module(src).unwrap();
         assert_eq!(m.vars.len(), 1);
     }

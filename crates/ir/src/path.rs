@@ -54,9 +54,7 @@ impl Path {
     /// The consecutive edges of the path — SCHEMATIC's potential
     /// checkpoint locations along this path.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.blocks
-            .windows(2)
-            .map(|w| Edge::new(w[0], w[1]))
+        self.blocks.windows(2).map(|w| Edge::new(w[0], w[1]))
     }
 
     /// Checks that every consecutive pair is a CFG edge.

@@ -146,7 +146,12 @@ fn print_inst(out: &mut String, inst: &Inst, func: &Function, module: &Module) {
         }
         Inst::Load { dst, var, idx } => match idx {
             Some(i) => {
-                let _ = write!(out, "{dst} = load {}[{}]", var_name(module, *var), op_str(*i));
+                let _ = write!(
+                    out,
+                    "{dst} = load {}[{}]",
+                    var_name(module, *var),
+                    op_str(*i)
+                );
             }
             None => {
                 let _ = write!(out, "{dst} = load {}", var_name(module, *var));

@@ -240,35 +240,56 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Property-style tests driven by a tiny in-tree PRNG (`proptest`
+    //! cannot be fetched in the offline build environment).
     use super::*;
-    use proptest::prelude::*;
     use std::collections::BTreeSet;
 
-    fn arb_ids() -> impl Strategy<Value = Vec<u32>> {
-        prop::collection::vec(0u32..200, 0..40)
+    /// SplitMix64, local to the tests to keep `schematic-ir` leaf-level.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn ids(&mut self) -> Vec<u32> {
+            let n = self.next() % 40;
+            (0..n).map(|_| (self.next() % 200) as u32).collect()
+        }
     }
 
-    proptest! {
-        /// VarSet agrees with a BTreeSet model under inserts/removes.
-        #[test]
-        fn matches_btreeset_model(inserts in arb_ids(), removes in arb_ids()) {
+    /// VarSet agrees with a BTreeSet model under inserts/removes.
+    #[test]
+    fn matches_btreeset_model() {
+        let mut rng = Rng(11);
+        for _ in 0..256 {
+            let inserts = rng.ids();
+            let removes = rng.ids();
             let mut set = VarSet::empty();
             let mut model = BTreeSet::new();
             for &i in &inserts {
-                prop_assert_eq!(set.insert(VarId(i)), model.insert(i));
+                assert_eq!(set.insert(VarId(i)), model.insert(i));
             }
             for &i in &removes {
-                prop_assert_eq!(set.remove(VarId(i)), model.remove(&i));
+                assert_eq!(set.remove(VarId(i)), model.remove(&i));
             }
-            prop_assert_eq!(set.len(), model.len());
+            assert_eq!(set.len(), model.len());
             let got: Vec<u32> = set.iter().map(|v| v.0).collect();
             let want: Vec<u32> = model.iter().copied().collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
+    }
 
-        /// Set algebra agrees with the model.
-        #[test]
-        fn algebra_matches_model(a in arb_ids(), b in arb_ids()) {
+    /// Set algebra agrees with the model.
+    #[test]
+    fn algebra_matches_model() {
+        let mut rng = Rng(12);
+        for _ in 0..256 {
+            let a = rng.ids();
+            let b = rng.ids();
             let sa: VarSet = a.iter().map(|&i| VarId(i)).collect();
             let sb: VarSet = b.iter().map(|&i| VarId(i)).collect();
             let ma: BTreeSet<u32> = a.iter().copied().collect();
@@ -276,17 +297,17 @@ mod proptests {
 
             let union: Vec<u32> = sa.union(&sb).iter().map(|v| v.0).collect();
             let munion: Vec<u32> = ma.union(&mb).copied().collect();
-            prop_assert_eq!(union, munion);
+            assert_eq!(union, munion);
 
             let inter: Vec<u32> = sa.intersection(&sb).iter().map(|v| v.0).collect();
             let minter: Vec<u32> = ma.intersection(&mb).copied().collect();
-            prop_assert_eq!(inter, minter);
+            assert_eq!(inter, minter);
 
             let mut diff = sa.clone();
             diff.subtract(&sb);
             let got: Vec<u32> = diff.iter().map(|v| v.0).collect();
             let want: Vec<u32> = ma.difference(&mb).copied().collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
     }
 }

@@ -173,10 +173,13 @@ fn verify_function(module: &Module, fid: FuncId, errors: &mut Vec<VerifyError>) 
                     }
                 }
                 Inst::SaveVar { var } | Inst::RestoreVar { var }
-                    if var.index() >= module.vars.len() => {
-                        errors.push(err(Some(bid), format!("variable {var} out of range")));
-                    }
-                Inst::Call { func: callee, args, .. } => {
+                    if var.index() >= module.vars.len() =>
+                {
+                    errors.push(err(Some(bid), format!("variable {var} out of range")));
+                }
+                Inst::Call {
+                    func: callee, args, ..
+                } => {
                     if callee.index() >= module.funcs.len() {
                         errors.push(err(Some(bid), format!("callee {callee} out of range")));
                     } else {
@@ -194,10 +197,9 @@ fn verify_function(module: &Module, fid: FuncId, errors: &mut Vec<VerifyError>) 
                         }
                     }
                 }
-                Inst::CondCheckpoint { period, .. }
-                    if *period == 0 => {
-                        errors.push(err(Some(bid), "condcheckpoint period must be >= 1".into()));
-                    }
+                Inst::CondCheckpoint { period, .. } if *period == 0 => {
+                    errors.push(err(Some(bid), "condcheckpoint period must be >= 1".into()));
+                }
                 _ => {}
             }
         }
@@ -315,10 +317,7 @@ fn verify_function(module: &Module, fid: FuncId, errors: &mut Vec<VerifyError>) 
         if l.max_iters.is_none() {
             errors.push(err(
                 Some(l.header),
-                format!(
-                    "loop headed at {} lacks a max_iters annotation",
-                    l.header
-                ),
+                format!("loop headed at {} lacks a max_iters annotation", l.header),
             ));
         }
     }
@@ -359,7 +358,10 @@ mod tests {
     use crate::module::Variable;
 
     fn check(m: &Module) -> Vec<String> {
-        verify_module(m).into_iter().map(|e| e.to_string()).collect()
+        verify_module(m)
+            .into_iter()
+            .map(|e| e.to_string())
+            .collect()
     }
 
     #[test]
@@ -495,10 +497,7 @@ mod tests {
         let main = mb.func(f.finish());
         let m = mb.finish(main);
         let errs = check(&m);
-        assert!(
-            errs.iter().any(|e| e.contains("no parameters")),
-            "{errs:?}"
-        );
+        assert!(errs.iter().any(|e| e.contains("no parameters")), "{errs:?}");
     }
 
     #[test]

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = (bench.build)(7);
     let table = CostTable::msp430fr5969();
 
-    println!("capacitor sizing for `crc` (expected result {})\n", (bench.oracle)(7));
+    println!(
+        "capacitor sizing for `crc` (expected result {})\n",
+        (bench.oracle)(7)
+    );
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>14} {:>12}",
         "TBPF", "EB", "checkpoints", "sleeps", "overhead (uJ)", "total (uJ)"
@@ -29,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let compiled = match compile(&module, &table, &SchematicConfig::new(eb)) {
             Ok(c) => c,
             Err(e) => {
-                println!("{tbpf:>10} {:>10} capacitor too small: {e}", format!("{eb}"));
+                println!(
+                    "{tbpf:>10} {:>10} capacitor too small: {e}",
+                    format!("{eb}")
+                );
                 continue;
             }
         };

@@ -18,9 +18,7 @@ fn build_sensor_app() -> schematic_repro::ir::Module {
     let mut mb = ModuleBuilder::new("sensor_logger");
     // A pre-recorded trace stands in for the ADC (the emulator has no
     // peripherals; the paper's benchmarks don't use them either, §IV-A).
-    let trace: Vec<i32> = (0..SAMPLES)
-        .map(|i| 512 + ((i * 37) % 199) - 99)
-        .collect();
+    let trace: Vec<i32> = (0..SAMPLES).map(|i| 512 + ((i * 37) % 199) - 99).collect();
     let sensor = mb.var(Variable::array("sensor_trace", SAMPLES as usize).with_init(trace));
     let ema = mb.var(Variable::scalar("ema"));
     let hist = mb.var(Variable::array("histogram", 16));
@@ -94,9 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("intermittent checksum: {:?}", out.result);
     println!(
         "outages survived: {} | checkpoints: {} | sleeps: {}",
-        out.metrics.power_failures,
-        out.metrics.checkpoints_committed,
-        out.metrics.sleep_events
+        out.metrics.power_failures, out.metrics.checkpoints_committed, out.metrics.sleep_events
     );
     println!(
         "hot data in VM: ema/checksum — {:.0} % of accesses hit VM",

@@ -14,7 +14,11 @@ use schematic_repro::schematic::{compile, SchematicConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let kernel = args.next().unwrap_or_else(|| "crc".into());
-    let tbpf: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(10_000);
+    let tbpf: u64 = args
+        .next()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(10_000);
 
     let bench = benchsuite::by_name(&kernel)
         .unwrap_or_else(|| panic!("unknown kernel '{kernel}' (try: crc, aes, fft, ...)"));

@@ -178,7 +178,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        println!("\n--- intermittent run (failure every {} cycles) ---", args.tbpf);
+        println!(
+            "\n--- intermittent run (failure every {} cycles) ---",
+            args.tbpf
+        );
         println!("  status: {:?}, result: {:?}", out.status, out.result);
         let m = &out.metrics;
         println!(

@@ -57,12 +57,7 @@ fn schematic_placements_pass_the_independent_verifier() {
         let compiled = compile(&module, &table, &SchematicConfig::new(eb(&table)))
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         let report = verify_placement(&compiled.instrumented, &table, eb(&table));
-        assert!(
-            report.is_sound(),
-            "{}: {:?}",
-            bench.name,
-            report.violations
-        );
+        assert!(report.is_sound(), "{}: {:?}", bench.name, report.violations);
         assert!(report.max_interval <= eb(&table));
     }
 }
@@ -143,8 +138,7 @@ fn schematic_beats_baseline_average_on_shared_kernels() {
     for name in ["randmath", "basicmath"] {
         let bench = benchsuite::by_name(name).unwrap();
         let module = (bench.build)(2);
-        let compiled = compile(&module, &table, &SchematicConfig::new(eb(&table)))
-            .unwrap();
+        let compiled = compile(&module, &table, &SchematicConfig::new(eb(&table))).unwrap();
         let ours = Machine::new(&compiled.instrumented, &table, run_cfg())
             .run()
             .unwrap()

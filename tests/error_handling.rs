@@ -40,7 +40,10 @@ fn budget_below_checkpoint_overheads_fails_not_panics() {
     let m = mb.finish(main);
     let table = CostTable::msp430fr5969();
     let result = compile(&m, &table, &SchematicConfig::new(Energy::from_pj(60_000)));
-    assert!(result.is_err(), "60 kpJ cannot host commit+resume overheads");
+    assert!(
+        result.is_err(),
+        "60 kpJ cannot host commit+resume overheads"
+    );
 }
 
 #[test]
@@ -112,10 +115,19 @@ fn out_of_bounds_index_reports_location() {
 #[test]
 fn parse_error_messages_are_actionable() {
     for (src, needle) in [
-        ("func @main(0) {\nentry:\n  r0 = bogus 1, 2\n  ret\n}", "unknown instruction"),
-        ("func @main(0) {\nentry:\n  br nowhere\n}", "unknown block label"),
+        (
+            "func @main(0) {\nentry:\n  r0 = bogus 1, 2\n  ret\n}",
+            "unknown instruction",
+        ),
+        (
+            "func @main(0) {\nentry:\n  br nowhere\n}",
+            "unknown block label",
+        ),
         ("var @x : 0\nfunc @main(0) {\nentry:\n  ret\n}", "positive"),
-        ("func @main(0) {\nentry:\n  r0 = cmp.zz 1, 2\n  ret\n}", "unknown comparison"),
+        (
+            "func @main(0) {\nentry:\n  r0 = cmp.zz 1, 2\n  ret\n}",
+            "unknown comparison",
+        ),
     ] {
         let err = parse_module(src).unwrap_err();
         assert!(

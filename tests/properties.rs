@@ -1,8 +1,11 @@
-//! Property-based tests over randomly generated programs.
+//! Property-style tests over randomly generated programs.
 //!
 //! A small structured-program generator (straight-line arithmetic,
 //! if/else, bounded loops over a handful of variables) produces valid IR
-//! modules; the properties assert the system's core invariants on them:
+//! modules from a deterministic in-tree PRNG (the environment is
+//! offline, so `proptest` is unavailable; the generator and case counts
+//! mirror the original proptest suite). The properties assert the
+//! system's core invariants:
 //!
 //! 1. the emulator is deterministic;
 //! 2. SCHEMATIC compilation preserves program semantics;
@@ -12,7 +15,7 @@
 //! 4. the independent placement verifier agrees (`max_interval ≤ EB`);
 //! 5. printing and re-parsing the generated module round-trips.
 
-use proptest::prelude::*;
+use schematic_repro::benchsuite::inputs::SplitMix64;
 use schematic_repro::emu::{run, InstrumentedModule, Machine, PowerModel, RunConfig};
 use schematic_repro::energy::{CostTable, Energy};
 use schematic_repro::ir::{
@@ -25,6 +28,7 @@ use schematic_repro::schematic::{compile, verify_placement, SchematicConfig};
 // ---------------------------------------------------------------------------
 
 const N_VARS: usize = 4;
+const CASES: u64 = 48;
 
 #[derive(Debug, Clone)]
 enum Stmt {
@@ -41,51 +45,59 @@ enum Stmt {
         then: Vec<Stmt>,
         els: Vec<Stmt>,
     },
-    /// repeat `n` times { body } (`tag` only diversifies shrinking)
-    Loop {
-        n: u8,
-        body: Vec<Stmt>,
-        #[allow(dead_code)]
-        tag: u32,
-    },
+    /// repeat `n` times { body }
+    Loop { n: u8, body: Vec<Stmt> },
 }
 
-fn arb_op() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Xor),
-        Just(BinOp::Mul),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> BinOp {
+    match rng.below(6) {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Xor,
+        3 => BinOp::Mul,
+        4 => BinOp::And,
+        _ => BinOp::Or,
+    }
 }
 
-fn arb_stmt(depth: u32) -> impl Strategy<Value = Stmt> {
-    let leaf = (0..N_VARS, 0..N_VARS, arb_op(), any::<i16>()).prop_map(|(dst, src, op, k)| {
-        Stmt::Arith {
-            dst,
-            src,
-            op,
-            k: i32::from(k) | 1,
+fn gen_stmt(rng: &mut SplitMix64, depth: u32) -> Stmt {
+    // At depth 0 only leaves; otherwise mostly leaves with occasional
+    // nesting, like the original `prop_recursive(2, 24, 4, ..)` shape.
+    let choice = if depth == 0 { 0 } else { rng.below(4) };
+    match choice {
+        1 => {
+            let c = rng.below(N_VARS as u32) as usize;
+            let then = gen_stmts(rng, depth - 1, 1, 3);
+            let els = gen_stmts(rng, depth - 1, 0, 2);
+            Stmt::If { c, then, els }
         }
-    });
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            (
-                0..N_VARS,
-                prop::collection::vec(inner.clone(), 1..4),
-                prop::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(c, then, els)| Stmt::If { c, then, els }),
-            (1u8..6, prop::collection::vec(inner, 1..4), any::<u32>())
-                .prop_map(|(n, body, tag)| Stmt::Loop { n, body, tag }),
-        ]
-    })
+        2 => {
+            let n = 1 + rng.below(5) as u8;
+            let body = gen_stmts(rng, depth - 1, 1, 3);
+            Stmt::Loop { n, body }
+        }
+        _ => Stmt::Arith {
+            dst: rng.below(N_VARS as u32) as usize,
+            src: rng.below(N_VARS as u32) as usize,
+            op: gen_op(rng),
+            k: (rng.next_i32() >> 16) | 1,
+        },
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = Vec<Stmt>> {
-    prop::collection::vec(arb_stmt(2), 1..6)
+fn gen_stmts(rng: &mut SplitMix64, depth: u32, min: u32, max: u32) -> Vec<Stmt> {
+    let n = min + rng.below(max - min + 1);
+    (0..n).map(|_| gen_stmt(rng, depth)).collect()
+}
+
+fn gen_program(seed: u64) -> Vec<Stmt> {
+    let mut rng = SplitMix64::new(seed);
+    gen_stmts(&mut rng, 2, 1, 5)
+}
+
+fn gen_tbpf(seed: u64) -> u64 {
+    let mut rng = SplitMix64::new(seed ^ 0xD1B5_4A32_D192_ED03);
+    1_500 + u64::from(rng.below(38_500))
 }
 
 /// Lowers the statement list to an IR module over N_VARS scalars plus a
@@ -108,11 +120,7 @@ fn lower(stmts: &[Stmt]) -> Module {
     mb.finish(main)
 }
 
-fn lower_stmts(
-    f: &mut FunctionBuilder,
-    vars: &[schematic_repro::ir::VarId],
-    stmts: &[Stmt],
-) {
+fn lower_stmts(f: &mut FunctionBuilder, vars: &[schematic_repro::ir::VarId], stmts: &[Stmt]) {
     for stmt in stmts {
         match stmt {
             Stmt::Arith { dst, src, op, k } => {
@@ -135,7 +143,7 @@ fn lower_stmts(
                 f.br(join);
                 f.switch_to(join);
             }
-            Stmt::Loop { n, body, tag: _ } => {
+            Stmt::Loop { n, body } => {
                 let header = f.new_block("h");
                 let body_bb = f.new_block("b");
                 let exit = f.new_block("x");
@@ -164,91 +172,105 @@ fn table() -> CostTable {
     CostTable::msp430fr5969()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_modules_verify_and_roundtrip(stmts in arb_program()) {
-        let m = lower(&stmts);
-        prop_assert!(schematic_repro::ir::verify_module(&m).is_empty());
+#[test]
+fn generated_modules_verify_and_roundtrip() {
+    for seed in 0..CASES {
+        let m = lower(&gen_program(seed));
+        assert!(
+            schematic_repro::ir::verify_module(&m).is_empty(),
+            "seed {seed}"
+        );
         let text = print_module(&m);
         let reparsed = parse_module(&text).expect("printer output parses");
         // The printer may rename duplicate labels, so compare the stable
         // textual fixpoint rather than the structures directly.
-        prop_assert_eq!(&text, &print_module(&reparsed));
+        assert_eq!(text, print_module(&reparsed), "seed {seed}");
         // And the reparsed program must behave identically.
         let a = run(&InstrumentedModule::bare(m), RunConfig::default()).unwrap();
         let b = run(&InstrumentedModule::bare(reparsed), RunConfig::default()).unwrap();
-        prop_assert_eq!(a.result, b.result);
+        assert_eq!(a.result, b.result, "seed {seed}");
     }
+}
 
-    #[test]
-    fn emulator_is_deterministic(stmts in arb_program()) {
-        let m = lower(&stmts);
+#[test]
+fn emulator_is_deterministic() {
+    for seed in 0..CASES {
+        let m = lower(&gen_program(seed));
         let im = InstrumentedModule::bare(m);
         let a = run(&im, RunConfig::default()).unwrap();
         let b = run(&im, RunConfig::default()).unwrap();
-        prop_assert_eq!(a.result, b.result);
-        prop_assert_eq!(a.metrics.active_cycles, b.metrics.active_cycles);
-        prop_assert_eq!(a.metrics.total_energy(), b.metrics.total_energy());
+        assert_eq!(a.result, b.result, "seed {seed}");
+        assert_eq!(
+            a.metrics.active_cycles, b.metrics.active_cycles,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.metrics.total_energy(),
+            b.metrics.total_energy(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn compilation_preserves_semantics(stmts in arb_program(), tbpf in 1_500u64..40_000) {
-        let m = lower(&stmts);
-        let golden = run(&InstrumentedModule::bare(m.clone()), RunConfig::default())
-            .unwrap();
+#[test]
+fn compilation_preserves_semantics() {
+    for seed in 0..CASES {
+        let m = lower(&gen_program(seed));
+        let tbpf = gen_tbpf(seed);
+        let golden = run(&InstrumentedModule::bare(m.clone()), RunConfig::default()).unwrap();
         let t = table();
         let eb = Energy::from_pj(t.cpu_pj_per_cycle) * tbpf;
         let compiled = match compile(&m, &t, &SchematicConfig::new(eb)) {
             Ok(c) => c,
-            Err(e) => return Err(TestCaseError::fail(format!("compile: {e}"))),
+            Err(e) => panic!("seed {seed}: compile: {e}"),
         };
         // Continuous power.
         let cont = Machine::new(&compiled.instrumented, &t, RunConfig::default())
             .run()
             .unwrap();
-        prop_assert_eq!(cont.result, golden.result);
-        prop_assert_eq!(cont.metrics.coherence_violations, 0);
+        assert_eq!(cont.result, golden.result, "seed {seed}");
+        assert_eq!(cont.metrics.coherence_violations, 0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn forward_progress_under_intermittent_power(
-        stmts in arb_program(),
-        tbpf in 1_500u64..40_000,
-    ) {
-        let m = lower(&stmts);
-        let golden = run(&InstrumentedModule::bare(m.clone()), RunConfig::default())
-            .unwrap();
+#[test]
+fn forward_progress_under_intermittent_power() {
+    for seed in 0..CASES {
+        let m = lower(&gen_program(seed));
+        let tbpf = gen_tbpf(seed);
+        let golden = run(&InstrumentedModule::bare(m.clone()), RunConfig::default()).unwrap();
         let t = table();
         let eb = Energy::from_pj(t.cpu_pj_per_cycle) * tbpf;
         let compiled = match compile(&m, &t, &SchematicConfig::new(eb)) {
             Ok(c) => c,
-            Err(e) => return Err(TestCaseError::fail(format!("compile: {e}"))),
+            Err(e) => panic!("seed {seed}: compile: {e}"),
         };
         let cfg = RunConfig {
             power: PowerModel::Periodic { tbpf },
             ..RunConfig::default()
         };
         let out = Machine::new(&compiled.instrumented, &t, cfg).run().unwrap();
-        prop_assert!(out.completed(), "status {:?}", out.status);
-        prop_assert_eq!(out.result, golden.result);
-        prop_assert_eq!(out.metrics.reexecution, Energy::ZERO);
-        prop_assert_eq!(out.metrics.unexpected_failures, 0);
-        prop_assert!(out.metrics.peak_vm_bytes <= 2048);
+        assert!(out.completed(), "seed {seed}: status {:?}", out.status);
+        assert_eq!(out.result, golden.result, "seed {seed}");
+        assert_eq!(out.metrics.reexecution, Energy::ZERO, "seed {seed}");
+        assert_eq!(out.metrics.unexpected_failures, 0, "seed {seed}");
+        assert!(out.metrics.peak_vm_bytes <= 2048, "seed {seed}");
     }
+}
 
-    #[test]
-    fn verifier_bounds_every_interval(stmts in arb_program(), tbpf in 1_500u64..40_000) {
-        let m = lower(&stmts);
+#[test]
+fn verifier_bounds_every_interval() {
+    for seed in 0..CASES {
+        let m = lower(&gen_program(seed));
+        let tbpf = gen_tbpf(seed);
         let t = table();
         let eb = Energy::from_pj(t.cpu_pj_per_cycle) * tbpf;
         let compiled = match compile(&m, &t, &SchematicConfig::new(eb)) {
             Ok(c) => c,
-            Err(e) => return Err(TestCaseError::fail(format!("compile: {e}"))),
+            Err(e) => panic!("seed {seed}: compile: {e}"),
         };
         let report = verify_placement(&compiled.instrumented, &t, eb);
-        prop_assert!(report.is_sound(), "{:?}", report.violations);
-        prop_assert!(report.max_interval <= eb);
+        assert!(report.is_sound(), "seed {seed}: {:?}", report.violations);
+        assert!(report.max_interval <= eb, "seed {seed}");
     }
 }
