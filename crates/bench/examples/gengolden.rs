@@ -1,0 +1,59 @@
+//! One-off generator for golden_metrics.rs data (not shipped).
+
+use schematic_bench::{compile_technique, eb_for_tbpf};
+use schematic_emu::{Machine, PowerModel, RunConfig};
+use schematic_energy::CostTable;
+
+fn main() {
+    let table = CostTable::msp430fr5969();
+    for b in schematic_benchsuite::all() {
+        for tech in ["Schematic", "Ratchet"] {
+            let module = (b.build)(1);
+            let eb = eb_for_tbpf(&table, 10_000);
+            let im = match compile_technique(tech, &module, &table, eb) {
+                Ok(im) => im,
+                Err(e) => {
+                    println!("// {} {} NO PLACEMENT: {}", b.name, tech, e);
+                    continue;
+                }
+            };
+            let cfg = RunConfig {
+                power: PowerModel::Periodic { tbpf: 10_000 },
+                svm_bytes: usize::MAX / 2,
+                max_active_cycles: 4_000_000_000,
+                ..RunConfig::default()
+            };
+            let out = Machine::new(&im, &table, cfg).run().expect("no trap");
+            let m = &out.metrics;
+            println!(
+                "    (\"{}\", \"{}\", {}, [{}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}]),",
+                b.name,
+                tech,
+                out.result.expect("completed"),
+                m.computation.as_pj(),
+                m.save.as_pj(),
+                m.restore.as_pj(),
+                m.reexecution.as_pj(),
+                m.cpu_energy.as_pj(),
+                m.vm_access_energy.as_pj(),
+                m.nvm_access_energy.as_pj(),
+                m.active_cycles,
+                m.power_failures,
+                m.checkpoints_committed,
+                m.checkpoints_skipped,
+                m.sleep_events,
+                m.restores,
+                m.implicit_restores,
+                m.implicit_saves,
+                m.unexpected_failures,
+                m.vm_reads,
+                m.vm_writes,
+                m.nvm_reads,
+                m.nvm_writes,
+                m.coherence_violations,
+                m.peak_vm_bytes,
+                m.insts_retired,
+            );
+        }
+    }
+}

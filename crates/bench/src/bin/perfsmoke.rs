@@ -2,41 +2,82 @@
 //! and records before/after numbers in `BENCH_perf.json` at the repo
 //! root.
 //!
-//! The "before" constants were measured on the pre-optimization tree
-//! (per-step instruction clones in the emulator, 16 redundant profiling
-//! runs per compile, one `cargo run` subprocess per experiment binary);
-//! "after" is measured live by this binary. Criterion was dropped with
-//! the offline build, so this is the lightweight replacement:
+//! The "before" constants were measured on the tree just before the
+//! predecoded superblock engine landed (the state after the PR-1 hot-path
+//! overhaul: per-opcode cost cache, memoized plan lookups, cached block
+//! pointer); "after" is measured live by this binary. Criterion was
+//! dropped with the offline build, so this is the lightweight
+//! replacement:
 //!
 //! ```text
 //! cargo run --release -p schematic-bench --bin perfsmoke
 //! ```
+//!
+//! Flags and environment:
+//!
+//! - `--quick`: short measurement windows and a single analysis
+//!   iteration, and the results are *not* written to `BENCH_perf.json`
+//!   (used by `scripts/ci.sh` to surface throughput in CI logs without
+//!   committing jittery numbers).
+//! - `SCHEMATIC_PERF_ASSERT=1`: assert the crc/fft emulator speedups
+//!   reach the 1.5× floor over the recorded baselines (off by default —
+//!   absolute throughput is host-specific).
 
 use schematic_bench::{eb_for_tbpf, ENERGY_TBPF, SEED, SVM_BYTES};
 use schematic_core::SchematicConfig;
-use schematic_emu::{InstrumentedModule, Machine, RunConfig};
+use schematic_emu::{DecodedModule, InstrumentedModule, Machine, RunConfig};
 use schematic_energy::CostTable;
 use std::time::Instant;
 
-/// Pre-optimization measurements (same host, release build).
-const BEFORE_CRC_IPS: f64 = 41_273_455.0;
-const BEFORE_FFT_IPS: f64 = 44_176_564.0;
-const BEFORE_ANALYSIS_S: f64 = 0.969;
-const BEFORE_EXP_ALL_S: f64 = 10.836;
+/// Pre-superblock measurements (same host, release build).
+const BEFORE_CRC_IPS: f64 = 94_972_875.0;
+const BEFORE_FFT_IPS: f64 = 98_476_670.0;
+const BEFORE_ANALYSIS_S: f64 = 0.033;
+const BEFORE_EXP_ALL_S: f64 = 0.845;
 
-/// Emulated instructions per second for one benchmark under continuous
-/// power, all data in VM (pure stepping, no checkpoint machinery).
-fn emulator_ips(name: &str, table: &CostTable) -> f64 {
-    let b = schematic_benchsuite::by_name(name).expect("benchmark exists");
-    let im = InstrumentedModule::bare_all_vm((b.build)(SEED));
-    let cfg = RunConfig {
+/// Required emulator speedup when `SCHEMATIC_PERF_ASSERT=1`.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+fn bare_vm_config() -> RunConfig {
+    RunConfig {
         svm_bytes: usize::MAX / 2,
         ..RunConfig::default()
-    };
+    }
+}
+
+/// Emulated instructions per second for one benchmark under continuous
+/// power, all data in VM (pure stepping, no checkpoint machinery). The
+/// program is predecoded once and shared across runs, as the experiment
+/// drivers do for repeated cells.
+fn emulator_ips(name: &str, table: &CostTable, window_s: f64) -> f64 {
+    let b = schematic_benchsuite::by_name(name).expect("benchmark exists");
+    let im = InstrumentedModule::bare_all_vm((b.build)(SEED));
+    let decoded = DecodedModule::new(&im, table);
+    let cfg = bare_vm_config();
+    let _ = Machine::with_decoded(&decoded, cfg.clone())
+        .run()
+        .expect("warmup");
+    let mut insts = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < window_s {
+        let out = Machine::with_decoded(&decoded, cfg.clone())
+            .run()
+            .expect("no traps");
+        insts += out.metrics.insts_retired;
+    }
+    insts as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Same measurement through [`Machine::new`], which predecodes on every
+/// run — isolates the per-run lowering overhead from the stepping win.
+fn emulator_ips_cold_decode(name: &str, table: &CostTable, window_s: f64) -> f64 {
+    let b = schematic_benchsuite::by_name(name).expect("benchmark exists");
+    let im = InstrumentedModule::bare_all_vm((b.build)(SEED));
+    let cfg = bare_vm_config();
     let _ = Machine::new(&im, table, cfg.clone()).run().expect("warmup");
     let mut insts = 0u64;
     let start = Instant::now();
-    while start.elapsed().as_secs_f64() < 1.0 {
+    while start.elapsed().as_secs_f64() < window_s {
         let out = Machine::new(&im, table, cfg.clone())
             .run()
             .expect("no traps");
@@ -61,13 +102,18 @@ fn analysis_seconds(table: &CostTable) -> f64 {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let window_s = if quick { 0.25 } else { 1.0 };
+    let analysis_iters = if quick { 1 } else { 3 };
     let table = CostTable::msp430fr5969();
 
-    let crc_ips = emulator_ips("crc", &table);
-    let fft_ips = emulator_ips("fft", &table);
+    let crc_ips = emulator_ips("crc", &table, window_s);
+    let fft_ips = emulator_ips("fft", &table, window_s);
+    let crc_cold_ips = emulator_ips_cold_decode("crc", &table, window_s);
+    let fft_cold_ips = emulator_ips_cold_decode("fft", &table, window_s);
 
-    // Best of three: compile times are short enough to jitter.
-    let analysis_s = (0..3)
+    // Best of N: compile times are short enough to jitter.
+    let analysis_s = (0..analysis_iters)
         .map(|_| analysis_seconds(&table))
         .fold(f64::INFINITY, f64::min);
 
@@ -78,10 +124,10 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "description": "SCHEMATIC repro hot-path performance: pre- vs post-optimization (release build, same host). Regenerate with `cargo run --release -p schematic-bench --bin perfsmoke`.",
+  "description": "SCHEMATIC repro hot-path performance: pre- vs post-superblock (release build, same host). 'after' shares one predecoded program across runs; 'cold_decode' re-lowers per run via Machine::new. Regenerate with `cargo run --release -p schematic-bench --bin perfsmoke`.",
   "emulator_insts_per_sec": {{
-    "crc": {{"before": {BEFORE_CRC_IPS:.0}, "after": {crc_ips:.0}, "speedup": {:.2}}},
-    "fft": {{"before": {BEFORE_FFT_IPS:.0}, "after": {fft_ips:.0}, "speedup": {:.2}}}
+    "crc": {{"before": {BEFORE_CRC_IPS:.0}, "after": {crc_ips:.0}, "cold_decode": {crc_cold_ips:.0}, "speedup": {:.2}}},
+    "fft": {{"before": {BEFORE_FFT_IPS:.0}, "after": {fft_ips:.0}, "cold_decode": {fft_cold_ips:.0}, "speedup": {:.2}}}
   }},
   "analysis_seconds_8_benchmarks": {{"before": {BEFORE_ANALYSIS_S}, "after": {analysis_s:.3}, "speedup": {:.1}}},
   "exp_all_wall_seconds": {{"before": {BEFORE_EXP_ALL_S}, "after": {exp_all_s:.3}, "speedup": {:.1}}}
@@ -93,8 +139,27 @@ fn main() {
         BEFORE_EXP_ALL_S / exp_all_s,
     );
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
-    std::fs::write(path, &json).expect("write BENCH_perf.json");
-    print!("{json}");
-    eprintln!("wrote {path}");
+    if quick {
+        print!("{json}");
+        eprintln!("--quick: not writing BENCH_perf.json");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+        std::fs::write(path, &json).expect("write BENCH_perf.json");
+        print!("{json}");
+        eprintln!("wrote {path}");
+    }
+
+    if std::env::var("SCHEMATIC_PERF_ASSERT").as_deref() == Ok("1") {
+        let crc_speedup = crc_ips / BEFORE_CRC_IPS;
+        let fft_speedup = fft_ips / BEFORE_FFT_IPS;
+        assert!(
+            crc_speedup >= SPEEDUP_FLOOR,
+            "crc emulator speedup {crc_speedup:.2} below the {SPEEDUP_FLOOR}x floor"
+        );
+        assert!(
+            fft_speedup >= SPEEDUP_FLOOR,
+            "fft emulator speedup {fft_speedup:.2} below the {SPEEDUP_FLOOR}x floor"
+        );
+        eprintln!("perf floor passed: crc {crc_speedup:.2}x, fft {fft_speedup:.2}x");
+    }
 }

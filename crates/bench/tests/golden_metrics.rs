@@ -11,6 +11,13 @@ use schematic_bench::{compile_technique, eb_for_tbpf};
 use schematic_emu::{InstrumentedModule, Machine, Metrics, PowerModel, RunConfig};
 use schematic_energy::{CostTable, Energy};
 
+/// One golden cell of [`all_benchmarks_both_techniques_match_golden`]:
+/// `(benchmark, technique, result, metrics)` with the metrics flattened
+/// in `Metrics` declaration order (all energies in pJ). Regenerate after
+/// an *intentional* cost-model change with
+/// `cargo run --release -p schematic-bench --example gengolden`.
+type GoldenCell = (&'static str, &'static str, i32, [u64; 23]);
+
 fn crc_module() -> schematic_ir::Module {
     let b = schematic_benchsuite::by_name("crc").expect("crc benchmark exists");
     (b.build)(1)
@@ -127,4 +134,76 @@ fn crc_mementos_periodic_matches_golden() {
         ..Metrics::default()
     };
     assert_eq!(out.metrics, golden);
+}
+
+/// Full MiBench2 sweep: every benchmark under both the paper's technique
+/// and the strongest rollback baseline, captured before the predecoded
+/// superblock execution engine landed. The block-level fused dispatch is
+/// required to be observationally invisible across *all* control-flow
+/// shapes (deep call trees in aes, data-dependent branches in dijkstra,
+/// the rollback/re-execution path in Ratchet), not just the three crc
+/// cells above.
+#[rustfmt::skip]
+const GOLDEN_CELLS: &[GoldenCell] = &[
+    ("aes", "Schematic", 1417529882, [379936370, 15110075, 10993600, 0, 313600800, 12610, 64594960, 1149124, 0, 175, 0, 175, 175, 1, 11, 0, 81, 41, 40168, 960, 0, 176, 547859]),
+    ("aes", "Ratchet", 1417529882, [360349925, 48245120, 11919360, 265013690, 516134100, 0, 109229515, 1925844, 192, 616, 0, 0, 192, 0, 0, 0, 0, 0, 68556, 1001, 0, 0, 951454]),
+    ("basicmath", "Schematic", 6210832, [46508670, 3936990, 2341440, 0, 44822700, 134610, 1205760, 164604, 0, 36, 0, 36, 36, 1, 350, 0, 641, 641, 768, 0, 0, 4, 50487]),
+    ("basicmath", "Ratchet", 6210832, [47573025, 51534560, 1676160, 2108215, 46317300, 0, 3363940, 278473, 27, 640, 0, 0, 27, 0, 0, 0, 0, 0, 1464, 668, 0, 0, 52864]),
+    ("bitcount", "Schematic", 36432, [171160350, 8883455, 9487360, 0, 168487500, 775890, 1205760, 602202, 0, 85, 0, 85, 85, 1, 684, 0, 6913, 769, 768, 0, 0, 68, 316365]),
+    ("bitcount", "Ratchet", 36432, [179909025, 62656000, 4718080, 16437780, 182001000, 0, 14345805, 769674, 76, 768, 0, 0, 76, 0, 0, 0, 0, 0, 8279, 845, 0, 0, 345683]),
+    ("crc", "Schematic", -37900058, [12891220, 495975, 392640, 0, 9230100, 215360, 3215360, 35523, 0, 6, 0, 6, 6, 0, 3, 0, 1025, 1026, 2048, 0, 0, 4, 15633]),
+    ("crc", "Ratchet", -37900058, [15537580, 81922720, 1365760, 349910, 9287700, 0, 6599790, 226286, 22, 1025, 0, 0, 22, 0, 0, 0, 0, 0, 3139, 1048, 0, 0, 16775]),
+    ("dijkstra", "Schematic", 999, [608821855, 31566635, 24095680, 0, 373400400, 182530, 234929325, 1515235, 0, 352, 0, 352, 352, 5, 13, 0, 689, 1033, 148264, 1351, 0, 692, 574194]),
+    ("dijkstra", "Ratchet", 999, [610644920, 163297200, 12416000, 94559265, 429317100, 0, 275887085, 2008040, 200, 2039, 0, 0, 200, 0, 0, 0, 0, 0, 173092, 2591, 0, 0, 664697]),
+    ("fft", "Schematic", 12, [266912190, 7689835, 6101120, 0, 172994700, 215250, 87251040, 683820, 0, 98, 0, 98, 98, 1, 1, 0, 1025, 1025, 33760, 21472, 0, 4, 292878]),
+    ("fft", "Ratchet", 12, [259153775, 531949440, 11608960, 9026165, 175274700, 0, 92905240, 1889926, 187, 6640, 0, 0, 187, 0, 0, 0, 0, 0, 35677, 23130, 0, 0, 304728]),
+    ("randmath", "Schematic", 2887885, [3960210, 87005, 73600, 0, 3748800, 67410, 0, 13321, 0, 1, 0, 1, 1, 1, 1, 0, 321, 321, 0, 0, 0, 8, 3364]),
+    ("randmath", "Ratchet", 2887885, [4668765, 25610640, 434560, 143955, 3774600, 0, 1038120, 73008, 7, 320, 0, 0, 7, 0, 0, 0, 0, 0, 328, 328, 0, 0, 3622]),
+    ("rc4", "Schematic", 4090156, [157203495, 4472615, 3659200, 0, 87045000, 1369700, 62798395, 367559, 0, 55, 0, 55, 55, 2, 5, 0, 6657, 6400, 19712, 19969, 0, 64, 145448]),
+    ("rc4", "Ratchet", 4090156, [166505615, 1043848960, 16947840, 3764405, 84651900, 0, 85618120, 2770804, 273, 13056, 0, 0, 273, 0, 0, 0, 0, 0, 26919, 27182, 0, 0, 154593]),
+];
+
+#[test]
+fn all_benchmarks_both_techniques_match_golden() {
+    let table = CostTable::msp430fr5969();
+    let eb = eb_for_tbpf(&table, 10_000);
+    for &(name, tech, result, m) in GOLDEN_CELLS {
+        let b = schematic_benchsuite::by_name(name).expect("benchmark exists");
+        let im = compile_technique(tech, &(b.build)(1), &table, eb)
+            .unwrap_or_else(|e| panic!("{name}/{tech}: no placement: {e}"));
+        let out = Machine::new(
+            &im,
+            &table,
+            run_config(PowerModel::Periodic { tbpf: 10_000 }),
+        )
+        .run()
+        .unwrap_or_else(|e| panic!("{name}/{tech}: trapped: {e}"));
+        assert_eq!(out.result, Some(result), "{name}/{tech}: result");
+        let golden = Metrics {
+            computation: Energy::from_pj(m[0]),
+            save: Energy::from_pj(m[1]),
+            restore: Energy::from_pj(m[2]),
+            reexecution: Energy::from_pj(m[3]),
+            cpu_energy: Energy::from_pj(m[4]),
+            vm_access_energy: Energy::from_pj(m[5]),
+            nvm_access_energy: Energy::from_pj(m[6]),
+            active_cycles: m[7],
+            power_failures: m[8],
+            checkpoints_committed: m[9],
+            checkpoints_skipped: m[10],
+            sleep_events: m[11],
+            restores: m[12],
+            implicit_restores: m[13],
+            implicit_saves: m[14],
+            unexpected_failures: m[15],
+            vm_reads: m[16],
+            vm_writes: m[17],
+            nvm_reads: m[18],
+            nvm_writes: m[19],
+            coherence_violations: m[20],
+            peak_vm_bytes: m[21] as usize,
+            insts_retired: m[22],
+        };
+        assert_eq!(out.metrics, golden, "{name}/{tech}: metrics diverged");
+    }
 }

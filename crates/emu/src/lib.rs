@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod decoded;
 pub mod error;
 pub mod instrumented;
 pub mod machine;
@@ -44,6 +45,7 @@ pub mod memory;
 pub mod metrics;
 pub mod power;
 
+pub use decoded::DecodedModule;
 pub use error::{EmuError, TrapKind};
 pub use instrumented::{
     AllocationPlan, CheckpointKind, CheckpointSpec, FailurePolicy, InstrumentedModule,

@@ -10,6 +10,7 @@
 //! paper uses (§IV-A.c): execution is at IR level, power failures are
 //! periodic (TBPF), and metrics map to MSP430FR5969-like energy.
 
+use crate::decoded::{DInst, DTerm, DecodedModule};
 use crate::error::{EmuError, TrapKind};
 use crate::instrumented::{CheckpointKind, CheckpointSpec, FailurePolicy, InstrumentedModule};
 use crate::memory::Memory;
@@ -17,8 +18,7 @@ use crate::metrics::Metrics;
 use crate::power::{PowerModel, PowerState};
 use schematic_energy::{Cost, CostTable, MemClass};
 use schematic_ir::{
-    AccessKind, BinOp, Block, BlockId, CheckpointId, FuncId, Inst, Operand, Reg, Terminator, UnOp,
-    VarId, VarSet,
+    AccessKind, BinOp, BlockId, CheckpointId, FuncId, Operand, Reg, UnOp, VarId, VarSet,
 };
 
 /// Limits and options for one run.
@@ -157,20 +157,11 @@ enum ChargeCat {
     Restore,
 }
 
-/// Per-opcode costs precomputed once per [`Machine`] so the hot
+/// Memory word-access costs precomputed once per [`Machine`] so the hot
 /// interpreter loop never rebuilds a `Cost` from the table's raw
-/// cycle/energy fields.
+/// cycle/energy fields. (Per-opcode execution costs live in the decoded
+/// program's flat `costs` array; see [`DecodedModule`].)
 struct CostCache {
-    alu: Cost,
-    mul: Cost,
-    div: Cost,
-    cmp: Cost,
-    copy: Cost,
-    select: Cost,
-    branch: Cost,
-    ret: Cost,
-    load_cpu: Cost,
-    store_cpu: Cost,
     vm_read: Cost,
     vm_write: Cost,
     nvm_read: Cost,
@@ -180,28 +171,28 @@ struct CostCache {
 impl CostCache {
     fn new(table: &CostTable) -> Self {
         CostCache {
-            alu: table.cycles_cost(table.alu_cycles),
-            mul: table.cycles_cost(table.mul_cycles),
-            div: table.cycles_cost(table.div_cycles),
-            cmp: table.cycles_cost(table.cmp_cycles),
-            copy: table.cycles_cost(table.copy_cycles),
-            select: table.cycles_cost(table.select_cycles),
-            branch: table.cycles_cost(table.branch_cycles),
-            ret: table.cycles_cost(table.ret_cycles),
-            load_cpu: table.cycles_cost(table.load_cycles),
-            store_cpu: table.cycles_cost(table.store_cycles),
             vm_read: table.access_cost(MemClass::Vm, AccessKind::Read),
             vm_write: table.access_cost(MemClass::Vm, AccessKind::Write),
             nvm_read: table.access_cost(MemClass::Nvm, AccessKind::Read),
             nvm_write: table.access_cost(MemClass::Nvm, AccessKind::Write),
         }
     }
+}
 
-    fn bin(&self, op: BinOp) -> Cost {
-        match op {
-            BinOp::Mul => self.mul,
-            BinOp::DivS | BinOp::DivU | BinOp::RemS | BinOp::RemU => self.div,
-            _ => self.alu,
+/// How the machine holds its decoded program: built internally for
+/// one-shot runs ([`Machine::new`]) or borrowed from the caller so
+/// repeated runs share one lowering ([`Machine::with_decoded`]).
+enum DecodedSource<'a> {
+    Owned(DecodedModule<'a>),
+    Shared(&'a DecodedModule<'a>),
+}
+
+impl<'a> DecodedSource<'a> {
+    #[inline]
+    fn get(&self) -> &DecodedModule<'a> {
+        match self {
+            DecodedSource::Owned(d) => d,
+            DecodedSource::Shared(d) => d,
         }
     }
 }
@@ -211,6 +202,10 @@ pub struct Machine<'a> {
     im: &'a InstrumentedModule,
     table: &'a CostTable,
     costs: CostCache,
+    /// The predecoded program ([`DecodedModule`]): per-instruction
+    /// resolved costs, pre-resolved memory classes, flat branch targets
+    /// and superblock fusion tables.
+    decoded: DecodedSource<'a>,
     config: RunConfig,
     mem: Memory,
     frames: Vec<Frame>,
@@ -218,16 +213,10 @@ pub struct Machine<'a> {
     metrics: Metrics,
     cond_counters: Vec<u64>,
     image: Option<Image>,
-    /// Memoized allocation-plan lookup for the most recent
-    /// `(func, block)` — memory ops hit the same block's plan many
-    /// times in a row, and resolving it through `AllocationPlan::get`
-    /// would clone a `VarSet` per access. `None` means the empty set.
-    plan_key: Option<(FuncId, BlockId)>,
-    plan_set: Option<&'a VarSet>,
-    /// The block the top frame is executing, kept in sync with the
-    /// frame stack so `step` doesn't re-resolve `func(..).block(..)`
-    /// for every retired instruction.
-    cur_block: Option<&'a Block>,
+    /// Flat index (into the decoded block array) of the block the top
+    /// frame executes, kept in sync with the frame stack so `step`
+    /// dispatches without re-resolving `func(..).block(..)`.
+    cur_flat: u32,
     /// Retired register files recycled across calls.
     reg_pool: Vec<Vec<i32>>,
     /// Scratch list of variables to flush, reused by residency
@@ -245,14 +234,38 @@ pub struct Machine<'a> {
 }
 
 impl<'a> Machine<'a> {
-    /// Prepares a machine for one run of `im`.
+    /// Prepares a machine for one run of `im`, predecoding it
+    /// internally. To amortize the lowering across many runs of the same
+    /// program, predecode once and use [`Machine::with_decoded`].
     pub fn new(im: &'a InstrumentedModule, table: &'a CostTable, config: RunConfig) -> Self {
+        let decoded = DecodedModule::new(im, table);
+        Self::build(im, table, DecodedSource::Owned(decoded), config)
+    }
+
+    /// Prepares a machine for one run of an already-decoded program,
+    /// sharing the lowering with other runs.
+    pub fn with_decoded(decoded: &'a DecodedModule<'a>, config: RunConfig) -> Self {
+        Self::build(
+            decoded.instrumented(),
+            decoded.cost_table(),
+            DecodedSource::Shared(decoded),
+            config,
+        )
+    }
+
+    fn build(
+        im: &'a InstrumentedModule,
+        table: &'a CostTable,
+        decoded: DecodedSource<'a>,
+        config: RunConfig,
+    ) -> Self {
         let mem = Memory::new(&im.module, config.svm_bytes);
         let power = PowerState::new(config.power);
         Machine {
             im,
             table,
             costs: CostCache::new(table),
+            decoded,
             config,
             mem,
             frames: Vec::new(),
@@ -260,9 +273,7 @@ impl<'a> Machine<'a> {
             metrics: Metrics::default(),
             cond_counters: vec![0; im.checkpoints.len()],
             image: None,
-            plan_key: None,
-            plan_set: None,
-            cur_block: None,
+            cur_flat: 0,
             reg_pool: Vec::new(),
             flush_scratch: Vec::new(),
             epoch_insts: 0,
@@ -337,12 +348,18 @@ impl<'a> Machine<'a> {
         self.charge(cost, ChargeCat::Exec);
     }
 
-    fn charge_exec_access(&mut self, cost: Cost, class: MemClass) {
+    /// Charges a memory instruction's CPU and access parts together:
+    /// one power advance and one category branch instead of two. All
+    /// accounting is additive and both parts land inside the same step
+    /// (failure detection is a sticky flag checked at step end), so the
+    /// totals and failure points are identical to two separate charges.
+    fn charge_exec_mem(&mut self, cpu: Cost, access: Cost, class: MemClass) {
+        self.metrics.cpu_energy += cpu.energy;
         match class {
-            MemClass::Vm => self.metrics.vm_access_energy += cost.energy,
-            MemClass::Nvm => self.metrics.nvm_access_energy += cost.energy,
+            MemClass::Vm => self.metrics.vm_access_energy += access.energy,
+            MemClass::Nvm => self.metrics.nvm_access_energy += access.energy,
         }
-        self.charge(cost, ChargeCat::Exec);
+        self.charge(cpu + access, ChargeCat::Exec);
     }
 
     // ----- boot & failure handling ---------------------------------------
@@ -357,7 +374,7 @@ impl<'a> Machine<'a> {
             regs: vec![0; func.n_regs.max(1)],
             ret_dst: None,
         }];
-        self.sync_block();
+        self.sync_flat();
         self.record_block(entry, func.entry);
         // Load the boot set into VM (charged as restore: it is the data
         // staging the platform performs before the program runs).
@@ -443,7 +460,7 @@ impl<'a> Machine<'a> {
             }
         };
         self.frames.clone_from(&image.frames);
-        self.sync_block();
+        self.sync_flat();
         let cost = self.table.checkpoint_resume_cost(image.restore_words);
         self.charge(cost, ChargeCat::Restore);
         self.metrics.restores += 1;
@@ -471,14 +488,20 @@ impl<'a> Machine<'a> {
     /// caller/callee plan differences. The write-back energy is charged
     /// to the *save* category and counted in `implicit_saves`.
     fn reconcile_residency(&mut self) {
-        let Some(top) = self.frames.last() else {
-            return;
-        };
-        let (func, block) = (top.func, top.block);
-        if self.mem.dirty_vars().is_empty() {
+        if self.frames.is_empty() || self.mem.dirty_vars().is_empty() {
             return;
         }
-        let plan = self.plan_for(func, block);
+        let plan = self.cur_plan();
+        // Common case on dynamic (return) edges: everything dirty is
+        // still planned for VM — probe before touching the scratch list.
+        if self
+            .mem
+            .dirty_vars()
+            .iter()
+            .all(|&v| plan.is_some_and(|p| p.contains(v)))
+        {
+            return;
+        }
         let mut scratch = std::mem::take(&mut self.flush_scratch);
         scratch.clear();
         scratch.extend(
@@ -510,12 +533,10 @@ impl<'a> Machine<'a> {
     }
 
     fn evict_clean_outside_plan(&mut self, keep: VarId) {
-        let plan = match self.frames.last() {
-            Some(top) => {
-                let (func, block) = (top.func, top.block);
-                self.plan_for(func, block)
-            }
-            None => None,
+        let plan = if self.frames.is_empty() {
+            None
+        } else {
+            self.cur_plan()
         };
         for vi in 0..self.im.module.vars.len() {
             let v = VarId::from_usize(vi);
@@ -528,14 +549,22 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Re-derives the cached top-frame block. Must be called whenever
-    /// the top frame's `(func, block)` changes (jump, call, return,
-    /// boot, failure restore).
-    fn sync_block(&mut self) {
-        self.cur_block = self
-            .frames
-            .last()
-            .map(|top| self.im.module.func(top.func).block(top.block));
+    /// Re-derives the flat index of the top frame's block. Must be
+    /// called whenever the top frame's `(func, block)` changes through a
+    /// path without a precomputed flat target (return, boot, failure
+    /// restore); jumps and calls assign `cur_flat` directly from the
+    /// decoded target.
+    fn sync_flat(&mut self) {
+        if let Some(top) = self.frames.last() {
+            self.cur_flat = self.decoded.get().flat_index(top.func, top.block);
+        }
+    }
+
+    /// The VM allocation set of the block currently executing, as
+    /// pre-resolved at decode time (`None` = empty fallback set).
+    #[inline]
+    fn cur_plan(&self) -> Option<&'a VarSet> {
+        self.decoded.get().blocks[self.cur_flat as usize].plan
     }
 
     fn record_block(&mut self, func: FuncId, block: BlockId) {
@@ -654,28 +683,6 @@ impl<'a> Machine<'a> {
         self.frames.last_mut().expect("active frame").regs[r.index()] = v;
     }
 
-    /// Plan set for `(func, block)`, memoized on the last block asked
-    /// for. The plan is immutable for the whole run, so the cached
-    /// reference stays correct until the key changes.
-    fn plan_for(&mut self, func: FuncId, block: BlockId) -> Option<&'a VarSet> {
-        if self.plan_key != Some((func, block)) {
-            self.plan_key = Some((func, block));
-            self.plan_set = self.im.plan.get_ref(func, block);
-        }
-        self.plan_set
-    }
-
-    fn var_class(&mut self, func: FuncId, block: BlockId, var: VarId) -> MemClass {
-        if self.im.module.var(var).pinned_nvm {
-            return MemClass::Nvm;
-        }
-        if self.plan_for(func, block).is_some_and(|p| p.contains(var)) {
-            MemClass::Vm
-        } else {
-            MemClass::Nvm
-        }
-    }
-
     fn ensure_vm_for_read(&mut self, var: VarId) -> Result<(), EmuError> {
         if !self.mem.is_vm_valid(var) {
             let words = self.load_with_evict(var)?;
@@ -687,22 +694,26 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
-    fn exec_load(&mut self, dst: Reg, var: VarId, idx: Option<Operand>) -> Result<(), EmuError> {
+    fn exec_load(
+        &mut self,
+        dst: Reg,
+        var: VarId,
+        idx: Option<Operand>,
+        class: MemClass,
+        cpu: Cost,
+    ) -> Result<(), EmuError> {
         let top = self.frames.last().expect("active frame");
-        let (func, block) = (top.func, top.block);
         let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
-        let class = self.var_class(func, block, var);
-        self.charge_exec_cpu(self.costs.load_cpu);
         let value = match class {
             MemClass::Vm => {
                 self.ensure_vm_for_read(var)?;
                 self.metrics.vm_reads += 1;
-                self.charge_exec_access(self.costs.vm_read, MemClass::Vm);
+                self.charge_exec_mem(cpu, self.costs.vm_read, MemClass::Vm);
                 self.mem.vm_read(var, index).map_err(|k| self.trap(k))?
             }
             MemClass::Nvm => {
                 self.metrics.nvm_reads += 1;
-                self.charge_exec_access(self.costs.nvm_read, MemClass::Nvm);
+                self.charge_exec_mem(cpu, self.costs.nvm_read, MemClass::Nvm);
                 self.mem.nvm_read(var, index).map_err(|k| self.trap(k))?
             }
         };
@@ -715,13 +726,12 @@ impl<'a> Machine<'a> {
         var: VarId,
         idx: Option<Operand>,
         src: Operand,
+        class: MemClass,
+        cpu: Cost,
     ) -> Result<(), EmuError> {
         let top = self.frames.last().expect("active frame");
-        let (func, block) = (top.func, top.block);
         let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
         let value = top.eval(src);
-        let class = self.var_class(func, block, var);
-        self.charge_exec_cpu(self.costs.store_cpu);
         match class {
             MemClass::Vm => {
                 if !self.mem.is_vm_valid(var) {
@@ -737,7 +747,7 @@ impl<'a> Machine<'a> {
                     }
                 }
                 self.metrics.vm_writes += 1;
-                self.charge_exec_access(self.costs.vm_write, MemClass::Vm);
+                self.charge_exec_mem(cpu, self.costs.vm_write, MemClass::Vm);
                 self.mem
                     .vm_write(var, index, value)
                     .map_err(|k| self.trap(k))?;
@@ -747,7 +757,7 @@ impl<'a> Machine<'a> {
                     self.metrics.coherence_violations += 1;
                 }
                 self.metrics.nvm_writes += 1;
-                self.charge_exec_access(self.costs.nvm_write, MemClass::Nvm);
+                self.charge_exec_mem(cpu, self.costs.nvm_write, MemClass::Nvm);
                 self.mem
                     .nvm_write(var, index, value)
                     .map_err(|k| self.trap(k))?;
@@ -796,42 +806,158 @@ fn eval_bin(op: BinOp, lhs: i32, rhs: i32) -> Result<i32, TrapKind> {
     })
 }
 
+/// Executes one fused (pure, trap-impossible) instruction directly on a
+/// register file. Only the five register-op variants can appear inside a
+/// superblock (see `DInst::is_fusable`). `inline(always)` keeps the
+/// dispatch match inside the superblock run loops — as a standalone call
+/// it showed up at ~25% of emulator CPU time in profiles.
+#[inline(always)]
+fn exec_pure(di: &DInst, regs: &mut [i32]) {
+    #[inline]
+    fn ev(regs: &[i32], op: Operand) -> i32 {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => regs[r.index()],
+        }
+    }
+    match *di {
+        DInst::Bin { dst, op, lhs, rhs } => {
+            let (l, r) = (ev(regs, lhs), ev(regs, rhs));
+            regs[dst.index()] = eval_bin(op, l, r).expect("fused ops cannot trap");
+        }
+        DInst::Cmp { dst, op, lhs, rhs } => {
+            regs[dst.index()] = i32::from(op.eval(ev(regs, lhs), ev(regs, rhs)));
+        }
+        DInst::Un { dst, op, src } => {
+            let s = ev(regs, src);
+            regs[dst.index()] = match op {
+                UnOp::Neg => s.wrapping_neg(),
+                UnOp::Not => !s,
+            };
+        }
+        DInst::Copy { dst, src } => regs[dst.index()] = ev(regs, src),
+        DInst::Select {
+            dst,
+            cond,
+            then_val,
+            else_val,
+        } => {
+            regs[dst.index()] = if ev(regs, cond) != 0 {
+                ev(regs, then_val)
+            } else {
+                ev(regs, else_val)
+            };
+        }
+        _ => unreachable!("non-fusable instruction inside a superblock"),
+    }
+}
+
 impl<'a> Machine<'a> {
     fn step(&mut self) -> Result<Step, EmuError> {
-        // The cached block reference borrows the module (`'a`), not
-        // `self`, so the interpreter executes straight from the module
-        // without cloning the instruction (or terminator) on every
-        // step.
-        let block = self.cur_block.expect("active block");
         let ip = self.frames.last().expect("active frame").ip;
+        let db = &self.decoded.get().blocks[self.cur_flat as usize];
 
-        if let Some(inst) = block.insts.get(ip) {
+        // Block-level fused dispatch: execute the entire block plus its
+        // terminator as one step when every instruction is pure or a
+        // plain load/store and the worst-case bound `ub_cost` proves
+        // that no power failure, cycle-limit edge, or re-execution
+        // category flip can land inside it. `ub_cost` covers the largest
+        // implicit-restore charge every VM access could trigger, so the
+        // proof holds for any dynamic memory state; the strict `<` on
+        // the re-execution side keeps the terminator's charge in the
+        // same category as the instructions'.
+        if ip == 0 && db.fusable {
+            let ub = db.fused.ub_cost;
+            let n = db.insts.len() as u64;
+            if self.power.headroom(ub.cycles)
+                && self.metrics.active_cycles + ub.cycles <= self.config.max_active_cycles
+                && (self.epoch_insts >= self.furthest || self.epoch_insts + n < self.furthest)
+            {
+                let s = self.step_fused_block()?;
+                if matches!(s, Step::Finished(_)) {
+                    return Ok(s);
+                }
+                // Edge reconciliation after the jump may cross the power
+                // window (it is not covered by `ub_cost`, and need not
+                // be: it lands at the step boundary in both modes).
+                if self.pending_failure {
+                    self.pending_failure = false;
+                    return Ok(Step::Failure);
+                }
+                return Ok(s);
+            }
+        }
+
+        if ip < db.insts.len() {
+            // Superblock fast path: retire the whole fusable run with a
+            // single charge when nothing observable can land inside it —
+            // no power failure (headroom), no cycle-limit edge, and no
+            // computation/re-execution category flip. Each guard is a
+            // monotone-prefix argument: if the total fits, so does every
+            // prefix, so per-instruction stepping would behave
+            // identically (same failure points, same metrics, bit for
+            // bit) — just with n times the bookkeeping.
+            let n = db.fuse_len[ip] as usize;
+            if n >= 2 {
+                let total = db.fuse_cost[ip];
+                if self.power.headroom(total.cycles)
+                    && self.metrics.active_cycles + total.cycles <= self.config.max_active_cycles
+                    && (self.epoch_insts >= self.furthest
+                        || self.epoch_insts + n as u64 <= self.furthest)
+                {
+                    let frame = self.frames.last_mut().expect("active frame");
+                    for di in &db.insts[ip..ip + n] {
+                        exec_pure(di, &mut frame.regs);
+                    }
+                    frame.ip = ip + n;
+                    // One aggregate charge (integer sums equal the
+                    // per-instruction sums exactly).
+                    self.metrics.active_cycles += total.cycles;
+                    self.metrics.cpu_energy += total.energy;
+                    if self.epoch_insts < self.furthest {
+                        self.metrics.reexecution += total.energy;
+                    } else {
+                        self.metrics.computation += total.energy;
+                    }
+                    self.metrics.insts_retired += n as u64;
+                    self.epoch_insts += n as u64;
+                    let failed = self.power.advance(total.cycles);
+                    debug_assert!(!failed, "fused superblock must fit the power window");
+                    return Ok(Step::Continue);
+                }
+            }
+            let di = db.insts[ip];
+            let cost = db.costs[ip];
             self.frames.last_mut().expect("active frame").ip += 1;
-            self.exec_inst(inst)?;
+            self.exec_dinst(di, cost)?;
             self.metrics.insts_retired += 1;
             self.epoch_insts += 1;
         } else {
-            let term = &block.term;
-            let cost = match term {
-                Terminator::Br(_) | Terminator::CondBr { .. } => self.costs.branch,
-                Terminator::Ret(_) => self.costs.ret,
-            };
+            let term = db.term;
+            let cost = db.term_cost;
             self.charge_exec_cpu(cost);
             match term {
-                Terminator::Br(t) => self.jump(*t),
-                Terminator::CondBr {
+                DTerm::Br {
+                    target,
+                    flat,
+                    reconcile,
+                } => self.jump(target, flat, reconcile),
+                DTerm::CondBr {
                     cond,
                     then_bb,
+                    then_flat,
+                    then_reconcile,
                     else_bb,
+                    else_flat,
+                    else_reconcile,
                 } => {
-                    let t = if self.eval(*cond) != 0 {
-                        *then_bb
+                    if self.eval(cond) != 0 {
+                        self.jump(then_bb, then_flat, then_reconcile);
                     } else {
-                        *else_bb
-                    };
-                    self.jump(t);
+                        self.jump(else_bb, else_flat, else_reconcile);
+                    }
                 }
-                Terminator::Ret(v) => {
+                DTerm::Ret(v) => {
                     let value = v.map(|o| self.eval(o));
                     let finished = self.frames.len() == 1;
                     if finished {
@@ -843,7 +969,7 @@ impl<'a> Machine<'a> {
                         self.set_reg(dst, val);
                     }
                     self.reg_pool.push(done.regs);
-                    self.sync_block();
+                    self.sync_flat();
                     self.reconcile_residency();
                 }
             }
@@ -856,114 +982,327 @@ impl<'a> Machine<'a> {
         Ok(Step::Continue)
     }
 
-    fn jump(&mut self, target: BlockId) {
+    /// Executes one entire fusable block — every instruction and the
+    /// terminator — as a single step. The caller has already proven
+    /// (via [`DecodedBlock::ub_cost`](crate::decoded::DecodedBlock))
+    /// that nothing observable can land mid-block, so all Exec-category
+    /// accounting is accumulated locally and committed once: one power
+    /// advance, one category add. Implicit restores still charge through
+    /// the normal path as they occur (their category is Restore
+    /// regardless of position, and all sums commute), and a mid-block
+    /// trap aborts the whole run, so per-instruction stepping would
+    /// produce bit-identical results — with a step dispatch, two limit
+    /// checks and a power advance per instruction instead of per block.
+    fn step_fused_block(&mut self) -> Result<Step, EmuError> {
+        /// Deferred `&mut self` work for a VM-residency miss. The hot
+        /// loop below pins a shared borrow of the decoded block, so the
+        /// (rare) miss paths cannot call back into full-`self` methods
+        /// in place; they record what is needed, break the borrow, run
+        /// the cold handler, and retry the same instruction with the
+        /// copy now valid. The charge order is unchanged: the restore
+        /// lands before the access's exec charge either way.
+        enum Cold {
+            /// Fault-load `var` (charged implicit restore).
+            Restore(VarId),
+            /// Full scalar overwrite: allocate uninitialised, no restore.
+            AllocScalar(VarId),
+        }
+        let flat = self.cur_flat as usize;
+        let n = self.decoded.get().blocks[flat].insts.len();
+        let mut ip = 0usize;
+        loop {
+            let mut cold = None;
+            // Hot loop: one acquisition of the decoded block; every
+            // access inside touches disjoint `Machine` fields (frames,
+            // mem, metrics), so the borrow stays pinned throughout.
+            // All Exec accounting for the block is a decode-time
+            // constant (`db.fused`, committed below), so the loop does
+            // nothing but move data.
+            let db = &self.decoded.get().blocks[flat];
+            while ip < n {
+                let run = db.fuse_len[ip] as usize;
+                if run > 0 {
+                    let frame = self.frames.last_mut().expect("active frame");
+                    for di in &db.insts[ip..ip + run] {
+                        exec_pure(di, &mut frame.regs);
+                    }
+                    ip += run;
+                    continue;
+                }
+                match db.insts[ip] {
+                    DInst::Load {
+                        dst,
+                        var,
+                        idx,
+                        class,
+                    } => {
+                        let top = self.frames.last().expect("active frame");
+                        let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
+                        let value = match class {
+                            MemClass::Vm => {
+                                if !self.mem.is_vm_valid(var) {
+                                    cold = Some(Cold::Restore(var));
+                                    break;
+                                }
+                                match self.mem.vm_read(var, index) {
+                                    Ok(v) => v,
+                                    Err(k) => return Err(self.trap(k)),
+                                }
+                            }
+                            MemClass::Nvm => match self.mem.nvm_read(var, index) {
+                                Ok(v) => v,
+                                Err(k) => return Err(self.trap(k)),
+                            },
+                        };
+                        self.frames.last_mut().expect("active frame").regs[dst.index()] = value;
+                    }
+                    DInst::Store {
+                        var,
+                        idx,
+                        src,
+                        class,
+                    } => {
+                        let top = self.frames.last().expect("active frame");
+                        let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
+                        let value = top.eval(src);
+                        match class {
+                            MemClass::Vm => {
+                                if !self.mem.is_vm_valid(var) {
+                                    cold = Some(if idx.is_none() {
+                                        Cold::AllocScalar(var)
+                                    } else {
+                                        Cold::Restore(var)
+                                    });
+                                    break;
+                                }
+                                if let Err(k) = self.mem.vm_write(var, index, value) {
+                                    return Err(self.trap(k));
+                                }
+                            }
+                            MemClass::Nvm => {
+                                if self.mem.nvm_write_would_clobber(var) {
+                                    self.metrics.coherence_violations += 1;
+                                }
+                                if let Err(k) = self.mem.nvm_write(var, index, value) {
+                                    return Err(self.trap(k));
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!("non-fusable instruction in a fusable block"),
+                }
+                ip += 1;
+            }
+            match cold {
+                None => break,
+                Some(Cold::Restore(v)) => self.ensure_vm_for_read(v)?,
+                Some(Cold::AllocScalar(v)) => {
+                    if let Err(EmuError::VmOverflow { .. }) = self.mem.alloc_vm_uninit(v) {
+                        self.evict_clean_outside_plan(v);
+                        self.mem.alloc_vm_uninit(v)?;
+                    }
+                    self.update_peak_vm();
+                }
+            }
+        }
+        self.frames.last_mut().expect("active frame").ip = n;
+        let db = &self.decoded.get().blocks[flat];
+        let term = db.term;
+        let fused = db.fused;
+        // Commit the precomputed Exec accounting bundle (identical sums
+        // to per-instruction charges; the category is constant by the
+        // guard in `step`).
+        self.metrics.active_cycles += fused.exec_cost.cycles;
+        if self.epoch_insts < self.furthest {
+            self.metrics.reexecution += fused.exec_cost.energy;
+        } else {
+            self.metrics.computation += fused.exec_cost.energy;
+        }
+        self.metrics.cpu_energy += fused.cpu_energy;
+        self.metrics.vm_access_energy += fused.vm_energy;
+        self.metrics.nvm_access_energy += fused.nvm_energy;
+        self.metrics.vm_reads += u64::from(fused.vm_reads);
+        self.metrics.vm_writes += u64::from(fused.vm_writes);
+        self.metrics.nvm_reads += u64::from(fused.nvm_reads);
+        self.metrics.nvm_writes += u64::from(fused.nvm_writes);
+        self.metrics.insts_retired += n as u64;
+        self.epoch_insts += n as u64;
+        let failed = self.power.advance(fused.exec_cost.cycles);
+        debug_assert!(!failed, "fused block must fit the power window");
+        match term {
+            DTerm::Br {
+                target,
+                flat,
+                reconcile,
+            } => self.jump(target, flat, reconcile),
+            DTerm::CondBr {
+                cond,
+                then_bb,
+                then_flat,
+                then_reconcile,
+                else_bb,
+                else_flat,
+                else_reconcile,
+            } => {
+                if self.eval(cond) != 0 {
+                    self.jump(then_bb, then_flat, then_reconcile);
+                } else {
+                    self.jump(else_bb, else_flat, else_reconcile);
+                }
+            }
+            DTerm::Ret(v) => {
+                let value = v.map(|o| self.eval(o));
+                if self.frames.len() == 1 {
+                    self.frames.last_mut().expect("frame").ip = usize::MAX; // defensive
+                    return Ok(Step::Finished(value));
+                }
+                let done = self.frames.pop().expect("frame");
+                if let (Some(dst), Some(val)) = (done.ret_dst, value) {
+                    self.set_reg(dst, val);
+                }
+                self.reg_pool.push(done.regs);
+                self.sync_flat();
+                self.reconcile_residency();
+            }
+        }
+        Ok(Step::Continue)
+    }
+
+    /// Transfers control to `target` (flat index `flat`). `reconcile`
+    /// is the edge's precomputed flag (see [`DTerm`]): `false` proves
+    /// the residency flush set is empty, so the walk is skipped.
+    fn jump(&mut self, target: BlockId, flat: u32, reconcile: bool) {
         let top = self.frames.last_mut().expect("active frame");
         top.block = target;
         top.ip = 0;
         let (f, b) = (top.func, top.block);
-        self.sync_block();
+        self.cur_flat = flat;
         self.record_block(f, b);
-        self.reconcile_residency();
+        if reconcile {
+            self.reconcile_residency();
+        }
     }
 
-    fn exec_inst(&mut self, inst: &Inst) -> Result<(), EmuError> {
-        match inst {
-            Inst::Bin { dst, op, lhs, rhs } => {
-                self.charge_exec_cpu(self.costs.bin(*op));
+    fn exec_dinst(&mut self, di: DInst, cost: Cost) -> Result<(), EmuError> {
+        match di {
+            DInst::Bin { dst, op, lhs, rhs } => {
+                self.charge_exec_cpu(cost);
                 let top = self.frames.last().expect("active frame");
-                let (l, r) = (top.eval(*lhs), top.eval(*rhs));
-                let v = eval_bin(*op, l, r).map_err(|k| self.trap(k))?;
-                self.set_reg(*dst, v);
+                let (l, r) = (top.eval(lhs), top.eval(rhs));
+                let v = eval_bin(op, l, r).map_err(|k| self.trap(k))?;
+                self.set_reg(dst, v);
             }
-            Inst::Cmp { dst, op, lhs, rhs } => {
-                self.charge_exec_cpu(self.costs.cmp);
+            DInst::Cmp { dst, op, lhs, rhs } => {
+                self.charge_exec_cpu(cost);
                 let top = self.frames.last_mut().expect("active frame");
-                let v = op.eval(top.eval(*lhs), top.eval(*rhs));
+                let v = op.eval(top.eval(lhs), top.eval(rhs));
                 top.regs[dst.index()] = i32::from(v);
             }
-            Inst::Un { dst, op, src } => {
-                self.charge_exec_cpu(self.costs.alu);
+            DInst::Un { dst, op, src } => {
+                self.charge_exec_cpu(cost);
                 let top = self.frames.last_mut().expect("active frame");
-                let s = top.eval(*src);
+                let s = top.eval(src);
                 let v = match op {
                     UnOp::Neg => s.wrapping_neg(),
                     UnOp::Not => !s,
                 };
                 top.regs[dst.index()] = v;
             }
-            Inst::Copy { dst, src } => {
-                self.charge_exec_cpu(self.costs.copy);
+            DInst::Copy { dst, src } => {
+                self.charge_exec_cpu(cost);
                 let top = self.frames.last_mut().expect("active frame");
-                let v = top.eval(*src);
+                let v = top.eval(src);
                 top.regs[dst.index()] = v;
             }
-            Inst::Select {
+            DInst::Select {
                 dst,
                 cond,
                 then_val,
                 else_val,
             } => {
-                self.charge_exec_cpu(self.costs.select);
+                self.charge_exec_cpu(cost);
                 let top = self.frames.last_mut().expect("active frame");
-                let v = if top.eval(*cond) != 0 {
-                    top.eval(*then_val)
+                let v = if top.eval(cond) != 0 {
+                    top.eval(then_val)
                 } else {
-                    top.eval(*else_val)
+                    top.eval(else_val)
                 };
                 top.regs[dst.index()] = v;
             }
-            Inst::Load { dst, var, idx } => self.exec_load(*dst, *var, *idx)?,
-            Inst::Store { var, idx, src } => self.exec_store(*var, *idx, *src)?,
-            Inst::Call { dst, func, args } => {
-                let cost = self.table.inst_cost(inst, |_| MemClass::Nvm);
+            DInst::Load {
+                dst,
+                var,
+                idx,
+                class,
+            } => self.exec_load(dst, var, idx, class, cost)?,
+            DInst::Store {
+                var,
+                idx,
+                src,
+                class,
+            } => self.exec_store(var, idx, src, class, cost)?,
+            DInst::Call {
+                dst,
+                func,
+                args_start,
+                args_end,
+                n_regs,
+                entry,
+                entry_flat,
+                reconcile,
+            } => {
                 self.charge_exec_cpu(cost);
                 if self.frames.len() >= self.config.max_stack {
                     return Err(self.trap(TrapKind::StackOverflow {
                         limit: self.config.max_stack,
                     }));
                 }
-                let callee = self.im.module.func(*func);
                 let mut regs = self.reg_pool.pop().unwrap_or_default();
                 regs.clear();
-                regs.resize(callee.n_regs.max(1), 0);
-                for (i, a) in args.iter().enumerate() {
-                    regs[i] = self.eval(*a);
+                regs.resize(n_regs as usize, 0);
+                {
+                    let d = self.decoded.get();
+                    let args = &d.call_args[args_start as usize..args_end as usize];
+                    for (i, a) in args.iter().enumerate() {
+                        regs[i] = self.eval(*a);
+                    }
                 }
                 self.frames.push(Frame {
-                    func: *func,
-                    block: callee.entry,
+                    func,
+                    block: entry,
                     ip: 0,
                     regs,
-                    ret_dst: *dst,
+                    ret_dst: dst,
                 });
-                self.sync_block();
-                self.record_block(*func, callee.entry);
-                self.reconcile_residency();
+                self.cur_flat = entry_flat;
+                self.record_block(func, entry);
+                if reconcile {
+                    self.reconcile_residency();
+                }
             }
-            Inst::Checkpoint { id } => self.do_checkpoint(*id)?,
-            Inst::CondCheckpoint { id, period } => {
+            DInst::Checkpoint { id } => self.do_checkpoint(id)?,
+            DInst::CondCheckpoint { id, period } => {
                 // NVM iteration counter: increments survive failures.
                 let ctr = &mut self.cond_counters[id.index()];
                 *ctr += 1;
-                let fire = (*ctr).is_multiple_of(*period as u64);
-                self.charge(self.table.cond_check, ChargeCat::Exec);
+                let fire = (*ctr).is_multiple_of(period as u64);
+                self.charge(cost, ChargeCat::Exec);
                 if fire {
-                    self.do_checkpoint(*id)?;
+                    self.do_checkpoint(id)?;
                 }
             }
-            Inst::SaveVar { var } => {
-                if self.mem.is_vm_valid(*var) && self.mem.is_dirty(*var) {
-                    let words = self.mem.flush_to_nvm(*var);
+            DInst::SaveVar { var } => {
+                if self.mem.is_vm_valid(var) && self.mem.is_dirty(var) {
+                    let words = self.mem.flush_to_nvm(var);
                     let cost = self.table.save_words_cost(words);
                     self.charge(cost, ChargeCat::Save);
                 }
             }
-            Inst::RestoreVar { var } => {
-                if self.mem.is_vm_valid(*var) {
+            DInst::RestoreVar { var } => {
+                if self.mem.is_vm_valid(var) {
                     // Validity guard only.
                     self.charge(self.table.cond_check, ChargeCat::Exec);
                 } else {
-                    let var = *var;
                     let words = self.load_with_evict(var)?;
                     let cost = self.table.restore_words_cost(words);
                     self.charge(cost, ChargeCat::Restore);
@@ -990,7 +1329,7 @@ pub fn run(im: &InstrumentedModule, config: RunConfig) -> Result<RunOutcome, Emu
 mod tests {
     use super::*;
     use crate::instrumented::AllocationPlan;
-    use schematic_ir::{CmpOp, FunctionBuilder, ModuleBuilder, Variable};
+    use schematic_ir::{CmpOp, FunctionBuilder, Inst, ModuleBuilder, Terminator, Variable};
 
     fn sum_module() -> schematic_ir::Module {
         let mut mb = ModuleBuilder::new("sum");

@@ -11,12 +11,25 @@ use crate::error::{EmuError, TrapKind};
 use schematic_ir::{Module, VarId, WORD_BYTES};
 
 /// The memory subsystem of the emulated platform.
+///
+/// Both address spaces are flat arenas indexed by a per-variable word
+/// offset (a prefix sum over variable sizes, fixed at construction).
+/// A word access is then a single bounds-checked arena index instead of
+/// a nested `Vec<Vec<_>>` walk — the emulator's hot loop does one of
+/// these per load/store, so the extra pointer chase showed up directly
+/// in profiles. The VM arena is allocated up front at full size; the
+/// *accounted* VM occupancy (`resident_bytes`, capped by `svm_bytes`)
+/// still tracks only variables whose copies are valid, which is what
+/// the SVM capacity models.
 #[derive(Debug, Clone)]
 pub struct Memory {
-    /// NVM home of each variable.
-    nvm: Vec<Vec<i32>>,
-    /// VM copies (allocated lazily; `None` until first VM residence).
-    vm: Vec<Option<Vec<i32>>>,
+    /// NVM home arena (all variables, concatenated).
+    nvm: Vec<i32>,
+    /// VM copy arena (same layout as `nvm`; slots are garbage unless
+    /// the variable's `valid` bit is set).
+    vm: Vec<i32>,
+    /// Word offset of each variable in both arenas.
+    off: Vec<u32>,
     valid: Vec<bool>,
     dirty: Vec<bool>,
     /// Currently-dirty variables, kept sorted by id. Residency
@@ -35,18 +48,24 @@ pub struct Memory {
 impl Memory {
     /// Initializes NVM from the module's variable initializers.
     pub fn new(module: &Module, svm_bytes: usize) -> Self {
-        let mut nvm = Vec::with_capacity(module.vars.len());
+        let n = module.vars.len();
+        let mut off = Vec::with_capacity(n);
+        let mut total = 0usize;
         for var in &module.vars {
-            let mut data = vec![0i32; var.words];
-            for (slot, &v) in data.iter_mut().zip(var.init.iter()) {
+            off.push(total as u32);
+            total += var.words;
+        }
+        let mut nvm = vec![0i32; total];
+        for (var, &o) in module.vars.iter().zip(&off) {
+            let o = o as usize;
+            for (slot, &v) in nvm[o..o + var.words].iter_mut().zip(var.init.iter()) {
                 *slot = v;
             }
-            nvm.push(data);
         }
-        let n = module.vars.len();
         Memory {
             nvm,
-            vm: vec![None; n],
+            vm: vec![0i32; total],
+            off,
             valid: vec![false; n],
             dirty: vec![false; n],
             dirty_list: Vec::new(),
@@ -54,6 +73,13 @@ impl Memory {
             svm_bytes,
             words: module.vars.iter().map(|v| v.words).collect(),
         }
+    }
+
+    /// Arena range of `var` (its home in NVM and its slot in VM).
+    #[inline]
+    fn range(&self, var: VarId) -> std::ops::Range<usize> {
+        let o = self.off[var.index()] as usize;
+        o..o + self.words[var.index()]
     }
 
     /// The configured VM capacity in bytes.
@@ -67,6 +93,7 @@ impl Memory {
     }
 
     /// Whether `var` currently has a valid VM copy.
+    #[inline]
     pub fn is_vm_valid(&self, var: VarId) -> bool {
         self.valid[var.index()]
     }
@@ -81,6 +108,7 @@ impl Memory {
         &self.dirty_list
     }
 
+    #[inline]
     fn mark_dirty(&mut self, var: VarId) {
         if !self.dirty[var.index()] {
             self.dirty[var.index()] = true;
@@ -98,6 +126,7 @@ impl Memory {
         }
     }
 
+    #[inline]
     fn bounds_check(&self, var: VarId, idx: i64) -> Result<usize, TrapKind> {
         let words = self.words[var.index()];
         if idx < 0 || idx as usize >= words {
@@ -112,9 +141,10 @@ impl Memory {
     }
 
     /// Reads a word from the NVM home.
+    #[inline]
     pub fn nvm_read(&self, var: VarId, idx: i64) -> Result<i32, TrapKind> {
         let i = self.bounds_check(var, idx)?;
-        Ok(self.nvm[var.index()][i])
+        Ok(self.nvm[self.off[var.index()] as usize + i])
     }
 
     /// Writes a word to the NVM home. A valid VM copy becomes stale and
@@ -123,7 +153,7 @@ impl Memory {
     /// [`Memory::nvm_write_would_clobber`]).
     pub fn nvm_write(&mut self, var: VarId, idx: i64, value: i32) -> Result<(), TrapKind> {
         let i = self.bounds_check(var, idx)?;
-        self.nvm[var.index()][i] = value;
+        self.nvm[self.off[var.index()] as usize + i] = value;
         if self.valid[var.index()] {
             self.drop_vm(var);
         }
@@ -141,17 +171,19 @@ impl Memory {
     /// # Errors
     ///
     /// The copy must be valid — the emulator fault-loads first.
+    #[inline]
     pub fn vm_read(&self, var: VarId, idx: i64) -> Result<i32, TrapKind> {
         let i = self.bounds_check(var, idx)?;
         debug_assert!(self.valid[var.index()], "vm_read of invalid copy");
-        Ok(self.vm[var.index()].as_ref().expect("valid copy")[i])
+        Ok(self.vm[self.off[var.index()] as usize + i])
     }
 
     /// Writes a word to the VM copy, marking it dirty.
+    #[inline]
     pub fn vm_write(&mut self, var: VarId, idx: i64, value: i32) -> Result<(), TrapKind> {
         let i = self.bounds_check(var, idx)?;
         debug_assert!(self.valid[var.index()], "vm_write of invalid copy");
-        self.vm[var.index()].as_mut().expect("valid copy")[i] = value;
+        self.vm[self.off[var.index()] as usize + i] = value;
         self.mark_dirty(var);
         Ok(())
     }
@@ -172,8 +204,9 @@ impl Memory {
                 svm: self.svm_bytes,
             });
         }
-        let data = self.nvm[var.index()].clone();
-        self.vm[var.index()] = Some(data);
+        let r = self.range(var);
+        let (nvm, vm) = (&self.nvm[r.clone()], &mut self.vm[..]);
+        vm[r].copy_from_slice(nvm);
         self.valid[var.index()] = true;
         self.clear_dirty(var);
         self.resident_bytes = needed;
@@ -195,7 +228,8 @@ impl Memory {
                 svm: self.svm_bytes,
             });
         }
-        self.vm[var.index()] = Some(vec![0; words]);
+        let r = self.range(var);
+        self.vm[r].fill(0);
         self.valid[var.index()] = true;
         self.mark_dirty(var); // will be written immediately
         self.resident_bytes = needed;
@@ -209,9 +243,10 @@ impl Memory {
         if !self.valid[var.index()] {
             return 0;
         }
-        let src = self.vm[var.index()].as_ref().expect("valid copy");
-        let words = src.len();
-        self.nvm[var.index()].copy_from_slice(src);
+        let r = self.range(var);
+        let words = r.len();
+        let (vm, nvm) = (&self.vm[r.clone()], &mut self.nvm[..]);
+        nvm[r].copy_from_slice(vm);
         self.clear_dirty(var);
         words
     }
@@ -221,25 +256,21 @@ impl Memory {
         if self.valid[var.index()] {
             self.valid[var.index()] = false;
             self.clear_dirty(var);
-            self.vm[var.index()] = None;
             self.resident_bytes -= self.words[var.index()] * WORD_BYTES;
         }
     }
 
     /// Power failure: every VM copy is lost.
     pub fn lose_volatile(&mut self) {
-        for i in 0..self.valid.len() {
-            self.valid[i] = false;
-            self.dirty[i] = false;
-            self.vm[i] = None;
-        }
+        self.valid.fill(false);
+        self.dirty.fill(false);
         self.dirty_list.clear();
         self.resident_bytes = 0;
     }
 
     /// Direct read of the NVM home array (for result checking in tests).
     pub fn nvm_slice(&self, var: VarId) -> &[i32] {
-        &self.nvm[var.index()]
+        &self.nvm[self.range(var)]
     }
 }
 

@@ -59,6 +59,17 @@ impl PowerState {
         }
     }
 
+    /// Whether the window can absorb `cycles` more active cycles
+    /// *without* a power failure — i.e. whether `advance(cycles)` would
+    /// return `false`. Superblock fusion uses this to prove that no
+    /// failure can land inside a fused run.
+    pub fn headroom(&self, cycles: u64) -> bool {
+        match self.model {
+            PowerModel::Continuous => true,
+            PowerModel::Periodic { tbpf } => self.cycles_in_window + cycles < tbpf,
+        }
+    }
+
     /// Remaining charge fraction in `[0, 1]` — what a MEMENTOS voltage
     /// measurement observes. Continuous power always reads full.
     pub fn remaining_fraction(&self) -> f64 {
@@ -101,7 +112,11 @@ mod tests {
     #[test]
     fn periodic_fails_at_tbpf() {
         let mut p = PowerState::new(PowerModel::Periodic { tbpf: 100 });
+        assert!(p.headroom(99));
+        assert!(!p.headroom(100));
         assert!(!p.advance(99));
+        assert!(p.headroom(0));
+        assert!(!p.headroom(1));
         assert!((p.remaining_fraction() - 0.01).abs() < 1e-9);
         assert!(p.advance(1));
         p.reboot();

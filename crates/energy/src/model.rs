@@ -44,6 +44,7 @@ impl Cost {
 
 impl std::ops::Add for Cost {
     type Output = Cost;
+    #[inline]
     fn add(self, rhs: Cost) -> Cost {
         Cost {
             cycles: self.cycles + rhs.cycles,
@@ -53,6 +54,7 @@ impl std::ops::Add for Cost {
 }
 
 impl std::ops::AddAssign for Cost {
+    #[inline]
     fn add_assign(&mut self, rhs: Cost) {
         *self = *self + rhs;
     }
@@ -60,6 +62,7 @@ impl std::ops::AddAssign for Cost {
 
 impl std::ops::Mul<u64> for Cost {
     type Output = Cost;
+    #[inline]
     fn mul(self, rhs: u64) -> Cost {
         Cost {
             cycles: self.cycles * rhs,
@@ -161,6 +164,7 @@ impl CostTable {
     }
 
     /// Cost of `cycles` pure CPU cycles (no memory access energy).
+    #[inline]
     pub fn cycles_cost(&self, cycles: Cycles) -> Cost {
         Cost::new(cycles, Energy::from_pj(self.cpu_pj_per_cycle) * cycles)
     }
@@ -172,6 +176,7 @@ impl CostTable {
     }
 
     /// Cost of one word access to memory of class `class`.
+    #[inline]
     pub fn access_cost(&self, class: MemClass, kind: AccessKind) -> Cost {
         match (class, kind) {
             (MemClass::Vm, AccessKind::Read) => self.with_extra(0, self.vm_read_pj),
@@ -255,6 +260,7 @@ impl CostTable {
     }
 
     /// Cost of copying `words` words NVM→VM (restore data path).
+    #[inline]
     pub fn restore_words_cost(&self, words: usize) -> Cost {
         let per_word = self.cycles_cost(self.word_restore_cycles)
             + self.access_cost(MemClass::Nvm, AccessKind::Read)

@@ -78,6 +78,14 @@ impl VarSet {
         self.bits.iter().all(|&c| c == 0)
     }
 
+    /// Whether every member of `self` is also in `other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.bits
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a & !other.bits.get(i).copied().unwrap_or(0) == 0)
+    }
+
     /// In-place union; returns `true` if `self` changed.
     pub fn union_with(&mut self, other: &VarSet) -> bool {
         if other.bits.len() > self.bits.len() {
@@ -199,6 +207,21 @@ mod tests {
         let mut d = a.clone();
         d.subtract(&b);
         assert_eq!(d.iter().collect::<Vec<_>>(), vec![VarId(0), VarId(64)]);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a: VarSet = [VarId(1), VarId(64)].into_iter().collect();
+        let b: VarSet = [VarId(1), VarId(2), VarId(64)].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(VarSet::empty().is_subset(&a));
+        assert!(a.is_subset(&a));
+        // Differing chunk counts: the longer set's high chunk matters.
+        let hi: VarSet = [VarId(200)].into_iter().collect();
+        let lo: VarSet = [VarId(1)].into_iter().collect();
+        assert!(!hi.is_subset(&lo));
+        assert!(lo.is_subset(&lo.union(&hi)));
     }
 
     #[test]

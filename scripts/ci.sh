@@ -13,4 +13,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== perfsmoke --quick (release) =="
+# Surfaces hot-path throughput in the CI log without rewriting
+# BENCH_perf.json (quick windows jitter too much to commit). Set
+# SCHEMATIC_PERF_ASSERT=1 in the environment to also enforce the
+# 1.5x emulator speedup floor.
+cargo run --release --offline -p schematic-bench --bin perfsmoke -- --quick
+
 echo "CI gate passed."
