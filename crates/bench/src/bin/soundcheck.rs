@@ -1,0 +1,25 @@
+//! Soundness check — static WAR-hazard / idempotence classification of
+//! every inter-checkpoint region, per technique × benchmark, with
+//! emulator cross-validation (see `schematic_core::anomaly`).
+//!
+//! ```text
+//! cargo run --release -p schematic-bench --bin soundcheck [-- --quick]
+//! ```
+//!
+//! `--quick` sweeps Schematic + Ratchet with the static analysis only
+//! (the CI configuration); the default sweeps all five techniques and
+//! additionally runs every cell under each TBPF with the emulator's
+//! shadow recorder, checking that every observed WAR was statically
+//! predicted.
+//!
+//! Exits nonzero when any region is `hazardous` under Schematic or
+//! Ratchet, or when the shadow recorder observes an unpredicted WAR.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (report, pass) = schematic_bench::experiments::soundcheck_report(quick);
+    print!("{report}");
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Randomized cross-validation of the static WAR-hazard analysis.
+//!
+//! Generates small random modules (acyclic CFGs over scalars and small
+//! arrays), sprinkles random plain checkpoints and random per-block VM
+//! placements over them, and runs each under the emulator's shadow
+//! recorder with periodic power failures and the `Rollback` policy (the
+//! policy that actually re-executes regions and can surface WARs at
+//! runtime). The soundness contract under test: **every WAR the
+//! recorder observes must have been predicted statically** by
+//! [`schematic_core::check_anomalies`] — the static analysis may
+//! over-approximate, never miss.
+//!
+//! The generator is seeded [`SplitMix64`], so the whole sweep is
+//! deterministic and a failure message's case index reproduces exactly.
+
+use schematic_benchsuite::inputs::SplitMix64;
+use schematic_core::check_anomalies;
+use schematic_emu::{
+    AllocationPlan, CheckpointKind, CheckpointSpec, FailurePolicy, InstrumentedModule, PowerModel,
+    RunConfig,
+};
+use schematic_ir::{
+    BlockId, CheckpointId, CmpOp, FunctionBuilder, Inst, Module, ModuleBuilder, VarId, VarSet,
+    Variable,
+};
+
+const CASES: u64 = 256;
+const SEED: u64 = 0x5EED_50F7;
+
+/// One random module: 2–4 scalars, 1–2 small arrays, 3–6 blocks chained
+/// with forward-only branches (always terminates without trip-count
+/// annotations), each block a random mix of loads and stores.
+fn random_module(rng: &mut SplitMix64) -> (Module, Vec<(VarId, usize)>) {
+    let mut mb = ModuleBuilder::new("fuzz");
+    let mut vars: Vec<(VarId, usize)> = Vec::new();
+    for i in 0..2 + rng.below(3) {
+        vars.push((mb.var(Variable::scalar(format!("s{i}"))), 1));
+    }
+    for i in 0..1 + rng.below(2) {
+        let words = 2 + rng.below(6) as usize;
+        vars.push((mb.var(Variable::array(format!("a{i}"), words)), words));
+    }
+    let mut f = FunctionBuilder::new("main", 0);
+    let n_blocks = 3 + rng.below(4) as usize;
+    let blocks: Vec<BlockId> = (0..n_blocks)
+        .map(|i| f.new_block(format!("b{i}")))
+        .collect();
+    f.br(blocks[0]);
+    for (i, &b) in blocks.iter().enumerate() {
+        f.switch_to(b);
+        let mut last = None;
+        for _ in 0..1 + rng.below(7) {
+            let (var, words) = vars[rng.below(vars.len() as u32) as usize];
+            match (words, rng.below(2)) {
+                (1, 0) => last = Some(f.load_scalar(var)),
+                (1, _) => f.store_scalar(var, rng.next_i32() & 0xFF),
+                (w, 0) => last = Some(f.load_idx(var, rng.below(w as u32) as i32)),
+                (w, _) => {
+                    let idx = rng.below(w as u32) as i32;
+                    f.store_idx(var, idx, rng.next_i32() & 0xFF);
+                }
+            }
+        }
+        if i + 1 == n_blocks {
+            f.ret(None);
+        } else if i + 2 < n_blocks && rng.below(2) == 0 {
+            // Forward-only conditional: both targets strictly later.
+            let t = i + 1 + rng.below((n_blocks - i - 1) as u32) as usize;
+            let e = i + 1 + rng.below((n_blocks - i - 1) as u32) as usize;
+            let lhs = match last {
+                Some(r) => r,
+                None => f.copy(1),
+            };
+            let c = f.cmp(CmpOp::UGe, lhs, 1);
+            f.cond_br(c, blocks[t], blocks[e]);
+        } else {
+            f.br(blocks[i + 1]);
+        }
+    }
+    let main = mb.func(f.finish());
+    (mb.finish(main), vars)
+}
+
+/// Random instrumentation: plain checkpoints at random instruction
+/// positions (~half the blocks get one) and a random per-block VM set.
+fn instrument(rng: &mut SplitMix64, m: Module, vars: &[(VarId, usize)]) -> InstrumentedModule {
+    let mut im = InstrumentedModule {
+        technique: "fuzz".into(),
+        plan: AllocationPlan::all_nvm(&m),
+        module: m,
+        checkpoints: vec![],
+        policy: FailurePolicy::Rollback,
+        boot_restore: vec![],
+    };
+    let fid = schematic_ir::FuncId(0);
+    let n_blocks = im.module.func(fid).blocks.len();
+    for bi in 0..n_blocks {
+        let b = BlockId::from_usize(bi);
+        if rng.below(2) == 0 {
+            let pos = rng.below(im.module.func(fid).block(b).insts.len() as u32 + 1) as usize;
+            let id = CheckpointId::from_usize(im.checkpoints.len());
+            im.checkpoints.push(CheckpointSpec::registers_only());
+            im.module
+                .func_mut(fid)
+                .block_mut(b)
+                .insts
+                .insert(pos, Inst::Checkpoint { id });
+        }
+        let mut set = VarSet::new(vars.len());
+        for &(v, _) in vars {
+            if rng.below(4) == 0 {
+                set.insert(v);
+            }
+        }
+        im.plan.set(fid, b, set);
+    }
+    // Checkpoints must persist the dirty VM set they cut across;
+    // registers-only specs stay sound because Rollback re-executes from
+    // the image and the recorder is what we are validating, but give
+    // half of them the block's planned set for save/restore coverage.
+    let specs: Vec<(BlockId, usize)> = (0..n_blocks)
+        .map(BlockId::from_usize)
+        .flat_map(|b| {
+            im.module
+                .func(fid)
+                .block(b)
+                .insts
+                .iter()
+                .filter_map(move |i| match i {
+                    Inst::Checkpoint { id } => Some((b, id.index())),
+                    _ => None,
+                })
+        })
+        .collect();
+    for (b, spec_idx) in specs {
+        if rng.below(2) == 0 {
+            let set: Vec<VarId> = im.plan.get(fid, b).iter().collect();
+            im.checkpoints[spec_idx] = CheckpointSpec {
+                save_vars: set.clone(),
+                restore_vars: set,
+                kind: CheckpointKind::Plain,
+            };
+        }
+    }
+    im
+}
+
+#[test]
+fn static_analysis_never_misses_an_observed_war() {
+    let mut rng = SplitMix64::new(SEED);
+    let mut ran = 0u64;
+    let mut observed_total = 0u64;
+    let mut failures_total = 0u64;
+    for case in 0..CASES {
+        let (m, vars) = random_module(&mut rng);
+        let im = instrument(&mut rng, m, &vars);
+        let mut cfg = RunConfig {
+            power: PowerModel::Periodic {
+                tbpf: 40 + u64::from(rng.below(400)),
+            },
+            svm_bytes: usize::MAX / 2,
+            shadow_war: true,
+            ..RunConfig::default()
+        };
+        cfg.max_active_cycles = 1_000_000;
+        // A trapped case (e.g. rollback livelock) proves nothing either
+        // way; skip it rather than constraining the generator.
+        let Ok(out) = schematic_emu::run(&im, cfg) else {
+            continue;
+        };
+        ran += 1;
+        failures_total += out.metrics.power_failures;
+        let report = check_anomalies(&im, true)
+            .unwrap_or_else(|e| panic!("case {case}: static analysis failed: {e}"));
+        let predicted = report.predicted_war_vars(im.module.vars.len());
+        let shadow = out.shadow.expect("shadow recorder was enabled");
+        for war in &shadow.wars {
+            observed_total += 1;
+            assert!(
+                predicted.contains(war.var),
+                "case {case} (seed {SEED:#x}): shadow recorder observed a WAR on \
+                 {:?} in epoch {:?} that the static analysis did not predict",
+                war.var,
+                war.epoch,
+            );
+        }
+    }
+    // The sweep must be non-vacuous: most cases run, failures happen,
+    // and some WARs are actually observed (all statically predicted).
+    assert!(ran >= 200, "only {ran}/{CASES} cases ran");
+    assert!(failures_total > 0, "no power failures were exercised");
+    assert!(observed_total > 0, "no WARs were observed at runtime");
+}

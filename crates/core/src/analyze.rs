@@ -885,6 +885,63 @@ fn item_flow_access(ctx: &FuncCtx<'_>, item: Item) -> HashMap<VarId, AccessCount
     }
 }
 
+// ---------------------------------------------------------------------------
+// Whole-program soundness: forward progress + memory anomalies
+// ---------------------------------------------------------------------------
+
+/// Both halves of the §II-B soundness argument for one instrumented
+/// program: the forward-progress verdict from [`crate::pverify`] and the
+/// WAR-hazard / idempotence report from [`crate::anomaly`].
+#[derive(Debug, Clone)]
+pub struct SoundnessReport {
+    /// Forward progress: every inter-checkpoint stretch fits in `EB`.
+    pub placement: crate::pverify::PlacementReport,
+    /// Memory anomalies: per-region WAR-hazard classification.
+    pub anomalies: crate::anomaly::AnomalyReport,
+}
+
+impl SoundnessReport {
+    /// `true` when the placement is energy-sound *and* no region is
+    /// `Hazardous` (shielded, latent WARs are allowed — they cannot
+    /// manifest under a sound wait-for-recharge placement).
+    pub fn is_sound(&self) -> bool {
+        self.placement.is_sound() && self.anomalies.is_sound()
+    }
+
+    /// One-line summary for reports and cell footnotes.
+    pub fn verdict(&self) -> String {
+        let placement = if self.placement.is_sound() {
+            "placement sound".to_string()
+        } else {
+            format!(
+                "placement unsound ({} violation(s))",
+                self.placement.violations.len()
+            )
+        };
+        format!("{placement}; {}", self.anomalies.verdict())
+    }
+}
+
+/// Checks one instrumented program end to end: re-verifies forward
+/// progress under budget `eb` and runs the inter-checkpoint WAR-hazard
+/// analysis against the program's allocation plan.
+///
+/// # Errors
+///
+/// Fails only on recursive call graphs ([`PlacementError::Recursive`]).
+pub fn check_all(
+    im: &schematic_emu::InstrumentedModule,
+    table: &schematic_energy::CostTable,
+    eb: Energy,
+) -> Result<SoundnessReport, PlacementError> {
+    let placement = crate::pverify::verify_placement(im, table, eb);
+    let anomalies = crate::anomaly::check_anomalies(im, placement.is_sound())?;
+    Ok(SoundnessReport {
+        placement,
+        anomalies,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,911 @@
+//! Static WAR-hazard / idempotence analysis over inter-checkpoint regions.
+//!
+//! SCHEMATIC's soundness argument (§II-B) has two halves. Forward progress
+//! — every inter-checkpoint stretch fits in `EB` — is re-checked by
+//! [`crate::pverify`]. This module checks the other half: **no memory
+//! anomalies**. Re-executing a region after a power failure must not
+//! observe NVM state clobbered by the first attempt; following Surbatovich
+//! et al., the dangerous pattern is a *WAR hazard* — an NVM-level read of a
+//! variable followed, in the same inter-checkpoint region, by an NVM-level
+//! write to it. After a failure the region restarts and the read sees the
+//! written (post-first-attempt) value instead of the at-checkpoint value.
+//!
+//! The analysis works directly on an [`InstrumentedModule`]: the
+//! allocation plan decides which accesses touch NVM (mirroring the
+//! emulator's `resolve_class`: pinned → NVM, in-plan → VM, otherwise NVM),
+//! and checkpoint intrinsics delimit regions. Every NVM-level event the
+//! emulator can generate is over-approximated:
+//!
+//! | instruction              | NVM events modeled                         |
+//! |--------------------------|--------------------------------------------|
+//! | `load` (NVM class)       | read                                       |
+//! | `load` (VM class)        | read — the VM copy may be invalid and      |
+//! |                          | fault-load from NVM                        |
+//! | `store` (NVM class)      | write                                      |
+//! | `store` (VM scalar)      | write*, only if the dirty copy can later   |
+//! |                          | be flushed by residency reconciliation     |
+//! | `store` (VM array)       | read (whole-array fault load) then write*  |
+//! | `savevar`                | write (explicit flush)                     |
+//! | `restorevar`             | read (reload if invalid)                   |
+//! | `call f`                 | callee summary: reads/writes of `f` and    |
+//! |                          | everything it calls                        |
+//! | `checkpoint` (plain)     | region boundary; `restore_vars` become the |
+//! |                          | next region's entry reads                  |
+//! | `checkpoint` (guarded) / | boundary on the fire path *and*            |
+//! | `condcheckpoint`         | transparent on the skip path               |
+//!
+//! \* A VM store's eventual NVM write (the reconcile-time flush) is
+//! attributed to the store site: while a variable is dirty its VM copy
+//! stays valid, so no NVM-level read of it can occur between the store and
+//! its flush — every read-before-flush is also a read-before-store.
+//! Checkpoint *commits* flush `save_vars` atomically with the resume image
+//! and are never re-executed, so they are not write events.
+//!
+//! Each region is classified on a four-point lattice
+//! ([`RegionClass`]): `Idempotent` ⊑ `WarFree` ⊑ `Shielded` ⊑ `Hazardous`.
+//! `Shielded` captures the SCHEMATIC/ROCKCLIMB case: WARs exist on paper,
+//! but under [`FailurePolicy::WaitRecharge`] with a verified placement the
+//! runtime sleeps at every checkpoint until the capacitor is full, so
+//! regions never re-execute and the hazards are latent. They are still
+//! reported (the dynamic shadow recorder in `schematic-emu` checks its
+//! observations against them) but do not make the program unsound.
+//!
+//! Entry point: [`check_anomalies`]; [`crate::analyze::check_all`] folds
+//! this together with the forward-progress verifier.
+
+use crate::error::PlacementError;
+use schematic_emu::{CheckpointKind, FailurePolicy, InstrumentedModule};
+use schematic_ir::{BlockId, CallGraph, CheckpointId, FuncId, Inst, Module, VarId, VarSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A program point: instruction `inst` of block `block` in `func`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site {
+    /// Function containing the event.
+    pub func: FuncId,
+    /// Block containing the event.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:i{}", self.func, self.block, self.inst)
+    }
+}
+
+/// Where an inter-checkpoint region begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegionStart {
+    /// First boot of the entry function (no checkpoint committed yet).
+    Boot,
+    /// The region fragment live at a non-entry function's entry — the
+    /// continuation of whichever caller region was active at the call.
+    FuncEntry(FuncId),
+    /// The region opened when the checkpoint at `site` commits.
+    Checkpoint {
+        /// Checkpoint table index.
+        id: CheckpointId,
+        /// The checkpoint instruction's location.
+        site: Site,
+    },
+}
+
+impl fmt::Display for RegionStart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionStart::Boot => write!(f, "boot"),
+            RegionStart::FuncEntry(func) => write!(f, "entry of {func}"),
+            RegionStart::Checkpoint { id, site } => write!(f, "{id}@{site}"),
+        }
+    }
+}
+
+/// One statically detected WAR hazard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anomaly {
+    /// The inter-checkpoint region the hazard lives in.
+    pub region: RegionStart,
+    /// The NVM-resident variable read then written.
+    pub var: VarId,
+    /// The (earliest known) NVM-level read of `var` in the region. For
+    /// reads seeded by a checkpoint's restore set this is the checkpoint
+    /// site itself; for reads contributed by a callee it is the call site.
+    pub read_site: Site,
+    /// The NVM-level write that clobbers `var` while the read is still in
+    /// the region. For writes inside a callee this is the call site.
+    pub write_site: Site,
+}
+
+/// Classification of one inter-checkpoint region, ordered from harmless to
+/// unsound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RegionClass {
+    /// No NVM-level write can happen in the region: re-execution is
+    /// trivially safe.
+    Idempotent,
+    /// NVM writes happen, but never to a variable read earlier in the
+    /// region.
+    WarFree,
+    /// WAR hazards exist, but the failure policy is wait-for-recharge with
+    /// a verified placement, so the region never re-executes and the
+    /// hazards stay latent.
+    Shielded,
+    /// WAR hazards exist and the region can re-execute (rollback policy,
+    /// or an unverified placement): a power failure can corrupt results.
+    Hazardous,
+}
+
+impl fmt::Display for RegionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegionClass::Idempotent => "idempotent",
+            RegionClass::WarFree => "war-free",
+            RegionClass::Shielded => "shielded",
+            RegionClass::Hazardous => "hazardous",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Summary of one region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Where the region begins.
+    pub start: RegionStart,
+    /// Soundness class.
+    pub class: RegionClass,
+    /// Number of distinct variables with a WAR hazard in this region.
+    pub wars: usize,
+    /// Whether any NVM-level write can occur in the region.
+    pub has_write: bool,
+}
+
+/// The result of [`check_anomalies`]: every region's classification plus
+/// the flat hazard list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnomalyReport {
+    /// One entry per static region (fragments at function entries count
+    /// separately; a dynamic region spanning calls may appear as several
+    /// fragments).
+    pub regions: Vec<RegionInfo>,
+    /// All detected hazards, deduplicated per `(region, var)`.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl AnomalyReport {
+    /// Number of regions in each class, indexed by [`RegionClass`] order.
+    pub fn class_counts(&self) -> [usize; 4] {
+        let mut counts = [0; 4];
+        for r in &self.regions {
+            counts[r.class as usize] += 1;
+        }
+        counts
+    }
+
+    /// Number of `Hazardous` regions — the unsoundness count.
+    pub fn hazardous(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|r| r.class == RegionClass::Hazardous)
+            .count()
+    }
+
+    /// `true` when no region is worse than `WarFree` — no WAR exists even
+    /// on paper.
+    pub fn war_free(&self) -> bool {
+        self.regions.iter().all(|r| r.class <= RegionClass::WarFree)
+    }
+
+    /// `true` when no region is `Hazardous` (latent, shielded WARs are
+    /// allowed).
+    pub fn is_sound(&self) -> bool {
+        self.hazardous() == 0
+    }
+
+    /// The set of variables involved in any predicted WAR, across all
+    /// regions. The emulator's shadow recorder asserts that every WAR it
+    /// observes at runtime is on one of these variables.
+    pub fn predicted_war_vars(&self, n_vars: usize) -> VarSet {
+        let mut set = VarSet::new(n_vars);
+        for a in &self.anomalies {
+            set.insert(a.var);
+        }
+        set
+    }
+
+    /// One-line human-readable summary.
+    pub fn verdict(&self) -> String {
+        let [idem, free, shielded, hazardous] = self.class_counts();
+        format!(
+            "{} region(s): {idem} idempotent, {free} war-free, {shielded} shielded, \
+             {hazardous} hazardous",
+            self.regions.len()
+        )
+    }
+}
+
+/// The NVM-level events one instruction can generate.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    None,
+    Read(VarId),
+    Write(VarId),
+    /// Whole-array fault load then deferred flush (VM array store).
+    ReadWrite(VarId),
+    Call(FuncId),
+    /// Always commits: ends every live region, opens a new one.
+    Boundary(CheckpointId),
+    /// May commit (guarded / periodic): opens a new region on the fire
+    /// path while live regions flow through on the skip path.
+    MaybeBoundary(CheckpointId),
+}
+
+/// Per-function transitive NVM effect summary (through all callees,
+/// ignoring internal checkpoints — a conservative superset for call sites).
+#[derive(Debug, Clone, Default)]
+struct FuncEffects {
+    reads: VarSet,
+    writes: VarSet,
+}
+
+/// Everything the per-function dataflow needs from the module.
+struct AnalysisCtx<'a> {
+    im: &'a InstrumentedModule,
+    module: &'a Module,
+    /// Vars whose dirty VM copy can ever be flushed back to NVM by
+    /// residency reconciliation: non-pinned and absent from at least one
+    /// block's plan.
+    flushable: VarSet,
+    /// Vars stored while VM-resident anywhere in the module (candidates
+    /// for carrying dirty data across a rollback-policy commit).
+    vm_stored: VarSet,
+    effects: Vec<FuncEffects>,
+}
+
+impl<'a> AnalysisCtx<'a> {
+    fn event(&self, f: FuncId, b: BlockId, inst: &Inst) -> Event {
+        let in_vm = |v: VarId| {
+            !self.module.var(v).pinned_nvm
+                && self
+                    .im
+                    .plan
+                    .get_ref(f, b)
+                    .is_some_and(|plan| plan.contains(v))
+        };
+        match inst {
+            Inst::Load { var, .. } => Event::Read(*var),
+            Inst::Store { var, idx, .. } => {
+                if !in_vm(*var) {
+                    Event::Write(*var)
+                } else if !self.flushable.contains(*var) {
+                    // The dirty copy can never reach NVM (all-VM plans):
+                    // an array store may still fault-load the array.
+                    if idx.is_some() {
+                        Event::Read(*var)
+                    } else {
+                        Event::None
+                    }
+                } else if idx.is_some() {
+                    Event::ReadWrite(*var)
+                } else {
+                    Event::Write(*var)
+                }
+            }
+            Inst::SaveVar { var } => Event::Write(*var),
+            Inst::RestoreVar { var } => Event::Read(*var),
+            Inst::Call { func, .. } => Event::Call(*func),
+            Inst::Checkpoint { id } => match self.im.spec(*id).map(|s| s.kind) {
+                Some(CheckpointKind::Guarded { .. }) => Event::MaybeBoundary(*id),
+                _ => Event::Boundary(*id),
+            },
+            Inst::CondCheckpoint { id, .. } => Event::MaybeBoundary(*id),
+            _ => Event::None,
+        }
+    }
+
+    /// Variables whose dirty data can survive the commit of checkpoint
+    /// `id` and flush to NVM later, inside the next region: flushable,
+    /// VM-stored somewhere, and not persisted by the commit itself. Only
+    /// rollback-policy commits preserve VM contents.
+    fn carryover(&self, id: CheckpointId) -> bool {
+        if self.im.policy != FailurePolicy::Rollback {
+            return false;
+        }
+        let Some(spec) = self.im.spec(id) else {
+            return false;
+        };
+        self.flushable
+            .iter()
+            .any(|v| self.vm_stored.contains(v) && !spec.save_vars.contains(&v))
+    }
+}
+
+/// Dataflow fact for one live region at one program point: the variables
+/// NVM-read since the region started, with the earliest known read site.
+type RegionReads = BTreeMap<VarId, Site>;
+
+/// Per-block dataflow state: one optional fact per region slot of the
+/// enclosing function (slot 0 = the entry-context region, then one slot
+/// per checkpoint site). `None` = the region is not live here.
+type BlockState = Vec<Option<RegionReads>>;
+
+fn merge_into(dst: &mut BlockState, src: &BlockState) -> bool {
+    let mut changed = false;
+    for (d, s) in dst.iter_mut().zip(src) {
+        match (d.as_mut(), s) {
+            (_, None) => {}
+            (None, Some(m)) => {
+                *d = Some(m.clone());
+                changed = true;
+            }
+            (Some(dm), Some(sm)) => {
+                for (&v, &site) in sm {
+                    match dm.get_mut(&v) {
+                        None => {
+                            dm.insert(v, site);
+                            changed = true;
+                        }
+                        Some(existing) if site < *existing => {
+                            *existing = site;
+                            changed = true;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Checks an instrumented program for WAR-hazard memory anomalies.
+///
+/// `placement_sound` is the forward-progress verdict from
+/// [`crate::pverify::verify_placement`]; it decides whether latent WARs
+/// under a wait-for-recharge policy are `Shielded` or `Hazardous`.
+///
+/// # Errors
+///
+/// Fails only on recursive call graphs ([`PlacementError::Recursive`]),
+/// which no technique in this repository produces.
+pub fn check_anomalies(
+    im: &InstrumentedModule,
+    placement_sound: bool,
+) -> Result<AnomalyReport, PlacementError> {
+    let module = &im.module;
+    let n_vars = module.vars.len();
+
+    // Flushable set: residency reconciliation flushes a dirty var on the
+    // first edge into a block whose plan lacks it, so a var that is in
+    // every block's plan (or pinned) never flushes.
+    let mut flushable = VarSet::new(n_vars);
+    for (v, var) in module.iter_vars() {
+        if var.pinned_nvm {
+            continue;
+        }
+        let lacking = module.iter_funcs().any(|(f, func)| {
+            func.iter_blocks()
+                .any(|(b, _)| im.plan.get_ref(f, b).is_none_or(|plan| !plan.contains(v)))
+        });
+        if lacking {
+            flushable.insert(v);
+        }
+    }
+
+    // Vars ever stored while VM-resident (dirty-data candidates).
+    let mut vm_stored = VarSet::new(n_vars);
+    for (f, func) in module.iter_funcs() {
+        for (b, block) in func.iter_blocks() {
+            let plan = im.plan.get_ref(f, b);
+            for inst in &block.insts {
+                if let Inst::Store { var, .. } = inst {
+                    if !module.var(*var).pinned_nvm && plan.is_some_and(|p| p.contains(*var)) {
+                        vm_stored.insert(*var);
+                    }
+                }
+            }
+        }
+    }
+
+    // Bottom-up transitive effect summaries.
+    let cg = CallGraph::new(module);
+    let order = cg
+        .bottom_up_order(module)
+        .map_err(|e| PlacementError::Recursive { func: e.func })?;
+    let mut ctx = AnalysisCtx {
+        im,
+        module,
+        flushable,
+        vm_stored,
+        effects: vec![
+            FuncEffects {
+                reads: VarSet::new(n_vars),
+                writes: VarSet::new(n_vars),
+            };
+            module.funcs.len()
+        ],
+    };
+    for fid in order {
+        let func = module.func(fid);
+        let mut fx = FuncEffects {
+            reads: VarSet::new(n_vars),
+            writes: VarSet::new(n_vars),
+        };
+        for (b, block) in func.iter_blocks() {
+            for inst in &block.insts {
+                match ctx.event(fid, b, inst) {
+                    Event::Read(v) => {
+                        fx.reads.insert(v);
+                    }
+                    Event::Write(v) => {
+                        fx.writes.insert(v);
+                    }
+                    Event::ReadWrite(v) => {
+                        fx.reads.insert(v);
+                        fx.writes.insert(v);
+                    }
+                    Event::Call(g) => {
+                        let callee = &ctx.effects[g.index()];
+                        let (r, w) = (callee.reads.clone(), callee.writes.clone());
+                        fx.reads.union_with(&r);
+                        fx.writes.union_with(&w);
+                    }
+                    Event::None | Event::Boundary(_) | Event::MaybeBoundary(_) => {}
+                }
+            }
+        }
+        ctx.effects[fid.index()] = fx;
+    }
+
+    // Per-function region dataflow.
+    let entry_func = module.entry_func();
+    let mut regions: Vec<RegionInfo> = Vec::new();
+    let mut anomalies: Vec<Anomaly> = Vec::new();
+    for (fid, func) in module.iter_funcs() {
+        analyze_function(&ctx, fid, func, entry_func, &mut regions, &mut anomalies);
+    }
+
+    // Classify.
+    let policy = im.policy;
+    for r in &mut regions {
+        r.class = if r.wars > 0 {
+            if policy == FailurePolicy::WaitRecharge && placement_sound {
+                RegionClass::Shielded
+            } else {
+                RegionClass::Hazardous
+            }
+        } else if r.has_write {
+            RegionClass::WarFree
+        } else {
+            RegionClass::Idempotent
+        };
+    }
+
+    anomalies.sort_by_key(|a| (a.region, a.var));
+    regions.sort_by_key(|r| r.start);
+    Ok(AnomalyReport { regions, anomalies })
+}
+
+fn analyze_function(
+    ctx: &AnalysisCtx<'_>,
+    fid: FuncId,
+    func: &schematic_ir::Function,
+    entry_func: FuncId,
+    regions: &mut Vec<RegionInfo>,
+    anomalies: &mut Vec<Anomaly>,
+) {
+    // Region slots: 0 = entry context, then one per checkpoint site.
+    let mut slot_starts: Vec<RegionStart> = vec![if fid == entry_func {
+        RegionStart::Boot
+    } else {
+        RegionStart::FuncEntry(fid)
+    }];
+    let mut site_slot: BTreeMap<Site, usize> = BTreeMap::new();
+    for (b, block) in func.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Inst::Checkpoint { id } | Inst::CondCheckpoint { id, .. } = inst {
+                let site = Site {
+                    func: fid,
+                    block: b,
+                    inst: i,
+                };
+                site_slot.insert(site, slot_starts.len());
+                slot_starts.push(RegionStart::Checkpoint { id: *id, site });
+            }
+        }
+    }
+    let n_slots = slot_starts.len();
+
+    // has_write / war vars accumulate per slot across the fixpoint (facts
+    // only grow, so re-visits can only re-discover the same events).
+    let mut has_write = vec![false; n_slots];
+    let mut war: Vec<BTreeMap<VarId, (Site, Site)>> = vec![BTreeMap::new(); n_slots];
+
+    let cfg = schematic_ir::Cfg::new(func);
+    let mut in_states: Vec<BlockState> = vec![vec![None; n_slots]; func.blocks.len()];
+    // Entry context starts live at the function entry. For the program
+    // entry its initial reads are the boot restore set (NVM loads before
+    // the first instruction runs).
+    let mut entry_reads = RegionReads::new();
+    if fid == entry_func {
+        let entry_site = Site {
+            func: fid,
+            block: func.entry,
+            inst: 0,
+        };
+        for &v in &ctx.im.boot_restore {
+            entry_reads.insert(v, entry_site);
+        }
+    }
+    in_states[func.entry.index()][0] = Some(entry_reads);
+
+    let mut worklist: Vec<BlockId> = cfg.reverse_postorder();
+    let mut queued = vec![true; func.blocks.len()];
+    while let Some(b) = worklist.pop() {
+        queued[b.index()] = false;
+        let mut state = in_states[b.index()].clone();
+        let block = func.block(b);
+        for (i, inst) in block.insts.iter().enumerate() {
+            let site = Site {
+                func: fid,
+                block: b,
+                inst: i,
+            };
+            let read = |state: &mut BlockState, v: VarId| {
+                for fact in state.iter_mut().flatten() {
+                    fact.entry(v).or_insert(site);
+                }
+            };
+            let write = |state: &mut BlockState,
+                         has_write: &mut Vec<bool>,
+                         war: &mut Vec<BTreeMap<VarId, (Site, Site)>>,
+                         v: VarId| {
+                for (slot, fact) in state.iter_mut().enumerate() {
+                    let Some(fact) = fact else { continue };
+                    has_write[slot] = true;
+                    if let Some(&read_site) = fact.get(&v) {
+                        war[slot].entry(v).or_insert((read_site, site));
+                    }
+                }
+            };
+            match ctx.event(fid, b, inst) {
+                Event::None => {}
+                Event::Read(v) => read(&mut state, v),
+                Event::Write(v) => write(&mut state, &mut has_write, &mut war, v),
+                Event::ReadWrite(v) => {
+                    // Fault-load first: the deferred flush can pair with it.
+                    read(&mut state, v);
+                    write(&mut state, &mut has_write, &mut war, v);
+                }
+                Event::Call(g) => {
+                    let fx = &ctx.effects[g.index()];
+                    for (slot, fact) in state.iter_mut().enumerate() {
+                        let Some(fact) = fact else { continue };
+                        if !fx.writes.is_empty() {
+                            has_write[slot] = true;
+                        }
+                        for v in fx.writes.iter() {
+                            if let Some(&read_site) = fact.get(&v) {
+                                war[slot].entry(v).or_insert((read_site, site));
+                            }
+                        }
+                        for v in fx.reads.iter() {
+                            fact.entry(v).or_insert(site);
+                        }
+                    }
+                }
+                Event::Boundary(id) => {
+                    let slot = site_slot[&site];
+                    for fact in state.iter_mut() {
+                        *fact = None;
+                    }
+                    state[slot] = Some(region_entry_reads(ctx, id, site));
+                    if ctx.carryover(id) {
+                        has_write[slot] = true;
+                    }
+                }
+                Event::MaybeBoundary(id) => {
+                    let slot = site_slot[&site];
+                    let mut fired = vec![None; n_slots];
+                    fired[slot] = Some(region_entry_reads(ctx, id, site));
+                    merge_into(&mut state, &fired);
+                    if ctx.carryover(id) {
+                        has_write[slot] = true;
+                    }
+                }
+            }
+        }
+        for succ in cfg.succs(b) {
+            if merge_into(&mut in_states[succ.index()], &state) && !queued[succ.index()] {
+                queued[succ.index()] = true;
+                worklist.push(*succ);
+            }
+        }
+    }
+
+    for (slot, start) in slot_starts.into_iter().enumerate() {
+        for (&v, &(read_site, write_site)) in &war[slot] {
+            anomalies.push(Anomaly {
+                region: start,
+                var: v,
+                read_site,
+                write_site,
+            });
+        }
+        regions.push(RegionInfo {
+            start,
+            class: RegionClass::Idempotent, // overwritten by the caller
+            wars: war[slot].len(),
+            has_write: has_write[slot],
+        });
+    }
+}
+
+/// The reads a region begins with: the checkpoint's restore set is loaded
+/// from NVM when execution resumes at the checkpoint (after a sleep, a
+/// commit-time migration fault, or a power failure).
+fn region_entry_reads(ctx: &AnalysisCtx<'_>, id: CheckpointId, site: Site) -> RegionReads {
+    let mut reads = RegionReads::new();
+    if let Some(spec) = ctx.im.spec(id) {
+        for &v in &spec.restore_vars {
+            reads.insert(v, site);
+        }
+    }
+    reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_emu::{AllocationPlan, CheckpointSpec, InstrumentedModule};
+    use schematic_ir::{FunctionBuilder, ModuleBuilder, Variable};
+
+    /// x = load v; store v, x+1 — classic WAR when v is NVM-resident.
+    fn war_module(with_checkpoint_between: bool) -> InstrumentedModule {
+        let mut mb = ModuleBuilder::new("war");
+        let v = mb.var(Variable::scalar("v"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let x = f.load_scalar(v);
+        let y = f.bin(schematic_ir::BinOp::Add, x, 1);
+        f.store_scalar(v, y);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let module = mb.finish(main);
+        let mut im = InstrumentedModule::bare(module);
+        if with_checkpoint_between {
+            // Insert a plain checkpoint between the load and the store.
+            let id = im.add_spec(CheckpointSpec::registers_only());
+            let insts = &mut im.module.funcs[0].blocks[0].insts;
+            insts.insert(1, Inst::Checkpoint { id });
+        }
+        im
+    }
+
+    #[test]
+    fn detects_simple_war() {
+        let im = war_module(false);
+        let report = check_anomalies(&im, true).unwrap();
+        assert_eq!(report.anomalies.len(), 1);
+        let a = &report.anomalies[0];
+        assert_eq!(a.region, RegionStart::Boot);
+        assert_eq!(a.var, VarId(0));
+        assert!(a.read_site < a.write_site);
+        // Rollback policy + hazard → hazardous.
+        assert_eq!(report.hazardous(), 1);
+        assert!(!report.is_sound());
+    }
+
+    #[test]
+    fn checkpoint_between_read_and_write_clears_hazard() {
+        let im = war_module(true);
+        let report = check_anomalies(&im, true).unwrap();
+        assert!(report.anomalies.is_empty(), "{:?}", report.anomalies);
+        assert!(report.is_sound());
+        // Two regions: boot (read only) and the checkpoint's (write only).
+        assert_eq!(report.regions.len(), 2);
+        assert!(report.war_free());
+    }
+
+    #[test]
+    fn wait_recharge_shields_war() {
+        let mut im = war_module(false);
+        im.policy = FailurePolicy::WaitRecharge;
+        let report = check_anomalies(&im, true).unwrap();
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.hazardous(), 0);
+        assert_eq!(report.class_counts(), [0, 0, 1, 0]);
+        assert!(report.is_sound());
+        // An unsound placement removes the shield.
+        let report = check_anomalies(&im, false).unwrap();
+        assert_eq!(report.hazardous(), 1);
+    }
+
+    #[test]
+    fn all_vm_plan_is_idempotent() {
+        // Same WAR pattern, but v lives in VM everywhere: the dirty copy
+        // never flushes, so no NVM write exists.
+        let mut im = war_module(false);
+        im.plan = AllocationPlan::all_vm(&im.module);
+        let report = check_anomalies(&im, true).unwrap();
+        assert!(report.anomalies.is_empty());
+        assert_eq!(report.class_counts(), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn vm_store_with_flush_is_a_write() {
+        // v in VM in block 0 only; block 1's plan lacks it, so the dirty
+        // copy flushes on the edge — the store is an NVM write event.
+        let mut mb = ModuleBuilder::new("flush");
+        let v = mb.var(Variable::scalar("v"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let x = f.load_scalar(v);
+        f.store_scalar(v, x);
+        let exit = f.new_block("exit");
+        f.br(exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let module = mb.finish(main);
+        let mut im = InstrumentedModule::bare(module);
+        let mut set = VarSet::new(1);
+        set.insert(v);
+        im.plan.set(FuncId(0), BlockId(0), set);
+        let report = check_anomalies(&im, true).unwrap();
+        // load (NVM read — wait, v is in VM in block 0; the load is a
+        // potential fault-read) then store (deferred flush): WAR.
+        assert_eq!(report.anomalies.len(), 1);
+    }
+
+    #[test]
+    fn restore_set_seeds_region_reads() {
+        // checkpoint restores v, then the region stores v: WAR.
+        let mut mb = ModuleBuilder::new("seed");
+        let v = mb.var(Variable::scalar("v"));
+        let mut f = FunctionBuilder::new("main", 0);
+        f.store_scalar(v, 7);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let module = mb.finish(main);
+        let mut im = InstrumentedModule::bare(module);
+        let id = im.add_spec(CheckpointSpec {
+            save_vars: vec![],
+            restore_vars: vec![v],
+            kind: CheckpointKind::Plain,
+        });
+        im.module.funcs[0].blocks[0]
+            .insts
+            .insert(0, Inst::Checkpoint { id });
+        let report = check_anomalies(&im, true).unwrap();
+        assert_eq!(report.anomalies.len(), 1);
+        assert!(matches!(
+            report.anomalies[0].region,
+            RegionStart::Checkpoint { .. }
+        ));
+    }
+
+    #[test]
+    fn guarded_checkpoint_keeps_skip_path_live() {
+        // load v; guarded checkpoint; store v — on the skip path the read
+        // survives, so the boot region still has the WAR.
+        let mut mb = ModuleBuilder::new("guard");
+        let v = mb.var(Variable::scalar("v"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let x = f.load_scalar(v);
+        f.store_scalar(v, x);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let module = mb.finish(main);
+        let mut im = InstrumentedModule::bare(module);
+        let id = im.add_spec(CheckpointSpec {
+            save_vars: vec![],
+            restore_vars: vec![],
+            kind: CheckpointKind::Guarded { threshold: 0.5 },
+        });
+        im.module.funcs[0].blocks[0]
+            .insts
+            .insert(1, Inst::Checkpoint { id });
+        let report = check_anomalies(&im, true).unwrap();
+        let boot_wars: Vec<_> = report
+            .anomalies
+            .iter()
+            .filter(|a| a.region == RegionStart::Boot)
+            .collect();
+        assert_eq!(boot_wars.len(), 1);
+    }
+
+    #[test]
+    fn loop_carried_war_is_detected() {
+        // loop body: x = load v; store v, x — read and write in the same
+        // iteration is read-then-write; also carried around the back-edge.
+        let mut mb = ModuleBuilder::new("loop");
+        let v = mb.var(Variable::scalar("v"));
+        let n = mb.var(Variable::scalar("n").with_init(vec![4]));
+        let mut f = FunctionBuilder::new("main", 0);
+        let header = f.new_block("header");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        f.br(header);
+        f.switch_to(header);
+        let i = f.load_scalar(n);
+        let c = f.cmp(schematic_ir::CmpOp::SGt, i, 0);
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        let x = f.load_scalar(v);
+        f.store_scalar(v, x);
+        let i2 = f.bin(schematic_ir::BinOp::Sub, i, 1);
+        f.store_scalar(n, i2);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        f_assert_loop(mb.finish(main));
+    }
+
+    fn f_assert_loop(module: Module) {
+        let im = InstrumentedModule::bare(module);
+        let report = check_anomalies(&im, true).unwrap();
+        let vars: Vec<VarId> = report.anomalies.iter().map(|a| a.var).collect();
+        assert!(vars.contains(&VarId(0)), "{:?}", report.anomalies);
+        assert!(vars.contains(&VarId(1)), "{:?}", report.anomalies);
+    }
+
+    #[test]
+    fn callee_write_pairs_with_caller_read() {
+        // main: load v; call g  —  g: store v.
+        let mut mb = ModuleBuilder::new("inter");
+        let v = mb.var(Variable::scalar("v"));
+        let mut g = FunctionBuilder::new("g", 0);
+        g.store_scalar(v, 1);
+        g.ret(None);
+        let gid = mb.func(g.finish());
+        let mut f = FunctionBuilder::new("main", 0);
+        let _ = f.load_scalar(v);
+        f.call_void(gid, vec![]);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let im = InstrumentedModule::bare(mb.finish(main));
+        let report = check_anomalies(&im, true).unwrap();
+        let boot: Vec<_> = report
+            .anomalies
+            .iter()
+            .filter(|a| a.region == RegionStart::Boot)
+            .collect();
+        assert_eq!(boot.len(), 1);
+        assert_eq!(boot[0].var, v);
+        // The write site is the call.
+        assert_eq!(boot[0].write_site.inst, 1);
+    }
+
+    #[test]
+    fn callee_read_pairs_with_caller_write() {
+        // main: call g; store v  —  g: load v.
+        let mut mb = ModuleBuilder::new("inter2");
+        let v = mb.var(Variable::scalar("v"));
+        let mut g = FunctionBuilder::new("g", 0);
+        let _ = g.load_scalar(v);
+        g.ret(None);
+        let gid = mb.func(g.finish());
+        let mut f = FunctionBuilder::new("main", 0);
+        f.call_void(gid, vec![]);
+        f.store_scalar(v, 2);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let im = InstrumentedModule::bare(mb.finish(main));
+        let report = check_anomalies(&im, true).unwrap();
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| a.region == RegionStart::Boot && a.var == v));
+    }
+
+    #[test]
+    fn verdict_mentions_counts() {
+        let im = war_module(false);
+        let report = check_anomalies(&im, true).unwrap();
+        let v = report.verdict();
+        assert!(v.contains("hazardous"), "{v}");
+    }
+}

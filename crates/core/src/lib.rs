@@ -54,6 +54,7 @@
 #![warn(clippy::all)]
 
 pub mod analyze;
+pub mod anomaly;
 pub mod config;
 mod ctx;
 pub mod error;
@@ -65,6 +66,8 @@ mod rcg;
 pub mod summary;
 pub mod transform;
 
+pub use analyze::{check_all, SoundnessReport};
+pub use anomaly::{check_anomalies, Anomaly, AnomalyReport, RegionClass, RegionStart};
 pub use config::SchematicConfig;
 pub use error::{BackEdgeCheckpoint, EdgeDecision, PlacementError};
 pub use pipeline::{compile, compile_with_profile, Compiled};

@@ -736,6 +736,16 @@ pub fn patch_placement(
                 }
             }
             if !acted {
+                // Splitting the violating block cannot help when the
+                // oversized stretch is accumulated upstream by a
+                // checkpoint-free loop that stays *just* under the budget
+                // per se but leaves no headroom for the closing commit
+                // (the loop's worst exit energy flows to wherever the
+                // interval finally closes). Give the fattest such loop a
+                // per-iteration reset.
+                acted = split_feeding_loop(im, table, v.func);
+            }
+            if !acted {
                 break;
             }
             added += 1;
@@ -897,36 +907,19 @@ pub fn patch_placement(
         // alike, and repeated rounds converge like binary splitting on
         // fat, unsplit blocks (where start-of-block insertion would
         // loop forever once a checkpoint already sits at position 0).
-        let pos = {
-            let insts = &im.module.func(v.func).block(v.block).insts;
-            let mut best = (0usize, 0usize); // (gap length, midpoint)
-            let mut prev = 0usize;
-            for (p, inst) in insts.iter().enumerate() {
-                if inst.is_checkpoint() {
-                    let gap = p - prev;
-                    if gap > best.0 {
-                        best = (gap, prev + gap / 2);
-                    }
-                    prev = p + 1;
-                }
+        // A block with no gap at all (e.g. a dedicated conditional-
+        // checkpoint block on a back edge) cannot absorb a split: the
+        // oversized stretch lives in its predecessors, so split those.
+        let mut acted = insert_midgap_checkpoint(im, v.func, v.block);
+        if !acted {
+            let cfg = Cfg::new(im.module.func(v.func));
+            for p in cfg.preds(v.block).to_vec() {
+                acted |= insert_midgap_checkpoint(im, v.func, p);
             }
-            let gap = insts.len() - prev;
-            if gap > best.0 {
-                best = (gap, prev + gap / 2);
-            }
-            best.1
-        };
-        let id = CheckpointId::from_usize(im.checkpoints.len());
-        im.checkpoints.push(CheckpointSpec {
-            save_vars: vars.clone(),
-            restore_vars: vars,
-            kind: schematic_emu::CheckpointKind::Plain,
-        });
-        im.module
-            .func_mut(v.func)
-            .block_mut(v.block)
-            .insts
-            .insert(pos, Inst::Checkpoint { id });
+        }
+        if !acted {
+            break;
+        }
         added += 1;
     }
     let report = verify_placement(im, table, eb);
@@ -937,6 +930,114 @@ pub fn patch_placement(
             detail: report.violations[0].detail.clone(),
         })
     }
+}
+
+/// Inserts a checkpoint into the body of the checkpoint-free loop with
+/// the largest worst-case accumulation (per-iteration body energy ×
+/// trip bound) anywhere in `fid`. Returns `false` when every loop
+/// already resets (or the chosen body block cannot be split).
+///
+/// This is the stuck-escalation of [`patch_placement`]: a stretch that
+/// closes over budget can be fed by a loop whose own accumulation sits
+/// *below* `EB` — never flagged as a loop violation, yet leaving no
+/// headroom for the segments and commit that close the interval
+/// downstream. The only placement that shrinks such a stretch is a
+/// reset inside the feeding loop itself.
+fn split_feeding_loop(im: &mut InstrumentedModule, table: &CostTable, fid: FuncId) -> bool {
+    let func = im.module.func(fid);
+    let cfg = Cfg::new(func);
+    let dom = Dominators::new(&cfg);
+    let forest = LoopForest::new(func, &cfg, &dom);
+    let mut best: Option<(Energy, BlockId)> = None;
+    for lp in &forest.loops {
+        let resets = lp
+            .body
+            .iter()
+            .any(|&b| func.block(b).insts.iter().any(Inst::is_checkpoint));
+        if resets {
+            continue;
+        }
+        let per_iter = lp
+            .body
+            .iter()
+            .map(|&b| {
+                let alloc = im.plan.get(fid, b);
+                let mem_of = |v: VarId| {
+                    if alloc.contains(v) && !im.module.var(v).pinned_nvm {
+                        MemClass::Vm
+                    } else {
+                        MemClass::Nvm
+                    }
+                };
+                func.block(b)
+                    .insts
+                    .iter()
+                    .map(|i| table.inst_cost(i, mem_of).energy)
+                    .fold(Energy::ZERO, |a, e| a + e)
+                    + table.term_cost(&func.block(b).term).energy
+            })
+            .fold(Energy::ZERO, |a, e| a + e);
+        let iters = lp.max_iters.unwrap_or(u64::MAX).max(1);
+        let acc = per_iter.saturating_mul(iters);
+        // Split the body block with the most instructions — the widest
+        // gap, and never a bare latch or dedicated-checkpoint block.
+        let target = lp
+            .body
+            .iter()
+            .copied()
+            .max_by_key(|&b| func.block(b).insts.len())
+            .unwrap_or(lp.header);
+        if best.is_none_or(|(e, _)| acc > e) {
+            best = Some((acc, target));
+        }
+    }
+    match best {
+        Some((_, target)) => insert_midgap_checkpoint(im, fid, target),
+        None => false,
+    }
+}
+
+/// Inserts a plain checkpoint at the midpoint of the longest
+/// checkpoint-free instruction gap of `block`, saving/restoring the
+/// block's planned VM set (plus registers). Returns `false` when the
+/// block has no instruction to split around (nothing but checkpoints,
+/// or empty), in which case nothing is inserted.
+fn insert_midgap_checkpoint(im: &mut InstrumentedModule, fid: FuncId, block: BlockId) -> bool {
+    let (gap, pos) = {
+        let insts = &im.module.func(fid).block(block).insts;
+        let mut best = (0usize, 0usize); // (gap length, midpoint)
+        let mut prev = 0usize;
+        for (p, inst) in insts.iter().enumerate() {
+            if inst.is_checkpoint() {
+                let gap = p - prev;
+                if gap > best.0 {
+                    best = (gap, prev + gap / 2);
+                }
+                prev = p + 1;
+            }
+        }
+        let gap = insts.len() - prev;
+        if gap > best.0 {
+            best = (gap, prev + gap / 2);
+        }
+        best
+    };
+    if gap == 0 {
+        return false;
+    }
+    let vars: Vec<VarId> = im.plan.get(fid, block).iter().collect();
+    let id = CheckpointId::from_usize(im.checkpoints.len());
+    im.checkpoints.push(CheckpointSpec {
+        save_vars: vars.clone(),
+        restore_vars: vars,
+        kind: schematic_emu::CheckpointKind::Plain,
+    });
+    im.module
+        .func_mut(fid)
+        .block_mut(block)
+        .insts
+        .insert(pos, Inst::Checkpoint { id });
+    true
 }
 
 /// Removes `var` from the function's allocation plan, all checkpoint

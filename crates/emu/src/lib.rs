@@ -44,6 +44,7 @@ pub mod machine;
 pub mod memory;
 pub mod metrics;
 pub mod power;
+pub mod shadow;
 
 pub use decoded::DecodedModule;
 pub use error::{EmuError, TrapKind};
@@ -54,3 +55,4 @@ pub use machine::{run, Machine, RunConfig, RunOutcome, RunStatus};
 pub use memory::Memory;
 pub use metrics::Metrics;
 pub use power::{PowerModel, PowerState};
+pub use shadow::{EpochStart, ObservedWar, ShadowReport};

@@ -16,6 +16,7 @@ use crate::instrumented::{CheckpointKind, CheckpointSpec, FailurePolicy, Instrum
 use crate::memory::Memory;
 use crate::metrics::Metrics;
 use crate::power::{PowerModel, PowerState};
+use crate::shadow::{EpochStart, ShadowRecorder, ShadowReport};
 use schematic_energy::{Cost, CostTable, MemClass};
 use schematic_ir::{
     AccessKind, BinOp, BlockId, CheckpointId, FuncId, Operand, Reg, UnOp, VarId, VarSet,
@@ -49,6 +50,13 @@ pub struct RunConfig {
     pub record_trace: bool,
     /// Cap on recorded trace entries.
     pub max_trace: usize,
+    /// Record NVM first-access order per inter-checkpoint epoch and
+    /// report observed WAR hazards ([`ShadowReport`]), cross-validating
+    /// the static analysis in `schematic-core`. Also enabled by setting
+    /// the `SCHEMATIC_SHADOW_WAR=1` environment variable. Disables the
+    /// fused block dispatch for the run (metrics stay bit-identical,
+    /// the run is just slower), so it is off by default.
+    pub shadow_war: bool,
 }
 
 impl Default for RunConfig {
@@ -63,6 +71,7 @@ impl Default for RunConfig {
             retentive_sleep: false,
             record_trace: false,
             max_trace: 4_000_000,
+            shadow_war: false,
         }
     }
 }
@@ -110,6 +119,9 @@ pub struct RunOutcome {
     pub metrics: Metrics,
     /// Executed-block trace (empty unless requested).
     pub trace: Vec<(FuncId, BlockId)>,
+    /// Observed NVM access order per epoch (only under
+    /// [`RunConfig::shadow_war`]).
+    pub shadow: Option<ShadowReport>,
 }
 
 impl RunOutcome {
@@ -143,6 +155,10 @@ struct Image {
     frames: Vec<Frame>,
     restore_vars: Vec<VarId>,
     restore_words: usize,
+    /// Which checkpoint committed this image (`None` = the implicit
+    /// pre-deployment/boot image) — labels the epoch a failure rolls
+    /// back into for the shadow recorder.
+    cp_id: Option<CheckpointId>,
 }
 
 enum Step {
@@ -231,6 +247,9 @@ pub struct Machine<'a> {
     consecutive_no_progress: u32,
     pending_failure: bool,
     trace: Vec<(FuncId, BlockId)>,
+    /// Cross-validation recorder (see [`crate::shadow`]); `None` on the
+    /// default fast path.
+    shadow: Option<ShadowRecorder>,
 }
 
 impl<'a> Machine<'a> {
@@ -261,6 +280,9 @@ impl<'a> Machine<'a> {
     ) -> Self {
         let mem = Memory::new(&im.module, config.svm_bytes);
         let power = PowerState::new(config.power);
+        let shadow_on =
+            config.shadow_war || std::env::var_os("SCHEMATIC_SHADOW_WAR").is_some_and(|v| v == "1");
+        let shadow = shadow_on.then(|| ShadowRecorder::new(im.module.vars.len()));
         Machine {
             im,
             table,
@@ -282,6 +304,7 @@ impl<'a> Machine<'a> {
             consecutive_no_progress: 0,
             pending_failure: false,
             trace: Vec::new(),
+            shadow,
         }
     }
 
@@ -320,6 +343,7 @@ impl<'a> Machine<'a> {
             result,
             metrics: self.metrics,
             trace: self.trace,
+            shadow: self.shadow.map(ShadowRecorder::into_report),
         }
     }
 
@@ -400,6 +424,7 @@ impl<'a> Machine<'a> {
                     .iter()
                     .map(|v| self.im.module.var(*v).words)
                     .sum(),
+                cp_id: None,
             });
         }
         Ok(())
@@ -456,9 +481,18 @@ impl<'a> Machine<'a> {
                         .iter()
                         .map(|v| self.im.module.var(*v).words)
                         .sum(),
+                    cp_id: None,
                 }
             }
         };
+        // Rolling back restarts the epoch: the aborted attempt's reads
+        // can no longer pair with the retry's writes.
+        if let Some(sh) = self.shadow.as_mut() {
+            sh.begin_epoch(match image.cp_id {
+                Some(id) => EpochStart::Checkpoint(id),
+                None => EpochStart::Boot,
+            });
+        }
         self.frames.clone_from(&image.frames);
         self.sync_flat();
         let cost = self.table.checkpoint_resume_cost(image.restore_words);
@@ -516,6 +550,9 @@ impl<'a> Machine<'a> {
             let cost = self.table.save_words_cost(words);
             self.charge(cost, ChargeCat::Save);
             self.metrics.implicit_saves += 1;
+            if let Some(sh) = self.shadow.as_mut() {
+                sh.record_write(v);
+            }
         }
         self.flush_scratch = scratch;
     }
@@ -523,13 +560,21 @@ impl<'a> Machine<'a> {
     /// Loads `var` into VM, evicting clean copies of variables outside
     /// the current block's plan when the capacity would overflow.
     fn load_with_evict(&mut self, var: VarId) -> Result<usize, EmuError> {
-        match self.mem.load_to_vm(var) {
+        let words = match self.mem.load_to_vm(var) {
             Err(EmuError::VmOverflow { .. }) => {
                 self.evict_clean_outside_plan(var);
                 self.mem.load_to_vm(var)
             }
             other => other,
+        }?;
+        // `words > 0` means real NVM traffic: an already-valid copy is
+        // served from VM and touches no NVM home.
+        if words > 0 {
+            if let Some(sh) = self.shadow.as_mut() {
+                sh.record_read(var);
+            }
         }
+        Ok(words)
     }
 
     fn evict_clean_outside_plan(&mut self, keep: VarId) {
@@ -609,11 +654,18 @@ impl<'a> Machine<'a> {
             frames: self.frames.clone(),
             restore_vars: spec.restore_vars.clone(),
             restore_words: spec.restore_words(&self.im.module),
+            cp_id: Some(id),
         });
         self.metrics.checkpoints_committed += 1;
         self.committed_since_failure = true;
         self.furthest = 0;
         self.epoch_insts = 0;
+        // The commit's own flushes land atomically with the image (a
+        // torn commit took effect above as no-op), so they belong to no
+        // epoch; the new epoch opens here.
+        if let Some(sh) = self.shadow.as_mut() {
+            sh.begin_epoch(EpochStart::Checkpoint(id));
+        }
 
         match self.im.policy {
             FailurePolicy::WaitRecharge => {
@@ -713,6 +765,9 @@ impl<'a> Machine<'a> {
             }
             MemClass::Nvm => {
                 self.metrics.nvm_reads += 1;
+                if let Some(sh) = self.shadow.as_mut() {
+                    sh.record_read(var);
+                }
                 self.charge_exec_mem(cpu, self.costs.nvm_read, MemClass::Nvm);
                 self.mem.nvm_read(var, index).map_err(|k| self.trap(k))?
             }
@@ -757,6 +812,9 @@ impl<'a> Machine<'a> {
                     self.metrics.coherence_violations += 1;
                 }
                 self.metrics.nvm_writes += 1;
+                if let Some(sh) = self.shadow.as_mut() {
+                    sh.record_write(var);
+                }
                 self.charge_exec_mem(cpu, self.costs.nvm_write, MemClass::Nvm);
                 self.mem
                     .nvm_write(var, index, value)
@@ -866,7 +924,9 @@ impl<'a> Machine<'a> {
         // proof holds for any dynamic memory state; the strict `<` on
         // the re-execution side keeps the terminator's charge in the
         // same category as the instructions'.
-        if ip == 0 && db.fusable {
+        // Shadow mode steps every memory access individually so the
+        // recorder sees the true NVM access order.
+        if ip == 0 && db.fusable && self.shadow.is_none() {
             let ub = db.fused.ub_cost;
             let n = db.insts.len() as u64;
             if self.power.headroom(ub.cycles)
@@ -1296,6 +1356,9 @@ impl<'a> Machine<'a> {
                     let words = self.mem.flush_to_nvm(var);
                     let cost = self.table.save_words_cost(words);
                     self.charge(cost, ChargeCat::Save);
+                    if let Some(sh) = self.shadow.as_mut() {
+                        sh.record_write(var);
+                    }
                 }
             }
             DInst::RestoreVar { var } => {
@@ -1576,6 +1639,70 @@ mod tests {
             out.completed() && out.result.unwrap() > 36
         });
         assert!(overcounted, "no TBPF reproduced the WAR anomaly");
+
+        // The shadow recorder observes the same hazard — `sum` is read
+        // then written within one inter-checkpoint epoch — and its
+        // presence leaves status, result and metrics bit-identical.
+        let plain = run(&im, RunConfig::periodic(400)).unwrap();
+        let shadowed = run(
+            &im,
+            RunConfig {
+                shadow_war: true,
+                ..RunConfig::periodic(400)
+            },
+        )
+        .unwrap();
+        assert_eq!(shadowed.status, plain.status);
+        assert_eq!(shadowed.result, plain.result);
+        assert_eq!(shadowed.metrics, plain.metrics);
+        let report = shadowed.shadow.expect("shadow report requested");
+        let sum = VarId(1);
+        assert!(
+            report.war_vars().contains(&sum),
+            "shadow missed the WAR on sum: {report:?}"
+        );
+    }
+
+    #[test]
+    fn shadow_recorder_sees_no_war_when_checkpoint_breaks_it() {
+        // With the checkpoint placed between `sum`'s read and write (as
+        // in `checkpoints_enable_progress_under_failures`), every
+        // read/write pair spans an epoch boundary: no WAR is observed.
+        let mut m = sum_module();
+        let body = BlockId(2);
+        m.funcs[0].blocks[body.index()].insts.insert(
+            3,
+            Inst::Checkpoint {
+                id: CheckpointId(0),
+            },
+        );
+        let plan = AllocationPlan::all_nvm(&m);
+        let im = InstrumentedModule {
+            technique: "test".into(),
+            module: m,
+            checkpoints: vec![CheckpointSpec::registers_only()],
+            plan,
+            policy: FailurePolicy::Rollback,
+            boot_restore: vec![],
+        };
+        for tbpf in [400, 700, 1_300] {
+            let out = run(
+                &im,
+                RunConfig {
+                    shadow_war: true,
+                    ..RunConfig::periodic(tbpf)
+                },
+            )
+            .unwrap();
+            assert!(out.completed());
+            let report = out.shadow.expect("shadow report requested");
+            assert!(
+                report.wars.is_empty(),
+                "tbpf {tbpf}: unexpected observed WARs: {report:?}"
+            );
+            assert!(report.epochs > 1);
+            assert!(report.nvm_reads > 0 && report.nvm_writes > 0);
+        }
     }
 
     #[test]

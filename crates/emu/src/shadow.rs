@@ -1,0 +1,179 @@
+//! Opt-in shadow recorder: dynamic cross-validation of the static
+//! WAR-hazard analysis in `schematic-core`.
+//!
+//! When enabled (see [`crate::RunConfig::shadow_war`] or the
+//! `SCHEMATIC_SHADOW_WAR=1` environment variable), the machine records the
+//! actual first-access order of every variable's NVM home per
+//! inter-checkpoint *epoch* — the dynamic counterpart of the static
+//! analysis' region. An epoch begins at boot, at every checkpoint commit,
+//! and again whenever a power failure rolls execution back to a committed
+//! checkpoint (re-execution restarts the epoch: the first attempt's reads
+//! can no longer pair with the retry's writes).
+//!
+//! An **observed WAR** is an NVM-level read of a variable followed, in the
+//! same epoch, by an NVM-level write to it. The recorded events are
+//! exactly the emulator's real NVM traffic:
+//!
+//! * reads — NVM-class `load`s, and every fault/restore load into VM
+//!   (boot staging, failure restore, checkpoint wake-up or migration,
+//!   implicit restores, `restorevar`);
+//! * writes — NVM-class `store`s, residency-reconciliation flushes of
+//!   dirty VM copies, and `savevar` flushes.
+//!
+//! Checkpoint *commit* flushes are not writes here: they land atomically
+//! with the new resume image (a torn commit takes no effect at all), so
+//! re-execution can never start before them.
+//!
+//! The contract checked by callers (e.g. the `soundcheck` experiment and
+//! the randomized cross-validation tests): every observed WAR's variable
+//! must be in the static analysis' predicted WAR set — the static pass
+//! has no false negatives. The recorder is off by default and the fused
+//! block dispatch is disabled while it runs, so enabled runs are slower
+//! but metrics stay bit-identical to unshadowed runs.
+
+use schematic_ir::{CheckpointId, VarId};
+
+/// Label of one dynamic inter-checkpoint epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EpochStart {
+    /// From first boot (or a failure before any commit) to the first
+    /// checkpoint commit.
+    Boot,
+    /// Opened by a commit of this checkpoint (or a failure rolling back
+    /// to it).
+    Checkpoint(CheckpointId),
+}
+
+/// One dynamically observed WAR: `var`'s NVM home was read and later
+/// written within the epoch labeled `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedWar {
+    /// The epoch the read/write pair occurred in.
+    pub epoch: EpochStart,
+    /// The variable whose NVM home was read then written.
+    pub var: VarId,
+}
+
+/// Everything the shadow recorder observed during one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShadowReport {
+    /// Observed WARs, deduplicated per variable (first epoch wins).
+    pub wars: Vec<ObservedWar>,
+    /// Number of epochs entered (boot + commits + failure rollbacks).
+    pub epochs: u64,
+    /// NVM-level reads recorded.
+    pub nvm_reads: u64,
+    /// NVM-level writes recorded.
+    pub nvm_writes: u64,
+}
+
+impl ShadowReport {
+    /// The distinct variables with at least one observed WAR.
+    pub fn war_vars(&self) -> Vec<VarId> {
+        self.wars.iter().map(|w| w.var).collect()
+    }
+}
+
+/// Per-run recording state. Lives inside the machine only when shadow
+/// mode is on; every hook is behind an `Option` check so the default
+/// hot path pays one branch on the cold (fault/flush) paths only.
+#[derive(Debug)]
+pub(crate) struct ShadowRecorder {
+    epoch: EpochStart,
+    /// Per-var: read from NVM in the current epoch.
+    read_in_epoch: Vec<bool>,
+    /// Per-var: already reported (dedup).
+    warred: Vec<bool>,
+    report: ShadowReport,
+}
+
+impl ShadowRecorder {
+    pub(crate) fn new(n_vars: usize) -> Self {
+        ShadowRecorder {
+            epoch: EpochStart::Boot,
+            read_in_epoch: vec![false; n_vars],
+            warred: vec![false; n_vars],
+            report: ShadowReport {
+                epochs: 1, // boot epoch
+                ..ShadowReport::default()
+            },
+        }
+    }
+
+    /// Starts a new epoch; prior reads can no longer pair with writes.
+    pub(crate) fn begin_epoch(&mut self, epoch: EpochStart) {
+        self.epoch = epoch;
+        self.read_in_epoch.fill(false);
+        self.report.epochs += 1;
+    }
+
+    pub(crate) fn record_read(&mut self, var: VarId) {
+        self.report.nvm_reads += 1;
+        self.read_in_epoch[var.index()] = true;
+    }
+
+    pub(crate) fn record_write(&mut self, var: VarId) {
+        self.report.nvm_writes += 1;
+        if self.read_in_epoch[var.index()] && !self.warred[var.index()] {
+            self.warred[var.index()] = true;
+            self.report.wars.push(ObservedWar {
+                epoch: self.epoch,
+                var,
+            });
+        }
+    }
+
+    pub(crate) fn into_report(self) -> ShadowReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_then_write_in_one_epoch_is_a_war() {
+        let mut r = ShadowRecorder::new(2);
+        r.record_read(VarId(0));
+        r.record_write(VarId(0));
+        let rep = r.into_report();
+        assert_eq!(
+            rep.wars,
+            vec![ObservedWar {
+                epoch: EpochStart::Boot,
+                var: VarId(0)
+            }]
+        );
+        assert_eq!(rep.nvm_reads, 1);
+        assert_eq!(rep.nvm_writes, 1);
+    }
+
+    #[test]
+    fn write_before_read_is_not_a_war() {
+        let mut r = ShadowRecorder::new(1);
+        r.record_write(VarId(0));
+        r.record_read(VarId(0));
+        assert!(r.into_report().wars.is_empty());
+    }
+
+    #[test]
+    fn epoch_boundary_clears_reads() {
+        let mut r = ShadowRecorder::new(1);
+        r.record_read(VarId(0));
+        r.begin_epoch(EpochStart::Checkpoint(CheckpointId(0)));
+        r.record_write(VarId(0));
+        let rep = r.into_report();
+        assert!(rep.wars.is_empty());
+        assert_eq!(rep.epochs, 2);
+    }
+
+    #[test]
+    fn wars_dedupe_per_var() {
+        let mut r = ShadowRecorder::new(1);
+        r.record_read(VarId(0));
+        r.record_write(VarId(0));
+        r.record_write(VarId(0));
+        assert_eq!(r.into_report().wars.len(), 1);
+    }
+}

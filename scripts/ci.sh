@@ -13,6 +13,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== soundcheck --quick (release) =="
+# Static WAR-hazard sweep of Schematic + Ratchet over all 8 benchmarks;
+# exits nonzero if any inter-checkpoint region classifies as hazardous.
+cargo run --release --offline -p schematic-bench --bin soundcheck -- --quick
+
 echo "== perfsmoke --quick (release) =="
 # Surfaces hot-path throughput in the CI log without rewriting
 # BENCH_perf.json (quick windows jitter too much to commit). Set
