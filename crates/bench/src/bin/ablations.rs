@@ -5,6 +5,9 @@
 //! * **ratio** — gain/size candidate ordering vs naive gain ordering;
 //! * **conditional back-edge checkpointing** is exercised implicitly by
 //!   every kernel (Algorithm 1); its effect shows in the save column.
+//!
+//! Thin wrapper: computes this report's slice of the experiment grid
+//! into a cell store (`schematic_bench::grid`), then renders it.
 
 fn main() {
     print!("{}", schematic_bench::experiments::ablations_report());

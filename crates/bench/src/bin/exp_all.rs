@@ -6,9 +6,13 @@
 //! cargo run --release -p schematic-bench --bin exp_all
 //! ```
 //!
-//! The reports are generated in-process (no per-binary `cargo run`
-//! spawns), and the independent experiment cells inside each report fan
-//! out over worker threads — set `SCHEMATIC_JOBS` to pin the count.
+//! The full experiment grid is computed **once** into a shared cell
+//! store (`schematic_bench::grid`) — cells shared between reports
+//! (Table III's runs feed Figures 6 and 8; Table I/II share the bare
+//! profiles) are not recomputed — and every report is then rendered
+//! from that store. Independent cells fan out over worker threads; set
+//! `SCHEMATIC_JOBS` to pin the count. For multi-process or multi-host
+//! sharding of the same grid, see the `gridrun` binary.
 
 fn main() {
     print!("{}", schematic_bench::experiments::exp_all_report());

@@ -1,6 +1,9 @@
 //! Figure 6 — overall energy consumption, split into computation /
 //! save / restore / re-execution, for every benchmark and technique at
 //! TBPF = 10k cycles (§IV-D).
+//!
+//! Thin wrapper: computes this report's slice of the experiment grid
+//! into a cell store (`schematic_bench::grid`), then renders it.
 
 fn main() {
     print!("{}", schematic_bench::experiments::fig6_report());

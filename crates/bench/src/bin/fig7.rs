@@ -2,6 +2,9 @@
 //! SCHEMATIC vs the All-NVM ablation (same placement machinery, zero VM),
 //! computation energy split into CPU (no memory accesses), VM accesses
 //! and NVM accesses, plus the save/restore overheads.
+//!
+//! Thin wrapper: computes this report's slice of the experiment grid
+//! into a cell store (`schematic_bench::grid`), then renders it.
 
 fn main() {
     print!("{}", schematic_bench::experiments::fig7_report());

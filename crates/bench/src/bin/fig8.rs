@@ -5,6 +5,9 @@
 //! power failures. The intermittency-management overhead (save +
 //! restore + re-execution) should shrink as the budget grows — fastest
 //! for the techniques that adapt their placement (SCHEMATIC, ROCKCLIMB).
+//!
+//! Thin wrapper: computes this report's slice of the experiment grid
+//! into a cell store (`schematic_bench::grid`), then renders it.
 
 fn main() {
     print!("{}", schematic_bench::experiments::fig8_report());

@@ -1,0 +1,258 @@
+//! `gridrun` — the sharded experiment-grid pipeline from the command
+//! line.
+//!
+//! ```text
+//! gridrun                       # compute the full grid in-process, render every report
+//! gridrun --quick               # CI-sized grid (soundcheck static-only, Schematic+Ratchet)
+//! gridrun --list                # print the job list, one `kind/technique/benchmark/tbpf` per line
+//! gridrun --shard i/N -o F      # compute shard i of N, write the cells as JSONL to F ('-' = stdout)
+//! gridrun --merge F...          # load shard artifacts, merge, verify coverage, render every report
+//! gridrun --spawn N             # drive N `--shard` child processes, merge their artifacts,
+//!                               # assert the render is byte-identical to the in-process run
+//! ```
+//!
+//! Shards partition the grid deterministically (every N-th job), so any
+//! split computed anywhere — other processes, other hosts — merges back
+//! into the same store and renders byte-identical reports. `--merge`
+//! refuses stores with missing cells (it lists them) or conflicting
+//! duplicates; overlapping shards are fine as long as they agree.
+//!
+//! Exit codes: 0 on success, 2 on usage/artifact/coverage errors,
+//! 3 when `--spawn`'s parity assertion fails.
+
+use schematic_bench::experiments::render_all;
+use schematic_bench::grid::{CellStore, GridMode, GridSpec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    mode: GridMode,
+    command: Command,
+}
+
+enum Command {
+    /// Compute everything in-process and render.
+    Direct,
+    /// Print the job list.
+    List,
+    /// Compute one shard into an artifact file.
+    Shard {
+        index: usize,
+        count: usize,
+        out: String,
+    },
+    /// Merge artifacts and render.
+    Merge { files: Vec<String> },
+    /// Drive child processes over all shards, merge, verify parity.
+    Spawn { count: usize },
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gridrun [--quick] [--list | --shard i/N -o FILE | --merge FILE... | --spawn N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_shard_spec(spec: &str) -> Option<(usize, usize)> {
+    let (i, n) = spec.split_once('/')?;
+    let (i, n) = (i.parse().ok()?, n.parse().ok()?);
+    if n == 0 || i >= n {
+        return None;
+    }
+    Some((i, n))
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = GridMode::Full;
+    let mut command = None;
+    let mut it = args.into_iter().peekable();
+    let set = |c: Command, command: &mut Option<Command>| {
+        if command.is_some() {
+            usage();
+        }
+        *command = Some(c);
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => mode = GridMode::Quick,
+            "--list" => set(Command::List, &mut command),
+            "--shard" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let (index, count) = parse_shard_spec(&spec).unwrap_or_else(|| usage());
+                let out = match (it.next().as_deref(), it.next()) {
+                    (Some("-o"), Some(path)) => path,
+                    _ => usage(),
+                };
+                set(Command::Shard { index, count, out }, &mut command);
+            }
+            "--merge" => {
+                let files: Vec<String> = it.by_ref().collect();
+                if files.is_empty() {
+                    usage();
+                }
+                set(Command::Merge { files }, &mut command);
+            }
+            "--spawn" => {
+                let count: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+                set(Command::Spawn { count }, &mut command);
+            }
+            _ => usage(),
+        }
+    }
+    Options {
+        mode,
+        command: command.unwrap_or(Command::Direct),
+    }
+}
+
+/// Loads and merges shard artifacts, then verifies they cover `spec`.
+fn merge_files(spec: &GridSpec, files: &[PathBuf]) -> Result<CellStore, String> {
+    let mut store = CellStore::new();
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let shard = CellStore::from_jsonl(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+        store
+            .merge_from(shard)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+    }
+    let missing = store.missing(spec.jobs());
+    if !missing.is_empty() {
+        let mut msg = format!(
+            "merged store covers {} of {} grid cells; missing:",
+            spec.len() - missing.len(),
+            spec.len()
+        );
+        for job in missing.iter().take(10) {
+            msg.push_str(&format!("\n  {job}"));
+        }
+        if missing.len() > 10 {
+            msg.push_str(&format!("\n  … and {} more", missing.len() - 10));
+        }
+        return Err(msg);
+    }
+    Ok(store)
+}
+
+fn write_artifact(path: &str, text: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(Path::new(path), text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// `--spawn N`: compute every shard in a child `gridrun --shard`
+/// process, merge the artifacts, and demand byte-parity with the
+/// in-process pipeline.
+fn spawn_children(spec: &GridSpec, mode: GridMode, count: usize) -> Result<String, ExitCode> {
+    let exe = std::env::current_exe().expect("own executable path");
+    let dir = std::env::temp_dir().join(format!("gridrun-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create shard scratch dir");
+    let files: Vec<PathBuf> = (0..count)
+        .map(|i| dir.join(format!("shard_{i}.jsonl")))
+        .collect();
+
+    let mut children = Vec::new();
+    for (i, file) in files.iter().enumerate() {
+        let mut cmd = std::process::Command::new(&exe);
+        if mode == GridMode::Quick {
+            cmd.arg("--quick");
+        }
+        cmd.arg("--shard")
+            .arg(format!("{i}/{count}"))
+            .arg("-o")
+            .arg(file);
+        children.push((i, cmd.spawn().expect("spawn shard child")));
+    }
+    for (i, child) in &mut children {
+        let status = child.wait().expect("wait for shard child");
+        if !status.success() {
+            eprintln!("gridrun: shard {i}/{count} child failed: {status}");
+            return Err(ExitCode::from(2));
+        }
+    }
+
+    let merged = merge_files(spec, &files).map_err(|e| {
+        eprintln!("gridrun: {e}");
+        ExitCode::from(2)
+    })?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rendered = render_all(&merged, mode);
+    let direct = render_all(&CellStore::compute(spec.jobs()), mode);
+    if rendered != direct {
+        eprintln!(
+            "gridrun: PARITY FAILURE — merged {count}-shard render differs from the \
+             in-process render"
+        );
+        return Err(ExitCode::from(3));
+    }
+    eprintln!(
+        "gridrun: {count} shards · {} cells · merged render byte-identical to in-process",
+        merged.len()
+    );
+    Ok(rendered)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let spec = GridSpec::full_grid(opts.mode);
+    match opts.command {
+        Command::Direct => {
+            let store = CellStore::compute(spec.jobs());
+            print!("{}", render_all(&store, opts.mode));
+            ExitCode::SUCCESS
+        }
+        Command::List => {
+            for job in spec.jobs() {
+                println!("{job}");
+            }
+            ExitCode::SUCCESS
+        }
+        Command::Shard { index, count, out } => {
+            let jobs = spec.shard(index, count);
+            let store = CellStore::compute(&jobs);
+            match write_artifact(&out, &store.to_jsonl()) {
+                Ok(()) => {
+                    eprintln!(
+                        "gridrun: shard {index}/{count} computed {} of {} cells",
+                        jobs.len(),
+                        spec.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("gridrun: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Command::Merge { files } => {
+            let paths: Vec<PathBuf> = files.iter().map(PathBuf::from).collect();
+            match merge_files(&spec, &paths) {
+                Ok(store) => {
+                    print!("{}", render_all(&store, opts.mode));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("gridrun: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Command::Spawn { count } => match spawn_children(&spec, opts.mode, count) {
+            Ok(rendered) => {
+                print!("{rendered}");
+                ExitCode::SUCCESS
+            }
+            Err(code) => code,
+        },
+    }
+}

@@ -2,12 +2,14 @@
 //! and records before/after numbers in `BENCH_perf.json` at the repo
 //! root.
 //!
-//! The "before" constants were measured on the tree just before the
-//! predecoded superblock engine landed (the state after the PR-1 hot-path
-//! overhaul: per-opcode cost cache, memoized plan lookups, cached block
-//! pointer); "after" is measured live by this binary. Criterion was
-//! dropped with the offline build, so this is the lightweight
-//! replacement:
+//! The emulator/analysis "before" constants were measured on the tree
+//! just before the predecoded superblock engine landed (the state after
+//! the PR-1 hot-path overhaul: per-opcode cost cache, memoized plan
+//! lookups, cached block pointer); the `exp_all` "before" is the tree
+//! just before the shared experiment-grid cell store landed (reports
+//! recomputed shared cells independently). "after" is measured live by
+//! this binary. Criterion was dropped with the offline build, so this
+//! is the lightweight replacement:
 //!
 //! ```text
 //! cargo run --release -p schematic-bench --bin perfsmoke
@@ -23,6 +25,7 @@
 //!   reach the 1.5× floor over the recorded baselines (off by default —
 //!   absolute throughput is host-specific).
 
+use schematic_bench::grid::{GridMode, GridSpec};
 use schematic_bench::{eb_for_tbpf, ENERGY_TBPF, SEED, SVM_BYTES};
 use schematic_core::SchematicConfig;
 use schematic_emu::{DecodedModule, InstrumentedModule, Machine, RunConfig};
@@ -33,7 +36,10 @@ use std::time::Instant;
 const BEFORE_CRC_IPS: f64 = 94_972_875.0;
 const BEFORE_FFT_IPS: f64 = 98_476_670.0;
 const BEFORE_ANALYSIS_S: f64 = 0.033;
-const BEFORE_EXP_ALL_S: f64 = 0.845;
+/// `exp_all` wall time just before the shared cell store landed (each
+/// report recomputed the cells it shared with other reports; soundcheck
+/// section included — best of 3 on the HEAD tree of that PR).
+const BEFORE_EXP_ALL_S: f64 = 0.913;
 
 /// Required emulator speedup when `SCHEMATIC_PERF_ASSERT=1`.
 const SPEEDUP_FLOOR: f64 = 1.5;
@@ -122,21 +128,29 @@ fn main() {
     let exp_all_s = start.elapsed().as_secs_f64();
     assert!(report.contains("Table I"), "exp_all produced a real report");
 
+    // Cell-store dedup: cells the reports would compute if each report
+    // evaluated its own grid slice, vs the unique cells the shared
+    // store actually computes.
+    let per_report = GridSpec::naive_job_count(GridMode::Full);
+    let unique = GridSpec::full_grid(GridMode::Full).len();
+
     let json = format!(
         r#"{{
-  "description": "SCHEMATIC repro hot-path performance: pre- vs post-superblock (release build, same host). 'after' shares one predecoded program across runs; 'cold_decode' re-lowers per run via Machine::new. Regenerate with `cargo run --release -p schematic-bench --bin perfsmoke`.",
+  "description": "SCHEMATIC repro hot-path performance (release build, same host). Emulator/analysis 'before' is pre-superblock; exp_all 'before' is pre-cell-store (reports recomputed shared cells). 'after' shares one predecoded program across runs; 'cold_decode' re-lowers per run via Machine::new. Regenerate with `cargo run --release -p schematic-bench --bin perfsmoke`.",
   "emulator_insts_per_sec": {{
     "crc": {{"before": {BEFORE_CRC_IPS:.0}, "after": {crc_ips:.0}, "cold_decode": {crc_cold_ips:.0}, "speedup": {:.2}}},
     "fft": {{"before": {BEFORE_FFT_IPS:.0}, "after": {fft_ips:.0}, "cold_decode": {fft_cold_ips:.0}, "speedup": {:.2}}}
   }},
   "analysis_seconds_8_benchmarks": {{"before": {BEFORE_ANALYSIS_S}, "after": {analysis_s:.3}, "speedup": {:.1}}},
-  "exp_all_wall_seconds": {{"before": {BEFORE_EXP_ALL_S}, "after": {exp_all_s:.3}, "speedup": {:.1}}}
+  "exp_all_wall_seconds": {{"before": {BEFORE_EXP_ALL_S}, "after": {exp_all_s:.3}, "speedup": {:.1}}},
+  "grid_cells_full_mode": {{"per_report_total": {per_report}, "unique_in_store": {unique}, "dedup_saved": {}}}
 }}
 "#,
         crc_ips / BEFORE_CRC_IPS,
         fft_ips / BEFORE_FFT_IPS,
         BEFORE_ANALYSIS_S / analysis_s,
         BEFORE_EXP_ALL_S / exp_all_s,
+        per_report - unique,
     );
 
     if quick {

@@ -14,6 +14,10 @@
 //!
 //! Exits nonzero when any region is `hazardous` under Schematic or
 //! Ratchet, or when the shadow recorder observes an unpredicted WAR.
+//!
+//! Thin wrapper: computes the soundcheck slice of the experiment grid
+//! (static `sound` cells, plus `shadow` cells in full mode) into a cell
+//! store (`schematic_bench::grid`), then renders it.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");

@@ -4,6 +4,9 @@
 //! MSP430FR5969's 2 KB VM? All-VM techniques (MEMENTOS, ALFRED) need the
 //! whole data segment in VM; all-NVM techniques (RATCHET, ROCKCLIMB)
 //! need none; SCHEMATIC sizes its allocation to the VM by construction.
+//!
+//! Thin wrapper: computes this report's slice of the experiment grid
+//! into a cell store (`schematic_bench::grid`), then renders it.
 
 fn main() {
     print!("{}", schematic_bench::experiments::table1_report());

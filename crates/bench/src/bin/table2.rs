@@ -4,6 +4,9 @@
 //! Execution time is measured in clock cycles under continuous power
 //! with all data in VM, exactly as the paper does; the minimal number of
 //! power failures for a TBPF is then `floor(cycles / TBPF)`.
+//!
+//! Thin wrapper: computes this report's slice of the experiment grid
+//! into a cell store (`schematic_bench::grid`), then renders it.
 
 fn main() {
     print!("{}", schematic_bench::experiments::table2_report());

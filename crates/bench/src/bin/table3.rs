@@ -4,6 +4,9 @@
 //! TBPF ∈ {1k, 10k, 100k} cycles. ✓ = the benchmark terminated with the
 //! correct result; ✗ = it could not complete (livelock, or the program
 //! cannot run at all on the platform).
+//!
+//! Thin wrapper: computes this report's slice of the experiment grid
+//! into a cell store (`schematic_bench::grid`), then renders it.
 
 fn main() {
     print!("{}", schematic_bench::experiments::table3_report());

@@ -1,26 +1,33 @@
-//! Report generators behind the experiment binaries.
+//! Report generators behind the experiment binaries — the **render
+//! layer** of the grid pipeline.
 //!
-//! Each `*_report` function returns the full stdout of the matching
-//! binary (`table1`…`ablations`); the binaries are thin `print!`
-//! wrappers. Keeping the logic in the library lets `exp_all` regenerate
-//! everything in-process (no per-binary `cargo run` spawns) and lets the
-//! independent experiment cells fan out over [`crate::parallel::par_map`]
-//! workers. Cell results are consumed in input order, so the reports are
-//! byte-identical no matter how many workers run (`SCHEMATIC_JOBS`).
+//! Each `render_*` function is a pure function from a computed
+//! [`CellStore`] to the report string; the matching `*_report`
+//! convenience wrapper enumerates the report's [`GridSpec`], computes
+//! the store (cells fan out over [`crate::parallel::par_map`] workers,
+//! `SCHEMATIC_JOBS` overrides the count) and renders. `exp_all`
+//! computes the **union** grid once and renders every section from the
+//! same store, so cells shared between reports (fig6 and fig8 read
+//! Table III's `run` cells, Table I reads Table II's `bare` cells) are
+//! evaluated exactly once. Reports are byte-identical no matter how
+//! many workers — or shards (`gridrun`) — computed the store.
 
-use crate::parallel::par_map;
-use crate::{
-    eb_for_tbpf, render_table, run_cell, technique_names, technique_supports, uj, Cell,
-    ENERGY_TBPF, SEED, SVM_BYTES, TBPFS,
-};
-use schematic_benchsuite::Benchmark;
-use schematic_core::{compile, SchematicConfig};
-use schematic_emu::{InstrumentedModule, Machine, PowerModel, RunConfig};
-use schematic_energy::{CostTable, Energy};
+use crate::grid::{CellStore, CellValue, GridMode, GridSpec, Job, ReportId, SoundCounts};
+use crate::{render_table, technique_names, uj, CellOutcome, ENERGY_TBPF, SVM_BYTES, TBPFS};
+use schematic_energy::Energy;
 use std::fmt::Write;
+
+fn store_for(report: ReportId, mode: GridMode) -> CellStore {
+    CellStore::compute(GridSpec::for_report(report, mode).jobs())
+}
 
 /// Table I — ability to support limited VM space (§IV-B).
 pub fn table1_report() -> String {
+    render_table1(&store_for(ReportId::Table1, GridMode::Full))
+}
+
+/// Renders Table I from `store` (needs its `support` and `bare` cells).
+pub fn render_table1(store: &CellStore) -> String {
     let mut out = String::new();
     writeln!(
         out,
@@ -31,28 +38,23 @@ pub fn table1_report() -> String {
     let mut headers = vec!["technique".to_string()];
     headers.extend(benches.iter().map(|b| b.name.to_string()));
 
-    let items: Vec<(&str, &Benchmark)> = technique_names()
-        .into_iter()
-        .flat_map(|t| benches.iter().map(move |b| (t, b)))
-        .collect();
-    let supported = par_map(&items, |&(tech, b)| {
-        technique_supports(tech, &(b.build)(SEED))
-    });
-
     let mut rows = Vec::new();
-    let mut it = supported.into_iter();
     for tech in technique_names() {
         let mut row = vec![tech.to_string()];
-        for _ in &benches {
-            row.push(if it.next().unwrap() { "ok" } else { "X" }.into());
+        for b in &benches {
+            let supported = match store.value(&Job::support(tech, b.name)) {
+                CellValue::Support(s) => *s,
+                other => panic!("support cell has kind {other:?}"),
+            };
+            row.push(if supported { "ok" } else { "X" }.into());
         }
         rows.push(row);
     }
     writeln!(out, "{}", render_table(&headers, &rows)).unwrap();
     writeln!(out, "data footprints:").unwrap();
     for b in &benches {
-        let m = (b.build)(SEED);
-        writeln!(out, "  {:>10}: {:>6} B", b.name, m.data_bytes()).unwrap();
+        let (_, data_bytes) = bare(store, b.name);
+        writeln!(out, "  {:>10}: {:>6} B", b.name, data_bytes).unwrap();
     }
     writeln!(
         out,
@@ -63,30 +65,36 @@ pub fn table1_report() -> String {
     out
 }
 
+fn bare(store: &CellStore, benchmark: &str) -> (u64, u64) {
+    match store.value(&Job::bare(benchmark)) {
+        CellValue::Bare { cycles, data_bytes } => (*cycles, *data_bytes),
+        other => panic!("bare cell has kind {other:?}"),
+    }
+}
+
 /// Table II — execution time and minimal number of power failures
 /// (§IV-C).
 pub fn table2_report() -> String {
+    render_table2(&store_for(ReportId::Table2, GridMode::Full))
+}
+
+/// Renders Table II from `store` (needs its `bare` cells).
+pub fn render_table2(store: &CellStore) -> String {
     let mut out = String::new();
     writeln!(out, "Table II: execution time and minimal power failures\n").unwrap();
-    let table = CostTable::msp430fr5969();
     let mut headers = vec!["benchmark".to_string(), "cycles".to_string()];
     headers.extend(TBPFS.iter().map(|t| format!("TBPF={t}")));
 
     let benches = schematic_benchsuite::all();
-    let rows = par_map(&benches, |b| {
-        let im = InstrumentedModule::bare_all_vm((b.build)(SEED));
-        let cfg = RunConfig {
-            svm_bytes: usize::MAX / 2, // Table II ignores the VM limit
-            ..RunConfig::default()
-        };
-        let run = Machine::new(&im, &table, cfg).run().expect("no traps");
-        assert!(run.completed());
-        assert_eq!(run.result, Some((b.oracle)(SEED)), "{}", b.name);
-        let cycles = run.metrics.active_cycles;
-        let mut row = vec![b.name.to_string(), cycles.to_string()];
-        row.extend(TBPFS.iter().map(|t| (cycles / t).to_string()));
-        row
-    });
+    let rows: Vec<Vec<String>> = benches
+        .iter()
+        .map(|b| {
+            let (cycles, _) = bare(store, b.name);
+            let mut row = vec![b.name.to_string(), cycles.to_string()];
+            row.extend(TBPFS.iter().map(|t| (cycles / t).to_string()));
+            row
+        })
+        .collect();
     writeln!(out, "{}", render_table(&headers, &rows)).unwrap();
     writeln!(
         out,
@@ -99,22 +107,14 @@ pub fn table2_report() -> String {
 
 /// Table III — ability to enforce forward progress (§IV-C).
 pub fn table3_report() -> String {
+    render_table3(&store_for(ReportId::Table3, GridMode::Full))
+}
+
+/// Renders Table III from `store` (needs the full `run` grid).
+pub fn render_table3(store: &CellStore) -> String {
     let mut out = String::new();
     writeln!(out, "Table III: ability to enforce forward progress\n").unwrap();
-    let table = CostTable::msp430fr5969();
     let benches = schematic_benchsuite::all();
-
-    let mut items: Vec<(u64, &str, &Benchmark)> = Vec::new();
-    for &tbpf in &TBPFS {
-        for tech in technique_names() {
-            for b in &benches {
-                items.push((tbpf, tech, b));
-            }
-        }
-    }
-    let cells = par_map(&items, |&(tbpf, tech, b)| run_cell(tech, b, &table, tbpf));
-
-    let mut it = cells.into_iter();
     for &tbpf in &TBPFS {
         writeln!(out, "TBPF = {tbpf} cycles").unwrap();
         let mut headers = vec!["technique".to_string()];
@@ -122,8 +122,9 @@ pub fn table3_report() -> String {
         let mut rows = Vec::new();
         for tech in technique_names() {
             let mut row = vec![tech.to_string()];
-            for _ in &benches {
-                row.push(if it.next().unwrap().ok() { "ok" } else { "X" }.into());
+            for b in &benches {
+                let cell = store.run_cell(tech, b.name, tbpf);
+                row.push(if cell.ok() { "ok" } else { "X" }.into());
             }
             rows.push(row);
         }
@@ -141,13 +142,18 @@ pub fn table3_report() -> String {
 
 /// Figure 6 — energy breakdown per technique at TBPF = 10k (§IV-D).
 pub fn fig6_report() -> String {
+    render_fig6(&store_for(ReportId::Fig6, GridMode::Full))
+}
+
+/// Renders Figure 6 from `store` (needs the `run` cells at
+/// [`ENERGY_TBPF`]).
+pub fn render_fig6(store: &CellStore) -> String {
     let mut out = String::new();
     writeln!(
         out,
         "Figure 6: energy breakdown at TBPF = {ENERGY_TBPF} cycles (uJ)\n"
     )
     .unwrap();
-    let table = CostTable::msp430fr5969();
     let headers: Vec<String> = [
         "benchmark",
         "technique",
@@ -163,11 +169,6 @@ pub fn fig6_report() -> String {
     .collect();
 
     let benches = schematic_benchsuite::all();
-    let items: Vec<(&Benchmark, &str)> = benches
-        .iter()
-        .flat_map(|b| technique_names().into_iter().map(move |t| (b, t)))
-        .collect();
-    let cells: Vec<Cell> = par_map(&items, |&(b, tech)| run_cell(tech, b, &table, ENERGY_TBPF));
 
     let mut schematic_totals: Vec<f64> = Vec::new();
     let mut baseline_totals: Vec<f64> = Vec::new();
@@ -175,12 +176,11 @@ pub fn fig6_report() -> String {
     let mut baseline_cycles: Vec<f64> = Vec::new();
 
     let mut rows = Vec::new();
-    let mut it = cells.into_iter();
     for b in &benches {
         let mut schematic_total: Option<Energy> = None;
         let mut bench_baselines: Vec<Energy> = Vec::new();
         for tech in technique_names() {
-            let cell = it.next().unwrap();
+            let cell = store.run_cell(tech, b.name, ENERGY_TBPF);
             let row = match &cell.outcome {
                 None => vec![
                     b.name.to_string(),
@@ -192,7 +192,11 @@ pub fn fig6_report() -> String {
                     "-".into(),
                     "X (cannot run)".into(),
                 ],
-                Some((status, correct, m)) => {
+                Some(CellOutcome {
+                    status,
+                    correct,
+                    metrics: m,
+                }) => {
                     let total = m.total_energy();
                     if cell.ok() {
                         if tech == "Schematic" {
@@ -258,29 +262,34 @@ pub fn fig6_report() -> String {
     out
 }
 
-/// One fig7 variant's result: the rendered row, plus the stats feeding
-/// the summary when the variant compiled and ran.
-struct Fig7Row {
-    row: Vec<String>,
-    /// `(computation_uj, vm_access_fraction)`.
-    stats: Option<(f64, f64)>,
+fn measured<'a>(
+    store: &'a CellStore,
+    job: &Job,
+) -> (&'a Option<schematic_emu::Metrics>, &'a Option<String>) {
+    match store.value(job) {
+        CellValue::Measured { metrics, note } => (metrics, note),
+        other => panic!("cell {job} has kind {other:?}, expected measured"),
+    }
 }
 
 /// Figure 7 — SCHEMATIC vs All-NVM computation split (§IV-E).
+pub fn fig7_report() -> String {
+    render_fig7(&store_for(ReportId::Fig7, GridMode::Full))
+}
+
+/// Renders Figure 7 from `store` (needs its `fig7` cells).
 ///
 /// A variant without a sound placement (e.g. a kernel whose mandatory
 /// state cannot close any interval with zero VM) renders an error row
 /// and is excluded, together with its partner variant, from the summary
 /// averages — it no longer aborts the whole report.
-pub fn fig7_report() -> String {
+pub fn render_fig7(store: &CellStore) -> String {
     let mut out = String::new();
     writeln!(
         out,
         "Figure 7: Schematic vs All-NVM computation split at TBPF = {ENERGY_TBPF} (uJ)\n"
     )
     .unwrap();
-    let table = CostTable::msp430fr5969();
-    let eb = eb_for_tbpf(&table, ENERGY_TBPF);
     let headers: Vec<String> = [
         "benchmark",
         "variant",
@@ -297,78 +306,52 @@ pub fn fig7_report() -> String {
     .collect();
 
     let benches = schematic_benchsuite::all();
-    let items: Vec<(&Benchmark, &str, bool)> = benches
-        .iter()
-        .flat_map(|b| [("Schematic", false), ("All-NVM", true)].map(move |(l, n)| (b, l, n)))
-        .collect();
-    let results = par_map(&items, |&(b, label, all_nvm)| {
-        let m = (b.build)(SEED);
-        let mut config = SchematicConfig::new(eb);
-        config.svm_bytes = if all_nvm { 0 } else { SVM_BYTES };
-        let compiled = match compile(&m, &table, &config) {
-            Ok(c) => c,
-            Err(e) => {
-                let mut row = vec![b.name.to_string(), label.to_string(), format!("error: {e}")];
-                row.resize(9, String::new());
-                return Fig7Row { row, stats: None };
-            }
-        };
-        // An anomalous placement is footnoted, not measured: its energy
-        // numbers would come from runs that can corrupt results.
-        match schematic_core::check_all(&compiled.instrumented, &table, eb) {
-            Ok(report) if !report.anomalies.is_sound() => {
-                let mut row = vec![
-                    b.name.to_string(),
-                    label.to_string(),
-                    format!("anomaly: {}", report.verdict()),
-                ];
-                row.resize(9, String::new());
-                return Fig7Row { row, stats: None };
-            }
-            _ => {}
-        }
-        let cfg = RunConfig {
-            power: PowerModel::Periodic { tbpf: ENERGY_TBPF },
-            ..RunConfig::default()
-        };
-        let run = Machine::new(&compiled.instrumented, &table, cfg)
-            .run()
-            .expect("no traps");
-        assert!(run.completed(), "{} {label}", b.name);
-        assert_eq!(run.result, Some((b.oracle)(SEED)));
-        let mt = &run.metrics;
-        let exec_total = mt.computation + mt.save + mt.restore;
-        Fig7Row {
-            row: vec![
-                b.name.to_string(),
-                label.to_string(),
-                uj(mt.cpu_energy),
-                uj(mt.vm_access_energy),
-                uj(mt.nvm_access_energy),
-                uj(mt.save),
-                uj(mt.restore),
-                uj(exec_total),
-                format!("{:.0} %", 100.0 * mt.vm_access_fraction()),
-            ],
-            stats: Some((mt.computation.as_uj(), mt.vm_access_fraction())),
-        }
-    });
-
+    let mut rows = Vec::new();
     let mut hybrid_sum = 0.0;
     let mut nvm_sum = 0.0;
     let mut vm_fracs = Vec::new();
     let mut excluded = 0usize;
-    for pair in results.chunks(2) {
-        match (&pair[0].stats, &pair[1].stats) {
+    for b in &benches {
+        let mut stats: Vec<Option<(f64, f64)>> = Vec::new();
+        for label in crate::grid::FIG7_VARIANTS {
+            let (metrics, note) = measured(store, &Job::fig7(label, b.name));
+            match metrics {
+                None => {
+                    let mut row = vec![
+                        b.name.to_string(),
+                        label.to_string(),
+                        note.clone().expect("a failed fig7 cell carries a note"),
+                    ];
+                    row.resize(9, String::new());
+                    rows.push(row);
+                    stats.push(None);
+                }
+                Some(mt) => {
+                    let exec_total = mt.computation + mt.save + mt.restore;
+                    rows.push(vec![
+                        b.name.to_string(),
+                        label.to_string(),
+                        uj(mt.cpu_energy),
+                        uj(mt.vm_access_energy),
+                        uj(mt.nvm_access_energy),
+                        uj(mt.save),
+                        uj(mt.restore),
+                        uj(exec_total),
+                        format!("{:.0} %", 100.0 * mt.vm_access_fraction()),
+                    ]);
+                    stats.push(Some((mt.computation.as_uj(), mt.vm_access_fraction())));
+                }
+            }
+        }
+        match (stats[0], stats[1]) {
             (Some((h, frac)), Some((n, _))) => {
                 hybrid_sum += h;
                 nvm_sum += n;
-                vm_fracs.push(*frac);
+                vm_fracs.push(frac);
             }
             _ => excluded += 1,
         }
     }
-    let rows: Vec<Vec<String>> = results.into_iter().map(|r| r.row).collect();
     writeln!(out, "{}", render_table(&headers, &rows)).unwrap();
     if excluded > 0 {
         writeln!(
@@ -393,14 +376,18 @@ pub fn fig7_report() -> String {
 
 /// Figure 8 — impact of the capacitor size on `crc` (§IV-F).
 pub fn fig8_report() -> String {
+    render_fig8(&store_for(ReportId::Fig8, GridMode::Full))
+}
+
+/// Renders Figure 8 from `store` (needs `crc`'s `run` cells at every
+/// TBPF).
+pub fn render_fig8(store: &CellStore) -> String {
     let mut out = String::new();
     writeln!(
         out,
         "Figure 8: impact of capacitor size, benchmark crc (uJ)\n"
     )
     .unwrap();
-    let table = CostTable::msp430fr5969();
-    let bench = schematic_benchsuite::by_name("crc").expect("crc exists");
     let headers: Vec<String> = [
         "technique",
         "TBPF",
@@ -415,37 +402,34 @@ pub fn fig8_report() -> String {
     .map(|s| s.to_string())
     .collect();
 
-    let items: Vec<(&str, u64)> = technique_names()
-        .into_iter()
-        .flat_map(|t| TBPFS.iter().map(move |&tbpf| (t, tbpf)))
-        .collect();
-    let cells = par_map(&items, |&(tech, tbpf)| run_cell(tech, &bench, &table, tbpf));
-
     let mut rows = Vec::new();
-    for (cell, &(tech, tbpf)) in cells.iter().zip(&items) {
-        let row = match &cell.outcome {
-            None => vec![
-                tech.to_string(),
-                tbpf.to_string(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "X".into(),
-            ],
-            Some((_, _, m)) => vec![
-                tech.to_string(),
-                tbpf.to_string(),
-                uj(m.computation),
-                uj(m.save),
-                uj(m.restore),
-                uj(m.reexecution),
-                uj(m.total_energy()),
-                if cell.ok() { "ok" } else { "X" }.into(),
-            ],
-        };
-        rows.push(row);
+    for tech in technique_names() {
+        for &tbpf in &TBPFS {
+            let cell = store.run_cell(tech, "crc", tbpf);
+            let row = match &cell.outcome {
+                None => vec![
+                    tech.to_string(),
+                    tbpf.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "X".into(),
+                ],
+                Some(CellOutcome { metrics: m, .. }) => vec![
+                    tech.to_string(),
+                    tbpf.to_string(),
+                    uj(m.computation),
+                    uj(m.save),
+                    uj(m.restore),
+                    uj(m.reexecution),
+                    uj(m.total_energy()),
+                    if cell.ok() { "ok" } else { "X" }.into(),
+                ],
+            };
+            rows.push(row);
+        }
     }
     writeln!(out, "{}", render_table(&headers, &rows)).unwrap();
     writeln!(
@@ -461,19 +445,18 @@ pub fn fig8_report() -> String {
 
 /// Extension: ablations of SCHEMATIC's design choices (DESIGN.md §6).
 pub fn ablations_report() -> String {
+    render_ablations(&store_for(ReportId::Ablations, GridMode::Full))
+}
+
+/// Renders the ablation study from `store` (needs its `ablation` and
+/// `retentive` cells).
+pub fn render_ablations(store: &CellStore) -> String {
     let mut out = String::new();
     writeln!(
         out,
         "Ablations of SCHEMATIC design choices (TBPF = {ENERGY_TBPF}, uJ)\n"
     )
     .unwrap();
-    let table = CostTable::msp430fr5969();
-    let eb = eb_for_tbpf(&table, ENERGY_TBPF);
-    let variants: [(&str, bool, bool); 3] = [
-        ("full", true, true),
-        ("no-liveness", false, true),
-        ("no-ratio", true, false),
-    ];
     let headers: Vec<String> = [
         "benchmark",
         "variant",
@@ -488,44 +471,33 @@ pub fn ablations_report() -> String {
     .collect();
 
     let benches = schematic_benchsuite::all();
-    let items: Vec<(&Benchmark, &str, bool, bool)> = benches
-        .iter()
-        .flat_map(|b| variants.map(move |(l, lv, r)| (b, l, lv, r)))
-        .collect();
-    let rows = par_map(&items, |&(b, label, liveness, ratio)| {
-        let m = (b.build)(SEED);
-        let mut config = SchematicConfig::new(eb);
-        config.svm_bytes = SVM_BYTES;
-        config.liveness_opt = liveness;
-        config.ratio_ordering = ratio;
-        let compiled = match compile(&m, &table, &config) {
-            Ok(c) => c,
-            Err(e) => {
-                let mut row = vec![b.name.to_string(), label.to_string(), format!("error: {e}")];
-                row.resize(7, String::new());
-                return row;
-            }
-        };
-        let cfg = RunConfig {
-            power: PowerModel::Periodic { tbpf: ENERGY_TBPF },
-            ..RunConfig::default()
-        };
-        let run = Machine::new(&compiled.instrumented, &table, cfg)
-            .run()
-            .expect("no traps");
-        assert!(run.completed(), "{} {label}", b.name);
-        assert_eq!(run.result, Some((b.oracle)(SEED)), "{} {label}", b.name);
-        let mt = &run.metrics;
-        vec![
-            b.name.to_string(),
-            label.to_string(),
-            uj(mt.computation),
-            uj(mt.save),
-            uj(mt.restore),
-            uj(mt.total_energy()),
-            format!("{} B", mt.peak_vm_bytes),
-        ]
-    });
+    let mut rows = Vec::new();
+    for b in &benches {
+        for label in crate::grid::ABLATION_VARIANTS {
+            let (metrics, note) = measured(store, &Job::ablation(label, b.name));
+            let row = match metrics {
+                None => {
+                    let mut row = vec![
+                        b.name.to_string(),
+                        label.to_string(),
+                        note.clone().expect("a failed ablation cell carries a note"),
+                    ];
+                    row.resize(7, String::new());
+                    row
+                }
+                Some(mt) => vec![
+                    b.name.to_string(),
+                    label.to_string(),
+                    uj(mt.computation),
+                    uj(mt.save),
+                    uj(mt.restore),
+                    uj(mt.total_energy()),
+                    format!("{} B", mt.peak_vm_bytes),
+                ],
+            };
+            rows.push(row);
+        }
+    }
     writeln!(out, "{}", render_table(&headers, &rows)).unwrap();
     writeln!(
         out,
@@ -542,35 +514,27 @@ pub fn ablations_report() -> String {
         "\nRetentive-sleep extension (paper §VII future work), total uJ:"
     )
     .unwrap();
-    let lines = par_map(&benches, |b| {
-        let m = (b.build)(SEED);
-        let mut config = SchematicConfig::new(eb);
-        config.svm_bytes = SVM_BYTES;
-        let compiled = compile(&m, &table, &config).expect("compiles");
-        let mut total = [0.0f64; 2];
-        for (i, retentive) in [false, true].into_iter().enumerate() {
-            let cfg = RunConfig {
-                power: PowerModel::Periodic { tbpf: ENERGY_TBPF },
-                retentive_sleep: retentive,
-                ..RunConfig::default()
-            };
-            let run = Machine::new(&compiled.instrumented, &table, cfg)
-                .run()
-                .expect("no traps");
-            assert!(run.completed());
-            assert_eq!(run.result, Some((b.oracle)(SEED)));
-            total[i] = run.metrics.total_energy().as_uj();
-        }
-        format!(
+    for b in &benches {
+        let (deep_pj, retentive_pj) = match store.value(&Job::retentive(b.name)) {
+            CellValue::Retentive {
+                deep_pj,
+                retentive_pj,
+            } => (*deep_pj, *retentive_pj),
+            other => panic!("retentive cell has kind {other:?}"),
+        };
+        let total = [
+            Energy::from_pj(deep_pj).as_uj(),
+            Energy::from_pj(retentive_pj).as_uj(),
+        ];
+        writeln!(
+            out,
             "  {:>10}: deep-sleep {:>10.3}  retentive {:>10.3}  ({:.0} % saved)",
             b.name,
             total[0],
             total[1],
             100.0 * (1.0 - total[1] / total[0])
         )
-    });
-    for line in lines {
-        writeln!(out, "{line}").unwrap();
+        .unwrap();
     }
     out
 }
@@ -586,19 +550,29 @@ pub fn ablations_report() -> String {
 /// `quick` restricts the sweep to Schematic + Ratchet and skips the
 /// shadow runs (static analysis only) — the CI configuration.
 pub fn soundcheck_report(quick: bool) -> (String, bool) {
-    let mut out = String::new();
     let mode = if quick {
+        GridMode::Quick
+    } else {
+        GridMode::Full
+    };
+    render_soundcheck(&store_for(ReportId::Soundcheck, mode), mode)
+}
+
+/// Renders the soundness check from `store` (needs the `sound` — and in
+/// [`GridMode::Full`], `shadow` — cells of the mode's technique set).
+pub fn render_soundcheck(store: &CellStore, mode: GridMode) -> (String, bool) {
+    let quick = mode == GridMode::Quick;
+    let mut out = String::new();
+    let mode_line = if quick {
         "quick: Schematic + Ratchet, static only"
     } else {
         "full: all techniques + shadow cross-validation"
     };
     writeln!(
         out,
-        "Soundness check: WAR hazards per inter-checkpoint region ({mode})\n"
+        "Soundness check: WAR hazards per inter-checkpoint region ({mode_line})\n"
     )
     .unwrap();
-    let table = CostTable::msp430fr5969();
-    let eb = eb_for_tbpf(&table, ENERGY_TBPF);
     let headers: Vec<String> = [
         "technique",
         "benchmark",
@@ -615,101 +589,77 @@ pub fn soundcheck_report(quick: bool) -> (String, bool) {
     .map(|s| s.to_string())
     .collect();
 
-    struct SoundRow {
-        row: Vec<String>,
-        hazardous: usize,
-        unpredicted: usize,
-    }
-    let skip = |tech: &str, b: &Benchmark, cell: String| {
-        let mut row = vec![tech.to_string(), b.name.to_string(), cell];
-        row.resize(10, "-".into());
-        SoundRow {
-            row,
-            hazardous: 0,
-            unpredicted: 0,
-        }
-    };
-
     let techniques: Vec<&'static str> = if quick {
-        vec!["Schematic", "Ratchet"]
+        crate::grid::SOUND_QUICK_TECHNIQUES.to_vec()
     } else {
         technique_names()
     };
     let benches = schematic_benchsuite::all();
-    let items: Vec<(&str, &Benchmark)> = techniques
-        .iter()
-        .flat_map(|&t| benches.iter().map(move |b| (t, b)))
-        .collect();
-
-    let results = par_map(&items, |&(tech, b)| {
-        let module = (b.build)(SEED);
-        if !crate::technique_supports(tech, &module) {
-            return skip(tech, b, "unsupported".into());
-        }
-        let im = match crate::compile_technique(tech, &module, &table, eb) {
-            Ok(im) => im,
-            Err(e) => return skip(tech, b, format!("error: {e}")),
-        };
-        let report = match schematic_core::check_all(&im, &table, eb) {
-            Ok(r) => r,
-            Err(e) => return skip(tech, b, format!("error: {e}")),
-        };
-        let [idem, free, shielded, hazardous] = report.anomalies.class_counts();
-        let (observed_cell, unpredicted) = if quick {
-            ("-".to_string(), 0)
-        } else {
-            // Shadow cross-validation: run under every TBPF with the
-            // recorder on; every WAR the emulator actually observes must
-            // be in the statically predicted set.
-            let predicted = report.anomalies.predicted_war_vars(im.module.vars.len());
-            let mut observed: Vec<schematic_ir::VarId> = Vec::new();
-            for tbpf in TBPFS {
-                let cfg = RunConfig {
-                    power: PowerModel::Periodic { tbpf },
-                    svm_bytes: usize::MAX / 2,
-                    max_active_cycles: 4_000_000_000,
-                    shadow_war: true,
-                    ..RunConfig::default()
-                };
-                if let Ok(run) = Machine::new(&im, &table, cfg).run() {
-                    observed.extend(run.shadow.expect("shadow requested").war_vars());
-                }
-            }
-            observed.sort_unstable();
-            observed.dedup();
-            let unpredicted = observed.iter().filter(|&&v| !predicted.contains(v)).count();
-            (observed.len().to_string(), unpredicted)
-        };
-        SoundRow {
-            row: vec![
-                tech.to_string(),
-                b.name.to_string(),
-                report.anomalies.regions.len().to_string(),
-                idem.to_string(),
-                free.to_string(),
-                shielded.to_string(),
-                hazardous.to_string(),
-                if report.placement.is_sound() {
-                    "sound".into()
-                } else {
-                    "UNSOUND".into()
-                },
-                observed_cell,
-                unpredicted.to_string(),
-            ],
-            hazardous,
-            unpredicted,
-        }
-    });
 
     let mut pass = true;
-    for (item, r) in items.iter().zip(&results) {
-        let guarded = matches!(item.0, "Schematic" | "Ratchet");
-        if (guarded && r.hazardous > 0) || r.unpredicted > 0 {
-            pass = false;
+    let mut rows = Vec::new();
+    for tech in &techniques {
+        let guarded = matches!(*tech, "Schematic" | "Ratchet");
+        for b in &benches {
+            let (counts, note) = match store.value(&Job::sound(tech, b.name)) {
+                CellValue::Sound { counts, note } => (counts, note),
+                other => panic!("sound cell has kind {other:?}"),
+            };
+            match counts {
+                None => {
+                    let mut row = vec![
+                        tech.to_string(),
+                        b.name.to_string(),
+                        note.clone().expect("a skipped sound cell carries a note"),
+                    ];
+                    row.resize(10, "-".into());
+                    rows.push(row);
+                }
+                Some(SoundCounts {
+                    regions,
+                    idempotent,
+                    war_free,
+                    shielded,
+                    hazardous,
+                    placement_sound,
+                }) => {
+                    let (observed_cell, unpredicted) = if quick {
+                        ("-".to_string(), 0)
+                    } else {
+                        match store.value(&Job::shadow(tech, b.name)) {
+                            CellValue::Shadow {
+                                observed,
+                                unpredicted,
+                            } => (
+                                observed.map_or_else(|| "-".to_string(), |n| n.to_string()),
+                                *unpredicted,
+                            ),
+                            other => panic!("shadow cell has kind {other:?}"),
+                        }
+                    };
+                    if (guarded && *hazardous > 0) || unpredicted > 0 {
+                        pass = false;
+                    }
+                    rows.push(vec![
+                        tech.to_string(),
+                        b.name.to_string(),
+                        regions.to_string(),
+                        idempotent.to_string(),
+                        war_free.to_string(),
+                        shielded.to_string(),
+                        hazardous.to_string(),
+                        if *placement_sound {
+                            "sound".into()
+                        } else {
+                            "UNSOUND".into()
+                        },
+                        observed_cell,
+                        unpredicted.to_string(),
+                    ]);
+                }
+            }
         }
     }
-    let rows: Vec<Vec<String>> = results.into_iter().map(|r| r.row).collect();
     writeln!(out, "{}", render_table(&headers, &rows)).unwrap();
     writeln!(
         out,
@@ -726,29 +676,35 @@ pub fn soundcheck_report(quick: bool) -> (String, bool) {
     (out, pass)
 }
 
-fn soundcheck_full_report() -> String {
-    soundcheck_report(false).0
-}
+/// A report renderer: pure function from the shared store to its text.
+type RenderFn = fn(&CellStore) -> String;
 
-/// A report generator, as listed by [`exp_all_report`].
-type Report = fn() -> String;
-
-/// Every report in sequence, separated like the old per-binary runner.
-pub fn exp_all_report() -> String {
-    let sections: [(&str, Report); 8] = [
-        ("table1", table1_report),
-        ("table2", table2_report),
-        ("table3", table3_report),
-        ("fig6", fig6_report),
-        ("fig7", fig7_report),
-        ("fig8", fig8_report),
-        ("ablations", ablations_report),
-        ("soundcheck", soundcheck_full_report),
+/// Every report in sequence from one shared store, separated like the
+/// old per-binary runner.
+pub fn render_all(store: &CellStore, mode: GridMode) -> String {
+    let sections: [(&str, RenderFn); 7] = [
+        ("table1", render_table1),
+        ("table2", render_table2),
+        ("table3", render_table3),
+        ("fig6", render_fig6),
+        ("fig7", render_fig7),
+        ("fig8", render_fig8),
+        ("ablations", render_ablations),
     ];
     let mut out = String::new();
-    for (name, report) in sections {
+    for (name, render) in sections {
         writeln!(out, "\n================ {name} ================\n").unwrap();
-        out.push_str(&report());
+        out.push_str(&render(store));
     }
+    writeln!(out, "\n================ soundcheck ================\n").unwrap();
+    out.push_str(&render_soundcheck(store, mode).0);
     out
+}
+
+/// Every report in sequence. The union grid is computed once — each
+/// cell shared between reports is evaluated a single time — and every
+/// section renders from the same store.
+pub fn exp_all_report() -> String {
+    let store = CellStore::compute(GridSpec::full_grid(GridMode::Full).jobs());
+    render_all(&store, GridMode::Full)
 }

@@ -6,6 +6,11 @@
 //! claim indices from a shared atomic counter — no dependencies beyond
 //! `std`, and results come back in input order, so the rendered report
 //! is byte-identical to a serial run.
+//!
+//! This is the intra-process rung of the scale ladder; the inter-process
+//! rung is [`crate::grid`]'s shard/merge pipeline (`gridrun`), whose
+//! per-shard [`crate::grid::CellStore::compute`] calls fan out through
+//! this driver.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

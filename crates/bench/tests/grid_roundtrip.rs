@@ -1,0 +1,189 @@
+//! SplitMix64-fuzzed round-trip of the cell JSONL codec.
+//!
+//! Random cells — every kind, metrics with arbitrary `u64` fields, and
+//! reason/note strings stuffed with quotes, backslashes, the footnote
+//! dagger `†`, newlines, control characters and astral-plane emoji —
+//! must survive `encode → decode` bit-exactly, both cell-by-cell and
+//! through a whole [`CellStore`] artifact. The generator is seeded, so
+//! a failing case index reproduces exactly.
+
+use schematic_bench::grid::{
+    cell_from_json, cell_to_json, CellStore, CellValue, Job, JobKind, SoundCounts,
+};
+use schematic_bench::json::Json;
+use schematic_bench::CellOutcome;
+use schematic_benchsuite::inputs::SplitMix64;
+use schematic_emu::{Metrics, RunStatus};
+use schematic_energy::Energy;
+
+const CASES: u64 = 512;
+const SEED: u64 = 0x6E1D_C0DE;
+
+/// A string built from codec-hostile fragments.
+fn tricky_string(rng: &mut SplitMix64) -> String {
+    const POOL: [&str; 14] = [
+        "a", "Z9", "†", "\"", "\\", "\n", "\r", "\t", "\u{1}", "\u{1f}", "é", "🦀", " ", "/",
+    ];
+    let len = rng.next_u64() % 12;
+    (0..len)
+        .map(|_| POOL[(rng.next_u64() % POOL.len() as u64) as usize])
+        .collect()
+}
+
+fn maybe_tricky(rng: &mut SplitMix64) -> Option<String> {
+    if rng.next_u64().is_multiple_of(2) {
+        Some(tricky_string(rng))
+    } else {
+        None
+    }
+}
+
+fn random_metrics(rng: &mut SplitMix64) -> Metrics {
+    Metrics {
+        computation: Energy::from_pj(rng.next_u64()),
+        save: Energy::from_pj(rng.next_u64()),
+        restore: Energy::from_pj(rng.next_u64()),
+        reexecution: Energy::from_pj(rng.next_u64()),
+        cpu_energy: Energy::from_pj(rng.next_u64()),
+        vm_access_energy: Energy::from_pj(rng.next_u64()),
+        nvm_access_energy: Energy::from_pj(rng.next_u64()),
+        active_cycles: rng.next_u64(),
+        power_failures: rng.next_u64(),
+        checkpoints_committed: rng.next_u64(),
+        checkpoints_skipped: rng.next_u64(),
+        sleep_events: rng.next_u64(),
+        restores: rng.next_u64(),
+        implicit_restores: rng.next_u64(),
+        implicit_saves: rng.next_u64(),
+        unexpected_failures: rng.next_u64(),
+        vm_reads: rng.next_u64(),
+        vm_writes: rng.next_u64(),
+        nvm_reads: rng.next_u64(),
+        nvm_writes: rng.next_u64(),
+        coherence_violations: rng.next_u64(),
+        peak_vm_bytes: rng.next_u64() as usize,
+        insts_retired: rng.next_u64(),
+    }
+}
+
+fn random_status(rng: &mut SplitMix64) -> RunStatus {
+    match rng.next_u64() % 4 {
+        0 => RunStatus::Completed,
+        1 => RunStatus::Livelock,
+        2 => RunStatus::CycleLimit,
+        _ => RunStatus::FailureLimit,
+    }
+}
+
+const KINDS: [JobKind; 8] = [
+    JobKind::Support,
+    JobKind::Bare,
+    JobKind::Run,
+    JobKind::Fig7,
+    JobKind::Ablation,
+    JobKind::Retentive,
+    JobKind::Sound,
+    JobKind::Shadow,
+];
+
+fn random_cell(rng: &mut SplitMix64) -> (Job, CellValue) {
+    let kind = KINDS[(rng.next_u64() % KINDS.len() as u64) as usize];
+    let job = Job {
+        kind,
+        technique: tricky_string(rng),
+        benchmark: tricky_string(rng),
+        tbpf: rng.next_u64(),
+    };
+    let value = match kind {
+        JobKind::Support => CellValue::Support(rng.next_u64().is_multiple_of(2)),
+        JobKind::Bare => CellValue::Bare {
+            cycles: rng.next_u64(),
+            data_bytes: rng.next_u64(),
+        },
+        JobKind::Run => CellValue::Run {
+            outcome: if rng.next_u64().is_multiple_of(2) {
+                Some(CellOutcome {
+                    status: random_status(rng),
+                    correct: rng.next_u64().is_multiple_of(2),
+                    metrics: random_metrics(rng),
+                })
+            } else {
+                None
+            },
+            reason: maybe_tricky(rng),
+        },
+        JobKind::Fig7 | JobKind::Ablation => CellValue::Measured {
+            metrics: if rng.next_u64().is_multiple_of(2) {
+                Some(random_metrics(rng))
+            } else {
+                None
+            },
+            note: maybe_tricky(rng),
+        },
+        JobKind::Retentive => CellValue::Retentive {
+            deep_pj: rng.next_u64(),
+            retentive_pj: rng.next_u64(),
+        },
+        JobKind::Sound => CellValue::Sound {
+            counts: if rng.next_u64().is_multiple_of(2) {
+                Some(SoundCounts {
+                    regions: rng.next_u64(),
+                    idempotent: rng.next_u64(),
+                    war_free: rng.next_u64(),
+                    shielded: rng.next_u64(),
+                    hazardous: rng.next_u64(),
+                    placement_sound: rng.next_u64().is_multiple_of(2),
+                })
+            } else {
+                None
+            },
+            note: maybe_tricky(rng),
+        },
+        JobKind::Shadow => CellValue::Shadow {
+            observed: if rng.next_u64().is_multiple_of(2) {
+                Some(rng.next_u64())
+            } else {
+                None
+            },
+            unpredicted: rng.next_u64(),
+        },
+    };
+    (job, value)
+}
+
+/// Every random cell round-trips bit-exactly through one artifact line.
+#[test]
+fn fuzz_cell_lines_roundtrip() {
+    let mut rng = SplitMix64::new(SEED);
+    for case in 0..CASES {
+        let (job, value) = random_cell(&mut rng);
+        let line = cell_to_json(&job, &value).encode();
+        assert!(!line.contains('\n'), "case {case}: line-oriented format");
+        let parsed = Json::parse(&line).unwrap_or_else(|e| panic!("case {case}: {e}\n{line}"));
+        let (job2, value2) =
+            cell_from_json(&parsed).unwrap_or_else(|e| panic!("case {case}: {e}\n{line}"));
+        assert_eq!(job, job2, "case {case}");
+        assert_eq!(value, value2, "case {case}");
+    }
+}
+
+/// A whole store of random cells round-trips through the JSONL
+/// artifact, keys and all.
+#[test]
+fn fuzz_store_roundtrips() {
+    let mut rng = SplitMix64::new(SEED ^ 0xA5A5);
+    let mut store = CellStore::new();
+    for _ in 0..CASES {
+        let (job, value) = random_cell(&mut rng);
+        if store.get(&job).is_none() {
+            store.insert(job, value).unwrap();
+        }
+    }
+    assert!(store.len() > 100, "collisions should be rare");
+    let text = store.to_jsonl();
+    assert_eq!(text.lines().count(), store.len(), "one cell per line");
+    let decoded = CellStore::from_jsonl(&text).unwrap();
+    assert_eq!(decoded, store);
+    // Idempotent: re-encoding the decoded store is byte-identical.
+    assert_eq!(decoded.to_jsonl(), text);
+}

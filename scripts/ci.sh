@@ -18,6 +18,24 @@ echo "== soundcheck --quick (release) =="
 # exits nonzero if any inter-checkpoint region classifies as hazardous.
 cargo run --release --offline -p schematic-bench --bin soundcheck -- --quick
 
+echo "== gridrun shard/merge smoke (release) =="
+# Two-shard run of the quick experiment grid through the serialized
+# cell-artifact pipeline: compute both shards as separate invocations,
+# merge the JSONL artifacts, and require the merged render to be
+# byte-identical to the single-process render. Then the same through
+# --spawn, which drives real child processes and self-asserts parity.
+GRIDDIR="$(mktemp -d)"
+trap 'rm -rf "$GRIDDIR"' EXIT
+cargo build --release --offline -p schematic-bench --bin gridrun
+GRIDRUN=target/release/gridrun
+"$GRIDRUN" --quick --shard 0/2 -o "$GRIDDIR/shard_0.jsonl"
+"$GRIDRUN" --quick --shard 1/2 -o "$GRIDDIR/shard_1.jsonl"
+"$GRIDRUN" --quick --merge "$GRIDDIR"/shard_*.jsonl > "$GRIDDIR/merged.txt"
+"$GRIDRUN" --quick > "$GRIDDIR/direct.txt"
+diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/merged.txt"
+echo "merged 2-shard render byte-identical to single-process render"
+"$GRIDRUN" --quick --spawn 2 > /dev/null
+
 echo "== perfsmoke --quick (release) =="
 # Surfaces hot-path throughput in the CI log without rewriting
 # BENCH_perf.json (quick windows jitter too much to commit). Set
