@@ -9,6 +9,8 @@
 //! gridrun --merge F...          # load shard artifacts, merge, verify coverage, render every report
 //! gridrun --spawn N             # drive N `--shard` child processes, merge their artifacts,
 //!                               # assert the render is byte-identical to the in-process run
+//! gridrun --trace F             # compute in-process with tracing on; write the per-cell
+//!                               # trace artifact (JSONL, see `tracereport`) to F
 //! ```
 //!
 //! Shards partition the grid deterministically (every N-th job), so any
@@ -22,12 +24,17 @@
 
 use schematic_bench::experiments::render_all;
 use schematic_bench::grid::{CellStore, GridMode, GridSpec};
+use schematic_bench::trace;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 struct Options {
     mode: GridMode,
     command: Command,
+    /// `--trace FILE`: capture per-cell traces (in-process runs only).
+    trace: Option<String>,
 }
 
 enum Command {
@@ -49,7 +56,8 @@ enum Command {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gridrun [--quick] [--list | --shard i/N -o FILE | --merge FILE... | --spawn N]"
+        "usage: gridrun [--quick] [--trace FILE] \
+         [--list | --shard i/N -o FILE | --merge FILE... | --spawn N]"
     );
     std::process::exit(2);
 }
@@ -67,6 +75,7 @@ fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = GridMode::Full;
     let mut command = None;
+    let mut trace = None;
     let mut it = args.into_iter().peekable();
     let set = |c: Command, command: &mut Option<Command>| {
         if command.is_some() {
@@ -77,6 +86,12 @@ fn parse_args() -> Options {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => mode = GridMode::Quick,
+            "--trace" => {
+                if trace.is_some() {
+                    usage();
+                }
+                trace = Some(it.next().unwrap_or_else(|| usage()));
+            }
             "--list" => set(Command::List, &mut command),
             "--shard" => {
                 let spec = it.next().unwrap_or_else(|| usage());
@@ -105,9 +120,15 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
+    let command = command.unwrap_or(Command::Direct);
+    if trace.is_some() && !matches!(command, Command::Direct) {
+        eprintln!("gridrun: --trace only applies to the in-process (default) run");
+        usage();
+    }
     Options {
         mode,
-        command: command.unwrap_or(Command::Direct),
+        command,
+        trace,
     }
 }
 
@@ -206,7 +227,22 @@ fn main() -> ExitCode {
     let spec = GridSpec::full_grid(opts.mode);
     match opts.command {
         Command::Direct => {
-            let store = CellStore::compute(spec.jobs());
+            let store = match &opts.trace {
+                None => CellStore::compute(spec.jobs()),
+                Some(path) => {
+                    let (store, traces) = trace::capture_grid(spec.jobs());
+                    if let Err(e) = write_artifact(path, &trace::to_jsonl(&traces)) {
+                        eprintln!("gridrun: {e}");
+                        return ExitCode::from(2);
+                    }
+                    eprintln!(
+                        "gridrun: wrote {} cell traces ({} events) to {path}",
+                        traces.len(),
+                        traces.iter().map(|t| t.events.len()).sum::<usize>()
+                    );
+                    store
+                }
+            };
             print!("{}", render_all(&store, opts.mode));
             ExitCode::SUCCESS
         }
@@ -218,7 +254,28 @@ fn main() -> ExitCode {
         }
         Command::Shard { index, count, out } => {
             let jobs = spec.shard(index, count);
-            let store = CellStore::compute(&jobs);
+            let start = Instant::now();
+            let last_beat = AtomicU64::new(0);
+            eprintln!(
+                "gridrun: shard {index}/{count} starting: 0/{} cells",
+                jobs.len()
+            );
+            let store = CellStore::compute_with_progress(&jobs, &|done, total| {
+                let elapsed = start.elapsed();
+                let secs = elapsed.as_secs();
+                let prev = last_beat.load(Ordering::Relaxed);
+                let due = secs > prev
+                    && last_beat
+                        .compare_exchange(prev, secs, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok();
+                if due || done == total {
+                    eprintln!(
+                        "gridrun: shard {index}/{count} heartbeat: {done}/{total} cells, \
+                         {:.1}s elapsed",
+                        elapsed.as_secs_f64()
+                    );
+                }
+            });
             match write_artifact(&out, &store.to_jsonl()) {
                 Ok(()) => {
                     eprintln!(

@@ -1,0 +1,71 @@
+//! `tracereport` — renders a grid trace artifact written by
+//! `gridrun --trace F`.
+//!
+//! ```text
+//! tracereport FILE                       # phase-time table + hottest cells
+//! tracereport FILE --top K               # show the K hottest cells (default 10)
+//! tracereport FILE --cell run/Schematic/crc/10000
+//!                                        # also render that cell's epoch timeline
+//! ```
+//!
+//! The timeline's closing "Fig. 6 split" line is computed purely from
+//! the event stream's cumulative energy snapshots, so it reproduces the
+//! cell's computation/save/restore/re-execution breakdown exactly as
+//! the grid reports print it.
+//!
+//! Exit codes: 0 on success, 2 on usage or artifact errors.
+
+use schematic_bench::trace::{from_jsonl, parse_job_key, render_trace_report};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: tracereport FILE [--cell KIND/TECHNIQUE/BENCHMARK/TBPF] [--top K]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut cell = None;
+    let mut top_k = 10usize;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cell" => {
+                let key = it.next().unwrap_or_else(|| usage());
+                cell = Some(parse_job_key(&key).unwrap_or_else(|| {
+                    eprintln!(
+                        "tracereport: bad cell key '{key}' (want KIND/TECHNIQUE/BENCHMARK/TBPF)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--top" => {
+                top_k = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
+            _ => usage(),
+        }
+    }
+    let file = file.unwrap_or_else(|| usage());
+    let text = match std::fs::read_to_string(&file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("tracereport: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match from_jsonl(&text) {
+        Ok(traces) => {
+            print!("{}", render_trace_report(&traces, cell.as_ref(), top_k));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tracereport: {file}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -530,8 +530,26 @@ impl CellStore {
     /// store. Each job is computed once; results are independent of
     /// worker count and job order.
     pub fn compute(jobs: &[Job]) -> CellStore {
+        CellStore::compute_with_progress(jobs, &|_, _| {})
+    }
+
+    /// Like [`CellStore::compute`], additionally calling
+    /// `progress(done, total)` after each completed cell. The callback
+    /// runs on worker threads (hence `Sync`) and completion order is
+    /// nondeterministic, but `done` is a monotone global count.
+    pub fn compute_with_progress(
+        jobs: &[Job],
+        progress: &(impl Fn(usize, usize) + Sync),
+    ) -> CellStore {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let table = CostTable::msp430fr5969();
-        let values = par_map(jobs, |job| evaluate(job, &table));
+        let total = jobs.len();
+        let done = AtomicUsize::new(0);
+        let values = par_map(jobs, |job| {
+            let value = evaluate(job, &table);
+            progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+            value
+        });
         let mut store = CellStore::new();
         for (job, value) in jobs.iter().zip(values) {
             store
@@ -900,7 +918,7 @@ fn evaluate_shadow(job: &Job, table: &CostTable) -> CellValue {
 // Artifact codec
 // ---------------------------------------------------------------------
 
-fn obj(pairs: Vec<(&str, Json)>) -> Json {
+pub(crate) fn obj(pairs: Vec<(&str, Json)>) -> Json {
     Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
@@ -1085,7 +1103,7 @@ fn status_from_name(name: &str) -> Result<RunStatus, GridError> {
     })
 }
 
-fn str_field(json: &Json, key: &str) -> Result<String, GridError> {
+pub(crate) fn str_field(json: &Json, key: &str) -> Result<String, GridError> {
     json.get(key)
         .and_then(Json::as_str)
         .map(str::to_string)
@@ -1100,7 +1118,7 @@ fn opt_str_field(json: &Json, key: &str) -> Result<Option<String>, GridError> {
     }
 }
 
-fn u64_field(json: &Json, key: &str) -> Result<u64, GridError> {
+pub(crate) fn u64_field(json: &Json, key: &str) -> Result<u64, GridError> {
     json.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| GridError(format!("missing or non-integer field '{key}'")))

@@ -322,14 +322,32 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Copy one UTF-8 scalar (1–4 bytes).
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
-                            message: "invalid UTF-8".into(),
-                            at: self.pos,
-                        })?;
-                    let c = rest.chars().next().expect("non-empty");
+                    // Copy one multi-byte UTF-8 scalar. Validate at most
+                    // the next 4 bytes — validating the whole remaining
+                    // input here made string parsing quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(chunk) {
+                        Ok(s) => s.chars().next().expect("non-empty"),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("non-empty")
+                        }
+                        Err(_) => {
+                            return Err(JsonError {
+                                message: "invalid UTF-8".into(),
+                                at: self.pos,
+                            })
+                        }
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

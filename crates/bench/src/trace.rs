@@ -1,0 +1,613 @@
+//! Grid tracing: per-cell observation capture, the trace artifact
+//! codec, and the `tracereport` renderers.
+//!
+//! [`capture_grid`] evaluates a job list like
+//! [`CellStore::compute`](crate::grid::CellStore::compute) while
+//! collecting, per cell, the compiler/driver phase timings
+//! ([`schematic_obs`] spans), decision counters, and the emulator's
+//! lifecycle event stream ([`schematic_emu::trace`]). Because every
+//! job runs wholly on one worker thread and its observations are
+//! scoped with [`schematic_obs::capture`], the per-cell traces are
+//! identical regardless of worker count or scheduling — and the cell
+//! *values* are bit-identical to an untraced run (tracing only turns
+//! off the emulator's fused dispatch, which is metrics-neutral by
+//! construction).
+//!
+//! Traces serialize through the same offline JSON dialect as the cell
+//! artifacts ([`crate::json`]): one JSON object per cell per line.
+//! `gridrun --trace F` writes the artifact; the `tracereport` binary
+//! renders it — a phase-time table across the grid, the top-K hottest
+//! cells, and a per-run epoch timeline whose final row reproduces the
+//! cell's Fig. 6 energy split exactly from the event stream alone.
+
+use crate::grid::{self, evaluate, CellStore, GridError, Job, JobKind};
+use crate::json::Json;
+use crate::parallel::par_map;
+use crate::{render_table, uj};
+use schematic_energy::{CostTable, Energy};
+use schematic_obs as obs;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Aggregated timings of one span name within one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseLine {
+    /// Span name (e.g. `"cell/emulate"` or `"analyze/rcg"`).
+    pub name: String,
+    /// Completed spans under this name.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds (inclusive; spans may nest).
+    pub total_nanos: u64,
+    /// Median per-call nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th-percentile per-call nanoseconds.
+    pub p95_nanos: u64,
+}
+
+/// Everything one traced cell recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTrace {
+    /// The cell's grid key.
+    pub job: Job,
+    /// Wall-clock nanoseconds of the whole cell evaluation.
+    pub wall_nanos: u64,
+    /// Per-phase timings, sorted by span name.
+    pub phases: Vec<PhaseLine>,
+    /// Decision counters (e.g. `alloc/picks`), sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Structured events in emission order (compiler decision log +
+    /// emulator lifecycle stream), capped at [`obs::MAX_EVENTS`].
+    pub events: Vec<obs::Event>,
+    /// Events discarded past the cap.
+    pub dropped_events: u64,
+}
+
+impl CellTrace {
+    fn from_registry(job: Job, wall_nanos: u64, reg: obs::Registry) -> CellTrace {
+        let phases = reg
+            .spans
+            .iter()
+            .map(|(name, s)| PhaseLine {
+                name: name.clone(),
+                calls: s.calls,
+                total_nanos: s.total_nanos,
+                p50_nanos: s.hist.quantile(50, 100),
+                p95_nanos: s.hist.quantile(95, 100),
+            })
+            .collect();
+        CellTrace {
+            job,
+            wall_nanos,
+            phases,
+            counters: reg.counters.into_iter().collect(),
+            events: reg.events.into(),
+            dropped_events: reg.dropped_events,
+        }
+    }
+}
+
+/// Evaluates `jobs` with observation capture enabled: the cell store
+/// (bit-identical to [`CellStore::compute`]) plus one [`CellTrace`]
+/// per job, in job order.
+///
+/// Enables the [`schematic_obs`] collector and forces emulator
+/// lifecycle tracing ([`schematic_emu::trace::set_forced`]) for the
+/// duration of the call, restoring both flags afterwards.
+pub fn capture_grid(jobs: &[Job]) -> (CellStore, Vec<CellTrace>) {
+    let prev_obs = obs::enabled();
+    let prev_forced = schematic_emu::trace::forced();
+    obs::set_enabled(true);
+    schematic_emu::trace::set_forced(true);
+    let table = CostTable::msp430fr5969();
+    let results = par_map(jobs, |job| {
+        let start = Instant::now();
+        let (value, reg) = obs::capture(|| evaluate(job, &table));
+        let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (value, CellTrace::from_registry(job.clone(), wall, reg))
+    });
+    schematic_emu::trace::set_forced(prev_forced);
+    obs::set_enabled(prev_obs);
+    let mut store = CellStore::new();
+    let mut traces = Vec::with_capacity(jobs.len());
+    for (job, (value, trace)) in jobs.iter().zip(results) {
+        store
+            .insert(job.clone(), value)
+            .expect("computed cells are deterministic");
+        traces.push(trace);
+    }
+    (store, traces)
+}
+
+// ---------------------------------------------------------------------
+// Artifact codec
+// ---------------------------------------------------------------------
+
+fn value_to_json(v: &obs::Value) -> Json {
+    match v {
+        obs::Value::U64(n) => Json::UInt(*n),
+        obs::Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn value_from_json(json: &Json) -> Result<obs::Value, GridError> {
+    match json {
+        Json::UInt(n) => Ok(obs::Value::U64(*n)),
+        Json::Str(s) => Ok(obs::Value::Str(s.clone())),
+        other => Err(GridError(format!(
+            "event field value must be integer or string, got {other:?}"
+        ))),
+    }
+}
+
+fn event_to_json(ev: &obs::Event) -> Json {
+    grid::obj(vec![
+        ("kind", Json::Str(ev.kind.clone())),
+        (
+            "fields",
+            Json::Arr(
+                ev.fields
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), value_to_json(v)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn event_from_json(json: &Json) -> Result<obs::Event, GridError> {
+    let kind = grid::str_field(json, "kind")?;
+    let fields_json = match json.get("fields") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(GridError("missing or non-array field 'fields'".into())),
+    };
+    let mut fields = Vec::with_capacity(fields_json.len());
+    for item in fields_json {
+        let pair = match item {
+            Json::Arr(p) if p.len() == 2 => p,
+            _ => return Err(GridError("event field must be a [name, value] pair".into())),
+        };
+        let name = pair[0]
+            .as_str()
+            .ok_or_else(|| GridError("event field name must be a string".into()))?;
+        fields.push((name.to_string(), value_from_json(&pair[1])?));
+    }
+    Ok(obs::Event { kind, fields })
+}
+
+/// Encodes one trace as a JSON object (one artifact line).
+pub fn trace_to_json(t: &CellTrace) -> Json {
+    grid::obj(vec![
+        (
+            "job",
+            grid::obj(vec![
+                ("kind", Json::Str(t.job.kind.name().into())),
+                ("technique", Json::Str(t.job.technique.clone())),
+                ("benchmark", Json::Str(t.job.benchmark.clone())),
+                ("tbpf", Json::UInt(t.job.tbpf)),
+            ]),
+        ),
+        ("wall_nanos", Json::UInt(t.wall_nanos)),
+        (
+            "phases",
+            Json::Arr(
+                t.phases
+                    .iter()
+                    .map(|p| {
+                        grid::obj(vec![
+                            ("name", Json::Str(p.name.clone())),
+                            ("calls", Json::UInt(p.calls)),
+                            ("total_nanos", Json::UInt(p.total_nanos)),
+                            ("p50_nanos", Json::UInt(p.p50_nanos)),
+                            ("p95_nanos", Json::UInt(p.p95_nanos)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "counters",
+            Json::Arr(
+                t.counters
+                    .iter()
+                    .map(|(k, n)| Json::Arr(vec![Json::Str(k.clone()), Json::UInt(*n)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "events",
+            Json::Arr(t.events.iter().map(event_to_json).collect()),
+        ),
+        ("dropped_events", Json::UInt(t.dropped_events)),
+    ])
+}
+
+/// Decodes one artifact line back into a trace.
+///
+/// # Errors
+///
+/// A [`GridError`] describing the missing or mistyped field.
+pub fn trace_from_json(json: &Json) -> Result<CellTrace, GridError> {
+    let job_json = json
+        .get("job")
+        .ok_or_else(|| GridError("missing field 'job'".into()))?;
+    let kind_name = grid::str_field(job_json, "kind")?;
+    let kind = JobKind::from_name(&kind_name)
+        .ok_or_else(|| GridError(format!("unknown cell kind '{kind_name}'")))?;
+    let job = Job {
+        kind,
+        technique: grid::str_field(job_json, "technique")?,
+        benchmark: grid::str_field(job_json, "benchmark")?,
+        tbpf: grid::u64_field(job_json, "tbpf")?,
+    };
+    let phases_json = match json.get("phases") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(GridError("missing or non-array field 'phases'".into())),
+    };
+    let mut phases = Vec::with_capacity(phases_json.len());
+    for p in phases_json {
+        phases.push(PhaseLine {
+            name: grid::str_field(p, "name")?,
+            calls: grid::u64_field(p, "calls")?,
+            total_nanos: grid::u64_field(p, "total_nanos")?,
+            p50_nanos: grid::u64_field(p, "p50_nanos")?,
+            p95_nanos: grid::u64_field(p, "p95_nanos")?,
+        });
+    }
+    let counters_json = match json.get("counters") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(GridError("missing or non-array field 'counters'".into())),
+    };
+    let mut counters = Vec::with_capacity(counters_json.len());
+    for item in counters_json {
+        let pair = match item {
+            Json::Arr(p) if p.len() == 2 => p,
+            _ => return Err(GridError("counter must be a [name, count] pair".into())),
+        };
+        let name = pair[0]
+            .as_str()
+            .ok_or_else(|| GridError("counter name must be a string".into()))?;
+        let n = pair[1]
+            .as_u64()
+            .ok_or_else(|| GridError("counter value must be an unsigned integer".into()))?;
+        counters.push((name.to_string(), n));
+    }
+    let events_json = match json.get("events") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(GridError("missing or non-array field 'events'".into())),
+    };
+    let events = events_json
+        .iter()
+        .map(event_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CellTrace {
+        job,
+        wall_nanos: grid::u64_field(json, "wall_nanos")?,
+        phases,
+        counters,
+        events,
+        dropped_events: grid::u64_field(json, "dropped_events")?,
+    })
+}
+
+/// Serializes traces, one JSON object per line, in the given order.
+pub fn to_jsonl(traces: &[CellTrace]) -> String {
+    let mut out = String::new();
+    for t in traces {
+        out.push_str(&trace_to_json(t).encode());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a trace artifact produced by [`to_jsonl`] (blank lines
+/// tolerated).
+///
+/// # Errors
+///
+/// A [`GridError`] naming the offending line.
+pub fn from_jsonl(text: &str) -> Result<Vec<CellTrace>, GridError> {
+    let mut traces = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| GridError(format!("line {}: {e}", lineno + 1)))?;
+        traces.push(
+            trace_from_json(&json).map_err(|e| GridError(format!("line {}: {e}", lineno + 1)))?,
+        );
+    }
+    Ok(traces)
+}
+
+/// Parses a grid cell key in the artifact spelling
+/// `kind/technique/benchmark/tbpf` (the [`Job`] display form, e.g.
+/// `run/Schematic/crc/10000`).
+pub fn parse_job_key(key: &str) -> Option<Job> {
+    let parts: Vec<&str> = key.split('/').collect();
+    if parts.len() != 4 {
+        return None;
+    }
+    Some(Job {
+        kind: JobKind::from_name(parts[0])?,
+        technique: parts[1].to_string(),
+        benchmark: parts[2].to_string(),
+        tbpf: parts[3].parse().ok()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Renderers
+// ---------------------------------------------------------------------
+
+/// The emulator lifecycle event kinds, in no particular order (see
+/// [`schematic_emu::trace`] for the schema).
+pub const EMU_EVENT_KINDS: [&str; 11] = [
+    "run_start",
+    "boot",
+    "checkpoint_commit",
+    "checkpoint_torn",
+    "checkpoint_skip",
+    "sleep",
+    "wakeup",
+    "migrate",
+    "power_failure",
+    "restore",
+    "run_end",
+];
+
+/// The snapshot fields every emulator event carries.
+const SNAPSHOT_KEYS: [&str; 5] = ["comp_pj", "save_pj", "restore_pj", "reexec_pj", "cycles"];
+
+fn ms(nanos: u64) -> String {
+    format!("{:.3}", nanos as f64 / 1e6)
+}
+
+fn us_per_call(total_nanos: u64, calls: u64) -> String {
+    if calls == 0 {
+        return "-".into();
+    }
+    format!("{:.2}", total_nanos as f64 / calls as f64 / 1e3)
+}
+
+/// Renders the phase-time table aggregated across all traces: calls,
+/// total milliseconds, mean microseconds per call, and each phase's
+/// share of the summed span time. Spans nest (the RCG span runs inside
+/// the analyze span), so shares are of inclusive time and need not add
+/// up to 100.
+pub fn render_phase_table(traces: &[CellTrace]) -> String {
+    let mut agg: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for t in traces {
+        for p in &t.phases {
+            let e = agg.entry(&p.name).or_default();
+            e.0 += p.calls;
+            e.1 += p.total_nanos;
+        }
+    }
+    if agg.is_empty() {
+        return "no spans recorded\n".to_string();
+    }
+    let grand: u64 = agg.values().map(|(_, total)| *total).sum();
+    let mut order: Vec<(&str, u64, u64)> = agg
+        .into_iter()
+        .map(|(name, (calls, total))| (name, calls, total))
+        .collect();
+    order.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    let headers = vec![
+        "phase".to_string(),
+        "calls".to_string(),
+        "total ms".to_string(),
+        "us/call".to_string(),
+        "share %".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = order
+        .iter()
+        .map(|&(name, calls, total)| {
+            vec![
+                name.to_string(),
+                calls.to_string(),
+                ms(total),
+                us_per_call(total, calls),
+                format!("{:.1}", total as f64 * 100.0 / grand as f64),
+            ]
+        })
+        .collect();
+    render_table(&headers, &rows)
+}
+
+/// Renders the `k` cells with the largest wall-clock time, with each
+/// cell's dominant phase.
+pub fn render_hot_cells(traces: &[CellTrace], k: usize) -> String {
+    let mut order: Vec<&CellTrace> = traces.iter().collect();
+    order.sort_by(|a, b| b.wall_nanos.cmp(&a.wall_nanos).then(a.job.cmp(&b.job)));
+    let headers = vec![
+        "cell".to_string(),
+        "wall ms".to_string(),
+        "dominant phase".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = order
+        .iter()
+        .take(k)
+        .map(|t| {
+            let dominant = t
+                .phases
+                .iter()
+                .max_by_key(|p| p.total_nanos)
+                .map(|p| format!("{} ({} ms)", p.name, ms(p.total_nanos)))
+                .unwrap_or_else(|| "-".to_string());
+            vec![t.job.to_string(), ms(t.wall_nanos), dominant]
+        })
+        .collect();
+    render_table(&headers, &rows)
+}
+
+fn snapshot_of(ev: &obs::Event) -> [u64; 5] {
+    let mut s = [0u64; 5];
+    for (i, key) in SNAPSHOT_KEYS.iter().enumerate() {
+        s[i] = ev.u64_field(key).unwrap_or(0);
+    }
+    s
+}
+
+fn detail_of(ev: &obs::Event) -> String {
+    let parts: Vec<String> = ev
+        .fields
+        .iter()
+        .filter(|(k, _)| !SNAPSHOT_KEYS.contains(&k.as_str()))
+        .map(|(k, v)| match v {
+            obs::Value::U64(n) => format!("{k}={n}"),
+            obs::Value::Str(s) => format!("{k}={s}"),
+        })
+        .collect();
+    parts.join(" ")
+}
+
+/// Renders the epoch timeline of one traced cell: every lifecycle
+/// event of the cell's *last* emulator run (a cell may run the
+/// emulator several times — profiling runs inside compilation, the
+/// measured run last), with the Fig. 6 energy delta each
+/// inter-checkpoint segment consumed. The closing `run_end` row's
+/// cumulative split equals the run's metrics exactly, so the final
+/// "Fig. 6 split" line reproduces the cell's energy breakdown from
+/// the event stream alone.
+pub fn render_timeline(trace: &CellTrace) -> String {
+    let events: Vec<&obs::Event> = trace
+        .events
+        .iter()
+        .filter(|e| EMU_EVENT_KINDS.contains(&e.kind.as_str()))
+        .collect();
+    let mut out = format!("Timeline for {}\n", trace.job);
+    if events.is_empty() {
+        out.push_str("no emulator events recorded\n");
+        return out;
+    }
+    let runs = events.iter().filter(|e| e.kind == "run_start").count();
+    let last_start = events
+        .iter()
+        .rposition(|e| e.kind == "run_start")
+        .unwrap_or(0);
+    let segment = &events[last_start..];
+    out.push_str(&format!(
+        "{} emulator run(s) in this cell; showing the last ({} events)\n",
+        runs.max(1),
+        segment.len()
+    ));
+    if trace.dropped_events > 0 {
+        out.push_str(&format!(
+            "warning: event stream truncated ({} events dropped past the cap)\n",
+            trace.dropped_events
+        ));
+    }
+    let headers = vec![
+        "event".to_string(),
+        "detail".to_string(),
+        "d-comp uJ".to_string(),
+        "d-save uJ".to_string(),
+        "d-restore uJ".to_string(),
+        "d-reexec uJ".to_string(),
+        "cycles".to_string(),
+    ];
+    let mut prev = [0u64; 5];
+    let mut rows = Vec::with_capacity(segment.len());
+    for ev in segment {
+        let snap = snapshot_of(ev);
+        rows.push(vec![
+            ev.kind.clone(),
+            detail_of(ev),
+            uj(Energy::from_pj(snap[0].saturating_sub(prev[0]))),
+            uj(Energy::from_pj(snap[1].saturating_sub(prev[1]))),
+            uj(Energy::from_pj(snap[2].saturating_sub(prev[2]))),
+            uj(Energy::from_pj(snap[3].saturating_sub(prev[3]))),
+            snap[4].to_string(),
+        ]);
+        prev = snap;
+    }
+    out.push_str(&render_table(&headers, &rows));
+    match segment.last() {
+        Some(end) if end.kind == "run_end" => {
+            let s = snapshot_of(end);
+            out.push_str(&format!(
+                "Fig. 6 split: computation {} uJ | save {} uJ | restore {} uJ | re-execution {} uJ\n",
+                uj(Energy::from_pj(s[0])),
+                uj(Energy::from_pj(s[1])),
+                uj(Energy::from_pj(s[2])),
+                uj(Energy::from_pj(s[3])),
+            ));
+        }
+        _ => out.push_str("run did not reach run_end (event stream truncated?)\n"),
+    }
+    out
+}
+
+/// Renders the full observability report: the grid-wide phase table,
+/// the `top_k` hottest cells, and — when `cell` names a traced job —
+/// that cell's epoch timeline.
+pub fn render_trace_report(traces: &[CellTrace], cell: Option<&Job>, top_k: usize) -> String {
+    let total_events: usize = traces.iter().map(|t| t.events.len()).sum();
+    let dropped: u64 = traces.iter().map(|t| t.dropped_events).sum();
+    let mut out = format!(
+        "Observability report: {} cells, {} events\n",
+        traces.len(),
+        total_events
+    );
+    if dropped > 0 {
+        out.push_str(&format!(
+            "({dropped} events dropped past the per-cell cap)\n"
+        ));
+    }
+    out.push_str("\n== Phase times across the grid ==\n");
+    out.push_str(&render_phase_table(traces));
+    out.push_str("\n== Hottest cells ==\n");
+    out.push_str(&render_hot_cells(traces, top_k));
+    if let Some(job) = cell {
+        out.push('\n');
+        match traces.iter().find(|t| t.job == *job) {
+            Some(t) => out.push_str(&render_timeline(t)),
+            None => out.push_str(&format!("no trace recorded for cell {job}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_key_roundtrips_display_form() {
+        let job = Job::run("Schematic", "crc", 10_000);
+        assert_eq!(parse_job_key(&job.to_string()), Some(job));
+        assert_eq!(parse_job_key("run/Schematic/crc"), None);
+        assert_eq!(parse_job_key("nope/Schematic/crc/0"), None);
+        assert_eq!(parse_job_key("run/Schematic/crc/zero"), None);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = CellTrace {
+            job: Job::bare("crc"),
+            wall_nanos: 42,
+            phases: Vec::new(),
+            counters: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        };
+        let text = to_jsonl(std::slice::from_ref(&t));
+        assert_eq!(from_jsonl(&text).unwrap(), vec![t]);
+    }
+
+    #[test]
+    fn renderers_tolerate_empty_input() {
+        assert!(render_phase_table(&[]).contains("no spans"));
+        let t = CellTrace {
+            job: Job::bare("crc"),
+            wall_nanos: 1,
+            phases: Vec::new(),
+            counters: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        };
+        assert!(render_timeline(&t).contains("no emulator events"));
+        let report = render_trace_report(&[t], Some(&Job::bare("fft")), 3);
+        assert!(report.contains("no trace recorded for cell bare/-/fft/0"));
+    }
+}

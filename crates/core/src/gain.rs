@@ -92,6 +92,7 @@ pub(crate) fn select_allocation(
     bounds: IntervalBounds,
     capacity_bytes: usize,
 ) -> GainSelection {
+    let _span = schematic_obs::span("analyze/allocation");
     let mut vm = VarSet::empty();
     let mut used = 0usize;
     for v in mandatory.iter() {
@@ -128,6 +129,19 @@ pub(crate) fn select_allocation(
             vm.insert(v);
             used += bytes;
             total_gain += g;
+            if schematic_obs::enabled() {
+                // Decision log: every accepted gain-ranked VM candidate
+                // (gains are positive here by the filter above).
+                schematic_obs::count("alloc/picks", 1);
+                schematic_obs::event(
+                    "alloc_pick",
+                    vec![
+                        ("var", ctx.module.var(v).name.as_str().into()),
+                        ("gain_pj", u64::try_from(g).unwrap_or(u64::MAX).into()),
+                        ("bytes", (bytes as u64).into()),
+                    ],
+                );
+            }
         }
     }
     GainSelection {

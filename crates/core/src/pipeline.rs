@@ -74,12 +74,16 @@ pub fn compile_with_profile(
 
     // Pre-pass: split blocks too large for the budget (footnote 2).
     let mut m = module.clone();
-    let splits = split_large_blocks(&mut m, table, config.eb)?;
+    let splits = {
+        let _span = schematic_obs::span("compile/split");
+        split_large_blocks(&mut m, table, config.eb)?
+    };
 
     let own_profile;
     let profile = match (profile, splits) {
         (Some(p), 0) => p,
         _ => {
+            let _span = schematic_obs::span("compile/profile");
             own_profile = Profile::collect(&m, table, config.profile_runs);
             &own_profile
         }
@@ -94,6 +98,7 @@ pub fn compile_with_profile(
     let mut summaries = vec![FuncSummary::default(); m.funcs.len()];
     let mut decisions: Vec<FuncDecisions> = vec![FuncDecisions::default(); m.funcs.len()];
 
+    let analyze_span = schematic_obs::span("compile/analyze");
     for fid in order {
         let snapshot = summaries.clone();
         // Callees keep 1/8 of the budget in reserve so the caller can
@@ -140,9 +145,16 @@ pub fn compile_with_profile(
             Err(e) => return Err(e),
         }
     }
+    drop(analyze_span);
 
-    let mut instrumented = instrument(&m, &decisions, "Schematic");
-    let repairs = patch_placement(&mut instrumented, table, config.eb, 256)?;
+    let mut instrumented = {
+        let _span = schematic_obs::span("compile/instrument");
+        instrument(&m, &decisions, "Schematic")
+    };
+    let repairs = {
+        let _span = schematic_obs::span("compile/patch");
+        patch_placement(&mut instrumented, table, config.eb, 256)?
+    };
 
     // SVM must hold the largest per-block footprint.
     let peak = instrumented.plan.peak_bytes(&instrumented.module);
@@ -155,7 +167,10 @@ pub fn compile_with_profile(
         });
     }
 
-    let report = verify_placement(&instrumented, table, config.eb);
+    let report = {
+        let _span = schematic_obs::span("compile/verify");
+        verify_placement(&instrumented, table, config.eb)
+    };
     debug_assert!(report.is_sound(), "{:?}", report.violations);
     Ok(Compiled {
         instrumented,

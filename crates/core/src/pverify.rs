@@ -710,6 +710,22 @@ pub fn patch_placement(
         };
         let stuck = last == Some((v.func, v.block, v.energy));
         last = Some((v.func, v.block, v.energy));
+        if schematic_obs::enabled() {
+            // Decision log: one event per repair round, carrying the
+            // violation that drives the round's action.
+            schematic_obs::count("patch/rounds", 1);
+            schematic_obs::event(
+                "patch_round",
+                vec![
+                    ("violations", (report.violations.len() as u64).into()),
+                    ("func", u64::from(v.func.0).into()),
+                    ("block", v.block.to_string().into()),
+                    ("energy_pj", v.energy.as_pj().into()),
+                    ("detail", v.detail.as_str().into()),
+                    ("stuck", u64::from(stuck).into()),
+                ],
+            );
+        }
         if stuck {
             // Inserting checkpoints did not move the needle: the stretch
             // is fed by a structure we cannot split (a barrier's exit or

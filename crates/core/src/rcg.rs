@@ -318,6 +318,7 @@ pub(crate) fn place_on_path(
     path: &ItemPath,
     env: PathEnv,
 ) -> Option<PlacedPath> {
+    let _span = schematic_obs::span("analyze/rcg");
     let n = path.items.len();
     debug_assert_eq!(path.links.len() + 1, n.max(1));
 

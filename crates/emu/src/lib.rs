@@ -45,6 +45,7 @@ pub mod memory;
 pub mod metrics;
 pub mod power;
 pub mod shadow;
+pub mod trace;
 
 pub use decoded::DecodedModule;
 pub use error::{EmuError, TrapKind};

@@ -57,6 +57,12 @@ pub struct RunConfig {
     /// fused block dispatch for the run (metrics stay bit-identical,
     /// the run is just slower), so it is off by default.
     pub shadow_war: bool,
+    /// Emit the intermittent-execution lifecycle as structured
+    /// [`schematic_obs`] events (see [`crate::trace`]). Also enabled by
+    /// `SCHEMATIC_TRACE=1` or [`crate::trace::set_forced`]. Like
+    /// [`RunConfig::shadow_war`], disables fused dispatch for the run;
+    /// metrics stay bit-identical.
+    pub trace: bool,
 }
 
 impl Default for RunConfig {
@@ -72,6 +78,7 @@ impl Default for RunConfig {
             record_trace: false,
             max_trace: 4_000_000,
             shadow_war: false,
+            trace: false,
         }
     }
 }
@@ -250,6 +257,9 @@ pub struct Machine<'a> {
     /// Cross-validation recorder (see [`crate::shadow`]); `None` on the
     /// default fast path.
     shadow: Option<ShadowRecorder>,
+    /// Lifecycle event tracing (see [`crate::trace`]); `false` on the
+    /// default fast path.
+    tracing: bool,
 }
 
 impl<'a> Machine<'a> {
@@ -283,6 +293,9 @@ impl<'a> Machine<'a> {
         let shadow_on =
             config.shadow_war || std::env::var_os("SCHEMATIC_SHADOW_WAR").is_some_and(|v| v == "1");
         let shadow = shadow_on.then(|| ShadowRecorder::new(im.module.vars.len()));
+        let tracing = config.trace
+            || crate::trace::forced()
+            || std::env::var_os("SCHEMATIC_TRACE").is_some_and(|v| v == "1");
         Machine {
             im,
             table,
@@ -305,7 +318,16 @@ impl<'a> Machine<'a> {
             pending_failure: false,
             trace: Vec::new(),
             shadow,
+            tracing,
         }
+    }
+
+    /// Emits one lifecycle trace event, appending the cumulative Fig. 6
+    /// energy snapshot (see [`crate::trace`]). Call sites gate on
+    /// `self.tracing`.
+    fn emit(&self, kind: &'static str, mut fields: Vec<(&'static str, schematic_obs::Value)>) {
+        fields.extend(crate::trace::snapshot_fields(&self.metrics));
+        schematic_obs::event(kind, fields);
     }
 
     /// Runs the program to an outcome.
@@ -317,6 +339,13 @@ impl<'a> Machine<'a> {
     /// both indicate an invalid program or instrumentation, not an
     /// intermittency effect.
     pub fn run(mut self) -> Result<RunOutcome, EmuError> {
+        if self.tracing {
+            let tbpf = match self.config.power {
+                PowerModel::Continuous => 0,
+                PowerModel::Periodic { tbpf } => tbpf,
+            };
+            self.emit("run_start", vec![("tbpf", tbpf.into())]);
+        }
         self.boot()?;
         loop {
             if self.metrics.active_cycles > self.config.max_active_cycles {
@@ -338,6 +367,12 @@ impl<'a> Machine<'a> {
     }
 
     fn finish(self, status: RunStatus, result: Option<i32>) -> RunOutcome {
+        if self.tracing {
+            self.emit(
+                "run_end",
+                vec![("status", crate::trace::status_label(status).into())],
+            );
+        }
         RunOutcome {
             status,
             result,
@@ -410,6 +445,9 @@ impl<'a> Machine<'a> {
             let cost = self.table.restore_words_cost(words);
             self.charge(cost, ChargeCat::Restore);
         }
+        if self.tracing {
+            self.emit("boot", vec![("words", (words as u64).into())]);
+        }
         self.update_peak_vm();
         // Rollback techniques have an implicit pre-deployment checkpoint
         // at program start so a failure before the first checkpoint
@@ -434,6 +472,15 @@ impl<'a> Machine<'a> {
     fn handle_failure(&mut self) -> Result<bool, EmuError> {
         self.pending_failure = false;
         self.metrics.power_failures += 1;
+        if self.tracing {
+            self.emit(
+                "power_failure",
+                vec![
+                    ("lost_insts", self.epoch_insts.into()),
+                    ("window_cycles", self.power.window_cycles().into()),
+                ],
+            );
+        }
         if self.im.policy == FailurePolicy::WaitRecharge {
             // Wait-mode placement guarantees failures only strike during
             // standby; one here means EB/WCEC was violated.
@@ -500,6 +547,19 @@ impl<'a> Machine<'a> {
         self.metrics.restores += 1;
         for &v in &image.restore_vars {
             self.load_with_evict(v)?;
+        }
+        if self.tracing {
+            let epoch = match image.cp_id {
+                Some(id) => format!("cp{}", id.0),
+                None => "boot".to_string(),
+            };
+            self.emit(
+                "restore",
+                vec![
+                    ("epoch", epoch.into()),
+                    ("words", (image.restore_words as u64).into()),
+                ],
+            );
         }
         self.image = Some(image);
         self.update_peak_vm();
@@ -632,8 +692,18 @@ impl<'a> Machine<'a> {
         if let CheckpointKind::Guarded { threshold } = spec.kind {
             // Voltage measurement (MEMENTOS).
             self.charge(self.table.cond_check, ChargeCat::Exec);
-            if self.power.remaining_fraction() >= threshold {
+            let frac = self.power.remaining_fraction();
+            if frac >= threshold {
                 self.metrics.checkpoints_skipped += 1;
+                if self.tracing {
+                    self.emit(
+                        "checkpoint_skip",
+                        vec![
+                            ("cp", u64::from(id.0).into()),
+                            ("charge_permille", ((frac * 1000.0) as u64).into()),
+                        ],
+                    );
+                }
                 return Ok(());
             }
         }
@@ -645,6 +715,15 @@ impl<'a> Machine<'a> {
         let cost = self.table.checkpoint_commit_cost(save_words);
         self.charge(cost, ChargeCat::Save);
         if self.pending_failure {
+            if self.tracing {
+                self.emit(
+                    "checkpoint_torn",
+                    vec![
+                        ("cp", u64::from(id.0).into()),
+                        ("words", (save_words as u64).into()),
+                    ],
+                );
+            }
             return Ok(()); // torn commit: old image stays authoritative
         }
         for &v in &spec.save_vars {
@@ -657,6 +736,15 @@ impl<'a> Machine<'a> {
             cp_id: Some(id),
         });
         self.metrics.checkpoints_committed += 1;
+        if self.tracing {
+            self.emit(
+                "checkpoint_commit",
+                vec![
+                    ("cp", u64::from(id.0).into()),
+                    ("words", (save_words as u64).into()),
+                ],
+            );
+        }
         self.committed_since_failure = true;
         self.furthest = 0;
         self.epoch_insts = 0;
@@ -670,6 +758,9 @@ impl<'a> Machine<'a> {
         match self.im.policy {
             FailurePolicy::WaitRecharge => {
                 self.metrics.sleep_events += 1;
+                if self.tracing {
+                    self.emit("sleep", vec![("cp", u64::from(id.0).into())]);
+                }
                 self.power.replenish();
                 self.pending_failure = false;
                 if self.config.retentive_sleep {
@@ -687,6 +778,13 @@ impl<'a> Machine<'a> {
                     self.metrics.restores += 1;
                     for &v in &spec.restore_vars {
                         self.load_with_evict(v)?;
+                    }
+                    if self.tracing {
+                        let words = spec.restore_words(&self.im.module) as u64;
+                        self.emit(
+                            "wakeup",
+                            vec![("cp", u64::from(id.0).into()), ("words", words.into())],
+                        );
                     }
                 }
             }
@@ -706,6 +804,15 @@ impl<'a> Machine<'a> {
                 if migrate_words > 0 {
                     let cost = self.table.restore_words_cost(migrate_words);
                     self.charge(cost, ChargeCat::Restore);
+                    if self.tracing {
+                        self.emit(
+                            "migrate",
+                            vec![
+                                ("cp", u64::from(id.0).into()),
+                                ("words", (migrate_words as u64).into()),
+                            ],
+                        );
+                    }
                 }
             }
         }
@@ -926,7 +1033,7 @@ impl<'a> Machine<'a> {
         // same category as the instructions'.
         // Shadow mode steps every memory access individually so the
         // recorder sees the true NVM access order.
-        if ip == 0 && db.fusable && self.shadow.is_none() {
+        if ip == 0 && db.fusable && self.shadow.is_none() && !self.tracing {
             let ub = db.fused.ub_cost;
             let n = db.insts.len() as u64;
             if self.power.headroom(ub.cycles)

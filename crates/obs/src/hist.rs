@@ -1,0 +1,225 @@
+//! Log-linear histogram over `u64` samples.
+//!
+//! The bucket layout is HdrHistogram-shaped: values below 16 get exact
+//! buckets, and every power-of-two range above that is split into 16
+//! sub-buckets, so relative error is bounded by 1/16 (~6 %) across the
+//! full `u64` range with a fixed 976-bucket footprint. That is plenty
+//! for the quantities the repo records — span nanoseconds, throughput
+//! samples — while keeping merges a plain bucketwise add, which is what
+//! makes per-thread collectors combine deterministically regardless of
+//! worker count or completion order.
+
+/// Sub-buckets per power-of-two range (and the width of the exact
+/// low-value range).
+const SUB: usize = 16;
+/// log2 of [`SUB`].
+const SUB_BITS: u32 = 4;
+/// Total bucket count: the exact group plus one group per MSB position
+/// 4..=63.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// The bucket index of `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    (msb - SUB_BITS + 1) as usize * SUB + sub
+}
+
+/// The smallest value that maps to bucket `idx` (the bucket's
+/// representative when reporting quantiles).
+fn bucket_floor(idx: usize) -> u64 {
+    let group = idx / SUB;
+    let sub = (idx % SUB) as u64;
+    if group == 0 {
+        return sub;
+    }
+    let msb = group as u32 + SUB_BITS - 1;
+    (1u64 << msb) + (sub << (msb - SUB_BITS))
+}
+
+/// A mergeable log-linear histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean rounded down (`0` when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `num/den` quantile (e.g. `quantile(95, 100)` for p95),
+    /// resolved to the floor of the bucket holding that rank and clamped
+    /// to the exact observed `[min, max]`. Integer arithmetic only, so
+    /// the result is identical on every host.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `den == 0` or `num > den`.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0 && num <= den, "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        if num == den {
+            return self.max;
+        }
+        // Zero-indexed rank of the requested quantile.
+        let rank = num * (self.count - 1) / den;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return bucket_floor(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`: bucketwise adds, so merging is
+    /// commutative and associative — the deterministic-merge property
+    /// the parallel driver relies on.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut last = 0;
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 1000, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket order broke at {v}");
+            assert!(b < BUCKETS);
+            assert!(bucket_floor(b) <= v, "floor of bucket {b} exceeds {v}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn exact_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_floor(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(50, 100);
+        let p95 = h.quantile(95, 100);
+        // Bucketed resolution: within one 1/16 sub-bucket of the truth.
+        assert!((450..=512).contains(&p50), "p50 = {p50}");
+        assert!((896..=1000).contains(&p95), "p95 = {p95}");
+        assert!(p50 <= p95);
+        assert_eq!(h.quantile(0, 100), 1);
+        assert_eq!(h.quantile(100, 100), 1000);
+    }
+
+    #[test]
+    fn merge_equals_single_recording() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..500u64 {
+            all.record(v * 7);
+            if v % 2 == 0 {
+                a.record(v * 7);
+            } else {
+                b.record(v * 7);
+            }
+        }
+        // Merge in both orders: identical to recording everything into
+        // one histogram.
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(95, 100), 0);
+    }
+}

@@ -1,0 +1,388 @@
+//! In-tree structured tracing and metrics for the SCHEMATIC reproduction.
+//!
+//! Three primitives, all zero-dependency and cheap enough to leave
+//! compiled into release binaries:
+//!
+//! * **Spans** — scoped wall-clock timers ([`span`]) that aggregate per
+//!   name into call count, total nanoseconds and a log-linear
+//!   [`Histogram`] for quantiles.
+//! * **Counters** — monotonic named counters ([`count`]).
+//! * **Events** — structured records ([`event`]) with ordered key/value
+//!   fields, used for the emulator's intermittent-execution lifecycle
+//!   stream and the compiler's decision log.
+//!
+//! Everything lands in a thread-local [`Registry`]. The work-stealing
+//! grid driver runs each cell with [`capture`], which swaps in a fresh
+//! registry for the closure and hands it back, so per-cell results are
+//! identical no matter which worker thread ran the cell or in what
+//! order. Registries merge deterministically ([`Registry::merge_from`]):
+//! spans and counters are keyed by `BTreeMap`, histograms add
+//! bucketwise, events concatenate in emission order.
+//!
+//! Collection is gated on a single process-global flag
+//! ([`set_enabled`]). When disabled — the default — every entry point
+//! reduces to one relaxed atomic load, which keeps the instrumentation
+//! out of the emulator's measured hot paths.
+//!
+//! Span totals are inclusive wall-clock sums: spans may nest (e.g. the
+//! RCG span runs inside the placement span), so per-name totals are not
+//! mutually exclusive shares of the parent.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+
+pub use hist::Histogram;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Hard cap on buffered events per registry. Pathological cells (tiny
+/// TBPF on a large benchmark) can otherwise emit millions of lifecycle
+/// events; past the cap the buffer behaves as a ring — the *oldest*
+/// event is discarded (counted in [`Registry::dropped_events`]) so the
+/// most recent run's lifecycle, including its closing `run_end`
+/// snapshot, always survives truncation.
+pub const MAX_EVENTS: usize = 1 << 17;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is currently enabled. A single relaxed load, so
+/// instrumentation sites stay negligible when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A field value in an [`Event`]: the repo's JSON dialect is
+/// u64-and-string only, and the event stream sticks to the same shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An unsigned integer (cycles, picojoules, ids, ...).
+    U64(u64),
+    /// A short label (status names, variable names, ...).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// One structured record: a kind tag plus ordered key/value fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event kind, e.g. `"checkpoint_commit"` or `"alloc_pick"`.
+    pub kind: String,
+    /// Ordered fields; order is part of the serialized form.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// The value of field `name`, if present.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The value of u64 field `name`, if present with that type.
+    pub fn u64_field(&self, name: &str) -> Option<u64> {
+        match self.field(name) {
+            Some(Value::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregated timings for one span name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across all calls.
+    pub total_nanos: u64,
+    /// Per-call nanosecond distribution.
+    pub hist: Histogram,
+}
+
+impl PhaseStats {
+    fn record(&mut self, nanos: u64) {
+        self.calls += 1;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+        self.hist.record(nanos);
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge_from(&mut self, other: &PhaseStats) {
+        self.calls += other.calls;
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+        self.hist.merge_from(&other.hist);
+    }
+}
+
+/// Everything one thread (or one [`capture`] scope) collected.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// Span aggregates keyed by span name.
+    pub spans: BTreeMap<String, PhaseStats>,
+    /// Monotonic counters keyed by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Structured events in emission order, capped at [`MAX_EVENTS`]
+    /// with ring semantics (oldest dropped first).
+    pub events: VecDeque<Event>,
+    /// Oldest events discarded after the cap was reached.
+    pub dropped_events: u64,
+}
+
+impl Registry {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.events.is_empty()
+            && self.dropped_events == 0
+    }
+
+    /// Folds `other` into `self`. Keyed aggregates add; events append
+    /// in `other`'s order. Merging a fixed set of registries produces
+    /// the same result regardless of how the work that filled them was
+    /// scheduled.
+    pub fn merge_from(&mut self, other: Registry) {
+        for (name, stats) in other.spans {
+            self.spans.entry(name).or_default().merge_from(&stats);
+        }
+        for (name, n) in other.counters {
+            *self.counters.entry(name).or_default() += n;
+        }
+        for ev in other.events {
+            self.push_event(ev);
+        }
+        self.dropped_events += other.dropped_events;
+    }
+
+    fn push_event(&mut self, ev: Event) {
+        if self.events.len() == MAX_EVENTS {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// A live span; records into the thread-local registry on drop. Created
+/// by [`span`].
+#[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts a scoped timer. When collection is disabled this is a single
+/// atomic load and the guard is inert.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            LOCAL.with(|l| {
+                l.borrow_mut()
+                    .spans
+                    .entry(self.name.to_string())
+                    .or_default()
+                    .record(nanos);
+            });
+        }
+    }
+}
+
+/// Adds `n` to the named counter (no-op when collection is disabled).
+#[inline]
+pub fn count(name: &'static str, n: u64) {
+    if enabled() {
+        LOCAL.with(|l| {
+            *l.borrow_mut().counters.entry(name.to_string()).or_default() += n;
+        });
+    }
+}
+
+/// Records a structured event (no-op when collection is disabled).
+pub fn event(kind: &str, fields: Vec<(&str, Value)>) {
+    if enabled() {
+        LOCAL.with(|l| {
+            l.borrow_mut().push_event(Event {
+                kind: kind.to_string(),
+                fields: fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            });
+        });
+    }
+}
+
+/// Takes the calling thread's registry, leaving an empty one behind.
+pub fn take_local() -> Registry {
+    LOCAL.with(|l| std::mem::take(&mut *l.borrow_mut()))
+}
+
+/// Runs `f` with a fresh thread-local registry and returns whatever it
+/// recorded alongside its result. Anything the thread had collected
+/// before the call is restored afterwards, so captures nest safely.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Registry) {
+    let saved = take_local();
+    let result = f();
+    let captured = take_local();
+    LOCAL.with(|l| *l.borrow_mut() = saved);
+    (result, captured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the process-global enabled flag.
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(false);
+        let (_, reg) = capture(|| {
+            let _s = span("phase");
+            count("hits", 3);
+            event("kind", vec![("k", Value::U64(1))]);
+        });
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn capture_scopes_are_isolated_and_restore() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(true);
+        let prior = take_local();
+        count("outer", 1);
+        let (_, inner) = capture(|| {
+            count("inner", 5);
+            event("e", vec![("n", Value::U64(9))]);
+        });
+        assert_eq!(inner.counters.get("inner"), Some(&5));
+        assert_eq!(inner.counters.get("outer"), None);
+        assert_eq!(inner.events.len(), 1);
+        // The outer context survived the capture.
+        let outer = take_local();
+        assert_eq!(outer.counters.get("outer"), Some(&1));
+        assert_eq!(outer.counters.get("inner"), None);
+        set_enabled(false);
+        LOCAL.with(|l| *l.borrow_mut() = prior);
+    }
+
+    #[test]
+    fn spans_aggregate_by_name() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(true);
+        let (_, reg) = capture(|| {
+            for _ in 0..4 {
+                let _s = span("work");
+            }
+        });
+        set_enabled(false);
+        let stats = reg.spans.get("work").expect("span recorded");
+        assert_eq!(stats.calls, 4);
+        assert_eq!(stats.hist.count(), 4);
+        assert!(stats.total_nanos >= stats.hist.min());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Registry::default();
+        a.counters.insert("x".into(), 2);
+        a.spans.entry("s".into()).or_default().record(100);
+        a.push_event(Event {
+            kind: "e1".into(),
+            fields: vec![("v".into(), Value::U64(1))],
+        });
+        let mut b = Registry::default();
+        b.counters.insert("x".into(), 3);
+        b.counters.insert("y".into(), 1);
+        b.spans.entry("s".into()).or_default().record(300);
+
+        let mut ab = Registry::default();
+        ab.merge_from(a.clone());
+        ab.merge_from(b.clone());
+        let mut ba = Registry::default();
+        ba.merge_from(b);
+        ba.merge_from(a);
+
+        assert_eq!(ab.counters, ba.counters);
+        assert_eq!(ab.spans, ba.spans);
+        assert_eq!(ab.counters.get("x"), Some(&5));
+        let s = &ab.spans["s"];
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.total_nanos, 400);
+        assert_eq!(s.hist.max(), 300);
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let mut r = Registry::default();
+        for i in 0..(MAX_EVENTS + 10) {
+            r.push_event(Event {
+                kind: format!("e{i}"),
+                fields: Vec::new(),
+            });
+        }
+        assert_eq!(r.events.len(), MAX_EVENTS);
+        assert_eq!(r.dropped_events, 10);
+        // Ring semantics: the oldest events were dropped, the newest kept.
+        assert_eq!(r.events.front().unwrap().kind, "e10");
+        assert_eq!(
+            r.events.back().unwrap().kind,
+            format!("e{}", MAX_EVENTS + 9)
+        );
+    }
+
+    #[test]
+    fn event_field_lookup() {
+        let ev = Event {
+            kind: "k".into(),
+            fields: vec![
+                ("a".into(), Value::U64(7)),
+                ("b".into(), Value::Str("x".into())),
+            ],
+        };
+        assert_eq!(ev.u64_field("a"), Some(7));
+        assert_eq!(ev.u64_field("b"), None);
+        assert_eq!(ev.field("b"), Some(&Value::Str("x".into())));
+        assert_eq!(ev.field("c"), None);
+    }
+}

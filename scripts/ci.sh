@@ -36,6 +36,22 @@ diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/merged.txt"
 echo "merged 2-shard render byte-identical to single-process render"
 "$GRIDRUN" --quick --spawn 2 > /dev/null
 
+echo "== tracereport smoke (release) =="
+# Trace the quick grid, render the observability report, and require a
+# non-empty render that parses cleanly. The traced render must stay
+# byte-identical to the untraced one (tracing is observation-only).
+cargo build --release --offline -p schematic-bench --bin tracereport
+TRACEREPORT=target/release/tracereport
+"$GRIDRUN" --quick --trace "$GRIDDIR/trace.jsonl" > "$GRIDDIR/traced.txt"
+diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/traced.txt"
+echo "traced render byte-identical to untraced render"
+"$TRACEREPORT" "$GRIDDIR/trace.jsonl" --cell run/Schematic/crc/10000 --top 5 \
+  > "$GRIDDIR/tracereport.txt"
+test -s "$GRIDDIR/tracereport.txt"
+grep -q "Phase times across the grid" "$GRIDDIR/tracereport.txt"
+grep -q "Fig. 6 split" "$GRIDDIR/tracereport.txt"
+echo "tracereport rendered $(wc -l < "$GRIDDIR/tracereport.txt") lines"
+
 echo "== perfsmoke --quick (release) =="
 # Surfaces hot-path throughput in the CI log without rewriting
 # BENCH_perf.json (quick windows jitter too much to commit). Set
