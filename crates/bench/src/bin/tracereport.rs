@@ -6,6 +6,9 @@
 //! tracereport FILE --top K               # show the K hottest cells (default 10)
 //! tracereport FILE --cell run/Schematic/crc/10000
 //!                                        # also render that cell's epoch timeline
+//! tracereport --diff BASE.jsonl CAND.jsonl [--threshold PCT]
+//!                                        # phase-by-phase comparison; flags cells
+//!                                        # whose wall time regressed > PCT % (25)
 //! ```
 //!
 //! The timeline's closing "Fig. 6 split" line is computed purely from
@@ -13,24 +16,49 @@
 //! cell's computation/save/restore/re-execution breakdown exactly as
 //! the grid reports print it.
 //!
-//! Exit codes: 0 on success, 2 on usage or artifact errors.
+//! Exit codes: 0 on success, 1 when `--diff` flags a regressed cell,
+//! 2 on usage or artifact errors.
 
-use schematic_bench::trace::{from_jsonl, parse_job_key, render_trace_report};
+use schematic_bench::trace::{from_jsonl, parse_job_key, render_trace_diff, render_trace_report};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: tracereport FILE [--cell KIND/TECHNIQUE/BENCHMARK/TBPF] [--top K]");
+    eprintln!(
+        "usage: tracereport FILE [--cell KIND/TECHNIQUE/BENCHMARK/TBPF] [--top K]\n\
+         usage: tracereport --diff BASE.jsonl CAND.jsonl [--threshold PCT]"
+    );
     std::process::exit(2);
+}
+
+fn load(file: &str) -> Vec<schematic_bench::trace::CellTrace> {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("tracereport: {file}: {e}");
+        std::process::exit(2);
+    });
+    from_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("tracereport: {file}: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut file = None;
+    let mut files: Vec<String> = Vec::new();
     let mut cell = None;
     let mut top_k = 10usize;
+    let mut diff = false;
+    let mut threshold_pct = 25.0f64;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--diff" => diff = true,
+            "--threshold" => {
+                threshold_pct = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
             "--cell" => {
                 let key = it.next().unwrap_or_else(|| usage());
                 cell = Some(parse_job_key(&key).unwrap_or_else(|| {
@@ -46,26 +74,28 @@ fn main() -> ExitCode {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
-            _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
+            _ if !arg.starts_with('-') => files.push(arg),
             _ => usage(),
         }
     }
-    let file = file.unwrap_or_else(|| usage());
-    let text = match std::fs::read_to_string(&file) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("tracereport: {file}: {e}");
-            return ExitCode::from(2);
+    if diff {
+        if files.len() != 2 || cell.is_some() {
+            usage();
         }
-    };
-    match from_jsonl(&text) {
-        Ok(traces) => {
-            print!("{}", render_trace_report(&traces, cell.as_ref(), top_k));
+        let baseline = load(&files[0]);
+        let candidate = load(&files[1]);
+        let (report, flagged) = render_trace_diff(&baseline, &candidate, threshold_pct / 100.0);
+        print!("{report}");
+        return if flagged {
+            ExitCode::from(1)
+        } else {
             ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("tracereport: {file}: {e}");
-            ExitCode::from(2)
-        }
+        };
     }
+    if files.len() != 1 {
+        usage();
+    }
+    let traces = load(&files[0]);
+    print!("{}", render_trace_report(&traces, cell.as_ref(), top_k));
+    ExitCode::SUCCESS
 }

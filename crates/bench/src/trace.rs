@@ -568,6 +568,150 @@ pub fn render_trace_report(traces: &[CellTrace], cell: Option<&Job>, top_k: usiz
     out
 }
 
+/// Compares two trace artifacts phase-by-phase and cell-by-cell:
+/// `tracereport --diff BASELINE CANDIDATE`. Wall-clock times are
+/// compared per cell (matched by grid key) and per aggregated phase;
+/// a cell whose wall time grew by more than `threshold` (a fraction,
+/// e.g. `0.25` for +25 %) is *flagged* as regressed. Returns the
+/// rendered report and whether any cell was flagged, so the binary
+/// can exit nonzero for CI gating.
+///
+/// Timings are wall-clock and host-sensitive — the threshold exists
+/// precisely so jitter does not flag; compare artifacts captured on
+/// the same host, and treat single-cell flags as a prompt to re-run,
+/// not a verdict.
+pub fn render_trace_diff(
+    baseline: &[CellTrace],
+    candidate: &[CellTrace],
+    threshold: f64,
+) -> (String, bool) {
+    let mut out = format!(
+        "Trace diff: {} baseline cell(s) vs {} candidate cell(s), flagging > +{:.0} %\n",
+        baseline.len(),
+        candidate.len(),
+        threshold * 100.0
+    );
+
+    // Phase-by-phase: aggregate each side like the phase table does.
+    let agg = |traces: &[CellTrace]| {
+        let mut m: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for t in traces {
+            for p in &t.phases {
+                let e = m.entry(p.name.clone()).or_default();
+                e.0 += p.calls;
+                e.1 += p.total_nanos;
+            }
+        }
+        m
+    };
+    let (a, b) = (agg(baseline), agg(candidate));
+    let names: Vec<&String> = a
+        .keys()
+        .chain(b.keys().filter(|k| !a.contains_key(*k)))
+        .collect();
+    let delta_pct = |old: u64, new: u64| -> String {
+        if old == 0 {
+            return if new == 0 { "-".into() } else { "new".into() };
+        }
+        format!("{:+.1}", (new as f64 - old as f64) * 100.0 / old as f64)
+    };
+    out.push_str("\n== Phase times (aggregated) ==\n");
+    let headers = vec![
+        "phase".to_string(),
+        "base ms".to_string(),
+        "cand ms".to_string(),
+        "delta %".to_string(),
+        "base calls".to_string(),
+        "cand calls".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .map(|name| {
+            let (ac, at) = a.get(*name).copied().unwrap_or((0, 0));
+            let (bc, bt) = b.get(*name).copied().unwrap_or((0, 0));
+            vec![
+                (*name).clone(),
+                ms(at),
+                ms(bt),
+                delta_pct(at, bt),
+                ac.to_string(),
+                bc.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(&headers, &rows));
+
+    // Cell-by-cell wall clock, flagging regressions past the threshold.
+    let index: BTreeMap<&Job, &CellTrace> = baseline.iter().map(|t| (&t.job, t)).collect();
+    let mut regressed: Vec<(String, u64, u64, f64)> = Vec::new();
+    let mut only_candidate = 0usize;
+    for t in candidate {
+        match index.get(&t.job) {
+            Some(base) => {
+                let grew = t.wall_nanos as f64 - base.wall_nanos as f64;
+                let frac = if base.wall_nanos == 0 {
+                    f64::INFINITY
+                } else {
+                    grew / base.wall_nanos as f64
+                };
+                if frac > threshold {
+                    regressed.push((t.job.to_string(), base.wall_nanos, t.wall_nanos, frac));
+                }
+            }
+            None => only_candidate += 1,
+        }
+    }
+    let candidate_keys: std::collections::BTreeSet<&Job> =
+        candidate.iter().map(|t| &t.job).collect();
+    let only_baseline = baseline
+        .iter()
+        .filter(|t| !candidate_keys.contains(&t.job))
+        .count();
+    regressed.sort_by(|x, y| y.3.total_cmp(&x.3).then(x.0.cmp(&y.0)));
+    out.push_str("\n== Regressed cells ==\n");
+    if regressed.is_empty() {
+        out.push_str(&format!(
+            "none (no common cell grew by more than +{:.0} %)\n",
+            threshold * 100.0
+        ));
+    } else {
+        let headers = vec![
+            "cell".to_string(),
+            "base ms".to_string(),
+            "cand ms".to_string(),
+            "delta %".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = regressed
+            .iter()
+            .map(|(key, base, cand, frac)| {
+                vec![
+                    key.clone(),
+                    ms(*base),
+                    ms(*cand),
+                    format!("{:+.1}", frac * 100.0),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(&headers, &rows));
+    }
+    if only_baseline > 0 || only_candidate > 0 {
+        out.push_str(&format!(
+            "(cells without a counterpart: {only_baseline} baseline-only, \
+             {only_candidate} candidate-only)\n"
+        ));
+    }
+    let flagged = !regressed.is_empty();
+    out.push_str(&format!(
+        "verdict: {}\n",
+        if flagged {
+            "REGRESSED — at least one cell exceeded the threshold"
+        } else {
+            "OK — no cell exceeded the threshold"
+        }
+    ));
+    (out, flagged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -609,5 +753,65 @@ mod tests {
         assert!(render_timeline(&t).contains("no emulator events"));
         let report = render_trace_report(&[t], Some(&Job::bare("fft")), 3);
         assert!(report.contains("no trace recorded for cell bare/-/fft/0"));
+    }
+
+    fn cell(name: &str, wall: u64, phase_nanos: u64) -> CellTrace {
+        CellTrace {
+            job: Job::bare(name),
+            wall_nanos: wall,
+            phases: vec![PhaseLine {
+                name: "cell/emulate".into(),
+                calls: 1,
+                total_nanos: phase_nanos,
+                p50_nanos: phase_nanos,
+                p95_nanos: phase_nanos,
+            }],
+            counters: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn diff_flags_only_cells_past_the_threshold() {
+        let base = vec![
+            cell("crc", 1_000_000, 900_000),
+            cell("fft", 1_000_000, 900_000),
+        ];
+        // crc +50 % (flagged at a 25 % threshold), fft +10 % (not).
+        let cand = vec![
+            cell("crc", 1_500_000, 1_400_000),
+            cell("fft", 1_100_000, 990_000),
+        ];
+        let (report, flagged) = render_trace_diff(&base, &cand, 0.25);
+        assert!(flagged);
+        assert!(report.contains("bare/-/crc/0"));
+        assert!(!report.contains("bare/-/fft/0"));
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("cell/emulate"));
+
+        let (report, flagged) = render_trace_diff(&base, &cand, 0.60);
+        assert!(!flagged);
+        assert!(report.contains("OK — no cell exceeded the threshold"));
+    }
+
+    #[test]
+    fn diff_tolerates_one_sided_cells_and_empty_artifacts() {
+        let base = vec![cell("crc", 100, 90), cell("dijkstra", 100, 90)];
+        let cand = vec![cell("crc", 100, 90), cell("fft", 100, 90)];
+        let (report, flagged) = render_trace_diff(&base, &cand, 0.25);
+        assert!(!flagged);
+        assert!(report.contains("1 baseline-only, 1 candidate-only"));
+
+        // Wholly new cells (zero-wall baseline is impossible for a real
+        // capture, but the renderer must not divide by zero).
+        let (report, flagged) = render_trace_diff(&[], &cand, 0.25);
+        assert!(!flagged);
+        assert!(report.contains("0 baseline cell(s) vs 2 candidate cell(s)"));
+        let (_, flagged) = render_trace_diff(&[cell("crc", 0, 0)], &[cell("crc", 1, 1)], 0.25);
+        assert!(
+            flagged,
+            "growth from a zero-wall baseline counts as regressed"
+        );
     }
 }

@@ -759,7 +759,7 @@ pub fn patch_placement(
                 // (the loop's worst exit energy flows to wherever the
                 // interval finally closes). Give the fattest such loop a
                 // per-iteration reset.
-                acted = split_feeding_loop(im, table, v.func);
+                acted = split_feeding_loop(im, table, eb, v.func);
             }
             if !acted {
                 break;
@@ -948,23 +948,36 @@ pub fn patch_placement(
     }
 }
 
-/// Inserts a checkpoint into the body of the checkpoint-free loop with
-/// the largest worst-case accumulation (per-iteration body energy ×
-/// trip bound) anywhere in `fid`. Returns `false` when every loop
-/// already resets (or the chosen body block cannot be split).
+/// Inserts an every-`k`-iterations [`Inst::CondCheckpoint`] into the
+/// body of the checkpoint-free loop with the largest worst-case
+/// accumulation (per-iteration body energy × trip bound) anywhere in
+/// `fid`. Returns `false` when every loop already resets (or the chosen
+/// body block cannot be split).
 ///
 /// This is the stuck-escalation of [`patch_placement`]: a stretch that
 /// closes over budget can be fed by a loop whose own accumulation sits
 /// *below* `EB` — never flagged as a loop violation, yet leaving no
 /// headroom for the segments and commit that close the interval
 /// downstream. The only placement that shrinks such a stretch is a
-/// reset inside the feeding loop itself.
-fn split_feeding_loop(im: &mut InstrumentedModule, table: &CostTable, fid: FuncId) -> bool {
+/// reset inside the feeding loop itself. An unconditional checkpoint
+/// there is overkill, though: the loop accumulates only `per_iter` per
+/// round, so resetting every `k = max(1, (EB/2) / per_iter)` iterations
+/// caps the carried stretch at roughly half the budget (leaving the
+/// other half for the downstream commit) while paying the save cost
+/// `k`× less often. If half-budget spacing is still too coarse, the
+/// stuck-escalation's period-halving pass tightens this same
+/// checkpoint on later rounds.
+fn split_feeding_loop(
+    im: &mut InstrumentedModule,
+    table: &CostTable,
+    eb: Energy,
+    fid: FuncId,
+) -> bool {
     let func = im.module.func(fid);
     let cfg = Cfg::new(func);
     let dom = Dominators::new(&cfg);
     let forest = LoopForest::new(func, &cfg, &dom);
-    let mut best: Option<(Energy, BlockId)> = None;
+    let mut best: Option<(Energy, Energy, BlockId)> = None;
     for lp in &forest.loops {
         let resets = lp
             .body
@@ -1003,12 +1016,15 @@ fn split_feeding_loop(im: &mut InstrumentedModule, table: &CostTable, fid: FuncI
             .copied()
             .max_by_key(|&b| func.block(b).insts.len())
             .unwrap_or(lp.header);
-        if best.is_none_or(|(e, _)| acc > e) {
-            best = Some((acc, target));
+        if best.is_none_or(|(e, _, _)| acc > e) {
+            best = Some((acc, per_iter, target));
         }
     }
     match best {
-        Some((_, target)) => insert_midgap_checkpoint(im, fid, target),
+        Some((_, per_iter, target)) => {
+            let k = ((eb.0 / 2) / per_iter.0.max(1)).clamp(1, u64::from(u32::MAX)) as u32;
+            insert_midgap(im, fid, target, Some(k))
+        }
         None => false,
     }
 }
@@ -1019,6 +1035,18 @@ fn split_feeding_loop(im: &mut InstrumentedModule, table: &CostTable, fid: FuncI
 /// block has no instruction to split around (nothing but checkpoints,
 /// or empty), in which case nothing is inserted.
 fn insert_midgap_checkpoint(im: &mut InstrumentedModule, fid: FuncId, block: BlockId) -> bool {
+    insert_midgap(im, fid, block, None)
+}
+
+/// [`insert_midgap_checkpoint`] generalized over the checkpoint kind:
+/// `period` of `Some(k)` inserts an every-`k`-firings
+/// [`Inst::CondCheckpoint`] instead of an unconditional one.
+fn insert_midgap(
+    im: &mut InstrumentedModule,
+    fid: FuncId,
+    block: BlockId,
+    period: Option<u32>,
+) -> bool {
     let (gap, pos) = {
         let insts = &im.module.func(fid).block(block).insts;
         let mut best = (0usize, 0usize); // (gap length, midpoint)
@@ -1048,11 +1076,15 @@ fn insert_midgap_checkpoint(im: &mut InstrumentedModule, fid: FuncId, block: Blo
         restore_vars: vars,
         kind: schematic_emu::CheckpointKind::Plain,
     });
+    let inst = match period {
+        Some(period) => Inst::CondCheckpoint { id, period },
+        None => Inst::Checkpoint { id },
+    };
     im.module
         .func_mut(fid)
         .block_mut(block)
         .insts
-        .insert(pos, Inst::Checkpoint { id });
+        .insert(pos, inst);
     true
 }
 
@@ -1247,6 +1279,57 @@ mod tests {
         let r = verify_placement(&im, &table, eb);
         assert!(r.is_sound(), "{:?}", r.violations);
         // Program still computes.
+        let out = schematic_emu::run(&im, schematic_emu::RunConfig::default()).unwrap();
+        assert!(out.completed());
+    }
+
+    #[test]
+    fn feeding_loop_split_emits_periodic_cond_checkpoint() {
+        // A checkpoint-free loop that accumulates under EB per
+        // iteration: split_feeding_loop must give it an every-k
+        // conditional reset, with k sized so ~k iterations stay within
+        // half the budget (not an unconditional checkpoint, which
+        // would pay the save cost every round).
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let h = f.new_block("h");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        let i = f.copy(0);
+        f.br(h);
+        f.switch_to(h);
+        f.set_max_iters(h, 200);
+        let c = f.cmp(CmpOp::UGe, i, 200);
+        f.cond_br(c, exit, body);
+        f.switch_to(body);
+        for _ in 0..4 {
+            let v = f.load_scalar(x);
+            f.store_scalar(x, v);
+        }
+        let i2 = f.bin(schematic_ir::BinOp::Add, i, 1);
+        f.copy_to(i, i2);
+        f.br(h);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let mut im = bare(mb.finish(main));
+        let table = CostTable::msp430fr5969();
+        let eb = Energy::from_uj(1);
+        assert!(split_feeding_loop(&mut im, &table, eb, FuncId(0)));
+        let periods: Vec<u32> = im.module.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|inst| match inst {
+                Inst::CondCheckpoint { period, .. } => Some(*period),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(periods.len(), 1, "exactly one conditional reset");
+        assert!(periods[0] > 1, "period {} should amortize", periods[0]);
+        // The inserted spec exists and the program still runs.
+        assert_eq!(im.checkpoints.len(), 1);
         let out = schematic_emu::run(&im, schematic_emu::RunConfig::default()).unwrap();
         assert!(out.completed());
     }

@@ -68,19 +68,26 @@ pub(crate) enum DInst {
         else_val: Operand,
     },
     /// `dst = load var[idx]` with the memory class pre-resolved from the
-    /// allocation plan of the enclosing block.
+    /// allocation plan of the enclosing block, and the variable's arena
+    /// word offset (`base`) and size (`words`) resolved so the access is
+    /// a single bounds check plus one arena index at run time.
     Load {
         dst: Reg,
         var: VarId,
         idx: Option<Operand>,
         class: MemClass,
+        base: u32,
+        words: u32,
     },
-    /// `store var[idx], src` with the memory class pre-resolved.
+    /// `store var[idx], src` with the memory class and arena addressing
+    /// pre-resolved (see [`DInst::Load`]).
     Store {
         var: VarId,
         idx: Option<Operand>,
         src: Operand,
         class: MemClass,
+        base: u32,
+        words: u32,
     },
     /// Direct call; arguments live in [`DecodedModule::call_args`]
     /// (`args` is a range into it) and the callee's register-file size
@@ -175,17 +182,96 @@ fn needs_reconcile(src: Option<&VarSet>, tgt: Option<&VarSet>) -> bool {
     }
 }
 
-/// One basic block in decoded form. The four instruction-indexed arrays
-/// are parallel: `insts[ip]` executes with exec-CPU cost `costs[ip]`,
-/// and `fuse_len[ip]`/`fuse_cost[ip]` describe the superblock (maximal
+/// What a fusable block's prep pass must establish for one variable
+/// before the checkless body loop runs (see [`DecodedBlock::prep`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PrepKind {
+    /// The first access reads (a load, or an indexed store): fault-load
+    /// the variable into VM, charged as an implicit restore.
+    Restore,
+    /// The first access is a full scalar overwrite: materialize an
+    /// uninitialized VM copy for free.
+    AllocScalar,
+}
+
+/// One entry of a fusable block's VM-residency prep list: the block's
+/// first access to `var` (VM class only), in program order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrepOp {
+    pub(crate) var: VarId,
+    pub(crate) kind: PrepKind,
+}
+
+/// A *trace* superblock: the maximal chain of fusable blocks reachable
+/// from a head block by following unconditional `Br` edges that need no
+/// residency reconciliation. The final block's terminator (which may be
+/// a `CondBr` closing a loop, or a `Ret`) executes dynamically after the
+/// trace body; every interior edge is a plain fall-through. Aggregate
+/// accounting is the field-wise sum of each member's [`FusedCosts`]
+/// (each bundle already includes its own terminator), so the machine
+/// commits a whole trace with a single charge once the worst-case bound
+/// proves nothing observable can land inside it — the same
+/// fall-back-near-failure argument as single-block fusion, applied to
+/// the longer unit.
+pub(crate) struct TraceInfo {
+    /// Flat indices of the member blocks; `blocks[0]` is the head. A
+    /// single-element trace is a plain fusable block.
+    pub(crate) blocks: Box<[u32]>,
+    /// Field-wise sum of every member's accounting bundle.
+    pub(crate) fused: FusedCosts,
+    /// Total instruction count across the trace.
+    pub(crate) insts: u64,
+    /// Suffix bundles: `suffix[p]` aggregates members `p..len` (so
+    /// `suffix[0] == fused`). These price the *partial* rounds the
+    /// superloop runs when the trace's final terminator re-enters the
+    /// trace mid-chain rather than at the head.
+    pub(crate) suffix: Box<[FusedCosts]>,
+    /// Instruction counts parallel to `suffix`.
+    pub(crate) suffix_insts: Box<[u64]>,
+    /// Position in `blocks` that the final member's `CondBr` then-edge
+    /// re-enters, when that edge is reconcile-free and targets a
+    /// member (`None` otherwise, or when the final terminator is not a
+    /// `CondBr`). Decode-time input to the superloop's back-edge test.
+    pub(crate) re_then: Option<u32>,
+    /// Same for the else-edge.
+    pub(crate) re_else: Option<u32>,
+    /// Whether VM residency established by the members' prep passes can
+    /// survive the whole trace: true when no member NVM-writes a
+    /// variable that appears in any member's prep list (an NVM write
+    /// drops the variable's VM copy). When set, superloop rounds after
+    /// the first skip the per-block residency rescan.
+    pub(crate) prep_stable: bool,
+}
+
+/// Longest chain a trace may span. Caps the worst-case bound (an overly
+/// long trace would fail its power-headroom guard and fall back anyway)
+/// and keeps the decode pass linear.
+const TRACE_CAP: usize = 16;
+
+/// One basic block in decoded form. The instruction-indexed arrays
+/// are parallel: `insts[ip]` executes with exec-CPU cost `costs[ip]`
+/// via the direct-threaded handler `ops[ip]`, and
+/// `fuse_len[ip]`/`fuse_cost[ip]` describe the superblock (maximal
 /// fusable run) starting at `ip` — zero length when `insts[ip]` itself
 /// is not fusable, so any resume point (checkpoint restores land at
 /// arbitrary `ip`) sees a correct, possibly shorter, run.
 pub(crate) struct DecodedBlock<'a> {
     pub(crate) insts: Box<[DInst]>,
     pub(crate) costs: Box<[Cost]>,
+    /// Direct-threaded dispatch table: `ops[ip]` is the handler function
+    /// for `insts[ip]`, selected once at decode time so the
+    /// per-instruction path jumps straight to the variant's code instead
+    /// of re-matching the opcode every step.
+    pub(crate) ops: Box<[crate::machine::OpFn]>,
     pub(crate) fuse_len: Box<[u32]>,
     pub(crate) fuse_cost: Box<[Cost]>,
+    /// VM-residency prep list (fusable blocks only): the block's first
+    /// VM-class access per variable, in program order. Establishing
+    /// these up front makes every access in the body provably valid —
+    /// the class of a (variable, block) pair is unique, so nothing
+    /// inside the block can invalidate a prepped copy — letting the
+    /// fused body loop run without any residency checks.
+    pub(crate) prep: Box<[PrepOp]>,
     /// The block's VM allocation set (`None` = empty fallback set), as
     /// [`AllocationPlan::get_ref`](crate::AllocationPlan::get_ref) would
     /// resolve it — residency reconciliation reads this instead of
@@ -201,6 +287,14 @@ pub(crate) struct DecodedBlock<'a> {
     /// Aggregate accounting for block-level dispatch. Meaningful only
     /// when `fusable`.
     pub(crate) fused: FusedCosts,
+    /// The trace superblock headed by this block (`Some` iff `fusable`;
+    /// a chain of length 1 when no successor can be fused).
+    pub(crate) trace_info: Option<TraceInfo>,
+    /// Lazily-built AOT lowering of the full trace headed here — closed
+    /// Rust closures over resolved operands, compiled by the machine
+    /// once the head's execution count crosses the AOT threshold (see
+    /// [`crate::aot`]). Shared across runs of the same decoded program.
+    pub(crate) aot: std::sync::OnceLock<crate::aot::AotTrace>,
 }
 
 /// Precomputed whole-block accounting for a fusable block.
@@ -237,6 +331,21 @@ pub(crate) struct FusedCosts {
 }
 
 impl FusedCosts {
+    /// Field-wise sum — aggregates member blocks into a trace bundle.
+    fn merge(&self, o: &FusedCosts) -> FusedCosts {
+        FusedCosts {
+            ub_cost: self.ub_cost + o.ub_cost,
+            exec_cost: self.exec_cost + o.exec_cost,
+            cpu_energy: self.cpu_energy + o.cpu_energy,
+            vm_energy: self.vm_energy + o.vm_energy,
+            nvm_energy: self.nvm_energy + o.nvm_energy,
+            vm_reads: self.vm_reads + o.vm_reads,
+            vm_writes: self.vm_writes + o.vm_writes,
+            nvm_reads: self.nvm_reads + o.nvm_reads,
+            nvm_writes: self.nvm_writes + o.nvm_writes,
+        }
+    }
+
     const ZERO: FusedCosts = FusedCosts {
         ub_cost: Cost::ZERO,
         exec_cost: Cost::ZERO,
@@ -291,6 +400,7 @@ impl<'a> DecodedModule<'a> {
         }
         let mut blocks = Vec::with_capacity(total_blocks);
         let mut call_args = Vec::new();
+        let (arena_off, _) = crate::memory::word_offsets(module);
         for (fi, func) in module.funcs.iter().enumerate() {
             let fid = FuncId::from_usize(fi);
             for (bi, block) in func.blocks.iter().enumerate() {
@@ -300,7 +410,7 @@ impl<'a> DecodedModule<'a> {
                 let mut insts = Vec::with_capacity(n);
                 let mut costs = Vec::with_capacity(n);
                 for inst in &block.insts {
-                    let di = decode_inst(inst, im, plan, &func_base, &mut call_args);
+                    let di = decode_inst(inst, im, plan, &func_base, &arena_off, &mut call_args);
                     // The decoded cost is the exec-CPU part only; memory
                     // access energy is charged separately at run time from
                     // the pre-resolved class, exactly as the interpreter
@@ -325,18 +435,125 @@ impl<'a> DecodedModule<'a> {
                 }
                 let term_cost = table.term_cost(&block.term);
                 let (fusable, fused) = block_bound(&insts, &costs, term_cost, im, table);
+                let prep = if fusable {
+                    prep_ops(&insts)
+                } else {
+                    Box::default()
+                };
                 blocks.push(DecodedBlock {
+                    ops: insts.iter().map(crate::machine::op_for).collect(),
                     insts: insts.into_boxed_slice(),
                     costs: costs.into_boxed_slice(),
                     fuse_len: fuse_len.into_boxed_slice(),
                     fuse_cost: fuse_cost.into_boxed_slice(),
+                    prep,
                     plan,
                     term: decode_term(&block.term, im, plan, &func_base, fid),
                     term_cost,
                     fusable,
                     fused,
+                    trace_info: None,
+                    aot: std::sync::OnceLock::new(),
                 });
             }
+        }
+        // Trace construction: from every fusable head, follow
+        // unconditional reconcile-free branches through further fusable
+        // blocks. A revisit (loop back edge into the chain) ends the
+        // trace — the final terminator re-enters it dynamically.
+        let mut infos = Vec::with_capacity(blocks.len());
+        for (i, db) in blocks.iter().enumerate() {
+            if !db.fusable {
+                infos.push(None);
+                continue;
+            }
+            let mut chain = vec![u32::try_from(i).expect("flat index fits u32")];
+            let mut cur = i;
+            while chain.len() < TRACE_CAP {
+                let DTerm::Br {
+                    flat,
+                    reconcile: false,
+                    ..
+                } = blocks[cur].term
+                else {
+                    break;
+                };
+                let next = flat as usize;
+                if !blocks[next].fusable || chain.contains(&flat) {
+                    break;
+                }
+                chain.push(flat);
+                cur = next;
+            }
+            // Suffix accounting (reverse scan; field-wise integer sums,
+            // so `suffix[0]` equals the forward merge).
+            let mut suffix = vec![FusedCosts::ZERO; chain.len()];
+            let mut suffix_insts = vec![0u64; chain.len()];
+            let mut acc = FusedCosts::ZERO;
+            let mut acc_insts = 0u64;
+            for p in (0..chain.len()).rev() {
+                let member = &blocks[chain[p] as usize];
+                acc = member.fused.merge(&acc);
+                acc_insts += member.insts.len() as u64;
+                suffix[p] = acc;
+                suffix_insts[p] = acc_insts;
+            }
+            // Re-entry positions of the final member's conditional
+            // back edges, for mid-trace superloop rounds.
+            let pos_of = |flat: u32, rec: bool| {
+                (!rec)
+                    .then(|| chain.iter().position(|&f| f == flat))
+                    .flatten()
+                    .map(|p| p as u32)
+            };
+            // Prep stability: an NVM store drops the written variable's
+            // VM copy, so residency prepped by one member survives
+            // later rounds only if no member NVM-writes a prepped var.
+            let prep_stable = {
+                let prepped = |v: schematic_ir::VarId| {
+                    chain
+                        .iter()
+                        .any(|&f| blocks[f as usize].prep.iter().any(|p| p.var == v))
+                };
+                !chain.iter().any(|&f| {
+                    blocks[f as usize].insts.iter().any(|di| {
+                        matches!(
+                            *di,
+                            DInst::Store {
+                                var,
+                                class: MemClass::Nvm,
+                                ..
+                            } if prepped(var)
+                        )
+                    })
+                })
+            };
+            let (re_then, re_else) = match blocks[cur].term {
+                DTerm::CondBr {
+                    then_flat,
+                    then_reconcile,
+                    else_flat,
+                    else_reconcile,
+                    ..
+                } => (
+                    pos_of(then_flat, then_reconcile),
+                    pos_of(else_flat, else_reconcile),
+                ),
+                _ => (None, None),
+            };
+            infos.push(Some(TraceInfo {
+                blocks: chain.into_boxed_slice(),
+                fused: acc,
+                insts: acc_insts,
+                suffix: suffix.into_boxed_slice(),
+                suffix_insts: suffix_insts.into_boxed_slice(),
+                re_then,
+                re_else,
+                prep_stable,
+            }));
+        }
+        for (db, info) in blocks.iter_mut().zip(infos) {
+            db.trace_info = info;
         }
         DecodedModule {
             im,
@@ -463,6 +680,41 @@ fn block_bound(
     (true, f)
 }
 
+/// Computes a fusable block's VM-residency prep list: its first VM-class
+/// access per variable, in program order (see [`DecodedBlock::prep`]).
+fn prep_ops(insts: &[DInst]) -> Box<[PrepOp]> {
+    let mut seen: Vec<VarId> = Vec::new();
+    let mut prep = Vec::new();
+    for di in insts {
+        let (var, kind) = match di {
+            DInst::Load {
+                var,
+                class: MemClass::Vm,
+                ..
+            } => (*var, PrepKind::Restore),
+            DInst::Store {
+                var,
+                idx,
+                class: MemClass::Vm,
+                ..
+            } => (
+                *var,
+                if idx.is_none() {
+                    PrepKind::AllocScalar
+                } else {
+                    PrepKind::Restore
+                },
+            ),
+            _ => continue,
+        };
+        if !seen.contains(&var) {
+            seen.push(var);
+            prep.push(PrepOp { var, kind });
+        }
+    }
+    prep.into_boxed_slice()
+}
+
 /// Resolves the memory class of an access to `var` inside a block whose
 /// VM set is `plan` — the decision `Machine::var_class` used to make per
 /// access.
@@ -481,6 +733,7 @@ fn decode_inst(
     im: &InstrumentedModule,
     plan: Option<&VarSet>,
     func_base: &[u32],
+    arena_off: &[u32],
     call_args: &mut Vec<Operand>,
 ) -> DInst {
     match inst {
@@ -521,12 +774,16 @@ fn decode_inst(
             var: *var,
             idx: *idx,
             class: resolve_class(im, plan, *var),
+            base: arena_off[var.index()],
+            words: u32::try_from(im.module.var(*var).words).expect("var size fits u32"),
         },
         Inst::Store { var, idx, src } => DInst::Store {
             var: *var,
             idx: *idx,
             src: *src,
             class: resolve_class(im, plan, *var),
+            base: arena_off[var.index()],
+            words: u32::try_from(im.module.var(*var).words).expect("var size fits u32"),
         },
         Inst::Call { dst, func, args } => {
             let start = u32::try_from(call_args.len()).expect("call args fit u32");

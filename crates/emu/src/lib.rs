@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod aot;
 pub mod decoded;
 pub mod error;
 pub mod instrumented;
@@ -52,7 +53,7 @@ pub use error::{EmuError, TrapKind};
 pub use instrumented::{
     AllocationPlan, CheckpointKind, CheckpointSpec, FailurePolicy, InstrumentedModule,
 };
-pub use machine::{run, Machine, RunConfig, RunOutcome, RunStatus};
+pub use machine::{run, ExecTier, Machine, RunConfig, RunOutcome, RunStatus};
 pub use memory::Memory;
 pub use metrics::Metrics;
 pub use power::{PowerModel, PowerState};

@@ -17,10 +17,32 @@ use crate::memory::Memory;
 use crate::metrics::Metrics;
 use crate::power::{PowerModel, PowerState};
 use crate::shadow::{EpochStart, ShadowRecorder, ShadowReport};
-use schematic_energy::{Cost, CostTable, MemClass};
+use schematic_energy::{Cost, CostTable, Energy, MemClass};
 use schematic_ir::{
     AccessKind, BinOp, BlockId, CheckpointId, FuncId, Operand, Reg, UnOp, VarId, VarSet,
 };
+
+/// The emulator's execution-tier ladder, from plain interpretation to
+/// AOT-compiled traces. Each tier is a pure dispatch strategy: metrics,
+/// failure points and results are bit-identical across all four (the
+/// fall-back-near-failure guards prove any fused unit is equivalent to
+/// per-instruction stepping). Higher tiers subsume lower ones — a run at
+/// `Aot` still interprets per instruction near power failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExecTier {
+    /// Per-instruction interpretation only. Forced whenever WAR
+    /// shadowing or lifecycle tracing is active, which must observe
+    /// every access/step individually.
+    Interp,
+    /// Single fusable blocks dispatch as one step (PR-5 behavior).
+    Fused,
+    /// Trace superblocks: chains of fusable blocks across unconditional
+    /// branches dispatch as one step.
+    Trace,
+    /// Hot traces are additionally lowered to closed Rust closures over
+    /// resolved operands (see [`crate::aot`]).
+    Aot,
+}
 
 /// Limits and options for one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +85,18 @@ pub struct RunConfig {
     /// [`RunConfig::shadow_war`], disables fused dispatch for the run;
     /// metrics stay bit-identical.
     pub trace: bool,
+    /// Highest execution tier the run may use (see [`ExecTier`]); the
+    /// effective tier additionally drops to [`ExecTier::Interp`] when
+    /// shadowing or tracing is active. All tiers produce bit-identical
+    /// metrics — except the transient `peak_vm_bytes` gauge, which the
+    /// fused tiers' up-front residency prep can raise past the
+    /// per-instruction interleaving — so this knob exists for
+    /// differential testing (`tests/tier_parity.rs`) and the per-tier
+    /// perfsmoke breakdown.
+    pub tier: ExecTier,
+    /// Execution count at which a trace head is lowered to AOT closures
+    /// (only at [`ExecTier::Aot`]). Cold code never pays the build.
+    pub aot_threshold: u32,
 }
 
 impl Default for RunConfig {
@@ -79,6 +113,8 @@ impl Default for RunConfig {
             max_trace: 4_000_000,
             shadow_war: false,
             trace: false,
+            tier: ExecTier::Aot,
+            aot_threshold: 32,
         }
     }
 }
@@ -260,6 +296,12 @@ pub struct Machine<'a> {
     /// Lifecycle event tracing (see [`crate::trace`]); `false` on the
     /// default fast path.
     tracing: bool,
+    /// The resolved execution tier: [`RunConfig::tier`], dropped to
+    /// [`ExecTier::Interp`] when shadowing or tracing is active.
+    tier: ExecTier,
+    /// Per-flat-block dispatch counts of trace heads, driving the AOT
+    /// threshold.
+    exec_counts: Vec<u32>,
 }
 
 impl<'a> Machine<'a> {
@@ -296,6 +338,15 @@ impl<'a> Machine<'a> {
         let tracing = config.trace
             || crate::trace::forced()
             || std::env::var_os("SCHEMATIC_TRACE").is_some_and(|v| v == "1");
+        // Shadowing and tracing must observe every access/step
+        // individually, so they force the per-instruction tier (metrics
+        // stay bit-identical either way).
+        let tier = if shadow_on || tracing {
+            ExecTier::Interp
+        } else {
+            config.tier
+        };
+        let n_blocks = decoded.get().blocks.len();
         Machine {
             im,
             table,
@@ -319,7 +370,17 @@ impl<'a> Machine<'a> {
             trace: Vec::new(),
             shadow,
             tracing,
+            tier,
+            exec_counts: vec![0; n_blocks],
         }
+    }
+
+    /// The execution tier this run actually uses: [`RunConfig::tier`],
+    /// dropped to [`ExecTier::Interp`] when WAR shadowing or lifecycle
+    /// tracing is active (those modes must observe every access/step
+    /// individually; metrics are bit-identical at every tier).
+    pub fn effective_tier(&self) -> ExecTier {
+        self.tier
     }
 
     /// Emits one lifecycle trace event, appending the cumulative Fig. 6
@@ -853,22 +914,25 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_load(
         &mut self,
         dst: Reg,
         var: VarId,
         idx: Option<Operand>,
         class: MemClass,
+        base: u32,
+        words: u32,
         cpu: Cost,
     ) -> Result<(), EmuError> {
-        let top = self.frames.last().expect("active frame");
-        let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
         let value = match class {
             MemClass::Vm => {
                 self.ensure_vm_for_read(var)?;
                 self.metrics.vm_reads += 1;
                 self.charge_exec_mem(cpu, self.costs.vm_read, MemClass::Vm);
-                self.mem.vm_read(var, index).map_err(|k| self.trap(k))?
+                let regs = &self.frames.last().expect("active frame").regs;
+                let at = resolve_at(regs, idx, base, words, var).map_err(|k| self.trap(k))?;
+                self.mem.vm_read_at(at)
             }
             MemClass::Nvm => {
                 self.metrics.nvm_reads += 1;
@@ -876,23 +940,27 @@ impl<'a> Machine<'a> {
                     sh.record_read(var);
                 }
                 self.charge_exec_mem(cpu, self.costs.nvm_read, MemClass::Nvm);
-                self.mem.nvm_read(var, index).map_err(|k| self.trap(k))?
+                let regs = &self.frames.last().expect("active frame").regs;
+                let at = resolve_at(regs, idx, base, words, var).map_err(|k| self.trap(k))?;
+                self.mem.nvm_read_at(at)
             }
         };
         self.set_reg(dst, value);
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_store(
         &mut self,
         var: VarId,
         idx: Option<Operand>,
         src: Operand,
         class: MemClass,
+        base: u32,
+        words: u32,
         cpu: Cost,
     ) -> Result<(), EmuError> {
         let top = self.frames.last().expect("active frame");
-        let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
         let value = top.eval(src);
         match class {
             MemClass::Vm => {
@@ -910,9 +978,9 @@ impl<'a> Machine<'a> {
                 }
                 self.metrics.vm_writes += 1;
                 self.charge_exec_mem(cpu, self.costs.vm_write, MemClass::Vm);
-                self.mem
-                    .vm_write(var, index, value)
-                    .map_err(|k| self.trap(k))?;
+                let regs = &self.frames.last().expect("active frame").regs;
+                let at = resolve_at(regs, idx, base, words, var).map_err(|k| self.trap(k))?;
+                self.mem.vm_write_at(var, at, value);
             }
             MemClass::Nvm => {
                 if self.mem.nvm_write_would_clobber(var) {
@@ -923,9 +991,9 @@ impl<'a> Machine<'a> {
                     sh.record_write(var);
                 }
                 self.charge_exec_mem(cpu, self.costs.nvm_write, MemClass::Nvm);
-                self.mem
-                    .nvm_write(var, index, value)
-                    .map_err(|k| self.trap(k))?;
+                let regs = &self.frames.last().expect("active frame").regs;
+                let at = resolve_at(regs, idx, base, words, var).map_err(|k| self.trap(k))?;
+                self.mem.nvm_write_at(var, at, value);
             }
         }
         Ok(())
@@ -971,20 +1039,47 @@ fn eval_bin(op: BinOp, lhs: i32, rhs: i32) -> Result<i32, TrapKind> {
     })
 }
 
+/// Evaluates an operand against a register file.
+#[inline(always)]
+pub(crate) fn ev(regs: &[i32], op: Operand) -> i32 {
+    match op {
+        Operand::Imm(v) => v,
+        Operand::Reg(r) => regs[r.index()],
+    }
+}
+
+/// Resolves a pre-decoded memory access to its flat arena word address:
+/// one bounds check against the decode-time variable size, then
+/// `base + idx` (see `DInst::Load`).
+#[inline(always)]
+pub(crate) fn resolve_at(
+    regs: &[i32],
+    idx: Option<Operand>,
+    base: u32,
+    words: u32,
+    var: VarId,
+) -> Result<usize, TrapKind> {
+    let i = match idx {
+        None => 0i64,
+        Some(o) => i64::from(ev(regs, o)),
+    };
+    if i < 0 || i as u64 >= u64::from(words) {
+        return Err(TrapKind::IndexOutOfBounds {
+            var,
+            index: i,
+            words: words as usize,
+        });
+    }
+    Ok(base as usize + i as usize)
+}
+
 /// Executes one fused (pure, trap-impossible) instruction directly on a
 /// register file. Only the five register-op variants can appear inside a
 /// superblock (see `DInst::is_fusable`). `inline(always)` keeps the
 /// dispatch match inside the superblock run loops — as a standalone call
 /// it showed up at ~25% of emulator CPU time in profiles.
 #[inline(always)]
-fn exec_pure(di: &DInst, regs: &mut [i32]) {
-    #[inline]
-    fn ev(regs: &[i32], op: Operand) -> i32 {
-        match op {
-            Operand::Imm(v) => v,
-            Operand::Reg(r) => regs[r.index()],
-        }
-    }
+pub(crate) fn exec_pure(di: &DInst, regs: &mut [i32]) {
     match *di {
         DInst::Bin { dst, op, lhs, rhs } => {
             let (l, r) = (ev(regs, lhs), ev(regs, rhs));
@@ -1017,44 +1112,135 @@ fn exec_pure(di: &DInst, regs: &mut [i32]) {
     }
 }
 
+/// Executes the body of one fusable block whose VM residency has been
+/// established by the prep pass: pure arena data movement with no
+/// residency checks, no per-access frame re-acquisition and no charging
+/// (all Exec accounting for the enclosing trace is a decode-time
+/// constant committed by the caller). `clobbers` receives NVM writes
+/// that would discard dirty VM data (`Metrics::coherence_violations`).
+fn run_body(
+    db: &crate::decoded::DecodedBlock<'_>,
+    regs: &mut [i32],
+    mem: &mut Memory,
+    clobbers: &mut u64,
+) -> Result<(), TrapKind> {
+    let insts = &db.insts;
+    let n = insts.len();
+    let mut ip = 0usize;
+    while ip < n {
+        let run = db.fuse_len[ip] as usize;
+        if run > 0 {
+            for di in &insts[ip..ip + run] {
+                exec_pure(di, regs);
+            }
+            ip += run;
+            continue;
+        }
+        match insts[ip] {
+            DInst::Load {
+                dst,
+                var,
+                idx,
+                class,
+                base,
+                words,
+            } => {
+                let at = resolve_at(regs, idx, base, words, var)?;
+                regs[dst.index()] = match class {
+                    MemClass::Vm => mem.vm_read_at(at),
+                    MemClass::Nvm => mem.nvm_read_at(at),
+                };
+            }
+            DInst::Store {
+                var,
+                idx,
+                src,
+                class,
+                base,
+                words,
+            } => {
+                let at = resolve_at(regs, idx, base, words, var)?;
+                let value = ev(regs, src);
+                match class {
+                    MemClass::Vm => mem.vm_write_at(var, at, value),
+                    MemClass::Nvm => {
+                        if mem.nvm_write_would_clobber(var) {
+                            *clobbers += 1;
+                        }
+                        mem.nvm_write_at(var, at, value);
+                    }
+                }
+            }
+            _ => unreachable!("non-fusable instruction in a fusable block"),
+        }
+        ip += 1;
+    }
+    Ok(())
+}
+
 impl<'a> Machine<'a> {
     fn step(&mut self) -> Result<Step, EmuError> {
-        let ip = self.frames.last().expect("active frame").ip;
-        let db = &self.decoded.get().blocks[self.cur_flat as usize];
-
-        // Block-level fused dispatch: execute the entire block plus its
-        // terminator as one step when every instruction is pure or a
-        // plain load/store and the worst-case bound `ub_cost` proves
-        // that no power failure, cycle-limit edge, or re-execution
-        // category flip can land inside it. `ub_cost` covers the largest
-        // implicit-restore charge every VM access could trigger, so the
-        // proof holds for any dynamic memory state; the strict `<` on
-        // the re-execution side keeps the terminator's charge in the
-        // same category as the instructions'.
-        // Shadow mode steps every memory access individually so the
-        // recorder sees the true NVM access order.
-        if ip == 0 && db.fusable && self.shadow.is_none() && !self.tracing {
-            let ub = db.fused.ub_cost;
-            let n = db.insts.len() as u64;
-            if self.power.headroom(ub.cycles)
-                && self.metrics.active_cycles + ub.cycles <= self.config.max_active_cycles
-                && (self.epoch_insts >= self.furthest || self.epoch_insts + n < self.furthest)
-            {
-                let s = self.step_fused_block()?;
+        // Fused dispatch: execute a whole trace superblock — or at least
+        // the current block — plus its final terminator as one step,
+        // when every instruction is pure or a plain load/store and the
+        // worst-case bound `ub_cost` proves that no power failure,
+        // cycle-limit edge, or re-execution category flip can land
+        // inside it. `ub_cost` covers the largest implicit-restore
+        // charge every VM access could trigger, so the proof holds for
+        // any dynamic memory state; the strict `<` on the re-execution
+        // side keeps the last terminator's charge in the same category
+        // as the instructions'. Near a failure the trace guard fails
+        // first, then the single-block guard, then execution falls back
+        // to per-instruction stepping — the fall-back-near-failure
+        // ladder that keeps metrics bit-identical across tiers.
+        // Shadow/trace modes run at `ExecTier::Interp` so the recorder
+        // sees the true access order.
+        //
+        // The loop keeps execution *resident*: when a fused step lands
+        // on another fusable head (the common case — a hot loop whose
+        // back edge re-enters its own trace), the next trace dispatches
+        // immediately instead of bouncing through `run`'s outer loop.
+        // Staying resident is invisible to the outcome: the run-loop
+        // limit checks cannot fire between fused steps (the guard
+        // already bounds `active_cycles`, and failures exit the loop).
+        if self.tier >= ExecTier::Fused {
+            while self.frames.last().expect("active frame").ip == 0 {
+                let db = &self.decoded.get().blocks[self.cur_flat as usize];
+                if !db.fusable {
+                    break;
+                }
+                let ti = db
+                    .trace_info
+                    .as_ref()
+                    .expect("fusable blocks carry a trace");
+                // Multi-block traces skip intermediate `jump`s, so path
+                // recording falls back to single-block units.
+                let multi = self.tier >= ExecTier::Trace
+                    && !self.config.record_trace
+                    && ti.blocks.len() > 1;
+                let len = if multi && self.fused_guard(ti.fused.ub_cost.cycles, ti.insts) {
+                    ti.blocks.len()
+                } else if self.fused_guard(db.fused.ub_cost.cycles, db.insts.len() as u64) {
+                    1
+                } else {
+                    break;
+                };
+                let s = self.step_trace(len)?;
                 if matches!(s, Step::Finished(_)) {
                     return Ok(s);
                 }
-                // Edge reconciliation after the jump may cross the power
-                // window (it is not covered by `ub_cost`, and need not
-                // be: it lands at the step boundary in both modes).
+                // Edge reconciliation after the final jump may cross the
+                // power window (it is not covered by `ub_cost`, and need
+                // not be: it lands at the step boundary in both modes).
                 if self.pending_failure {
                     self.pending_failure = false;
                     return Ok(Step::Failure);
                 }
-                return Ok(s);
             }
         }
 
+        let ip = self.frames.last().expect("active frame").ip;
+        let db = &self.decoded.get().blocks[self.cur_flat as usize];
         if ip < db.insts.len() {
             // Superblock fast path: retire the whole fusable run with a
             // single charge when nothing observable can land inside it —
@@ -1093,52 +1279,21 @@ impl<'a> Machine<'a> {
                     return Ok(Step::Continue);
                 }
             }
+            // Direct-threaded dispatch: the decode-time-selected handler
+            // for this instruction, no opcode re-match.
             let di = db.insts[ip];
             let cost = db.costs[ip];
+            let op = db.ops[ip];
             self.frames.last_mut().expect("active frame").ip += 1;
-            self.exec_dinst(di, cost)?;
+            op(self, di, cost)?;
             self.metrics.insts_retired += 1;
             self.epoch_insts += 1;
         } else {
             let term = db.term;
             let cost = db.term_cost;
             self.charge_exec_cpu(cost);
-            match term {
-                DTerm::Br {
-                    target,
-                    flat,
-                    reconcile,
-                } => self.jump(target, flat, reconcile),
-                DTerm::CondBr {
-                    cond,
-                    then_bb,
-                    then_flat,
-                    then_reconcile,
-                    else_bb,
-                    else_flat,
-                    else_reconcile,
-                } => {
-                    if self.eval(cond) != 0 {
-                        self.jump(then_bb, then_flat, then_reconcile);
-                    } else {
-                        self.jump(else_bb, else_flat, else_reconcile);
-                    }
-                }
-                DTerm::Ret(v) => {
-                    let value = v.map(|o| self.eval(o));
-                    let finished = self.frames.len() == 1;
-                    if finished {
-                        self.frames.last_mut().expect("frame").ip = usize::MAX; // defensive
-                        return Ok(Step::Finished(value));
-                    }
-                    let done = self.frames.pop().expect("frame");
-                    if let (Some(dst), Some(val)) = (done.ret_dst, value) {
-                        self.set_reg(dst, val);
-                    }
-                    self.reg_pool.push(done.regs);
-                    self.sync_flat();
-                    self.reconcile_residency();
-                }
+            if let Step::Finished(v) = self.apply_term(term) {
+                return Ok(Step::Finished(v));
             }
         }
 
@@ -1149,153 +1304,43 @@ impl<'a> Machine<'a> {
         Ok(Step::Continue)
     }
 
-    /// Executes one entire fusable block — every instruction and the
-    /// terminator — as a single step. The caller has already proven
-    /// (via [`DecodedBlock::ub_cost`](crate::decoded::DecodedBlock))
-    /// that nothing observable can land mid-block, so all Exec-category
-    /// accounting is accumulated locally and committed once: one power
-    /// advance, one category add. Implicit restores still charge through
-    /// the normal path as they occur (their category is Restore
-    /// regardless of position, and all sums commute), and a mid-block
-    /// trap aborts the whole run, so per-instruction stepping would
-    /// produce bit-identical results — with a step dispatch, two limit
-    /// checks and a power advance per instruction instead of per block.
-    fn step_fused_block(&mut self) -> Result<Step, EmuError> {
-        /// Deferred `&mut self` work for a VM-residency miss. The hot
-        /// loop below pins a shared borrow of the decoded block, so the
-        /// (rare) miss paths cannot call back into full-`self` methods
-        /// in place; they record what is needed, break the borrow, run
-        /// the cold handler, and retry the same instruction with the
-        /// copy now valid. The charge order is unchanged: the restore
-        /// lands before the access's exec charge either way.
-        enum Cold {
-            /// Fault-load `var` (charged implicit restore).
-            Restore(VarId),
-            /// Full scalar overwrite: allocate uninitialised, no restore.
-            AllocScalar(VarId),
-        }
-        let flat = self.cur_flat as usize;
-        let n = self.decoded.get().blocks[flat].insts.len();
-        let mut ip = 0usize;
-        loop {
-            let mut cold = None;
-            // Hot loop: one acquisition of the decoded block; every
-            // access inside touches disjoint `Machine` fields (frames,
-            // mem, metrics), so the borrow stays pinned throughout.
-            // All Exec accounting for the block is a decode-time
-            // constant (`db.fused`, committed below), so the loop does
-            // nothing but move data.
-            let db = &self.decoded.get().blocks[flat];
-            while ip < n {
-                let run = db.fuse_len[ip] as usize;
-                if run > 0 {
-                    let frame = self.frames.last_mut().expect("active frame");
-                    for di in &db.insts[ip..ip + run] {
-                        exec_pure(di, &mut frame.regs);
-                    }
-                    ip += run;
-                    continue;
+    /// The fall-back-near-failure guard for a fused unit (single block
+    /// or whole trace) with worst-case cycle bound `ub_cycles` and `n`
+    /// instructions: dispatch fused only when no power failure, no
+    /// cycle-limit edge and no computation/re-execution category flip
+    /// can land inside. Each condition is a monotone-prefix argument —
+    /// if the total fits, so does every prefix — so per-instruction
+    /// stepping would behave bit-identically.
+    #[inline]
+    fn fused_guard(&self, ub_cycles: u64, n: u64) -> bool {
+        self.power.headroom(ub_cycles)
+            && self.metrics.active_cycles + ub_cycles <= self.config.max_active_cycles
+            && (self.epoch_insts >= self.furthest || self.epoch_insts + n < self.furthest)
+    }
+
+    /// Handles a VM-residency miss found by a trace's prep pass, with
+    /// full `&mut self` available (the body loops pin disjoint field
+    /// borrows and cannot call back in). The charge order matches
+    /// per-instruction execution: the restore lands before the access's
+    /// exec charge either way, and all sums commute within the step.
+    fn run_cold(&mut self, p: crate::decoded::PrepOp) -> Result<(), EmuError> {
+        match p.kind {
+            crate::decoded::PrepKind::Restore => self.ensure_vm_for_read(p.var),
+            crate::decoded::PrepKind::AllocScalar => {
+                if let Err(EmuError::VmOverflow { .. }) = self.mem.alloc_vm_uninit(p.var) {
+                    self.evict_clean_outside_plan(p.var);
+                    self.mem.alloc_vm_uninit(p.var)?;
                 }
-                match db.insts[ip] {
-                    DInst::Load {
-                        dst,
-                        var,
-                        idx,
-                        class,
-                    } => {
-                        let top = self.frames.last().expect("active frame");
-                        let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
-                        let value = match class {
-                            MemClass::Vm => {
-                                if !self.mem.is_vm_valid(var) {
-                                    cold = Some(Cold::Restore(var));
-                                    break;
-                                }
-                                match self.mem.vm_read(var, index) {
-                                    Ok(v) => v,
-                                    Err(k) => return Err(self.trap(k)),
-                                }
-                            }
-                            MemClass::Nvm => match self.mem.nvm_read(var, index) {
-                                Ok(v) => v,
-                                Err(k) => return Err(self.trap(k)),
-                            },
-                        };
-                        self.frames.last_mut().expect("active frame").regs[dst.index()] = value;
-                    }
-                    DInst::Store {
-                        var,
-                        idx,
-                        src,
-                        class,
-                    } => {
-                        let top = self.frames.last().expect("active frame");
-                        let index = idx.map(|o| top.eval(o) as i64).unwrap_or(0);
-                        let value = top.eval(src);
-                        match class {
-                            MemClass::Vm => {
-                                if !self.mem.is_vm_valid(var) {
-                                    cold = Some(if idx.is_none() {
-                                        Cold::AllocScalar(var)
-                                    } else {
-                                        Cold::Restore(var)
-                                    });
-                                    break;
-                                }
-                                if let Err(k) = self.mem.vm_write(var, index, value) {
-                                    return Err(self.trap(k));
-                                }
-                            }
-                            MemClass::Nvm => {
-                                if self.mem.nvm_write_would_clobber(var) {
-                                    self.metrics.coherence_violations += 1;
-                                }
-                                if let Err(k) = self.mem.nvm_write(var, index, value) {
-                                    return Err(self.trap(k));
-                                }
-                            }
-                        }
-                    }
-                    _ => unreachable!("non-fusable instruction in a fusable block"),
-                }
-                ip += 1;
-            }
-            match cold {
-                None => break,
-                Some(Cold::Restore(v)) => self.ensure_vm_for_read(v)?,
-                Some(Cold::AllocScalar(v)) => {
-                    if let Err(EmuError::VmOverflow { .. }) = self.mem.alloc_vm_uninit(v) {
-                        self.evict_clean_outside_plan(v);
-                        self.mem.alloc_vm_uninit(v)?;
-                    }
-                    self.update_peak_vm();
-                }
+                self.update_peak_vm();
+                Ok(())
             }
         }
-        self.frames.last_mut().expect("active frame").ip = n;
-        let db = &self.decoded.get().blocks[flat];
-        let term = db.term;
-        let fused = db.fused;
-        // Commit the precomputed Exec accounting bundle (identical sums
-        // to per-instruction charges; the category is constant by the
-        // guard in `step`).
-        self.metrics.active_cycles += fused.exec_cost.cycles;
-        if self.epoch_insts < self.furthest {
-            self.metrics.reexecution += fused.exec_cost.energy;
-        } else {
-            self.metrics.computation += fused.exec_cost.energy;
-        }
-        self.metrics.cpu_energy += fused.cpu_energy;
-        self.metrics.vm_access_energy += fused.vm_energy;
-        self.metrics.nvm_access_energy += fused.nvm_energy;
-        self.metrics.vm_reads += u64::from(fused.vm_reads);
-        self.metrics.vm_writes += u64::from(fused.vm_writes);
-        self.metrics.nvm_reads += u64::from(fused.nvm_reads);
-        self.metrics.nvm_writes += u64::from(fused.nvm_writes);
-        self.metrics.insts_retired += n as u64;
-        self.epoch_insts += n as u64;
-        let failed = self.power.advance(fused.exec_cost.cycles);
-        debug_assert!(!failed, "fused block must fit the power window");
+    }
+
+    /// Executes the terminator of the current block: transfers control
+    /// (the cost has already been charged, standalone or as part of a
+    /// fused bundle) and reports completion on a final `ret`.
+    fn apply_term(&mut self, term: DTerm) -> Step {
         match term {
             DTerm::Br {
                 target,
@@ -1321,7 +1366,7 @@ impl<'a> Machine<'a> {
                 let value = v.map(|o| self.eval(o));
                 if self.frames.len() == 1 {
                     self.frames.last_mut().expect("frame").ip = usize::MAX; // defensive
-                    return Ok(Step::Finished(value));
+                    return Step::Finished(value);
                 }
                 let done = self.frames.pop().expect("frame");
                 if let (Some(dst), Some(val)) = (done.ret_dst, value) {
@@ -1332,7 +1377,417 @@ impl<'a> Machine<'a> {
                 self.reconcile_residency();
             }
         }
-        Ok(Step::Continue)
+        Step::Continue
+    }
+
+    /// Executes the first `len` blocks of the trace headed at the
+    /// current block — every instruction and terminator — as a single
+    /// step. The caller has already proven (via the trace's aggregate
+    /// `ub_cost`) that nothing observable can land mid-trace, so all
+    /// Exec-category accounting is a decode-time constant committed
+    /// once: one power advance, one category add. Per block, a prep
+    /// pass establishes VM residency for every variable the body
+    /// touches (charging implicit restores exactly where per-instruction
+    /// execution would, at first access), after which the body loop is
+    /// checkless; interior `Br` edges are fall-throughs whose
+    /// bookkeeping reduces to advancing the frame's block. A mid-trace
+    /// trap aborts the whole run, so per-instruction stepping would
+    /// produce bit-identical results.
+    ///
+    /// At [`ExecTier::Trace`] and above the dispatch is *resident*: it
+    /// stays inside this call across loop rounds (the trace's final
+    /// `CondBr` re-entering the trace, priced by suffix bundles) and
+    /// across trace transitions (a reconcile-free exit edge landing on
+    /// another fusable trace head), re-applying the same guard `step`
+    /// would before each unit. Completed units are tallied per
+    /// `(head, entry position)` and committed as `Σ count × bundle` at
+    /// the end — bit-identical to committing each unit separately,
+    /// because every accounting field is an integer, the category is
+    /// uniform across the tally (the strict re-execution guard refuses
+    /// any unit that would cross `furthest`), and each unit's prep pass
+    /// re-checks VM residency so no restore charge is skipped. Path
+    /// recording needs the per-edge `jump`, so `record_trace` keeps
+    /// single-unit dispatch.
+    ///
+    /// At [`ExecTier::Aot`], a full-length trace whose head has been
+    /// dispatched [`RunConfig::aot_threshold`] times is lowered once to
+    /// a micro-op tape and executed from that thereafter (see
+    /// [`crate::aot`]).
+    fn step_trace(&mut self, init_len: usize) -> Result<Step, EmuError> {
+        let mut head = self.cur_flat as usize;
+        let mut len = init_len;
+        let superloop = self.tier >= ExecTier::Trace && !self.config.record_trace;
+        /// Tally entries stop growing past this; a commit is forced
+        /// instead (re-dispatch continues the work). Keeps the
+        /// per-round tally bump O(small) on pathological CFGs.
+        const TALLY_CAP: usize = 64;
+        /// `pos` tally value for a downgraded single-block dispatch of
+        /// a longer trace (priced by the head block's own bundle, not a
+        /// trace suffix).
+        const POS_SINGLE: u32 = u32::MAX;
+
+        // One usable re-entry edge of the current trace's final
+        // terminator, with the decode-time facts the round guard needs.
+        #[derive(Clone, Copy)]
+        struct ReEntry {
+            bb: BlockId,
+            flat: u32,
+            pos: usize,
+            exec: u64,
+            ub: u64,
+            n: u64,
+        }
+
+        // Exec cycles / instructions of all completed units (committed
+        // after the loops), the per-key unit counts, and the unit in
+        // progress. All of it persists across cold-retry iterations.
+        let mut v_cycles: u64 = 0;
+        let mut v_insts: u64 = 0;
+        let mut tally: Vec<(u32, u32, u64)> = Vec::new(); // (head, pos, count)
+        let (mut cur_exec, mut cur_n, mut cur_key) = {
+            let d = self.decoded.get();
+            let ti = d.blocks[head]
+                .trace_info
+                .as_ref()
+                .expect("dispatched head carries a trace");
+            if len == ti.blocks.len() {
+                (ti.fused.exec_cost.cycles, ti.insts, (head as u32, 0u32))
+            } else {
+                let db = &d.blocks[head];
+                (
+                    db.fused.exec_cost.cycles,
+                    db.insts.len() as u64,
+                    (head as u32, POS_SINGLE),
+                )
+            }
+        };
+        let mut pos = 0usize; // block position within the trace
+        let mut prep_pos = 0usize; // prep progress within current block
+                                   // Set once a full round over a prep-stable trace completes:
+                                   // nothing in such a trace can drop a prepped VM copy, so later
+                                   // rounds skip the per-block residency rescan entirely.
+        let mut prepped = false;
+        loop {
+            let mut cold: Option<crate::decoded::PrepOp> = None;
+            let mut trapped: Option<TrapKind> = None;
+            {
+                // Disjoint field borrows pinned for the whole hot scope:
+                // the decoded program (shared), the top frame's
+                // registers, the memory arenas and the clobber counter.
+                let d = self.decoded.get();
+                let frame = self.frames.last_mut().expect("active frame");
+                let mem = &mut self.mem;
+                let clobbers = &mut self.metrics.coherence_violations;
+                'heads: loop {
+                    let ti = d.blocks[head]
+                        .trace_info
+                        .as_ref()
+                        .expect("dispatched head carries a trace");
+                    let full = len == ti.blocks.len();
+                    // Once the lowering exists, dispatch through it
+                    // without any count bookkeeping; until then, count
+                    // dispatches of the full trace toward the AOT
+                    // threshold.
+                    let aot = if self.tier == ExecTier::Aot && full {
+                        match d.blocks[head].aot.get() {
+                            Some(a) => Some(a),
+                            None => {
+                                let count = self.exec_counts[head].saturating_add(1);
+                                self.exec_counts[head] = count;
+                                (count >= self.config.aot_threshold).then(|| {
+                                    d.blocks[head]
+                                        .aot
+                                        .get_or_init(|| crate::aot::lower_trace(d, ti))
+                                })
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                    // Conditional back edges usable by the superloop. A
+                    // downgraded dispatch ends at the head, whose
+                    // terminator is the trace's interior `Br` — never a
+                    // `CondBr` — so it gets no back edges.
+                    let back = if superloop && full {
+                        match d.blocks[ti.blocks[len - 1] as usize].term {
+                            DTerm::CondBr {
+                                cond,
+                                then_bb,
+                                then_flat,
+                                else_bb,
+                                else_flat,
+                                ..
+                            } => {
+                                let mk = |re: Option<u32>, bb: BlockId, flat: u32| {
+                                    let p = re? as usize;
+                                    let s = &ti.suffix[p];
+                                    Some(ReEntry {
+                                        bb,
+                                        flat,
+                                        pos: p,
+                                        exec: s.exec_cost.cycles,
+                                        ub: s.ub_cost.cycles,
+                                        n: ti.suffix_insts[p],
+                                    })
+                                };
+                                Some((
+                                    cond,
+                                    mk(ti.re_then, then_bb, then_flat),
+                                    mk(ti.re_else, else_bb, else_flat),
+                                ))
+                            }
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    'rounds: loop {
+                        while pos < len {
+                            let flat = ti.blocks[pos] as usize;
+                            let db = &d.blocks[flat];
+                            // Prep: establish VM residency for the
+                            // block's accesses; a miss defers to the
+                            // cold handler below. Skipped after the
+                            // first round of a prep-stable trace.
+                            if !prepped {
+                                while prep_pos < db.prep.len() {
+                                    let p = db.prep[prep_pos];
+                                    if mem.is_vm_valid(p.var) {
+                                        prep_pos += 1;
+                                        continue;
+                                    }
+                                    cold = Some(p);
+                                    break;
+                                }
+                                if cold.is_some() {
+                                    break 'heads;
+                                }
+                            }
+                            let body = match aot {
+                                Some(at) => at.segs[pos].run(&mut frame.regs, mem, clobbers),
+                                None => run_body(db, &mut frame.regs, mem, clobbers),
+                            };
+                            if let Err(k) = body {
+                                trapped = Some(k);
+                                break 'heads;
+                            }
+                            pos += 1;
+                            prep_pos = 0;
+                            if pos < len {
+                                // Interior edge: an unconditional,
+                                // reconcile-free branch — fall through
+                                // to the next member.
+                                let DTerm::Br { target, flat, .. } = db.term else {
+                                    unreachable!(
+                                        "interior trace edge must be an unconditional branch"
+                                    );
+                                };
+                                frame.block = target;
+                                frame.ip = 0;
+                                self.cur_flat = flat;
+                            }
+                        }
+                        // Unit completed: tally it under its key.
+                        v_cycles += cur_exec;
+                        v_insts += cur_n;
+                        match tally.iter_mut().find(|t| (t.0, t.1) == cur_key) {
+                            Some(t) => t.2 += 1,
+                            None => tally.push((cur_key.0, cur_key.1, 1)),
+                        }
+                        if tally.len() >= TALLY_CAP {
+                            break 'heads;
+                        }
+                        // A completed full round establishes residency
+                        // for every member; stability keeps it.
+                        prepped = full && ti.prep_stable;
+                        // Does the final terminator re-enter this trace?
+                        if let Some((cond, re_then, re_else)) = back {
+                            let edge = if ev(&frame.regs, cond) != 0 {
+                                re_then
+                            } else {
+                                re_else
+                            };
+                            if let Some(r) = edge {
+                                // Guard for the next round: exactly the
+                                // check `step` would apply after
+                                // committing the units so far.
+                                let v_epoch = self.epoch_insts + v_insts;
+                                if self.power.headroom(v_cycles + r.ub)
+                                    && self.metrics.active_cycles + v_cycles + r.ub
+                                        <= self.config.max_active_cycles
+                                    && (v_epoch >= self.furthest || v_epoch + r.n < self.furthest)
+                                {
+                                    // Take the back edge (reconcile-free
+                                    // by decode-time construction) and
+                                    // run the suffix round.
+                                    frame.block = r.bb;
+                                    frame.ip = 0;
+                                    self.cur_flat = r.flat;
+                                    pos = r.pos;
+                                    prep_pos = 0;
+                                    cur_exec = r.exec;
+                                    cur_n = r.n;
+                                    cur_key = (head as u32, r.pos as u32);
+                                    continue 'rounds;
+                                }
+                            }
+                        }
+                        // Trace transition: a reconcile-free exit edge
+                        // onto another fusable trace head stays
+                        // resident, re-applying the dispatch guard with
+                        // the target's full-trace bundle.
+                        if !superloop {
+                            break 'heads;
+                        }
+                        let last = if full {
+                            ti.blocks[len - 1] as usize
+                        } else {
+                            head
+                        };
+                        let (t_bb, t_flat) = match d.blocks[last].term {
+                            DTerm::Br {
+                                target,
+                                flat,
+                                reconcile: false,
+                            } => (target, flat),
+                            DTerm::CondBr {
+                                cond,
+                                then_bb,
+                                then_flat,
+                                then_reconcile,
+                                else_bb,
+                                else_flat,
+                                else_reconcile,
+                            } => {
+                                let (bb, flat, rec) = if ev(&frame.regs, cond) != 0 {
+                                    (then_bb, then_flat, then_reconcile)
+                                } else {
+                                    (else_bb, else_flat, else_reconcile)
+                                };
+                                if rec {
+                                    break 'heads;
+                                }
+                                (bb, flat)
+                            }
+                            _ => break 'heads,
+                        };
+                        let db2 = &d.blocks[t_flat as usize];
+                        if !db2.fusable {
+                            break 'heads;
+                        }
+                        let ti2 = db2.trace_info.as_ref().expect("fusable head has a trace");
+                        let v_epoch = self.epoch_insts + v_insts;
+                        let ub2 = ti2.fused.ub_cost.cycles;
+                        if !(self.power.headroom(v_cycles + ub2)
+                            && self.metrics.active_cycles + v_cycles + ub2
+                                <= self.config.max_active_cycles
+                            && (v_epoch >= self.furthest || v_epoch + ti2.insts < self.furthest))
+                        {
+                            break 'heads;
+                        }
+                        frame.block = t_bb;
+                        frame.ip = 0;
+                        self.cur_flat = t_flat;
+                        head = t_flat as usize;
+                        len = ti2.blocks.len();
+                        pos = 0;
+                        prep_pos = 0;
+                        prepped = false;
+                        cur_exec = ti2.fused.exec_cost.cycles;
+                        cur_n = ti2.insts;
+                        cur_key = (head as u32, 0);
+                        continue 'heads;
+                    }
+                }
+            }
+            if let Some(k) = trapped {
+                return Err(self.trap(k));
+            }
+            match cold {
+                None => break,
+                Some(p) => {
+                    // cur_flat already tracks the faulting block, so the
+                    // eviction policy consults the right plan.
+                    self.run_cold(p)?;
+                    prep_pos += 1;
+                }
+            }
+        }
+
+        // Commit the precomputed Exec accounting, `Σ count × bundle`
+        // over the tally (identical sums to per-instruction charges;
+        // the category is constant by the guard in `step` and uniform
+        // across units by the resident guards).
+        struct Tot {
+            exec_e: u64,
+            cpu: u64,
+            vm: u64,
+            nvm: u64,
+            vr: u64,
+            vw: u64,
+            nr: u64,
+            nw: u64,
+        }
+        impl Tot {
+            fn add(&mut self, f: &crate::decoded::FusedCosts, k: u64) {
+                self.exec_e += k * f.exec_cost.energy.0;
+                self.cpu += k * f.cpu_energy.0;
+                self.vm += k * f.vm_energy.0;
+                self.nvm += k * f.nvm_energy.0;
+                self.vr += k * u64::from(f.vm_reads);
+                self.vw += k * u64::from(f.vm_writes);
+                self.nr += k * u64::from(f.nvm_reads);
+                self.nw += k * u64::from(f.nvm_writes);
+            }
+        }
+        let d = self.decoded.get();
+        let mut tot = Tot {
+            exec_e: 0,
+            cpu: 0,
+            vm: 0,
+            nvm: 0,
+            vr: 0,
+            vw: 0,
+            nr: 0,
+            nw: 0,
+        };
+        for &(h, p, count) in &tally {
+            let bundle = if p == POS_SINGLE {
+                &d.blocks[h as usize].fused
+            } else {
+                &d.blocks[h as usize]
+                    .trace_info
+                    .as_ref()
+                    .expect("tallied head carries a trace")
+                    .suffix[p as usize]
+            };
+            tot.add(bundle, count);
+        }
+        let ti = d.blocks[head].trace_info.as_ref().expect("trace head");
+        let last_flat = if len == ti.blocks.len() {
+            ti.blocks[len - 1] as usize
+        } else {
+            head
+        };
+        let term = d.blocks[last_flat].term;
+        self.metrics.active_cycles += v_cycles;
+        if self.epoch_insts < self.furthest {
+            self.metrics.reexecution += Energy(tot.exec_e);
+        } else {
+            self.metrics.computation += Energy(tot.exec_e);
+        }
+        self.metrics.cpu_energy += Energy(tot.cpu);
+        self.metrics.vm_access_energy += Energy(tot.vm);
+        self.metrics.nvm_access_energy += Energy(tot.nvm);
+        self.metrics.vm_reads += tot.vr;
+        self.metrics.vm_writes += tot.vw;
+        self.metrics.nvm_reads += tot.nr;
+        self.metrics.nvm_writes += tot.nw;
+        self.metrics.insts_retired += v_insts;
+        self.epoch_insts += v_insts;
+        let failed = self.power.advance(v_cycles);
+        debug_assert!(!failed, "fused trace must fit the power window");
+        Ok(self.apply_term(term))
     }
 
     /// Transfers control to `target` (flat index `flat`). `reconcile`
@@ -1349,140 +1804,233 @@ impl<'a> Machine<'a> {
             self.reconcile_residency();
         }
     }
+}
 
-    fn exec_dinst(&mut self, di: DInst, cost: Cost) -> Result<(), EmuError> {
-        match di {
-            DInst::Bin { dst, op, lhs, rhs } => {
-                self.charge_exec_cpu(cost);
-                let top = self.frames.last().expect("active frame");
-                let (l, r) = (top.eval(lhs), top.eval(rhs));
-                let v = eval_bin(op, l, r).map_err(|k| self.trap(k))?;
-                self.set_reg(dst, v);
-            }
-            DInst::Cmp { dst, op, lhs, rhs } => {
-                self.charge_exec_cpu(cost);
-                let top = self.frames.last_mut().expect("active frame");
-                let v = op.eval(top.eval(lhs), top.eval(rhs));
-                top.regs[dst.index()] = i32::from(v);
-            }
-            DInst::Un { dst, op, src } => {
-                self.charge_exec_cpu(cost);
-                let top = self.frames.last_mut().expect("active frame");
-                let s = top.eval(src);
-                let v = match op {
-                    UnOp::Neg => s.wrapping_neg(),
-                    UnOp::Not => !s,
-                };
-                top.regs[dst.index()] = v;
-            }
-            DInst::Copy { dst, src } => {
-                self.charge_exec_cpu(cost);
-                let top = self.frames.last_mut().expect("active frame");
-                let v = top.eval(src);
-                top.regs[dst.index()] = v;
-            }
-            DInst::Select {
-                dst,
-                cond,
-                then_val,
-                else_val,
-            } => {
-                self.charge_exec_cpu(cost);
-                let top = self.frames.last_mut().expect("active frame");
-                let v = if top.eval(cond) != 0 {
-                    top.eval(then_val)
-                } else {
-                    top.eval(else_val)
-                };
-                top.regs[dst.index()] = v;
-            }
-            DInst::Load {
-                dst,
-                var,
-                idx,
-                class,
-            } => self.exec_load(dst, var, idx, class, cost)?,
-            DInst::Store {
-                var,
-                idx,
-                src,
-                class,
-            } => self.exec_store(var, idx, src, class, cost)?,
-            DInst::Call {
-                dst,
-                func,
-                args_start,
-                args_end,
-                n_regs,
-                entry,
-                entry_flat,
-                reconcile,
-            } => {
-                self.charge_exec_cpu(cost);
-                if self.frames.len() >= self.config.max_stack {
-                    return Err(self.trap(TrapKind::StackOverflow {
-                        limit: self.config.max_stack,
-                    }));
-                }
-                let mut regs = self.reg_pool.pop().unwrap_or_default();
-                regs.clear();
-                regs.resize(n_regs as usize, 0);
-                {
-                    let d = self.decoded.get();
-                    let args = &d.call_args[args_start as usize..args_end as usize];
-                    for (i, a) in args.iter().enumerate() {
-                        regs[i] = self.eval(*a);
-                    }
-                }
-                self.frames.push(Frame {
-                    func,
-                    block: entry,
-                    ip: 0,
-                    regs,
-                    ret_dst: dst,
-                });
-                self.cur_flat = entry_flat;
-                self.record_block(func, entry);
-                if reconcile {
-                    self.reconcile_residency();
-                }
-            }
-            DInst::Checkpoint { id } => self.do_checkpoint(id)?,
-            DInst::CondCheckpoint { id, period } => {
-                // NVM iteration counter: increments survive failures.
-                let ctr = &mut self.cond_counters[id.index()];
-                *ctr += 1;
-                let fire = (*ctr).is_multiple_of(period as u64);
-                self.charge(cost, ChargeCat::Exec);
-                if fire {
-                    self.do_checkpoint(id)?;
-                }
-            }
-            DInst::SaveVar { var } => {
-                if self.mem.is_vm_valid(var) && self.mem.is_dirty(var) {
-                    let words = self.mem.flush_to_nvm(var);
-                    let cost = self.table.save_words_cost(words);
-                    self.charge(cost, ChargeCat::Save);
-                    if let Some(sh) = self.shadow.as_mut() {
-                        sh.record_write(var);
-                    }
-                }
-            }
-            DInst::RestoreVar { var } => {
-                if self.mem.is_vm_valid(var) {
-                    // Validity guard only.
-                    self.charge(self.table.cond_check, ChargeCat::Exec);
-                } else {
-                    let words = self.load_with_evict(var)?;
-                    let cost = self.table.restore_words_cost(words);
-                    self.charge(cost, ChargeCat::Restore);
-                    self.metrics.restores += 1;
-                    self.update_peak_vm();
-                }
-            }
-        }
-        Ok(())
+// ----- direct-threaded instruction handlers -----------------------------
+//
+// One free function per `DInst` variant, selected once at decode time
+// (`op_for`) and stored per instruction in `DecodedBlock::ops`. The
+// per-instruction step path calls straight through the function pointer —
+// the big opcode match runs once per program, not once per step.
+
+/// A direct-threaded instruction handler (see [`op_for`]).
+pub(crate) type OpFn = for<'m, 'a> fn(&'m mut Machine<'a>, DInst, Cost) -> Result<(), EmuError>;
+
+/// Selects the handler for one decoded instruction.
+pub(crate) fn op_for(di: &DInst) -> OpFn {
+    match di {
+        DInst::Bin { .. } => op_bin,
+        DInst::Cmp { .. } => op_cmp,
+        DInst::Un { .. } => op_un,
+        DInst::Copy { .. } => op_copy,
+        DInst::Select { .. } => op_select,
+        DInst::Load { .. } => op_load,
+        DInst::Store { .. } => op_store,
+        DInst::Call { .. } => op_call,
+        DInst::Checkpoint { .. } => op_checkpoint,
+        DInst::CondCheckpoint { .. } => op_cond_checkpoint,
+        DInst::SaveVar { .. } => op_savevar,
+        DInst::RestoreVar { .. } => op_restorevar,
     }
+}
+
+fn op_bin(m: &mut Machine<'_>, di: DInst, cost: Cost) -> Result<(), EmuError> {
+    let DInst::Bin { dst, op, lhs, rhs } = di else {
+        unreachable!("op_bin dispatched on a non-Bin instruction")
+    };
+    m.charge_exec_cpu(cost);
+    let top = m.frames.last().expect("active frame");
+    let (l, r) = (top.eval(lhs), top.eval(rhs));
+    let v = eval_bin(op, l, r).map_err(|k| m.trap(k))?;
+    m.set_reg(dst, v);
+    Ok(())
+}
+
+fn op_cmp(m: &mut Machine<'_>, di: DInst, cost: Cost) -> Result<(), EmuError> {
+    let DInst::Cmp { dst, op, lhs, rhs } = di else {
+        unreachable!("op_cmp dispatched on a non-Cmp instruction")
+    };
+    m.charge_exec_cpu(cost);
+    let top = m.frames.last_mut().expect("active frame");
+    let v = op.eval(top.eval(lhs), top.eval(rhs));
+    top.regs[dst.index()] = i32::from(v);
+    Ok(())
+}
+
+fn op_un(m: &mut Machine<'_>, di: DInst, cost: Cost) -> Result<(), EmuError> {
+    let DInst::Un { dst, op, src } = di else {
+        unreachable!("op_un dispatched on a non-Un instruction")
+    };
+    m.charge_exec_cpu(cost);
+    let top = m.frames.last_mut().expect("active frame");
+    let s = top.eval(src);
+    let v = match op {
+        UnOp::Neg => s.wrapping_neg(),
+        UnOp::Not => !s,
+    };
+    top.regs[dst.index()] = v;
+    Ok(())
+}
+
+fn op_copy(m: &mut Machine<'_>, di: DInst, cost: Cost) -> Result<(), EmuError> {
+    let DInst::Copy { dst, src } = di else {
+        unreachable!("op_copy dispatched on a non-Copy instruction")
+    };
+    m.charge_exec_cpu(cost);
+    let top = m.frames.last_mut().expect("active frame");
+    let v = top.eval(src);
+    top.regs[dst.index()] = v;
+    Ok(())
+}
+
+fn op_select(m: &mut Machine<'_>, di: DInst, cost: Cost) -> Result<(), EmuError> {
+    let DInst::Select {
+        dst,
+        cond,
+        then_val,
+        else_val,
+    } = di
+    else {
+        unreachable!("op_select dispatched on a non-Select instruction")
+    };
+    m.charge_exec_cpu(cost);
+    let top = m.frames.last_mut().expect("active frame");
+    let v = if top.eval(cond) != 0 {
+        top.eval(then_val)
+    } else {
+        top.eval(else_val)
+    };
+    top.regs[dst.index()] = v;
+    Ok(())
+}
+
+fn op_load(m: &mut Machine<'_>, di: DInst, cost: Cost) -> Result<(), EmuError> {
+    let DInst::Load {
+        dst,
+        var,
+        idx,
+        class,
+        base,
+        words,
+    } = di
+    else {
+        unreachable!("op_load dispatched on a non-Load instruction")
+    };
+    m.exec_load(dst, var, idx, class, base, words, cost)
+}
+
+fn op_store(m: &mut Machine<'_>, di: DInst, cost: Cost) -> Result<(), EmuError> {
+    let DInst::Store {
+        var,
+        idx,
+        src,
+        class,
+        base,
+        words,
+    } = di
+    else {
+        unreachable!("op_store dispatched on a non-Store instruction")
+    };
+    m.exec_store(var, idx, src, class, base, words, cost)
+}
+
+fn op_call(m: &mut Machine<'_>, di: DInst, cost: Cost) -> Result<(), EmuError> {
+    let DInst::Call {
+        dst,
+        func,
+        args_start,
+        args_end,
+        n_regs,
+        entry,
+        entry_flat,
+        reconcile,
+    } = di
+    else {
+        unreachable!("op_call dispatched on a non-Call instruction")
+    };
+    m.charge_exec_cpu(cost);
+    if m.frames.len() >= m.config.max_stack {
+        return Err(m.trap(TrapKind::StackOverflow {
+            limit: m.config.max_stack,
+        }));
+    }
+    let mut regs = m.reg_pool.pop().unwrap_or_default();
+    regs.clear();
+    regs.resize(n_regs as usize, 0);
+    {
+        let d = m.decoded.get();
+        let args = &d.call_args[args_start as usize..args_end as usize];
+        for (i, a) in args.iter().enumerate() {
+            regs[i] = m.eval(*a);
+        }
+    }
+    m.frames.push(Frame {
+        func,
+        block: entry,
+        ip: 0,
+        regs,
+        ret_dst: dst,
+    });
+    m.cur_flat = entry_flat;
+    m.record_block(func, entry);
+    if reconcile {
+        m.reconcile_residency();
+    }
+    Ok(())
+}
+
+fn op_checkpoint(m: &mut Machine<'_>, di: DInst, _cost: Cost) -> Result<(), EmuError> {
+    let DInst::Checkpoint { id } = di else {
+        unreachable!("op_checkpoint dispatched on a non-Checkpoint instruction")
+    };
+    m.do_checkpoint(id)
+}
+
+fn op_cond_checkpoint(m: &mut Machine<'_>, di: DInst, cost: Cost) -> Result<(), EmuError> {
+    let DInst::CondCheckpoint { id, period } = di else {
+        unreachable!("op_cond_checkpoint dispatched on a non-CondCheckpoint instruction")
+    };
+    // NVM iteration counter: increments survive failures.
+    let ctr = &mut m.cond_counters[id.index()];
+    *ctr += 1;
+    let fire = (*ctr).is_multiple_of(period as u64);
+    m.charge(cost, ChargeCat::Exec);
+    if fire {
+        m.do_checkpoint(id)?;
+    }
+    Ok(())
+}
+
+fn op_savevar(m: &mut Machine<'_>, di: DInst, _cost: Cost) -> Result<(), EmuError> {
+    let DInst::SaveVar { var } = di else {
+        unreachable!("op_savevar dispatched on a non-SaveVar instruction")
+    };
+    if m.mem.is_vm_valid(var) && m.mem.is_dirty(var) {
+        let words = m.mem.flush_to_nvm(var);
+        let cost = m.table.save_words_cost(words);
+        m.charge(cost, ChargeCat::Save);
+        if let Some(sh) = m.shadow.as_mut() {
+            sh.record_write(var);
+        }
+    }
+    Ok(())
+}
+
+fn op_restorevar(m: &mut Machine<'_>, di: DInst, _cost: Cost) -> Result<(), EmuError> {
+    let DInst::RestoreVar { var } = di else {
+        unreachable!("op_restorevar dispatched on a non-RestoreVar instruction")
+    };
+    if m.mem.is_vm_valid(var) {
+        // Validity guard only.
+        m.charge(m.table.cond_check, ChargeCat::Exec);
+    } else {
+        let words = m.load_with_evict(var)?;
+        let cost = m.table.restore_words_cost(words);
+        m.charge(cost, ChargeCat::Restore);
+        m.metrics.restores += 1;
+        m.update_peak_vm();
+    }
+    Ok(())
 }
 
 /// Convenience: runs `im` once under `config` with the default cost

@@ -10,6 +10,21 @@
 use crate::error::{EmuError, TrapKind};
 use schematic_ir::{Module, VarId, WORD_BYTES};
 
+/// Per-variable word offsets (a prefix sum over variable sizes) and the
+/// total arena size. This layout is a pure function of the module, shared
+/// by [`Memory::new`] and the decoder so that decode-time resolved arena
+/// addresses (see `DInst::Load`/`DInst::Store`) agree with the arenas the
+/// memory subsystem allocates.
+pub(crate) fn word_offsets(module: &Module) -> (Vec<u32>, usize) {
+    let mut off = Vec::with_capacity(module.vars.len());
+    let mut total = 0usize;
+    for var in &module.vars {
+        off.push(u32::try_from(total).expect("arena offset fits u32"));
+        total += var.words;
+    }
+    (off, total)
+}
+
 /// The memory subsystem of the emulated platform.
 ///
 /// Both address spaces are flat arenas indexed by a per-variable word
@@ -49,12 +64,7 @@ impl Memory {
     /// Initializes NVM from the module's variable initializers.
     pub fn new(module: &Module, svm_bytes: usize) -> Self {
         let n = module.vars.len();
-        let mut off = Vec::with_capacity(n);
-        let mut total = 0usize;
-        for var in &module.vars {
-            off.push(total as u32);
-            total += var.words;
-        }
+        let (off, total) = word_offsets(module);
         let mut nvm = vec![0i32; total];
         for (var, &o) in module.vars.iter().zip(&off) {
             let o = o as usize;
@@ -186,6 +196,45 @@ impl Memory {
         self.vm[self.off[var.index()] as usize + i] = value;
         self.mark_dirty(var);
         Ok(())
+    }
+
+    // ----- resolved-address fast path ---------------------------------
+    //
+    // The decoder resolves every load/store's arena word address once
+    // (`base + idx`, with `idx` bounds-checked against the decode-time
+    // variable size). These accessors skip the per-access offset lookup
+    // and bounds check; callers must have proven the address in range
+    // and — for the VM forms — the copy valid (the fused executor's
+    // per-block prep pass establishes validity before the body runs).
+
+    /// Reads the VM arena word at resolved address `at`.
+    #[inline(always)]
+    pub(crate) fn vm_read_at(&self, at: usize) -> i32 {
+        self.vm[at]
+    }
+
+    /// Writes the VM arena word at resolved address `at`, marking `var`
+    /// dirty.
+    #[inline(always)]
+    pub(crate) fn vm_write_at(&mut self, var: VarId, at: usize, value: i32) {
+        self.vm[at] = value;
+        self.mark_dirty(var);
+    }
+
+    /// Reads the NVM arena word at resolved address `at`.
+    #[inline(always)]
+    pub(crate) fn nvm_read_at(&self, at: usize) -> i32 {
+        self.nvm[at]
+    }
+
+    /// Writes the NVM arena word at resolved address `at`, invalidating
+    /// any VM copy of `var` (same stale-copy rule as [`Memory::nvm_write`]).
+    #[inline(always)]
+    pub(crate) fn nvm_write_at(&mut self, var: VarId, at: usize, value: i32) {
+        self.nvm[at] = value;
+        if self.valid[var.index()] {
+            self.drop_vm(var);
+        }
     }
 
     /// Loads `var` into VM from its NVM home (restore data path).

@@ -51,12 +51,19 @@ test -s "$GRIDDIR/tracereport.txt"
 grep -q "Phase times across the grid" "$GRIDDIR/tracereport.txt"
 grep -q "Fig. 6 split" "$GRIDDIR/tracereport.txt"
 echo "tracereport rendered $(wc -l < "$GRIDDIR/tracereport.txt") lines"
+# A trace diffed against itself must report zero regressed cells and
+# exit 0 (exit 1 is the flagged-regression signal for CI gating).
+"$TRACEREPORT" --diff "$GRIDDIR/trace.jsonl" "$GRIDDIR/trace.jsonl" \
+  > "$GRIDDIR/tracediff.txt"
+grep -q "verdict: OK" "$GRIDDIR/tracediff.txt"
+echo "tracereport --diff self-comparison clean"
 
 echo "== perfsmoke --quick (release) =="
-# Surfaces hot-path throughput in the CI log without rewriting
-# BENCH_perf.json (quick windows jitter too much to commit). Set
-# SCHEMATIC_PERF_ASSERT=1 in the environment to also enforce the
-# 1.5x emulator speedup floor.
-cargo run --release --offline -p schematic-bench --bin perfsmoke -- --quick
+# Surfaces hot-path throughput in the CI log and enforces the emulator
+# speedup floor (SPEEDUP_FLOOR in perfsmoke) against the pre-tier-ladder
+# baseline, without rewriting BENCH_perf.json (quick windows jitter too
+# much to commit; re-baseline with a full `perfsmoke` run instead).
+SCHEMATIC_PERF_ASSERT=1 \
+  cargo run --release --offline -p schematic-bench --bin perfsmoke -- --quick
 
 echo "CI gate passed."
