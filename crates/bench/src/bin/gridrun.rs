@@ -11,7 +11,23 @@
 //!                               # assert the render is byte-identical to the in-process run
 //! gridrun --trace F             # compute in-process with tracing on; write the per-cell
 //!                               # trace artifact (JSONL, see `tracereport`) to F
+//! gridrun --resume F [-o OUT]   # load a (possibly partial) artifact, compute only the
+//!                               # missing cells, render; OUT gets the completed artifact
+//! gridrun --jobs F -o OUT       # worker mode: evaluate the job keys listed in F, write
+//!                               # extended cell lines (cell + program digests) to OUT
+//! gridrun --connect ADDR ...    # thin client for a running `gridd`:
+//!                               #   --submit SPEC   evaluate 'all' or shard 'i/N' remotely
+//!                               #   --status        print daemon tallies
+//!                               #   --fetch -o F    download accumulated cells as JSONL
+//!                               #   --shutdown      stop the daemon
 //! ```
+//!
+//! In-process computes (the default run and `--resume`) go through the
+//! content-addressed cell cache at `target/gridcache.jsonl`
+//! (`SCHEMATIC_CACHE` or `--cache F` overrides, `--no-cache` disables,
+//! `--cache-verify` recomputes every hit and fails on divergence).
+//! Shard, worker and merge modes never touch the cache: shards may run
+//! concurrently, and the cache file has a single writer by design.
 //!
 //! Shards partition the grid deterministically (every N-th job), so any
 //! split computed anywhere — other processes, other hosts — merges back
@@ -22,9 +38,13 @@
 //! Exit codes: 0 on success, 2 on usage/artifact/coverage errors,
 //! 3 when `--spawn`'s parity assertion fails.
 
+use schematic_bench::cache::{compute_cached, worker_line, CellCache};
 use schematic_bench::experiments::render_all;
-use schematic_bench::grid::{CellStore, GridMode, GridSpec};
-use schematic_bench::trace;
+use schematic_bench::grid::{evaluate_traced, CellStore, GridMode, GridSpec, Job};
+use schematic_bench::json::Json;
+use schematic_bench::parallel::par_map;
+use schematic_bench::{service, trace};
+use schematic_energy::CostTable;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,6 +55,30 @@ struct Options {
     command: Command,
     /// `--trace FILE`: capture per-cell traces (in-process runs only).
     trace: Option<String>,
+    /// `--cache FILE` / `--no-cache`.
+    cache: CacheOpt,
+    /// `--cache-verify`: recompute hits and compare.
+    verify: bool,
+}
+
+enum CacheOpt {
+    /// `target/gridcache.jsonl`, or `SCHEMATIC_CACHE` when set.
+    Default,
+    Path(String),
+    Off,
+}
+
+impl CacheOpt {
+    fn open(&self) -> Option<CellCache> {
+        let path = match self {
+            CacheOpt::Off => return None,
+            CacheOpt::Path(p) => p.clone(),
+            CacheOpt::Default => {
+                std::env::var("SCHEMATIC_CACHE").unwrap_or_else(|_| "target/gridcache.jsonl".into())
+            }
+        };
+        Some(CellCache::open(path))
+    }
 }
 
 enum Command {
@@ -52,12 +96,30 @@ enum Command {
     Merge { files: Vec<String> },
     /// Drive child processes over all shards, merge, verify parity.
     Spawn { count: usize },
+    /// Load a partial artifact, compute the rest, render.
+    Resume {
+        artifact: String,
+        out: Option<String>,
+    },
+    /// Worker mode: evaluate listed job keys into extended cell lines.
+    Jobs { file: String, out: String },
+    /// Thin client against a running daemon.
+    Connect { addr: String, action: ClientAction },
+}
+
+enum ClientAction {
+    Submit { spec: String },
+    Status,
+    Fetch { out: String },
+    Shutdown,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gridrun [--quick] [--trace FILE] \
-         [--list | --shard i/N -o FILE | --merge FILE... | --spawn N]"
+        "usage: gridrun [--quick] [--trace FILE] [--cache FILE | --no-cache] [--cache-verify] \
+         [--list | --shard i/N -o FILE | --merge FILE... | --spawn N | \
+         --resume FILE [-o FILE] | --jobs FILE -o FILE | \
+         --connect ADDR (--submit all|i/N | --status | --fetch -o FILE | --shutdown)]"
     );
     std::process::exit(2);
 }
@@ -76,6 +138,8 @@ fn parse_args() -> Options {
     let mut mode = GridMode::Full;
     let mut command = None;
     let mut trace = None;
+    let mut cache = CacheOpt::Default;
+    let mut verify = false;
     let mut it = args.into_iter().peekable();
     let set = |c: Command, command: &mut Option<Command>| {
         if command.is_some() {
@@ -92,6 +156,9 @@ fn parse_args() -> Options {
                 }
                 trace = Some(it.next().unwrap_or_else(|| usage()));
             }
+            "--cache" => cache = CacheOpt::Path(it.next().unwrap_or_else(|| usage())),
+            "--no-cache" => cache = CacheOpt::Off,
+            "--cache-verify" => verify = true,
             "--list" => set(Command::List, &mut command),
             "--shard" => {
                 let spec = it.next().unwrap_or_else(|| usage());
@@ -117,6 +184,40 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage());
                 set(Command::Spawn { count }, &mut command);
             }
+            "--resume" => {
+                let artifact = it.next().unwrap_or_else(|| usage());
+                let out = if it.peek().map(String::as_str) == Some("-o") {
+                    it.next();
+                    Some(it.next().unwrap_or_else(|| usage()))
+                } else {
+                    None
+                };
+                set(Command::Resume { artifact, out }, &mut command);
+            }
+            "--jobs" => {
+                let file = it.next().unwrap_or_else(|| usage());
+                let out = match (it.next().as_deref(), it.next()) {
+                    (Some("-o"), Some(path)) => path,
+                    _ => usage(),
+                };
+                set(Command::Jobs { file, out }, &mut command);
+            }
+            "--connect" => {
+                let addr = it.next().unwrap_or_else(|| usage());
+                let action = match it.next().as_deref() {
+                    Some("--submit") => ClientAction::Submit {
+                        spec: it.next().unwrap_or_else(|| usage()),
+                    },
+                    Some("--status") => ClientAction::Status,
+                    Some("--fetch") => match (it.next().as_deref(), it.next()) {
+                        (Some("-o"), Some(path)) => ClientAction::Fetch { out: path },
+                        _ => usage(),
+                    },
+                    Some("--shutdown") => ClientAction::Shutdown,
+                    _ => usage(),
+                };
+                set(Command::Connect { addr, action }, &mut command);
+            }
             _ => usage(),
         }
     }
@@ -129,6 +230,8 @@ fn parse_args() -> Options {
         mode,
         command,
         trace,
+        cache,
+        verify,
     }
 }
 
@@ -222,13 +325,189 @@ fn spawn_children(spec: &GridSpec, mode: GridMode, count: usize) -> Result<Strin
     Ok(rendered)
 }
 
+/// Cache-aware compute of `jobs`, reporting hit/computed tallies on
+/// stderr. `--no-cache` falls through to the plain compute path.
+fn compute(jobs: &[Job], opts: &Options) -> Result<CellStore, String> {
+    let mut cache = opts.cache.open();
+    let (store, stats) =
+        compute_cached(jobs, cache.as_mut(), opts.verify, &|_, _| {}).map_err(|e| e.to_string())?;
+    match &cache {
+        Some(c) => eprintln!(
+            "gridrun: cache {}: {} hits, {} computed{}",
+            c.path().display(),
+            stats.hits,
+            stats.computed,
+            if opts.verify { " (hits verified)" } else { "" }
+        ),
+        None => eprintln!("gridrun: cache off: {} computed", stats.computed),
+    }
+    Ok(store)
+}
+
+/// `--resume F`: complete a partial artifact and render it.
+fn resume(
+    spec: &GridSpec,
+    artifact: &str,
+    out: Option<&str>,
+    opts: &Options,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(artifact).map_err(|e| format!("{artifact}: {e}"))?;
+    let mut store = CellStore::from_jsonl(&text).map_err(|e| format!("{artifact}: {e}"))?;
+    let loaded = store.len();
+    let missing: Vec<Job> = store.missing(spec.jobs()).into_iter().cloned().collect();
+    let computed = compute(&missing, opts)?;
+    store.merge_from(computed).map_err(|e| e.to_string())?;
+    eprintln!(
+        "gridrun: resume {artifact}: {loaded} cells loaded, {} missing computed, {} total",
+        missing.len(),
+        store.len()
+    );
+    if let Some(out) = out {
+        write_artifact(out, &store.to_jsonl())?;
+    }
+    Ok(render_all(&store, opts.mode))
+}
+
+/// `--jobs F -o OUT`: the worker half of the daemon's dispatch — parse
+/// one job key per line, evaluate each (no cache: the parent owns it),
+/// and emit extended artifact lines carrying the program digests.
+fn run_jobs(file: &str, out: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let mut jobs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let job = Job::parse(line.trim())
+            .ok_or_else(|| format!("{file}:{}: unparsable job key '{line}'", lineno + 1))?;
+        jobs.push(job);
+    }
+    let table = CostTable::msp430fr5969();
+    let results = par_map(&jobs, |job| evaluate_traced(job, &table));
+    let mut artifact = String::new();
+    for (job, (value, ims)) in jobs.iter().zip(&results) {
+        artifact.push_str(&worker_line(job, value, ims));
+        artifact.push('\n');
+    }
+    write_artifact(out, &artifact)?;
+    eprintln!("gridrun: worker evaluated {} cells to {out}", jobs.len());
+    Ok(())
+}
+
+/// `--connect ADDR`: one request against a running daemon.
+fn connect(spec: &GridSpec, addr: &str, action: &ClientAction) -> Result<(), String> {
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let obj = |pairs: Vec<(&str, Json)>| {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let req = match action {
+        ClientAction::Submit { spec: which } => {
+            let jobs: Vec<Job> = match which.as_str() {
+                "all" => spec.jobs().to_vec(),
+                shard => {
+                    let (i, n) = parse_shard_spec(shard)
+                        .ok_or_else(|| format!("bad --submit spec '{shard}' (want all or i/N)"))?;
+                    spec.shard(i, n)
+                }
+            };
+            obj(vec![
+                ("op", Json::Str("submit".into())),
+                (
+                    "jobs",
+                    Json::Arr(jobs.iter().map(|j| Json::Str(j.to_string())).collect()),
+                ),
+            ])
+        }
+        ClientAction::Status => obj(vec![("op", Json::Str("status".into()))]),
+        ClientAction::Fetch { .. } => obj(vec![("op", Json::Str("fetch".into()))]),
+        ClientAction::Shutdown => obj(vec![("op", Json::Str("shutdown".into()))]),
+    };
+    let resp = service::request(&mut stream, &req).map_err(|e| e.to_string())?;
+    if resp.get("ok") != Some(&Json::Bool(true)) {
+        let detail = resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("malformed response");
+        return Err(format!("daemon error: {detail}"));
+    }
+    match action {
+        ClientAction::Fetch { out } => {
+            let Some(Json::Arr(cells)) = resp.get("cells") else {
+                return Err("daemon error: fetch response carries no cells".into());
+            };
+            let mut artifact = String::new();
+            for cell in cells {
+                artifact.push_str(&cell.encode());
+                artifact.push('\n');
+            }
+            write_artifact(out, &artifact)?;
+            eprintln!("gridrun: fetched {} cells from {addr}", cells.len());
+        }
+        _ => {
+            // Print the response fields (minus the ok flag) as a flat
+            // summary line.
+            let Json::Obj(pairs) = &resp else {
+                return Err("daemon error: non-object response".into());
+            };
+            let summary: Vec<String> = pairs
+                .iter()
+                .filter(|(k, _)| k != "ok")
+                .map(|(k, v)| format!("{k}={}", v.encode()))
+                .collect();
+            println!(
+                "gridrun: {addr}: {}",
+                if summary.is_empty() {
+                    "ok".to_string()
+                } else {
+                    summary.join(" ")
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let opts = parse_args();
+    let mut opts = parse_args();
     let spec = GridSpec::full_grid(opts.mode);
-    match opts.command {
+    match std::mem::replace(&mut opts.command, Command::List) {
         Command::Direct => {
             let store = match &opts.trace {
-                None => CellStore::compute(spec.jobs()),
+                None => match compute(spec.jobs(), &opts) {
+                    Ok(store) => store,
+                    Err(e) => {
+                        eprintln!("gridrun: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                // A real file streams: overflow event chunks spill to
+                // disk during capture, so no event is ever dropped.
+                // Stdout ("-") keeps the buffered ring-capped path.
+                Some(path) if path != "-" => {
+                    let file = match std::fs::File::create(Path::new(path)) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            eprintln!("gridrun: {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    let writer = std::io::BufWriter::new(file);
+                    let (store, traces) = match trace::capture_grid_streaming(spec.jobs(), writer) {
+                        Ok(out) => out,
+                        Err(e) => {
+                            eprintln!("gridrun: {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    eprintln!(
+                        "gridrun: wrote {} cell traces ({} events resident, {} streamed) to {path}",
+                        traces.len(),
+                        traces.iter().map(|t| t.events.len()).sum::<usize>(),
+                        traces.iter().map(|t| t.spilled_events).sum::<u64>()
+                    );
+                    store
+                }
                 Some(path) => {
                     let (store, traces) = trace::capture_grid(spec.jobs());
                     if let Err(e) = write_artifact(path, &trace::to_jsonl(&traces)) {
@@ -310,6 +589,32 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(code) => code,
+        },
+        Command::Resume { artifact, out } => {
+            match resume(&spec, &artifact, out.as_deref(), &opts) {
+                Ok(rendered) => {
+                    print!("{rendered}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("gridrun: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Command::Jobs { file, out } => match run_jobs(&file, &out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gridrun: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Command::Connect { addr, action } => match connect(&spec, &addr, &action) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gridrun: {e}");
+                ExitCode::from(2)
+            }
         },
     }
 }

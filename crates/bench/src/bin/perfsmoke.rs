@@ -5,9 +5,9 @@
 //! The emulator/analysis "before" constants were measured on the tree
 //! just before the predecoded superblock engine landed (the state after
 //! the PR-1 hot-path overhaul: per-opcode cost cache, memoized plan
-//! lookups, cached block pointer); the `exp_all` "before" is the tree
-//! just before the shared experiment-grid cell store landed (reports
-//! recomputed shared cells independently). "after" is measured live by
+//! lookups, cached block pointer); the `exp_all` "before" is the
+//! execution-tier-ladder HEAD just before the non-resident
+//! block-dispatch fast path landed. "after" is measured live by
 //! this binary. Criterion was dropped with the offline build, so this
 //! is the lightweight replacement:
 //!
@@ -44,16 +44,26 @@ use std::time::Instant;
 const BEFORE_CRC_IPS: f64 = 94_972_875.0;
 const BEFORE_FFT_IPS: f64 = 98_476_670.0;
 const BEFORE_ANALYSIS_S: f64 = 0.033;
-/// `exp_all` wall time just before the shared cell store landed (each
-/// report recomputed the cells it shared with other reports; soundcheck
-/// section included — best of 3 on the HEAD tree of that PR).
-const BEFORE_EXP_ALL_S: f64 = 0.913;
+/// `exp_all` wall time on the execution-tier-ladder HEAD, just before
+/// the non-resident block-dispatch fast path landed (re-baselined from
+/// the pre-cell-store 0.913 s: the tier ladder's general trace
+/// machinery had regressed profiling runs — `step_trace`'s per-head
+/// setup and tally commit on every single-block dispatch — which the
+/// lean `step_block_unit` path now bypasses).
+const BEFORE_EXP_ALL_S: f64 = 1.170;
 
 /// Required emulator speedup when `SCHEMATIC_PERF_ASSERT=1`.
 /// Conservative: the direct-threaded/AOT engine measures well above
 /// this on a quiet host, but CI shares cores, so the floor only
 /// catches wholesale regressions (losing a tier), not jitter.
 const SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Required warm-over-cold speedup for the full-grid cell cache when
+/// `SCHEMATIC_PERF_ASSERT=1`. A warm run answers every cell from the
+/// cache — compile, profile and emulation all skipped — so anything
+/// under this floor means the cache is recomputing cells it should
+/// have hit.
+const GRID_WARM_FLOOR: f64 = 5.0;
 
 /// A repeated throughput measurement: the best window plus the p50/p95
 /// of the per-window samples (log-linear histogram, ~4% bucket error).
@@ -164,6 +174,39 @@ fn analysis_seconds(table: &CostTable) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// Cold-vs-warm wall time for the full experiment grid through the
+/// content-addressed cell cache: the cold pass computes every cell into
+/// a fresh cache file, the warm pass reopens that file and must answer
+/// every cell from it (asserted — a single recomputed cell fails the
+/// smoke). Uses a process-scoped temp file, removed afterwards.
+fn grid_cache_wall() -> (f64, f64) {
+    use schematic_bench::cache::{compute_cached, CellCache};
+    let jobs = GridSpec::full_grid(GridMode::Full).jobs().to_vec();
+    let path = std::env::temp_dir().join(format!("perfsmoke-cache-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let progress = |_: usize, _: usize| {};
+
+    let mut cache = CellCache::open(&path);
+    let start = Instant::now();
+    let (_, stats) = compute_cached(&jobs, Some(&mut cache), false, &progress).expect("cold grid");
+    let cold = start.elapsed().as_secs_f64();
+    assert_eq!(
+        stats.computed,
+        jobs.len(),
+        "fresh cache computes every cell"
+    );
+    drop(cache);
+
+    let mut cache = CellCache::open(&path);
+    let start = Instant::now();
+    let (_, stats) = compute_cached(&jobs, Some(&mut cache), false, &progress).expect("warm grid");
+    let warm = start.elapsed().as_secs_f64();
+    assert_eq!(stats.computed, 0, "warm cache answers every cell");
+    drop(cache);
+    let _ = std::fs::remove_file(&path);
+    (cold, warm)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let emu_only = std::env::args().any(|a| a == "--emu-only");
@@ -200,6 +243,8 @@ fn main() {
     let exp_all_s = start.elapsed().as_secs_f64();
     assert!(report.contains("Table I"), "exp_all produced a real report");
 
+    let (grid_cold_s, grid_warm_s) = grid_cache_wall();
+
     // Cell-store dedup: cells the reports would compute if each report
     // evaluated its own grid slice, vs the unique cells the shared
     // store actually computes.
@@ -208,7 +253,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "description": "SCHEMATIC repro hot-path performance (release build, same host). Emulator/analysis 'before' is pre-superblock; exp_all 'before' is pre-cell-store (reports recomputed shared cells). 'after' is the best of repeated measurement windows sharing one predecoded program; p50/p95 summarize the per-window distribution; 'cold_decode' re-lowers per run via Machine::new. Regenerate with `cargo run --release -p schematic-bench --bin perfsmoke`.",
+  "description": "SCHEMATIC repro hot-path performance (release build, same host). Emulator/analysis 'before' is pre-superblock; exp_all 'before' is the tier-ladder HEAD just before the non-resident block-dispatch fast path landed. 'after' is the best of repeated measurement windows sharing one predecoded program; p50/p95 summarize the per-window distribution; 'cold_decode' re-lowers per run via Machine::new. grid_cache is the full experiment grid evaluated through a fresh (cold) then pre-populated (warm) content-addressed cell cache. Regenerate with `cargo run --release -p schematic-bench --bin perfsmoke`.",
   "emulator_insts_per_sec": {{
     "crc": {{"before": {BEFORE_CRC_IPS:.0}, "after": {crc_ips:.0}, "p50": {}, "p95": {}, "cold_decode": {crc_cold_ips:.0}, "speedup": {:.2}}},
     "fft": {{"before": {BEFORE_FFT_IPS:.0}, "after": {fft_ips:.0}, "p50": {}, "p95": {}, "cold_decode": {fft_cold_ips:.0}, "speedup": {:.2}}}
@@ -219,6 +264,7 @@ fn main() {
   }},
   "analysis_seconds_8_benchmarks": {{"before": {BEFORE_ANALYSIS_S}, "after": {analysis_s:.3}, "speedup": {:.1}}},
   "exp_all_wall_seconds": {{"before": {BEFORE_EXP_ALL_S}, "after": {exp_all_s:.3}, "speedup": {:.1}}},
+  "grid_cache_wall_seconds": {{"cold": {grid_cold_s:.3}, "warm": {grid_warm_s:.3}, "speedup": {:.0}}},
   "grid_cells_full_mode": {{"per_report_total": {per_report}, "unique_in_store": {unique}, "dedup_saved": {}}}
 }}
 "#,
@@ -230,6 +276,7 @@ fn main() {
         fft_ips / BEFORE_FFT_IPS,
         BEFORE_ANALYSIS_S / analysis_s,
         BEFORE_EXP_ALL_S / exp_all_s,
+        grid_cold_s / grid_warm_s,
         per_report - unique,
     );
 
@@ -254,6 +301,14 @@ fn main() {
             fft_speedup >= SPEEDUP_FLOOR,
             "fft emulator speedup {fft_speedup:.2} below the {SPEEDUP_FLOOR}x floor"
         );
-        eprintln!("perf floor passed: crc {crc_speedup:.2}x, fft {fft_speedup:.2}x");
+        let grid_speedup = grid_cold_s / grid_warm_s;
+        assert!(
+            grid_speedup >= GRID_WARM_FLOOR,
+            "warm grid-cache speedup {grid_speedup:.1} below the {GRID_WARM_FLOOR}x floor"
+        );
+        eprintln!(
+            "perf floor passed: crc {crc_speedup:.2}x, fft {fft_speedup:.2}x, \
+             warm grid cache {grid_speedup:.0}x"
+        );
     }
 }

@@ -29,12 +29,13 @@
 use crate::json::Json;
 use crate::parallel::par_map;
 use crate::{
-    eb_for_tbpf, run_cell, technique_names, technique_supports, Cell, CellOutcome, ENERGY_TBPF,
-    SEED, SVM_BYTES, TBPFS,
+    eb_for_tbpf, technique_names, technique_supports, Cell, CellOutcome, ENERGY_TBPF, SEED,
+    SVM_BYTES, TBPFS,
 };
 use schematic_core::{compile, SchematicConfig};
 use schematic_emu::{InstrumentedModule, Machine, Metrics, PowerModel, RunConfig, RunStatus};
 use schematic_energy::CostTable;
+use schematic_ir::hash::Digest;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -52,7 +53,7 @@ pub enum JobKind {
     /// footprint).
     Bare,
     /// Tables III / Figures 6 & 8: one `(technique, benchmark, tbpf)`
-    /// intermittent run via [`run_cell`].
+    /// intermittent run via [`crate::run_cell`].
     Run,
     /// Figure 7: Schematic vs All-NVM computation split at the energy
     /// TBPF.
@@ -201,6 +202,22 @@ impl Job {
             tbpf: 0,
         }
     }
+
+    /// Parses the artifact spelling `kind/technique/benchmark/tbpf`
+    /// (the [`Job`] display form, e.g. `run/Schematic/crc/10000`) —
+    /// the inverse of [`Job`]'s `Display`.
+    pub fn parse(key: &str) -> Option<Job> {
+        let parts: Vec<&str> = key.split('/').collect();
+        if parts.len() != 4 {
+            return None;
+        }
+        Some(Job {
+            kind: JobKind::from_name(parts[0])?,
+            technique: parts[1].to_string(),
+            benchmark: parts[2].to_string(),
+            tbpf: parts[3].parse().ok()?,
+        })
+    }
 }
 
 impl fmt::Display for Job {
@@ -246,7 +263,7 @@ pub enum CellValue {
         /// `Module::data_bytes()` — Table I's footprint listing.
         data_bytes: u64,
     },
-    /// [`JobKind::Run`]: a [`run_cell`] outcome (the payload of
+    /// [`JobKind::Run`]: a [`crate::run_cell`] outcome (the payload of
     /// [`Cell`], without the redundant key fields).
     Run {
         /// `None` when the technique cannot even start.
@@ -681,35 +698,48 @@ impl CellStore {
 /// in the compute layer so a bad placement fails the compute, not the
 /// render.
 pub fn evaluate(job: &Job, table: &CostTable) -> CellValue {
+    evaluate_traced(job, table).0
+}
+
+/// Like [`evaluate`], additionally returning the stable digests of
+/// every `InstrumentedModule` the kernel compiled (empty when nothing
+/// compiled, e.g. unsupported or placement-rejected cells). The digest
+/// list is the content-addressed part of the cell cache key: a cell's
+/// value is a pure function of (job, cost table, compiled programs,
+/// run configs), and the last two are captured by
+/// [`crate::cache::cell_key`].
+pub fn evaluate_traced(job: &Job, table: &CostTable) -> (CellValue, Vec<Digest>) {
     match job.kind {
         JobKind::Support => {
             let b = bench(&job.benchmark);
-            CellValue::Support(technique_supports(&job.technique, &(b.build)(SEED)))
+            let value = CellValue::Support(technique_supports(&job.technique, &(b.build)(SEED)));
+            (value, Vec::new())
         }
         JobKind::Bare => {
             let b = bench(&job.benchmark);
             let module = (b.build)(SEED);
             let data_bytes = module.data_bytes() as u64;
             let im = InstrumentedModule::bare_all_vm(module);
-            let cfg = RunConfig {
-                svm_bytes: usize::MAX / 2, // Table II ignores the VM limit
-                ..RunConfig::default()
-            };
-            let run = Machine::new(&im, table, cfg).run().expect("no traps");
+            let digest = im.stable_digest();
+            let run = Machine::new(&im, table, bare_run_config())
+                .run()
+                .expect("no traps");
             assert!(run.completed());
             assert_eq!(run.result, Some((b.oracle)(SEED)), "{}", b.name);
-            CellValue::Bare {
+            let value = CellValue::Bare {
                 cycles: run.metrics.active_cycles,
                 data_bytes,
-            }
+            };
+            (value, vec![digest])
         }
         JobKind::Run => {
             let b = bench(&job.benchmark);
-            let cell = run_cell(&job.technique, &b, table, job.tbpf);
-            CellValue::Run {
+            let (cell, digest) = crate::run_cell_traced(&job.technique, &b, table, job.tbpf);
+            let value = CellValue::Run {
                 outcome: cell.outcome,
                 reason: cell.reason,
-            }
+            };
+            (value, digest.into_iter().collect())
         }
         JobKind::Fig7 => evaluate_fig7(job, table),
         JobKind::Ablation => evaluate_ablation(job, table),
@@ -723,78 +753,183 @@ fn bench(name: &str) -> schematic_benchsuite::Benchmark {
     schematic_benchsuite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark '{name}'"))
 }
 
-fn evaluate_fig7(job: &Job, table: &CostTable) -> CellValue {
+// The `RunConfig` constructors are shared between the kernels below
+// and [`write_job_identity`], so the cache key can never drift from
+// what the kernels actually execute.
+
+/// Table II's continuous-power config (VM limit lifted).
+fn bare_run_config() -> RunConfig {
+    RunConfig {
+        svm_bytes: usize::MAX / 2, // Table II ignores the VM limit
+        ..RunConfig::default()
+    }
+}
+
+/// The energy studies' periodic-power config (fig7 / ablations).
+fn periodic_run_config(tbpf: u64) -> RunConfig {
+    RunConfig {
+        power: PowerModel::Periodic { tbpf },
+        ..RunConfig::default()
+    }
+}
+
+/// The retentive-sleep comparison config.
+fn retentive_run_config(retentive: bool) -> RunConfig {
+    RunConfig {
+        retentive_sleep: retentive,
+        ..periodic_run_config(ENERGY_TBPF)
+    }
+}
+
+/// The shadow cross-validation config (WAR recorder on).
+fn shadow_run_config(tbpf: u64) -> RunConfig {
+    RunConfig {
+        shadow_war: true,
+        ..crate::intermittent_run_config(tbpf)
+    }
+}
+
+/// The compile configuration a job uses, when its kind compiles with
+/// an explicit [`SchematicConfig`] (fig7 variants and ablations); the
+/// `compile_technique` kinds use the technique-default configuration
+/// keyed separately by [`write_job_identity`].
+fn job_compile_config(job: &Job, table: &CostTable) -> Option<SchematicConfig> {
+    let eb = eb_for_tbpf(table, ENERGY_TBPF);
+    match job.kind {
+        JobKind::Fig7 => {
+            let mut config = SchematicConfig::new(eb);
+            config.svm_bytes = if job.technique == "All-NVM" {
+                0
+            } else {
+                SVM_BYTES
+            };
+            Some(config)
+        }
+        JobKind::Ablation => {
+            let (liveness, ratio) = match job.technique.as_str() {
+                "full" => (true, true),
+                "no-liveness" => (false, true),
+                "no-ratio" => (true, false),
+                other => panic!("unknown ablation variant '{other}'"),
+            };
+            let mut config = SchematicConfig::new(eb);
+            config.svm_bytes = SVM_BYTES;
+            config.liveness_opt = liveness;
+            config.ratio_ordering = ratio;
+            Some(config)
+        }
+        JobKind::Retentive => {
+            let mut config = SchematicConfig::new(eb);
+            config.svm_bytes = SVM_BYTES;
+            Some(config)
+        }
+        _ => None,
+    }
+}
+
+/// Feeds every configuration input that shapes a job's outcome — the
+/// compile configuration and each `RunConfig` its kernel executes, in
+/// kernel order — into a stable hasher. Together with the job key
+/// fields, the cost-table identity and the compiled-program digests,
+/// this pins down everything a cell's value is a function of.
+pub(crate) fn write_job_identity(
+    job: &Job,
+    table: &CostTable,
+    h: &mut schematic_ir::hash::StableHasher,
+) {
+    h.write_usize(SVM_BYTES);
+    h.write_u64(SEED);
+    if let Some(config) = job_compile_config(job, table) {
+        config.identity_into(h);
+    }
+    match job.kind {
+        JobKind::Support => {}
+        JobKind::Bare => bare_run_config().identity_into(h),
+        JobKind::Run => {
+            h.write_u64(eb_for_tbpf(table, job.tbpf).as_pj());
+            crate::intermittent_run_config(job.tbpf).identity_into(h);
+        }
+        JobKind::Fig7 | JobKind::Ablation => periodic_run_config(ENERGY_TBPF).identity_into(h),
+        JobKind::Retentive => {
+            retentive_run_config(false).identity_into(h);
+            retentive_run_config(true).identity_into(h);
+        }
+        JobKind::Sound => h.write_u64(eb_for_tbpf(table, ENERGY_TBPF).as_pj()),
+        JobKind::Shadow => {
+            h.write_u64(eb_for_tbpf(table, ENERGY_TBPF).as_pj());
+            for tbpf in TBPFS {
+                shadow_run_config(tbpf).identity_into(h);
+            }
+        }
+    }
+}
+
+fn evaluate_fig7(job: &Job, table: &CostTable) -> (CellValue, Vec<Digest>) {
     let b = bench(&job.benchmark);
-    let all_nvm = job.technique == "All-NVM";
     let eb = eb_for_tbpf(table, ENERGY_TBPF);
     let m = (b.build)(SEED);
-    let mut config = SchematicConfig::new(eb);
-    config.svm_bytes = if all_nvm { 0 } else { SVM_BYTES };
+    let config = job_compile_config(job, table).expect("fig7 compiles explicitly");
     let compiled = match compile(&m, table, &config) {
         Ok(c) => c,
         Err(e) => {
-            return CellValue::Measured {
+            let value = CellValue::Measured {
                 metrics: None,
                 note: Some(format!("error: {e}")),
-            }
+            };
+            return (value, Vec::new());
         }
     };
+    let digests = vec![compiled.instrumented.stable_digest()];
     // An anomalous placement is footnoted, not measured: its energy
     // numbers would come from runs that can corrupt results.
     match schematic_core::check_all(&compiled.instrumented, table, eb) {
         Ok(report) if !report.anomalies.is_sound() => {
-            return CellValue::Measured {
+            let value = CellValue::Measured {
                 metrics: None,
                 note: Some(format!("anomaly: {}", report.verdict())),
-            }
+            };
+            return (value, digests);
         }
         _ => {}
     }
-    let cfg = RunConfig {
-        power: PowerModel::Periodic { tbpf: ENERGY_TBPF },
-        ..RunConfig::default()
-    };
-    let run = Machine::new(&compiled.instrumented, table, cfg)
-        .run()
-        .expect("no traps");
+    let run = Machine::new(
+        &compiled.instrumented,
+        table,
+        periodic_run_config(ENERGY_TBPF),
+    )
+    .run()
+    .expect("no traps");
     assert!(run.completed(), "{} {}", b.name, job.technique);
     assert_eq!(run.result, Some((b.oracle)(SEED)));
-    CellValue::Measured {
+    let value = CellValue::Measured {
         metrics: Some(run.metrics),
         note: None,
-    }
+    };
+    (value, digests)
 }
 
-fn evaluate_ablation(job: &Job, table: &CostTable) -> CellValue {
+fn evaluate_ablation(job: &Job, table: &CostTable) -> (CellValue, Vec<Digest>) {
     let b = bench(&job.benchmark);
-    let (liveness, ratio) = match job.technique.as_str() {
-        "full" => (true, true),
-        "no-liveness" => (false, true),
-        "no-ratio" => (true, false),
-        other => panic!("unknown ablation variant '{other}'"),
-    };
-    let eb = eb_for_tbpf(table, ENERGY_TBPF);
     let m = (b.build)(SEED);
-    let mut config = SchematicConfig::new(eb);
-    config.svm_bytes = SVM_BYTES;
-    config.liveness_opt = liveness;
-    config.ratio_ordering = ratio;
+    let config = job_compile_config(job, table).expect("ablation compiles explicitly");
     let compiled = match compile(&m, table, &config) {
         Ok(c) => c,
         Err(e) => {
-            return CellValue::Measured {
+            let value = CellValue::Measured {
                 metrics: None,
                 note: Some(format!("error: {e}")),
-            }
+            };
+            return (value, Vec::new());
         }
     };
-    let cfg = RunConfig {
-        power: PowerModel::Periodic { tbpf: ENERGY_TBPF },
-        ..RunConfig::default()
-    };
-    let run = Machine::new(&compiled.instrumented, table, cfg)
-        .run()
-        .expect("no traps");
+    let digests = vec![compiled.instrumented.stable_digest()];
+    let run = Machine::new(
+        &compiled.instrumented,
+        table,
+        periodic_run_config(ENERGY_TBPF),
+    )
+    .run()
+    .expect("no traps");
     assert!(run.completed(), "{} {}", b.name, job.technique);
     assert_eq!(
         run.result,
@@ -803,40 +938,40 @@ fn evaluate_ablation(job: &Job, table: &CostTable) -> CellValue {
         b.name,
         job.technique
     );
-    CellValue::Measured {
+    let value = CellValue::Measured {
         metrics: Some(run.metrics),
         note: None,
-    }
+    };
+    (value, digests)
 }
 
-fn evaluate_retentive(job: &Job, table: &CostTable) -> CellValue {
+fn evaluate_retentive(job: &Job, table: &CostTable) -> (CellValue, Vec<Digest>) {
     let b = bench(&job.benchmark);
-    let eb = eb_for_tbpf(table, ENERGY_TBPF);
     let m = (b.build)(SEED);
-    let mut config = SchematicConfig::new(eb);
-    config.svm_bytes = SVM_BYTES;
+    let config = job_compile_config(job, table).expect("retentive compiles explicitly");
     let compiled = compile(&m, table, &config).expect("compiles");
+    let digests = vec![compiled.instrumented.stable_digest()];
     let mut total = [0u64; 2];
     for (i, retentive) in [false, true].into_iter().enumerate() {
-        let cfg = RunConfig {
-            power: PowerModel::Periodic { tbpf: ENERGY_TBPF },
-            retentive_sleep: retentive,
-            ..RunConfig::default()
-        };
-        let run = Machine::new(&compiled.instrumented, table, cfg)
-            .run()
-            .expect("no traps");
+        let run = Machine::new(
+            &compiled.instrumented,
+            table,
+            retentive_run_config(retentive),
+        )
+        .run()
+        .expect("no traps");
         assert!(run.completed());
         assert_eq!(run.result, Some((b.oracle)(SEED)));
         total[i] = run.metrics.total_energy().as_pj();
     }
-    CellValue::Retentive {
+    let value = CellValue::Retentive {
         deep_pj: total[0],
         retentive_pj: total[1],
-    }
+    };
+    (value, digests)
 }
 
-fn evaluate_sound(job: &Job, table: &CostTable) -> CellValue {
+fn evaluate_sound(job: &Job, table: &CostTable) -> (CellValue, Vec<Digest>) {
     let b = bench(&job.benchmark);
     let eb = eb_for_tbpf(table, ENERGY_TBPF);
     let module = (b.build)(SEED);
@@ -845,18 +980,19 @@ fn evaluate_sound(job: &Job, table: &CostTable) -> CellValue {
         note: Some(note),
     };
     if !technique_supports(&job.technique, &module) {
-        return skip("unsupported".into());
+        return (skip("unsupported".into()), Vec::new());
     }
     let im = match crate::compile_technique(&job.technique, &module, table, eb) {
         Ok(im) => im,
-        Err(e) => return skip(format!("error: {e}")),
+        Err(e) => return (skip(format!("error: {e}")), Vec::new()),
     };
+    let digests = vec![im.stable_digest()];
     let report = match schematic_core::check_all(&im, table, eb) {
         Ok(r) => r,
-        Err(e) => return skip(format!("error: {e}")),
+        Err(e) => return (skip(format!("error: {e}")), digests),
     };
     let [idem, free, shielded, hazardous] = report.anomalies.class_counts();
-    CellValue::Sound {
+    let value = CellValue::Sound {
         counts: Some(SoundCounts {
             regions: report.anomalies.regions.len() as u64,
             idempotent: idem as u64,
@@ -866,10 +1002,11 @@ fn evaluate_sound(job: &Job, table: &CostTable) -> CellValue {
             placement_sound: report.placement.is_sound(),
         }),
         note: None,
-    }
+    };
+    (value, digests)
 }
 
-fn evaluate_shadow(job: &Job, table: &CostTable) -> CellValue {
+fn evaluate_shadow(job: &Job, table: &CostTable) -> (CellValue, Vec<Digest>) {
     let b = bench(&job.benchmark);
     let eb = eb_for_tbpf(table, ENERGY_TBPF);
     let module = (b.build)(SEED);
@@ -878,15 +1015,16 @@ fn evaluate_shadow(job: &Job, table: &CostTable) -> CellValue {
         unpredicted: 0,
     };
     if !technique_supports(&job.technique, &module) {
-        return skipped;
+        return (skipped, Vec::new());
     }
     let im = match crate::compile_technique(&job.technique, &module, table, eb) {
         Ok(im) => im,
-        Err(_) => return skipped,
+        Err(_) => return (skipped, Vec::new()),
     };
+    let digests = vec![im.stable_digest()];
     let report = match schematic_core::check_all(&im, table, eb) {
         Ok(r) => r,
-        Err(_) => return skipped,
+        Err(_) => return (skipped, digests),
     };
     // Shadow cross-validation: run under every TBPF with the recorder
     // on; every WAR the emulator actually observes must be in the
@@ -894,24 +1032,18 @@ fn evaluate_shadow(job: &Job, table: &CostTable) -> CellValue {
     let predicted = report.anomalies.predicted_war_vars(im.module.vars.len());
     let mut observed: Vec<schematic_ir::VarId> = Vec::new();
     for tbpf in TBPFS {
-        let cfg = RunConfig {
-            power: PowerModel::Periodic { tbpf },
-            svm_bytes: usize::MAX / 2,
-            max_active_cycles: 4_000_000_000,
-            shadow_war: true,
-            ..RunConfig::default()
-        };
-        if let Ok(run) = Machine::new(&im, table, cfg).run() {
+        if let Ok(run) = Machine::new(&im, table, shadow_run_config(tbpf)).run() {
             observed.extend(run.shadow.expect("shadow requested").war_vars());
         }
     }
     observed.sort_unstable();
     observed.dedup();
     let unpredicted = observed.iter().filter(|&&v| !predicted.contains(v)).count();
-    CellValue::Shadow {
+    let value = CellValue::Shadow {
         observed: Some(observed.len() as u64),
         unpredicted: unpredicted as u64,
-    }
+    };
+    (value, digests)
 }
 
 // ---------------------------------------------------------------------

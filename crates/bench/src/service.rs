@@ -1,0 +1,524 @@
+//! The persistent evaluation service: framed protocol and daemon core.
+//!
+//! `gridd` keeps predecoded benchmark programs and the content-addressed
+//! cell cache warm across grid invocations, so a client pays process
+//! startup, decode, and cache load once instead of per run. This module
+//! holds everything testable without sockets:
+//!
+//! * **Frames** — each protocol message is a 4-byte big-endian length
+//!   prefix followed by that many bytes of JSON (via [`crate::json`]).
+//!   [`read_frame`] returns `Ok(None)` on a clean EOF at a frame
+//!   boundary; a torn prefix, a truncated body, an oversized length
+//!   ([`MAX_FRAME`]) or non-JSON payload is an error — never a panic —
+//!   because the listener must survive any bytes a client throws at it.
+//! * **Requests** — JSON objects tagged by `"op"`:
+//!   `{"op":"submit","jobs":["run/Schematic/crc/10000",…]}` evaluates a
+//!   batch (cache-first, optionally fanned out to worker processes),
+//!   `{"op":"status"}` reports store and cache tallies, `{"op":"fetch"}`
+//!   returns every accumulated cell as artifact objects, and
+//!   `{"op":"shutdown"}` stops the daemon. Errors come back as
+//!   `{"ok":false,"error":…}` — a bad request never kills the service.
+//! * **[`Daemon`]** — the state machine behind the socket loop:
+//!   [`Daemon::handle`] maps one request to one response plus a
+//!   shutdown flag. The `gridd` binary owns the `TcpListener` and feeds
+//!   frames through it.
+
+use crate::cache::{self, CellCache, SourceDigests};
+use crate::grid::{CellStore, GridError, GridMode, Job};
+use crate::json::Json;
+use schematic_energy::CostTable;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload (16 MiB — a full-grid fetch is
+/// well under 1 MiB; anything bigger is a corrupt or hostile prefix).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(String),
+    /// The stream ended inside a length prefix or frame body.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversize(usize),
+    /// The payload is not UTF-8 JSON.
+    Syntax(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "stream error: {e}"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Oversize(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Syntax(e) => write!(f, "frame payload is not valid JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one length-prefixed JSON frame and flushes.
+///
+/// # Errors
+///
+/// [`FrameError::Oversize`] when the encoded payload exceeds
+/// [`MAX_FRAME`]; [`FrameError::Io`] on stream failure.
+pub fn write_frame(w: &mut impl Write, json: &Json) -> Result<(), FrameError> {
+    let text = json.encode();
+    let bytes = text.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(FrameError::Oversize(bytes.len()));
+    }
+    let io = |e: std::io::Error| FrameError::Io(e.to_string());
+    w.write_all(&(bytes.len() as u32).to_be_bytes())
+        .map_err(io)?;
+    w.write_all(bytes).map_err(io)?;
+    w.flush().map_err(io)
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream *between*
+/// frames (the peer closed after a complete exchange); any mid-frame
+/// end is [`FrameError::Truncated`].
+///
+/// # Errors
+///
+/// Never panics: torn, oversized, or garbage frames come back as the
+/// matching [`FrameError`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e.to_string())
+        }
+    })?;
+    let text =
+        String::from_utf8(buf).map_err(|_| FrameError::Syntax("payload is not UTF-8".into()))?;
+    match Json::parse(&text) {
+        Ok(json) => Ok(Some(json)),
+        Err(e) => Err(FrameError::Syntax(e.to_string())),
+    }
+}
+
+/// One client round-trip: write `req`, read the response frame.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; a stream the server closed without answering is
+/// [`FrameError::Truncated`].
+pub fn request(stream: &mut (impl Read + Write), req: &Json) -> Result<Json, FrameError> {
+    write_frame(stream, req)?;
+    read_frame(stream)?.ok_or(FrameError::Truncated)
+}
+
+fn ok_response(mut fields: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.append(&mut fields);
+    crate::grid::obj(pairs)
+}
+
+fn error_response(message: String) -> Json {
+    crate::grid::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message)),
+    ])
+}
+
+/// The daemon's state: the accumulated cell store, the warm cache, and
+/// batch tallies. One instance serves the whole process; requests are
+/// handled synchronously in arrival order, which is also the
+/// single-writer discipline the cache file needs.
+pub struct Daemon {
+    mode: GridMode,
+    cache: Option<CellCache>,
+    /// Worker processes per submit batch; `0` computes in-process.
+    workers: usize,
+    store: CellStore,
+    sources: SourceDigests,
+    batches: u64,
+    hits: u64,
+    computed: u64,
+}
+
+impl Daemon {
+    /// A fresh daemon. `cache` is the warm disk cache (`None` for
+    /// `--no-cache`); `workers` > 0 dispatches each batch's misses to
+    /// that many `gridrun --jobs` child processes.
+    pub fn new(mode: GridMode, cache: Option<CellCache>, workers: usize) -> Daemon {
+        Daemon {
+            mode,
+            cache,
+            workers,
+            store: CellStore::new(),
+            sources: SourceDigests::new(),
+            batches: 0,
+            hits: 0,
+            computed: 0,
+        }
+    }
+
+    /// The grid mode the daemon serves.
+    pub fn mode(&self) -> GridMode {
+        self.mode
+    }
+
+    /// Maps one request to `(response, shutdown)`. Never panics on a
+    /// malformed request: the error goes back to the client and the
+    /// daemon keeps serving.
+    pub fn handle(&mut self, req: &Json) -> (Json, bool) {
+        let _span = schematic_obs::span("daemon/request");
+        let op = match req.get("op").and_then(Json::as_str) {
+            Some(op) => op.to_string(),
+            None => return (error_response("missing field 'op'".into()), false),
+        };
+        schematic_obs::gcount(&format!("daemon/op/{op}"), 1);
+        match op.as_str() {
+            "submit" => (self.submit(req), false),
+            "status" => (self.status(), false),
+            "fetch" => (self.fetch(), false),
+            "shutdown" => (ok_response(vec![]), true),
+            other => (error_response(format!("unknown op '{other}'")), false),
+        }
+    }
+
+    fn submit(&mut self, req: &Json) -> Json {
+        let Some(Json::Arr(items)) = req.get("jobs") else {
+            return error_response("missing or non-array field 'jobs'".into());
+        };
+        let mut jobs = Vec::with_capacity(items.len());
+        for item in items {
+            let Some(job) = item.as_str().and_then(Job::parse) else {
+                return error_response(format!(
+                    "unparsable job key {} (want kind/technique/benchmark/tbpf)",
+                    item.encode()
+                ));
+            };
+            jobs.push(job);
+        }
+        jobs.sort();
+        jobs.dedup();
+        let requested = jobs.len();
+        let needed: Vec<Job> = jobs
+            .into_iter()
+            .filter(|j| self.store.get(j).is_none())
+            .collect();
+        let result = if self.workers == 0 {
+            self.compute_inline(&needed)
+        } else {
+            self.compute_dispatched(&needed)
+        };
+        match result {
+            Ok((hits, computed)) => {
+                self.batches += 1;
+                self.hits += hits as u64;
+                self.computed += computed as u64;
+                ok_response(vec![
+                    ("requested", Json::UInt(requested as u64)),
+                    ("hits", Json::UInt(hits as u64)),
+                    ("computed", Json::UInt(computed as u64)),
+                    ("cells", Json::UInt(self.store.len() as u64)),
+                ])
+            }
+            Err(e) => error_response(e.to_string()),
+        }
+    }
+
+    fn compute_inline(&mut self, needed: &[Job]) -> Result<(usize, usize), GridError> {
+        let (batch, stats) = cache::compute_cached(needed, self.cache.as_mut(), false, &|_, _| {})?;
+        self.store.merge_from(batch)?;
+        Ok((stats.hits, stats.computed))
+    }
+
+    /// Resolves hits from the warm cache, partitions the misses
+    /// round-robin over `workers` child `gridrun --jobs` processes, and
+    /// folds their extended artifacts (cell + instrumented-module
+    /// digests) back into the store *and* the cache — the daemon stays
+    /// the file's only writer because children never open it.
+    fn compute_dispatched(&mut self, needed: &[Job]) -> Result<(usize, usize), GridError> {
+        let table = CostTable::msp430fr5969();
+        let (hits, misses) = match &self.cache {
+            Some(cache) => cache::resolve(needed, cache, &table, &mut self.sources),
+            None => (Vec::new(), needed.to_vec()),
+        };
+        for (job, value) in &hits {
+            self.store.insert(job.clone(), value.clone())?;
+        }
+        if misses.is_empty() {
+            return Ok((hits.len(), 0));
+        }
+        let outputs = self.run_workers(&misses)?;
+        let mut folded = 0;
+        for text in outputs {
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                let (job, value, ims) = cache::parse_worker_line(line)?;
+                if let Some(cache) = &mut self.cache {
+                    let source = self.sources.digest(&job.benchmark);
+                    let ck = cache::cell_key(&job, &table, &ims);
+                    cache.memo_put(cache::memo_key(&job, &table, source), ims);
+                    cache.cell_put(ck, &job, value.clone());
+                }
+                self.store.insert(job, value)?;
+                folded += 1;
+            }
+        }
+        if folded != misses.len() {
+            return Err(GridError(format!(
+                "workers returned {folded} cells for {} dispatched jobs",
+                misses.len()
+            )));
+        }
+        Ok((hits.len(), folded))
+    }
+
+    /// Spawns the worker processes and collects their artifact texts.
+    fn run_workers(&mut self, misses: &[Job]) -> Result<Vec<String>, GridError> {
+        let gridrun = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("gridrun")))
+            .ok_or_else(|| GridError("cannot locate the gridrun binary".into()))?;
+        let dir = std::env::temp_dir().join(format!(
+            "gridd-{}-batch{}",
+            std::process::id(),
+            self.batches
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| GridError(format!("mkdir: {e}")))?;
+        let n = self.workers.min(misses.len());
+        let mut children = Vec::with_capacity(n);
+        for i in 0..n {
+            let jobs_path = dir.join(format!("jobs-{i}.txt"));
+            let out_path = dir.join(format!("out-{i}.jsonl"));
+            let keys: String = misses
+                .iter()
+                .skip(i)
+                .step_by(n)
+                .map(|j| format!("{j}\n"))
+                .collect();
+            std::fs::write(&jobs_path, keys).map_err(|e| GridError(format!("write jobs: {e}")))?;
+            let mut cmd = std::process::Command::new(&gridrun);
+            if self.mode == GridMode::Quick {
+                cmd.arg("--quick");
+            }
+            cmd.arg("--jobs").arg(&jobs_path).arg("-o").arg(&out_path);
+            let child = cmd
+                .spawn()
+                .map_err(|e| GridError(format!("spawn {}: {e}", gridrun.display())))?;
+            children.push((child, out_path));
+        }
+        let mut outputs = Vec::with_capacity(n);
+        let mut failed = 0usize;
+        for (mut child, out_path) in children {
+            let status = child.wait().map_err(|e| GridError(format!("wait: {e}")))?;
+            if !status.success() {
+                failed += 1;
+                continue;
+            }
+            outputs.push(
+                std::fs::read_to_string(&out_path)
+                    .map_err(|e| GridError(format!("read {}: {e}", out_path.display())))?,
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        if failed > 0 {
+            return Err(GridError(format!("{failed} worker process(es) failed")));
+        }
+        Ok(outputs)
+    }
+
+    fn status(&self) -> Json {
+        let (memos, cells) = self.cache.as_ref().map_or((0, 0), CellCache::len);
+        ok_response(vec![
+            ("cells", Json::UInt(self.store.len() as u64)),
+            ("batches", Json::UInt(self.batches)),
+            ("hits", Json::UInt(self.hits)),
+            ("computed", Json::UInt(self.computed)),
+            ("cache_memos", Json::UInt(memos as u64)),
+            ("cache_cells", Json::UInt(cells as u64)),
+        ])
+    }
+
+    fn fetch(&self) -> Json {
+        let store_lines = self.store.to_jsonl();
+        let cells: Vec<Json> = store_lines
+            .lines()
+            .map(|line| Json::parse(line).expect("store serialization is valid JSON"))
+            .collect();
+        ok_response(vec![("cells", Json::Arr(cells))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// SplitMix64 — the deterministic fuzz driver.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let msgs = [
+            Json::Null,
+            Json::Str("hello \u{1F600} \"quoted\"".into()),
+            crate::grid::obj(vec![
+                ("op", Json::Str("submit".into())),
+                (
+                    "jobs",
+                    Json::Arr(vec![Json::Str("run/Schematic/crc/10000".into())]),
+                ),
+            ]),
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for m in &msgs {
+            assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frames_error_at_every_cut() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &crate::grid::obj(vec![("op", Json::Str("status".into()))]),
+        )
+        .unwrap();
+        for cut in 1..buf.len() {
+            let mut r = Cursor::new(&buf[..cut]);
+            assert_eq!(
+                read_frame(&mut r),
+                Err(FrameError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // Cut at zero is a clean EOF, not an error.
+        assert_eq!(read_frame(&mut Cursor::new(&buf[..0])), Ok(None));
+    }
+
+    #[test]
+    fn oversize_prefix_is_rejected_without_allocation() {
+        let mut buf = u32::MAX.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"whatever");
+        assert_eq!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::Oversize(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn garbage_frames_never_panic() {
+        let mut rng = Rng(0xC0FFEE);
+        for round in 0..500 {
+            let len = (rng.next() % 64) as usize;
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                bytes.push((rng.next() & 0xFF) as u8);
+            }
+            // Whatever comes back, it must be a value, not a panic.
+            let _ = read_frame(&mut Cursor::new(&bytes));
+            // Same bytes framed as a payload: length is valid, body is
+            // garbage — must parse-fail or succeed, never panic.
+            let mut framed = (len as u32).to_be_bytes().to_vec();
+            framed.extend_from_slice(&bytes);
+            let r = read_frame(&mut Cursor::new(&framed));
+            assert!(
+                !matches!(r, Err(FrameError::Truncated)),
+                "round {round}: complete frame misread as truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn daemon_serves_a_batch_lifecycle() {
+        let mut d = Daemon::new(GridMode::Quick, None, 0);
+        let submit = crate::grid::obj(vec![
+            ("op", Json::Str("submit".into())),
+            (
+                "jobs",
+                Json::Arr(vec![
+                    Json::Str("support/Schematic/crc/0".into()),
+                    Json::Str("support/Mementos/crc/0".into()),
+                    // A duplicate collapses.
+                    Json::Str("support/Schematic/crc/0".into()),
+                ]),
+            ),
+        ]);
+        let (resp, stop) = d.handle(&submit);
+        assert!(!stop);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("requested").and_then(Json::as_u64), Some(2));
+        assert_eq!(resp.get("computed").and_then(Json::as_u64), Some(2));
+        // Resubmitting is free: the store already has both cells.
+        let (resp, _) = d.handle(&submit);
+        assert_eq!(resp.get("computed").and_then(Json::as_u64), Some(0));
+        let (status, _) = d.handle(&crate::grid::obj(vec![("op", Json::Str("status".into()))]));
+        assert_eq!(status.get("cells").and_then(Json::as_u64), Some(2));
+        assert_eq!(status.get("batches").and_then(Json::as_u64), Some(2));
+        let (fetch, _) = d.handle(&crate::grid::obj(vec![("op", Json::Str("fetch".into()))]));
+        let Some(Json::Arr(cells)) = fetch.get("cells") else {
+            panic!("fetch returns cells");
+        };
+        assert_eq!(cells.len(), 2);
+        let (resp, stop) = d.handle(&crate::grid::obj(vec![(
+            "op",
+            Json::Str("shutdown".into()),
+        )]));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert!(stop);
+    }
+
+    #[test]
+    fn daemon_rejects_bad_requests_without_dying() {
+        let mut d = Daemon::new(GridMode::Quick, None, 0);
+        for bad in [
+            Json::Null,
+            crate::grid::obj(vec![("op", Json::Str("explode".into()))]),
+            crate::grid::obj(vec![("op", Json::Str("submit".into()))]),
+            crate::grid::obj(vec![
+                ("op", Json::Str("submit".into())),
+                ("jobs", Json::Arr(vec![Json::Str("not-a-job".into())])),
+            ]),
+        ] {
+            let (resp, stop) = d.handle(&bad);
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", bad.encode());
+            assert!(!stop);
+        }
+        // Still alive and serving.
+        let (status, _) = d.handle(&crate::grid::obj(vec![("op", Json::Str("status".into()))]));
+        assert_eq!(status.get("ok"), Some(&Json::Bool(true)));
+    }
+}

@@ -19,6 +19,16 @@
 //! renders it — a phase-time table across the grid, the top-K hottest
 //! cells, and a per-run epoch timeline whose final row reproduces the
 //! cell's Fig. 6 energy split exactly from the event stream alone.
+//!
+//! Event streams used to be hard-capped at [`obs::MAX_EVENTS`] per
+//! cell (ring semantics: oldest dropped). [`capture_grid_streaming`]
+//! lifts the cap by spilling: when a cell's resident buffer fills, the
+//! oldest half is written to the artifact *immediately* as a
+//! `{"spill":{job,seq,events}}` chunk line, and [`from_jsonl`]
+//! reassembles chunks (by per-cell sequence number) back in front of
+//! the cell's resident tail — so `tracereport` sees the complete,
+//! ordered stream no matter how long the run was, while peak memory
+//! stays bounded at the cap.
 
 use crate::grid::{self, evaluate, CellStore, GridError, Job, JobKind};
 use crate::json::Json;
@@ -27,6 +37,8 @@ use crate::{render_table, uj};
 use schematic_energy::{CostTable, Energy};
 use schematic_obs as obs;
 use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Aggregated timings of one span name within one cell.
@@ -60,6 +72,10 @@ pub struct CellTrace {
     pub events: Vec<obs::Event>,
     /// Events discarded past the cap.
     pub dropped_events: u64,
+    /// Events streamed to the artifact as spill chunks instead of
+    /// dropped (streaming captures only; [`from_jsonl`] reassembles
+    /// them back into [`CellTrace::events`]).
+    pub spilled_events: u64,
 }
 
 impl CellTrace {
@@ -82,28 +98,49 @@ impl CellTrace {
             counters: reg.counters.into_iter().collect(),
             events: reg.events.into(),
             dropped_events: reg.dropped_events,
+            spilled_events: reg.spilled_events,
         }
     }
 }
 
-/// Evaluates `jobs` with observation capture enabled: the cell store
-/// (bit-identical to [`CellStore::compute`]) plus one [`CellTrace`]
-/// per job, in job order.
-///
-/// Enables the [`schematic_obs`] collector and forces emulator
-/// lifecycle tracing ([`schematic_emu::trace::set_forced`]) for the
-/// duration of the call, restoring both flags afterwards.
-pub fn capture_grid(jobs: &[Job]) -> (CellStore, Vec<CellTrace>) {
+/// The shared artifact writer streaming captures spill into: worker
+/// threads serialize chunk writes through the mutex.
+type SharedSink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Captures one cell's evaluation. With a `sink`, a spill hook is
+/// installed for the duration: whenever the cell's event buffer hits
+/// [`obs::MAX_EVENTS`], the oldest half is written to the sink as one
+/// `{"spill":…}` chunk line instead of being ring-dropped.
+fn capture_cell<T>(job: &Job, sink: Option<&SharedSink>, f: impl FnOnce() -> T) -> (T, CellTrace) {
+    let start = Instant::now();
+    let prev_spill = sink.map(|sink| {
+        let sink = Arc::clone(sink);
+        let job = job.clone();
+        let mut seq = 0u64;
+        obs::set_spill(Some(Box::new(move |events: Vec<obs::Event>| {
+            let chunk = spill_to_json(&job, seq, &events);
+            seq += 1;
+            if let Ok(mut w) = sink.lock() {
+                let _ = writeln!(w, "{}", chunk.encode());
+            }
+        })))
+    });
+    let (value, reg) = obs::capture(f);
+    if prev_spill.is_some() {
+        obs::set_spill(prev_spill.flatten());
+    }
+    let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (value, CellTrace::from_registry(job.clone(), wall, reg))
+}
+
+fn capture_grid_with_sink(jobs: &[Job], sink: Option<&SharedSink>) -> (CellStore, Vec<CellTrace>) {
     let prev_obs = obs::enabled();
     let prev_forced = schematic_emu::trace::forced();
     obs::set_enabled(true);
     schematic_emu::trace::set_forced(true);
     let table = CostTable::msp430fr5969();
     let results = par_map(jobs, |job| {
-        let start = Instant::now();
-        let (value, reg) = obs::capture(|| evaluate(job, &table));
-        let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        (value, CellTrace::from_registry(job.clone(), wall, reg))
+        capture_cell(job, sink, || evaluate(job, &table))
     });
     schematic_emu::trace::set_forced(prev_forced);
     obs::set_enabled(prev_obs);
@@ -116,6 +153,46 @@ pub fn capture_grid(jobs: &[Job]) -> (CellStore, Vec<CellTrace>) {
         traces.push(trace);
     }
     (store, traces)
+}
+
+/// Evaluates `jobs` with observation capture enabled: the cell store
+/// (bit-identical to [`CellStore::compute`]) plus one [`CellTrace`]
+/// per job, in job order. Per-cell event streams keep the in-memory
+/// ring cap (oldest dropped past [`obs::MAX_EVENTS`]); use
+/// [`capture_grid_streaming`] to lift it.
+///
+/// Enables the [`schematic_obs`] collector and forces emulator
+/// lifecycle tracing ([`schematic_emu::trace::set_forced`]) for the
+/// duration of the call, restoring both flags afterwards.
+pub fn capture_grid(jobs: &[Job]) -> (CellStore, Vec<CellTrace>) {
+    capture_grid_with_sink(jobs, None)
+}
+
+/// Like [`capture_grid`], but writes the complete artifact to `writer`
+/// incrementally: overflow event chunks stream out *during* capture
+/// (so no event is ever dropped and peak memory stays at the cap), and
+/// the per-cell trace lines follow once evaluation finishes. The
+/// returned traces hold only each cell's resident tail —
+/// [`from_jsonl`] on the written artifact reassembles the full
+/// streams.
+///
+/// # Errors
+///
+/// The underlying writer error from the trailing trace lines; chunk
+/// writes during capture are best-effort (a torn artifact still parses
+/// up to the tear).
+pub fn capture_grid_streaming(
+    jobs: &[Job],
+    writer: impl Write + Send + 'static,
+) -> std::io::Result<(CellStore, Vec<CellTrace>)> {
+    let sink: SharedSink = Arc::new(Mutex::new(Box::new(writer)));
+    let (store, traces) = capture_grid_with_sink(jobs, Some(&sink));
+    let mut w = sink.lock().expect("no worker holds the sink any more");
+    for t in &traces {
+        writeln!(w, "{}", trace_to_json(t).encode())?;
+    }
+    w.flush()?;
+    Ok((store, traces))
 }
 
 // ---------------------------------------------------------------------
@@ -218,7 +295,39 @@ pub fn trace_to_json(t: &CellTrace) -> Json {
             Json::Arr(t.events.iter().map(event_to_json).collect()),
         ),
         ("dropped_events", Json::UInt(t.dropped_events)),
+        ("spilled_events", Json::UInt(t.spilled_events)),
     ])
+}
+
+/// Encodes one spill chunk (a streamed-out slice of a cell's event
+/// buffer) as an artifact line: `{"spill":{"job":…,"seq":N,"events":…}}`.
+fn spill_to_json(job: &Job, seq: u64, events: &[obs::Event]) -> Json {
+    grid::obj(vec![(
+        "spill",
+        grid::obj(vec![
+            ("job", Json::Str(job.to_string())),
+            ("seq", Json::UInt(seq)),
+            (
+                "events",
+                Json::Arr(events.iter().map(event_to_json).collect()),
+            ),
+        ]),
+    )])
+}
+
+/// Decodes a spill chunk line into `(job key, seq, events)`.
+fn spill_from_json(json: &Json) -> Result<(String, u64, Vec<obs::Event>), GridError> {
+    let job = grid::str_field(json, "job")?;
+    let seq = grid::u64_field(json, "seq")?;
+    let events_json = match json.get("events") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(GridError("missing or non-array field 'events'".into())),
+    };
+    let events = events_json
+        .iter()
+        .map(event_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((job, seq, events))
 }
 
 /// Decodes one artifact line back into a trace.
@@ -286,6 +395,11 @@ pub fn trace_from_json(json: &Json) -> Result<CellTrace, GridError> {
         counters,
         events,
         dropped_events: grid::u64_field(json, "dropped_events")?,
+        // Absent in pre-streaming artifacts: default to 0.
+        spilled_events: json
+            .get("spilled_events")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
     })
 }
 
@@ -299,22 +413,53 @@ pub fn to_jsonl(traces: &[CellTrace]) -> String {
     out
 }
 
-/// Parses a trace artifact produced by [`to_jsonl`] (blank lines
-/// tolerated).
+/// Parses a trace artifact produced by [`to_jsonl`] or
+/// [`capture_grid_streaming`] (blank lines tolerated). Spill chunk
+/// lines (`{"spill":…}`) are reassembled: each cell's chunks are
+/// ordered by sequence number and spliced back in front of the cell's
+/// resident event tail, so the returned traces carry the complete
+/// streams.
 ///
 /// # Errors
 ///
-/// A [`GridError`] naming the offending line.
+/// A [`GridError`] naming the offending line, a chunk whose cell has
+/// no trace line, or a missing chunk in a cell's sequence.
 pub fn from_jsonl(text: &str) -> Result<Vec<CellTrace>, GridError> {
-    let mut traces = Vec::new();
+    let mut traces: Vec<CellTrace> = Vec::new();
+    let mut chunks: BTreeMap<String, Vec<(u64, Vec<obs::Event>)>> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let json = Json::parse(line).map_err(|e| GridError(format!("line {}: {e}", lineno + 1)))?;
-        traces.push(
-            trace_from_json(&json).map_err(|e| GridError(format!("line {}: {e}", lineno + 1)))?,
-        );
+        fn err(lineno: usize, e: impl std::fmt::Display) -> GridError {
+            GridError(format!("line {}: {e}", lineno + 1))
+        }
+        let json = Json::parse(line).map_err(|e| err(lineno, e))?;
+        match json.get("spill") {
+            Some(spill) => {
+                let (job, seq, events) = spill_from_json(spill).map_err(|e| err(lineno, e))?;
+                chunks.entry(job).or_default().push((seq, events));
+            }
+            None => traces.push(trace_from_json(&json).map_err(|e| err(lineno, e))?),
+        }
+    }
+    for (job, mut cell_chunks) in chunks {
+        let trace = traces
+            .iter_mut()
+            .find(|t| t.job.to_string() == job)
+            .ok_or_else(|| GridError(format!("spill chunks for '{job}' have no trace line")))?;
+        cell_chunks.sort_by_key(|(seq, _)| *seq);
+        let mut events = Vec::new();
+        for (i, (seq, chunk)) in cell_chunks.into_iter().enumerate() {
+            if seq != i as u64 {
+                return Err(GridError(format!(
+                    "spill chunk {i} for '{job}' missing (next has seq {seq})"
+                )));
+            }
+            events.extend(chunk);
+        }
+        events.append(&mut trace.events);
+        trace.events = events;
     }
     Ok(traces)
 }
@@ -323,16 +468,7 @@ pub fn from_jsonl(text: &str) -> Result<Vec<CellTrace>, GridError> {
 /// `kind/technique/benchmark/tbpf` (the [`Job`] display form, e.g.
 /// `run/Schematic/crc/10000`).
 pub fn parse_job_key(key: &str) -> Option<Job> {
-    let parts: Vec<&str> = key.split('/').collect();
-    if parts.len() != 4 {
-        return None;
-    }
-    Some(Job {
-        kind: JobKind::from_name(parts[0])?,
-        technique: parts[1].to_string(),
-        benchmark: parts[2].to_string(),
-        tbpf: parts[3].parse().ok()?,
-    })
+    Job::parse(key)
 }
 
 // ---------------------------------------------------------------------
@@ -544,11 +680,17 @@ pub fn render_timeline(trace: &CellTrace) -> String {
 pub fn render_trace_report(traces: &[CellTrace], cell: Option<&Job>, top_k: usize) -> String {
     let total_events: usize = traces.iter().map(|t| t.events.len()).sum();
     let dropped: u64 = traces.iter().map(|t| t.dropped_events).sum();
+    let spilled: u64 = traces.iter().map(|t| t.spilled_events).sum();
     let mut out = format!(
         "Observability report: {} cells, {} events\n",
         traces.len(),
         total_events
     );
+    if spilled > 0 {
+        out.push_str(&format!(
+            "({spilled} events streamed to the artifact as spill chunks)\n"
+        ));
+    }
     if dropped > 0 {
         out.push_str(&format!(
             "({dropped} events dropped past the per-cell cap)\n"
@@ -725,6 +867,104 @@ mod tests {
         assert_eq!(parse_job_key("run/Schematic/crc/zero"), None);
     }
 
+    /// A sink handing its bytes back through a shared buffer, so the
+    /// test can read what streaming capture wrote.
+    struct VecSink(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for VecSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_capture_spills_past_the_cap_and_reassembles() {
+        let was = obs::enabled();
+        obs::set_enabled(true);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink: SharedSink = Arc::new(Mutex::new(Box::new(VecSink(Arc::clone(&buf)))));
+        // Past the cap by 1.5 buffers: two spill batches of half a
+        // buffer each must stream out, the rest stays resident.
+        let total = 2 * obs::MAX_EVENTS;
+        let job = Job::bare("crc");
+        let ((), trace) = capture_cell(&job, Some(&sink), || {
+            for i in 0..total {
+                obs::event("tick", vec![("i", obs::Value::U64(i as u64))]);
+            }
+        });
+        obs::set_enabled(was);
+        assert_eq!(trace.spilled_events as usize + trace.events.len(), total);
+        assert!(trace.spilled_events > 0, "flood past the cap must spill");
+        assert_eq!(trace.dropped_events, 0, "spilling replaces dropping");
+
+        // The artifact = streamed chunks + the trace line; reassembly
+        // restores the full ordered stream.
+        let mut text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        text.push_str(&trace_to_json(&trace).encode());
+        text.push('\n');
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].events.len(), total);
+        for (i, ev) in back[0].events.iter().enumerate() {
+            assert_eq!(ev.u64_field("i"), Some(i as u64), "event {i} out of order");
+        }
+    }
+
+    #[test]
+    fn spill_chunks_reassemble_by_seq_regardless_of_line_order() {
+        let ev = |i: u64| obs::Event {
+            kind: "tick".into(),
+            fields: vec![("i".into(), obs::Value::U64(i))],
+        };
+        let job = Job::bare("crc");
+        let trace = CellTrace {
+            job: job.clone(),
+            wall_nanos: 1,
+            phases: Vec::new(),
+            counters: Vec::new(),
+            events: vec![ev(4), ev(5)],
+            dropped_events: 0,
+            spilled_events: 4,
+        };
+        // Chunks written out of order (seq 1 before seq 0) still
+        // splice back in sequence, ahead of the resident tail.
+        let text = format!(
+            "{}\n{}\n{}\n",
+            spill_to_json(&job, 1, &[ev(2), ev(3)]).encode(),
+            trace_to_json(&trace).encode(),
+            spill_to_json(&job, 0, &[ev(0), ev(1)]).encode(),
+        );
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        let got: Vec<u64> = back[0]
+            .events
+            .iter()
+            .map(|e| e.u64_field("i").unwrap())
+            .collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+
+        // An orphan chunk (no trace line for its cell) is an error…
+        let orphan = format!(
+            "{}\n",
+            spill_to_json(&Job::bare("fft"), 0, &[ev(0)]).encode()
+        );
+        let e = from_jsonl(&orphan).unwrap_err();
+        assert!(e.to_string().contains("no trace line"), "got: {e}");
+
+        // …and so is a gap in the sequence.
+        let gap = format!(
+            "{}\n{}\n",
+            spill_to_json(&job, 1, &[ev(2)]).encode(),
+            trace_to_json(&trace).encode(),
+        );
+        let e = from_jsonl(&gap).unwrap_err();
+        assert!(e.to_string().contains("missing"), "got: {e}");
+    }
+
     #[test]
     fn empty_trace_roundtrips() {
         let t = CellTrace {
@@ -734,6 +974,7 @@ mod tests {
             counters: Vec::new(),
             events: Vec::new(),
             dropped_events: 0,
+            spilled_events: 0,
         };
         let text = to_jsonl(std::slice::from_ref(&t));
         assert_eq!(from_jsonl(&text).unwrap(), vec![t]);
@@ -749,6 +990,7 @@ mod tests {
             counters: Vec::new(),
             events: Vec::new(),
             dropped_events: 0,
+            spilled_events: 0,
         };
         assert!(render_timeline(&t).contains("no emulator events"));
         let report = render_trace_report(&[t], Some(&Job::bare("fft")), 3);
@@ -769,6 +1011,7 @@ mod tests {
             counters: Vec::new(),
             events: Vec::new(),
             dropped_events: 0,
+            spilled_events: 0,
         }
     }
 

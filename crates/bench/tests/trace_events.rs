@@ -111,6 +111,7 @@ fn golden_crc_epoch_timeline() {
         counters: Vec::new(),
         events,
         dropped_events: 0,
+        spilled_events: 0,
     };
     let timeline = trace::render_timeline(&t);
     assert!(timeline.contains("Fig. 6 split"));
@@ -170,6 +171,7 @@ fn random_trace(rng: &mut SplitMix64) -> trace::CellTrace {
         counters: vec![("alloc/picks".to_string(), rng.next_u64())],
         events,
         dropped_events: rng.next_u64() % 3,
+        spilled_events: rng.next_u64() % 3,
     }
 }
 

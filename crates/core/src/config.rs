@@ -45,6 +45,19 @@ impl SchematicConfig {
         self.svm_bytes = 0;
         self
     }
+
+    /// Feeds every field that can change a compilation's output into a
+    /// stable hasher, for content-addressed caching of compiled
+    /// programs: the energy budget, VM capacity, profiling depth and
+    /// both ablation toggles.
+    pub fn identity_into(&self, h: &mut schematic_ir::hash::StableHasher) {
+        h.write_u64(self.eb.0);
+        h.write_usize(self.svm_bytes);
+        h.write_usize(self.profile_runs);
+        h.write_bool(self.liveness_opt);
+        h.write_bool(self.ratio_ordering);
+        h.write_usize(self.max_structural_paths);
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! [`Module`] into an [`InstrumentedModule`]; the emulator executes the
 //! latter.
 
+use schematic_ir::hash::{hash_module_into, Digest, StableHasher};
 use schematic_ir::{BlockId, CheckpointId, FuncId, Module, VarId, VarSet, WORD_BYTES};
 
 /// What happens when power fails between checkpoints (§IV-A.b).
@@ -140,6 +141,18 @@ impl AllocationPlan {
         blocks[b.index()] = vars;
     }
 
+    /// Feeds the plan into a stable hasher: per-function, per-block VM
+    /// sets in deterministic (index) order, each as sorted member ids.
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.per_func.len() as u64);
+        for blocks in &self.per_func {
+            h.write_u64(blocks.len() as u64);
+            for set in blocks {
+                h.write_varset(set);
+            }
+        }
+    }
+
     /// Largest VM footprint (bytes) over all blocks — must not exceed
     /// `SVM` for the plan to be executable (Table I's criterion).
     pub fn peak_bytes(&self, module: &Module) -> usize {
@@ -218,6 +231,48 @@ impl InstrumentedModule {
         self.checkpoints.push(spec);
         id
     }
+
+    /// Stable structural digest of the whole instrumented program:
+    /// module structure, checkpoint table (save/restore lists in stored
+    /// order, guard thresholds by bit pattern), the allocation plan,
+    /// failure policy, boot-restore list and technique name. Any
+    /// instruction edit, checkpoint placement change or allocation
+    /// decision change produces a different digest; repeated compiles of
+    /// the same source produce the same one (no map-order or pointer
+    /// dependence anywhere in the visitation).
+    pub fn stable_digest(&self) -> Digest {
+        let mut h = StableHasher::new();
+        h.write_str(&self.technique);
+        hash_module_into(&mut h, &self.module);
+        h.write_u64(self.checkpoints.len() as u64);
+        for spec in &self.checkpoints {
+            h.write_u64(spec.save_vars.len() as u64);
+            for v in &spec.save_vars {
+                h.write_u64(u64::from(v.0));
+            }
+            h.write_u64(spec.restore_vars.len() as u64);
+            for v in &spec.restore_vars {
+                h.write_u64(u64::from(v.0));
+            }
+            match spec.kind {
+                CheckpointKind::Plain => h.write_tag(0xC0),
+                CheckpointKind::Guarded { threshold } => {
+                    h.write_tag(0xC1);
+                    h.write_f64_bits(threshold);
+                }
+            }
+        }
+        self.plan.hash_into(&mut h);
+        h.write_tag(match self.policy {
+            FailurePolicy::WaitRecharge => 0xD0,
+            FailurePolicy::Rollback => 0xD1,
+        });
+        h.write_u64(self.boot_restore.len() as u64);
+        for v in &self.boot_restore {
+            h.write_u64(u64::from(v.0));
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -287,5 +342,37 @@ mod tests {
         assert_eq!(bare.policy, FailurePolicy::Rollback);
         let vm = InstrumentedModule::bare_all_vm(m);
         assert_eq!(vm.boot_restore, vec![VarId(0)]);
+    }
+
+    #[test]
+    fn stable_digest_reacts_to_every_decision_layer() {
+        let base = InstrumentedModule::bare(module());
+        assert_eq!(base.stable_digest(), base.stable_digest());
+
+        // Checkpoint table.
+        let mut ckpt = base.clone();
+        ckpt.add_spec(CheckpointSpec::registers_only());
+        assert_ne!(ckpt.stable_digest(), base.stable_digest());
+        let mut guarded = ckpt.clone();
+        guarded.checkpoints[0].kind = CheckpointKind::Guarded { threshold: 0.5 };
+        assert_ne!(guarded.stable_digest(), ckpt.stable_digest());
+
+        // Allocation plan.
+        let mut alloc = base.clone();
+        let mut set = VarSet::new(2);
+        set.insert(VarId(0));
+        alloc.plan.set(FuncId(0), BlockId(0), set);
+        assert_ne!(alloc.stable_digest(), base.stable_digest());
+
+        // Policy, boot list, technique label.
+        let mut pol = base.clone();
+        pol.policy = FailurePolicy::WaitRecharge;
+        assert_ne!(pol.stable_digest(), base.stable_digest());
+        let mut boot = base.clone();
+        boot.boot_restore.push(VarId(0));
+        assert_ne!(boot.stable_digest(), base.stable_digest());
+        let mut tech = base.clone();
+        tech.technique = "other".into();
+        assert_ne!(tech.stable_digest(), base.stable_digest());
     }
 }

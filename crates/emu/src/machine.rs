@@ -135,6 +135,33 @@ impl RunConfig {
             ..RunConfig::default()
         }
     }
+
+    /// Feeds the *outcome identity* of this config into a stable hasher:
+    /// every field that can change a run's [`Metrics`] or status. Used
+    /// by content-addressed result caching.
+    ///
+    /// Deliberately excluded — observation knobs that are proven not to
+    /// affect outcomes: `record_trace`/`max_trace` (path recording),
+    /// `trace` (event emission), `tier`/`aot_threshold` (bit-identical
+    /// down the ladder, pinned by `tests/tier_parity.rs`). `shadow_war`
+    /// is *included*: it fills [`RunOutcome::shadow`], which shadow
+    /// cells report on.
+    pub fn identity_into(&self, h: &mut schematic_ir::hash::StableHasher) {
+        match self.power {
+            PowerModel::Continuous => h.write_tag(0xE0),
+            PowerModel::Periodic { tbpf } => {
+                h.write_tag(0xE1);
+                h.write_u64(tbpf);
+            }
+        }
+        h.write_usize(self.svm_bytes);
+        h.write_u64(self.max_active_cycles);
+        h.write_u64(self.max_failures);
+        h.write_u64(u64::from(self.livelock_threshold));
+        h.write_usize(self.max_stack);
+        h.write_bool(self.retentive_sleep);
+        h.write_bool(self.shadow_war);
+    }
 }
 
 /// Why a run ended.
@@ -1209,23 +1236,32 @@ impl<'a> Machine<'a> {
                 if !db.fusable {
                     break;
                 }
-                let ti = db
-                    .trace_info
-                    .as_ref()
-                    .expect("fusable blocks carry a trace");
                 // Multi-block traces skip intermediate `jump`s, so path
-                // recording falls back to single-block units.
-                let multi = self.tier >= ExecTier::Trace
-                    && !self.config.record_trace
-                    && ti.blocks.len() > 1;
-                let len = if multi && self.fused_guard(ti.fused.ub_cost.cycles, ti.insts) {
-                    ti.blocks.len()
+                // recording falls back to single-block units — and a
+                // non-resident dispatch never consults the trace at
+                // all, so it skips straight to the lean block path.
+                let resident = self.tier >= ExecTier::Trace && !self.config.record_trace;
+                let s = if resident {
+                    let ti = db
+                        .trace_info
+                        .as_ref()
+                        .expect("fusable blocks carry a trace");
+                    let multi = ti.blocks.len() > 1;
+                    if multi && self.fused_guard(ti.fused.ub_cost.cycles, ti.insts) {
+                        self.step_trace(ti.blocks.len())?
+                    } else if self.fused_guard(db.fused.ub_cost.cycles, db.insts.len() as u64) {
+                        // A single-block dispatch at Trace+ can still
+                        // stay resident (superloop back edges, trace
+                        // transitions), so it takes the general path.
+                        self.step_trace(1)?
+                    } else {
+                        break;
+                    }
                 } else if self.fused_guard(db.fused.ub_cost.cycles, db.insts.len() as u64) {
-                    1
+                    self.step_block_unit()?
                 } else {
                     break;
                 };
-                let s = self.step_trace(len)?;
                 if matches!(s, Step::Finished(_)) {
                     return Ok(s);
                 }
@@ -1380,6 +1416,85 @@ impl<'a> Machine<'a> {
         Step::Continue
     }
 
+    /// Executes one fusable block — prep pass, checkless body, final
+    /// terminator — as a single step and commits its decode-time
+    /// [`FusedCosts`](crate::decoded::FusedCosts) bundle directly.
+    ///
+    /// Semantically identical to `step_trace(1)` for a dispatch that
+    /// cannot stay resident (`ExecTier::Fused`, or path recording at
+    /// any tier): with no superloop round, no trace transition and no
+    /// tape to consult, the general machinery's per-dispatch setup —
+    /// trace facts, back-edge inspection, the unit tally and its
+    /// `Σ count × bundle` commit — collapses to a single bundle add,
+    /// and paying it anyway is pure overhead. Profiling runs record
+    /// paths and therefore dispatch single blocks millions of times;
+    /// this lean path is what keeps them at block-dispatch speed.
+    fn step_block_unit(&mut self) -> Result<Step, EmuError> {
+        let flat = self.cur_flat as usize;
+        let mut prep_pos = 0usize;
+        loop {
+            let mut cold: Option<crate::decoded::PrepOp> = None;
+            let mut trapped: Option<TrapKind> = None;
+            {
+                let d = self.decoded.get();
+                let db = &d.blocks[flat];
+                let frame = self.frames.last_mut().expect("active frame");
+                let mem = &mut self.mem;
+                let clobbers = &mut self.metrics.coherence_violations;
+                // Prep: establish VM residency for the block's accesses,
+                // charging implicit restores exactly where
+                // per-instruction execution would (at first access).
+                while prep_pos < db.prep.len() {
+                    let p = db.prep[prep_pos];
+                    if mem.is_vm_valid(p.var) {
+                        prep_pos += 1;
+                        continue;
+                    }
+                    cold = Some(p);
+                    break;
+                }
+                if cold.is_none() {
+                    if let Err(k) = run_body(db, &mut frame.regs, mem, clobbers) {
+                        trapped = Some(k);
+                    }
+                }
+            }
+            if let Some(k) = trapped {
+                return Err(self.trap(k));
+            }
+            match cold {
+                None => break,
+                Some(p) => {
+                    self.run_cold(p)?;
+                    prep_pos += 1;
+                }
+            }
+        }
+        let d = self.decoded.get();
+        let db = &d.blocks[flat];
+        let f = db.fused;
+        let n = db.insts.len() as u64;
+        let term = db.term;
+        self.metrics.active_cycles += f.exec_cost.cycles;
+        if self.epoch_insts < self.furthest {
+            self.metrics.reexecution += f.exec_cost.energy;
+        } else {
+            self.metrics.computation += f.exec_cost.energy;
+        }
+        self.metrics.cpu_energy += f.cpu_energy;
+        self.metrics.vm_access_energy += f.vm_energy;
+        self.metrics.nvm_access_energy += f.nvm_energy;
+        self.metrics.vm_reads += u64::from(f.vm_reads);
+        self.metrics.vm_writes += u64::from(f.vm_writes);
+        self.metrics.nvm_reads += u64::from(f.nvm_reads);
+        self.metrics.nvm_writes += u64::from(f.nvm_writes);
+        self.metrics.insts_retired += n;
+        self.epoch_insts += n;
+        let failed = self.power.advance(f.exec_cost.cycles);
+        debug_assert!(!failed, "fused block must fit the power window");
+        Ok(self.apply_term(term))
+    }
+
     /// Executes the first `len` blocks of the trace headed at the
     /// current block — every instruction and terminator — as a single
     /// step. The caller has already proven (via the trace's aggregate
@@ -1419,8 +1534,11 @@ impl<'a> Machine<'a> {
         let superloop = self.tier >= ExecTier::Trace && !self.config.record_trace;
         /// Tally entries stop growing past this; a commit is forced
         /// instead (re-dispatch continues the work). Keeps the
-        /// per-round tally bump O(small) on pathological CFGs.
-        const TALLY_CAP: usize = 64;
+        /// per-round tally bump O(small) on pathological CFGs, and
+        /// small enough that the tally lives on the stack — short
+        /// dispatches (a single block under periodic power or path
+        /// recording) must not pay a heap allocation per step.
+        const TALLY_CAP: usize = 16;
         /// `pos` tally value for a downgraded single-block dispatch of
         /// a longer trace (priced by the head block's own bundle, not a
         /// trace suffix).
@@ -1443,7 +1561,8 @@ impl<'a> Machine<'a> {
         // progress. All of it persists across cold-retry iterations.
         let mut v_cycles: u64 = 0;
         let mut v_insts: u64 = 0;
-        let mut tally: Vec<(u32, u32, u64)> = Vec::new(); // (head, pos, count)
+        let mut tally = [(0u32, 0u32, 0u64); TALLY_CAP]; // (head, pos, count)
+        let mut tally_len = 0usize;
         let (mut cur_exec, mut cur_n, mut cur_key) = {
             let d = self.decoded.get();
             let ti = d.blocks[head]
@@ -1590,11 +1709,17 @@ impl<'a> Machine<'a> {
                         // Unit completed: tally it under its key.
                         v_cycles += cur_exec;
                         v_insts += cur_n;
-                        match tally.iter_mut().find(|t| (t.0, t.1) == cur_key) {
+                        match tally[..tally_len]
+                            .iter_mut()
+                            .find(|t| (t.0, t.1) == cur_key)
+                        {
                             Some(t) => t.2 += 1,
-                            None => tally.push((cur_key.0, cur_key.1, 1)),
+                            None => {
+                                tally[tally_len] = (cur_key.0, cur_key.1, 1);
+                                tally_len += 1;
+                            }
                         }
-                        if tally.len() >= TALLY_CAP {
+                        if tally_len >= TALLY_CAP {
                             break 'heads;
                         }
                         // A completed full round establishes residency
@@ -1628,6 +1753,25 @@ impl<'a> Machine<'a> {
                                     cur_exec = r.exec;
                                     cur_n = r.n;
                                     cur_key = (head as u32, r.pos as u32);
+                                    // Resident rounds count toward the
+                                    // AOT threshold too: without this, a
+                                    // trace entered once that loops via
+                                    // its own back edge (the common case
+                                    // for a single hot fusable block
+                                    // behind a conditional branch) would
+                                    // never get lowered. Crossing the
+                                    // threshold re-enters `'heads`, which
+                                    // builds the tape and dispatches the
+                                    // remaining rounds through it —
+                                    // bit-identical by construction, so
+                                    // the switch point is unobservable.
+                                    if aot.is_none() && self.tier == ExecTier::Aot {
+                                        let count = self.exec_counts[head].saturating_add(1);
+                                        self.exec_counts[head] = count;
+                                        if count >= self.config.aot_threshold {
+                                            continue 'heads;
+                                        }
+                                    }
                                     continue 'rounds;
                                 }
                             }
@@ -1751,7 +1895,7 @@ impl<'a> Machine<'a> {
             nr: 0,
             nw: 0,
         };
-        for &(h, p, count) in &tally {
+        for &(h, p, count) in &tally[..tally_len] {
             let bundle = if p == POS_SINGLE {
                 &d.blocks[h as usize].fused
             } else {
@@ -2542,5 +2686,70 @@ mod tests {
         assert!(out.metrics.restore > schematic_energy::Energy::ZERO);
         assert_eq!(out.metrics.restores, 1);
         assert_eq!(out.metrics.coherence_violations, 0);
+    }
+
+    /// A hot single fusable block that never chains into a longer trace
+    /// (every predecessor edge is conditional, its own terminator is a
+    /// `CondBr` back to itself) must still cross the AOT threshold: the
+    /// resident superloop's back-edge rounds count toward it. Metrics
+    /// stay bit-identical to the interpreter.
+    #[test]
+    fn resident_single_block_loop_lowers_to_aot() {
+        let mut mb = ModuleBuilder::new("m");
+        let s = mb.var(Variable::scalar("s"));
+        let mut f = FunctionBuilder::new("main", 0);
+        let lp = f.new_block("lp");
+        let exit = f.new_block("exit");
+        let i = f.copy(0);
+        // Conditional entry edge: nothing chains into `lp`, so its
+        // trace is the single block itself.
+        let enter = f.cmp(CmpOp::SGe, i, 0);
+        f.cond_br(enter, lp, exit);
+        f.switch_to(lp);
+        let x = f.load_scalar(s);
+        let x2 = f.bin(BinOp::Add, x, 1);
+        f.store_scalar(s, x2);
+        let i2 = f.bin(BinOp::Add, i, 1);
+        f.copy_to(i, i2);
+        let done = f.cmp(CmpOp::SGe, i, 1000);
+        f.cond_br(done, exit, lp);
+        f.set_max_iters(lp, 1001);
+        f.switch_to(exit);
+        let r = f.load_scalar(s);
+        f.ret(Some(r.into()));
+        let main = mb.func(f.finish());
+        let im = InstrumentedModule::bare(mb.finish(main));
+        let table = CostTable::msp430fr5969();
+        let d = crate::decoded::DecodedModule::new(&im, &table);
+        let lp_flat = d.flat_index(FuncId(0), lp) as usize;
+        assert!(d.blocks[lp_flat].fusable);
+        assert_eq!(
+            d.blocks[lp_flat]
+                .trace_info
+                .as_ref()
+                .expect("fusable head has a trace")
+                .blocks
+                .len(),
+            1
+        );
+        let cfg = RunConfig {
+            aot_threshold: 4,
+            ..RunConfig::default()
+        };
+        let out = Machine::with_decoded(&d, cfg).run().unwrap();
+        assert_eq!(out.result, Some(1000));
+        assert!(
+            d.blocks[lp_flat].aot.get().is_some(),
+            "resident back-edge rounds must count toward the AOT threshold"
+        );
+        let interp = run(
+            &im,
+            RunConfig {
+                tier: ExecTier::Interp,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.metrics, interp.metrics);
     }
 }

@@ -280,6 +280,40 @@ impl CostTable {
     pub fn checkpoint_resume_cost(&self, data_words: usize) -> Cost {
         self.restore_fixed + self.restore_words_cost(self.reg_file_words + data_words)
     }
+
+    /// Feeds every constant of the table into a stable hasher, in
+    /// struct field order — perturbing any platform constant changes
+    /// every compilation and every measured run, so the content-
+    /// addressed cell cache keys on the whole table.
+    pub fn identity_into(&self, h: &mut schematic_ir::hash::StableHasher) {
+        let cost = |h: &mut schematic_ir::hash::StableHasher, c: &Cost| {
+            h.write_u64(c.cycles);
+            h.write_u64(c.energy.as_pj());
+        };
+        h.write_u64(self.cpu_pj_per_cycle);
+        h.write_u64(self.alu_cycles);
+        h.write_u64(self.mul_cycles);
+        h.write_u64(self.div_cycles);
+        h.write_u64(self.cmp_cycles);
+        h.write_u64(self.copy_cycles);
+        h.write_u64(self.select_cycles);
+        h.write_u64(self.load_cycles);
+        h.write_u64(self.store_cycles);
+        h.write_u64(self.call_cycles);
+        h.write_u64(self.ret_cycles);
+        h.write_u64(self.branch_cycles);
+        h.write_u64(self.nvm_extra_cycles);
+        h.write_u64(self.vm_read_pj);
+        h.write_u64(self.vm_write_pj);
+        h.write_u64(self.nvm_read_pj);
+        h.write_u64(self.nvm_write_pj);
+        cost(h, &self.checkpoint_fixed);
+        cost(h, &self.restore_fixed);
+        h.write_usize(self.reg_file_words);
+        h.write_u64(self.word_save_cycles);
+        h.write_u64(self.word_restore_cycles);
+        cost(h, &self.cond_check);
+    }
 }
 
 impl Default for CostTable {

@@ -1,0 +1,511 @@
+//! Stable structural hashing of IR.
+//!
+//! Content-addressed caching of evaluation results needs a digest of the
+//! program that is a pure function of its *structure*: two compiles of
+//! the same source must produce the same digest in any process, on any
+//! host, regardless of `HashMap` iteration order, allocation addresses
+//! or build flags. [`StableHasher`] is a two-lane incremental mixer over
+//! explicit visitation order (SplitMix64 finalizers per lane, distinct
+//! seeds), producing a 128-bit [`Digest`]; [`hash_module`] is the
+//! canonical visitor over a [`Module`].
+//!
+//! What the module digest covers (and what it deliberately ignores):
+//!
+//! * **Covered:** variable shapes (size, init contents, NVM pinning),
+//!   function signatures (`n_params`, `n_regs`, entry block), every
+//!   instruction and terminator with full operand structure, the
+//!   designated entry function, and loop-bound annotations
+//!   (`max_iters`, visited in sorted key order — never map order).
+//! * **Ignored:** module/function/block/variable *names*. They are
+//!   diagnostics; two α-renamed programs behave identically, so they
+//!   hash identically. Anything that changes behavior changes some
+//!   covered field.
+//!
+//! Every variant tag and field is written with a domain-separating tag
+//! byte so that adjacent fields cannot alias across variants (e.g. a
+//! `Copy` of immediate 3 never collides with a `Un`-`Neg` of register 3).
+
+use crate::ids::{BlockId, FuncId};
+use crate::inst::{Inst, Operand, Terminator};
+use crate::module::{Block, Function, Module, Variable};
+use crate::varset::VarSet;
+use std::fmt;
+
+/// A 128-bit structural digest, rendered as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest {
+    /// High 64 bits (lane A).
+    pub hi: u64,
+    /// Low 64 bits (lane B).
+    pub lo: u64,
+}
+
+impl Digest {
+    /// Renders the digest as 32 lowercase hex digits.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses a digest rendered by [`Digest::to_hex`].
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Digest { hi, lo })
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixing step.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Incremental structural hasher: feed words/bytes in a canonical
+/// visitation order, then [`finish`](StableHasher::finish).
+///
+/// Two independently seeded lanes are mixed per input word; collisions
+/// would have to hold in both simultaneously, which makes the 128-bit
+/// digest safe for content addressing at any realistic cache size.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+    /// Total words absorbed; folded in at `finish` so that absorbing a
+    /// trailing zero word differs from absorbing nothing.
+    n: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher with the canonical seeds.
+    pub fn new() -> Self {
+        StableHasher {
+            a: 0x243F_6A88_85A3_08D3, // π fraction
+            b: 0x1319_8A2E_0370_7344,
+            n: 0,
+        }
+    }
+
+    /// Absorbs one 64-bit word.
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        self.a = mix(self.a ^ w);
+        self.b = mix(self.b.rotate_left(17) ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.n = self.n.wrapping_add(1);
+    }
+
+    /// Absorbs a domain-separating tag byte (variant discriminants,
+    /// field markers).
+    #[inline]
+    pub fn write_tag(&mut self, t: u8) {
+        self.write_u64(0x7461_6700_0000_0000 | u64::from(t)); // "tag\0"-prefixed
+    }
+
+    /// Absorbs a `usize` (canonicalized to 64 bits).
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `i32` (sign-extended so `-1` and `u32::MAX` coincide
+    /// deliberately: the IR is 32-bit two's-complement throughout).
+    #[inline]
+    pub fn write_i32(&mut self, v: i32) {
+        self.write_u64(v as i64 as u64);
+    }
+
+    /// Absorbs a boolean.
+    #[inline]
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Absorbs an `f64` by bit pattern (placement thresholds; NaN
+    /// payloads are preserved, `0.0` and `-0.0` differ — bitwise
+    /// identity is exactly reproducible-compile identity).
+    #[inline]
+    pub fn write_f64_bits(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a byte string, length-prefixed so concatenations cannot
+    /// alias (`"ab","c"` vs `"a","bc"`).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    /// Absorbs a UTF-8 string (length-prefixed bytes).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs a variable set as its sorted member ids (set semantics:
+    /// insertion order and backing capacity never matter).
+    pub fn write_varset(&mut self, set: &VarSet) {
+        self.write_u64(set.len() as u64);
+        for v in set.iter() {
+            self.write_u64(u64::from(v.0));
+        }
+    }
+
+    /// Finalizes the digest.
+    pub fn finish(&self) -> Digest {
+        let hi = mix(self.a ^ mix(self.n));
+        let lo = mix(self.b ^ mix(self.n ^ 0xA5A5_A5A5_A5A5_A5A5));
+        Digest { hi, lo }
+    }
+}
+
+// Tag bytes. Grouped by domain; values are arbitrary but frozen —
+// changing one changes every digest (a deliberate cache flush).
+const T_MODULE: u8 = 0x01;
+const T_VAR: u8 = 0x02;
+const T_FUNC: u8 = 0x03;
+const T_BLOCK: u8 = 0x04;
+const T_MAX_ITERS: u8 = 0x05;
+
+const T_OP_REG: u8 = 0x10;
+const T_OP_IMM: u8 = 0x11;
+const T_NONE: u8 = 0x12;
+const T_SOME: u8 = 0x13;
+
+const T_BIN: u8 = 0x20;
+const T_CMP: u8 = 0x21;
+const T_UN: u8 = 0x22;
+const T_COPY: u8 = 0x23;
+const T_SELECT: u8 = 0x24;
+const T_LOAD: u8 = 0x25;
+const T_STORE: u8 = 0x26;
+const T_CALL: u8 = 0x27;
+const T_CHECKPOINT: u8 = 0x28;
+const T_COND_CHECKPOINT: u8 = 0x29;
+const T_SAVE_VAR: u8 = 0x2A;
+const T_RESTORE_VAR: u8 = 0x2B;
+
+const T_BR: u8 = 0x30;
+const T_COND_BR: u8 = 0x31;
+const T_RET: u8 = 0x32;
+
+fn hash_operand(h: &mut StableHasher, op: Operand) {
+    match op {
+        Operand::Reg(r) => {
+            h.write_tag(T_OP_REG);
+            h.write_u64(u64::from(r.0));
+        }
+        Operand::Imm(v) => {
+            h.write_tag(T_OP_IMM);
+            h.write_i32(v);
+        }
+    }
+}
+
+fn hash_opt_operand(h: &mut StableHasher, op: Option<Operand>) {
+    match op {
+        None => h.write_tag(T_NONE),
+        Some(o) => {
+            h.write_tag(T_SOME);
+            hash_operand(h, o);
+        }
+    }
+}
+
+/// Hashes one instruction into `h` (exhaustive over [`Inst`]; adding a
+/// variant without extending this is a compile error).
+pub fn hash_inst(h: &mut StableHasher, inst: &Inst) {
+    match inst {
+        Inst::Bin { dst, op, lhs, rhs } => {
+            h.write_tag(T_BIN);
+            h.write_u64(u64::from(dst.0));
+            h.write_str(op.mnemonic());
+            hash_operand(h, *lhs);
+            hash_operand(h, *rhs);
+        }
+        Inst::Cmp { dst, op, lhs, rhs } => {
+            h.write_tag(T_CMP);
+            h.write_u64(u64::from(dst.0));
+            h.write_str(op.mnemonic());
+            hash_operand(h, *lhs);
+            hash_operand(h, *rhs);
+        }
+        Inst::Un { dst, op, src } => {
+            h.write_tag(T_UN);
+            h.write_u64(u64::from(dst.0));
+            h.write_str(op.mnemonic());
+            hash_operand(h, *src);
+        }
+        Inst::Copy { dst, src } => {
+            h.write_tag(T_COPY);
+            h.write_u64(u64::from(dst.0));
+            hash_operand(h, *src);
+        }
+        Inst::Select {
+            dst,
+            cond,
+            then_val,
+            else_val,
+        } => {
+            h.write_tag(T_SELECT);
+            h.write_u64(u64::from(dst.0));
+            hash_operand(h, *cond);
+            hash_operand(h, *then_val);
+            hash_operand(h, *else_val);
+        }
+        Inst::Load { dst, var, idx } => {
+            h.write_tag(T_LOAD);
+            h.write_u64(u64::from(dst.0));
+            h.write_u64(u64::from(var.0));
+            hash_opt_operand(h, *idx);
+        }
+        Inst::Store { var, idx, src } => {
+            h.write_tag(T_STORE);
+            h.write_u64(u64::from(var.0));
+            hash_opt_operand(h, *idx);
+            hash_operand(h, *src);
+        }
+        Inst::Call { dst, func, args } => {
+            h.write_tag(T_CALL);
+            match dst {
+                None => h.write_tag(T_NONE),
+                Some(r) => {
+                    h.write_tag(T_SOME);
+                    h.write_u64(u64::from(r.0));
+                }
+            }
+            h.write_u64(u64::from(func.0));
+            h.write_u64(args.len() as u64);
+            for a in args {
+                hash_operand(h, *a);
+            }
+        }
+        Inst::Checkpoint { id } => {
+            h.write_tag(T_CHECKPOINT);
+            h.write_u64(u64::from(id.0));
+        }
+        Inst::CondCheckpoint { id, period } => {
+            h.write_tag(T_COND_CHECKPOINT);
+            h.write_u64(u64::from(id.0));
+            h.write_u64(u64::from(*period));
+        }
+        Inst::SaveVar { var } => {
+            h.write_tag(T_SAVE_VAR);
+            h.write_u64(u64::from(var.0));
+        }
+        Inst::RestoreVar { var } => {
+            h.write_tag(T_RESTORE_VAR);
+            h.write_u64(u64::from(var.0));
+        }
+    }
+}
+
+/// Hashes one terminator into `h`.
+pub fn hash_terminator(h: &mut StableHasher, term: &Terminator) {
+    match term {
+        Terminator::Br(t) => {
+            h.write_tag(T_BR);
+            h.write_u64(u64::from(t.0));
+        }
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            h.write_tag(T_COND_BR);
+            hash_operand(h, *cond);
+            h.write_u64(u64::from(then_bb.0));
+            h.write_u64(u64::from(else_bb.0));
+        }
+        Terminator::Ret(v) => {
+            h.write_tag(T_RET);
+            hash_opt_operand(h, *v);
+        }
+    }
+}
+
+fn hash_variable(h: &mut StableHasher, v: &Variable) {
+    h.write_tag(T_VAR);
+    h.write_usize(v.words);
+    h.write_u64(v.init.len() as u64);
+    for &w in &v.init {
+        h.write_i32(w);
+    }
+    h.write_bool(v.pinned_nvm);
+}
+
+fn hash_block(h: &mut StableHasher, b: &Block) {
+    h.write_tag(T_BLOCK);
+    h.write_u64(b.insts.len() as u64);
+    for inst in &b.insts {
+        hash_inst(h, inst);
+    }
+    hash_terminator(h, &b.term);
+}
+
+fn hash_function(h: &mut StableHasher, f: &Function) {
+    h.write_tag(T_FUNC);
+    h.write_usize(f.n_params);
+    h.write_usize(f.n_regs);
+    h.write_u64(u64::from(f.entry.0));
+    h.write_u64(f.blocks.len() as u64);
+    for b in &f.blocks {
+        hash_block(h, b);
+    }
+    // `max_iters` is a HashMap — visit in sorted key order so the
+    // digest never depends on hash-map iteration order.
+    h.write_tag(T_MAX_ITERS);
+    let mut bounds: Vec<(BlockId, u64)> = f.max_iters.iter().map(|(&b, &n)| (b, n)).collect();
+    bounds.sort_unstable();
+    h.write_u64(bounds.len() as u64);
+    for (b, n) in bounds {
+        h.write_u64(u64::from(b.0));
+        h.write_u64(n);
+    }
+}
+
+/// Feeds a whole module into an existing hasher (for callers composing
+/// larger digests, e.g. instrumented programs).
+pub fn hash_module_into(h: &mut StableHasher, m: &Module) {
+    h.write_tag(T_MODULE);
+    h.write_u64(m.vars.len() as u64);
+    for v in &m.vars {
+        hash_variable(h, v);
+    }
+    h.write_u64(m.funcs.len() as u64);
+    for f in &m.funcs {
+        hash_function(h, f);
+    }
+    match m.entry {
+        None => h.write_tag(T_NONE),
+        Some(FuncId(i)) => {
+            h.write_tag(T_SOME);
+            h.write_u64(u64::from(i));
+        }
+    }
+}
+
+/// The stable structural digest of a module. Deterministic across
+/// processes and hosts; changes whenever any covered field changes (see
+/// the module docs for coverage).
+pub fn hash_module(m: &Module) -> Digest {
+    let mut h = StableHasher::new();
+    hash_module_into(&mut h, m);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+    use crate::inst::BinOp;
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.var(Variable::scalar("x").with_init(vec![7]));
+        let mut f = FunctionBuilder::new("main", 0);
+        let a = f.load_scalar(x);
+        let b = f.bin(BinOp::Add, a, 1);
+        f.store_scalar(x, b);
+        f.ret(Some(b.into()));
+        let main = mb.func(f.finish());
+        mb.finish(main)
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        assert_eq!(hash_module(&sample()), hash_module(&sample()));
+    }
+
+    #[test]
+    fn names_do_not_affect_digest() {
+        let mut a = sample();
+        a.name = "other".into();
+        a.vars[0].name = "renamed".into();
+        a.funcs[0].name = "entry2".into();
+        a.funcs[0].blocks[0].name = Some("lbl".into());
+        assert_eq!(hash_module(&a), hash_module(&sample()));
+    }
+
+    #[test]
+    fn instruction_edit_changes_digest() {
+        let mut m = sample();
+        let Inst::Bin { rhs, .. } = &mut m.funcs[0].blocks[0].insts[1] else {
+            panic!("expected bin");
+        };
+        *rhs = Operand::Imm(2);
+        assert_ne!(hash_module(&m), hash_module(&sample()));
+    }
+
+    #[test]
+    fn init_and_pinning_change_digest() {
+        let mut m = sample();
+        m.vars[0].init = vec![8];
+        assert_ne!(hash_module(&m), hash_module(&sample()));
+        let mut m2 = sample();
+        m2.vars[0].pinned_nvm = true;
+        assert_ne!(hash_module(&m2), hash_module(&sample()));
+    }
+
+    #[test]
+    fn max_iters_is_order_independent() {
+        let mut a = sample();
+        let mut b = sample();
+        for i in 0..32 {
+            a.funcs[0].max_iters.insert(BlockId(i), u64::from(i) + 1);
+        }
+        for i in (0..32).rev() {
+            b.funcs[0].max_iters.insert(BlockId(i), u64::from(i) + 1);
+        }
+        assert_eq!(hash_module(&a), hash_module(&b));
+        b.funcs[0].max_iters.insert(BlockId(5), 99);
+        assert_ne!(hash_module(&a), hash_module(&b));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = hash_module(&sample());
+        let hex = d.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Digest::from_hex(&hex), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&hex[1..]), None);
+    }
+
+    #[test]
+    fn write_bytes_is_prefix_free() {
+        let mut h1 = StableHasher::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = StableHasher::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn empty_and_zero_differ() {
+        let h1 = StableHasher::new();
+        let mut h2 = StableHasher::new();
+        h2.write_u64(0);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

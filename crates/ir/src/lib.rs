@@ -49,6 +49,7 @@ pub mod callgraph;
 pub mod cfg;
 pub mod dom;
 pub mod dot;
+pub mod hash;
 pub mod ids;
 pub mod inst;
 pub mod liveness;
@@ -65,6 +66,7 @@ pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use callgraph::{CallGraph, RecursionError};
 pub use cfg::Cfg;
 pub use dom::Dominators;
+pub use hash::{hash_module, Digest, StableHasher};
 pub use ids::{BlockId, CheckpointId, FuncId, Reg, VarId};
 pub use inst::{AccessKind, BinOp, CmpOp, Inst, Operand, Terminator, UnOp};
 pub use liveness::{call_effects, CallEffect, VarLiveness};

@@ -151,6 +151,9 @@ pub struct Registry {
     pub events: VecDeque<Event>,
     /// Oldest events discarded after the cap was reached.
     pub dropped_events: u64,
+    /// Oldest events handed to a [`set_spill`] sink instead of being
+    /// dropped — still part of the stream, just resident on disk.
+    pub spilled_events: u64,
 }
 
 impl Registry {
@@ -160,6 +163,7 @@ impl Registry {
             && self.counters.is_empty()
             && self.events.is_empty()
             && self.dropped_events == 0
+            && self.spilled_events == 0
     }
 
     /// Folds `other` into `self`. Keyed aggregates add; events append
@@ -177,6 +181,7 @@ impl Registry {
             self.push_event(ev);
         }
         self.dropped_events += other.dropped_events;
+        self.spilled_events += other.spilled_events;
     }
 
     fn push_event(&mut self, ev: Event) {
@@ -190,6 +195,28 @@ impl Registry {
 
 thread_local! {
     static LOCAL: RefCell<Registry> = RefCell::new(Registry::default());
+    static SPILL: RefCell<Option<SpillFn>> = RefCell::new(None);
+}
+
+/// An event spill sink: receives batches of the *oldest* buffered
+/// events when the thread's registry is full. See [`set_spill`].
+pub type SpillFn = Box<dyn FnMut(Vec<Event>)>;
+
+/// Installs (or clears) the calling thread's event spill sink and
+/// returns the previous one.
+///
+/// Without a sink, a full event buffer behaves as a ring: the oldest
+/// record is dropped (counted in [`Registry::dropped_events`]). With a
+/// sink installed, [`event`] instead drains the oldest half of the
+/// buffer into the sink — typically a writer streaming them to disk —
+/// so the full stream survives in order: spilled batches first, the
+/// resident buffer after. Spilled records are counted in
+/// [`Registry::spilled_events`].
+///
+/// The sink runs on the emitting thread while the spill bookkeeping is
+/// live; it must not call [`event`] itself.
+pub fn set_spill(f: Option<SpillFn>) -> Option<SpillFn> {
+    SPILL.with(|s| std::mem::replace(&mut *s.borrow_mut(), f))
 }
 
 /// A live span; records into the thread-local registry on drop. Created
@@ -238,6 +265,25 @@ pub fn count(name: &'static str, n: u64) {
 /// Records a structured event (no-op when collection is disabled).
 pub fn event(kind: &str, fields: Vec<(&str, Value)>) {
     if enabled() {
+        // Spill before pushing: drain outside the registry borrow so
+        // the sink never observes a half-updated registry.
+        let spill_batch = LOCAL.with(|l| {
+            let mut reg = l.borrow_mut();
+            if reg.events.len() >= MAX_EVENTS && SPILL.with(|s| s.borrow().is_some()) {
+                let batch: Vec<Event> = reg.events.drain(..MAX_EVENTS / 2).collect();
+                reg.spilled_events += batch.len() as u64;
+                Some(batch)
+            } else {
+                None
+            }
+        });
+        if let Some(batch) = spill_batch {
+            SPILL.with(|s| {
+                if let Some(f) = s.borrow_mut().as_mut() {
+                    f(batch);
+                }
+            });
+        }
         LOCAL.with(|l| {
             l.borrow_mut().push_event(Event {
                 kind: kind.to_string(),
@@ -248,6 +294,39 @@ pub fn event(kind: &str, fields: Vec<(&str, Value)>) {
             });
         });
     }
+}
+
+// ---------------------------------------------------------------------
+// Process-global counters
+// ---------------------------------------------------------------------
+
+static GLOBAL_COUNTERS: std::sync::Mutex<BTreeMap<String, u64>> =
+    std::sync::Mutex::new(BTreeMap::new());
+
+/// Adds `n` to a *process-global* counter. Unlike [`count`], these are
+/// shared across threads and independent of the [`set_enabled`] gate —
+/// they serve long-lived services (the grid cell cache, the `gridd`
+/// daemon) whose hit/miss and request tallies are part of observable
+/// behaviour, not optional tracing.
+pub fn gcount(name: &str, n: u64) {
+    let mut g = GLOBAL_COUNTERS.lock().expect("global counter lock");
+    *g.entry(name.to_string()).or_default() += n;
+}
+
+/// The current value of a process-global counter (0 when never
+/// counted).
+pub fn gcounter(name: &str) -> u64 {
+    GLOBAL_COUNTERS
+        .lock()
+        .expect("global counter lock")
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// A snapshot of every process-global counter.
+pub fn gcounters() -> BTreeMap<String, u64> {
+    GLOBAL_COUNTERS.lock().expect("global counter lock").clone()
 }
 
 /// Takes the calling thread's registry, leaving an empty one behind.
@@ -369,6 +448,70 @@ mod tests {
             r.events.back().unwrap().kind,
             format!("e{}", MAX_EVENTS + 9)
         );
+    }
+
+    #[test]
+    fn spill_streams_oldest_events_instead_of_dropping() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(true);
+        let spilled = std::rc::Rc::new(RefCell::new(Vec::new()));
+        let sink = spilled.clone();
+        let prev = set_spill(Some(Box::new(move |batch: Vec<Event>| {
+            sink.borrow_mut().extend(batch);
+        })));
+        let (_, reg) = capture(|| {
+            for i in 0..(MAX_EVENTS + 10) {
+                event(&format!("e{i}"), vec![]);
+            }
+        });
+        set_spill(prev);
+        set_enabled(false);
+        // Nothing dropped: the overflow went to the sink, oldest first.
+        assert_eq!(reg.dropped_events, 0);
+        assert_eq!(reg.spilled_events, (MAX_EVENTS / 2) as u64);
+        let spilled = spilled.borrow();
+        assert_eq!(spilled.len(), MAX_EVENTS / 2);
+        assert_eq!(spilled[0].kind, "e0");
+        assert_eq!(
+            spilled[MAX_EVENTS / 2 - 1].kind,
+            format!("e{}", MAX_EVENTS / 2 - 1)
+        );
+        // The resident buffer continues exactly where the spill ended.
+        assert_eq!(
+            reg.events.front().unwrap().kind,
+            format!("e{}", MAX_EVENTS / 2)
+        );
+        assert_eq!(
+            reg.events.back().unwrap().kind,
+            format!("e{}", MAX_EVENTS + 9)
+        );
+        assert_eq!(reg.events.len() + spilled.len(), MAX_EVENTS + 10);
+    }
+
+    #[test]
+    fn without_spill_sink_ring_semantics_hold() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(true);
+        let (_, reg) = capture(|| {
+            for i in 0..(MAX_EVENTS + 3) {
+                event(&format!("e{i}"), vec![]);
+            }
+        });
+        set_enabled(false);
+        assert_eq!(reg.dropped_events, 3);
+        assert_eq!(reg.spilled_events, 0);
+        assert_eq!(reg.events.front().unwrap().kind, "e3");
+    }
+
+    #[test]
+    fn global_counters_accumulate_across_threads() {
+        gcount("test/g", 2);
+        std::thread::scope(|s| {
+            s.spawn(|| gcount("test/g", 3));
+        });
+        assert_eq!(gcounter("test/g"), 5);
+        assert_eq!(gcounters().get("test/g"), Some(&5));
+        assert_eq!(gcounter("test/never"), 0);
     }
 
     #[test]

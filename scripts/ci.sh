@@ -58,6 +58,60 @@ echo "tracereport rendered $(wc -l < "$GRIDDIR/tracereport.txt") lines"
 grep -q "verdict: OK" "$GRIDDIR/tracediff.txt"
 echo "tracereport --diff self-comparison clean"
 
+echo "== gridrun cache + resume smoke (release) =="
+# Cold in-process run populates a fresh content-addressed cell cache
+# (shard/worker modes never touch it by design); a warm verified rerun
+# must serve every cell as a hit (0 computed) and render
+# byte-identically. Resuming a cache-less half-grid shard artifact must
+# then complete the other half purely from cache hits.
+CACHE="$GRIDDIR/cache.jsonl"
+"$GRIDRUN" --quick --cache "$CACHE" > "$GRIDDIR/cold.txt" 2> "$GRIDDIR/cold.log"
+grep -q "0 hits" "$GRIDDIR/cold.log"
+diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/cold.txt"
+"$GRIDRUN" --quick --cache "$CACHE" --cache-verify \
+  > "$GRIDDIR/warm.txt" 2> "$GRIDDIR/warm.log"
+grep -q ", 0 computed (hits verified)" "$GRIDDIR/warm.log"
+diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/warm.txt"
+echo "warm rerun served every cell from cache (verified), render byte-identical"
+"$GRIDRUN" --quick --shard 0/1 -o "$GRIDDIR/full.jsonl"
+"$GRIDRUN" --quick --cache "$CACHE" --resume "$GRIDDIR/full.jsonl" \
+  > "$GRIDDIR/resumed.txt" 2> "$GRIDDIR/resume.log"
+grep -q "0 missing computed" "$GRIDDIR/resume.log"
+diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/resumed.txt"
+echo "complete-artifact resume computed 0 cells, render byte-identical"
+"$GRIDRUN" --quick --shard 0/2 -o "$GRIDDIR/half.jsonl"
+"$GRIDRUN" --quick --cache "$CACHE" --resume "$GRIDDIR/half.jsonl" \
+  > "$GRIDDIR/resumed_half.txt" 2> "$GRIDDIR/resume_half.log"
+grep -q ", 0 computed" "$GRIDDIR/resume_half.log"
+diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/resumed_half.txt"
+echo "partial-artifact resume completed from cache hits, render byte-identical"
+
+echo "== gridd daemon loopback smoke (release) =="
+# Start the evaluation daemon on an ephemeral loopback port with two
+# worker processes, drive one submit/status/fetch/shutdown cycle
+# through the gridrun client, and require the fetched cells to render
+# byte-identically to the direct in-process run.
+cargo build --release --offline -p schematic-bench --bin gridd
+target/release/gridd --quick --addr 127.0.0.1:0 \
+  --cache "$GRIDDIR/gridd-cache.jsonl" --workers 2 \
+  > "$GRIDDIR/gridd.out" 2> "$GRIDDIR/gridd.err" &
+GRIDD_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^gridd: listening on //p' "$GRIDDIR/gridd.out")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+test -n "$ADDR" || { echo "gridd never reported its address"; exit 1; }
+"$GRIDRUN" --quick --connect "$ADDR" --submit all
+"$GRIDRUN" --quick --connect "$ADDR" --status
+"$GRIDRUN" --quick --connect "$ADDR" --fetch -o "$GRIDDIR/fetched.jsonl"
+"$GRIDRUN" --quick --merge "$GRIDDIR/fetched.jsonl" > "$GRIDDIR/gridd.txt"
+diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/gridd.txt"
+"$GRIDRUN" --quick --connect "$ADDR" --shutdown
+wait "$GRIDD_PID"
+echo "daemon submit/status/fetch/shutdown loopback clean"
+
 echo "== perfsmoke --quick (release) =="
 # Surfaces hot-path throughput in the CI log and enforces the emulator
 # speedup floor (SPEEDUP_FLOOR in perfsmoke) against the pre-tier-ladder
