@@ -3,14 +3,20 @@
 //! emulator cross-validation (see `schematic_core::anomaly`).
 //!
 //! ```text
-//! cargo run --release -p schematic-bench --bin soundcheck [-- --quick]
+//! cargo run --release -p schematic-bench --bin soundcheck [-- --quick] [--explain]
 //! ```
 //!
 //! `--quick` sweeps Schematic + Ratchet with the static analysis only
 //! (the CI configuration); the default sweeps all five techniques and
 //! additionally runs every cell under each TBPF with the emulator's
-//! shadow recorder, checking that every observed WAR was statically
-//! predicted.
+//! shadow recorder, checking that every observed per-element WAR was
+//! covered by a statically predicted anomaly footprint.
+//!
+//! `--explain` appends per-region verdicts — WAR variables with their
+//! offending footprints and sites, the index facts behind each
+//! idempotence downgrade, re-execution bounds — and a greppable
+//! region-class histogram (`^hist ` lines) that CI diffs against
+//! `tests/goldens/region_classes.txt`.
 //!
 //! Exits nonzero when any region is `hazardous` under Schematic or
 //! Ratchet, or when the shadow recorder observes an unpredicted WAR.
@@ -21,8 +27,15 @@
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let explain = std::env::args().any(|a| a == "--explain");
     let (report, pass) = schematic_bench::experiments::soundcheck_report(quick);
     print!("{report}");
+    if explain {
+        print!(
+            "{}",
+            schematic_bench::experiments::render_soundcheck_explain(quick)
+        );
+    }
     if !pass {
         std::process::exit(1);
     }

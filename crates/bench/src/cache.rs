@@ -50,13 +50,23 @@ use std::path::{Path, PathBuf};
 /// behind it. Bump on any change to what a cell computes that the
 /// content-addressed inputs cannot express (kernel edits, metric
 /// semantics); every old record then misses and the grid recomputes.
-pub const KEY_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: index-sensitive WAR analysis (per-element footprints, region
+/// downgrades, re-execution bounds) changed soundness verdicts.
+pub const KEY_SCHEMA_VERSION: u64 = 2;
 
-/// Shared prefix of both keys: schema version, domain separator, the
-/// full job key, the platform identity, and every configuration the
-/// job's kernel will compile or run with.
+/// Identity of the static soundness analysis the cells' verdicts come
+/// from, folded into every key: cells computed under the
+/// index-insensitive analysis invalidate by construction instead of
+/// replaying stale region classifications.
+pub const ANALYSIS_VERSION: &str = "anomaly/index-sensitive-v1";
+
+/// Shared prefix of both keys: schema version, analysis tag, domain
+/// separator, the full job key, the platform identity, and every
+/// configuration the job's kernel will compile or run with.
 fn write_key_prefix(h: &mut StableHasher, domain: &str, job: &Job, table: &CostTable) {
     h.write_u64(KEY_SCHEMA_VERSION);
+    h.write_str(ANALYSIS_VERSION);
     h.write_str(domain);
     h.write_str(job.kind.name());
     h.write_str(&job.technique);

@@ -676,6 +676,104 @@ pub fn render_soundcheck(store: &CellStore, mode: GridMode) -> (String, bool) {
     (out, pass)
 }
 
+/// `soundcheck --explain`: recomputes every technique × benchmark cell
+/// and prints per-region verdicts — class, WAR variables with their
+/// offending footprints and sites, the index facts justifying each
+/// idempotence downgrade, and the worst-case re-execution bound — plus
+/// machine-greppable histogram lines
+/// (`hist <technique> <benchmark> <regions> <idempotent> <war-free>
+/// <shielded> <hazardous>`) that CI diffs against
+/// `tests/goldens/region_classes.txt`.
+pub fn render_soundcheck_explain(quick: bool) -> String {
+    use schematic_core::RegionClass;
+    let table = schematic_energy::CostTable::msp430fr5969();
+    let eb = crate::eb_for_tbpf(&table, ENERGY_TBPF);
+    let techniques: Vec<&'static str> = if quick {
+        crate::grid::SOUND_QUICK_TECHNIQUES.to_vec()
+    } else {
+        technique_names()
+    };
+    let benches = schematic_benchsuite::all();
+    let mut out = String::new();
+    writeln!(out, "\nPer-region verdicts (--explain)\n").unwrap();
+    let mut hists = String::new();
+    for tech in &techniques {
+        for b in &benches {
+            let module = (b.build)(crate::SEED);
+            if !crate::technique_supports(tech, &module) {
+                writeln!(hists, "hist {tech} {} unsupported", b.name).unwrap();
+                continue;
+            }
+            let im = match crate::compile_technique(tech, &module, &table, eb) {
+                Ok(im) => im,
+                Err(_) => {
+                    writeln!(hists, "hist {tech} {} error", b.name).unwrap();
+                    continue;
+                }
+            };
+            let report = match schematic_core::check_all(&im, &table, eb) {
+                Ok(r) => r,
+                Err(_) => {
+                    writeln!(hists, "hist {tech} {} error", b.name).unwrap();
+                    continue;
+                }
+            };
+            writeln!(out, "== {tech} x {} ==", b.name).unwrap();
+            for region in &report.anomalies.regions {
+                let mut line = format!("  {}: {}", region.start, region.class);
+                if let Some(bound) = region.reexec_bound {
+                    write!(line, ", reexec <= {bound}").unwrap();
+                }
+                if region.over_budget {
+                    line.push_str(", OVER BUDGET");
+                }
+                writeln!(out, "{line}").unwrap();
+                for a in report
+                    .anomalies
+                    .anomalies
+                    .iter()
+                    .filter(|a| a.region == region.start)
+                {
+                    writeln!(
+                        out,
+                        "      war {}{}: read at {}, clobbering write at {}",
+                        im.module.var(a.var).name,
+                        a.footprint,
+                        a.read_site,
+                        a.write_site
+                    )
+                    .unwrap();
+                }
+                if region.class == RegionClass::Idempotent && region.writes_disjoint {
+                    for acc in &region.accesses {
+                        if !acc.write.is_empty() {
+                            writeln!(
+                                out,
+                                "      disjoint {}: read {} does not meet write {}",
+                                im.module.var(acc.var).name,
+                                acc.read,
+                                acc.write
+                            )
+                            .unwrap();
+                        }
+                    }
+                }
+            }
+            let [idem, free, shielded, hazardous] = report.anomalies.class_counts();
+            writeln!(
+                hists,
+                "hist {tech} {} {} {idem} {free} {shielded} {hazardous}",
+                b.name,
+                report.anomalies.regions.len()
+            )
+            .unwrap();
+        }
+    }
+    writeln!(out, "Region-class histogram (greppable: '^hist '):").unwrap();
+    out.push_str(&hists);
+    out
+}
+
 /// A report renderer: pure function from the shared store to its text.
 type RenderFn = fn(&CellStore) -> String;
 

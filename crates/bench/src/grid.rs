@@ -886,7 +886,7 @@ fn evaluate_fig7(job: &Job, table: &CostTable) -> (CellValue, Vec<Digest>) {
         Ok(report) if !report.anomalies.is_sound() => {
             let value = CellValue::Measured {
                 metrics: None,
-                note: Some(format!("anomaly: {}", report.verdict())),
+                note: Some(format!("anomaly: {}", report.verdict_named(&m))),
             };
             return (value, digests);
         }
@@ -1027,20 +1027,26 @@ fn evaluate_shadow(job: &Job, table: &CostTable) -> (CellValue, Vec<Digest>) {
         Err(_) => return (skipped, digests),
     };
     // Shadow cross-validation: run under every TBPF with the recorder
-    // on; every WAR the emulator actually observes must be in the
-    // statically predicted set.
-    let predicted = report.anomalies.predicted_war_vars(im.module.vars.len());
-    let mut observed: Vec<schematic_ir::VarId> = Vec::new();
+    // on; every per-element WAR the emulator actually observes must be
+    // covered by a statically predicted anomaly footprint.
+    let mut observed: Vec<(schematic_ir::VarId, u32)> = Vec::new();
     for tbpf in TBPFS {
         if let Ok(run) = Machine::new(&im, table, shadow_run_config(tbpf)).run() {
-            observed.extend(run.shadow.expect("shadow requested").war_vars());
+            observed.extend(run.shadow.expect("shadow requested").war_elems());
         }
     }
     observed.sort_unstable();
     observed.dedup();
-    let unpredicted = observed.iter().filter(|&&v| !predicted.contains(v)).count();
+    let unpredicted = observed
+        .iter()
+        .filter(|&&(v, e)| !report.anomalies.predicts_element(v, e))
+        .count();
+    // `observed` renders as distinct variables (stable across the
+    // granularity change); the coverage check above is per element.
+    let mut observed_vars: Vec<schematic_ir::VarId> = observed.iter().map(|&(v, _)| v).collect();
+    observed_vars.dedup();
     let value = CellValue::Shadow {
-        observed: Some(observed.len() as u64),
+        observed: Some(observed_vars.len() as u64),
         unpredicted: unpredicted as u64,
     };
     (value, digests)

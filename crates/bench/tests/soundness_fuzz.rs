@@ -5,10 +5,11 @@
 //! placements over them, and runs each under the emulator's shadow
 //! recorder with periodic power failures and the `Rollback` policy (the
 //! policy that actually re-executes regions and can surface WARs at
-//! runtime). The soundness contract under test: **every WAR the
-//! recorder observes must have been predicted statically** by
-//! [`schematic_core::check_anomalies`] — the static analysis may
-//! over-approximate, never miss.
+//! runtime). The soundness contract under test: **every per-element WAR
+//! the recorder observes must have been predicted statically** by
+//! [`schematic_core::check_anomalies`] — the observed element offset
+//! must fall inside some predicted anomaly footprint for that variable.
+//! The static analysis may over-approximate, never miss.
 //!
 //! The generator is seeded [`SplitMix64`], so the whole sweep is
 //! deterministic and a failure message's case index reproduces exactly.
@@ -172,15 +173,16 @@ fn static_analysis_never_misses_an_observed_war() {
         failures_total += out.metrics.power_failures;
         let report = check_anomalies(&im, true)
             .unwrap_or_else(|e| panic!("case {case}: static analysis failed: {e}"));
-        let predicted = report.predicted_war_vars(im.module.vars.len());
         let shadow = out.shadow.expect("shadow recorder was enabled");
         for war in &shadow.wars {
             observed_total += 1;
             assert!(
-                predicted.contains(war.var),
+                report.predicts_element(war.var, war.elem),
                 "case {case} (seed {SEED:#x}): shadow recorder observed a WAR on \
-                 {:?} in epoch {:?} that the static analysis did not predict",
+                 {:?}[{}] in epoch {:?} whose element is outside every statically \
+                 predicted anomaly footprint",
                 war.var,
+                war.elem,
                 war.epoch,
             );
         }

@@ -920,11 +920,25 @@ impl SoundnessReport {
         };
         format!("{placement}; {}", self.anomalies.verdict())
     }
+
+    /// Like [`SoundnessReport::verdict`], but names the variables behind
+    /// any predicted WAR so footnotes are diagnosable without rerunning
+    /// soundcheck.
+    pub fn verdict_named(&self, module: &schematic_ir::Module) -> String {
+        let mut s = self.verdict();
+        let names = self.anomalies.war_var_names(module);
+        if !names.is_empty() {
+            s.push_str(&format!(" [WAR vars: {}]", names.join(", ")));
+        }
+        s
+    }
 }
 
 /// Checks one instrumented program end to end: re-verifies forward
-/// progress under budget `eb` and runs the inter-checkpoint WAR-hazard
-/// analysis against the program's allocation plan.
+/// progress under budget `eb`, runs the index-sensitive inter-checkpoint
+/// WAR-hazard analysis against the program's allocation plan, and
+/// classifies `Rollback` regions against their worst-case re-execution
+/// bound under the same budget.
 ///
 /// # Errors
 ///
@@ -935,7 +949,7 @@ pub fn check_all(
     eb: Energy,
 ) -> Result<SoundnessReport, PlacementError> {
     let placement = crate::pverify::verify_placement(im, table, eb);
-    let anomalies = crate::anomaly::check_anomalies(im, placement.is_sound())?;
+    let anomalies = crate::anomaly::check_anomalies_bounded(im, placement.is_sound(), table, eb)?;
     Ok(SoundnessReport {
         placement,
         anomalies,

@@ -23,6 +23,14 @@ pub struct SchematicConfig {
     pub ratio_ordering: bool,
     /// Cap on structurally enumerated coverage paths per region.
     pub max_structural_paths: usize,
+    /// Bias the gain function toward keeping *potential WAR* variables
+    /// in VM: variables the index-sensitive anomaly analysis
+    /// ([`crate::anomaly::potential_war_vars`]) says could form a WAR
+    /// under an all-NVM allocation earn an extra write-gain bonus, while
+    /// variables whose accesses are index-proven disjoint (downgraded
+    /// regions) earn nothing — their shielding is free to skip. Off by
+    /// default (paper-faithful Eq. 1).
+    pub war_shield_bias: bool,
 }
 
 impl SchematicConfig {
@@ -36,6 +44,7 @@ impl SchematicConfig {
             liveness_opt: true,
             ratio_ordering: true,
             max_structural_paths: 256,
+            war_shield_bias: false,
         }
     }
 
@@ -57,6 +66,7 @@ impl SchematicConfig {
         h.write_bool(self.liveness_opt);
         h.write_bool(self.ratio_ordering);
         h.write_usize(self.max_structural_paths);
+        h.write_bool(self.war_shield_bias);
     }
 }
 

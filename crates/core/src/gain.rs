@@ -43,6 +43,15 @@ pub(crate) fn gain_of(
     let write_gain = ctx.table.write_gain().as_pj() as i128;
     let mut gain = read_gain * counts.reads as i128 + write_gain * counts.writes as i128;
 
+    // `war_shield_bias`: a variable the index-sensitive analysis says
+    // could WAR in NVM earns an extra write-gain bonus — keeping it in
+    // VM shields the hazard. Variables whose footprints are index-proven
+    // disjoint (downgraded regions) get nothing: their shielding is safe
+    // to skip.
+    if ctx.config.war_shield_bias && ctx.war_vars.contains(var) {
+        gain += write_gain * counts.writes as i128;
+    }
+
     // Eq. 2: Esave/restore = Erestore × live(c1) + Esave × live(c2).
     let words = ctx.module.var(var).words;
     let is_array = words > 1;
@@ -302,6 +311,55 @@ mod tests {
                 assert!(g_closed < g_open, "restore cost must reduce the gain");
             },
         );
+    }
+
+    #[test]
+    fn war_shield_bias_boosts_war_vars_only() {
+        // v: load-then-store (a real WAR candidate in NVM).
+        // a: read word 0, write word 1 — index-proven disjoint.
+        let mut mb = ModuleBuilder::new("m");
+        let v = mb.var(Variable::scalar("v"));
+        let a = mb.var(Variable::array("a", 4));
+        let mut f = FunctionBuilder::new("main", 0);
+        let x = f.load_scalar(v);
+        f.store_scalar(v, x);
+        let r = f.load_idx(a, 0);
+        f.store_idx(a, 1, r);
+        f.ret(None);
+        let main = mb.func(f.finish());
+        let m = mb.finish(main);
+        let counts = AccessCount {
+            reads: 1,
+            writes: 1,
+        };
+        let bounds = IntervalBounds {
+            resume_into: None,
+            save_edge: None,
+        };
+        let baseline = with_ctx(
+            &m,
+            |_| {},
+            |ctx| {
+                (
+                    gain_of(ctx, v, counts, bounds),
+                    gain_of(ctx, a, counts, bounds),
+                )
+            },
+        );
+        let biased = with_ctx(
+            &m,
+            |c| c.war_shield_bias = true,
+            |ctx| {
+                assert!(ctx.war_vars.contains(v));
+                assert!(!ctx.war_vars.contains(a), "disjoint accesses earn no bias");
+                (
+                    gain_of(ctx, v, counts, bounds),
+                    gain_of(ctx, a, counts, bounds),
+                )
+            },
+        );
+        assert!(biased.0 > baseline.0, "WAR var gain must grow under bias");
+        assert_eq!(biased.1, baseline.1, "disjoint var gain must not change");
     }
 
     #[test]

@@ -62,15 +62,20 @@ mod gain;
 pub mod pipeline;
 pub mod profile;
 pub mod pverify;
+pub mod range;
 mod rcg;
 pub mod summary;
 pub mod transform;
 
 pub use analyze::{check_all, SoundnessReport};
-pub use anomaly::{check_anomalies, Anomaly, AnomalyReport, RegionClass, RegionStart};
+pub use anomaly::{
+    check_anomalies, check_anomalies_bounded, potential_war_vars, Anomaly, AnomalyReport,
+    RegionAccess, RegionClass, RegionInfo, RegionStart,
+};
 pub use config::SchematicConfig;
 pub use error::{BackEdgeCheckpoint, EdgeDecision, PlacementError};
 pub use pipeline::{compile, compile_with_profile, Compiled};
 pub use profile::Profile;
 pub use pverify::{verify_placement, PlacementReport};
+pub use range::{index_ranges, Footprint, IndexRanges, Range};
 pub use summary::{FuncSummary, LoopSummary};

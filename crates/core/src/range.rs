@@ -1,0 +1,804 @@
+//! Strided-interval abstract domain over registers, and the partitioned
+//! per-variable access footprints built on top of it.
+//!
+//! This is the symbolic index analysis behind the index-sensitive WAR
+//! lattice in [`crate::anomaly`]. The paper's anomaly check treats every
+//! array as one abstract cell; here each register is abstracted to a
+//! *strided interval* `{lo..hi : +stride}` — the set of values
+//! `{lo, lo+stride, ..., hi}` — so constant indices, affine induction
+//! variables (`i = i + c` around a loop back edge), and scaled copies
+//! (`2*i`, `i << 1`) keep enough shape for the anomaly pass to prove two
+//! array footprints disjoint.
+//!
+//! The analysis is a forward dataflow fixpoint per function:
+//!
+//! * entry state: parameter registers are unknown ([`Range::Top`]), all
+//!   other registers start as the constant `0` (the emulator
+//!   zero-initializes the register file);
+//! * transfer: `Copy`/`Select` propagate, `Add`/`Sub`/`Mul`/`Shl` are
+//!   evaluated with overflow checks — a result that may wrap at 32 bits
+//!   keeps only the residue modulo the largest power of two dividing
+//!   its stride (`2^k` divides `2^32`, so that residue survives the
+//!   wrap), degrading to the full-width interval in that congruence
+//!   class — `Cmp` yields `{0..1}`, every other def goes to `Top`;
+//! * merge: pointwise [`Range::join`]; after [`WIDEN_AFTER`] visits of
+//!   the same block the join is *widened* — a bound that is still
+//!   growing is blown out to the `i32` limit **along the current
+//!   stride**, so the loop `i += 2` stabilizes at `{0..2^31-2 : +2}`
+//!   and parity facts survive widening.
+//!
+//! After the fixpoint a final walk records the abstract index of every
+//! `Load`/`Store` site into an [`IndexRanges`] table the anomaly pass
+//! queries. [`Footprint`] then clamps an index range to a variable's
+//! word count — sound because an out-of-bounds index traps and aborts
+//! the run before the access happens — giving a bounded strided set of
+//! word offsets per access.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use schematic_ir::{BlockId, Cfg, Function, Inst, Operand, Reg};
+
+/// Number of times a block is re-joined before merges start widening.
+pub const WIDEN_AFTER: u32 = 3;
+
+/// A strided interval `{lo, lo+stride, ..., hi}` over `i64` (values are
+/// `i32` program values; the `i64` carrier avoids overflow in the
+/// arithmetic on bounds).
+///
+/// Invariants for `Si`: `lo <= hi`; `stride == 0` iff `lo == hi`
+/// (singleton); otherwise `(hi - lo) % stride == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Range {
+    /// Unreachable / no value.
+    Bot,
+    /// The strided interval `{lo, lo + stride, ..., hi}`.
+    Si {
+        /// Smallest value.
+        lo: i64,
+        /// Largest value.
+        hi: i64,
+        /// Distance between consecutive values; `0` for a singleton.
+        stride: u64,
+    },
+    /// Any `i32` value.
+    Top,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+const I32_MIN: i64 = i32::MIN as i64;
+const I32_MAX: i64 = i32::MAX as i64;
+
+impl Range {
+    /// The singleton range `{c}`.
+    pub fn constant(c: i32) -> Range {
+        Range::Si {
+            lo: c as i64,
+            hi: c as i64,
+            stride: 0,
+        }
+    }
+
+    fn si(lo: i64, hi: i64, stride: u64) -> Range {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            Range::Si { lo, hi, stride: 0 }
+        } else {
+            debug_assert!(stride > 0 && ((hi - lo) as u64).is_multiple_of(stride));
+            Range::Si { lo, hi, stride }
+        }
+    }
+
+    /// Constructor for arithmetic results, which may wrap. In-range
+    /// bounds are exact. A wrapped singleton is folded to the wrapped
+    /// constant. Otherwise the residue modulo the largest power of two
+    /// dividing the stride survives 32-bit wrapping (`2^k` divides
+    /// `2^32`), so the result is the full-width interval in that
+    /// congruence class — this is what keeps parity facts alive for
+    /// widened induction variables like `i += 2`.
+    fn si_checked(lo: i64, hi: i64, stride: u64) -> Range {
+        if lo >= I32_MIN && hi <= I32_MAX {
+            return Range::si(lo, hi, stride);
+        }
+        if lo == hi {
+            return Range::constant(lo as u32 as i32);
+        }
+        let s2 = stride & stride.wrapping_neg();
+        if s2 > 1 << 31 {
+            return Range::Top;
+        }
+        // For s2 == 1 (including odd strides) this is the full-width
+        // stride-1 interval — semantically Top, but keeping the `Si`
+        // shape lets derived values (e.g. `2 * i`) still extract a
+        // stride from it.
+        let s = s2.max(1) as i64;
+        let wlo = I32_MIN + (lo - I32_MIN).rem_euclid(s);
+        let whi = wlo + ((I32_MAX - wlo) / s) * s;
+        Range::si(wlo, whi, s2)
+    }
+
+    /// Least upper bound of two ranges.
+    pub fn join(self, other: Range) -> Range {
+        match (self, other) {
+            (Range::Bot, r) | (r, Range::Bot) => r,
+            (Range::Top, _) | (_, Range::Top) => Range::Top,
+            (
+                Range::Si {
+                    lo: a,
+                    hi: b,
+                    stride: s1,
+                },
+                Range::Si {
+                    lo: c,
+                    hi: d,
+                    stride: s2,
+                },
+            ) => {
+                let stride = gcd(gcd(s1, s2), a.abs_diff(c));
+                Range::si(a.min(c), b.max(d), stride)
+            }
+        }
+    }
+
+    /// Widening: like [`Range::join`], but any bound that is still
+    /// moving is pushed to the farthest `i32` value reachable along the
+    /// joined stride, so ascending chains terminate while stride
+    /// (parity) facts survive.
+    pub fn widen(self, other: Range) -> Range {
+        let joined = self.join(other);
+        let (
+            Range::Si { lo, hi, .. },
+            Range::Si {
+                lo: jlo,
+                hi: jhi,
+                stride,
+            },
+        ) = (self, joined)
+        else {
+            return joined;
+        };
+        let s = stride.max(1) as i64;
+        let wlo = if jlo < lo {
+            // Largest value <= jlo reachable from jlo going down in
+            // steps of `s` without leaving i32.
+            jlo - ((jlo - I32_MIN) / s) * s
+        } else {
+            jlo
+        };
+        let whi = if jhi > hi {
+            jhi + ((I32_MAX - jhi) / s) * s
+        } else {
+            jhi
+        };
+        Range::si(wlo, whi, if wlo == whi { 0 } else { stride.max(1) })
+    }
+
+    /// Abstract wrapping addition.
+    // Deliberately not `std::ops::Add`: these are abstract transfer
+    // functions taking the domain by value, kept as plain methods so
+    // the transfer match in `index_ranges` reads uniformly.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Range) -> Range {
+        match (self, other) {
+            (Range::Bot, _) | (_, Range::Bot) => Range::Bot,
+            (
+                Range::Si {
+                    lo: a,
+                    hi: b,
+                    stride: s1,
+                },
+                Range::Si {
+                    lo: c,
+                    hi: d,
+                    stride: s2,
+                },
+            ) => Range::si_checked(a + c, b + d, gcd(s1, s2)),
+            _ => Range::Top,
+        }
+    }
+
+    /// Abstract wrapping subtraction.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Range) -> Range {
+        match (self, other) {
+            (Range::Bot, _) | (_, Range::Bot) => Range::Bot,
+            (
+                Range::Si {
+                    lo: a,
+                    hi: b,
+                    stride: s1,
+                },
+                Range::Si {
+                    lo: c,
+                    hi: d,
+                    stride: s2,
+                },
+            ) => Range::si_checked(a - d, b - c, gcd(s1, s2)),
+            _ => Range::Top,
+        }
+    }
+
+    /// Abstract wrapping multiplication. Precise only when one side is
+    /// a known constant (the common `scale * i` indexing shape);
+    /// anything else is `Top`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Range) -> Range {
+        match (self, other) {
+            (Range::Bot, _) | (_, Range::Bot) => Range::Bot,
+            (Range::Si { lo: k, hi, .. }, r) | (r, Range::Si { lo: k, hi, .. }) if k == hi => {
+                r.mul_const(k)
+            }
+            _ => Range::Top,
+        }
+    }
+
+    fn mul_const(self, k: i64) -> Range {
+        if k == 0 {
+            return Range::constant(0);
+        }
+        match self {
+            Range::Bot => Range::Bot,
+            Range::Top => Range::Top,
+            Range::Si { lo, hi, stride } => {
+                let (a, b) = (lo * k, hi * k);
+                Range::si_checked(a.min(b), a.max(b), stride * k.unsigned_abs())
+            }
+        }
+    }
+
+    /// Abstract logical shift left — a multiply by `2^k` when the shift
+    /// amount is a known in-range constant.
+    #[allow(clippy::should_implement_trait)]
+    pub fn shl(self, other: Range) -> Range {
+        match other {
+            Range::Si { lo: k, hi, .. } if k == hi && (0..32).contains(&k) => {
+                self.mul_const(1i64 << k)
+            }
+            _ => Range::Top,
+        }
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Range::Bot => write!(f, "⊥"),
+            Range::Top => write!(f, "⊤"),
+            Range::Si { lo, hi, .. } if lo == hi => write!(f, "{{{lo}}}"),
+            Range::Si { lo, hi, stride } => write!(f, "{{{lo}..{hi}:+{stride}}}"),
+        }
+    }
+}
+
+/// A bounded strided set of word offsets `{lo, lo+stride, ..., hi}`
+/// within one variable, `0 <= lo <= hi < words`.
+///
+/// `stride == 0` iff `lo == hi` (a single word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// First word offset.
+    pub lo: u32,
+    /// Last word offset (inclusive).
+    pub hi: u32,
+    /// Distance between consecutive offsets; `0` for a single word.
+    pub stride: u32,
+}
+
+impl Span {
+    fn contains(&self, e: u32) -> bool {
+        self.lo <= e && e <= self.hi && (e - self.lo).is_multiple_of(self.stride.max(1))
+    }
+}
+
+/// The set of word offsets of one variable that an access (or a union
+/// of accesses) may touch: empty, or a single [`Span`].
+///
+/// Unions are over-approximated by the strided hull of the operands
+/// (smallest `lo`, largest `hi`, gcd of strides and phase offsets), so
+/// the representation is canonical, unions only grow, and dataflow
+/// merges terminate. [`Footprint::intersects`] answers "may these two
+/// sets share a word?" — `false` is a *proof* of disjointness, `true`
+/// may be conservative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Footprint(Option<Span>);
+
+/// Cap on the exact element walk in [`Footprint::intersects`]; larger
+/// windows conservatively report an intersection.
+const INTERSECT_SCAN_CAP: u32 = 4096;
+
+impl Footprint {
+    /// The empty footprint (no words touched).
+    pub fn empty() -> Footprint {
+        Footprint(None)
+    }
+
+    /// Every word of a variable with `words` words.
+    pub fn whole(words: usize) -> Footprint {
+        if words == 0 {
+            return Footprint(None);
+        }
+        let hi = (words - 1).min(u32::MAX as usize) as u32;
+        Footprint(Some(Span {
+            lo: 0,
+            hi,
+            stride: u32::from(hi != 0),
+        }))
+    }
+
+    /// The single word offset `e`.
+    pub fn elem(e: u32) -> Footprint {
+        Footprint(Some(Span {
+            lo: e,
+            hi: e,
+            stride: 0,
+        }))
+    }
+
+    /// The word offsets an access with abstract index `r` may touch in
+    /// a variable of `words` words. Indexes outside `[0, words)` trap
+    /// before the access happens, so clamping to the valid window is
+    /// sound.
+    pub fn of_range(r: Range, words: usize) -> Footprint {
+        if words == 0 {
+            return Footprint(None);
+        }
+        let max = (words - 1) as i64;
+        match r {
+            Range::Bot => Footprint(None),
+            Range::Top => Footprint::whole(words),
+            Range::Si { lo, hi, stride } => {
+                if hi < 0 || lo > max {
+                    return Footprint(None);
+                }
+                let s = stride.min(u32::MAX as u64).max(1) as i64;
+                // Snap the clamped bounds inward onto the stride grid
+                // anchored at `lo`.
+                let clo = if lo < 0 {
+                    lo + ((-lo + s - 1) / s) * s
+                } else {
+                    lo
+                };
+                let chi = if hi > max {
+                    hi - ((hi - max + s - 1) / s) * s
+                } else {
+                    hi
+                };
+                if clo > chi {
+                    return Footprint(None);
+                }
+                Footprint(Some(Span {
+                    lo: clo as u32,
+                    hi: chi as u32,
+                    stride: if clo == chi { 0 } else { stride as u32 },
+                }))
+            }
+        }
+    }
+
+    /// True when no words are touched.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// True when word offset `e` may be touched.
+    pub fn contains(&self, e: u32) -> bool {
+        self.0.as_ref().is_some_and(|s| s.contains(e))
+    }
+
+    /// Grow this footprint to cover `other` (strided hull). Returns
+    /// `true` when the footprint changed.
+    pub fn union_with(&mut self, other: &Footprint) -> bool {
+        let merged = match (self.0, other.0) {
+            (None, o) => Footprint(o),
+            (s, None) => Footprint(s),
+            (Some(a), Some(b)) => {
+                let stride = gcd(
+                    gcd(a.stride as u64, b.stride as u64),
+                    a.lo.abs_diff(b.lo) as u64,
+                ) as u32;
+                let lo = a.lo.min(b.lo);
+                let hi = a.hi.max(b.hi);
+                Footprint(Some(Span {
+                    lo,
+                    hi,
+                    stride: if lo == hi { 0 } else { stride.max(1) },
+                }))
+            }
+        };
+        let changed = merged != *self;
+        *self = merged;
+        changed
+    }
+
+    /// May this footprint share a word with `other`? `false` is a proof
+    /// of disjointness. Exact (walks the sparser span's elements inside
+    /// the overlap window) up to [`INTERSECT_SCAN_CAP`] steps, then
+    /// conservatively `true`.
+    pub fn intersects(&self, other: &Footprint) -> bool {
+        let (Some(a), Some(b)) = (self.0, other.0) else {
+            return false;
+        };
+        let lo = a.lo.max(b.lo);
+        let hi = a.hi.min(b.hi);
+        if lo > hi {
+            return false;
+        }
+        // Phase compatibility: x ≡ a.lo (mod a.stride) and
+        // x ≡ b.lo (mod b.stride) has a solution only if the phases
+        // agree modulo gcd of the strides.
+        let g = gcd(a.stride.max(1) as u64, b.stride.max(1) as u64);
+        if !(a.lo.abs_diff(b.lo) as u64).is_multiple_of(g) {
+            return false;
+        }
+        // Walk the coarser span's elements inside the window.
+        let (walk, probe) = if a.stride >= b.stride { (a, b) } else { (b, a) };
+        let s = walk.stride.max(1);
+        let first = walk.lo + (lo - walk.lo).div_ceil(s) * s;
+        let mut x = first;
+        let mut steps = 0u32;
+        while x <= hi {
+            if probe.contains(x) {
+                return true;
+            }
+            if steps >= INTERSECT_SCAN_CAP {
+                return true; // give up: assume they may intersect
+            }
+            steps += 1;
+            x += s;
+        }
+        false
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            None => write!(f, "∅"),
+            Some(Span { lo, hi, .. }) if lo == hi => write!(f, "[{lo}]"),
+            Some(Span { lo, hi, stride: 1 }) => write!(f, "[{lo}..{hi}]"),
+            Some(Span { lo, hi, stride }) => write!(f, "[{lo}..{hi}:+{stride}]"),
+        }
+    }
+}
+
+/// Per-function table of the abstract index of every `Load`/`Store`
+/// site, produced by [`index_ranges`].
+#[derive(Debug, Clone, Default)]
+pub struct IndexRanges {
+    at: std::collections::BTreeMap<(BlockId, usize), Range>,
+}
+
+impl IndexRanges {
+    /// Abstract value of the index operand of the `Load`/`Store` at
+    /// instruction `i` of block `b`. `Top` for unrecorded sites.
+    pub fn idx_range(&self, b: BlockId, i: usize) -> Range {
+        self.at.get(&(b, i)).copied().unwrap_or(Range::Top)
+    }
+}
+
+type RegState = Vec<Range>;
+
+fn eval(state: &RegState, op: Operand) -> Range {
+    match op {
+        Operand::Imm(c) => Range::constant(c),
+        Operand::Reg(r) => state.get(r.index()).copied().unwrap_or(Range::Top),
+    }
+}
+
+fn set(state: &mut RegState, r: Reg, v: Range) {
+    if let Some(slot) = state.get_mut(r.index()) {
+        *slot = v;
+    }
+}
+
+fn transfer(state: &mut RegState, inst: &Inst) {
+    use schematic_ir::BinOp;
+    match inst {
+        Inst::Copy { dst, src } => {
+            let v = eval(state, *src);
+            set(state, *dst, v);
+        }
+        Inst::Bin { dst, op, lhs, rhs } => {
+            let (a, b) = (eval(state, *lhs), eval(state, *rhs));
+            let v = match op {
+                BinOp::Add => a.add(b),
+                BinOp::Sub => a.sub(b),
+                BinOp::Mul => a.mul(b),
+                BinOp::Shl => a.shl(b),
+                _ => Range::Top,
+            };
+            set(state, *dst, v);
+        }
+        Inst::Select {
+            dst,
+            then_val,
+            else_val,
+            ..
+        } => {
+            let v = eval(state, *then_val).join(eval(state, *else_val));
+            set(state, *dst, v);
+        }
+        Inst::Cmp { dst, .. } => set(state, *dst, Range::si(0, 1, 1)),
+        Inst::Un { dst, .. } | Inst::Load { dst, .. } => set(state, *dst, Range::Top),
+        Inst::Call { dst, .. } => {
+            if let Some(d) = dst {
+                set(state, *d, Range::Top);
+            }
+        }
+        Inst::Store { .. }
+        | Inst::Checkpoint { .. }
+        | Inst::CondCheckpoint { .. }
+        | Inst::SaveVar { .. }
+        | Inst::RestoreVar { .. } => {}
+    }
+}
+
+/// Run the strided-interval fixpoint over `func` and record the
+/// abstract index of every `Load`/`Store` site.
+///
+/// Loop induction variables need no special detection: registers are
+/// mutable (the IR is not SSA), so `i = i + 1` around a back edge
+/// reaches the loop header's merge, and widening caps the resulting
+/// ascending chain while preserving the stride.
+pub fn index_ranges(func: &Function) -> IndexRanges {
+    let cfg = Cfg::new(func);
+    let n_blocks = func.blocks.len();
+
+    // Entry register state: parameters are caller-controlled (Top),
+    // everything else starts as the zero-initialized constant 0.
+    let mut entry = vec![Range::constant(0); func.n_regs];
+    for slot in entry.iter_mut().take(func.n_params) {
+        *slot = Range::Top;
+    }
+
+    let mut in_states: Vec<Option<RegState>> = vec![None; n_blocks];
+    in_states[func.entry.index()] = Some(entry);
+    let mut visits = vec![0u32; n_blocks];
+
+    let order = cfg.reverse_postorder();
+    let mut queued = vec![false; n_blocks];
+    let mut worklist: VecDeque<BlockId> = VecDeque::new();
+    for &b in &order {
+        worklist.push_back(b);
+        queued[b.index()] = true;
+    }
+
+    while let Some(b) = worklist.pop_front() {
+        queued[b.index()] = false;
+        let Some(mut state) = in_states[b.index()].clone() else {
+            continue;
+        };
+        visits[b.index()] = visits[b.index()].saturating_add(1);
+        let block = func.block(b);
+        for inst in &block.insts {
+            transfer(&mut state, inst);
+        }
+        for succ in block.term.successors() {
+            let changed = match &mut in_states[succ.index()] {
+                slot @ None => {
+                    *slot = Some(state.clone());
+                    true
+                }
+                Some(prev) => {
+                    let widen = visits[succ.index()] >= WIDEN_AFTER;
+                    let mut any = false;
+                    for (p, n) in prev.iter_mut().zip(&state) {
+                        let merged = if widen { p.widen(*n) } else { p.join(*n) };
+                        if merged != *p {
+                            *p = merged;
+                            any = true;
+                        }
+                    }
+                    any
+                }
+            };
+            if changed && !queued[succ.index()] {
+                queued[succ.index()] = true;
+                worklist.push_back(succ);
+            }
+        }
+    }
+
+    // Final walk: record the abstract index of each memory access.
+    let mut out = IndexRanges::default();
+    for (b, block) in func.iter_blocks() {
+        let Some(st) = &in_states[b.index()] else {
+            continue;
+        };
+        let mut state = st.clone();
+        for (i, inst) in block.insts.iter().enumerate() {
+            match inst {
+                Inst::Load { idx: Some(op), .. } | Inst::Store { idx: Some(op), .. } => {
+                    out.at.insert((b, i), eval(&state, *op));
+                }
+                _ => {}
+            }
+            transfer(&mut state, inst);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schematic_ir::{BinOp, CmpOp, FunctionBuilder, VarId};
+
+    #[test]
+    fn join_of_constants_forms_stride() {
+        let r = Range::constant(0).join(Range::constant(6));
+        assert_eq!(
+            r,
+            Range::Si {
+                lo: 0,
+                hi: 6,
+                stride: 6
+            }
+        );
+        let r = r.join(Range::constant(3));
+        assert_eq!(
+            r,
+            Range::Si {
+                lo: 0,
+                hi: 6,
+                stride: 3
+            }
+        );
+    }
+
+    #[test]
+    fn widen_preserves_stride() {
+        let a = Range::Si {
+            lo: 0,
+            hi: 2,
+            stride: 2,
+        };
+        let b = Range::Si {
+            lo: 0,
+            hi: 4,
+            stride: 2,
+        };
+        let w = a.widen(b);
+        let Range::Si { lo, hi, stride } = w else {
+            panic!("widened to {w}");
+        };
+        assert_eq!(lo, 0);
+        assert_eq!(stride, 2);
+        assert!(hi >= i32::MAX as i64 - 1);
+        assert_eq!((hi - lo) % 2, 0);
+        // Already-stable bounds do not widen further.
+        assert_eq!(w.widen(w), w);
+    }
+
+    #[test]
+    fn arithmetic_wrap_is_modeled() {
+        // Wrapped singletons fold to the exact wrapped constant.
+        let big = Range::constant(i32::MAX);
+        assert_eq!(big.add(Range::constant(1)), Range::constant(i32::MIN));
+        assert_eq!(
+            Range::constant(1 << 20).mul(Range::constant(1 << 20)),
+            Range::constant(0)
+        );
+        // Out-of-range shift amounts lose everything.
+        assert_eq!(Range::constant(3).shl(Range::constant(40)), Range::Top);
+        // A wrapped even-strided interval keeps its parity: residues
+        // mod 2^k survive 32-bit wraparound.
+        let evens = Range::Si {
+            lo: 0,
+            hi: I32_MAX - 1,
+            stride: 2,
+        };
+        let bumped = evens.add(Range::constant(2));
+        let Range::Si { lo, stride, .. } = bumped else {
+            panic!("expected interval, got {bumped}");
+        };
+        assert_eq!(stride, 2);
+        assert_eq!(lo.rem_euclid(2), 0);
+        // An odd stride has no wrap-stable power-of-two part: the wrap
+        // degrades to the full-width stride-1 interval (all of i32).
+        let odds = Range::Si {
+            lo: 0,
+            hi: I32_MAX - 1,
+            stride: 3,
+        };
+        assert_eq!(
+            odds.add(Range::constant(3)),
+            Range::Si {
+                lo: I32_MIN,
+                hi: I32_MAX,
+                stride: 1
+            }
+        );
+    }
+
+    #[test]
+    fn footprint_disjointness() {
+        // Even vs odd elements of the same window.
+        let evens = Footprint::of_range(
+            Range::Si {
+                lo: 0,
+                hi: 254,
+                stride: 2,
+            },
+            256,
+        );
+        let odds = Footprint::of_range(
+            Range::Si {
+                lo: 1,
+                hi: 255,
+                stride: 2,
+            },
+            256,
+        );
+        assert!(!evens.intersects(&odds));
+        assert!(evens.intersects(&evens));
+        // Distinct constants are disjoint; hull of {0,6} misses 3.
+        let mut acc = Footprint::elem(0);
+        acc.union_with(&Footprint::elem(6));
+        assert!(!acc.intersects(&Footprint::elem(3)));
+        assert!(acc.intersects(&Footprint::elem(6)));
+        // Whole-variable footprints hit everything in range.
+        assert!(Footprint::whole(4).intersects(&Footprint::elem(3)));
+        assert!(!Footprint::whole(4).intersects(&Footprint::empty()));
+    }
+
+    #[test]
+    fn of_range_clamps_to_words() {
+        // Widened induction variable clamps to the array window.
+        let f = Footprint::of_range(
+            Range::Si {
+                lo: 0,
+                hi: i32::MAX as i64 - 1,
+                stride: 2,
+            },
+            10,
+        );
+        assert_eq!(f.to_string(), "[0..8:+2]");
+        assert!(Footprint::of_range(Range::constant(-5), 10).is_empty());
+        assert!(Footprint::of_range(Range::constant(12), 10).is_empty());
+        assert_eq!(Footprint::of_range(Range::Top, 4), Footprint::whole(4));
+    }
+
+    #[test]
+    fn loop_induction_variable_keeps_stride() {
+        // i starts at 0, i += 2 each trip: header sees {0..MAX:+2}.
+        let mut fb = FunctionBuilder::new("f", 0);
+        let i = fb.copy(0);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let c = fb.cmp(CmpOp::SLt, i, 100);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let _v = fb.load_idx(VarId(0), i);
+        let i2 = fb.bin(BinOp::Add, i, 2);
+        fb.copy_to(i, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+
+        let ranges = index_ranges(&f);
+        // The load is inst 0 of `body`. Widening (and the wrap rule)
+        // may blow the bounds wide open, but the stride must survive,
+        // and clamping to a 10-word array keeps only the even words.
+        let r = ranges.idx_range(body, 0);
+        let Range::Si { lo, stride, .. } = r else {
+            panic!("expected interval, got {r}");
+        };
+        assert_eq!(stride, 2);
+        assert_eq!(lo.rem_euclid(2), 0);
+        assert_eq!(Footprint::of_range(r, 10).to_string(), "[0..8:+2]");
+    }
+}

@@ -361,7 +361,7 @@ impl<'a> Machine<'a> {
         let power = PowerState::new(config.power);
         let shadow_on =
             config.shadow_war || std::env::var_os("SCHEMATIC_SHADOW_WAR").is_some_and(|v| v == "1");
-        let shadow = shadow_on.then(|| ShadowRecorder::new(im.module.vars.len()));
+        let shadow = shadow_on.then(|| ShadowRecorder::new(im.module.vars.iter().map(|v| v.words)));
         let tracing = config.trace
             || crate::trace::forced()
             || std::env::var_os("SCHEMATIC_TRACE").is_some_and(|v| v == "1");
@@ -963,12 +963,14 @@ impl<'a> Machine<'a> {
             }
             MemClass::Nvm => {
                 self.metrics.nvm_reads += 1;
-                if let Some(sh) = self.shadow.as_mut() {
-                    sh.record_read(var);
-                }
                 self.charge_exec_mem(cpu, self.costs.nvm_read, MemClass::Nvm);
                 let regs = &self.frames.last().expect("active frame").regs;
                 let at = resolve_at(regs, idx, base, words, var).map_err(|k| self.trap(k))?;
+                if let Some(sh) = self.shadow.as_mut() {
+                    // Resolved first: an out-of-bounds index traps before
+                    // any NVM word is touched.
+                    sh.record_read_at(var, at - base as usize);
+                }
                 self.mem.nvm_read_at(at)
             }
         };
@@ -1014,12 +1016,14 @@ impl<'a> Machine<'a> {
                     self.metrics.coherence_violations += 1;
                 }
                 self.metrics.nvm_writes += 1;
-                if let Some(sh) = self.shadow.as_mut() {
-                    sh.record_write(var);
-                }
                 self.charge_exec_mem(cpu, self.costs.nvm_write, MemClass::Nvm);
                 let regs = &self.frames.last().expect("active frame").regs;
                 let at = resolve_at(regs, idx, base, words, var).map_err(|k| self.trap(k))?;
+                if let Some(sh) = self.shadow.as_mut() {
+                    // Resolved first: an out-of-bounds index traps before
+                    // any NVM word is touched.
+                    sh.record_write_at(var, at - base as usize);
+                }
                 self.mem.nvm_write_at(var, at, value);
             }
         }
@@ -2502,6 +2506,39 @@ mod tests {
             assert!(report.epochs > 1);
             assert!(report.nvm_reads > 0 && report.nvm_writes > 0);
         }
+    }
+
+    #[test]
+    fn shadow_records_exact_element_and_stays_metric_invisible() {
+        // Same-element read-modify-write on `a[4]` inside one epoch is a
+        // per-element WAR; the disjoint read of `a[0]` / write of `a[1]`
+        // is not. The recorder must report exactly offset 4, and its
+        // presence must leave status, result and metrics bit-identical.
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.var(Variable::array("a", 6).with_init(vec![7; 6]));
+        let mut f = FunctionBuilder::new("main", 0);
+        let x = f.load_idx(a, 4);
+        let y = f.bin(BinOp::Add, x, 1);
+        f.store_idx(a, 4, y);
+        let r0 = f.load_idx(a, 0);
+        f.store_idx(a, 1, r0);
+        f.ret(Some(y.into()));
+        let main = mb.func(f.finish());
+        let im = InstrumentedModule::bare(mb.finish(main));
+        let plain = run(&im, RunConfig::default()).unwrap();
+        let shadowed = run(
+            &im,
+            RunConfig {
+                shadow_war: true,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(shadowed.status, plain.status);
+        assert_eq!(shadowed.result, plain.result);
+        assert_eq!(shadowed.metrics, plain.metrics);
+        let report = shadowed.shadow.expect("shadow report requested");
+        assert_eq!(report.war_elems(), vec![(a, 4)]);
     }
 
     #[test]

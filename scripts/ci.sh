@@ -13,10 +13,23 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
-echo "== soundcheck --quick (release) =="
+GRIDDIR="$(mktemp -d)"
+trap 'rm -rf "$GRIDDIR"' EXIT
+
+echo "== soundcheck --quick --explain (release) =="
 # Static WAR-hazard sweep of Schematic + Ratchet over all 8 benchmarks;
 # exits nonzero if any inter-checkpoint region classifies as hazardous.
-cargo run --release --offline -p schematic-bench --bin soundcheck -- --quick
+# The per-region explanation appends a greppable region-class histogram
+# (`^hist ` lines) which must match the checked-in golden exactly —
+# any classification drift (a region changing class under the
+# index-sensitive analysis) fails CI until the golden is re-recorded:
+#   cargo run --release -p schematic-bench --bin soundcheck -- \
+#     --quick --explain | grep '^hist ' > tests/goldens/region_classes.txt
+cargo run --release --offline -p schematic-bench --bin soundcheck -- \
+  --quick --explain > "$GRIDDIR/soundcheck.txt"
+grep '^hist ' "$GRIDDIR/soundcheck.txt" > "$GRIDDIR/region_classes.txt"
+diff -u tests/goldens/region_classes.txt "$GRIDDIR/region_classes.txt"
+echo "region-class histogram matches tests/goldens/region_classes.txt"
 
 echo "== gridrun shard/merge smoke (release) =="
 # Two-shard run of the quick experiment grid through the serialized
@@ -24,8 +37,6 @@ echo "== gridrun shard/merge smoke (release) =="
 # merge the JSONL artifacts, and require the merged render to be
 # byte-identical to the single-process render. Then the same through
 # --spawn, which drives real child processes and self-asserts parity.
-GRIDDIR="$(mktemp -d)"
-trap 'rm -rf "$GRIDDIR"' EXIT
 cargo build --release --offline -p schematic-bench --bin gridrun
 GRIDRUN=target/release/gridrun
 "$GRIDRUN" --quick --shard 0/2 -o "$GRIDDIR/shard_0.jsonl"
