@@ -11,6 +11,9 @@
 //!                               # assert the render is byte-identical to the in-process run
 //! gridrun --trace F             # compute in-process with tracing on; write the per-cell
 //!                               # trace artifact (JSONL, see `tracereport`) to F
+//! gridrun --report robust       # multi-seed robustness report: completion rate and energy
+//!          [--seeds N]          # spread per technique x benchmark across N stochastic
+//!                               # seeds (default 8) plus every recorded trace in traces/
 //! gridrun --resume F [-o OUT]   # load a (possibly partial) artifact, compute only the
 //!                               # missing cells, render; OUT gets the completed artifact
 //! gridrun --jobs F -o OUT       # worker mode: evaluate the job keys listed in F, write
@@ -39,7 +42,7 @@
 //! 3 when `--spawn`'s parity assertion fails.
 
 use schematic_bench::cache::{compute_cached, worker_line, CellCache};
-use schematic_bench::experiments::render_all;
+use schematic_bench::experiments::{render_all, render_robust, robust_jobs};
 use schematic_bench::grid::{evaluate_traced, CellStore, GridMode, GridSpec, Job};
 use schematic_bench::json::Json;
 use schematic_bench::parallel::par_map;
@@ -103,6 +106,8 @@ enum Command {
     },
     /// Worker mode: evaluate listed job keys into extended cell lines.
     Jobs { file: String, out: String },
+    /// `--report robust`: the multi-seed robustness report.
+    Robust { seeds: u64 },
     /// Thin client against a running daemon.
     Connect { addr: String, action: ClientAction },
 }
@@ -119,6 +124,7 @@ fn usage() -> ! {
         "usage: gridrun [--quick] [--trace FILE] [--cache FILE | --no-cache] [--cache-verify] \
          [--list | --shard i/N -o FILE | --merge FILE... | --spawn N | \
          --resume FILE [-o FILE] | --jobs FILE -o FILE | \
+         --report robust [--seeds N] | \
          --connect ADDR (--submit all|i/N | --status | --fetch -o FILE | --shutdown)]"
     );
     std::process::exit(2);
@@ -140,6 +146,7 @@ fn parse_args() -> Options {
     let mut trace = None;
     let mut cache = CacheOpt::Default;
     let mut verify = false;
+    let mut seeds = None;
     let mut it = args.into_iter().peekable();
     let set = |c: Command, command: &mut Option<Command>| {
         if command.is_some() {
@@ -202,6 +209,18 @@ fn parse_args() -> Options {
                 };
                 set(Command::Jobs { file, out }, &mut command);
             }
+            "--report" => match it.next().as_deref() {
+                Some("robust") => set(Command::Robust { seeds: 8 }, &mut command),
+                _ => usage(),
+            },
+            "--seeds" => {
+                seeds = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--connect" => {
                 let addr = it.next().unwrap_or_else(|| usage());
                 let action = match it.next().as_deref() {
@@ -221,10 +240,18 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
-    let command = command.unwrap_or(Command::Direct);
+    let mut command = command.unwrap_or(Command::Direct);
     if trace.is_some() && !matches!(command, Command::Direct) {
         eprintln!("gridrun: --trace only applies to the in-process (default) run");
         usage();
+    }
+    match (&mut command, seeds) {
+        (Command::Robust { seeds }, Some(n)) => *seeds = n,
+        (_, Some(_)) => {
+            eprintln!("gridrun: --seeds only applies to --report robust");
+            usage();
+        }
+        _ => {}
     }
     Options {
         mode,
@@ -378,8 +405,7 @@ fn run_jobs(file: &str, out: &str) -> Result<(), String> {
         if line.trim().is_empty() {
             continue;
         }
-        let job = Job::parse(line.trim())
-            .ok_or_else(|| format!("{file}:{}: unparsable job key '{line}'", lineno + 1))?;
+        let job = Job::parse(line.trim()).map_err(|e| format!("{file}:{}: {e}", lineno + 1))?;
         jobs.push(job);
     }
     let table = CostTable::msp430fr5969();
@@ -604,6 +630,18 @@ fn main() -> ExitCode {
         }
         Command::Jobs { file, out } => match run_jobs(&file, &out) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gridrun: {e}");
+                ExitCode::from(2)
+            }
+        },
+        // The robustness grid goes through the same cache-aware compute
+        // as the paper grid, so `--cache-verify` covers scenario cells.
+        Command::Robust { seeds } => match compute(&robust_jobs(seeds), &opts) {
+            Ok(store) => {
+                print!("{}", render_robust(&store, seeds));
+                ExitCode::SUCCESS
+            }
             Err(e) => {
                 eprintln!("gridrun: {e}");
                 ExitCode::from(2)

@@ -32,10 +32,11 @@
 //!   reach the 2.0× floor over the recorded baselines (off by default —
 //!   absolute throughput is host-specific).
 
+use schematic_bench::experiments::ROBUST_JITTER;
 use schematic_bench::grid::{GridMode, GridSpec};
 use schematic_bench::{eb_for_tbpf, ENERGY_TBPF, SEED, SVM_BYTES};
 use schematic_core::SchematicConfig;
-use schematic_emu::{DecodedModule, ExecTier, InstrumentedModule, Machine, RunConfig};
+use schematic_emu::{DecodedModule, ExecTier, InstrumentedModule, Machine, PowerModel, RunConfig};
 use schematic_energy::CostTable;
 use schematic_obs::Histogram;
 use std::time::Instant;
@@ -159,6 +160,37 @@ fn emulator_ips_cold_decode(name: &str, table: &CostTable, window_s: f64) -> f64
     insts as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Emulated instructions per second for a Schematic-compiled benchmark
+/// under the robustness report's stochastic supply — this is the
+/// robust-grid hot path, where the window redraw (one SplitMix64 mix
+/// per power failure) and the checkpoint/restore machinery ride the
+/// emulator loop.
+fn emulator_ips_stochastic(name: &str, table: &CostTable, window_s: f64) -> f64 {
+    let b = schematic_benchsuite::by_name(name).expect("benchmark exists");
+    let power = PowerModel::Stochastic {
+        mean_tbpf: ENERGY_TBPF,
+        jitter: ROBUST_JITTER,
+        seed: 1,
+    };
+    let eb = eb_for_tbpf(table, power.min_window_cycles());
+    let im = schematic_bench::compile_technique("Schematic", &(b.build)(SEED), table, eb)
+        .expect("compiles");
+    let decoded = DecodedModule::new(&im, table);
+    let cfg = schematic_bench::intermittent_run_config_model(power);
+    let _ = Machine::with_decoded(&decoded, cfg.clone())
+        .run()
+        .expect("warmup");
+    let mut insts = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < window_s {
+        let out = Machine::with_decoded(&decoded, cfg.clone())
+            .run()
+            .expect("no traps");
+        insts += out.metrics.insts_retired;
+    }
+    insts as f64 / start.elapsed().as_secs_f64()
+}
+
 /// One SCHEMATIC compile (profile + RCG analysis + allocation +
 /// instrumentation + verification) of all eight benchmarks.
 fn analysis_seconds(table: &CostTable) -> f64 {
@@ -232,6 +264,8 @@ fn main() {
     let (crc_ips, fft_ips) = (crc.best, fft.best);
     let [crc_interp, crc_fused, crc_trace, crc_aot] = tier_breakdown("crc", &table, window_s);
     let [fft_interp, fft_fused, fft_trace, fft_aot] = tier_breakdown("fft", &table, window_s);
+    let crc_stoch = sample(reps, || emulator_ips_stochastic("crc", &table, window_s));
+    let fft_stoch = sample(reps, || emulator_ips_stochastic("fft", &table, window_s));
 
     // Best of N: compile times are short enough to jitter.
     let analysis_s = (0..analysis_iters)
@@ -253,7 +287,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "description": "SCHEMATIC repro hot-path performance (release build, same host). Emulator/analysis 'before' is pre-superblock; exp_all 'before' is the tier-ladder HEAD just before the non-resident block-dispatch fast path landed. 'after' is the best of repeated measurement windows sharing one predecoded program; p50/p95 summarize the per-window distribution; 'cold_decode' re-lowers per run via Machine::new. grid_cache is the full experiment grid evaluated through a fresh (cold) then pre-populated (warm) content-addressed cell cache. Regenerate with `cargo run --release -p schematic-bench --bin perfsmoke`.",
+  "description": "SCHEMATIC repro hot-path performance (release build, same host). Emulator/analysis 'before' is pre-superblock; exp_all 'before' is the tier-ladder HEAD just before the non-resident block-dispatch fast path landed. 'after' is the best of repeated measurement windows sharing one predecoded program; p50/p95 summarize the per-window distribution; 'cold_decode' re-lowers per run via Machine::new. grid_cache is the full experiment grid evaluated through a fresh (cold) then pre-populated (warm) content-addressed cell cache. stochastic_supply is a Schematic-compiled benchmark emulated under the robustness report's seeded stochastic supply (mean=ENERGY_TBPF, jitter=ROBUST_JITTER) — the robust-grid hot path, including the per-failure window redraw. Regenerate with `cargo run --release -p schematic-bench --bin perfsmoke`.",
   "emulator_insts_per_sec": {{
     "crc": {{"before": {BEFORE_CRC_IPS:.0}, "after": {crc_ips:.0}, "p50": {}, "p95": {}, "cold_decode": {crc_cold_ips:.0}, "speedup": {:.2}}},
     "fft": {{"before": {BEFORE_FFT_IPS:.0}, "after": {fft_ips:.0}, "p50": {}, "p95": {}, "cold_decode": {fft_cold_ips:.0}, "speedup": {:.2}}}
@@ -261,6 +295,10 @@ fn main() {
   "tier_insts_per_sec": {{
     "crc": {{"interp": {crc_interp:.0}, "fused": {crc_fused:.0}, "trace": {crc_trace:.0}, "aot": {crc_aot:.0}}},
     "fft": {{"interp": {fft_interp:.0}, "fused": {fft_fused:.0}, "trace": {fft_trace:.0}, "aot": {fft_aot:.0}}}
+  }},
+  "stochastic_supply_insts_per_sec": {{
+    "crc": {{"best": {:.0}, "p50": {}, "p95": {}}},
+    "fft": {{"best": {:.0}, "p50": {}, "p95": {}}}
   }},
   "analysis_seconds_8_benchmarks": {{"before": {BEFORE_ANALYSIS_S}, "after": {analysis_s:.3}, "speedup": {:.1}}},
   "exp_all_wall_seconds": {{"before": {BEFORE_EXP_ALL_S}, "after": {exp_all_s:.3}, "speedup": {:.1}}},
@@ -274,6 +312,12 @@ fn main() {
         fft.p50,
         fft.p95,
         fft_ips / BEFORE_FFT_IPS,
+        crc_stoch.best,
+        crc_stoch.p50,
+        crc_stoch.p95,
+        fft_stoch.best,
+        fft_stoch.p50,
+        fft_stoch.p95,
         BEFORE_ANALYSIS_S / analysis_s,
         BEFORE_EXP_ALL_S / exp_all_s,
         grid_cold_s / grid_warm_s,

@@ -53,7 +53,11 @@ use std::path::{Path, PathBuf};
 ///
 /// v2: index-sensitive WAR analysis (per-element footprints, region
 /// downgrades, re-execution bounds) changed soundness verdicts.
-pub const KEY_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: the pluggable power-scenario layer replaced the raw `tbpf` job
+/// field with a [`crate::Scenario`] (periodic / stochastic / recorded
+/// trace) in keys and artifact lines.
+pub const KEY_SCHEMA_VERSION: u64 = 3;
 
 /// Identity of the static soundness analysis the cells' verdicts come
 /// from, folded into every key: cells computed under the
@@ -71,7 +75,7 @@ fn write_key_prefix(h: &mut StableHasher, domain: &str, job: &Job, table: &CostT
     h.write_str(job.kind.name());
     h.write_str(&job.technique);
     h.write_str(&job.benchmark);
-    h.write_u64(job.tbpf);
+    job.scenario.identity_into(h);
     table.identity_into(h);
     write_job_identity(job, table, h);
 }

@@ -13,7 +13,9 @@
 //! many workers — or shards (`gridrun`) — computed the store.
 
 use crate::grid::{CellStore, CellValue, GridMode, GridSpec, Job, ReportId, SoundCounts};
-use crate::{render_table, technique_names, uj, CellOutcome, ENERGY_TBPF, SVM_BYTES, TBPFS};
+use crate::{
+    render_table, technique_names, uj, CellOutcome, Scenario, ENERGY_TBPF, SVM_BYTES, TBPFS,
+};
 use schematic_energy::Energy;
 use std::fmt::Write;
 
@@ -771,6 +773,134 @@ pub fn render_soundcheck_explain(quick: bool) -> String {
     }
     writeln!(out, "Region-class histogram (greppable: '^hist '):").unwrap();
     out.push_str(&hists);
+    out
+}
+
+/// Jitter half-width (cycles) of the robustness report's stochastic
+/// scenarios, around the energy-study TBPF ([`ENERGY_TBPF`] ± this).
+pub const ROBUST_JITTER: u64 = 2_000;
+
+/// The robustness report's power axis: `seeds` stochastic scenarios
+/// (mean [`ENERGY_TBPF`], jitter [`ROBUST_JITTER`], seeds `1..=seeds`)
+/// plus every recorded trace in [`crate::scenario::traces_dir`].
+pub fn robust_scenarios(seeds: u64) -> Vec<Scenario> {
+    let mut scenarios: Vec<Scenario> = (1..=seeds)
+        .map(|seed| Scenario::Stochastic {
+            mean_tbpf: ENERGY_TBPF,
+            jitter: ROBUST_JITTER,
+            seed,
+        })
+        .collect();
+    scenarios.extend(
+        crate::scenario::available_traces()
+            .into_iter()
+            .map(|id| Scenario::Trace { id }),
+    );
+    scenarios
+}
+
+/// The robustness grid: every technique × benchmark × scenario `run`
+/// job, in the grid's stable order. Deliberately **not** part of
+/// [`GridSpec::full_grid`] — the paper reports stay byte-identical.
+pub fn robust_jobs(seeds: u64) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for tech in technique_names() {
+        for b in &schematic_benchsuite::all() {
+            for scenario in robust_scenarios(seeds) {
+                jobs.push(Job::run_scenario(tech, b.name, scenario));
+            }
+        }
+    }
+    jobs.sort();
+    jobs
+}
+
+/// `gridrun --report robust` (fresh store; the binary routes through
+/// the cell cache instead when one is configured).
+pub fn robust_report(seeds: u64) -> String {
+    render_robust(&CellStore::compute(&robust_jobs(seeds)), seeds)
+}
+
+/// Renders the robustness report from `store` (needs the
+/// [`robust_jobs`] cells): per technique × benchmark, the completion
+/// rate and total-energy spread across every scenario on the axis.
+///
+/// The first line is a stable, greppable header (`Robustness report:`)
+/// so CI can smoke-test the render without pinning the table bytes.
+pub fn render_robust(store: &CellStore, seeds: u64) -> String {
+    let scenarios = robust_scenarios(seeds);
+    let n_traces = scenarios.len() as u64 - seeds;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Robustness report: {seeds} stochastic seed(s) (mean={ENERGY_TBPF}, \
+         jitter={ROBUST_JITTER}) + {n_traces} recorded trace(s)\n"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "scenarios: {}\n",
+        scenarios
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    )
+    .unwrap();
+
+    let headers: Vec<String> = [
+        "technique",
+        "benchmark",
+        "completed",
+        "uJ min",
+        "uJ median",
+        "uJ max",
+        "spread %",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let mut rows = Vec::new();
+    for tech in technique_names() {
+        for b in &schematic_benchsuite::all() {
+            let mut energies: Vec<Energy> = Vec::new();
+            for scenario in &scenarios {
+                let cell = store.run_cell_scenario(tech, b.name, scenario.clone());
+                if cell.ok() {
+                    let outcome = cell.outcome.as_ref().expect("ok cell has an outcome");
+                    energies.push(outcome.metrics.total_energy());
+                }
+            }
+            energies.sort();
+            let mut row = vec![
+                tech.to_string(),
+                b.name.to_string(),
+                format!("{}/{}", energies.len(), scenarios.len()),
+            ];
+            if energies.is_empty() {
+                row.extend(["-", "-", "-", "-"].map(String::from));
+            } else {
+                let (min, max) = (energies[0], energies[energies.len() - 1]);
+                let median = energies[energies.len() / 2];
+                row.push(uj(min));
+                row.push(uj(median));
+                row.push(uj(max));
+                row.push(format!(
+                    "{:.1}",
+                    100.0 * (max.as_uj() - min.as_uj()) / median.as_uj()
+                ));
+            }
+            rows.push(row);
+        }
+    }
+    writeln!(out, "{}", render_table(&headers, &rows)).unwrap();
+    writeln!(
+        out,
+        "completed = scenarios finishing correctly within the failure budget;\n\
+         spread % = (max - min) / median total energy across completed runs."
+    )
+    .unwrap();
     out
 }
 

@@ -28,6 +28,7 @@
 
 use crate::json::Json;
 use crate::parallel::par_map;
+use crate::scenario::Scenario;
 use crate::{
     eb_for_tbpf, technique_names, technique_supports, Cell, CellOutcome, ENERGY_TBPF, SEED,
     SVM_BYTES, TBPFS,
@@ -103,9 +104,9 @@ impl JobKind {
 /// One point of the experiment grid — the key of the cell store.
 ///
 /// Fields that a kind does not vary hold a canonical placeholder
-/// (`technique = "-"` for per-benchmark kinds, `tbpf = 0` where the
-/// power model is fixed or absent); the constructors enforce this so
-/// equal experiments always have equal keys.
+/// (`technique = "-"` for per-benchmark kinds, a periodic scenario at
+/// `0` where the power model is fixed or absent); the constructors
+/// enforce this so equal experiments always have equal keys.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Job {
     /// What to compute.
@@ -115,9 +116,11 @@ pub struct Job {
     pub technique: String,
     /// Benchmark name.
     pub benchmark: String,
-    /// Time between power failures in cycles; `0` for kinds whose
-    /// power model is fixed or absent.
-    pub tbpf: u64,
+    /// The power scenario; `Periodic { tbpf: 0 }` for kinds whose
+    /// power model is fixed or absent. Periodic scenarios sort first,
+    /// by TBPF, so legacy jobs keep their positions in the grid's
+    /// stable total order.
+    pub scenario: Scenario,
 }
 
 impl Job {
@@ -127,7 +130,7 @@ impl Job {
             kind: JobKind::Support,
             technique: technique.into(),
             benchmark: benchmark.into(),
-            tbpf: 0,
+            scenario: Scenario::periodic(0),
         }
     }
 
@@ -137,18 +140,24 @@ impl Job {
             kind: JobKind::Bare,
             technique: "-".into(),
             benchmark: benchmark.into(),
-            tbpf: 0,
+            scenario: Scenario::periodic(0),
         }
     }
 
     /// An intermittent-run job (Table III and, at [`ENERGY_TBPF`],
     /// Figures 6 and 8).
     pub fn run(technique: &str, benchmark: &str, tbpf: u64) -> Job {
+        Job::run_scenario(technique, benchmark, Scenario::periodic(tbpf))
+    }
+
+    /// An intermittent-run job under an arbitrary power scenario (the
+    /// robustness report's axis).
+    pub fn run_scenario(technique: &str, benchmark: &str, scenario: Scenario) -> Job {
         Job {
             kind: JobKind::Run,
             technique: technique.into(),
             benchmark: benchmark.into(),
-            tbpf,
+            scenario,
         }
     }
 
@@ -158,7 +167,7 @@ impl Job {
             kind: JobKind::Fig7,
             technique: variant.into(),
             benchmark: benchmark.into(),
-            tbpf: ENERGY_TBPF,
+            scenario: Scenario::periodic(ENERGY_TBPF),
         }
     }
 
@@ -169,7 +178,7 @@ impl Job {
             kind: JobKind::Ablation,
             technique: variant.into(),
             benchmark: benchmark.into(),
-            tbpf: ENERGY_TBPF,
+            scenario: Scenario::periodic(ENERGY_TBPF),
         }
     }
 
@@ -179,7 +188,7 @@ impl Job {
             kind: JobKind::Retentive,
             technique: "-".into(),
             benchmark: benchmark.into(),
-            tbpf: ENERGY_TBPF,
+            scenario: Scenario::periodic(ENERGY_TBPF),
         }
     }
 
@@ -189,7 +198,7 @@ impl Job {
             kind: JobKind::Sound,
             technique: technique.into(),
             benchmark: benchmark.into(),
-            tbpf: ENERGY_TBPF,
+            scenario: Scenario::periodic(ENERGY_TBPF),
         }
     }
 
@@ -199,23 +208,41 @@ impl Job {
             kind: JobKind::Shadow,
             technique: technique.into(),
             benchmark: benchmark.into(),
-            tbpf: 0,
+            scenario: Scenario::periodic(0),
         }
     }
 
-    /// Parses the artifact spelling `kind/technique/benchmark/tbpf`
-    /// (the [`Job`] display form, e.g. `run/Schematic/crc/10000`) —
-    /// the inverse of [`Job`]'s `Display`.
-    pub fn parse(key: &str) -> Option<Job> {
+    /// The raw TBPF when the job's scenario is periodic (every legacy
+    /// job); the renderers for the paper's figures use this.
+    pub fn tbpf(&self) -> Option<u64> {
+        self.scenario.as_periodic()
+    }
+
+    /// Parses the artifact spelling `kind/technique/benchmark/scenario`
+    /// (the [`Job`] display form, e.g. `run/Schematic/crc/10000` or
+    /// `run/Schematic/crc/stoch:10000:2000:3`) — the inverse of
+    /// [`Job`]'s `Display`. The legacy `…/tbpf` spelling *is* the
+    /// periodic scenario spelling, so old keys parse unchanged.
+    ///
+    /// # Errors
+    ///
+    /// A reason string naming the malformed field.
+    pub fn parse(key: &str) -> Result<Job, String> {
         let parts: Vec<&str> = key.split('/').collect();
         if parts.len() != 4 {
-            return None;
+            return Err(format!(
+                "job key {key:?}: want kind/technique/benchmark/scenario, got {} field(s)",
+                parts.len()
+            ));
         }
-        Some(Job {
-            kind: JobKind::from_name(parts[0])?,
+        let kind = JobKind::from_name(parts[0])
+            .ok_or_else(|| format!("job key {key:?}: unknown kind {:?}", parts[0]))?;
+        let scenario = Scenario::parse(parts[3]).map_err(|e| format!("job key {key:?}: {e}"))?;
+        Ok(Job {
+            kind,
             technique: parts[1].to_string(),
             benchmark: parts[2].to_string(),
-            tbpf: parts[3].parse().ok()?,
+            scenario,
         })
     }
 }
@@ -228,7 +255,7 @@ impl fmt::Display for Job {
             self.kind.name(),
             self.technique,
             self.benchmark,
-            self.tbpf
+            self.scenario
         )
     }
 }
@@ -640,10 +667,15 @@ impl CellStore {
             .collect()
     }
 
-    /// Reconstructs the [`Cell`] for a `run` job (key fields restored
-    /// from the job).
+    /// Reconstructs the [`Cell`] for a periodic `run` job (key fields
+    /// restored from the job).
     pub fn run_cell(&self, technique: &str, benchmark: &str, tbpf: u64) -> Cell {
-        let job = Job::run(technique, benchmark, tbpf);
+        self.run_cell_scenario(technique, benchmark, Scenario::periodic(tbpf))
+    }
+
+    /// Reconstructs the [`Cell`] for a `run` job under any scenario.
+    pub fn run_cell_scenario(&self, technique: &str, benchmark: &str, scenario: Scenario) -> Cell {
+        let job = Job::run_scenario(technique, benchmark, scenario);
         match self.value(&job) {
             CellValue::Run { outcome, reason } => Cell {
                 technique: technique.into(),
@@ -734,7 +766,8 @@ pub fn evaluate_traced(job: &Job, table: &CostTable) -> (CellValue, Vec<Digest>)
         }
         JobKind::Run => {
             let b = bench(&job.benchmark);
-            let (cell, digest) = crate::run_cell_traced(&job.technique, &b, table, job.tbpf);
+            let (cell, digest) =
+                crate::run_cell_scenario_traced(&job.technique, &b, table, &job.scenario);
             let value = CellValue::Run {
                 outcome: cell.outcome,
                 reason: cell.reason,
@@ -846,8 +879,16 @@ pub(crate) fn write_job_identity(
         JobKind::Support => {}
         JobKind::Bare => bare_run_config().identity_into(h),
         JobKind::Run => {
-            h.write_u64(eb_for_tbpf(table, job.tbpf).as_pj());
-            crate::intermittent_run_config(job.tbpf).identity_into(h);
+            // Resolving the scenario loads (and hashes the contents of)
+            // a recorded trace, so editing a trace file invalidates its
+            // cached cells; a missing trace file is a hard error here
+            // because a key must never silently fall back.
+            let power = job
+                .scenario
+                .power_model()
+                .unwrap_or_else(|e| panic!("cell {job}: {e}"));
+            h.write_u64(eb_for_tbpf(table, power.min_window_cycles()).as_pj());
+            crate::intermittent_run_config_model(power).identity_into(h);
         }
         JobKind::Fig7 | JobKind::Ablation => periodic_run_config(ENERGY_TBPF).identity_into(h),
         JobKind::Retentive => {
@@ -1128,13 +1169,20 @@ pub fn cell_to_json(job: &Job, value: &CellValue) -> Json {
             ("unpredicted", Json::UInt(*unpredicted)),
         ]),
     };
-    obj(vec![
+    let mut fields = vec![
         ("kind", Json::Str(job.kind.name().into())),
         ("technique", Json::Str(job.technique.clone())),
         ("benchmark", Json::Str(job.benchmark.clone())),
-        ("tbpf", Json::UInt(job.tbpf)),
-        ("value", value_json),
-    ])
+    ];
+    // Periodic cells keep the legacy numeric `tbpf` field (artifact
+    // lines stay byte-identical); other scenarios carry their key
+    // spelling in a `scenario` string.
+    match &job.scenario {
+        Scenario::Periodic { tbpf } => fields.push(("tbpf", Json::UInt(*tbpf))),
+        other => fields.push(("scenario", Json::Str(other.to_string()))),
+    }
+    fields.push(("value", value_json));
+    obj(fields)
 }
 
 /// Decodes one artifact line back into a cell.
@@ -1146,11 +1194,16 @@ pub fn cell_from_json(json: &Json) -> Result<(Job, CellValue), GridError> {
     let kind_name = str_field(json, "kind")?;
     let kind = JobKind::from_name(&kind_name)
         .ok_or_else(|| GridError(format!("unknown cell kind '{kind_name}'")))?;
+    let scenario = match json.get("scenario") {
+        Some(Json::Str(s)) => Scenario::parse(s).map_err(GridError)?,
+        Some(_) => return Err(GridError("field 'scenario' is not a string".into())),
+        None => Scenario::periodic(u64_field(json, "tbpf")?),
+    };
     let job = Job {
         kind,
         technique: str_field(json, "technique")?,
         benchmark: str_field(json, "benchmark")?,
-        tbpf: u64_field(json, "tbpf")?,
+        scenario,
     };
     let value_json = json
         .get("value")

@@ -1,0 +1,321 @@
+//! Power scenarios: the grid's pluggable supply axis.
+//!
+//! The paper evaluates at three fixed TBPFs; a [`Scenario`] generalizes
+//! that axis so a grid cell can also run under a seeded stochastic
+//! supply or a recorded harvest trace, without the rest of the pipeline
+//! (job keys, artifacts, cache digests, renders) knowing more than one
+//! spelling:
+//!
+//! | scenario | key spelling | example |
+//! |----------|--------------|---------|
+//! | periodic | the bare TBPF in cycles (legacy) | `10000` |
+//! | stochastic | `stoch:MEAN:JITTER:SEED` | `stoch:10000:2000:3` |
+//! | recorded trace | `trace:ID` | `trace:rf-office` |
+//!
+//! Trace ids name files under the repo's `traces/` directory
+//! (`traces/<ID>.trace`, window lengths in cycles, one per line — see
+//! [`schematic_emu::parse_trace`]); `SCHEMATIC_TRACES` overrides the
+//! directory. Files are loaded once and interned process-wide so the
+//! emulator's [`PowerModel`] stays `Copy`.
+//!
+//! Placement is keyed to [`Scenario::min_window_cycles`] — the
+//! guaranteed shortest window — so SCHEMATIC's soundness argument
+//! (checkpoint intervals fit the window budget) carries over to bursty
+//! supplies unchanged. For the periodic scenario this is exactly the
+//! legacy TBPF-derived budget.
+
+use schematic_emu::{intern_trace, parse_trace, trace_by_name, PowerModel, TraceId};
+use std::fmt;
+use std::path::PathBuf;
+
+/// One point on the grid's power axis. The variant order (periodic
+/// first) keeps every legacy job's position in the grid's stable total
+/// order unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scenario {
+    /// A power failure every `tbpf` cycles (the paper's model). `0` is
+    /// the canonical placeholder for job kinds whose power model is
+    /// fixed or absent.
+    Periodic {
+        /// Time between power failures, in cycles.
+        tbpf: u64,
+    },
+    /// Window lengths drawn uniformly from `mean_tbpf ± jitter`,
+    /// deterministic per seed.
+    Stochastic {
+        /// Mean time between power failures, in cycles.
+        mean_tbpf: u64,
+        /// Half-width of the window-length distribution (< mean).
+        jitter: u64,
+        /// SplitMix64 stream seed.
+        seed: u64,
+    },
+    /// A recorded harvest trace from `traces/<id>.trace`.
+    Trace {
+        /// The trace file's stem (`[A-Za-z0-9_-]+`).
+        id: String,
+    },
+}
+
+impl Scenario {
+    /// The periodic scenario for a raw TBPF (the legacy axis).
+    pub fn periodic(tbpf: u64) -> Scenario {
+        Scenario::Periodic { tbpf }
+    }
+
+    /// The raw TBPF when this is the periodic scenario.
+    pub fn as_periodic(&self) -> Option<u64> {
+        match *self {
+            Scenario::Periodic { tbpf } => Some(tbpf),
+            _ => None,
+        }
+    }
+
+    /// Parses the key spelling (inverse of `Display`).
+    ///
+    /// # Errors
+    ///
+    /// A reason string naming the malformed field.
+    pub fn parse(s: &str) -> Result<Scenario, String> {
+        if let Some(rest) = s.strip_prefix("stoch:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 3 {
+                return Err(format!(
+                    "stochastic scenario {s:?}: want stoch:MEAN:JITTER:SEED"
+                ));
+            }
+            let num = |what: &str, p: &str| {
+                p.parse::<u64>()
+                    .map_err(|_| format!("stochastic scenario {s:?}: bad {what} {p:?}"))
+            };
+            let (mean_tbpf, jitter, seed) = (
+                num("mean", parts[0])?,
+                num("jitter", parts[1])?,
+                num("seed", parts[2])?,
+            );
+            if jitter >= mean_tbpf {
+                return Err(format!(
+                    "stochastic scenario {s:?}: jitter {jitter} must be below the mean {mean_tbpf}"
+                ));
+            }
+            Ok(Scenario::Stochastic {
+                mean_tbpf,
+                jitter,
+                seed,
+            })
+        } else if let Some(id) = s.strip_prefix("trace:") {
+            if id.is_empty()
+                || !id
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(format!(
+                    "trace scenario {s:?}: id must be non-empty [A-Za-z0-9_-]"
+                ));
+            }
+            Ok(Scenario::Trace { id: id.to_string() })
+        } else {
+            s.parse::<u64>()
+                .map(|tbpf| Scenario::Periodic { tbpf })
+                .map_err(|_| {
+                    format!("scenario {s:?}: want a TBPF in cycles, stoch:MEAN:JITTER:SEED, or trace:ID")
+                })
+        }
+    }
+
+    /// Resolves the emulator power model, loading and interning the
+    /// trace file on first use.
+    ///
+    /// # Errors
+    ///
+    /// A reason string when a trace file is missing or malformed.
+    pub fn power_model(&self) -> Result<PowerModel, String> {
+        match self {
+            Scenario::Periodic { tbpf } => Ok(PowerModel::Periodic { tbpf: *tbpf }),
+            Scenario::Stochastic {
+                mean_tbpf,
+                jitter,
+                seed,
+            } => Ok(PowerModel::Stochastic {
+                mean_tbpf: *mean_tbpf,
+                jitter: *jitter,
+                seed: *seed,
+            }),
+            Scenario::Trace { id } => Ok(PowerModel::Trace {
+                id: load_trace(id)?,
+            }),
+        }
+    }
+
+    /// The guaranteed shortest window in cycles — what placement (the
+    /// energy budget `EB`) is keyed to under every scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-loading failures.
+    pub fn min_window_cycles(&self) -> Result<u64, String> {
+        self.power_model().map(|m| m.min_window_cycles())
+    }
+
+    /// Feeds the scenario's identity into a stable hasher (cache keys).
+    /// A trace scenario hashes the interned window *contents*, so
+    /// editing a trace file invalidates its cached cells.
+    pub fn identity_into(&self, h: &mut schematic_ir::hash::StableHasher) {
+        match self {
+            Scenario::Periodic { tbpf } => {
+                h.write_tag(0xA0);
+                h.write_u64(*tbpf);
+            }
+            Scenario::Stochastic {
+                mean_tbpf,
+                jitter,
+                seed,
+            } => {
+                h.write_tag(0xA1);
+                h.write_u64(*mean_tbpf);
+                h.write_u64(*jitter);
+                h.write_u64(*seed);
+            }
+            Scenario::Trace { id } => {
+                h.write_tag(0xA2);
+                h.write_str(id);
+                let windows =
+                    schematic_emu::trace_windows(load_trace(id).expect("trace loads for hashing"));
+                h.write_usize(windows.len());
+                for &w in windows {
+                    h.write_u64(w);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scenario::Periodic { tbpf } => write!(f, "{tbpf}"),
+            Scenario::Stochastic {
+                mean_tbpf,
+                jitter,
+                seed,
+            } => write!(f, "stoch:{mean_tbpf}:{jitter}:{seed}"),
+            Scenario::Trace { id } => write!(f, "trace:{id}"),
+        }
+    }
+}
+
+/// The recorded-trace directory: `SCHEMATIC_TRACES`, or the repo's
+/// `traces/` next to the workspace root.
+pub fn traces_dir() -> PathBuf {
+    match std::env::var_os("SCHEMATIC_TRACES") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../traces")),
+    }
+}
+
+/// Loads and interns `traces/<id>.trace`, returning the process-wide
+/// handle. Idempotent: a trace already interned under `id` is returned
+/// without touching the filesystem.
+///
+/// # Errors
+///
+/// A reason string naming the file on IO or parse failure.
+pub fn load_trace(id: &str) -> Result<TraceId, String> {
+    if let Some(tid) = trace_by_name(id) {
+        return Ok(tid);
+    }
+    let path = traces_dir().join(format!("{id}.trace"));
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("trace {:?}: {e}", path.display()))?;
+    let windows = parse_trace(&text).map_err(|e| format!("trace {:?}: {e}", path.display()))?;
+    Ok(intern_trace(id, windows))
+}
+
+/// The trace ids available in [`traces_dir`] (sorted `*.trace` stems).
+pub fn available_traces() -> Vec<String> {
+    let mut ids = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(traces_dir()) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("trace") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    ids.push(stem.to_string());
+                }
+            }
+        }
+    }
+    ids.sort();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spellings_round_trip() {
+        for s in [
+            Scenario::periodic(0),
+            Scenario::periodic(10_000),
+            Scenario::Stochastic {
+                mean_tbpf: 10_000,
+                jitter: 2_000,
+                seed: 3,
+            },
+            Scenario::Trace {
+                id: "rf-office".into(),
+            },
+        ] {
+            assert_eq!(Scenario::parse(&s.to_string()), Ok(s.clone()), "{s}");
+        }
+        // The legacy periodic spelling is the bare number.
+        assert_eq!(Scenario::periodic(10_000).to_string(), "10000");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_fields_with_reasons() {
+        for (input, needle) in [
+            ("bogus", "want a TBPF"),
+            ("stoch:10", "want stoch:MEAN:JITTER:SEED"),
+            ("stoch:a:b:c", "bad mean"),
+            ("stoch:100:100:1", "below the mean"),
+            ("trace:", "non-empty"),
+            ("trace:../etc", "[A-Za-z0-9_-]"),
+        ] {
+            let err = Scenario::parse(input).unwrap_err();
+            assert!(err.contains(needle), "{input}: {err}");
+        }
+    }
+
+    #[test]
+    fn periodic_sorts_before_other_variants() {
+        // The grid's stable total order relies on legacy (periodic)
+        // jobs keeping their relative positions.
+        let mut v = [
+            Scenario::Trace { id: "a".into() },
+            Scenario::Stochastic {
+                mean_tbpf: 1,
+                jitter: 0,
+                seed: 0,
+            },
+            Scenario::periodic(u64::MAX),
+        ];
+        v.sort();
+        assert_eq!(v[0], Scenario::periodic(u64::MAX));
+    }
+
+    #[test]
+    fn min_window_is_the_placement_floor() {
+        assert_eq!(Scenario::periodic(10_000).min_window_cycles(), Ok(10_000));
+        let s = Scenario::Stochastic {
+            mean_tbpf: 10_000,
+            jitter: 2_000,
+            seed: 1,
+        };
+        assert_eq!(s.min_window_cycles(), Ok(8_000));
+        let missing = Scenario::Trace {
+            id: "no-such-trace".into(),
+        };
+        assert!(missing.min_window_cycles().is_err());
+    }
+}

@@ -208,13 +208,13 @@ impl Daemon {
         };
         let mut jobs = Vec::with_capacity(items.len());
         for item in items {
-            let Some(job) = item.as_str().and_then(Job::parse) else {
-                return error_response(format!(
-                    "unparsable job key {} (want kind/technique/benchmark/tbpf)",
-                    item.encode()
-                ));
+            let Some(key) = item.as_str() else {
+                return error_response(format!("non-string job key {}", item.encode()));
             };
-            jobs.push(job);
+            match Job::parse(key) {
+                Ok(job) => jobs.push(job),
+                Err(e) => return error_response(e),
+            }
         }
         jobs.sort();
         jobs.dedup();

@@ -256,12 +256,21 @@ pub fn trace_to_json(t: &CellTrace) -> Json {
     grid::obj(vec![
         (
             "job",
-            grid::obj(vec![
-                ("kind", Json::Str(t.job.kind.name().into())),
-                ("technique", Json::Str(t.job.technique.clone())),
-                ("benchmark", Json::Str(t.job.benchmark.clone())),
-                ("tbpf", Json::UInt(t.job.tbpf)),
-            ]),
+            grid::obj({
+                let mut fields = vec![
+                    ("kind", Json::Str(t.job.kind.name().into())),
+                    ("technique", Json::Str(t.job.technique.clone())),
+                    ("benchmark", Json::Str(t.job.benchmark.clone())),
+                ];
+                // Same scenario encoding as the cell artifact codec:
+                // legacy numeric `tbpf` for periodic, a `scenario`
+                // spelling otherwise.
+                match &t.job.scenario {
+                    crate::Scenario::Periodic { tbpf } => fields.push(("tbpf", Json::UInt(*tbpf))),
+                    other => fields.push(("scenario", Json::Str(other.to_string()))),
+                }
+                fields
+            }),
         ),
         ("wall_nanos", Json::UInt(t.wall_nanos)),
         (
@@ -342,11 +351,16 @@ pub fn trace_from_json(json: &Json) -> Result<CellTrace, GridError> {
     let kind_name = grid::str_field(job_json, "kind")?;
     let kind = JobKind::from_name(&kind_name)
         .ok_or_else(|| GridError(format!("unknown cell kind '{kind_name}'")))?;
+    let scenario = match job_json.get("scenario") {
+        Some(Json::Str(s)) => crate::Scenario::parse(s).map_err(GridError)?,
+        Some(_) => return Err(GridError("field 'scenario' is not a string".into())),
+        None => crate::Scenario::periodic(grid::u64_field(job_json, "tbpf")?),
+    };
     let job = Job {
         kind,
         technique: grid::str_field(job_json, "technique")?,
         benchmark: grid::str_field(job_json, "benchmark")?,
-        tbpf: grid::u64_field(job_json, "tbpf")?,
+        scenario,
     };
     let phases_json = match json.get("phases") {
         Some(Json::Arr(items)) => items,
@@ -465,10 +479,10 @@ pub fn from_jsonl(text: &str) -> Result<Vec<CellTrace>, GridError> {
 }
 
 /// Parses a grid cell key in the artifact spelling
-/// `kind/technique/benchmark/tbpf` (the [`Job`] display form, e.g.
-/// `run/Schematic/crc/10000`).
+/// `kind/technique/benchmark/scenario` (the [`Job`] display form, e.g.
+/// `run/Schematic/crc/10000` or `run/Schematic/crc/stoch:10000:2000:3`).
 pub fn parse_job_key(key: &str) -> Option<Job> {
-    Job::parse(key)
+    Job::parse(key).ok()
 }
 
 // ---------------------------------------------------------------------

@@ -1,17 +1,20 @@
-//! SplitMix64-fuzzed round-trip of the cell JSONL codec.
+//! SplitMix64-fuzzed round-trip of the cell JSONL codec and the job
+//! key grammar.
 //!
-//! Random cells — every kind, metrics with arbitrary `u64` fields, and
-//! reason/note strings stuffed with quotes, backslashes, the footnote
-//! dagger `†`, newlines, control characters and astral-plane emoji —
-//! must survive `encode → decode` bit-exactly, both cell-by-cell and
-//! through a whole [`CellStore`] artifact. The generator is seeded, so
-//! a failing case index reproduces exactly.
+//! Random cells — every kind, every [`Scenario`] variant, metrics with
+//! arbitrary `u64` fields, and reason/note strings stuffed with quotes,
+//! backslashes, the footnote dagger `†`, newlines, control characters
+//! and astral-plane emoji — must survive `encode → decode` bit-exactly,
+//! both cell-by-cell and through a whole [`CellStore`] artifact. Job
+//! keys (`kind/technique/benchmark/scenario`) round-trip through
+//! `Display → Job::parse` the same way. The generator is seeded, so a
+//! failing case index reproduces exactly.
 
 use schematic_bench::grid::{
     cell_from_json, cell_to_json, CellStore, CellValue, Job, JobKind, SoundCounts,
 };
 use schematic_bench::json::Json;
-use schematic_bench::CellOutcome;
+use schematic_bench::{CellOutcome, Scenario};
 use schematic_benchsuite::inputs::SplitMix64;
 use schematic_emu::{Metrics, RunStatus};
 use schematic_energy::Energy;
@@ -86,13 +89,38 @@ const KINDS: [JobKind; 8] = [
     JobKind::Shadow,
 ];
 
+/// A random scenario from every variant, honoring the parse-time
+/// invariants (stochastic jitter below the mean, trace ids in
+/// `[A-Za-z0-9_-]+`) so the spelling is always re-parseable.
+fn random_scenario(rng: &mut SplitMix64) -> Scenario {
+    match rng.next_u64() % 3 {
+        0 => Scenario::periodic(rng.next_u64()),
+        1 => {
+            let mean_tbpf = rng.next_u64() % 1_000_000 + 2;
+            Scenario::Stochastic {
+                mean_tbpf,
+                jitter: rng.next_u64() % mean_tbpf,
+                seed: rng.next_u64(),
+            }
+        }
+        _ => {
+            const ID_POOL: &[u8] = b"abcXYZ079_-";
+            let len = rng.next_u64() % 12 + 1;
+            let id = (0..len)
+                .map(|_| ID_POOL[(rng.next_u64() % ID_POOL.len() as u64) as usize] as char)
+                .collect();
+            Scenario::Trace { id }
+        }
+    }
+}
+
 fn random_cell(rng: &mut SplitMix64) -> (Job, CellValue) {
     let kind = KINDS[(rng.next_u64() % KINDS.len() as u64) as usize];
     let job = Job {
         kind,
         technique: tricky_string(rng),
         benchmark: tricky_string(rng),
-        tbpf: rng.next_u64(),
+        scenario: random_scenario(rng),
     };
     let value = match kind {
         JobKind::Support => CellValue::Support(rng.next_u64().is_multiple_of(2)),
@@ -164,6 +192,43 @@ fn fuzz_cell_lines_roundtrip() {
             cell_from_json(&parsed).unwrap_or_else(|e| panic!("case {case}: {e}\n{line}"));
         assert_eq!(job, job2, "case {case}");
         assert_eq!(value, value2, "case {case}");
+    }
+}
+
+/// Random job keys — every kind crossed with every scenario variant —
+/// round-trip bit-exactly through `Display → Job::parse`. Technique and
+/// benchmark names draw from the key-safe alphabet (no `/`, the field
+/// separator, and no newline, the line separator).
+#[test]
+fn fuzz_job_keys_roundtrip() {
+    const NAMES: [&str; 6] = ["kv", "dnn_0", "sense-9", "B", "ratchet", "x_y-z"];
+    let mut rng = SplitMix64::new(SEED ^ 0x5EED);
+    for case in 0..CASES {
+        let job = Job {
+            kind: KINDS[(rng.next_u64() % KINDS.len() as u64) as usize],
+            technique: NAMES[(rng.next_u64() % NAMES.len() as u64) as usize].to_string(),
+            benchmark: NAMES[(rng.next_u64() % NAMES.len() as u64) as usize].to_string(),
+            scenario: random_scenario(&mut rng),
+        };
+        let key = job.to_string();
+        let parsed = Job::parse(&key).unwrap_or_else(|e| panic!("case {case}: {e}\n{key}"));
+        assert_eq!(job, parsed, "case {case}: {key}");
+    }
+}
+
+/// Malformed job keys come back as reasons, not panics or silent
+/// fallbacks.
+#[test]
+fn malformed_job_keys_name_the_field() {
+    for (key, needle) in [
+        ("run/schematic/kv", "got 3 field(s)"),
+        ("warp/schematic/kv/10000", "unknown kind"),
+        ("run/schematic/kv/stoch:5", "want stoch:MEAN:JITTER:SEED"),
+        ("run/schematic/kv/trace:a.b", "[A-Za-z0-9_-]"),
+        ("run/schematic/kv/fast", "want a TBPF"),
+    ] {
+        let err = Job::parse(key).unwrap_err();
+        assert!(err.contains(needle), "{key}: {err}");
     }
 }
 

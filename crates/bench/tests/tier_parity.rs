@@ -174,8 +174,12 @@ fn instrument(
 /// nature; every energy, count and cycle total must still match
 /// bit-for-bit.
 fn digest(im: &InstrumentedModule, tbpf: u64, tier: ExecTier) -> String {
+    digest_model(im, PowerModel::Periodic { tbpf }, tier)
+}
+
+fn digest_model(im: &InstrumentedModule, power: PowerModel, tier: ExecTier) -> String {
     let cfg = RunConfig {
-        power: PowerModel::Periodic { tbpf },
+        power,
         svm_bytes: usize::MAX / 2,
         max_active_cycles: 1_000_000,
         aot_threshold: 1,
@@ -230,6 +234,83 @@ fn all_tiers_are_bit_identical() {
     // The sweep must be non-vacuous: most cases complete (a trapped
     // case still checks that every tier traps identically).
     assert!(completed >= 200, "only {completed}/{CASES} cases completed");
+}
+
+/// The stochastic supply draws each window length from its seeded
+/// SplitMix64 stream by *window index*, not by execution order — so the
+/// fused/trace/AOT tiers, which retire whole superblocks between
+/// power-failure checks, must still see the exact same window sequence
+/// as the per-instruction tier. This sweep pins that: random modules
+/// under random `mean ± jitter` supplies are bit-identical at all four
+/// rungs.
+#[test]
+fn stochastic_runs_are_bit_identical_across_tiers() {
+    const TIERS: [ExecTier; 4] = [
+        ExecTier::Interp,
+        ExecTier::Fused,
+        ExecTier::Trace,
+        ExecTier::Aot,
+    ];
+    let mut rng = SplitMix64::new(SEED ^ 0x570C_4A57);
+    let mut completed = 0u64;
+    for case in 0..CASES {
+        let (m, vars) = random_module(&mut rng);
+        let policy = if rng.below(2) == 0 {
+            FailurePolicy::WaitRecharge
+        } else {
+            FailurePolicy::Rollback
+        };
+        let im = instrument(&mut rng, m, &vars, policy);
+        let mean_tbpf = 200 + u64::from(rng.below(2000));
+        let power = PowerModel::Stochastic {
+            mean_tbpf,
+            jitter: u64::from(rng.below(mean_tbpf as u32 / 2)),
+            seed: rng.next_u64(),
+        };
+        let reference = digest_model(&im, power, ExecTier::Interp);
+        if !reference.starts_with("error=") {
+            completed += 1;
+        }
+        for tier in TIERS {
+            let got = digest_model(&im, power, tier);
+            assert_eq!(
+                got, reference,
+                "case {case} (policy {policy:?}, power {power:?}): \
+                 {tier:?} diverged from the per-instruction tier"
+            );
+        }
+    }
+    assert!(completed >= 200, "only {completed}/{CASES} cases completed");
+}
+
+/// Same contract for a recorded trace: windows come from the interned
+/// table (cycled by window index), so every tier replays the identical
+/// sequence.
+#[test]
+fn trace_supply_runs_are_bit_identical_across_tiers() {
+    const TIERS: [ExecTier; 4] = [
+        ExecTier::Interp,
+        ExecTier::Fused,
+        ExecTier::Trace,
+        ExecTier::Aot,
+    ];
+    let id = schematic_emu::intern_trace(
+        "tier-parity-fixture",
+        vec![900, 350, 2100, 280, 1500, 410, 777],
+    );
+    let mut rng = SplitMix64::new(SEED ^ 0x007E_ACE5);
+    for case in 0..16 {
+        let (m, vars) = random_module(&mut rng);
+        let im = instrument(&mut rng, m, &vars, FailurePolicy::WaitRecharge);
+        let reference = digest_model(&im, PowerModel::Trace { id }, ExecTier::Interp);
+        for tier in TIERS {
+            assert_eq!(
+                digest_model(&im, PowerModel::Trace { id }, tier),
+                reference,
+                "case {case}: {tier:?} diverged under the recorded trace"
+            );
+        }
+    }
 }
 
 #[test]

@@ -59,6 +59,12 @@ fn golden_crc_epoch_timeline() {
     assert_eq!(events.first().unwrap().kind, "run_start");
     assert_eq!(events.last().unwrap().kind, "run_end");
     assert_eq!(events.first().unwrap().u64_field("tbpf"), Some(ENERGY_TBPF));
+    // The scenario label tells a timeline reader which supply (and
+    // seed/trace) produced it.
+    assert_eq!(
+        events.first().unwrap().str_field("scenario"),
+        Some(ENERGY_TBPF.to_string().as_str())
+    );
 
     // Lifecycle event counts cross-check the metrics counters.
     assert_eq!(

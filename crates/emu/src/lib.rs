@@ -4,9 +4,11 @@
 //! the SCEPTIC infrastructure the SCHEMATIC paper evaluates on (§IV-A.c).
 //!
 //! The emulator executes [`schematic_ir`] programs at IR level under a
-//! configurable power supply. Power failures are periodic (*time between
-//! power failures*, TBPF, in active cycles), matching the paper's
-//! evaluation methodology. Programs are [`InstrumentedModule`]s: a module
+//! configurable power supply. The paper's evaluation uses periodic
+//! failures (*time between power failures*, TBPF, in active cycles);
+//! the supply layer also offers seeded stochastic windows and recorded
+//! harvest-trace replay (see [`power`]). Programs are
+//! [`InstrumentedModule`]s: a module
 //! whose blocks contain checkpoint intrinsics, plus a checkpoint table,
 //! a per-block VM/NVM allocation plan and a failure policy
 //! (wait-for-recharge or rollback).
@@ -56,5 +58,8 @@ pub use instrumented::{
 pub use machine::{run, ExecTier, Machine, RunConfig, RunOutcome, RunStatus};
 pub use memory::Memory;
 pub use metrics::Metrics;
-pub use power::{PowerModel, PowerState};
+pub use power::{
+    intern_trace, parse_trace, trace_by_name, trace_min_window, trace_name, trace_windows,
+    PowerModel, PowerState, TraceId,
+};
 pub use shadow::{EpochStart, ObservedWar, ShadowReport};

@@ -153,6 +153,27 @@ impl RunConfig {
                 h.write_tag(0xE1);
                 h.write_u64(tbpf);
             }
+            PowerModel::Stochastic {
+                mean_tbpf,
+                jitter,
+                seed,
+            } => {
+                h.write_tag(0xE2);
+                h.write_u64(mean_tbpf);
+                h.write_u64(jitter);
+                h.write_u64(seed);
+            }
+            // Hash the window *contents*, not the intern index: ids are
+            // assigned in first-intern order, which parallel drivers do
+            // not fix.
+            PowerModel::Trace { id } => {
+                h.write_tag(0xE3);
+                let windows = crate::power::trace_windows(id);
+                h.write_usize(windows.len());
+                for &w in windows {
+                    h.write_u64(w);
+                }
+            }
         }
         h.write_usize(self.svm_bytes);
         h.write_u64(self.max_active_cycles);
@@ -430,9 +451,15 @@ impl<'a> Machine<'a> {
         if self.tracing {
             let tbpf = match self.config.power {
                 PowerModel::Continuous => 0,
-                PowerModel::Periodic { tbpf } => tbpf,
+                model => model.min_window_cycles(),
             };
-            self.emit("run_start", vec![("tbpf", tbpf.into())]);
+            self.emit(
+                "run_start",
+                vec![
+                    ("tbpf", tbpf.into()),
+                    ("scenario", self.config.power.label().into()),
+                ],
+            );
         }
         self.boot()?;
         loop {

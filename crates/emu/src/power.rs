@@ -2,9 +2,140 @@
 //!
 //! The paper's evaluation (§IV-A.c) triggers power failures periodically:
 //! the *time between power failures* (TBPF) is a fixed number of active
-//! cycles. Wait-mode techniques that sleep at a checkpoint resume at the
-//! start of the next period with a full capacitor, so sleeping simply
-//! resets the window.
+//! cycles. Real harvesters are burstier than that, so the supply layer is
+//! pluggable: beyond [`PowerModel::Continuous`] and
+//! [`PowerModel::Periodic`] there is a seeded [`PowerModel::Stochastic`]
+//! model (window lengths drawn uniformly from `mean ± jitter` by an
+//! in-tree SplitMix64, deterministic per seed) and a
+//! [`PowerModel::Trace`] model replaying recorded harvest traces (window
+//! lengths in cycles, interned process-wide so the model stays
+//! `Copy`-cheap).
+//!
+//! Every model exposes the same per-window contract the execution tiers
+//! rely on: the length of the *current* window is fixed once the window
+//! opens, so [`PowerState::headroom`] remains a sound proof that a fused
+//! superblock run cannot be interrupted. Wait-mode techniques that sleep
+//! at a checkpoint resume at the start of the next window with a full
+//! capacitor, so sleeping advances to a fresh window.
+
+use std::sync::Mutex;
+
+/// SplitMix64 output for stream position `index` from `seed` — the
+/// same finalizer as the benchsuite's input generator, evaluated
+/// directly at position `index` so window lengths are O(1) to draw and
+/// independent of execution order.
+fn splitmix64_at(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add((index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An interned recorded harvest trace: a process-wide handle to a
+/// sequence of power-window lengths (cycles). Interning keeps
+/// [`PowerModel`] `Copy` while the window data lives once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(u32);
+
+struct TraceEntry {
+    name: &'static str,
+    windows: &'static [u64],
+    min: u64,
+}
+
+static TRACES: Mutex<Vec<TraceEntry>> = Mutex::new(Vec::new());
+
+/// Interns a recorded harvest trace under `name` and returns its
+/// process-wide id. Re-interning the same name with identical windows
+/// returns the existing id.
+///
+/// # Panics
+///
+/// Panics if `windows` is empty, contains a zero-length window, or if
+/// `name` was already interned with *different* windows.
+pub fn intern_trace(name: &str, windows: Vec<u64>) -> TraceId {
+    assert!(!windows.is_empty(), "trace {name:?} has no windows");
+    assert!(
+        windows.iter().all(|&w| w > 0),
+        "trace {name:?} has a zero-length window"
+    );
+    let mut traces = TRACES.lock().unwrap();
+    if let Some(idx) = traces.iter().position(|t| t.name == name) {
+        assert!(
+            traces[idx].windows == windows.as_slice(),
+            "trace {name:?} re-interned with different windows"
+        );
+        return TraceId(idx as u32);
+    }
+    let min = windows.iter().copied().min().unwrap();
+    let entry = TraceEntry {
+        name: Box::leak(name.to_owned().into_boxed_str()),
+        windows: Box::leak(windows.into_boxed_slice()),
+        min,
+    };
+    traces.push(entry);
+    TraceId((traces.len() - 1) as u32)
+}
+
+/// Looks up an already-interned trace by name.
+pub fn trace_by_name(name: &str) -> Option<TraceId> {
+    let traces = TRACES.lock().unwrap();
+    traces
+        .iter()
+        .position(|t| t.name == name)
+        .map(|i| TraceId(i as u32))
+}
+
+/// The name a trace was interned under.
+pub fn trace_name(id: TraceId) -> &'static str {
+    TRACES.lock().unwrap()[id.0 as usize].name
+}
+
+/// The interned window lengths (cycles) of a trace.
+pub fn trace_windows(id: TraceId) -> &'static [u64] {
+    TRACES.lock().unwrap()[id.0 as usize].windows
+}
+
+/// The shortest window in a trace — the guaranteed budget placement
+/// must fit inside.
+pub fn trace_min_window(id: TraceId) -> u64 {
+    TRACES.lock().unwrap()[id.0 as usize].min
+}
+
+/// Parses harvest-trace text: one window length (cycles) per line.
+/// Blank lines and `#` comments are skipped. A torn final fragment —
+/// a last line not terminated by a newline — is silently dropped,
+/// mirroring the cell cache's tolerance for a crashed writer (and
+/// unlike the cache's JSON records, a truncated number still parses,
+/// so only newline-terminated lines are trusted). Garbage on any
+/// trusted line is an error naming the (1-based) line.
+pub fn parse_trace(text: &str) -> Result<Vec<u64>, String> {
+    let mut lines: Vec<&str> = text.lines().collect();
+    if !text.is_empty() && !text.ends_with('\n') {
+        lines.pop();
+    }
+    let mut windows = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.parse::<u64>() {
+            Ok(0) => return Err(format!("line {}: zero-length window", idx + 1)),
+            Ok(w) => windows.push(w),
+            Err(_) => {
+                return Err(format!(
+                    "line {}: expected a cycle count, got {line:?}",
+                    idx + 1
+                ))
+            }
+        }
+    }
+    if windows.is_empty() {
+        return Err("no windows".to_owned());
+    }
+    Ok(windows)
+}
 
 /// How the platform is powered during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,28 +148,111 @@ pub enum PowerModel {
         /// Time between power failures, in cycles (> 0).
         tbpf: u64,
     },
+    /// Window lengths drawn uniformly from `mean_tbpf ± jitter`,
+    /// deterministically per `(seed, window index)` — rerunning with
+    /// the same seed replays the exact same failure timings.
+    Stochastic {
+        /// Mean time between power failures, in cycles.
+        mean_tbpf: u64,
+        /// Half-width of the uniform window-length distribution
+        /// (< `mean_tbpf`, so every window is positive).
+        jitter: u64,
+        /// SplitMix64 stream seed.
+        seed: u64,
+    },
+    /// Replays an interned recorded harvest trace, cycling when the
+    /// recording runs out.
+    Trace {
+        /// Handle from [`intern_trace`].
+        id: TraceId,
+    },
 }
 
-/// Tracks the position within the current power period.
+impl PowerModel {
+    /// The guaranteed minimum window length in cycles — the budget a
+    /// sound placement must fit between checkpoints. Continuous power
+    /// never fails, so its floor is unbounded.
+    pub fn min_window_cycles(&self) -> u64 {
+        match *self {
+            PowerModel::Continuous => u64::MAX,
+            PowerModel::Periodic { tbpf } => tbpf,
+            PowerModel::Stochastic {
+                mean_tbpf, jitter, ..
+            } => mean_tbpf - jitter,
+            PowerModel::Trace { id } => trace_min_window(id),
+        }
+    }
+
+    /// A stable human-readable label for trace events and reports.
+    /// Matches the grid's scenario spelling: a bare number for periodic
+    /// TBPF, `stoch:MEAN:JITTER:SEED`, `trace:NAME`, or `continuous`.
+    pub fn label(&self) -> String {
+        match *self {
+            PowerModel::Continuous => "continuous".to_owned(),
+            PowerModel::Periodic { tbpf } => tbpf.to_string(),
+            PowerModel::Stochastic {
+                mean_tbpf,
+                jitter,
+                seed,
+            } => format!("stoch:{mean_tbpf}:{jitter}:{seed}"),
+            PowerModel::Trace { id } => format!("trace:{}", trace_name(id)),
+        }
+    }
+
+    /// The length of window `index` under this model. Fixed once the
+    /// window opens — the per-window contract `headroom` relies on.
+    fn window_limit(&self, index: u64) -> u64 {
+        match *self {
+            PowerModel::Continuous => u64::MAX,
+            PowerModel::Periodic { tbpf } => tbpf,
+            PowerModel::Stochastic {
+                mean_tbpf,
+                jitter,
+                seed,
+            } => {
+                let span = 2 * jitter + 1;
+                mean_tbpf - jitter + splitmix64_at(seed, index) % span
+            }
+            PowerModel::Trace { id } => {
+                let windows = trace_windows(id);
+                windows[(index % windows.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+/// Tracks the position within the current power window.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PowerState {
     model: PowerModel,
     cycles_in_window: u64,
+    window_index: u64,
+    window_limit: u64,
 }
 
 impl PowerState {
-    /// Creates a fully charged supply.
+    /// Creates a fully charged supply at the first window.
     ///
     /// # Panics
     ///
-    /// Panics if a periodic model has `tbpf == 0`.
+    /// Panics if a periodic model has `tbpf == 0`, or a stochastic
+    /// model has `jitter >= mean_tbpf` (a window could be empty).
     pub fn new(model: PowerModel) -> Self {
-        if let PowerModel::Periodic { tbpf } = model {
-            assert!(tbpf > 0, "TBPF must be positive");
+        match model {
+            PowerModel::Periodic { tbpf } => assert!(tbpf > 0, "TBPF must be positive"),
+            PowerModel::Stochastic {
+                mean_tbpf, jitter, ..
+            } => assert!(
+                jitter < mean_tbpf,
+                "stochastic jitter must be below the mean TBPF"
+            ),
+            PowerModel::Continuous | PowerModel::Trace { .. } => {}
         }
         PowerState {
             model,
             cycles_in_window: 0,
+            window_index: 0,
+            window_limit: model.window_limit(0),
         }
     }
 
@@ -52,21 +266,23 @@ impl PowerState {
     pub fn advance(&mut self, cycles: u64) -> bool {
         match self.model {
             PowerModel::Continuous => false,
-            PowerModel::Periodic { tbpf } => {
+            _ => {
                 self.cycles_in_window += cycles;
-                self.cycles_in_window >= tbpf
+                self.cycles_in_window >= self.window_limit
             }
         }
     }
 
-    /// Whether the window can absorb `cycles` more active cycles
-    /// *without* a power failure — i.e. whether `advance(cycles)` would
-    /// return `false`. Superblock fusion uses this to prove that no
-    /// failure can land inside a fused run.
+    /// Whether the current window can absorb `cycles` more active
+    /// cycles *without* a power failure — i.e. whether `advance(cycles)`
+    /// would return `false`. Superblock fusion uses this to prove that
+    /// no failure can land inside a fused run; the proof is per-window,
+    /// so it holds under every model (a window's length is fixed once
+    /// it opens).
     pub fn headroom(&self, cycles: u64) -> bool {
         match self.model {
             PowerModel::Continuous => true,
-            PowerModel::Periodic { tbpf } => self.cycles_in_window + cycles < tbpf,
+            _ => self.cycles_in_window + cycles < self.window_limit,
         }
     }
 
@@ -75,26 +291,39 @@ impl PowerState {
     pub fn remaining_fraction(&self) -> f64 {
         match self.model {
             PowerModel::Continuous => 1.0,
-            PowerModel::Periodic { tbpf } => {
-                1.0 - (self.cycles_in_window.min(tbpf) as f64 / tbpf as f64)
+            _ => {
+                let limit = self.window_limit;
+                1.0 - (self.cycles_in_window.min(limit) as f64 / limit as f64)
             }
         }
     }
 
     /// Restart after a power failure: the capacitor recharged while the
-    /// platform was off.
+    /// platform was off, and the next window's length is drawn.
     pub fn reboot(&mut self) {
-        self.cycles_in_window = 0;
+        self.next_window();
     }
 
-    /// Wait-mode sleep until fully recharged (Fig. 3 step 2).
+    /// Wait-mode sleep until fully recharged (Fig. 3 step 2) — resumes
+    /// at the start of the next window.
     pub fn replenish(&mut self) {
+        self.next_window();
+    }
+
+    fn next_window(&mut self) {
         self.cycles_in_window = 0;
+        self.window_index += 1;
+        self.window_limit = self.model.window_limit(self.window_index);
     }
 
     /// Cycles executed in the current window.
     pub fn window_cycles(&self) -> u64 {
         self.cycles_in_window
+    }
+
+    /// The length (cycles) of the current window.
+    pub fn window_limit(&self) -> u64 {
+        self.window_limit
     }
 }
 
@@ -137,5 +366,99 @@ mod tests {
     #[should_panic(expected = "TBPF must be positive")]
     fn zero_tbpf_rejected() {
         let _ = PowerState::new(PowerModel::Periodic { tbpf: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be below the mean")]
+    fn stochastic_jitter_at_mean_rejected() {
+        let _ = PowerState::new(PowerModel::Stochastic {
+            mean_tbpf: 100,
+            jitter: 100,
+            seed: 1,
+        });
+    }
+
+    #[test]
+    fn stochastic_windows_bounded_and_deterministic() {
+        let model = PowerModel::Stochastic {
+            mean_tbpf: 1_000,
+            jitter: 200,
+            seed: 42,
+        };
+        let draw = |_| {
+            let mut p = PowerState::new(model);
+            let mut limits = Vec::new();
+            for _ in 0..64 {
+                limits.push(p.window_limit());
+                p.reboot();
+            }
+            limits
+        };
+        let a = draw(());
+        let b = draw(());
+        assert_eq!(a, b, "same seed replays the same windows");
+        assert!(a.iter().all(|&w| (800..=1_200).contains(&w)));
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "windows actually vary");
+        assert_eq!(model.min_window_cycles(), 800);
+    }
+
+    #[test]
+    fn stochastic_zero_jitter_matches_periodic() {
+        let stoch = PowerModel::Stochastic {
+            mean_tbpf: 500,
+            jitter: 0,
+            seed: 7,
+        };
+        let mut s = PowerState::new(stoch);
+        let mut p = PowerState::new(PowerModel::Periodic { tbpf: 500 });
+        for _ in 0..16 {
+            assert_eq!(s.window_limit(), p.window_limit());
+            assert_eq!(s.advance(499), p.advance(499));
+            assert_eq!(s.advance(1), p.advance(1));
+            s.reboot();
+            p.reboot();
+        }
+    }
+
+    #[test]
+    fn trace_model_replays_and_cycles() {
+        let id = intern_trace("test-replay", vec![100, 250, 70]);
+        assert_eq!(trace_min_window(id), 70);
+        assert_eq!(PowerModel::Trace { id }.min_window_cycles(), 70);
+        assert_eq!(trace_name(id), "test-replay");
+        assert_eq!(trace_by_name("test-replay"), Some(id));
+        let mut p = PowerState::new(PowerModel::Trace { id });
+        for expect in [100, 250, 70, 100, 250] {
+            assert_eq!(p.window_limit(), expect);
+            assert!(p.headroom(expect - 1));
+            assert!(!p.headroom(expect));
+            p.reboot();
+        }
+        // Re-interning the same content is idempotent.
+        assert_eq!(intern_trace("test-replay", vec![100, 250, 70]), id);
+    }
+
+    #[test]
+    fn parse_trace_skips_comments_and_blanks() {
+        let text = "# harvest trace\n100\n\n  250 \n# tail comment\n70\n";
+        assert_eq!(parse_trace(text).unwrap(), vec![100, 250, 70]);
+    }
+
+    #[test]
+    fn parse_trace_rejects_garbage_with_line() {
+        let err = parse_trace("100\nbogus\n250\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_trace("100\n0\n").unwrap_err();
+        assert!(err.contains("zero-length"), "{err}");
+        assert_eq!(parse_trace("# only comments\n").unwrap_err(), "no windows");
+    }
+
+    #[test]
+    fn parse_trace_drops_torn_tail() {
+        // A crashed writer leaves a final fragment with no newline:
+        // tolerated, like the cell cache's store.
+        assert_eq!(parse_trace("100\n250\n7").unwrap(), vec![100, 250]);
+        // ... but the same fragment *with* a newline is real garbage.
+        assert!(parse_trace("100\n250\nxx\n").is_err());
     }
 }

@@ -26,7 +26,7 @@
 //!
 //! | kind | fields | meaning |
 //! |------|--------|---------|
-//! | `run_start` | `tbpf` (0 = continuous) | power model of the run |
+//! | `run_start` | `tbpf` (guaranteed window floor; 0 = continuous), `scenario` (power-model label, e.g. `10000`, `stoch:10000:2000:3`, `trace:rf-office`) | power scenario of the run |
 //! | `boot` | `words` | initial VM staging of the boot set |
 //! | `checkpoint_commit` | `cp`, `words` | checkpoint took effect |
 //! | `checkpoint_torn` | `cp`, `words` | window expired mid-commit; old image stays |

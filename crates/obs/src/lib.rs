@@ -111,6 +111,14 @@ impl Event {
             _ => None,
         }
     }
+
+    /// The label value of field `name`, if present and a string.
+    pub fn str_field(&self, name: &str) -> Option<&str> {
+        match self.field(name) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 /// Aggregated timings for one span name.

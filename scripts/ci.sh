@@ -97,6 +97,24 @@ grep -q ", 0 computed" "$GRIDDIR/resume_half.log"
 diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/resumed_half.txt"
 echo "partial-artifact resume completed from cache hits, render byte-identical"
 
+echo "== robustness report smoke (release) =="
+# The multi-seed robustness report over 2 stochastic seeds plus every
+# recorded trace in traces/, computed twice through a fresh cache: the
+# warm rerun must answer every scenario cell from the cache (verified)
+# and render byte-identically, and the stable header line must parse.
+RCACHE="$GRIDDIR/robust-cache.jsonl"
+"$GRIDRUN" --report robust --seeds 2 --cache "$RCACHE" \
+  > "$GRIDDIR/robust.txt" 2> "$GRIDDIR/robust.log"
+grep -q "^Robustness report: 2 stochastic seed(s)" "$GRIDDIR/robust.txt"
+grep -q "stoch:10000:2000:1" "$GRIDDIR/robust.txt"
+grep -q "trace:" "$GRIDDIR/robust.txt" \
+  || { echo "no recorded trace on the robustness axis"; exit 1; }
+"$GRIDRUN" --report robust --seeds 2 --cache "$RCACHE" --cache-verify \
+  > "$GRIDDIR/robust_warm.txt" 2> "$GRIDDIR/robust_warm.log"
+grep -q ", 0 computed (hits verified)" "$GRIDDIR/robust_warm.log"
+diff -u "$GRIDDIR/robust.txt" "$GRIDDIR/robust_warm.txt"
+echo "robustness report deterministic; scenario cells replayed from cache (verified)"
+
 echo "== gridd daemon loopback smoke (release) =="
 # Start the evaluation daemon on an ephemeral loopback port with two
 # worker processes, drive one submit/status/fetch/shutdown cycle
