@@ -11,7 +11,11 @@
 //! batch of job keys (content-addressed cache first, then either
 //! in-process compute or, with `--workers N`, a fan-out over child
 //! `gridrun --jobs` processes), `status` reports tallies, `fetch`
-//! returns every accumulated cell, and `shutdown` stops the daemon.
+//! returns every accumulated cell, `stats` returns the live service
+//! telemetry — worker registries merged with daemon spans, queue and
+//! utilization gauges, cache hit/miss/verify counters (render it with
+//! `gridrun --connect ADDR --stats [--format expo]`) — and `shutdown`
+//! stops the daemon.
 //!
 //! What staying resident buys: the cell cache is loaded once and kept
 //! warm in memory, compiled-program digests are memoized across

@@ -17,13 +17,24 @@
 //! gridrun --resume F [-o OUT]   # load a (possibly partial) artifact, compute only the
 //!                               # missing cells, render; OUT gets the completed artifact
 //! gridrun --jobs F -o OUT       # worker mode: evaluate the job keys listed in F, write
-//!                               # extended cell lines (cell + program digests) to OUT
+//!                               # extended cell lines (cell + program digests + telemetry) to OUT
 //! gridrun --connect ADDR ...    # thin client for a running `gridd`:
 //!                               #   --submit SPEC   evaluate 'all' or shard 'i/N' remotely
 //!                               #   --status        print daemon tallies
 //!                               #   --fetch -o F    download accumulated cells as JSONL
+//!                               #   --stats [--format expo] [-o F]
+//!                               #                   print merged service telemetry (human or
+//!                               #                   Prometheus-style exposition); -o dumps the
+//!                               #                   registry for `tracereport --service`
 //!                               #   --shutdown      stop the daemon
 //! ```
+//!
+//! Worker mode captures a per-job [`schematic_obs`] registry (span
+//! timings, per-job wall latency) and ships it on each artifact line;
+//! `SCHEMATIC_TELEMETRY=0` disables the capture. The ~1 Hz `--shard`
+//! heartbeats follow `SCHEMATIC_PROGRESS` (`0` off, `1` on, unset =
+//! only when stderr is a terminal), so daemon worker children stay
+//! silent by default.
 //!
 //! In-process computes (the default run and `--resume`) go through the
 //! content-addressed cell cache at `target/gridcache.jsonl`
@@ -41,7 +52,9 @@
 //! Exit codes: 0 on success, 2 on usage/artifact/coverage errors,
 //! 3 when `--spawn`'s parity assertion fails.
 
-use schematic_bench::cache::{compute_cached, worker_line, CellCache};
+use schematic_bench::cache::{
+    compute_cached, worker_line, worker_line_telemetry, CellCache, WorkerTelemetry,
+};
 use schematic_bench::experiments::{render_all, render_robust, robust_jobs};
 use schematic_bench::grid::{evaluate_traced, CellStore, GridMode, GridSpec, Job};
 use schematic_bench::json::Json;
@@ -116,6 +129,7 @@ enum ClientAction {
     Submit { spec: String },
     Status,
     Fetch { out: String },
+    Stats { expo: bool, out: Option<String> },
     Shutdown,
 }
 
@@ -125,7 +139,8 @@ fn usage() -> ! {
          [--list | --shard i/N -o FILE | --merge FILE... | --spawn N | \
          --resume FILE [-o FILE] | --jobs FILE -o FILE | \
          --report robust [--seeds N] | \
-         --connect ADDR (--submit all|i/N | --status | --fetch -o FILE | --shutdown)]"
+         --connect ADDR (--submit all|i/N | --status | --fetch -o FILE | \
+         --stats [--format expo] [-o FILE] | --shutdown)]"
     );
     std::process::exit(2);
 }
@@ -232,6 +247,27 @@ fn parse_args() -> Options {
                         (Some("-o"), Some(path)) => ClientAction::Fetch { out: path },
                         _ => usage(),
                     },
+                    Some("--stats") => {
+                        let mut expo = false;
+                        let mut out = None;
+                        while let Some(next) = it.peek().map(String::as_str) {
+                            match next {
+                                "--format" => {
+                                    it.next();
+                                    match it.next().as_deref() {
+                                        Some("expo") => expo = true,
+                                        _ => usage(),
+                                    }
+                                }
+                                "-o" => {
+                                    it.next();
+                                    out = Some(it.next().unwrap_or_else(|| usage()));
+                                }
+                                _ => usage(),
+                            }
+                        }
+                        ClientAction::Stats { expo, out }
+                    }
                     Some("--shutdown") => ClientAction::Shutdown,
                     _ => usage(),
                 };
@@ -397,7 +433,9 @@ fn resume(
 
 /// `--jobs F -o OUT`: the worker half of the daemon's dispatch — parse
 /// one job key per line, evaluate each (no cache: the parent owns it),
-/// and emit extended artifact lines carrying the program digests.
+/// and emit extended artifact lines carrying the program digests plus,
+/// unless `SCHEMATIC_TELEMETRY=0`, a captured per-job registry the
+/// daemon merges into its service telemetry.
 fn run_jobs(file: &str, out: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     let mut jobs = Vec::new();
@@ -409,15 +447,50 @@ fn run_jobs(file: &str, out: &str) -> Result<(), String> {
         jobs.push(job);
     }
     let table = CostTable::msp430fr5969();
-    let results = par_map(&jobs, |job| evaluate_traced(job, &table));
+    let telemetry_on = std::env::var("SCHEMATIC_TELEMETRY").map_or(true, |v| v != "0");
+    if telemetry_on {
+        schematic_obs::set_enabled(true);
+    }
+    let results = par_map(&jobs, |job| {
+        if !telemetry_on {
+            let (value, ims) = evaluate_traced(job, &table);
+            return (value, ims, None);
+        }
+        let t0 = Instant::now();
+        let ((value, ims), mut registry) = schematic_obs::capture(|| evaluate_traced(job, &table));
+        let wall_nanos = t0.elapsed().as_nanos() as u64;
+        registry.record_span(&format!("job/{job}"), wall_nanos);
+        (
+            value,
+            ims,
+            Some(WorkerTelemetry {
+                wall_nanos,
+                registry,
+            }),
+        )
+    });
     let mut artifact = String::new();
-    for (job, (value, ims)) in jobs.iter().zip(&results) {
-        artifact.push_str(&worker_line(job, value, ims));
+    for (job, (value, ims, telemetry)) in jobs.iter().zip(&results) {
+        artifact.push_str(&match telemetry {
+            Some(t) => worker_line_telemetry(job, value, ims, t),
+            None => worker_line(job, value, ims),
+        });
         artifact.push('\n');
     }
     write_artifact(out, &artifact)?;
     eprintln!("gridrun: worker evaluated {} cells to {out}", jobs.len());
     Ok(())
+}
+
+/// Whether progress heartbeats go to stderr: `SCHEMATIC_PROGRESS=0`
+/// silences them, `=1` (or any other value) forces them, and unset
+/// follows whether stderr is attached to a terminal.
+fn progress_enabled() -> bool {
+    use std::io::IsTerminal as _;
+    match std::env::var("SCHEMATIC_PROGRESS") {
+        Ok(v) => v != "0",
+        Err(_) => std::io::stderr().is_terminal(),
+    }
 }
 
 /// `--connect ADDR`: one request against a running daemon.
@@ -447,6 +520,7 @@ fn connect(spec: &GridSpec, addr: &str, action: &ClientAction) -> Result<(), Str
         }
         ClientAction::Status => obj(vec![("op", Json::Str("status".into()))]),
         ClientAction::Fetch { .. } => obj(vec![("op", Json::Str("fetch".into()))]),
+        ClientAction::Stats { .. } => obj(vec![("op", Json::Str("stats".into()))]),
         ClientAction::Shutdown => obj(vec![("op", Json::Str("shutdown".into()))]),
     };
     let resp = service::request(&mut stream, &req).map_err(|e| e.to_string())?;
@@ -469,6 +543,23 @@ fn connect(spec: &GridSpec, addr: &str, action: &ClientAction) -> Result<(), Str
             }
             write_artifact(out, &artifact)?;
             eprintln!("gridrun: fetched {} cells from {addr}", cells.len());
+        }
+        ClientAction::Stats { expo, out } => {
+            let snap =
+                service::StatsSnapshot::parse(&resp).map_err(|e| format!("daemon error: {e}"))?;
+            if let Some(out) = out {
+                let text = resp
+                    .get("registry")
+                    .and_then(Json::as_str)
+                    .expect("StatsSnapshot::parse checked the registry field");
+                write_artifact(out, text)?;
+                eprintln!("gridrun: dumped service registry from {addr} to {out}");
+            }
+            if *expo {
+                print!("{}", service::render_stats_expo(&snap));
+            } else {
+                print!("{}", service::render_stats(&snap));
+            }
         }
         _ => {
             // Print the response fields (minus the ok flag) as a flat
@@ -561,11 +652,17 @@ fn main() -> ExitCode {
             let jobs = spec.shard(index, count);
             let start = Instant::now();
             let last_beat = AtomicU64::new(0);
-            eprintln!(
-                "gridrun: shard {index}/{count} starting: 0/{} cells",
-                jobs.len()
-            );
+            let progress = progress_enabled();
+            if progress {
+                eprintln!(
+                    "gridrun: shard {index}/{count} starting: 0/{} cells",
+                    jobs.len()
+                );
+            }
             let store = CellStore::compute_with_progress(&jobs, &|done, total| {
+                if !progress {
+                    return;
+                }
                 let elapsed = start.elapsed();
                 let secs = elapsed.as_secs();
                 let prev = last_beat.load(Ordering::Relaxed);

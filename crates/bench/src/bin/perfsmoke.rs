@@ -66,6 +66,13 @@ const SPEEDUP_FLOOR: f64 = 2.0;
 /// have hit.
 const GRID_WARM_FLOOR: f64 = 5.0;
 
+/// Ceiling on the `exp_all` slowdown with telemetry collection enabled
+/// when `SCHEMATIC_PERF_ASSERT=1`. Span guards are one relaxed atomic
+/// load when off and a clock read plus map update when on; the worker
+/// telemetry design (`gridrun --jobs` → `gridd` stats) only holds if
+/// switching collection on stays in the noise.
+const TELEMETRY_OVERHEAD_CEILING: f64 = 0.05;
+
 /// A repeated throughput measurement: the best window plus the p50/p95
 /// of the per-window samples (log-linear histogram, ~4% bucket error).
 struct Sample {
@@ -239,6 +246,20 @@ fn grid_cache_wall() -> (f64, f64) {
     (cold, warm)
 }
 
+/// Wall time of one full `exp_all_report` with telemetry collection
+/// forced on or off. The report contents are identical either way (see
+/// the `service_telemetry` integration test); this measures only the
+/// instrumentation cost.
+fn exp_all_wall(telemetry: bool) -> f64 {
+    schematic_obs::set_enabled(telemetry);
+    let start = Instant::now();
+    let report = schematic_bench::experiments::exp_all_report();
+    let wall = start.elapsed().as_secs_f64();
+    schematic_obs::set_enabled(false);
+    std::hint::black_box(report.len());
+    wall
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let emu_only = std::env::args().any(|a| a == "--emu-only");
@@ -279,6 +300,16 @@ fn main() {
 
     let (grid_cold_s, grid_warm_s) = grid_cache_wall();
 
+    // Telemetry overhead: best-of-N `exp_all` walls with collection off
+    // vs on, interleaved so host drift hits both sides equally.
+    let telemetry_reps = if quick { 2 } else { 3 };
+    let (mut exp_off_s, mut exp_on_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..telemetry_reps {
+        exp_off_s = exp_off_s.min(exp_all_wall(false));
+        exp_on_s = exp_on_s.min(exp_all_wall(true));
+    }
+    let telemetry_overhead = exp_on_s / exp_off_s - 1.0;
+
     // Cell-store dedup: cells the reports would compute if each report
     // evaluated its own grid slice, vs the unique cells the shared
     // store actually computes.
@@ -302,6 +333,7 @@ fn main() {
   }},
   "analysis_seconds_8_benchmarks": {{"before": {BEFORE_ANALYSIS_S}, "after": {analysis_s:.3}, "speedup": {:.1}}},
   "exp_all_wall_seconds": {{"before": {BEFORE_EXP_ALL_S}, "after": {exp_all_s:.3}, "speedup": {:.1}}},
+  "telemetry_exp_all_wall_seconds": {{"off": {exp_off_s:.3}, "on": {exp_on_s:.3}, "overhead_pct": {:.1}}},
   "grid_cache_wall_seconds": {{"cold": {grid_cold_s:.3}, "warm": {grid_warm_s:.3}, "speedup": {:.0}}},
   "grid_cells_full_mode": {{"per_report_total": {per_report}, "unique_in_store": {unique}, "dedup_saved": {}}}
 }}
@@ -320,6 +352,7 @@ fn main() {
         fft_stoch.p95,
         BEFORE_ANALYSIS_S / analysis_s,
         BEFORE_EXP_ALL_S / exp_all_s,
+        telemetry_overhead * 100.0,
         grid_cold_s / grid_warm_s,
         per_report - unique,
     );
@@ -350,9 +383,17 @@ fn main() {
             grid_speedup >= GRID_WARM_FLOOR,
             "warm grid-cache speedup {grid_speedup:.1} below the {GRID_WARM_FLOOR}x floor"
         );
+        assert!(
+            telemetry_overhead < TELEMETRY_OVERHEAD_CEILING,
+            "telemetry-on exp_all overhead {:.1}% at or above the {:.0}% ceiling \
+             (off {exp_off_s:.3}s, on {exp_on_s:.3}s)",
+            telemetry_overhead * 100.0,
+            TELEMETRY_OVERHEAD_CEILING * 100.0
+        );
         eprintln!(
             "perf floor passed: crc {crc_speedup:.2}x, fft {fft_speedup:.2}x, \
-             warm grid cache {grid_speedup:.0}x"
+             warm grid cache {grid_speedup:.0}x, telemetry overhead {:.1}%",
+            telemetry_overhead * 100.0
         );
     }
 }

@@ -9,6 +9,10 @@
 //! tracereport --diff BASE.jsonl CAND.jsonl [--threshold PCT]
 //!                                        # phase-by-phase comparison; flags cells
 //!                                        # whose wall time regressed > PCT % (25)
+//! tracereport --service FILE [--top K]   # render a service registry dumped by
+//!                                        # `gridrun --connect ADDR --stats -o FILE`:
+//!                                        # top-K slowest jobs, cache hit rate per
+//!                                        # report kind, latency per technique x benchmark
 //! ```
 //!
 //! The timeline's closing "Fig. 6 split" line is computed purely from
@@ -25,7 +29,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: tracereport FILE [--cell KIND/TECHNIQUE/BENCHMARK/TBPF] [--top K]\n\
-         usage: tracereport --diff BASE.jsonl CAND.jsonl [--threshold PCT]"
+         usage: tracereport --diff BASE.jsonl CAND.jsonl [--threshold PCT]\n\
+         usage: tracereport --service FILE [--top K]"
     );
     std::process::exit(2);
 }
@@ -47,11 +52,13 @@ fn main() -> ExitCode {
     let mut cell = None;
     let mut top_k = 10usize;
     let mut diff = false;
+    let mut service = false;
     let mut threshold_pct = 25.0f64;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--diff" => diff = true,
+            "--service" => service = true,
             "--threshold" => {
                 threshold_pct = it
                     .next()
@@ -77,6 +84,24 @@ fn main() -> ExitCode {
             _ if !arg.starts_with('-') => files.push(arg),
             _ => usage(),
         }
+    }
+    if service {
+        if files.len() != 1 || diff || cell.is_some() {
+            usage();
+        }
+        let text = std::fs::read_to_string(&files[0]).unwrap_or_else(|e| {
+            eprintln!("tracereport: {}: {e}", files[0]);
+            std::process::exit(2);
+        });
+        let registry = schematic_obs::codec::parse(&text).unwrap_or_else(|e| {
+            eprintln!("tracereport: {}: {e}", files[0]);
+            std::process::exit(2);
+        });
+        print!(
+            "{}",
+            schematic_bench::service::render_service_report(&registry, top_k)
+        );
+        return ExitCode::SUCCESS;
     }
     if diff {
         if files.len() != 2 || cell.is_some() {

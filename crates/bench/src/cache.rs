@@ -350,6 +350,8 @@ pub fn resolve(
 ) -> (Vec<(Job, CellValue)>, Vec<Job>) {
     let mut hits: Vec<(Job, CellValue)> = Vec::new();
     let mut misses: Vec<Job> = Vec::new();
+    let mut hit_kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut miss_kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
     for job in jobs {
         let source = sources.digest(&job.benchmark);
         let cached = cache
@@ -357,12 +359,27 @@ pub fn resolve(
             .map(|ims| cell_key(job, table, ims))
             .and_then(|ck| cache.cell_get(ck));
         match cached {
-            Some(value) => hits.push((job.clone(), value.clone())),
-            None => misses.push(job.clone()),
+            Some(value) => {
+                *hit_kinds.entry(job.kind.name()).or_default() += 1;
+                hits.push((job.clone(), value.clone()));
+            }
+            None => {
+                *miss_kinds.entry(job.kind.name()).or_default() += 1;
+                misses.push(job.clone());
+            }
         }
     }
     schematic_obs::gcount("cache/hit", hits.len() as u64);
     schematic_obs::gcount("cache/miss", misses.len() as u64);
+    // Per-report-kind tallies drive the service renderer's hit-rate
+    // table; the aggregates above stay the queue-accounting invariant
+    // (hits + misses == resolved jobs).
+    for (kind, n) in hit_kinds {
+        schematic_obs::gcount(&format!("cache/hit/{kind}"), n);
+    }
+    for (kind, n) in miss_kinds {
+        schematic_obs::gcount(&format!("cache/miss/{kind}"), n);
+    }
     (hits, misses)
 }
 
@@ -418,6 +435,7 @@ pub fn compute_cached(
         out
     });
     if verify {
+        schematic_obs::gcount("cache/verify", hits.len() as u64);
         let fresh = par_map(&hits, |(job, _)| evaluate_traced(job, &table).0);
         let mismatched: Vec<String> = hits
             .iter()
@@ -459,23 +477,79 @@ pub fn compute_cached(
     ))
 }
 
+/// Per-job telemetry a worker attaches to its artifact line: the job's
+/// wall-clock nanoseconds plus everything the job's [`schematic_obs`]
+/// capture recorded (phase spans, counters, events).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerTelemetry {
+    /// Wall-clock nanoseconds the worker spent evaluating the job.
+    pub wall_nanos: u64,
+    /// The job's captured observation registry.
+    pub registry: schematic_obs::Registry,
+}
+
 /// Encodes one worker-shard output line: the cell plus its
 /// instrumented-module digests, so a parent with the cache (the daemon)
 /// can append both record kinds without recompiling anything.
 pub fn worker_line(job: &Job, value: &CellValue, ims: &[Digest]) -> String {
-    crate::grid::obj(vec![
-        ("cell", cell_to_json(job, value)),
-        ("ims", Json::Arr(ims.iter().map(|&d| hex(d)).collect())),
-    ])
-    .encode()
+    worker_record(job, value, ims, None).encode()
 }
 
-/// Decodes a [`worker_line`].
+/// [`worker_line`] with per-job telemetry attached: the registry rides
+/// the line as an embedded [`schematic_obs::codec`] string, so the
+/// digest-carrying artifact stream doubles as the telemetry channel —
+/// no second file, no second protocol.
+pub fn worker_line_telemetry(
+    job: &Job,
+    value: &CellValue,
+    ims: &[Digest],
+    telemetry: &WorkerTelemetry,
+) -> String {
+    worker_record(job, value, ims, Some(telemetry)).encode()
+}
+
+fn worker_record(
+    job: &Job,
+    value: &CellValue,
+    ims: &[Digest],
+    telemetry: Option<&WorkerTelemetry>,
+) -> Json {
+    let mut pairs = vec![
+        ("cell", cell_to_json(job, value)),
+        ("ims", Json::Arr(ims.iter().map(|&d| hex(d)).collect())),
+    ];
+    if let Some(t) = telemetry {
+        pairs.push(("wall_nanos", Json::UInt(t.wall_nanos)));
+        pairs.push((
+            "telemetry",
+            Json::Str(schematic_obs::codec::encode(&t.registry)),
+        ));
+    }
+    crate::grid::obj(pairs)
+}
+
+/// Decodes a [`worker_line`], ignoring any telemetry fields — the
+/// cell-folding path a parent without a registry uses.
 ///
 /// # Errors
 ///
 /// A [`GridError`] describing the malformed field.
 pub fn parse_worker_line(line: &str) -> Result<(Job, CellValue, Vec<Digest>), GridError> {
+    parse_worker_line_telemetry(line).map(|(job, value, ims, _)| (job, value, ims))
+}
+
+/// Decodes a worker line including its optional telemetry: `None` when
+/// the line came from a telemetry-off worker (both spellings stay
+/// parseable so mixed fleets interoperate).
+///
+/// # Errors
+///
+/// A [`GridError`] describing the malformed field — including a
+/// present-but-corrupt telemetry payload, which must not silently
+/// vanish from service aggregates.
+pub fn parse_worker_line_telemetry(
+    line: &str,
+) -> Result<(Job, CellValue, Vec<Digest>, Option<WorkerTelemetry>), GridError> {
     let json = Json::parse(line).map_err(|e| GridError(e.to_string()))?;
     let cell = json
         .get("cell")
@@ -492,7 +566,29 @@ pub fn parse_worker_line(line: &str) -> Result<(Job, CellValue, Vec<Digest>), Gr
             .ok_or_else(|| GridError("field 'ims' holds a non-digest entry".into()))?;
         ims.push(d);
     }
-    Ok((job, value, ims))
+    let telemetry = match (json.get("wall_nanos"), json.get("telemetry")) {
+        (None, None) => None,
+        (Some(wall), Some(text)) => {
+            let wall_nanos = wall
+                .as_u64()
+                .ok_or_else(|| GridError("non-integer field 'wall_nanos'".into()))?;
+            let encoded = text
+                .as_str()
+                .ok_or_else(|| GridError("non-string field 'telemetry'".into()))?;
+            let registry = schematic_obs::codec::parse(encoded)
+                .map_err(|e| GridError(format!("bad telemetry payload: {e}")))?;
+            Some(WorkerTelemetry {
+                wall_nanos,
+                registry,
+            })
+        }
+        _ => {
+            return Err(GridError(
+                "fields 'wall_nanos' and 'telemetry' must appear together".into(),
+            ))
+        }
+    };
+    Ok((job, value, ims, telemetry))
 }
 
 #[cfg(test)]
@@ -641,8 +737,32 @@ mod tests {
         let ims = vec![Digest { hi: 5, lo: 6 }];
         let line = worker_line(&job, &value, &ims);
         let (j2, v2, i2) = parse_worker_line(&line).unwrap();
-        assert_eq!((j2, v2, i2), (job, value, ims));
+        assert_eq!((j2, v2, i2), (job.clone(), value.clone(), ims.clone()));
+        // A plain line carries no telemetry.
+        let (_, _, _, t) = parse_worker_line_telemetry(&line).unwrap();
+        assert!(t.is_none());
         assert!(parse_worker_line("garbage").is_err());
         assert!(parse_worker_line("{\"cell\":{}}").is_err());
+
+        // The telemetry spelling round-trips registry and wall time.
+        let mut registry = schematic_obs::Registry::default();
+        registry.record_span("cell/compile", 1234);
+        registry.record_span(&format!("job/{job}"), 5678);
+        *registry.counters.entry("cells".into()).or_default() += 1;
+        let telemetry = WorkerTelemetry {
+            wall_nanos: 5678,
+            registry,
+        };
+        let line = worker_line_telemetry(&job, &value, &ims, &telemetry);
+        let (j2, v2, i2, t2) = parse_worker_line_telemetry(&line).unwrap();
+        assert_eq!((j2, v2, i2), (job, value, ims));
+        assert_eq!(t2, Some(telemetry));
+        // The telemetry-blind parser still folds the cell.
+        assert!(parse_worker_line(&line).is_ok());
+        // A corrupt telemetry payload is an error, not a silent drop.
+        assert!(parse_worker_line_telemetry(
+            &line.replace("\\\"t\\\":\\\"reg\\\"", "\\\"t\\\":\\\"wat\\\"")
+        )
+        .is_err());
     }
 }

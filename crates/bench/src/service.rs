@@ -15,20 +15,39 @@
 //!   `{"op":"submit","jobs":["run/Schematic/crc/10000",…]}` evaluates a
 //!   batch (cache-first, optionally fanned out to worker processes),
 //!   `{"op":"status"}` reports store and cache tallies, `{"op":"fetch"}`
-//!   returns every accumulated cell as artifact objects, and
-//!   `{"op":"shutdown"}` stops the daemon. Errors come back as
+//!   returns every accumulated cell as artifact objects,
+//!   `{"op":"stats"}` returns the daemon's live telemetry (see below),
+//!   and `{"op":"shutdown"}` stops the daemon. Errors come back as
 //!   `{"ok":false,"error":…}` — a bad request never kills the service.
 //! * **[`Daemon`]** — the state machine behind the socket loop:
 //!   [`Daemon::handle`] maps one request to one response plus a
 //!   shutdown flag. The `gridd` binary owns the `TcpListener` and feeds
 //!   frames through it.
+//!
+//! ## Service telemetry
+//!
+//! Worker children attach a serialized [`schematic_obs::Registry`] to
+//! every artifact line (see [`cache::worker_line_telemetry`]); the
+//! daemon folds them into one **service registry**, adds a
+//! `service/job_wall` latency histogram per dispatched job, and folds
+//! in the process-global counters (`cache/hit`, `cache/miss`,
+//! `cache/verify`, `daemon/op/*`) when answering `stats`. The response
+//! carries daemon gauges (uptime, queue depth, worker utilization)
+//! plus the merged registry as a [`schematic_obs::codec`] string, which
+//! [`render_stats`] renders human-readable, [`render_stats_expo`]
+//! renders as Prometheus-style text exposition (stable sorted
+//! `name{labels} value` lines, integers only), and
+//! `tracereport --service` renders offline from a dumped file.
 
 use crate::cache::{self, CellCache, SourceDigests};
 use crate::grid::{CellStore, GridError, GridMode, Job};
 use crate::json::Json;
 use schematic_energy::CostTable;
+use schematic_obs::Registry;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::Instant;
 
 /// Upper bound on one frame's payload (16 MiB — a full-grid fetch is
 /// well under 1 MiB; anything bigger is a corrupt or hostile prefix).
@@ -159,6 +178,19 @@ pub struct Daemon {
     batches: u64,
     hits: u64,
     computed: u64,
+    started: Instant,
+    /// Merged worker telemetry plus daemon-side spans; the `stats` op
+    /// snapshots this with the process-global counters folded in.
+    service_reg: Registry,
+    /// Jobs whose artifact lines carried a worker registry.
+    worker_jobs: u64,
+    /// Sum of per-job wall nanoseconds reported by workers — honest
+    /// utilization regardless of dispatch interleaving.
+    worker_busy_nanos: u64,
+    /// Miss count of the most recent submit batch.
+    queue_last: u64,
+    /// Largest miss count any batch has dispatched.
+    queue_peak: u64,
 }
 
 impl Daemon {
@@ -175,6 +207,12 @@ impl Daemon {
             batches: 0,
             hits: 0,
             computed: 0,
+            started: Instant::now(),
+            service_reg: Registry::default(),
+            worker_jobs: 0,
+            worker_busy_nanos: 0,
+            queue_last: 0,
+            queue_peak: 0,
         }
     }
 
@@ -197,6 +235,7 @@ impl Daemon {
             "submit" => (self.submit(req), false),
             "status" => (self.status(), false),
             "fetch" => (self.fetch(), false),
+            "stats" => (self.stats(), false),
             "shutdown" => (ok_response(vec![]), true),
             other => (error_response(format!("unknown op '{other}'")), false),
         }
@@ -245,8 +284,13 @@ impl Daemon {
     }
 
     fn compute_inline(&mut self, needed: &[Job]) -> Result<(usize, usize), GridError> {
+        let t0 = Instant::now();
         let (batch, stats) = cache::compute_cached(needed, self.cache.as_mut(), false, &|_, _| {})?;
         self.store.merge_from(batch)?;
+        self.service_reg
+            .record_span("daemon/batch", t0.elapsed().as_nanos() as u64);
+        self.queue_last = stats.computed as u64;
+        self.queue_peak = self.queue_peak.max(self.queue_last);
         Ok((stats.hits, stats.computed))
     }
 
@@ -256,6 +300,7 @@ impl Daemon {
     /// digests) back into the store *and* the cache — the daemon stays
     /// the file's only writer because children never open it.
     fn compute_dispatched(&mut self, needed: &[Job]) -> Result<(usize, usize), GridError> {
+        let t0 = Instant::now();
         let table = CostTable::msp430fr5969();
         let (hits, misses) = match &self.cache {
             Some(cache) => cache::resolve(needed, cache, &table, &mut self.sources),
@@ -264,6 +309,8 @@ impl Daemon {
         for (job, value) in &hits {
             self.store.insert(job.clone(), value.clone())?;
         }
+        self.queue_last = misses.len() as u64;
+        self.queue_peak = self.queue_peak.max(self.queue_last);
         if misses.is_empty() {
             return Ok((hits.len(), 0));
         }
@@ -271,17 +318,34 @@ impl Daemon {
         let mut folded = 0;
         for text in outputs {
             for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                let (job, value, ims) = cache::parse_worker_line(line)?;
+                let (job, value, ims, telemetry) = cache::parse_worker_line_telemetry(line)?;
                 if let Some(cache) = &mut self.cache {
                     let source = self.sources.digest(&job.benchmark);
                     let ck = cache::cell_key(&job, &table, &ims);
                     cache.memo_put(cache::memo_key(&job, &table, source), ims);
                     cache.cell_put(ck, &job, value.clone());
                 }
+                if let Some(mut t) = telemetry {
+                    // Keep the aggregates (spans, counters, histograms)
+                    // but not the event logs: a long-lived daemon would
+                    // otherwise hoard them until `stats` frames hit the
+                    // protocol cap. Account them as spilled — the count
+                    // stays visible, the bytes stay in the worker lines.
+                    let spilled = t.registry.events.len() as u64;
+                    t.registry.events.clear();
+                    t.registry.spilled_events += spilled;
+                    self.service_reg.merge_from(t.registry);
+                    self.service_reg
+                        .record_span("service/job_wall", t.wall_nanos);
+                    self.worker_jobs += 1;
+                    self.worker_busy_nanos = self.worker_busy_nanos.saturating_add(t.wall_nanos);
+                }
                 self.store.insert(job, value)?;
                 folded += 1;
             }
         }
+        self.service_reg
+            .record_span("daemon/batch", t0.elapsed().as_nanos() as u64);
         if folded != misses.len() {
             return Err(GridError(format!(
                 "workers returned {folded} cells for {} dispatched jobs",
@@ -320,6 +384,8 @@ impl Daemon {
                 cmd.arg("--quick");
             }
             cmd.arg("--jobs").arg(&jobs_path).arg("-o").arg(&out_path);
+            // Children report through artifact telemetry, not heartbeats.
+            cmd.env("SCHEMATIC_PROGRESS", "0");
             let child = cmd
                 .spawn()
                 .map_err(|e| GridError(format!("spawn {}: {e}", gridrun.display())))?;
@@ -365,6 +431,393 @@ impl Daemon {
             .collect();
         ok_response(vec![("cells", Json::Arr(cells))])
     }
+
+    /// Snapshot of the live service registry plus daemon gauges. The
+    /// process-global counters (cache hit/miss/verify tallies, per-op
+    /// request counts) are folded into the registry copy so one codec
+    /// string carries the whole picture.
+    fn stats(&self) -> Json {
+        let mut reg = self.service_reg.clone();
+        for (name, n) in schematic_obs::gcounters() {
+            *reg.counters.entry(name).or_default() += n;
+        }
+        let (memos, cells) = self.cache.as_ref().map_or((0, 0), CellCache::len);
+        ok_response(vec![
+            (
+                "uptime_nanos",
+                Json::UInt(self.started.elapsed().as_nanos() as u64),
+            ),
+            ("batches", Json::UInt(self.batches)),
+            ("hits", Json::UInt(self.hits)),
+            ("computed", Json::UInt(self.computed)),
+            ("cells", Json::UInt(self.store.len() as u64)),
+            ("cache_memos", Json::UInt(memos as u64)),
+            ("cache_cells", Json::UInt(cells as u64)),
+            ("workers", Json::UInt(self.workers as u64)),
+            ("worker_jobs", Json::UInt(self.worker_jobs)),
+            ("worker_busy_nanos", Json::UInt(self.worker_busy_nanos)),
+            ("queue_last", Json::UInt(self.queue_last)),
+            ("queue_peak", Json::UInt(self.queue_peak)),
+            ("registry", Json::Str(schematic_obs::codec::encode(&reg))),
+        ])
+    }
+}
+
+/// A `stats` response decoded for rendering. [`StatsSnapshot::parse`]
+/// accepts both a live protocol response and a file the client dumped
+/// with `--stats -o`.
+pub struct StatsSnapshot {
+    /// Nanoseconds since the daemon started.
+    pub uptime_nanos: u64,
+    /// Submit batches served.
+    pub batches: u64,
+    /// Cells answered from the store or cache across all batches.
+    pub hits: u64,
+    /// Cells computed (inline or by workers) across all batches.
+    pub computed: u64,
+    /// Cells accumulated in the store.
+    pub cells: u64,
+    /// Memo entries in the warm disk cache.
+    pub cache_memos: u64,
+    /// Cell entries in the warm disk cache.
+    pub cache_cells: u64,
+    /// Configured worker process count (`0` = inline).
+    pub workers: u64,
+    /// Jobs whose artifact lines carried worker telemetry.
+    pub worker_jobs: u64,
+    /// Sum of worker-reported per-job wall nanoseconds.
+    pub worker_busy_nanos: u64,
+    /// Miss count of the most recent batch.
+    pub queue_last: u64,
+    /// Largest miss count any batch dispatched.
+    pub queue_peak: u64,
+    /// The merged service registry (worker telemetry + daemon spans +
+    /// process-global counters).
+    pub registry: Registry,
+}
+
+impl StatsSnapshot {
+    /// Decodes a `stats` response object.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing field or the codec failure.
+    pub fn parse(resp: &Json) -> Result<StatsSnapshot, String> {
+        let field = |name: &str| {
+            resp.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stats response lacks numeric field '{name}'"))
+        };
+        let text = resp
+            .get("registry")
+            .and_then(Json::as_str)
+            .ok_or("stats response lacks string field 'registry'")?;
+        let registry =
+            schematic_obs::codec::parse(text).map_err(|e| format!("bad registry payload: {e}"))?;
+        Ok(StatsSnapshot {
+            uptime_nanos: field("uptime_nanos")?,
+            batches: field("batches")?,
+            hits: field("hits")?,
+            computed: field("computed")?,
+            cells: field("cells")?,
+            cache_memos: field("cache_memos")?,
+            cache_cells: field("cache_cells")?,
+            workers: field("workers")?,
+            worker_jobs: field("worker_jobs")?,
+            worker_busy_nanos: field("worker_busy_nanos")?,
+            queue_last: field("queue_last")?,
+            queue_peak: field("queue_peak")?,
+            registry,
+        })
+    }
+}
+
+/// Human-readable `stats` rendering: daemon gauges, then the service
+/// registry via [`render_service_report`].
+pub fn render_stats(s: &StatsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "gridd stats: up {}.{:03}s · {} batches · {} hits · {} computed · {} store cells",
+        s.uptime_nanos / 1_000_000_000,
+        s.uptime_nanos / 1_000_000 % 1000,
+        s.batches,
+        s.hits,
+        s.computed,
+        s.cells,
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "workers: {} configured · {} jobs dispatched · busy {}.{:03}s · queue last {} peak {}",
+        s.workers,
+        s.worker_jobs,
+        s.worker_busy_nanos / 1_000_000_000,
+        s.worker_busy_nanos / 1_000_000 % 1000,
+        s.queue_last,
+        s.queue_peak,
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "cache: {} memos · {} cells",
+        s.cache_memos, s.cache_cells
+    )
+    .unwrap();
+    out.push('\n');
+    out.push_str(&render_service_report(&s.registry, 10));
+    out
+}
+
+/// Replaces every byte that could break a `name="value"` label pair —
+/// quotes, backslashes, braces, newlines, control bytes — with `_`.
+fn expo_label(value: &str) -> String {
+    value
+        .chars()
+        .map(|c| match c {
+            '"' | '\\' | '{' | '}' => '_',
+            c if c.is_control() => '_',
+            c => c,
+        })
+        .collect()
+}
+
+fn expo_push(out: &mut Vec<String>, name: &str, labels: &[(&str, &str)], value: u64) {
+    debug_assert!(name.bytes().all(|b| b.is_ascii_lowercase() || b == b'_'));
+    if labels.is_empty() {
+        out.push(format!("{name} {value}"));
+    } else {
+        let body: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", expo_label(v)))
+            .collect();
+        out.push(format!("{name}{{{}}} {value}", body.join(",")));
+    }
+}
+
+/// Prometheus-style text exposition of a `stats` snapshot: one
+/// `name{labels} value` per line, metric names `[a-z_]+`, integer
+/// values, lines sorted so the output is byte-stable for a given
+/// snapshot.
+pub fn render_stats_expo(s: &StatsSnapshot) -> String {
+    let mut lines = Vec::new();
+    expo_push(
+        &mut lines,
+        "gridd_uptime_seconds",
+        &[],
+        s.uptime_nanos / 1_000_000_000,
+    );
+    expo_push(&mut lines, "gridd_batches_total", &[], s.batches);
+    expo_push(&mut lines, "gridd_submit_hits_total", &[], s.hits);
+    expo_push(&mut lines, "gridd_submit_computed_total", &[], s.computed);
+    expo_push(&mut lines, "gridd_store_cells", &[], s.cells);
+    expo_push(&mut lines, "gridd_cache_memos", &[], s.cache_memos);
+    expo_push(&mut lines, "gridd_cache_cells", &[], s.cache_cells);
+    expo_push(&mut lines, "gridd_workers", &[], s.workers);
+    expo_push(&mut lines, "gridd_worker_jobs_total", &[], s.worker_jobs);
+    expo_push(
+        &mut lines,
+        "gridd_worker_busy_nanos_total",
+        &[],
+        s.worker_busy_nanos,
+    );
+    expo_push(&mut lines, "gridd_queue_depth_last", &[], s.queue_last);
+    expo_push(&mut lines, "gridd_queue_depth_peak", &[], s.queue_peak);
+    let reg = &s.registry;
+    expo_push(
+        &mut lines,
+        "gridd_registry_events",
+        &[],
+        reg.events.len() as u64,
+    );
+    expo_push(
+        &mut lines,
+        "gridd_registry_dropped_events_total",
+        &[],
+        reg.dropped_events,
+    );
+    expo_push(
+        &mut lines,
+        "gridd_registry_spilled_events_total",
+        &[],
+        reg.spilled_events,
+    );
+    for (name, n) in &reg.counters {
+        expo_push(&mut lines, "gridd_counter_total", &[("name", name)], *n);
+    }
+    for (name, stats) in &reg.spans {
+        let labels = [("name", name.as_str())];
+        expo_push(&mut lines, "gridd_span_calls_total", &labels, stats.calls);
+        expo_push(
+            &mut lines,
+            "gridd_span_nanos_total",
+            &labels,
+            stats.total_nanos,
+        );
+        for (q, num) in [("p50", 50), ("p95", 95)] {
+            expo_push(
+                &mut lines,
+                "gridd_span_nanos",
+                &[("name", name.as_str()), ("quantile", q)],
+                stats.hist.quantile(num, 100),
+            );
+        }
+    }
+    lines.sort();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Whether `line` matches the exposition grammar the CI smoke greps
+/// for: `^[a-z_]+(\{[^}]*\})? [0-9]+$`, hand-rolled because the repo
+/// carries no regex engine.
+pub fn expo_line_ok(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && (bytes[i].is_ascii_lowercase() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    if i < bytes.len() && bytes[i] == b'{' {
+        i += 1;
+        while i < bytes.len() && bytes[i] != b'}' && bytes[i] != b'\n' {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'}' {
+            return false;
+        }
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b' ' {
+        return false;
+    }
+    i += 1;
+    let digits = &bytes[i..];
+    !digits.is_empty() && digits.iter().all(u8::is_ascii_digit)
+}
+
+/// Offline rendering of a service registry: top-K slowest jobs, cache
+/// hit rate per report kind, and latency quantiles per
+/// technique × benchmark. Shared by `gridrun --stats` (via
+/// [`render_stats`]) and `tracereport --service`.
+pub fn render_service_report(reg: &Registry, top_k: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "service registry: {} spans · {} counters · {} events ({} dropped, {} spilled)",
+        reg.spans.len(),
+        reg.counters.len(),
+        reg.events.len(),
+        reg.dropped_events,
+        reg.spilled_events,
+    )
+    .unwrap();
+
+    // Top-K slowest jobs by mean wall time.
+    let mut jobs: Vec<(&str, &schematic_obs::PhaseStats)> = reg
+        .spans
+        .iter()
+        .filter_map(|(name, s)| name.strip_prefix("job/").map(|j| (j, s)))
+        .collect();
+    if !jobs.is_empty() {
+        jobs.sort_by(|a, b| b.1.mean_nanos().cmp(&a.1.mean_nanos()).then(a.0.cmp(b.0)));
+        jobs.truncate(top_k);
+        let headers: Vec<String> = ["job", "calls", "mean_us", "p50_us", "p95_us", "max_us"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = jobs
+            .iter()
+            .map(|(job, s)| {
+                vec![
+                    job.to_string(),
+                    s.calls.to_string(),
+                    (s.mean_nanos() / 1000).to_string(),
+                    (s.hist.quantile(50, 100) / 1000).to_string(),
+                    (s.hist.quantile(95, 100) / 1000).to_string(),
+                    (s.hist.max() / 1000).to_string(),
+                ]
+            })
+            .collect();
+        writeln!(out, "\ntop {} slowest jobs (by mean wall time)", jobs.len()).unwrap();
+        out.push_str(&crate::render_table(&headers, &rows));
+    }
+
+    // Cache hit rate per report kind, from the per-kind counters the
+    // cache layer tallies on every resolve.
+    let mut kinds: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for (name, n) in &reg.counters {
+        if let Some(kind) = name.strip_prefix("cache/hit/") {
+            kinds.entry(kind).or_default().0 += n;
+        } else if let Some(kind) = name.strip_prefix("cache/miss/") {
+            kinds.entry(kind).or_default().1 += n;
+        }
+    }
+    if !kinds.is_empty() {
+        let headers: Vec<String> = ["kind", "hits", "misses", "rate"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = kinds
+            .iter()
+            .map(|(kind, (h, m))| {
+                let rate = (h * 100).checked_div(h + m).unwrap_or(0);
+                vec![
+                    kind.to_string(),
+                    h.to_string(),
+                    m.to_string(),
+                    format!("{rate}%"),
+                ]
+            })
+            .collect();
+        writeln!(out, "\ncache hit rate by report kind").unwrap();
+        out.push_str(&crate::render_table(&headers, &rows));
+    }
+
+    // Latency quantiles per technique × benchmark, aggregated over the
+    // per-job wall histograms (`job/<kind>/<technique>/<benchmark>/…`).
+    let mut cells: BTreeMap<(String, String), schematic_obs::Histogram> = BTreeMap::new();
+    for (name, s) in &reg.spans {
+        let Some(rest) = name.strip_prefix("job/") else {
+            continue;
+        };
+        let mut parts = rest.splitn(4, '/');
+        let (Some(_kind), Some(tech), Some(bench), Some(_scenario)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        cells
+            .entry((tech.to_string(), bench.to_string()))
+            .or_default()
+            .merge_from(&s.hist);
+    }
+    if !cells.is_empty() {
+        let headers: Vec<String> = ["technique", "benchmark", "jobs", "p50_us", "p95_us"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|((tech, bench), h)| {
+                vec![
+                    tech.clone(),
+                    bench.clone(),
+                    h.count().to_string(),
+                    (h.quantile(50, 100) / 1000).to_string(),
+                    (h.quantile(95, 100) / 1000).to_string(),
+                ]
+            })
+            .collect();
+        writeln!(out, "\njob wall latency by technique x benchmark").unwrap();
+        out.push_str(&crate::render_table(&headers, &rows));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -520,5 +973,154 @@ mod tests {
         // Still alive and serving.
         let (status, _) = d.handle(&crate::grid::obj(vec![("op", Json::Str("status".into()))]));
         assert_eq!(status.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn stats_op_reports_a_parseable_snapshot() {
+        let mut d = Daemon::new(GridMode::Quick, None, 0);
+        let submit = crate::grid::obj(vec![
+            ("op", Json::Str("submit".into())),
+            (
+                "jobs",
+                Json::Arr(vec![
+                    Json::Str("support/Schematic/crc/0".into()),
+                    Json::Str("support/Mementos/crc/0".into()),
+                ]),
+            ),
+        ]);
+        let (resp, _) = d.handle(&submit);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let (stats, stop) = d.handle(&crate::grid::obj(vec![("op", Json::Str("stats".into()))]));
+        assert!(!stop);
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        let snap = StatsSnapshot::parse(&stats).unwrap();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.cells, 2);
+        assert_eq!(snap.workers, 0);
+        // The inline path records a batch span into the service registry.
+        assert!(snap.registry.spans.contains_key("daemon/batch"));
+        // The global op counters were folded into the snapshot. The
+        // counters are process-global, so other tests in this binary may
+        // have bumped them too — assert presence and a lower bound, not
+        // equality.
+        assert!(snap.registry.counters.get("daemon/op/stats").copied() >= Some(1));
+        assert!(snap.registry.counters.get("daemon/op/submit").copied() >= Some(1));
+        // Both renderers accept the snapshot.
+        let human = render_stats(&snap);
+        assert!(human.contains("gridd stats:"));
+        assert!(human.contains("service registry:"));
+        let expo = render_stats_expo(&snap);
+        for line in expo.lines() {
+            assert!(expo_line_ok(line), "bad exposition line: {line:?}");
+        }
+        assert!(expo.contains("gridd_batches_total 1\n"));
+        assert!(expo.contains("gridd_store_cells 2\n"));
+        // Sorted and byte-stable.
+        let lines: Vec<&str> = expo.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+        assert_eq!(expo, render_stats_expo(&snap));
+    }
+
+    #[test]
+    fn service_report_renders_jobs_kinds_and_latency() {
+        let mut reg = Registry::default();
+        for (job, nanos) in [
+            ("run/Schematic/crc/10000", 5_000_000u64),
+            ("run/Schematic/fft/10000", 9_000_000),
+            ("run/Mementos/crc/10000", 2_000_000),
+            ("fig7/Schematic/sort/2000", 1_000_000),
+        ] {
+            reg.record_span(&format!("job/{job}"), nanos);
+        }
+        *reg.counters.entry("cache/hit/run".into()).or_default() = 3;
+        *reg.counters.entry("cache/miss/run".into()).or_default() = 1;
+        *reg.counters.entry("cache/miss/fig7".into()).or_default() = 1;
+        let report = render_service_report(&reg, 2);
+        // Top-K truncates to the two slowest by mean.
+        assert!(report.contains("top 2 slowest jobs"));
+        assert!(report.contains("run/Schematic/fft/10000"));
+        assert!(report.contains("run/Schematic/crc/10000"));
+        assert!(!report.contains("run/Mementos/crc/10000"));
+        // Hit rates are integer percents per kind.
+        assert!(report.contains("75%"), "{report}");
+        assert!(report.contains("0%"), "{report}");
+        // Technique x benchmark rollup covers each pair.
+        assert!(report.contains("job wall latency by technique x benchmark"));
+        assert!(report.contains("Mementos"));
+        let empty = render_service_report(&Registry::default(), 5);
+        assert!(empty.contains("0 spans"));
+    }
+
+    #[test]
+    fn expo_line_grammar_is_enforced() {
+        for good in [
+            "gridd_batches_total 3",
+            "gridd_counter_total{name=\"cache/hit\"} 12",
+            "gridd_span_nanos{name=\"job/run\",quantile=\"p95\"} 9000000",
+        ] {
+            assert!(expo_line_ok(good), "{good}");
+        }
+        for bad in [
+            "",
+            "Gridd_total 1",
+            "gridd_total  1",
+            "gridd_total 1.5",
+            "gridd_total -1",
+            "gridd_total{unterminated 1",
+            "gridd_total",
+            "gridd_total{x=\"y\"}1",
+        ] {
+            assert!(!expo_line_ok(bad), "{bad}");
+        }
+        // The sanitizer keeps label values inside the grammar even when
+        // the raw name carries quotes, braces, or newlines.
+        let mut lines = Vec::new();
+        expo_push(
+            &mut lines,
+            "gridd_counter_total",
+            &[("name", "we\"ird}\n\\x")],
+            7,
+        );
+        assert!(expo_line_ok(&lines[0]), "{:?}", lines[0]);
+    }
+
+    #[test]
+    fn stats_frames_survive_truncation_oversize_and_garbage() {
+        // A realistic stats response frame, then every prefix of it.
+        let mut d = Daemon::new(GridMode::Quick, None, 0);
+        let (resp, _) = d.handle(&crate::grid::obj(vec![("op", Json::Str("stats".into()))]));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        for cut in 1..buf.len() {
+            let mut r = Cursor::new(&buf[..cut]);
+            assert_eq!(read_frame(&mut r), Err(FrameError::Truncated), "cut {cut}");
+        }
+        // Oversize prefix on a stats-shaped body.
+        let mut oversize = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        oversize.extend_from_slice(&buf[4..]);
+        assert_eq!(
+            read_frame(&mut Cursor::new(oversize)),
+            Err(FrameError::Oversize(MAX_FRAME + 1))
+        );
+        // Garbage mutations of the payload must parse-fail or decode to
+        // something StatsSnapshot::parse rejects — never panic.
+        let mut rng = Rng(0x57A7_57A7);
+        for _ in 0..200 {
+            let mut mutated = buf.clone();
+            let idx = 4 + (rng.next() as usize) % (mutated.len() - 4);
+            mutated[idx] = (rng.next() & 0xFF) as u8;
+            if let Ok(Some(json)) = read_frame(&mut Cursor::new(&mutated)) {
+                let _ = StatsSnapshot::parse(&json);
+            }
+        }
+        // A stats request with stray fields still answers.
+        let (resp, stop) = d.handle(&crate::grid::obj(vec![
+            ("op", Json::Str("stats".into())),
+            ("extra", Json::UInt(7)),
+        ]));
+        assert!(!stop);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
     }
 }

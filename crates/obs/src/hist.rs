@@ -134,6 +134,50 @@ impl Histogram {
         self.max
     }
 
+    /// The nonzero buckets as `(index, count)` pairs, in index order —
+    /// the sparse form the registry codec serializes (976 buckets,
+    /// almost all zero for typical span distributions).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Rebuilds a histogram from its serialized parts: exact tallies
+    /// plus the sparse bucket list from [`Histogram::nonzero_buckets`].
+    /// `None` when the parts are inconsistent — an out-of-range bucket
+    /// index, an overflowing count, or buckets that do not sum to
+    /// `count` — so a corrupt record is a decode error, never a panic.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        sparse: &[(usize, u64)],
+    ) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        let mut total = 0u64;
+        for &(idx, c) in sparse {
+            if idx >= BUCKETS {
+                return None;
+            }
+            h.buckets[idx] = h.buckets[idx].checked_add(c)?;
+            total = total.checked_add(c)?;
+        }
+        if total != count {
+            return None;
+        }
+        h.count = count;
+        h.sum = sum;
+        // The empty histogram's internal min is the identity for `min`
+        // merges; the accessor reports 0, which is what gets encoded.
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        Some(h)
+    }
+
     /// Folds `other` into `self`: bucketwise adds, so merging is
     /// commutative and associative — the deterministic-merge property
     /// the parallel driver relies on.
@@ -211,6 +255,39 @@ mod tests {
         ba.merge_from(&a);
         assert_eq!(ab, all);
         assert_eq!(ba, all);
+    }
+
+    #[test]
+    fn sparse_parts_roundtrip_exactly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 17, 1000, 1 << 30, u64::MAX] {
+            h.record(v);
+        }
+        let sparse: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let rebuilt = Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &sparse).unwrap();
+        assert_eq!(rebuilt, h);
+        // Merging a rebuilt copy equals merging the original.
+        let mut via_rebuilt = Histogram::new();
+        via_rebuilt.merge_from(&rebuilt);
+        let mut via_original = Histogram::new();
+        via_original.merge_from(&h);
+        assert_eq!(via_rebuilt, via_original);
+        // The empty histogram round-trips through its accessor values.
+        let empty = Histogram::new();
+        assert_eq!(
+            Histogram::from_parts(0, 0, empty.min(), empty.max(), &[]).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn inconsistent_parts_are_rejected() {
+        // Out-of-range index.
+        assert!(Histogram::from_parts(1, 5, 5, 5, &[(BUCKETS, 1)]).is_none());
+        // Buckets that do not sum to the count.
+        assert!(Histogram::from_parts(3, 5, 5, 5, &[(2, 1)]).is_none());
+        // Overflowing bucket totals.
+        assert!(Histogram::from_parts(u64::MAX, 0, 0, 0, &[(0, u64::MAX), (1, 1)]).is_none());
     }
 
     #[test]

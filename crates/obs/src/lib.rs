@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod hist;
 
 pub use hist::Histogram;
@@ -145,10 +146,15 @@ impl PhaseStats {
         self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
         self.hist.merge_from(&other.hist);
     }
+
+    /// Mean nanoseconds per call, rounded down (`0` when never called).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.calls).unwrap_or(0)
+    }
 }
 
 /// Everything one thread (or one [`capture`] scope) collected.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     /// Span aggregates keyed by span name.
     pub spans: BTreeMap<String, PhaseStats>,
@@ -190,6 +196,17 @@ impl Registry {
         }
         self.dropped_events += other.dropped_events;
         self.spilled_events += other.spilled_events;
+    }
+
+    /// Records one `nanos` sample into the named span aggregate — the
+    /// dynamic-name sibling of [`span`] (whose guard requires a
+    /// `&'static str`). Services use it to attribute wall time to
+    /// runtime-constructed keys, e.g. one span per grid job.
+    pub fn record_span(&mut self, name: &str, nanos: u64) {
+        self.spans
+            .entry(name.to_string())
+            .or_default()
+            .record(nanos);
     }
 
     fn push_event(&mut self, ev: Event) {
@@ -311,30 +328,34 @@ pub fn event(kind: &str, fields: Vec<(&str, Value)>) {
 static GLOBAL_COUNTERS: std::sync::Mutex<BTreeMap<String, u64>> =
     std::sync::Mutex::new(BTreeMap::new());
 
+/// The global-counter map, recovering from poison: a panic elsewhere
+/// (e.g. a worker thread dying mid-count) must not turn every later
+/// tally into an abort. The map is only ever mutated by whole-entry
+/// additions, so a poisoned guard still holds consistent data.
+fn global_counters() -> std::sync::MutexGuard<'static, BTreeMap<String, u64>> {
+    GLOBAL_COUNTERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Adds `n` to a *process-global* counter. Unlike [`count`], these are
 /// shared across threads and independent of the [`set_enabled`] gate —
 /// they serve long-lived services (the grid cell cache, the `gridd`
 /// daemon) whose hit/miss and request tallies are part of observable
 /// behaviour, not optional tracing.
 pub fn gcount(name: &str, n: u64) {
-    let mut g = GLOBAL_COUNTERS.lock().expect("global counter lock");
-    *g.entry(name.to_string()).or_default() += n;
+    *global_counters().entry(name.to_string()).or_default() += n;
 }
 
 /// The current value of a process-global counter (0 when never
 /// counted).
 pub fn gcounter(name: &str) -> u64 {
-    GLOBAL_COUNTERS
-        .lock()
-        .expect("global counter lock")
-        .get(name)
-        .copied()
-        .unwrap_or(0)
+    global_counters().get(name).copied().unwrap_or(0)
 }
 
 /// A snapshot of every process-global counter.
 pub fn gcounters() -> BTreeMap<String, u64> {
-    GLOBAL_COUNTERS.lock().expect("global counter lock").clone()
+    global_counters().clone()
 }
 
 /// Takes the calling thread's registry, leaving an empty one behind.
@@ -520,6 +541,33 @@ mod tests {
         assert_eq!(gcounter("test/g"), 5);
         assert_eq!(gcounters().get("test/g"), Some(&5));
         assert_eq!(gcounter("test/never"), 0);
+    }
+
+    #[test]
+    fn global_counters_survive_a_poisoned_lock() {
+        // A thread that panics while holding the lock poisons it; every
+        // later tally must recover instead of aborting.
+        let _ = std::thread::spawn(|| {
+            let _guard = GLOBAL_COUNTERS.lock().unwrap();
+            panic!("poison the global counter lock");
+        })
+        .join();
+        gcount("test/poison", 1);
+        gcount("test/poison", 2);
+        assert_eq!(gcounter("test/poison"), 3);
+        assert_eq!(gcounters().get("test/poison"), Some(&3));
+    }
+
+    #[test]
+    fn record_span_matches_guard_aggregation() {
+        let mut reg = Registry::default();
+        reg.record_span("job/run/Schematic/crc/10000", 100);
+        reg.record_span("job/run/Schematic/crc/10000", 300);
+        let stats = &reg.spans["job/run/Schematic/crc/10000"];
+        assert_eq!(stats.calls, 2);
+        assert_eq!(stats.total_nanos, 400);
+        assert_eq!(stats.hist.count(), 2);
+        assert_eq!(stats.hist.max(), 300);
     }
 
     #[test]

@@ -117,29 +117,98 @@ echo "robustness report deterministic; scenario cells replayed from cache (verif
 
 echo "== gridd daemon loopback smoke (release) =="
 # Start the evaluation daemon on an ephemeral loopback port with two
-# worker processes, drive one submit/status/fetch/shutdown cycle
+# worker processes, drive one submit/status/stats/fetch/shutdown cycle
 # through the gridrun client, and require the fetched cells to render
-# byte-identically to the direct in-process run.
+# byte-identically to the direct in-process run. The stats op must
+# report merged worker telemetry whose cache hit/miss totals exactly
+# equal the submitted job count — all misses on the cold daemon, all
+# hits on a warm restart over the populated cache file.
 cargo build --release --offline -p schematic-bench --bin gridd
-target/release/gridd --quick --addr 127.0.0.1:0 \
-  --cache "$GRIDDIR/gridd-cache.jsonl" --workers 2 \
-  > "$GRIDDIR/gridd.out" 2> "$GRIDDIR/gridd.err" &
-GRIDD_PID=$!
-ADDR=""
-for _ in $(seq 1 100); do
-  ADDR="$(sed -n 's/^gridd: listening on //p' "$GRIDDIR/gridd.out")"
-  [ -n "$ADDR" ] && break
-  sleep 0.1
-done
-test -n "$ADDR" || { echo "gridd never reported its address"; exit 1; }
+GRIDD=target/release/gridd
+JOBS="$("$GRIDRUN" --quick --list | wc -l | tr -d ' ')"
+
+# Boots a daemon over the shared cache file; sets ADDR and GRIDD_PID.
+start_gridd() {
+  local out=$1
+  "$GRIDD" --quick --addr 127.0.0.1:0 \
+    --cache "$GRIDDIR/gridd-cache.jsonl" --workers 2 \
+    > "$out" 2> "$GRIDDIR/gridd.err" &
+  GRIDD_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^gridd: listening on //p' "$out")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  test -n "$ADDR" || { echo "gridd never reported its address"; exit 1; }
+}
+
+# Every exposition line must match the stable grammar.
+check_expo() {
+  test -s "$1" || { echo "$1: empty exposition output"; exit 1; }
+  if grep -qvE '^[a-z_]+(\{[^}]*\})? [0-9]+$' "$1"; then
+    echo "$1: malformed exposition line(s):"
+    grep -vE '^[a-z_]+(\{[^}]*\})? [0-9]+$' "$1"
+    exit 1
+  fi
+}
+
+# Prints a gridd_counter_total value from an exposition dump (0 when
+# the counter never fired).
+expo_counter() {
+  local v
+  v="$(sed -n "s|^gridd_counter_total{name=\"$2\"} ||p" "$1")"
+  echo "${v:-0}"
+}
+
+start_gridd "$GRIDDIR/gridd.out"
 "$GRIDRUN" --quick --connect "$ADDR" --submit all
 "$GRIDRUN" --quick --connect "$ADDR" --status
+"$GRIDRUN" --quick --connect "$ADDR" --stats > "$GRIDDIR/stats_cold.txt"
+grep -q "^gridd stats:" "$GRIDDIR/stats_cold.txt"
+grep -q "service registry:" "$GRIDDIR/stats_cold.txt"
+"$GRIDRUN" --quick --connect "$ADDR" --stats --format expo \
+  -o "$GRIDDIR/service_reg.txt" > "$GRIDDIR/expo_cold.txt"
+check_expo "$GRIDDIR/expo_cold.txt"
+HITS="$(expo_counter "$GRIDDIR/expo_cold.txt" "cache/hit")"
+MISSES="$(expo_counter "$GRIDDIR/expo_cold.txt" "cache/miss")"
+test "$((HITS + MISSES))" -eq "$JOBS" \
+  || { echo "cold stats: hits($HITS)+misses($MISSES) != $JOBS jobs"; exit 1; }
+test "$MISSES" -eq "$JOBS" \
+  || { echo "cold daemon should miss every cell, got $MISSES of $JOBS"; exit 1; }
+# Worker telemetry crossed the process boundary: one job_wall sample
+# and one dispatched job per submitted cell.
+grep -q '^gridd_span_calls_total{name="service/job_wall"} '"$JOBS"'$' \
+  "$GRIDDIR/expo_cold.txt"
+grep -q "^gridd_worker_jobs_total $JOBS\$" "$GRIDDIR/expo_cold.txt"
+# The dumped registry renders offline.
+"$TRACEREPORT" --service "$GRIDDIR/service_reg.txt" --top 3 \
+  > "$GRIDDIR/service_report.txt"
+grep -q "slowest jobs" "$GRIDDIR/service_report.txt"
+grep -q "cache hit rate by report kind" "$GRIDDIR/service_report.txt"
 "$GRIDRUN" --quick --connect "$ADDR" --fetch -o "$GRIDDIR/fetched.jsonl"
 "$GRIDRUN" --quick --merge "$GRIDDIR/fetched.jsonl" > "$GRIDDIR/gridd.txt"
 diff -u "$GRIDDIR/direct.txt" "$GRIDDIR/gridd.txt"
 "$GRIDRUN" --quick --connect "$ADDR" --shutdown
 wait "$GRIDD_PID"
-echo "daemon submit/status/fetch/shutdown loopback clean"
+echo "cold daemon: $MISSES misses across $JOBS jobs, telemetry merged from 2 workers"
+
+# Warm restart: a fresh daemon over the populated cache answers every
+# cell from it — stats must show hits == jobs and zero misses.
+start_gridd "$GRIDDIR/gridd_warm.out"
+"$GRIDRUN" --quick --connect "$ADDR" --submit all
+"$GRIDRUN" --quick --connect "$ADDR" --stats --format expo > "$GRIDDIR/expo_warm.txt"
+check_expo "$GRIDDIR/expo_warm.txt"
+HITS="$(expo_counter "$GRIDDIR/expo_warm.txt" "cache/hit")"
+MISSES="$(expo_counter "$GRIDDIR/expo_warm.txt" "cache/miss")"
+test "$HITS" -eq "$JOBS" \
+  || { echo "warm daemon should hit every cell, got $HITS of $JOBS"; exit 1; }
+test "$MISSES" -eq 0 \
+  || { echo "warm daemon recomputed $MISSES cells"; exit 1; }
+"$GRIDRUN" --quick --connect "$ADDR" --shutdown
+wait "$GRIDD_PID"
+echo "warm daemon: $HITS hits across $JOBS jobs, 0 misses"
+echo "daemon submit/status/stats/fetch/shutdown loopback clean"
 
 echo "== perfsmoke --quick (release) =="
 # Surfaces hot-path throughput in the CI log and enforces the emulator
